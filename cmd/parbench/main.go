@@ -1,0 +1,63 @@
+// Command parbench regenerates the paper's Table 3: the loop
+// parallelization measurements for the alvinn and ear benchmarks,
+// including the per-loop classification detail.
+//
+// Usage:
+//
+//	parbench [-detail]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/bench"
+	"wlpa/internal/cparse"
+	"wlpa/internal/libsum"
+	"wlpa/internal/parallel"
+	"wlpa/internal/sem"
+	"wlpa/internal/workload"
+)
+
+func main() {
+	detail := flag.Bool("detail", false, "print the per-loop classification")
+	flag.Parse()
+	rows, err := bench.RunTable3()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(bench.FormatTable3(rows))
+	if !*detail {
+		return
+	}
+	for _, name := range []string{"alvinn", "ear"} {
+		b, _ := workload.ByName(name)
+		f, err := cparse.ParseSource(name, b.Source)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+			os.Exit(1)
+		}
+		prog, err := sem.Check(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+			os.Exit(1)
+		}
+		an, err := analysis.New(prog, analysis.Options{Lib: libsum.Summaries(), CollectSolution: true})
+		if err == nil {
+			err = an.Run()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+			os.Exit(1)
+		}
+		rep, err := parallel.BuildReport(name, prog, parallel.New(prog, an), 80_000_000)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(rep)
+	}
+}

@@ -1,0 +1,49 @@
+// Command ptabench regenerates the paper's Table 2 (benchmark and
+// analysis measurements), the §7 invocation-graph comparison, and the
+// PTF reuse-policy ablation over the embedded benchmark suite.
+//
+// Usage:
+//
+//	ptabench [-table2] [-invoke] [-ablation benchmark]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wlpa/internal/bench"
+)
+
+func main() {
+	var (
+		table2   = flag.Bool("table2", true, "run the Table 2 harness")
+		invokeC  = flag.Bool("invoke", true, "run the invocation-graph comparison")
+		ablation = flag.String("ablation", "eqntott", "benchmark for the reuse-policy ablation (empty to skip)")
+	)
+	flag.Parse()
+	if *table2 {
+		rows, err := bench.RunTable2()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatTable2(rows))
+	}
+	if *invokeC {
+		rows, err := bench.RunInvokeComparison([]string{"compiler", "eqntott", "simulator"}, 1_000_000)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatInvoke(rows))
+	}
+	if *ablation != "" {
+		rows, err := bench.RunAblation(*ablation)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ptabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatAblation(rows))
+	}
+}

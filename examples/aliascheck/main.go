@@ -1,0 +1,77 @@
+// Alias queries for an optimizer: the use case the paper's introduction
+// motivates. A compiler pass wants to know whether two pointers can
+// refer to the same storage — if they cannot, loads can be reordered,
+// values kept in registers, and loops parallelized. Context sensitivity
+// is what keeps the answers precise: a context-insensitive analysis
+// conflates every call to mix() below and reports spurious aliases.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wlpa/pta"
+)
+
+const program = `
+#include <stdlib.h>
+
+int a, b, c;
+int *pa, *pb, *heap1, *heap2;
+
+/* mix copies one pointer through another; in a context-insensitive
+ * analysis every call site's values blur together. */
+int *mix(int *src) {
+    return src;
+}
+
+int main(void) {
+    pa = mix(&a);                       /* pa -> a  */
+    pb = mix(&b);                       /* pb -> b  */
+    heap1 = (int *)malloc(sizeof(int)); /* distinct allocation sites    */
+    heap2 = (int *)malloc(sizeof(int)); /*   get distinct heap blocks   */
+    *pa = 1;
+    *pb = 2;
+    return *pa + *pb;
+}
+`
+
+func main() {
+	res, err := pta.AnalyzeSource("alias.c", program, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Points-to sets:")
+	for _, g := range []string{"pa", "pb", "heap1", "heap2"} {
+		fmt.Printf("  %-6s -> %v\n", g, res.PointsTo(g))
+	}
+
+	fmt.Println("\nAlias queries (context-sensitive):")
+	pairs := [][2]string{
+		{"pa", "pb"},       // distinct targets through the same helper
+		{"heap1", "heap2"}, // distinct allocation sites
+		{"pa", "heap1"},
+	}
+	for _, pr := range pairs {
+		verdict := "NO alias — safe to reorder/register-allocate"
+		if res.MayAlias(pr[0], pr[1]) {
+			verdict = "may alias — must be conservative"
+		}
+		fmt.Printf("  %-6s vs %-6s : %s\n", pr[0], pr[1], verdict)
+	}
+
+	// The same program under the context-insensitive policy: mix()'s
+	// two contexts merge and pa/pb appear aliased.
+	coarse, err := pta.AnalyzeSource("alias.c", program, &pta.Options{Policy: pta.OneSummary})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nThe same queries with a single merged summary per procedure:")
+	for _, pr := range pairs {
+		verdict := "no alias"
+		if coarse.MayAlias(pr[0], pr[1]) {
+			verdict = "MAY ALIAS (spurious: cost of losing context sensitivity)"
+		}
+		fmt.Printf("  %-6s vs %-6s : %s\n", pr[0], pr[1], verdict)
+	}
+}

@@ -1,0 +1,83 @@
+// Call-graph resolution through function pointers: the points-to
+// analysis tracks which functions each pointer can reference, so calls
+// through pointers — including pointers stored in dispatch tables and
+// passed as callbacks — resolve to their concrete targets. This is the
+// analysis capability the paper highlights in §5.1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wlpa/pta"
+)
+
+const program = `
+#include <stdlib.h>
+
+int applied_count;
+
+int add(int a, int b) { return a + b; }
+int sub(int a, int b) { return a - b; }
+int mul(int a, int b) { return a * b; }
+
+/* a dispatch table of operations */
+struct op {
+    char code;
+    int (*fn)(int, int);
+};
+
+struct op table[3];
+
+void init_table(void) {
+    table[0].code = '+'; table[0].fn = add;
+    table[1].code = '-'; table[1].fn = sub;
+    table[2].code = '*'; table[2].fn = mul;
+}
+
+int dispatch(char code, int a, int b) {
+    int i;
+    for (i = 0; i < 3; i++) {
+        if (table[i].code == code) {
+            applied_count++;
+            return table[i].fn(a, b);     /* indirect: resolves to add/sub/mul */
+        }
+    }
+    return 0;
+}
+
+/* a callback passed down through another function */
+int apply(int (*cb)(int, int), int a, int b) {
+    return cb(a, b);                      /* indirect: resolves to the argument */
+}
+
+int main(void) {
+    int r;
+    init_table();
+    r = dispatch('+', 2, 3);
+    r += dispatch('*', r, r);
+    r += apply(sub, r, 5);
+    return r & 0x7f;
+}
+`
+
+func main() {
+	res, err := pta.AnalyzeSource("dispatch.c", program, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Resolved call graph (including function-pointer calls):")
+	for _, e := range res.CallGraph() {
+		fmt.Printf("  %-10s -> %-10s at %s\n", e.Caller, e.Callee, e.Pos)
+	}
+
+	// The indirect call inside dispatch() must list all three table
+	// entries; the one inside apply() must list only sub (its single
+	// call site passes sub).
+	indirect := map[string][]string{}
+	for _, e := range res.CallGraph() {
+		indirect[e.Caller] = append(indirect[e.Caller], e.Callee)
+	}
+	fmt.Printf("\ndispatch() can invoke: %v\n", indirect["dispatch"])
+	fmt.Printf("apply() can invoke:    %v\n", indirect["apply"])
+}

@@ -1,0 +1,61 @@
+// Quickstart: analyze the paper's Figure 1 program and observe the two
+// partial transfer functions the analysis creates for procedure f — one
+// shared by the unaliased calls (S1, S2), one for the aliased call (S3)
+// — plus the resulting context-sensitive points-to sets.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wlpa/pta"
+)
+
+// The example program from Wilson & Lam, PLDI 1995, Figure 1.
+const figure1 = `
+int test1, test2;
+int x, y, z;
+int *x0, *y0, *z0;
+
+void f(int **p, int **q, int **r) {
+    *p = *q;
+    *q = *r;
+}
+
+int main(void) {
+    x0 = &x; y0 = &y; z0 = &z;
+    if (test1)
+        f(&x0, &y0, &z0);      /* S1: no aliases among inputs  */
+    else if (test2)
+        f(&z0, &x0, &y0);      /* S2: same alias pattern as S1 */
+    else
+        f(&x0, &y0, &x0);      /* S3: p and r are aliased      */
+    return 0;
+}
+`
+
+func main() {
+	res, err := pta.AnalyzeSource("figure1.c", figure1, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Points-to sets at program exit:")
+	for _, g := range []string{"x0", "y0", "z0"} {
+		fmt.Printf("  %-3s -> %v\n", g, res.PointsTo(g))
+	}
+
+	fmt.Printf("\nPTFs created for f: %d\n", res.NumPTFs("f"))
+	fmt.Println("  (one PTF covers both S1 and S2 — same alias pattern,")
+	fmt.Println("   different actuals; the aliased call S3 needs its own)")
+
+	st := res.Stats()
+	fmt.Printf("\n%d procedures, %d PTFs total (%.2f per procedure), analysis %s\n",
+		st.Procedures, st.PTFs, st.AvgPTFs(), st.Duration)
+
+	if res.MayAlias("x0", "y0") {
+		fmt.Println("\nx0 and y0 may alias")
+	} else {
+		fmt.Println("\nx0 and y0 do not alias")
+	}
+}

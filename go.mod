@@ -1,0 +1,3 @@
+module wlpa
+
+go 1.22

@@ -1,0 +1,468 @@
+// Package analysis implements the context-sensitive pointer analysis of
+// Wilson & Lam (PLDI '95): an iterative flow-sensitive intraprocedural
+// analysis whose interprocedural behavior is governed by partial transfer
+// functions (PTFs). A PTF summarizes a procedure under the alias
+// relationships (and function-pointer input values) that held when it was
+// created, and is reused at every call site exhibiting the same input
+// domain. Extended parameters name the locations reached through input
+// pointers; they are created lazily, subsumed when inputs alias, and form
+// the procedure's parametrized name space.
+package analysis
+
+import (
+	"fmt"
+	"time"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/cfg"
+	"wlpa/internal/ctok"
+	"wlpa/internal/memmod"
+	"wlpa/internal/ptset"
+	"wlpa/internal/sem"
+)
+
+// ReusePolicy selects how PTFs are reused across calling contexts.
+type ReusePolicy int
+
+const (
+	// ReuseByAliasPattern is the paper's algorithm: a PTF is reused
+	// whenever the input aliases and function-pointer values match.
+	ReuseByAliasPattern ReusePolicy = iota
+	// NeverReuse reanalyzes the callee for every call site (the Emami
+	// et al. invocation-graph discipline), for comparison.
+	NeverReuse
+	// SingleSummary keeps one PTF per procedure and merges every
+	// context into it (a context-insensitive summary), for comparison.
+	SingleSummary
+)
+
+func (r ReusePolicy) String() string {
+	switch r {
+	case ReuseByAliasPattern:
+		return "alias-pattern"
+	case NeverReuse:
+		return "never-reuse"
+	case SingleSummary:
+		return "single-summary"
+	}
+	return "?"
+}
+
+// LibCall is the view of a call site handed to library-function
+// summaries; the summary expresses its pointer effects through it.
+type LibCall interface {
+	// NumArgs returns the number of actual arguments.
+	NumArgs() int
+	// Arg returns the value set of the i'th actual (empty if absent).
+	Arg(i int) memmod.ValueSet
+	// Deref returns the pointed-to contents of the given pointer values.
+	Deref(v memmod.ValueSet) memmod.ValueSet
+	// Store weakly assigns vals through the pointers in dsts.
+	Store(dsts, vals memmod.ValueSet)
+	// Copy copies the pointer contents of the objects named by src to
+	// the objects named by dst (memcpy-style), up to size bytes (<=0
+	// means unbounded).
+	Copy(dst, src memmod.ValueSet, size int64)
+	// Heap returns the heap block for this call's static site.
+	Heap() memmod.ValueSet
+	// Return sets the call's return value.
+	Return(v memmod.ValueSet)
+	// Invoke analyzes calls through the function-pointer values in
+	// targets with the given argument value sets (qsort callbacks).
+	Invoke(targets memmod.ValueSet, args []memmod.ValueSet)
+	// Unknown returns the unknown-position widening of v (stride 1).
+	Unknown(v memmod.ValueSet) memmod.ValueSet
+}
+
+// LibSummary summarizes the pointer behavior of one library function.
+type LibSummary func(c LibCall)
+
+// Options configure an analysis run.
+type Options struct {
+	// Reuse selects the PTF reuse policy (default ReuseByAliasPattern).
+	Reuse ReusePolicy
+	// Lib maps library (extern) function names to summaries. Extern
+	// functions without summaries get a conservative generic summary.
+	Lib map[string]LibSummary
+	// CollectSolution accumulates a whole-program concrete points-to
+	// solution (used by queries and the interpreter soundness oracle).
+	CollectSolution bool
+	// MaxPTFs caps PTFs per procedure; past the cap contexts merge
+	// into the last PTF (the paper's suggested generalization, §8).
+	// 0 means unlimited.
+	MaxPTFs int
+	// MaxTotalPTFs caps the program-wide PTF count; past the cap new
+	// contexts merge into existing PTFs. Used to bound the NeverReuse
+	// (Emami-style) policy, whose context count grows exponentially.
+	// 0 means unlimited.
+	MaxTotalPTFs int
+	// MaxPasses bounds top-level fixpoint passes (safety valve).
+	MaxPasses int
+	// Timeout aborts the analysis after a wall-clock budget (0 = none).
+	// Exceeding it returns ErrTimeout; the statistics remain valid for
+	// the work done so far.
+	Timeout time.Duration
+	// CombineOffsets implements the optimization the paper suggests in
+	// §7: most procedures with more than one PTF differ only in the
+	// offsets and strides of their initial points-to functions;
+	// treating those as matching (with merged parameter bindings)
+	// trades a little context sensitivity for fewer PTFs.
+	CombineOffsets bool
+}
+
+// ErrTimeout is returned by Run when Options.Timeout is exceeded.
+var ErrTimeout = &Error{Msg: "analysis wall-clock budget exceeded"}
+
+// Stats are cumulative analysis statistics.
+type Stats struct {
+	Procedures     int
+	PTFs           int
+	PTFsPerProc    map[string]int
+	Params         int
+	NodesEvaluated int
+	Passes         int
+	Duration       time.Duration
+	// PTFsCapped reports that MaxPTFs/MaxTotalPTFs forced contexts to
+	// merge (the analysis degraded toward a context-insensitive
+	// summary to stay tractable).
+	PTFsCapped bool
+}
+
+// AvgPTFs returns the average number of PTFs per analyzed procedure.
+func (s Stats) AvgPTFs() float64 {
+	if s.Procedures == 0 {
+		return 0
+	}
+	return float64(s.PTFs) / float64(s.Procedures)
+}
+
+// Error is an analysis failure.
+type Error struct {
+	Pos ctok.Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+	}
+	return e.Msg
+}
+
+// initEntryKind distinguishes input-domain entries.
+type initEntryKind int
+
+const (
+	ptrInitEntry   initEntryKind = iota // initial value of an input pointer
+	globalRefEntry                      // direct reference to a global
+)
+
+// initEntry is one element of a PTF's input-domain specification,
+// replayed in creation order when testing whether the PTF applies.
+type initEntry struct {
+	kind initEntryKind
+
+	// ptrInitEntry: Ptr is the input pointer location (callee name
+	// space); Val its single-extended-parameter initial value. Empty
+	// Val means the pointer had no targets.
+	ptr      memmod.LocSet
+	val      memmod.LocSet
+	valEmpty bool
+
+	// globalRefEntry: the referenced global and its parameter.
+	sym   *cast.Symbol
+	param *memmod.Block
+}
+
+// PTF is a partial transfer function: the summary of a procedure under
+// one input-domain (alias pattern + function-pointer values).
+type PTF struct {
+	Proc *cfg.Proc
+	Pts  *ptset.PTS
+
+	// locals maps local symbols (incl. params and temps) to blocks.
+	locals map[*cast.Symbol]*memmod.Block
+	retval *memmod.Block
+
+	// params are the extended parameters in creation order.
+	params []*memmod.Block
+	// initial is the input-domain specification, in creation order.
+	initial []initEntry
+	// globalParams maps global symbols to their parameters.
+	globalParams map[*cast.Symbol]*memmod.Block
+	// fpDomain records resolved function targets per function-pointer
+	// parameter (part of the input domain, paper §5.1).
+	fpDomain map[*memmod.Block]map[*cast.Symbol]bool
+	// pointedBy counts initial entries pointing at each parameter;
+	// two or more with non-unique actuals force NotUnique (§4.1).
+	pointedBy map[*memmod.Block]int
+
+	// home identifies the calling context that created the PTF; while
+	// iterating, mismatches at the home context update the PTF in
+	// place instead of allocating a new one (paper §5.2).
+	homeNode *cfg.Node
+	homePTF  *PTF
+
+	// exitReached records that the exit has been evaluated at least
+	// once (needed to defer recursive applications, §5.4).
+	exitReached bool
+	// recursive marks PTFs that serve a recursive cycle; their input
+	// domain merges all recursive call sites (§5.4).
+	recursive bool
+
+	// version increments whenever the summary grows; callers re-apply
+	// summaries whose version changed.
+	version int
+
+	// deps records the version of every callee summary applied while
+	// analyzing this PTF; a stale entry forces a revisit so that the
+	// grown summary propagates through this procedure's own dataflow
+	// (essential for recursive cycles, paper §5.4).
+	deps map[*PTF]int
+}
+
+// Analysis is a configured pointer-analysis instance.
+type Analysis struct {
+	prog  *sem.Program
+	procs map[*cast.FuncDecl]*cfg.Proc
+	opts  Options
+
+	globalBlocks map[*cast.Symbol]*memmod.Block
+	funcBlocks   map[*cast.Symbol]*memmod.Block
+	strBlocks    map[int]*memmod.Block
+	heapBlocks   map[string]*memmod.Block
+
+	ptfs    map[*cfg.Proc][]*PTF
+	stack   []*frame
+	mainPTF *PTF
+
+	paramCount int
+	numPTFs    int
+	capped     bool
+	deadline   time.Time
+	timedOut   bool
+	stats      Stats
+	solution   *Solution
+
+	// paramConcrete accumulates, per extended parameter, the union of
+	// the raw actual bindings it received across every context; resolved
+	// transitively when building the collapsed Solution.
+	paramConcrete map[*memmod.Block]*memmod.ValueSet
+
+	// changed is set whenever any points-to fact or PTF domain grows
+	// during the current top-level pass.
+	changed bool
+}
+
+// frame is one activation on the analysis call stack.
+type frame struct {
+	ptf      *PTF
+	caller   *frame
+	callNode *cfg.Node // call site in the caller (nil for main)
+
+	// args are the actual argument value sets (caller name space).
+	args []memmod.ValueSet
+
+	// pmap binds extended parameters to their actual values in the
+	// caller's name space (offset 0 of the parameter corresponds to
+	// the recorded location sets).
+	pmap map[*memmod.Block]memmod.ValueSet
+
+	// evaluated marks flow nodes evaluated in the current EvalProc.
+	evaluated map[*cfg.Node]bool
+
+	// multiTarget disables strong updates while applying one of
+	// several possible callees (paper §5.3).
+	multiTarget bool
+}
+
+// New prepares an analysis of prog.
+func New(prog *sem.Program, opts Options) (*Analysis, error) {
+	procs, err := cfg.BuildAll(prog.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxPasses == 0 {
+		opts.MaxPasses = 64
+	}
+	a := &Analysis{
+		prog:         prog,
+		procs:        procs,
+		opts:         opts,
+		globalBlocks: make(map[*cast.Symbol]*memmod.Block),
+		funcBlocks:   make(map[*cast.Symbol]*memmod.Block),
+		strBlocks:    make(map[int]*memmod.Block),
+		heapBlocks:   make(map[string]*memmod.Block),
+		ptfs:         make(map[*cfg.Proc][]*PTF),
+	}
+	a.stats.PTFsPerProc = make(map[string]int)
+	if opts.CollectSolution {
+		a.solution = newSolution()
+		a.paramConcrete = make(map[*memmod.Block]*memmod.ValueSet)
+	}
+	return a, nil
+}
+
+// Run analyzes the whole program starting from main.
+func (a *Analysis) Run() error {
+	start := time.Now()
+	if a.opts.Timeout > 0 {
+		a.deadline = start.Add(a.opts.Timeout)
+	}
+	if a.prog.Main == nil {
+		return &Error{Msg: "program has no main function"}
+	}
+	mainProc := a.procs[a.prog.Main]
+	a.mainPTF = a.newPTF(mainProc, nil, nil)
+	mf := &frame{
+		ptf:  a.mainPTF,
+		pmap: make(map[*memmod.Block]memmod.ValueSet),
+	}
+	a.seedGlobals(mf)
+	for pass := 1; ; pass++ {
+		a.stats.Passes = pass
+		a.changed = false
+		versions := a.ptfVersionSum()
+		a.stack = a.stack[:0]
+		a.stack = append(a.stack, mf)
+		a.evalProc(mf)
+		a.stack = a.stack[:0]
+		if a.timedOut {
+			a.finishStats(start)
+			return ErrTimeout
+		}
+		if !a.changed && a.ptfVersionSum() == versions {
+			break
+		}
+		if pass >= a.opts.MaxPasses {
+			return &Error{Msg: fmt.Sprintf("analysis did not converge after %d passes", pass)}
+		}
+	}
+	a.finishStats(start)
+	return nil
+}
+
+func (a *Analysis) finishStats(start time.Time) {
+	a.stats.Procedures = len(a.ptfs)
+	a.stats.PTFs = 0
+	for proc, list := range a.ptfs {
+		a.stats.PTFs += len(list)
+		a.stats.PTFsPerProc[proc.Name] = len(list)
+	}
+	a.stats.Duration = time.Since(start)
+	a.stats.PTFsCapped = a.capped
+}
+
+func (a *Analysis) ptfVersionSum() int {
+	n := 0
+	for _, list := range a.ptfs {
+		for _, p := range list {
+			n += p.version
+		}
+	}
+	return n
+}
+
+// Stats returns cumulative statistics (valid after Run).
+func (a *Analysis) Stats() Stats { return a.stats }
+
+// MainPTF returns main's transfer function (valid after Run).
+func (a *Analysis) MainPTF() *PTF { return a.mainPTF }
+
+// PTFs returns the PTFs of the procedure named name.
+func (a *Analysis) PTFs(name string) []*PTF {
+	for proc, list := range a.ptfs {
+		if proc.Name == name {
+			return list
+		}
+	}
+	return nil
+}
+
+// Proc returns the flow graph of the named function.
+func (a *Analysis) Proc(name string) *cfg.Proc {
+	fd := a.prog.FuncByName[name]
+	if fd == nil {
+		return nil
+	}
+	return a.procs[fd]
+}
+
+// Solution returns the collapsed whole-program solution, or nil when
+// CollectSolution was not set.
+func (a *Analysis) Solution() *Solution { return a.solution }
+
+// GlobalBlock returns the storage block of a global symbol.
+func (a *Analysis) GlobalBlock(sym *cast.Symbol) *memmod.Block {
+	return a.globalBlock(sym)
+}
+
+// FuncBlock returns the block representing the named function, or nil.
+func (a *Analysis) FuncBlock(name string) *memmod.Block {
+	for sym, b := range a.funcBlocks {
+		if sym.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// newPTF allocates a PTF for proc created at the given home context.
+func (a *Analysis) newPTF(proc *cfg.Proc, homeNode *cfg.Node, homePTF *PTF) *PTF {
+	a.numPTFs++
+	p := &PTF{
+		Proc:         proc,
+		Pts:          ptset.New(proc),
+		locals:       make(map[*cast.Symbol]*memmod.Block),
+		retval:       memmod.NewRetval(proc.Name),
+		globalParams: make(map[*cast.Symbol]*memmod.Block),
+		fpDomain:     make(map[*memmod.Block]map[*cast.Symbol]bool),
+		pointedBy:    make(map[*memmod.Block]int),
+		homeNode:     homeNode,
+		homePTF:      homePTF,
+	}
+	a.ptfs[proc] = append(a.ptfs[proc], p)
+	return p
+}
+
+// DebugString renders the PTF input domain for diagnostics.
+func (p *PTF) DebugString() string {
+	s := fmt.Sprintf("proc=%s recursive=%v exit=%v entries=[", p.Proc.Name, p.recursive, p.exitReached)
+	for i, e := range p.initial {
+		if i > 0 {
+			s += ", "
+		}
+		switch e.kind {
+		case globalRefEntry:
+			s += fmt.Sprintf("global %s -> %s", e.sym.Name, e.param)
+		case ptrInitEntry:
+			if e.valEmpty {
+				s += fmt.Sprintf("%v -> <empty>", e.ptr)
+			} else {
+				s += fmt.Sprintf("%v -> %v", e.ptr, e.val)
+			}
+		}
+	}
+	return s + "]"
+}
+
+// DumpRecords renders the sparse records of locations whose base block
+// name starts with one of the given prefixes (diagnostics only).
+func (p *PTF) DumpRecords(prefixes ...string) string {
+	s := ""
+	for _, loc := range p.Pts.Locations() {
+		match := false
+		for _, pre := range prefixes {
+			if len(loc.Base.Name) >= len(pre) && loc.Base.Name[:len(pre)] == pre {
+				match = true
+			}
+		}
+		if !match {
+			continue
+		}
+		for _, r := range p.Pts.Records(loc) {
+			s += fmt.Sprintf("    %v @%v strong=%v phi=%v = %v\n", loc, r.Node, r.Strong, r.Phi, r.Vals)
+		}
+	}
+	return s
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"time"
+
+	"wlpa/internal/cfg"
+	"wlpa/internal/memmod"
+)
+
+// evalProc iterates over the flow graph until the points-to function
+// stops changing (paper Figure 8). Nodes are visited in reverse
+// postorder and never before one of their predecessors (§4.1).
+func (a *Analysis) evalProc(f *frame) {
+	f.evaluated = make(map[*cfg.Node]bool)
+	for iter := 0; ; iter++ {
+		if a.timedOut || (!a.deadline.IsZero() && time.Now().After(a.deadline)) {
+			a.timedOut = true
+			return
+		}
+		// progress drives the local do-while loop (it includes nodes
+		// becoming evaluable); a.changed only tracks genuine growth
+		// of points-to facts, which governs the top-level fixpoint.
+		progress := false
+		for _, nd := range f.ptf.Proc.Nodes {
+			if nd.Kind != cfg.EntryNode && !f.anyPredEvaluated(nd) {
+				continue
+			}
+			if !f.evaluated[nd] {
+				f.evaluated[nd] = true
+				progress = true
+			}
+			a.stats.NodesEvaluated++
+			factChanged := false
+			switch nd.Kind {
+			case cfg.MeetNode, cfg.ExitNode:
+				factChanged = a.evalMeet(f, nd)
+			case cfg.AssignNode:
+				factChanged = a.evalAssign(f, nd)
+			case cfg.CallNode:
+				factChanged = a.evalCall(f, nd)
+			}
+			if factChanged {
+				progress = true
+				a.changed = true
+				// The summary grew: dependents must revisit.
+				f.ptf.version++
+			}
+		}
+		if f.evaluated[f.ptf.Proc.Exit] && !f.ptf.exitReached {
+			f.ptf.exitReached = true
+			progress = true
+			a.changed = true
+			f.ptf.version++
+		}
+		if !progress {
+			return
+		}
+		if iter > 1000 {
+			// Safety valve; analysis of a single procedure should
+			// converge in a handful of iterations.
+			return
+		}
+	}
+}
+
+func (f *frame) anyPredEvaluated(nd *cfg.Node) bool {
+	for _, p := range nd.Preds {
+		if f.evaluated[p] {
+			return true
+		}
+	}
+	return false
+}
+
+// evalMeet evaluates the φ-functions of a meet node (paper Figure 9).
+func (a *Analysis) evalMeet(f *frame, nd *cfg.Node) bool {
+	changed := false
+	for _, loc := range f.ptf.Pts.PhiLocs(nd) {
+		var srcs memmod.ValueSet
+		for _, pred := range nd.Preds {
+			if !f.evaluated[pred] {
+				continue
+			}
+			vals, found := f.ptf.Pts.LookupOut(loc, pred, nil)
+			if !found {
+				vals = a.getInitial(f, loc)
+			}
+			srcs.AddAll(vals)
+		}
+		if f.ptf.Pts.AssignPhi(loc, srcs, nd) {
+			changed = true
+			a.recordSolution(f, loc, srcs)
+		}
+	}
+	return changed
+}
+
+// evalContents returns the pointer values stored at location v as seen
+// flowing into node nd (paper Figure 10, EvalDeref): all overlapping
+// locations containing pointers contribute, bounded by the most recent
+// strong update when v is a unique location.
+func (a *Analysis) evalContents(f *frame, v memmod.LocSet, nd *cfg.Node) memmod.ValueSet {
+	v = v.Resolve()
+	var barrier *cfg.Node
+	if v.Precise() {
+		barrier = f.ptf.Pts.FindStrongUpdate(v, nd)
+	}
+	var result memmod.ValueSet
+	seen := map[memmod.LocSet]bool{}
+	consider := func(l memmod.LocSet) {
+		l = l.Resolve()
+		if seen[l] || !l.Overlaps(v) {
+			return
+		}
+		seen[l] = true
+		vals, found := f.ptf.Pts.LookupIn(l, nd, barrier)
+		if !found {
+			vals = a.getInitial(f, l)
+		}
+		result.AddAll(vals)
+	}
+	consider(v)
+	for _, l := range v.Base.PtrLocs() {
+		consider(l)
+	}
+	return result
+}
+
+// evalExpr evaluates an IR expression to the set of locations it denotes
+// (for destination expressions) or the pointer values it produces (for
+// source expressions) — in points-to form the two coincide.
+func (a *Analysis) evalExpr(f *frame, e *cfg.Expr, nd *cfg.Node) memmod.ValueSet {
+	var out memmod.ValueSet
+	if e == nil {
+		return out
+	}
+	for _, t := range e.Terms {
+		var base memmod.ValueSet
+		switch t.Kind {
+		case cfg.TermVar:
+			base.Add(a.varBlockLoc(f, t.Sym, 0, 0))
+		case cfg.TermFunc:
+			base.Add(memmod.Loc(a.funcBlock(t.Sym), 0, 0))
+		case cfg.TermStr:
+			base.Add(memmod.Loc(a.strBlock(t.StrID, t.StrVal), 0, 0))
+		case cfg.TermDeref:
+			ptrs := a.evalExpr(f, t.Base, nd)
+			for _, pl := range ptrs.Locs() {
+				base.AddAll(a.evalContents(f, pl, nd))
+			}
+		}
+		if t.Off != 0 {
+			base = base.Shift(t.Off)
+		}
+		if t.Stride != 0 {
+			base = base.WithStride(t.Stride)
+		}
+		out.AddAll(base)
+	}
+	return out
+}
+
+// evalAssign evaluates a pointer-form assignment (paper Figure 11).
+func (a *Analysis) evalAssign(f *frame, nd *cfg.Node) bool {
+	dsts := a.evalExpr(f, nd.Dst, nd)
+	if dsts.IsEmpty() {
+		// Destination locations unknown yet: defer (paper §4.1).
+		return false
+	}
+	if nd.Aggregate {
+		return a.evalAggregateCopy(f, nd, dsts)
+	}
+	srcs := a.evalExpr(f, nd.Src, nd)
+	changed := false
+	strongOK := dsts.Len() == 1 && dsts.Locs()[0].Precise() && !f.multiTarget
+	for _, dst := range dsts.Locs() {
+		newSrcs := srcs.Clone()
+		strong := strongOK
+		if !strong {
+			// Weak update: the destination retains its old values.
+			old, found := f.ptf.Pts.LookupIn(dst, nd, nil)
+			if !found {
+				old = a.getInitial(f, dst)
+			}
+			newSrcs.AddAll(old)
+		}
+		if !newSrcs.IsEmpty() {
+			dst.Base.AddPtrLoc(dst)
+		}
+		if f.ptf.Pts.Assign(dst, newSrcs, nd, strong) {
+			changed = true
+			a.recordSolution(f, dst, newSrcs)
+		}
+	}
+	return changed
+}
+
+// evalAggregateCopy copies the pointer contents of the source objects to
+// the destination objects (paper §4.4: aggregate assignments copy all
+// pointer fields at their offsets).
+func (a *Analysis) evalAggregateCopy(f *frame, nd *cfg.Node, dsts memmod.ValueSet) bool {
+	srcLocs := a.evalExpr(f, nd.Src, nd)
+	changed := false
+	for _, src := range srcLocs.Locs() {
+		src = src.Resolve()
+		for _, pl := range src.Base.PtrLocs() {
+			// Field offset of the pointer within the source object.
+			rel := pl.Off - src.Off
+			if nd.Size > 0 && (rel < 0 || rel >= nd.Size) && pl.Stride == 0 && src.Stride == 0 {
+				continue
+			}
+			vals, found := f.ptf.Pts.LookupIn(pl, nd, nil)
+			if !found {
+				vals = a.getInitial(f, pl)
+			}
+			if vals.IsEmpty() {
+				continue
+			}
+			for _, dst := range dsts.Locs() {
+				target := dst.Shift(rel)
+				if src.Stride != 0 || pl.Stride != 0 {
+					target = dst.Unknown()
+				}
+				// Aggregate copies are always weak updates.
+				old, f2 := f.ptf.Pts.LookupIn(target, nd, nil)
+				if !f2 {
+					old = a.getInitial(f, target)
+				}
+				merged := vals.Clone()
+				merged.AddAll(old)
+				target.Base.AddPtrLoc(target)
+				if f.ptf.Pts.Assign(target, merged, nd, false) {
+					changed = true
+					a.recordSolution(f, target, merged)
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,432 @@
+// Package andersen implements a flow-insensitive, context-insensitive
+// inclusion-based pointer analysis (Andersen's analysis) over the same
+// points-to-form IR as the main analysis. It serves as the precision
+// baseline: the Wilson–Lam analysis should produce points-to sets that
+// are no larger, usually strictly smaller, at a higher analysis cost per
+// line but with full context sensitivity.
+package andersen
+
+import (
+	"sort"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/cfg"
+	"wlpa/internal/ctype"
+	"wlpa/internal/memmod"
+	"wlpa/internal/sem"
+)
+
+// Result holds the flow-insensitive solution.
+type Result struct {
+	pts    map[memmod.LocSet]*memmod.ValueSet
+	blocks *blockTable
+	procs  map[*cast.FuncDecl]*cfg.Proc
+
+	// Iterations is the number of fixpoint passes.
+	Iterations int
+}
+
+// blockTable assigns one block per program entity (context-insensitive).
+type blockTable struct {
+	globals map[*cast.Symbol]*memmod.Block
+	locals  map[*cast.Symbol]*memmod.Block
+	funcs   map[*cast.Symbol]*memmod.Block
+	strs    map[int]*memmod.Block
+	heaps   map[string]*memmod.Block
+	retvals map[*cfg.Proc]*memmod.Block
+}
+
+func newBlockTable() *blockTable {
+	return &blockTable{
+		globals: make(map[*cast.Symbol]*memmod.Block),
+		locals:  make(map[*cast.Symbol]*memmod.Block),
+		funcs:   make(map[*cast.Symbol]*memmod.Block),
+		strs:    make(map[int]*memmod.Block),
+		heaps:   make(map[string]*memmod.Block),
+		retvals: make(map[*cfg.Proc]*memmod.Block),
+	}
+}
+
+func (t *blockTable) varBlock(sym *cast.Symbol) *memmod.Block {
+	if sym.Global {
+		if b, ok := t.globals[sym]; ok {
+			return b
+		}
+		b := memmod.NewGlobal(sym)
+		t.globals[sym] = b
+		return b
+	}
+	if b, ok := t.locals[sym]; ok {
+		return b
+	}
+	b := memmod.NewLocal(sym)
+	t.locals[sym] = b
+	return b
+}
+
+func (t *blockTable) funcBlock(sym *cast.Symbol) *memmod.Block {
+	if b, ok := t.funcs[sym]; ok {
+		return b
+	}
+	b := memmod.NewFunc(sym)
+	t.funcs[sym] = b
+	return b
+}
+
+func (t *blockTable) strBlock(id int, val string) *memmod.Block {
+	if b, ok := t.strs[id]; ok {
+		return b
+	}
+	b := memmod.NewString(id, val)
+	t.strs[id] = b
+	return b
+}
+
+func (t *blockTable) heapBlock(nd *cfg.Node) *memmod.Block {
+	key := nd.Pos.String()
+	if b, ok := t.heaps[key]; ok {
+		return b
+	}
+	b := memmod.NewHeap(nd.Pos)
+	t.heaps[key] = b
+	return b
+}
+
+func (t *blockTable) retvalBlock(p *cfg.Proc) *memmod.Block {
+	if b, ok := t.retvals[p]; ok {
+		return b
+	}
+	b := memmod.NewRetval(p.Name)
+	t.retvals[p] = b
+	return b
+}
+
+type analyzer struct {
+	prog    *sem.Program
+	procs   map[*cast.FuncDecl]*cfg.Proc
+	blocks  *blockTable
+	pts     map[memmod.LocSet]*memmod.ValueSet
+	changed bool
+}
+
+// Analyze runs the analysis to fixpoint.
+func Analyze(prog *sem.Program) (*Result, error) {
+	procs, err := cfg.BuildAll(prog.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzer{
+		prog:   prog,
+		procs:  procs,
+		blocks: newBlockTable(),
+		pts:    make(map[memmod.LocSet]*memmod.ValueSet),
+	}
+	a.seedGlobals()
+	iters := 0
+	for {
+		iters++
+		a.changed = false
+		for _, fd := range prog.Funcs {
+			a.analyzeProc(procs[fd])
+		}
+		if !a.changed || iters > 200 {
+			break
+		}
+	}
+	return &Result{pts: a.pts, blocks: a.blocks, procs: procs, Iterations: iters}, nil
+}
+
+func (a *analyzer) add(loc memmod.LocSet, vals memmod.ValueSet) {
+	if vals.IsEmpty() {
+		return
+	}
+	loc = loc.Resolve()
+	cur, ok := a.pts[loc]
+	if !ok {
+		nv := vals.Clone()
+		a.pts[loc] = &nv
+		a.changed = true
+		return
+	}
+	if cur.AddAll(vals) {
+		a.changed = true
+	}
+}
+
+// contents returns everything stored at locations overlapping v.
+func (a *analyzer) contents(v memmod.LocSet) memmod.ValueSet {
+	var out memmod.ValueSet
+	for k, vals := range a.pts {
+		if k.Overlaps(v) {
+			out.AddAll(*vals)
+		}
+	}
+	return out
+}
+
+func (a *analyzer) evalExpr(proc *cfg.Proc, e *cfg.Expr) memmod.ValueSet {
+	var out memmod.ValueSet
+	if e == nil {
+		return out
+	}
+	for _, t := range e.Terms {
+		var base memmod.ValueSet
+		switch t.Kind {
+		case cfg.TermVar:
+			if t.Sym.Name == "<retval>" {
+				base.Add(memmod.Loc(a.blocks.retvalBlock(proc), 0, 0))
+			} else {
+				base.Add(memmod.Loc(a.blocks.varBlock(t.Sym), 0, 0))
+			}
+		case cfg.TermFunc:
+			base.Add(memmod.Loc(a.blocks.funcBlock(t.Sym), 0, 0))
+		case cfg.TermStr:
+			base.Add(memmod.Loc(a.blocks.strBlock(t.StrID, t.StrVal), 0, 0))
+		case cfg.TermDeref:
+			for _, pl := range a.evalExpr(proc, t.Base).Locs() {
+				base.AddAll(a.contents(pl))
+			}
+		}
+		if t.Off != 0 {
+			base = base.Shift(t.Off)
+		}
+		if t.Stride != 0 {
+			base = base.WithStride(t.Stride)
+		}
+		out.AddAll(base)
+	}
+	return out
+}
+
+func (a *analyzer) analyzeProc(proc *cfg.Proc) {
+	for _, nd := range proc.Nodes {
+		switch nd.Kind {
+		case cfg.AssignNode:
+			dsts := a.evalExpr(proc, nd.Dst)
+			if nd.Aggregate {
+				// Coarse aggregate copy: everything reachable from
+				// the source objects flows to the destinations.
+				srcLocs := a.evalExpr(proc, nd.Src)
+				var vals memmod.ValueSet
+				for _, s := range srcLocs.Locs() {
+					vals.AddAll(a.contents(s.Unknown()))
+				}
+				for _, d := range dsts.Locs() {
+					a.add(d.Unknown(), vals)
+				}
+				continue
+			}
+			srcs := a.evalExpr(proc, nd.Src)
+			for _, d := range dsts.Locs() {
+				a.add(d, srcs)
+			}
+		case cfg.CallNode:
+			a.analyzeCall(proc, nd)
+		}
+	}
+}
+
+func (a *analyzer) analyzeCall(proc *cfg.Proc, nd *cfg.Node) {
+	args := make([]memmod.ValueSet, len(nd.Args))
+	for i, ae := range nd.Args {
+		args[i] = a.evalExpr(proc, ae)
+	}
+	var targets []*cast.Symbol
+	if nd.Direct != nil {
+		targets = []*cast.Symbol{nd.Direct}
+	} else {
+		for _, l := range a.evalExpr(proc, nd.Fun).Locs() {
+			if l.Base.Kind == memmod.FuncBlock {
+				targets = append(targets, l.Base.Sym)
+			}
+		}
+	}
+	for _, sym := range targets {
+		fd := a.prog.FuncByName[sym.Name]
+		if fd != nil && fd.Body != nil {
+			callee := a.procs[fd]
+			for i, p := range fd.Params {
+				if p.Sym == nil || i >= len(args) {
+					continue
+				}
+				a.add(memmod.Loc(a.blocks.varBlock(p.Sym), 0, 0), args[i])
+			}
+			if nd.RetDst != nil {
+				rv := a.contents(memmod.Loc(a.blocks.retvalBlock(callee), 0, 0))
+				for _, d := range a.evalExpr(proc, nd.RetDst).Locs() {
+					a.add(d, rv)
+				}
+			}
+			continue
+		}
+		a.libCall(proc, nd, sym.Name, args)
+	}
+}
+
+// libCall approximates the library summaries flow-insensitively.
+func (a *analyzer) libCall(proc *cfg.Proc, nd *cfg.Node, name string, args []memmod.ValueSet) {
+	ret := func(vals memmod.ValueSet) {
+		if nd.RetDst == nil {
+			return
+		}
+		for _, d := range a.evalExpr(proc, nd.RetDst).Locs() {
+			a.add(d, vals)
+		}
+	}
+	arg := func(i int) memmod.ValueSet {
+		if i < len(args) {
+			return args[i]
+		}
+		return memmod.ValueSet{}
+	}
+	switch name {
+	case "malloc", "calloc", "strdup", "fopen", "getenv":
+		ret(memmod.Values(memmod.Loc(a.blocks.heapBlock(nd), 0, 0)))
+	case "realloc":
+		out := memmod.Values(memmod.Loc(a.blocks.heapBlock(nd), 0, 0))
+		out.AddAll(arg(0))
+		ret(out)
+	case "strcpy", "strncpy", "strcat", "strncat", "memcpy", "memmove",
+		"memset", "fgets", "gets":
+		// memcpy-style pointer copying, coarsely.
+		if name == "memcpy" || name == "memmove" {
+			var vals memmod.ValueSet
+			for _, s := range arg(1).Locs() {
+				vals.AddAll(a.contents(s.Unknown()))
+			}
+			for _, d := range arg(0).Locs() {
+				a.add(d.Unknown(), vals)
+			}
+		}
+		ret(arg(0))
+	case "strchr", "strrchr", "strstr", "strpbrk", "strtok", "bsearch":
+		ret(arg(0).WithStride(1))
+	case "qsort":
+		// Calls the comparator with pointers into the array.
+		base := arg(0).WithStride(1)
+		for _, fv := range arg(3).Locs() {
+			if fv.Base.Kind != memmod.FuncBlock {
+				continue
+			}
+			fd := a.prog.FuncByName[fv.Base.Sym.Name]
+			if fd == nil || fd.Body == nil {
+				continue
+			}
+			for i := 0; i < 2 && i < len(fd.Params); i++ {
+				if fd.Params[i].Sym != nil {
+					a.add(memmod.Loc(a.blocks.varBlock(fd.Params[i].Sym), 0, 0), base)
+				}
+			}
+		}
+	default:
+		// Conservative: everything reachable flows everywhere.
+		var reach memmod.ValueSet
+		for _, v := range args {
+			reach.AddAll(v)
+		}
+		for _, l := range reach.Locs() {
+			a.add(l.Unknown(), reach)
+		}
+		ret(reach)
+	}
+}
+
+func (a *analyzer) seedGlobals() {
+	for _, vd := range a.prog.GlobalInits {
+		if vd.Sym == nil || vd.Init == nil {
+			continue
+		}
+		a.seedInit(memmod.Loc(a.blocks.varBlock(vd.Sym), 0, 0), vd.Sym.Type, vd.Init)
+	}
+}
+
+func (a *analyzer) seedInit(loc memmod.LocSet, t *ctype.Type, init cast.Expr) {
+	switch init := init.(type) {
+	case *cast.InitList:
+		switch t.Kind {
+		case ctype.Array:
+			esz := t.Elem.Sizeof()
+			for _, el := range init.Elems {
+				a.seedInit(loc.WithStride(esz), t.Elem, el)
+			}
+		case ctype.Struct:
+			for i, el := range init.Elems {
+				if i >= len(t.Fields) {
+					break
+				}
+				a.seedInit(loc.Shift(t.Fields[i].Offset), t.Fields[i].Type, el)
+			}
+		default:
+			if len(init.Elems) > 0 {
+				a.seedInit(loc, t, init.Elems[0])
+			}
+		}
+	case *cast.Unary:
+		if init.Op == cast.Addr {
+			if id, ok := init.X.(*cast.Ident); ok && id.Sym != nil {
+				if id.Sym.Kind == cast.SymFunc {
+					a.add(loc, memmod.Values(memmod.Loc(a.blocks.funcBlock(id.Sym), 0, 0)))
+				} else {
+					a.add(loc, memmod.Values(memmod.Loc(a.blocks.varBlock(id.Sym), 0, 0)))
+				}
+			}
+		}
+	case *cast.Ident:
+		if init.Sym != nil && init.Sym.Kind == cast.SymFunc {
+			a.add(loc, memmod.Values(memmod.Loc(a.blocks.funcBlock(init.Sym), 0, 0)))
+		} else if init.Sym != nil && init.Sym.Type != nil && init.Sym.Type.Kind == ctype.Array {
+			a.add(loc, memmod.Values(memmod.Loc(a.blocks.varBlock(init.Sym), 0, 0)))
+		}
+	case *cast.StrLit:
+		if t.Kind != ctype.Array {
+			a.add(loc, memmod.Values(memmod.Loc(a.blocks.strBlock(init.ID, init.Value), 0, 0)))
+		}
+	case *cast.Cast:
+		a.seedInit(loc, t, init.X)
+	}
+}
+
+// PointsTo returns the names of the blocks the named global may point to.
+func (r *Result) PointsTo(global string) []string {
+	for sym, b := range r.blocks.globals {
+		if sym.Name != global {
+			continue
+		}
+		var names []string
+		seen := map[string]bool{}
+		for k, vals := range r.pts {
+			if k.Base != b {
+				continue
+			}
+			for _, l := range vals.Locs() {
+				if !seen[l.Base.Name] {
+					seen[l.Base.Name] = true
+					names = append(names, l.Base.Name)
+				}
+			}
+		}
+		sort.Strings(names)
+		return names
+	}
+	return nil
+}
+
+// AvgSetSize returns the average points-to set size over all pointer
+// locations (the standard precision metric).
+func (r *Result) AvgSetSize() float64 {
+	total, n := 0, 0
+	for _, vals := range r.pts {
+		if vals.Len() == 0 {
+			continue
+		}
+		total += vals.Len()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// NumFacts returns the number of location keys with facts.
+func (r *Result) NumFacts() int { return len(r.pts) }

@@ -1,0 +1,283 @@
+// Package baseline_test exercises the three comparison analyses against
+// each other and against the main PTF analysis.
+package baseline_test
+
+import (
+	"testing"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/baseline/andersen"
+	"wlpa/internal/baseline/invoke"
+	"wlpa/internal/baseline/steensgaard"
+	"wlpa/internal/cparse"
+	"wlpa/internal/libsum"
+	"wlpa/internal/sem"
+	"wlpa/internal/workload"
+)
+
+func check(t *testing.T, src string) *sem.Program {
+	t.Helper()
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	return prog
+}
+
+func contains(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+const branchy = `
+int x, y, c;
+int *p;
+int *q;
+int main(void) {
+    if (c) p = &x; else p = &y;
+    q = &x;
+    return 0;
+}`
+
+func TestAndersenBasic(t *testing.T) {
+	res, err := andersen.Analyze(check(t, branchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := res.PointsTo("p")
+	if !contains(pp, "x") || !contains(pp, "y") {
+		t.Errorf("p -> %v", pp)
+	}
+	qq := res.PointsTo("q")
+	if !contains(qq, "x") || contains(qq, "y") {
+		t.Errorf("q -> %v", qq)
+	}
+	if res.Iterations < 1 {
+		t.Error("no iterations recorded")
+	}
+}
+
+func TestAndersenFlowInsensitive(t *testing.T) {
+	// Flow-insensitive: the killed value survives (unlike the
+	// flow-sensitive main analysis, cf. TestStrongUpdateKillsOldValue).
+	res, err := andersen.Analyze(check(t, `
+int x, y;
+int *p;
+int main(void) { p = &x; p = &y; return 0; }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := res.PointsTo("p")
+	if !contains(pp, "x") || !contains(pp, "y") {
+		t.Errorf("flow-insensitive p -> %v, want both x and y", pp)
+	}
+}
+
+func TestAndersenCalls(t *testing.T) {
+	res, err := andersen.Analyze(check(t, `
+int g;
+int *id(int *v) { return v; }
+int *p;
+int main(void) { p = id(&g); return 0; }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(res.PointsTo("p"), "g") {
+		t.Errorf("p -> %v", res.PointsTo("p"))
+	}
+}
+
+func TestAndersenContextInsensitive(t *testing.T) {
+	// The classic unrealizable-path imprecision: Andersen conflates the
+	// two calls; the PTF analysis keeps them separate.
+	src := `
+int x, y;
+int *p, *q;
+int *id(int *v) { return v; }
+int main(void) {
+    p = id(&x);
+    q = id(&y);
+    return 0;
+}`
+	res, err := andersen.Analyze(check(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := res.PointsTo("p")
+	if !contains(pp, "x") || !contains(pp, "y") {
+		t.Errorf("andersen p -> %v, want conflated {x,y}", pp)
+	}
+}
+
+func TestSteensgaardBasic(t *testing.T) {
+	res, err := steensgaard.Analyze(check(t, branchy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := res.PointsTo("p")
+	if !contains(pp, "x") || !contains(pp, "y") {
+		t.Errorf("p -> %v", pp)
+	}
+	// Unification is coarser still: q points into the same class, so
+	// it also "reaches" y.
+	qq := res.PointsTo("q")
+	if !contains(qq, "x") {
+		t.Errorf("q -> %v", qq)
+	}
+	if res.NumClasses() == 0 {
+		t.Error("no classes")
+	}
+}
+
+func TestSteensgaardUnifiesAggressively(t *testing.T) {
+	res, err := steensgaard.Analyze(check(t, `
+int x, y;
+int *p, *q, *r;
+int main(void) {
+    p = &x;
+    q = p;
+    r = &y;
+    q = r;
+    return 0;
+}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// q = p and q = r unify {x} and {y}: p now appears to reach y too.
+	pp := res.PointsTo("p")
+	if !contains(pp, "x") || !contains(pp, "y") {
+		t.Errorf("steensgaard p -> %v, want unified {x,y}", pp)
+	}
+}
+
+func TestPrecisionOrdering(t *testing.T) {
+	// Per-query precision on the classic example: the PTF analysis
+	// distinguishes the contexts (p={x}, q={y}); Andersen conflates
+	// the two calls; Steensgaard is at least as coarse as Andersen.
+	src := `
+int x, y;
+int *p, *q;
+int *id(int *v) { return v; }
+int main(void) {
+    p = id(&x);
+    q = id(&y);
+    return 0;
+}`
+	prog := check(t, src)
+	and, err := andersen.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := steensgaard.Analyze(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap := and.PointsTo("p")
+	sp := st.PointsTo("p")
+	if len(ap) < 2 {
+		t.Errorf("andersen p -> %v, expected conflated sets", ap)
+	}
+	for _, target := range ap {
+		if target != "x" && target != "y" {
+			continue
+		}
+		if !contains(sp, target) {
+			t.Errorf("steensgaard (%v) must cover andersen (%v)", sp, ap)
+		}
+	}
+	// Informational: the benchmark-scale averages (not directly
+	// comparable metrics, logged for the record).
+	if b, ok := workload.ByName("compiler"); ok {
+		bp := check(t, b.Source)
+		and2, _ := andersen.Analyze(bp)
+		st2, _ := steensgaard.Analyze(bp)
+		t.Logf("compiler: andersen avg set %.2f (%d facts), steensgaard avg class %.2f (%d classes)",
+			and2.AvgSetSize(), and2.NumFacts(), st2.AvgSetSize(), st2.NumClasses())
+	}
+}
+
+func TestInvocationGraphSmallProgram(t *testing.T) {
+	st, err := invoke.Build(check(t, `
+void leaf(void) {}
+void mid(void) { leaf(); leaf(); }
+int main(void) { mid(); mid(); return 0; }`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main(1) + 2×mid + 2×2 leaf = 7 nodes.
+	if st.Nodes != 7 {
+		t.Errorf("nodes = %d, want 7", st.Nodes)
+	}
+	if st.Capped || st.ApproxNodes != 0 {
+		t.Errorf("unexpected: %+v", st)
+	}
+}
+
+func TestInvocationGraphRecursion(t *testing.T) {
+	st, err := invoke.Build(check(t, `
+void r(int n) { if (n) r(n - 1); }
+int main(void) { r(5); return 0; }`), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// main, r, approx(r): 3 nodes, 1 approximate.
+	if st.Nodes != 3 || st.ApproxNodes != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestInvocationGraphBlowup reproduces the paper's §7 observation: the
+// compiler benchmark's recursive-descent parser makes the invocation
+// graph orders of magnitude larger than the procedure count, while the
+// PTF analysis needs about one PTF per procedure.
+func TestInvocationGraphBlowup(t *testing.T) {
+	b, ok := workload.ByName("compiler")
+	if !ok {
+		t.Skip("compiler benchmark missing")
+	}
+	prog := check(t, b.Source)
+	st, err := invoke.Build(prog, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nprocs := int64(len(prog.Funcs))
+	if st.Nodes < nprocs*100 {
+		t.Errorf("invocation graph (%d nodes) should dwarf the %d procedures",
+			st.Nodes, nprocs)
+	}
+	// Meanwhile the PTF analysis stays near one PTF per procedure.
+	an, err := analysis.New(prog, analysis.Options{Lib: libsum.Summaries()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if avg := an.Stats().AvgPTFs(); avg > 2.0 {
+		t.Errorf("avg PTFs per procedure = %.2f, want close to 1", avg)
+	}
+	t.Logf("invocation graph: %d nodes (capped=%v) vs %d PTFs for %d procedures",
+		st.Nodes, st.Capped, an.Stats().PTFs, an.Stats().Procedures)
+}
+
+func TestInvocationGraphCap(t *testing.T) {
+	b, ok := workload.ByName("compiler")
+	if !ok {
+		t.Skip("no compiler")
+	}
+	st, err := invoke.Build(check(t, b.Source), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Capped || st.Nodes < 1000 {
+		t.Errorf("cap not honored: %+v", st)
+	}
+}

@@ -1,0 +1,331 @@
+// Package steensgaard implements a unification-based (almost-linear)
+// pointer analysis over the points-to-form IR: the fast, coarse end of
+// the precision spectrum. Every assignment unifies the equivalence
+// classes of its source and destination targets, so points-to sets come
+// out as whole equivalence classes.
+package steensgaard
+
+import (
+	"sort"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/cfg"
+	"wlpa/internal/memmod"
+	"wlpa/internal/sem"
+)
+
+// ecr is an equivalence-class representative with one points-to edge
+// (Steensgaard's type system: every class points to at most one class).
+type ecr struct {
+	parent *ecr
+	pts    *ecr
+	blocks []*memmod.Block
+}
+
+func (e *ecr) find() *ecr {
+	for e.parent != nil {
+		if e.parent.parent != nil {
+			e.parent = e.parent.parent // path halving
+		}
+		e = e.parent
+	}
+	return e
+}
+
+// Result holds the unification solution.
+type Result struct {
+	classes map[*memmod.Block]*ecr
+}
+
+type analyzer struct {
+	prog    *sem.Program
+	procs   map[*cast.FuncDecl]*cfg.Proc
+	classes map[*memmod.Block]*ecr
+
+	globals map[*cast.Symbol]*memmod.Block
+	locals  map[*cast.Symbol]*memmod.Block
+	funcs   map[*cast.Symbol]*memmod.Block
+	strs    map[int]*memmod.Block
+	heaps   map[string]*memmod.Block
+	retvals map[*cfg.Proc]*memmod.Block
+}
+
+// Analyze runs the unification analysis.
+func Analyze(prog *sem.Program) (*Result, error) {
+	procs, err := cfg.BuildAll(prog.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	a := &analyzer{
+		prog:    prog,
+		procs:   procs,
+		classes: make(map[*memmod.Block]*ecr),
+		globals: make(map[*cast.Symbol]*memmod.Block),
+		locals:  make(map[*cast.Symbol]*memmod.Block),
+		funcs:   make(map[*cast.Symbol]*memmod.Block),
+		strs:    make(map[int]*memmod.Block),
+		heaps:   make(map[string]*memmod.Block),
+		retvals: make(map[*cfg.Proc]*memmod.Block),
+	}
+	// Two passes are enough: unification is monotone and function-
+	// pointer targets only add more unifications.
+	for pass := 0; pass < 3; pass++ {
+		for _, fd := range prog.Funcs {
+			a.analyzeProc(procs[fd])
+		}
+	}
+	return &Result{classes: a.classes}, nil
+}
+
+func (a *analyzer) ecrOf(b *memmod.Block) *ecr {
+	if e, ok := a.classes[b]; ok {
+		return e.find()
+	}
+	e := &ecr{blocks: []*memmod.Block{b}}
+	a.classes[b] = e
+	return e
+}
+
+// union merges two classes, recursively unifying their points-to edges.
+func union(x, y *ecr) *ecr {
+	x, y = x.find(), y.find()
+	if x == y {
+		return x
+	}
+	if len(y.blocks) > len(x.blocks) {
+		x, y = y, x
+	}
+	y.parent = x
+	x.blocks = append(x.blocks, y.blocks...)
+	xp, yp := x.pts, y.pts
+	x.pts = nil
+	joined := x
+	switch {
+	case xp == nil:
+		joined.pts = yp
+	case yp == nil:
+		joined.pts = xp
+	default:
+		joined.pts = union(xp, yp)
+	}
+	return joined
+}
+
+// ptsOf returns (creating) the class a class points to.
+func ptsOf(e *ecr) *ecr {
+	e = e.find()
+	if e.pts == nil {
+		e.pts = &ecr{}
+	}
+	return e.pts.find()
+}
+
+func (a *analyzer) varBlock(proc *cfg.Proc, sym *cast.Symbol) *memmod.Block {
+	if sym.Name == "<retval>" {
+		if b, ok := a.retvals[proc]; ok {
+			return b
+		}
+		b := memmod.NewRetval(proc.Name)
+		a.retvals[proc] = b
+		return b
+	}
+	if sym.Global {
+		if b, ok := a.globals[sym]; ok {
+			return b
+		}
+		b := memmod.NewGlobal(sym)
+		a.globals[sym] = b
+		return b
+	}
+	if b, ok := a.locals[sym]; ok {
+		return b
+	}
+	b := memmod.NewLocal(sym)
+	a.locals[sym] = b
+	return b
+}
+
+// valueClass returns the class of the VALUES produced by an expression.
+func (a *analyzer) valueClass(proc *cfg.Proc, e *cfg.Expr) *ecr {
+	var acc *ecr
+	join := func(c *ecr) {
+		if c == nil {
+			return
+		}
+		if acc == nil {
+			acc = c
+		} else {
+			acc = union(acc, c)
+		}
+	}
+	if e == nil {
+		return nil
+	}
+	for _, t := range e.Terms {
+		switch t.Kind {
+		case cfg.TermVar:
+			join(a.ecrOf(a.varBlock(proc, t.Sym)))
+		case cfg.TermFunc:
+			b, ok := a.funcs[t.Sym]
+			if !ok {
+				b = memmod.NewFunc(t.Sym)
+				a.funcs[t.Sym] = b
+			}
+			join(a.ecrOf(b))
+		case cfg.TermStr:
+			b, ok := a.strs[t.StrID]
+			if !ok {
+				b = memmod.NewString(t.StrID, t.StrVal)
+				a.strs[t.StrID] = b
+			}
+			join(a.ecrOf(b))
+		case cfg.TermDeref:
+			base := a.valueClass(proc, t.Base)
+			if base != nil {
+				join(ptsOf(base))
+			}
+		}
+	}
+	return acc
+}
+
+func (a *analyzer) assign(dst, src *ecr) {
+	if dst == nil || src == nil {
+		return
+	}
+	// The contents of the destination class unify with the source
+	// value class.
+	union(ptsOf(dst), src)
+}
+
+func (a *analyzer) analyzeProc(proc *cfg.Proc) {
+	for _, nd := range proc.Nodes {
+		switch nd.Kind {
+		case cfg.AssignNode:
+			dst := a.valueClass(proc, nd.Dst)
+			src := a.valueClass(proc, nd.Src)
+			if src == nil {
+				continue
+			}
+			a.assign(dst, src)
+		case cfg.CallNode:
+			a.analyzeCall(proc, nd)
+		}
+	}
+}
+
+func (a *analyzer) analyzeCall(proc *cfg.Proc, nd *cfg.Node) {
+	var targets []*cast.Symbol
+	if nd.Direct != nil {
+		targets = []*cast.Symbol{nd.Direct}
+	} else if fv := a.valueClass(proc, nd.Fun); fv != nil {
+		for _, b := range fv.find().blocks {
+			if b.Kind == memmod.FuncBlock {
+				targets = append(targets, b.Sym)
+			}
+		}
+	}
+	for _, sym := range targets {
+		fd := a.prog.FuncByName[sym.Name]
+		if fd == nil || fd.Body == nil {
+			a.libCall(proc, nd, sym.Name)
+			continue
+		}
+		callee := a.procs[fd]
+		for i, p := range fd.Params {
+			if p.Sym == nil || i >= len(nd.Args) {
+				continue
+			}
+			av := a.valueClass(proc, nd.Args[i])
+			if av == nil {
+				continue
+			}
+			a.assign(a.ecrOf(a.varBlock(callee, p.Sym)), av)
+		}
+		if nd.RetDst != nil {
+			rv := a.ecrOf(a.varBlock(callee, &cast.Symbol{Name: "<retval>"}))
+			a.assign(a.valueClass(proc, nd.RetDst), ptsOf(rv))
+		}
+	}
+}
+
+func (a *analyzer) libCall(proc *cfg.Proc, nd *cfg.Node, name string) {
+	switch name {
+	case "malloc", "calloc", "strdup", "fopen", "getenv", "realloc":
+		if nd.RetDst != nil {
+			key := nd.Pos.String()
+			b, ok := a.heaps[key]
+			if !ok {
+				b = memmod.NewHeap(nd.Pos)
+				a.heaps[key] = b
+			}
+			a.assign(a.valueClass(proc, nd.RetDst), a.ecrOf(b))
+		}
+	default:
+		// Unify everything reachable from the arguments (the
+		// classic conservative treatment).
+		var acc *ecr
+		for _, ae := range nd.Args {
+			av := a.valueClass(proc, ae)
+			if av == nil {
+				continue
+			}
+			if acc == nil {
+				acc = av
+			} else {
+				acc = union(acc, av)
+			}
+		}
+		if nd.RetDst != nil && acc != nil {
+			a.assign(a.valueClass(proc, nd.RetDst), acc)
+		}
+	}
+}
+
+// PointsTo returns the block names in the class the named global points
+// to (the whole equivalence class: unification's coarseness).
+func (r *Result) PointsTo(global string) []string {
+	for b, e := range r.classes {
+		if b.Kind != memmod.GlobalBlock || b.Name != global {
+			continue
+		}
+		cls := e.find()
+		if cls.pts == nil {
+			return nil
+		}
+		var names []string
+		for _, t := range cls.pts.find().blocks {
+			names = append(names, t.Name)
+		}
+		sort.Strings(names)
+		return names
+	}
+	return nil
+}
+
+// AvgSetSize returns the average points-to class size over all blocks
+// with a points-to edge.
+func (r *Result) AvgSetSize() float64 {
+	total, n := 0, 0
+	for _, e := range r.classes {
+		cls := e.find()
+		if cls.pts == nil {
+			continue
+		}
+		total += len(cls.pts.find().blocks)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return float64(total) / float64(n)
+}
+
+// NumClasses returns the number of distinct equivalence classes.
+func (r *Result) NumClasses() int {
+	seen := map[*ecr]bool{}
+	for _, e := range r.classes {
+		seen[e.find()] = true
+	}
+	return len(seen)
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"wlpa/internal/workload"
+)
+
+func TestTable2RowShape(t *testing.T) {
+	b, ok := workload.ByName("grep")
+	if !ok {
+		t.Fatal("grep missing")
+	}
+	row, err := RunTable2One(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Name != "grep" || row.Lines == 0 || row.Procedures == 0 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.AvgPTFs < 1.0 || row.AvgPTFs > 2.0 {
+		t.Errorf("avg PTFs = %.2f", row.AvgPTFs)
+	}
+	if row.Analysis <= 0 {
+		t.Error("no analysis time measured")
+	}
+	if row.PaperProcs != 9 || row.PaperSeconds != 0.65 {
+		t.Errorf("paper reference values wrong: %+v", row)
+	}
+}
+
+func TestFormatTable2(t *testing.T) {
+	b, _ := workload.ByName("alvinn")
+	row, err := RunTable2One(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatTable2([]Table2Row{row})
+	if !strings.Contains(out, "alvinn") || !strings.Contains(out, "Table 2") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func TestTable3ShapeViaHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := RunTable3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	alvinn, ear := rows[0], rows[1]
+	if alvinn.Name != "alvinn" || ear.Name != "ear" {
+		t.Fatalf("order: %v %v", alvinn.Name, ear.Name)
+	}
+	// The two relations the paper's Table 3 demonstrates.
+	if alvinn.AvgPerLoop < ear.AvgPerLoop {
+		t.Error("alvinn loops must be coarser than ear's")
+	}
+	if alvinn.Speedup4 <= ear.Speedup4 {
+		t.Error("alvinn must outscale ear at 4 processors")
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "ear") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestInvokeComparisonHarness(t *testing.T) {
+	rows, err := RunInvokeComparison([]string{"compiler"}, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatal("no rows")
+	}
+	r := rows[0]
+	if r.InvokeNodes < int64(r.Procedures)*10 {
+		t.Errorf("invocation graph (%d) should dwarf PTFs (%d)", r.InvokeNodes, r.PTFs)
+	}
+	out := FormatInvoke(rows)
+	if !strings.Contains(out, "compiler") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+func TestAblationHarness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rows, err := RunAblation("grep")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byPolicy := map[string]AblationRow{}
+	for _, r := range rows {
+		key := strings.Fields(r.Policy)[0]
+		byPolicy[key] = r
+	}
+	paper := byPolicy["alias-pattern"]
+	emami := byPolicy["never-reuse"]
+	if paper.PTFs >= emami.PTFs {
+		t.Errorf("alias-pattern (%d PTFs) must beat never-reuse (%d)", paper.PTFs, emami.PTFs)
+	}
+	out := FormatAblation(rows)
+	if !strings.Contains(out, "alias-pattern") {
+		t.Errorf("format:\n%s", out)
+	}
+}

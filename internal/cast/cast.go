@@ -1,0 +1,466 @@
+// Package cast defines the abstract syntax tree produced by the parser.
+// Types are already resolved to ctype.Type during parsing (C requires
+// typedef knowledge to parse, so there is no separate resolution pass for
+// types); identifier and expression typing happens in package sem, which
+// fills in the Type fields of expressions.
+package cast
+
+import (
+	"wlpa/internal/ctok"
+	"wlpa/internal/ctype"
+)
+
+// Node is implemented by every AST node.
+type Node interface {
+	Position() ctok.Pos
+}
+
+// File is a parsed translation unit.
+type File struct {
+	Name  string
+	Decls []Decl
+}
+
+// ---- Declarations ----
+
+// Decl is a top-level or block-level declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// StorageClass distinguishes extern/static/typedef declarations.
+type StorageClass int
+
+const (
+	StorageNone StorageClass = iota
+	StorageExtern
+	StorageStatic
+	StorageTypedef
+)
+
+// VarDecl declares a variable (global or local) or a function prototype
+// when Type.Kind == Func.
+type VarDecl struct {
+	Pos     ctok.Pos
+	Name    string
+	Type    *ctype.Type
+	Storage StorageClass
+	Init    Expr // nil if none; *InitList for aggregate initializers
+
+	// Sym is filled in by package sem.
+	Sym *Symbol
+}
+
+func (d *VarDecl) Position() ctok.Pos { return d.Pos }
+func (d *VarDecl) declNode()          {}
+
+// FuncDecl is a function definition (Body != nil) or declaration.
+type FuncDecl struct {
+	Pos     ctok.Pos
+	Name    string
+	Type    *ctype.Type // Kind == Func
+	Params  []*VarDecl  // named parameters, same order as Type.Params
+	Storage StorageClass
+	Body    *BlockStmt // nil for prototypes
+
+	Sym *Symbol
+}
+
+func (d *FuncDecl) Position() ctok.Pos { return d.Pos }
+func (d *FuncDecl) declNode()          {}
+
+// SymbolKind classifies resolved symbols.
+type SymbolKind int
+
+const (
+	SymVar SymbolKind = iota
+	SymParam
+	SymFunc
+	SymEnumConst
+)
+
+// Symbol is a resolved program entity. The analysis keys memory blocks on
+// *Symbol identity.
+type Symbol struct {
+	Kind   SymbolKind
+	Name   string
+	Type   *ctype.Type
+	Global bool
+	Static bool // file- or function-scoped static (still a single block)
+	Pos    ctok.Pos
+
+	// EnumVal is the value for SymEnumConst.
+	EnumVal int64
+
+	// Def points to the defining FuncDecl for SymFunc (nil for
+	// library externs without bodies).
+	Def *FuncDecl
+
+	// Uniq disambiguates same-named locals from different scopes.
+	Uniq int
+}
+
+// ---- Statements ----
+
+// Stmt is a statement.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// BlockStmt is a brace-enclosed sequence of declarations and statements.
+type BlockStmt struct {
+	Pos   ctok.Pos
+	Items []BlockItem
+}
+
+// BlockItem is either a Decl or a Stmt.
+type BlockItem struct {
+	Decl Decl // exactly one of Decl/Stmt is non-nil
+	Stmt Stmt
+}
+
+func (s *BlockStmt) Position() ctok.Pos { return s.Pos }
+func (s *BlockStmt) stmtNode()          {}
+
+// ExprStmt evaluates an expression for its side effects.
+type ExprStmt struct {
+	Pos ctok.Pos
+	X   Expr
+}
+
+func (s *ExprStmt) Position() ctok.Pos { return s.Pos }
+func (s *ExprStmt) stmtNode()          {}
+
+// EmptyStmt is a bare ';'.
+type EmptyStmt struct{ Pos ctok.Pos }
+
+func (s *EmptyStmt) Position() ctok.Pos { return s.Pos }
+func (s *EmptyStmt) stmtNode()          {}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  ctok.Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+func (s *IfStmt) Position() ctok.Pos { return s.Pos }
+func (s *IfStmt) stmtNode()          {}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  ctok.Pos
+	Cond Expr
+	Body Stmt
+}
+
+func (s *WhileStmt) Position() ctok.Pos { return s.Pos }
+func (s *WhileStmt) stmtNode()          {}
+
+// DoWhileStmt is a do/while loop.
+type DoWhileStmt struct {
+	Pos  ctok.Pos
+	Body Stmt
+	Cond Expr
+}
+
+func (s *DoWhileStmt) Position() ctok.Pos { return s.Pos }
+func (s *DoWhileStmt) stmtNode()          {}
+
+// ForStmt is a for loop. Init/Cond/Post may be nil.
+type ForStmt struct {
+	Pos  ctok.Pos
+	Init Expr
+	Cond Expr
+	Post Expr
+	Body Stmt
+}
+
+func (s *ForStmt) Position() ctok.Pos { return s.Pos }
+func (s *ForStmt) stmtNode()          {}
+
+// SwitchStmt is a switch with its body (cases appear as labels inside).
+type SwitchStmt struct {
+	Pos  ctok.Pos
+	Tag  Expr
+	Body Stmt
+}
+
+func (s *SwitchStmt) Position() ctok.Pos { return s.Pos }
+func (s *SwitchStmt) stmtNode()          {}
+
+// CaseStmt is a "case V:" or "default:" label followed by a statement.
+type CaseStmt struct {
+	Pos       ctok.Pos
+	Value     Expr // nil for default
+	IsDefault bool
+	Body      Stmt
+}
+
+func (s *CaseStmt) Position() ctok.Pos { return s.Pos }
+func (s *CaseStmt) stmtNode()          {}
+
+// BreakStmt breaks out of the nearest loop or switch.
+type BreakStmt struct{ Pos ctok.Pos }
+
+func (s *BreakStmt) Position() ctok.Pos { return s.Pos }
+func (s *BreakStmt) stmtNode()          {}
+
+// ContinueStmt continues the nearest loop.
+type ContinueStmt struct{ Pos ctok.Pos }
+
+func (s *ContinueStmt) Position() ctok.Pos { return s.Pos }
+func (s *ContinueStmt) stmtNode()          {}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	Pos ctok.Pos
+	X   Expr // may be nil
+}
+
+func (s *ReturnStmt) Position() ctok.Pos { return s.Pos }
+func (s *ReturnStmt) stmtNode()          {}
+
+// GotoStmt jumps to a label.
+type GotoStmt struct {
+	Pos   ctok.Pos
+	Label string
+}
+
+func (s *GotoStmt) Position() ctok.Pos { return s.Pos }
+func (s *GotoStmt) stmtNode()          {}
+
+// LabelStmt is "name: stmt".
+type LabelStmt struct {
+	Pos  ctok.Pos
+	Name string
+	Body Stmt
+}
+
+func (s *LabelStmt) Position() ctok.Pos { return s.Pos }
+func (s *LabelStmt) stmtNode()          {}
+
+// ---- Expressions ----
+
+// Expr is an expression. Type is filled in by sem.
+type Expr interface {
+	Node
+	exprNode()
+	TypeOf() *ctype.Type
+}
+
+// exprBase carries the common position and resolved type.
+type exprBase struct {
+	Pos  ctok.Pos
+	Type *ctype.Type
+}
+
+func (e *exprBase) Position() ctok.Pos  { return e.Pos }
+func (e *exprBase) TypeOf() *ctype.Type { return e.Type }
+func (e *exprBase) exprNode()           {}
+
+// Ident is a variable, parameter, function or enum-constant reference.
+type Ident struct {
+	exprBase
+	Name string
+	Sym  *Symbol // filled in by sem
+}
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	Value int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	exprBase
+	Value float64
+}
+
+// StrLit is a string literal. Each distinct literal occurrence denotes a
+// distinct anonymous global block.
+type StrLit struct {
+	exprBase
+	Value string
+	// ID uniquely numbers the literal within its translation unit.
+	ID int
+}
+
+// UnaryOp enumerates unary operators.
+type UnaryOp int
+
+const (
+	Neg     UnaryOp = iota // -x
+	BitNot                 // ~x
+	LogNot                 // !x
+	Addr                   // &x
+	Deref                  // *x
+	PreInc                 // ++x
+	PreDec                 // --x
+	PostInc                // x++
+	PostDec                // x--
+	Plus                   // +x
+)
+
+var unaryNames = [...]string{"-", "~", "!", "&", "*", "++", "--", "++(post)", "--(post)", "+"}
+
+func (op UnaryOp) String() string { return unaryNames[op] }
+
+// Unary is a unary expression.
+type Unary struct {
+	exprBase
+	Op UnaryOp
+	X  Expr
+}
+
+// BinaryOp enumerates binary operators.
+type BinaryOp int
+
+const (
+	Add BinaryOp = iota
+	Sub
+	Mul
+	Div
+	Rem
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Lt
+	Gt
+	Le
+	Ge
+	Eq
+	Ne
+	LogAnd
+	LogOr
+)
+
+var binaryNames = [...]string{"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+	"<", ">", "<=", ">=", "==", "!=", "&&", "||"}
+
+func (op BinaryOp) String() string { return binaryNames[op] }
+
+// Binary is a binary expression.
+type Binary struct {
+	exprBase
+	Op   BinaryOp
+	L, R Expr
+}
+
+// Assign is an assignment. Op is the compound operator (Add for "+=") or
+// -1 for plain "=".
+type Assign struct {
+	exprBase
+	Op   BinaryOp // -1 for simple assignment
+	L, R Expr
+}
+
+// SimpleAssign marks a plain "=" in Assign.Op.
+const SimpleAssign BinaryOp = -1
+
+// Cond is the ternary ?: operator.
+type Cond struct {
+	exprBase
+	C, T, F Expr
+}
+
+// Call is a function call; Fun may be an Ident naming a function or an
+// arbitrary expression evaluating to a function pointer.
+type Call struct {
+	exprBase
+	Fun  Expr
+	Args []Expr
+}
+
+// Index is array subscripting a[i].
+type Index struct {
+	exprBase
+	X, I Expr
+}
+
+// Member is s.f (Arrow false) or p->f (Arrow true).
+type Member struct {
+	exprBase
+	X     Expr
+	Name  string
+	Arrow bool
+	Field *ctype.Field // filled in by sem
+}
+
+// Cast is an explicit type conversion.
+type Cast struct {
+	exprBase
+	To *ctype.Type
+	X  Expr
+}
+
+// SizeofExpr is sizeof(expr); SizeofType is sizeof(type). Both are folded
+// to IntLit by sem where possible, but remain in the AST.
+type SizeofExpr struct {
+	exprBase
+	X Expr
+}
+
+// SizeofType is sizeof(type-name).
+type SizeofType struct {
+	exprBase
+	Of *ctype.Type
+}
+
+// Comma is the sequential-evaluation operator.
+type Comma struct {
+	exprBase
+	L, R Expr
+}
+
+// InitList is a brace initializer { a, b, ... } appearing in declarations.
+type InitList struct {
+	exprBase
+	Elems []Expr
+}
+
+// SetType assigns the resolved type; used by sem.
+func SetType(e Expr, t *ctype.Type) {
+	switch e := e.(type) {
+	case *Ident:
+		e.Type = t
+	case *IntLit:
+		e.Type = t
+	case *FloatLit:
+		e.Type = t
+	case *StrLit:
+		e.Type = t
+	case *Unary:
+		e.Type = t
+	case *Binary:
+		e.Type = t
+	case *Assign:
+		e.Type = t
+	case *Cond:
+		e.Type = t
+	case *Call:
+		e.Type = t
+	case *Index:
+		e.Type = t
+	case *Member:
+		e.Type = t
+	case *Cast:
+		e.Type = t
+	case *SizeofExpr:
+		e.Type = t
+	case *SizeofType:
+		e.Type = t
+	case *Comma:
+		e.Type = t
+	case *InitList:
+		e.Type = t
+	default:
+		panic("cast: SetType on unknown expression")
+	}
+}

@@ -1,0 +1,730 @@
+package cfg
+
+import (
+	"fmt"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/ctok"
+	"wlpa/internal/ctype"
+)
+
+// Error is a flow-graph construction error.
+type Error struct {
+	Pos ctok.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type builder struct {
+	proc     *Proc
+	cur      *Node // nil after return/break/goto (dead code)
+	temps    int
+	uniq     *int
+	labels   map[string]*Node
+	breaks   []*Node // innermost-last break targets
+	conts    []*Node // innermost-last continue targets
+	switches []*switchCtx
+}
+
+type switchCtx struct {
+	fork       *Node
+	after      *Node
+	sawDefault bool
+}
+
+// Build constructs the flow graph of a function definition.
+func Build(fd *cast.FuncDecl) (p *Proc, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ce, ok := r.(*Error); ok {
+				p, err = nil, ce
+				return
+			}
+			panic(r)
+		}
+	}()
+	uniq := 0
+	b := &builder{
+		proc: &Proc{
+			Fn:   fd,
+			Name: fd.Name,
+			Retval: &cast.Symbol{
+				Kind: cast.SymVar, Name: "<retval>", Type: fd.Type.Ret,
+			},
+		},
+		uniq:   &uniq,
+		labels: make(map[string]*Node),
+	}
+	b.proc.Entry = &Node{Kind: EntryNode, Pos: fd.Pos}
+	b.proc.Exit = &Node{Kind: ExitNode, Pos: fd.Pos}
+	b.cur = b.proc.Entry
+	b.lowerStmt(fd.Body)
+	if b.cur != nil {
+		link(b.cur, b.proc.Exit)
+	}
+	b.proc.finish()
+	return b.proc, nil
+}
+
+// BuildAll constructs flow graphs for every defined function.
+func BuildAll(funcs []*cast.FuncDecl) (map[*cast.FuncDecl]*Proc, error) {
+	procs := make(map[*cast.FuncDecl]*Proc, len(funcs))
+	for _, fd := range funcs {
+		p, err := Build(fd)
+		if err != nil {
+			return nil, err
+		}
+		procs[fd] = p
+	}
+	return procs, nil
+}
+
+func (b *builder) errorf(pos ctok.Pos, format string, args ...any) {
+	panic(&Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ensureCur guarantees a current node, creating a dangling (unreachable)
+// meet node for code after a jump; such nodes are pruned by finish.
+func (b *builder) ensureCur() {
+	if b.cur == nil {
+		b.cur = &Node{Kind: MeetNode}
+	}
+}
+
+func (b *builder) emit(n *Node) *Node {
+	b.ensureCur()
+	link(b.cur, n)
+	b.cur = n
+	return n
+}
+
+func (b *builder) newMeet() *Node { return &Node{Kind: MeetNode} }
+
+func (b *builder) emitAssign(dst, src *Expr, size int64, aggregate bool, pos ctok.Pos) {
+	if dst.IsEmpty() {
+		return
+	}
+	b.emit(&Node{Kind: AssignNode, Dst: dst, Src: src, Size: size, Aggregate: aggregate, Pos: pos})
+}
+
+func (b *builder) newTemp(t *ctype.Type) *cast.Symbol {
+	b.temps++
+	*b.uniq++
+	sym := &cast.Symbol{
+		Kind: cast.SymVar, Name: fmt.Sprintf("$t%d", b.temps),
+		Type: t, Uniq: *b.uniq,
+	}
+	b.proc.Locals = append(b.proc.Locals, sym)
+	return sym
+}
+
+func elemSize(t *ctype.Type) int64 {
+	d := t.Decay()
+	if d.Kind != ctype.Pointer {
+		return 1
+	}
+	s := d.Elem.Sizeof()
+	if s <= 0 {
+		return 1
+	}
+	return s
+}
+
+// ---- statements ----
+
+func (b *builder) lowerStmt(s cast.Stmt) {
+	switch s := s.(type) {
+	case *cast.BlockStmt:
+		for _, item := range s.Items {
+			if item.Decl != nil {
+				b.lowerDecl(item.Decl)
+			} else {
+				b.lowerStmt(item.Stmt)
+			}
+		}
+	case *cast.ExprStmt:
+		b.lowerValue(s.X)
+	case *cast.EmptyStmt:
+	case *cast.IfStmt:
+		b.lowerValue(s.Cond)
+		fork := b.cur
+		b.ensureCur()
+		fork = b.cur
+		after := b.newMeet()
+		b.lowerStmt(s.Then)
+		if b.cur != nil {
+			link(b.cur, after)
+		}
+		b.cur = fork
+		if s.Else != nil {
+			b.lowerStmt(s.Else)
+		}
+		if b.cur != nil {
+			link(b.cur, after)
+		}
+		b.cur = after
+	case *cast.WhileStmt:
+		head := b.newMeet()
+		after := b.newMeet()
+		b.emit(head)
+		b.lowerValue(s.Cond)
+		condEnd := b.cur
+		link(condEnd, after)
+		b.breaks = append(b.breaks, after)
+		b.conts = append(b.conts, head)
+		b.lowerStmt(s.Body)
+		if b.cur != nil {
+			link(b.cur, head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = after
+	case *cast.DoWhileStmt:
+		head := b.newMeet()
+		after := b.newMeet()
+		b.emit(head)
+		b.breaks = append(b.breaks, after)
+		contTarget := b.newMeet()
+		b.conts = append(b.conts, contTarget)
+		b.lowerStmt(s.Body)
+		if b.cur != nil {
+			link(b.cur, contTarget)
+		}
+		b.cur = contTarget
+		b.lowerValue(s.Cond)
+		if b.cur != nil {
+			link(b.cur, head)
+			link(b.cur, after)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = after
+	case *cast.ForStmt:
+		if s.Init != nil {
+			b.lowerValue(s.Init)
+		}
+		head := b.newMeet()
+		after := b.newMeet()
+		post := b.newMeet()
+		b.emit(head)
+		if s.Cond != nil {
+			b.lowerValue(s.Cond)
+		}
+		condEnd := b.cur
+		link(condEnd, after)
+		b.breaks = append(b.breaks, after)
+		b.conts = append(b.conts, post)
+		b.lowerStmt(s.Body)
+		if b.cur != nil {
+			link(b.cur, post)
+		}
+		b.cur = post
+		if s.Post != nil {
+			b.lowerValue(s.Post)
+		}
+		if b.cur != nil {
+			link(b.cur, head)
+		}
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.conts = b.conts[:len(b.conts)-1]
+		b.cur = after
+	case *cast.SwitchStmt:
+		b.lowerValue(s.Tag)
+		b.ensureCur()
+		ctx := &switchCtx{fork: b.cur, after: b.newMeet()}
+		b.switches = append(b.switches, ctx)
+		b.breaks = append(b.breaks, ctx.after)
+		b.cur = nil // cases are entered via the dispatch fork
+		b.lowerStmt(s.Body)
+		if b.cur != nil {
+			link(b.cur, ctx.after) // fall off the last case
+		}
+		if !ctx.sawDefault {
+			link(ctx.fork, ctx.after)
+		}
+		b.switches = b.switches[:len(b.switches)-1]
+		b.breaks = b.breaks[:len(b.breaks)-1]
+		b.cur = ctx.after
+	case *cast.CaseStmt:
+		if len(b.switches) == 0 {
+			b.errorf(s.Pos, "case label outside switch")
+		}
+		ctx := b.switches[len(b.switches)-1]
+		if s.IsDefault {
+			ctx.sawDefault = true
+		}
+		m := b.newMeet()
+		link(ctx.fork, m)
+		if b.cur != nil {
+			link(b.cur, m) // fallthrough from the previous case
+		}
+		b.cur = m
+		b.lowerStmt(s.Body)
+	case *cast.BreakStmt:
+		if len(b.breaks) == 0 {
+			b.errorf(s.Pos, "break outside loop or switch")
+		}
+		if b.cur != nil {
+			link(b.cur, b.breaks[len(b.breaks)-1])
+		}
+		b.cur = nil
+	case *cast.ContinueStmt:
+		if len(b.conts) == 0 {
+			b.errorf(s.Pos, "continue outside loop")
+		}
+		if b.cur != nil {
+			link(b.cur, b.conts[len(b.conts)-1])
+		}
+		b.cur = nil
+	case *cast.ReturnStmt:
+		if s.X != nil {
+			rt := b.proc.Fn.Type.Ret
+			if rt.Kind == ctype.Struct {
+				src := b.lowerLValue(s.X)
+				b.emitAssign(varExpr(b.proc.Retval), src, rt.Sizeof(), true, s.Pos)
+			} else {
+				v := b.lowerValue(s.X)
+				b.emitAssign(varExpr(b.proc.Retval), v, rt.Decay().Sizeof(), false, s.Pos)
+			}
+		}
+		b.ensureCur()
+		link(b.cur, b.proc.Exit)
+		b.cur = nil
+	case *cast.GotoStmt:
+		target := b.labelNode(s.Label)
+		if b.cur != nil {
+			link(b.cur, target)
+		}
+		b.cur = nil
+	case *cast.LabelStmt:
+		m := b.labelNode(s.Name)
+		if b.cur != nil {
+			link(b.cur, m)
+		}
+		b.cur = m
+		b.lowerStmt(s.Body)
+	default:
+		b.errorf(s.Position(), "unhandled statement %T", s)
+	}
+}
+
+func (b *builder) labelNode(name string) *Node {
+	if n, ok := b.labels[name]; ok {
+		return n
+	}
+	n := b.newMeet()
+	b.labels[name] = n
+	return n
+}
+
+func (b *builder) lowerDecl(d cast.Decl) {
+	vd, ok := d.(*cast.VarDecl)
+	if !ok || vd.Sym == nil {
+		return
+	}
+	sym := vd.Sym
+	if sym.Kind == cast.SymVar && !sym.Global {
+		b.proc.Locals = append(b.proc.Locals, sym)
+	}
+	if vd.Init == nil || sym.Global {
+		// Global/static initializers are applied by the analysis at
+		// program startup, not here.
+		return
+	}
+	b.lowerInit(varExpr(sym), sym.Type, vd.Init, vd.Pos)
+}
+
+// lowerInit assigns an initializer to the locations denoted by dst.
+func (b *builder) lowerInit(dst *Expr, t *ctype.Type, init cast.Expr, pos ctok.Pos) {
+	if lst, ok := init.(*cast.InitList); ok {
+		switch t.Kind {
+		case ctype.Array:
+			esz := t.Elem.Sizeof()
+			for _, el := range lst.Elems {
+				b.lowerInit(widen(dst, esz), t.Elem, el, pos)
+			}
+		case ctype.Struct:
+			for i, el := range lst.Elems {
+				if i >= len(t.Fields) {
+					break
+				}
+				f := t.Fields[i]
+				b.lowerInit(shift(dst, f.Offset), f.Type, el, pos)
+			}
+		default:
+			if len(lst.Elems) > 0 {
+				b.lowerInit(dst, t, lst.Elems[0], pos)
+			}
+		}
+		return
+	}
+	if t.Kind == ctype.Array {
+		// "char s[] = "...";" — no pointer values in the bytes.
+		if _, ok := init.(*cast.StrLit); ok {
+			return
+		}
+	}
+	if t.Kind == ctype.Struct {
+		src := b.lowerLValue(init)
+		b.emitAssign(dst, src, t.Sizeof(), true, pos)
+		return
+	}
+	v := b.lowerValue(init)
+	b.emitAssign(dst, v, t.Decay().Sizeof(), false, pos)
+}
+
+// ---- expressions ----
+
+// lowerLValue returns the location expression of e, emitting nodes for
+// any side effects inside it.
+func (b *builder) lowerLValue(e cast.Expr) *Expr {
+	switch e := e.(type) {
+	case *cast.Ident:
+		sym := e.Sym
+		if sym == nil {
+			return &Expr{}
+		}
+		if sym.Kind == cast.SymFunc {
+			return funcExpr(sym)
+		}
+		return varExpr(sym)
+	case *cast.Unary:
+		if e.Op == cast.Deref {
+			return b.lowerValue(e.X)
+		}
+		b.errorf(e.Pos, "unary %v is not an lvalue", e.Op)
+	case *cast.Index:
+		b.lowerValue(e.I) // effects (and ignore the integer value)
+		xt := e.X.TypeOf()
+		esz := e.TypeOf().Sizeof()
+		if esz <= 0 {
+			esz = 1
+		}
+		if xt.Kind == ctype.Array {
+			return widen(b.lowerLValue(e.X), esz)
+		}
+		return widen(b.lowerValue(e.X), esz)
+	case *cast.Member:
+		var base *Expr
+		if e.Arrow {
+			base = b.lowerValue(e.X)
+		} else {
+			base = b.lowerLValue(e.X)
+		}
+		if e.Field == nil {
+			return base
+		}
+		return shift(base, e.Field.Offset)
+	case *cast.StrLit:
+		return strExpr(e.ID, e.Value)
+	case *cast.Cast:
+		return b.lowerLValue(e.X)
+	case *cast.Comma:
+		b.lowerValue(e.L)
+		return b.lowerLValue(e.R)
+	case *cast.Assign:
+		b.lowerAssign(e)
+		return b.lowerLValue(e.L)
+	case *cast.Call:
+		// Struct-returning call used as an lvalue-ish object
+		// (e.g. f().field): materialize into a temp.
+		v, tmp := b.lowerCall(e)
+		if tmp != nil {
+			return varExpr(tmp)
+		}
+		_ = v
+		return &Expr{}
+	case *cast.Cond:
+		return b.lowerCond(e, true)
+	}
+	b.errorf(e.Position(), "expression %T is not an lvalue", e)
+	return nil
+}
+
+// lowerValue returns the value expression of e in points-to form,
+// emitting nodes for side effects.
+func (b *builder) lowerValue(e cast.Expr) *Expr {
+	switch e := e.(type) {
+	case *cast.Ident:
+		sym := e.Sym
+		if sym == nil || sym.Kind == cast.SymEnumConst {
+			return &Expr{}
+		}
+		if sym.Kind == cast.SymFunc {
+			return funcExpr(sym)
+		}
+		switch sym.Type.Kind {
+		case ctype.Array:
+			return varExpr(sym) // decay to address
+		case ctype.Func:
+			return funcExpr(sym)
+		}
+		return derefExpr(varExpr(sym))
+	case *cast.IntLit, *cast.FloatLit, *cast.SizeofExpr, *cast.SizeofType:
+		return &Expr{}
+	case *cast.StrLit:
+		return strExpr(e.ID, e.Value) // decays to its address
+	case *cast.Unary:
+		return b.lowerUnaryValue(e)
+	case *cast.Binary:
+		return b.lowerBinaryValue(e)
+	case *cast.Assign:
+		return b.lowerAssign(e)
+	case *cast.Cond:
+		return b.lowerCond(e, false)
+	case *cast.Call:
+		v, _ := b.lowerCall(e)
+		return v
+	case *cast.Index, *cast.Member:
+		lv := b.lowerLValue(e)
+		t := e.TypeOf()
+		switch t.Kind {
+		case ctype.Array:
+			return lv
+		case ctype.Func:
+			return lv
+		}
+		return derefExpr(lv)
+	case *cast.Comma:
+		b.lowerValue(e.L)
+		return b.lowerValue(e.R)
+	case *cast.Cast:
+		return b.lowerValue(e.X)
+	case *cast.InitList:
+		b.errorf(e.Pos, "initializer list in expression context")
+	}
+	b.errorf(e.Position(), "unhandled expression %T", e)
+	return nil
+}
+
+func (b *builder) lowerUnaryValue(e *cast.Unary) *Expr {
+	switch e.Op {
+	case cast.Addr:
+		if id, ok := e.X.(*cast.Ident); ok && id.Sym != nil && id.Sym.Kind == cast.SymFunc {
+			return funcExpr(id.Sym)
+		}
+		return b.lowerLValue(e.X)
+	case cast.Deref:
+		v := b.lowerValue(e.X)
+		t := e.TypeOf()
+		if t.Kind == ctype.Array || t.Kind == ctype.Func {
+			return v // *p over array/function types stays an address
+		}
+		return derefExpr(v)
+	case cast.Neg, cast.BitNot, cast.Plus:
+		return widen(b.lowerValue(e.X), 1)
+	case cast.LogNot:
+		b.lowerValue(e.X)
+		return &Expr{}
+	case cast.PreInc, cast.PreDec, cast.PostInc, cast.PostDec:
+		lv := b.lowerLValue(e.X)
+		t := e.X.TypeOf().Decay()
+		var src *Expr
+		var size int64
+		if t.Kind == ctype.Pointer {
+			src = widen(derefExpr(lv), elemSize(e.X.TypeOf()))
+			size = ctype.PointerSize
+		} else {
+			src = widen(derefExpr(lv), 1)
+			size = t.Sizeof()
+		}
+		b.emitAssign(lv, src, size, false, e.Pos)
+		return derefExpr(lv)
+	}
+	b.errorf(e.Pos, "unhandled unary %v", e.Op)
+	return nil
+}
+
+func (b *builder) lowerBinaryValue(e *cast.Binary) *Expr {
+	lt := e.L.TypeOf().Decay()
+	rt := e.R.TypeOf().Decay()
+	switch e.Op {
+	case cast.LogAnd, cast.LogOr:
+		// Short-circuit: the right operand may not execute, so its
+		// side effects must sit on a branch.
+		b.lowerValue(e.L)
+		if hasSideEffects(e.R) {
+			fork := func() *Node { b.ensureCur(); return b.cur }()
+			after := b.newMeet()
+			link(fork, after)
+			b.lowerValue(e.R)
+			b.ensureCur()
+			link(b.cur, after)
+			b.cur = after
+		} else {
+			b.lowerValue(e.R)
+		}
+		return &Expr{}
+	case cast.Lt, cast.Gt, cast.Le, cast.Ge, cast.Eq, cast.Ne:
+		b.lowerValue(e.L)
+		b.lowerValue(e.R)
+		return &Expr{}
+	case cast.Add, cast.Sub:
+		lv := b.lowerValue(e.L)
+		rv := b.lowerValue(e.R)
+		switch {
+		case lt.Kind == ctype.Pointer && rt.Kind == ctype.Pointer:
+			// Pointer difference: an integer; per the paper each
+			// memory-address input contributes a stride-1 set.
+			return union(widen(lv, 1), widen(rv, 1))
+		case lt.Kind == ctype.Pointer:
+			return widen(lv, elemSize(lt))
+		case rt.Kind == ctype.Pointer:
+			return widen(rv, elemSize(rt))
+		default:
+			return union(widen(lv, 1), widen(rv, 1))
+		}
+	default:
+		// Other arithmetic: conservative stride-1 on address inputs.
+		lv := b.lowerValue(e.L)
+		rv := b.lowerValue(e.R)
+		return union(widen(lv, 1), widen(rv, 1))
+	}
+}
+
+func (b *builder) lowerAssign(e *cast.Assign) *Expr {
+	lt := e.L.TypeOf()
+	if e.Op != cast.SimpleAssign {
+		rv := b.lowerValue(e.R)
+		lv := b.lowerLValue(e.L)
+		d := lt.Decay()
+		var src *Expr
+		var size int64
+		if d.Kind == ctype.Pointer && (e.Op == cast.Add || e.Op == cast.Sub) {
+			src = union(widen(derefExpr(lv), elemSize(lt)), widen(rv, 1))
+			size = ctype.PointerSize
+		} else {
+			src = union(widen(derefExpr(lv), 1), widen(rv, 1))
+			size = d.Sizeof()
+		}
+		b.emitAssign(lv, src, size, false, e.Pos)
+		return src
+	}
+	if lt.Kind == ctype.Struct {
+		src := b.lowerLValue(e.R)
+		lv := b.lowerLValue(e.L)
+		b.emitAssign(lv, src, lt.Sizeof(), true, e.Pos)
+		return &Expr{}
+	}
+	rv := b.lowerValue(e.R)
+	lv := b.lowerLValue(e.L)
+	b.emitAssign(lv, rv, lt.Decay().Sizeof(), false, e.Pos)
+	return rv
+}
+
+// lowerCond lowers the ternary operator as a control-flow diamond whose
+// branches assign a shared temp. asLValue selects location semantics.
+func (b *builder) lowerCond(e *cast.Cond, asLValue bool) *Expr {
+	b.lowerValue(e.C)
+	rt := e.TypeOf().Decay()
+	needValue := rt.Kind == ctype.Pointer || rt.IsPointerLike() ||
+		hasSideEffects(e.T) || hasSideEffects(e.F) || asLValue
+	if !needValue {
+		b.lowerValue(e.T)
+		b.lowerValue(e.F)
+		return &Expr{}
+	}
+	b.ensureCur()
+	fork := b.cur
+	after := b.newMeet()
+	tmp := b.newTemp(rt)
+	size := rt.Sizeof()
+	lowerArm := func(arm cast.Expr) {
+		b.cur = fork
+		var v *Expr
+		if asLValue {
+			v = b.lowerLValue(arm)
+		} else {
+			v = b.lowerValue(arm)
+		}
+		b.emitAssign(varExpr(tmp), v, size, false, e.Pos)
+		b.ensureCur()
+		link(b.cur, after)
+	}
+	lowerArm(e.T)
+	lowerArm(e.F)
+	b.cur = after
+	return derefExpr(varExpr(tmp))
+}
+
+// lowerCall lowers a call, returning the value expression of its result
+// and the temp symbol holding the result (nil for void calls).
+func (b *builder) lowerCall(e *cast.Call) (*Expr, *cast.Symbol) {
+	n := &Node{Kind: CallNode, Pos: e.Pos}
+	// Direct vs. indirect target.
+	switch fun := e.Fun.(type) {
+	case *cast.Ident:
+		if fun.Sym != nil && fun.Sym.Kind == cast.SymFunc {
+			n.Direct = fun.Sym
+		} else {
+			n.Fun = b.lowerValue(e.Fun)
+		}
+	case *cast.Unary:
+		// (*fp)(...) — calling through an explicitly dereferenced
+		// function pointer is the same as fp(...).
+		if fun.Op == cast.Deref {
+			n.Fun = b.lowerValue(fun.X)
+		} else {
+			n.Fun = b.lowerValue(e.Fun)
+		}
+	default:
+		n.Fun = b.lowerValue(e.Fun)
+	}
+	for _, a := range e.Args {
+		at := a.TypeOf()
+		if at.Kind == ctype.Struct {
+			// Struct passed by value: any pointer stored anywhere in
+			// the struct is passed.
+			n.Args = append(n.Args, derefExpr(widen(b.lowerLValue(a), 1)))
+			continue
+		}
+		n.Args = append(n.Args, b.lowerValue(a))
+	}
+	rt := e.TypeOf()
+	var tmp *cast.Symbol
+	if rt.Kind != ctype.Void {
+		tmp = b.newTemp(rt)
+		n.RetDst = varExpr(tmp)
+	}
+	b.emit(n)
+	if tmp == nil {
+		return &Expr{}, nil
+	}
+	if rt.Kind == ctype.Struct {
+		return derefExpr(widen(varExpr(tmp), 1)), tmp
+	}
+	return derefExpr(varExpr(tmp)), tmp
+}
+
+// hasSideEffects reports whether evaluating e can modify state.
+func hasSideEffects(e cast.Expr) bool {
+	switch e := e.(type) {
+	case nil:
+		return false
+	case *cast.Ident, *cast.IntLit, *cast.FloatLit, *cast.StrLit,
+		*cast.SizeofExpr, *cast.SizeofType:
+		return false
+	case *cast.Unary:
+		switch e.Op {
+		case cast.PreInc, cast.PreDec, cast.PostInc, cast.PostDec:
+			return true
+		}
+		return hasSideEffects(e.X)
+	case *cast.Binary:
+		return hasSideEffects(e.L) || hasSideEffects(e.R)
+	case *cast.Assign, *cast.Call:
+		return true
+	case *cast.Cond:
+		return hasSideEffects(e.C) || hasSideEffects(e.T) || hasSideEffects(e.F)
+	case *cast.Index:
+		return hasSideEffects(e.X) || hasSideEffects(e.I)
+	case *cast.Member:
+		return hasSideEffects(e.X)
+	case *cast.Cast:
+		return hasSideEffects(e.X)
+	case *cast.Comma:
+		return hasSideEffects(e.L) || hasSideEffects(e.R)
+	}
+	return true
+}

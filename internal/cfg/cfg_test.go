@@ -1,0 +1,574 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/cparse"
+	"wlpa/internal/sem"
+)
+
+func buildFn(t *testing.T, src, name string) *Proc {
+	t.Helper()
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	fd := p.FuncByName[name]
+	if fd == nil {
+		t.Fatalf("no function %q", name)
+	}
+	proc, err := Build(fd)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return proc
+}
+
+func countKind(p *Proc, k NodeKind) int {
+	n := 0
+	for _, nd := range p.Nodes {
+		if nd.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestStraightLine(t *testing.T) {
+	p := buildFn(t, `
+int g;
+int *f(void) {
+    int *p;
+    p = &g;
+    return p;
+}`, "f")
+	if countKind(p, AssignNode) != 2 { // p = &g; <retval> = p
+		t.Errorf("assign nodes = %d", countKind(p, AssignNode))
+	}
+	if p.Entry.RPO != 0 {
+		t.Error("entry must be first in RPO")
+	}
+	// Every non-entry node has the entry as dominator.
+	for _, nd := range p.Nodes {
+		if !p.Entry.Dominates(nd) {
+			t.Errorf("entry should dominate %v", nd)
+		}
+	}
+}
+
+func TestPointsToForm(t *testing.T) {
+	p := buildFn(t, `
+int *q;
+int **pp;
+void f(void) { *pp = q; }`, "f")
+	var asg *Node
+	for _, nd := range p.Nodes {
+		if nd.Kind == AssignNode {
+			asg = nd
+		}
+	}
+	if asg == nil {
+		t.Fatal("no assign node")
+	}
+	// Destination *pp: a deref of pp's location. Source q: a deref of
+	// q's location (the extra deref of points-to form).
+	if asg.Dst.Terms[0].Kind != TermDeref {
+		t.Errorf("dst = %v", asg.Dst)
+	}
+	if asg.Src.Terms[0].Kind != TermDeref {
+		t.Errorf("src = %v", asg.Src)
+	}
+	if inner := asg.Src.Terms[0].Base.Terms[0]; inner.Kind != TermVar || inner.Sym.Name != "q" {
+		t.Errorf("src base = %v", asg.Src)
+	}
+}
+
+func TestAddressOf(t *testing.T) {
+	p := buildFn(t, `
+int x;
+void f(void) { int *p = &x; }`, "f")
+	var asg *Node
+	for _, nd := range p.Nodes {
+		if nd.Kind == AssignNode {
+			asg = nd
+		}
+	}
+	// Source &x is a constant location term, no deref.
+	if asg.Src.Terms[0].Kind != TermVar || asg.Src.Terms[0].Sym.Name != "x" {
+		t.Errorf("src = %v", asg.Src)
+	}
+}
+
+func TestIfDiamond(t *testing.T) {
+	p := buildFn(t, `
+int a, b;
+int *f(int c) {
+    int *p;
+    if (c) p = &a; else p = &b;
+    return p;
+}`, "f")
+	meets := countKind(p, MeetNode)
+	if meets < 1 {
+		t.Errorf("expected a meet node, got %d", meets)
+	}
+	// The meet joining the branches must have 2 preds.
+	found := false
+	for _, nd := range p.Nodes {
+		if nd.Kind == MeetNode && len(nd.Preds) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no 2-pred meet node")
+	}
+}
+
+func TestWhileLoopBackedge(t *testing.T) {
+	p := buildFn(t, `
+void f(int n) {
+    int i = 0;
+    while (i < n) i++;
+}`, "f")
+	// The loop head must have 2 predecessors (entry path + backedge).
+	found := false
+	for _, nd := range p.Nodes {
+		if nd.Kind == MeetNode && len(nd.Preds) >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no loop-head meet with backedge")
+	}
+}
+
+func TestForLoopStructure(t *testing.T) {
+	p := buildFn(t, `
+void f(int *a, int n) {
+    int i;
+    for (i = 0; i < n; i++) a[i] = i;
+}`, "f")
+	if countKind(p, MeetNode) < 2 {
+		t.Errorf("for loop should create head/post/after meets, got %d", countKind(p, MeetNode))
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	buildFn(t, `
+void f(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        if (i == 3) continue;
+        if (i == 7) break;
+    }
+    while (1) { break; }
+}`, "f")
+}
+
+func TestSwitchDispatch(t *testing.T) {
+	p := buildFn(t, `
+int a, b, c;
+int *f(int k) {
+    int *p = 0;
+    switch (k) {
+    case 1: p = &a; break;
+    case 2: p = &b; /* fallthrough */
+    case 3: p = &c; break;
+    default: p = &a;
+    }
+    return p;
+}`, "f")
+	// Fallthrough means case 3's meet has 2 preds (dispatch + case 2).
+	twoPred := 0
+	for _, nd := range p.Nodes {
+		if nd.Kind == MeetNode && len(nd.Preds) >= 2 {
+			twoPred++
+		}
+	}
+	if twoPred < 2 {
+		t.Errorf("switch fallthrough joins missing (%d)", twoPred)
+	}
+}
+
+func TestSwitchWithoutDefaultReachesAfter(t *testing.T) {
+	p := buildFn(t, `
+void f(int k) {
+    switch (k) { case 1: k = 2; break; }
+}`, "f")
+	// Exit must be reachable (switch may skip all cases).
+	if p.Exit.RPO == 0 && len(p.Exit.Preds) == 0 {
+		t.Error("exit unreachable")
+	}
+}
+
+func TestGotoLoop(t *testing.T) {
+	p := buildFn(t, `
+void f(int n) {
+    int i = 0;
+top:
+    i++;
+    if (i < n) goto top;
+}`, "f")
+	// The label meet must have 2 preds.
+	found := false
+	for _, nd := range p.Nodes {
+		if nd.Kind == MeetNode && len(nd.Preds) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("goto backedge missing")
+	}
+}
+
+func TestReturnLinksToExit(t *testing.T) {
+	p := buildFn(t, `
+int f(int c) {
+    if (c) return 1;
+    return 2;
+}`, "f")
+	if len(p.Exit.Preds) != 2 {
+		t.Errorf("exit preds = %d, want 2", len(p.Exit.Preds))
+	}
+	// Both returns assign <retval>.
+	n := 0
+	for _, nd := range p.Nodes {
+		if nd.Kind == AssignNode && strings.Contains(nd.Dst.String(), "<retval>") {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("retval assigns = %d", n)
+	}
+}
+
+func TestUnreachableCodePruned(t *testing.T) {
+	p := buildFn(t, `
+int g;
+int f(void) {
+    return 1;
+    g = 2;
+}`, "f")
+	for _, nd := range p.Nodes {
+		if nd.Kind == AssignNode && strings.Contains(nd.Dst.String(), "&g") {
+			t.Error("unreachable assignment not pruned")
+		}
+	}
+}
+
+func TestCallNodeDirect(t *testing.T) {
+	p := buildFn(t, `
+int helper(int x);
+int f(void) { return helper(3); }`, "f")
+	var call *Node
+	for _, nd := range p.Nodes {
+		if nd.Kind == CallNode {
+			call = nd
+		}
+	}
+	if call == nil || call.Direct == nil || call.Direct.Name != "helper" {
+		t.Fatalf("call = %v", call)
+	}
+	if call.RetDst == nil {
+		t.Error("int-returning call needs a RetDst")
+	}
+	if p.NumCalls != 1 {
+		t.Errorf("NumCalls = %d", p.NumCalls)
+	}
+}
+
+func TestCallThroughPointer(t *testing.T) {
+	p := buildFn(t, `
+void f(void (*cb)(int)) { cb(1); (*cb)(2); }`, "f")
+	calls := 0
+	for _, nd := range p.Nodes {
+		if nd.Kind == CallNode {
+			calls++
+			if nd.Direct != nil {
+				t.Error("indirect call misclassified as direct")
+			}
+			if nd.Fun.IsEmpty() {
+				t.Error("indirect call needs a Fun expression")
+			}
+		}
+	}
+	if calls != 2 {
+		t.Errorf("calls = %d", calls)
+	}
+}
+
+func TestPointerArithmeticStride(t *testing.T) {
+	p := buildFn(t, `
+void f(int *p) { int *q = p + 2; }`, "f")
+	var asg *Node
+	for _, nd := range p.Nodes {
+		if nd.Kind == AssignNode {
+			asg = nd
+		}
+	}
+	// Source should be deref of p widened to stride sizeof(int)=4.
+	if asg.Src.Terms[0].Stride != 4 {
+		t.Errorf("stride = %d, want 4 (src %v)", asg.Src.Terms[0].Stride, asg.Src)
+	}
+}
+
+func TestFieldOffset(t *testing.T) {
+	p := buildFn(t, `
+struct pair { int *a; int *b; };
+void f(struct pair *pr, int *v) { pr->b = v; }`, "f")
+	var asg *Node
+	for _, nd := range p.Nodes {
+		if nd.Kind == AssignNode {
+			asg = nd
+		}
+	}
+	if asg.Dst.Terms[0].Off != 8 {
+		t.Errorf("dst offset = %d, want 8 (%v)", asg.Dst.Terms[0].Off, asg.Dst)
+	}
+}
+
+func TestAggregateAssign(t *testing.T) {
+	p := buildFn(t, `
+struct s { int *p; int v; };
+void f(struct s *a, struct s *b) { *a = *b; }`, "f")
+	var asg *Node
+	for _, nd := range p.Nodes {
+		if nd.Kind == AssignNode {
+			asg = nd
+		}
+	}
+	if !asg.Aggregate || asg.Size != 16 {
+		t.Errorf("aggregate=%v size=%d", asg.Aggregate, asg.Size)
+	}
+}
+
+func TestTernaryDiamond(t *testing.T) {
+	p := buildFn(t, `
+int a, b;
+int *f(int c) { return c ? &a : &b; }`, "f")
+	// The ternary introduces a temp assigned on both arms.
+	asgs := countKind(p, AssignNode)
+	if asgs < 3 { // 2 arms + retval
+		t.Errorf("assigns = %d", asgs)
+	}
+	if len(p.Locals) == 0 {
+		t.Error("ternary temp missing from locals")
+	}
+}
+
+func TestShortCircuitSideEffects(t *testing.T) {
+	p := buildFn(t, `
+int *g, a;
+int f(int c) { return c && (g = &a) != 0; }`, "f")
+	// The assignment to g must be on a branch, i.e. some meet joins it.
+	if countKind(p, MeetNode) < 1 {
+		t.Error("short-circuit RHS with side effects needs a branch")
+	}
+}
+
+func TestDominators(t *testing.T) {
+	p := buildFn(t, `
+int a, b;
+int *f(int c) {
+    int *p = &a;
+    if (c) { p = &b; }
+    return p;
+}`, "f")
+	// Find the meet node; its idom must be the fork (the node holding
+	// p=&a or later), and both branch assigns must not dominate it.
+	var meet *Node
+	for _, nd := range p.Nodes {
+		if nd.Kind == MeetNode && len(nd.Preds) == 2 {
+			meet = nd
+		}
+	}
+	if meet == nil {
+		t.Fatal("no meet")
+	}
+	if meet.Idom == nil {
+		t.Fatal("meet has no idom")
+	}
+	for _, pred := range meet.Preds {
+		if pred != meet.Idom && pred.Dominates(meet) {
+			t.Errorf("branch pred %v must not dominate the join", pred)
+		}
+	}
+}
+
+func TestDominanceFrontier(t *testing.T) {
+	p := buildFn(t, `
+int a, b;
+int *f(int c) {
+    int *p = &a;
+    if (c) { p = &b; }
+    return p;
+}`, "f")
+	// The then-branch assignment's DF must contain the join meet.
+	var branchAsg, meet *Node
+	for _, nd := range p.Nodes {
+		if nd.Kind == MeetNode && len(nd.Preds) == 2 {
+			meet = nd
+		}
+	}
+	for _, nd := range p.Nodes {
+		if nd.Kind == AssignNode && len(nd.Succs) == 1 && nd.Succs[0] == meet && !nd.Dominates(meet) {
+			branchAsg = nd
+		}
+	}
+	if branchAsg == nil {
+		t.Fatal("branch assign not found")
+	}
+	inDF := false
+	for _, d := range branchAsg.DF {
+		if d == meet {
+			inDF = true
+		}
+	}
+	if !inDF {
+		t.Errorf("DF(%v) = %v should contain the join", branchAsg, branchAsg.DF)
+	}
+}
+
+func TestRPOPropertyPredBeforeNode(t *testing.T) {
+	// In a reducible graph every node except loop heads appears after
+	// at least one predecessor in RPO; loop heads appear after their
+	// entry-side predecessor.
+	p := buildFn(t, `
+void f(int n) {
+    int i, j;
+    for (i = 0; i < n; i++)
+        for (j = 0; j < i; j++)
+            if (j == 2) break;
+}`, "f")
+	for _, nd := range p.Nodes {
+		if nd == p.Entry || len(nd.Preds) == 0 {
+			continue
+		}
+		ok := false
+		for _, pr := range nd.Preds {
+			if pr.RPO < nd.RPO {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("node %v has no earlier predecessor in RPO", nd)
+		}
+	}
+}
+
+func TestIdomIsDominator(t *testing.T) {
+	p := buildFn(t, `
+void f(int n) {
+    int i = 0;
+    while (i < n) { if (i == 2) i += 2; else i++; }
+}`, "f")
+	for _, nd := range p.Nodes {
+		if nd.Idom != nil && !nd.Idom.Dominates(nd) {
+			t.Errorf("idom(%v) does not dominate it", nd)
+		}
+	}
+}
+
+func TestInfiniteLoopKeepsExit(t *testing.T) {
+	// Loop conditions are not interpreted, so even "for(;;)" gets a
+	// conservative exit edge; the exit node must exist and be ordered
+	// after the loop.
+	p := buildFn(t, `
+void f(void) { for (;;) {} }`, "f")
+	if p.Exit == nil {
+		t.Fatal("exit missing")
+	}
+	if p.Exit.RPO == 0 {
+		t.Error("exit cannot be first in RPO")
+	}
+}
+
+func TestMallocCallPos(t *testing.T) {
+	p := buildFn(t, `
+#include <stdlib.h>
+void f(void) { char *p = (char *)malloc(10); }`, "f")
+	var call *Node
+	for _, nd := range p.Nodes {
+		if nd.Kind == CallNode {
+			call = nd
+		}
+	}
+	if call == nil || !call.Pos.IsValid() {
+		t.Error("call node needs a position for heap-site naming")
+	}
+}
+
+func TestLocalsIncludeParamsTempsAndVars(t *testing.T) {
+	p := buildFn(t, `
+int h(int v);
+int f(int a) {
+    int x = h(a);
+    return x;
+}`, "f")
+	names := map[string]bool{}
+	for _, l := range p.Locals {
+		names[l.Name] = true
+	}
+	if !names["x"] {
+		t.Error("local x missing")
+	}
+	// The call's temp must be a local too.
+	hasTemp := false
+	for n := range names {
+		if strings.HasPrefix(n, "$t") {
+			hasTemp = true
+		}
+	}
+	if !hasTemp {
+		t.Error("call temp missing from locals")
+	}
+}
+
+func TestBuildAllFigure1(t *testing.T) {
+	src := `
+int test1, test2;
+int x, y, z;
+int *x0, *y0, *z0;
+void f(int **p, int **q, int **r) {
+    *p = *q;
+    *q = *r;
+}
+int main(void) {
+    x0 = &x; y0 = &y; z0 = &z;
+    if (test1) f(&x0, &y0, &z0);
+    else if (test2) f(&z0, &x0, &y0);
+    else f(&x0, &y0, &x0);
+    return 0;
+}`
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs, err := BuildAll(prog.Funcs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) != 2 {
+		t.Fatalf("procs = %d", len(procs))
+	}
+	var fproc *Proc
+	for fd, pr := range procs {
+		if fd.Name == "f" {
+			fproc = pr
+		}
+	}
+	if fproc == nil || countKind(fproc, AssignNode) != 2 {
+		t.Errorf("f should have 2 assigns")
+	}
+}
+
+var _ = cast.StorageNone // keep import for future tests

@@ -1,0 +1,185 @@
+package cfg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wlpa/internal/cparse"
+	"wlpa/internal/sem"
+)
+
+// genControlFlow emits a random function made of nested if/while/for/
+// switch statements — a structured-control-flow generator whose graphs
+// exercise the dominator machinery.
+func genControlFlow(r *rand.Rand) string {
+	var body func(depth int) string
+	body = func(depth int) string {
+		if depth > 3 {
+			return "g++;"
+		}
+		switch r.Intn(6) {
+		case 0:
+			return fmt.Sprintf("if (g %% %d) { %s } else { %s }",
+				2+r.Intn(3), body(depth+1), body(depth+1))
+		case 1:
+			return fmt.Sprintf("{ int i; for (i = 0; i < %d; i++) { %s } }",
+				1+r.Intn(4), body(depth+1))
+		case 2:
+			return fmt.Sprintf("while (g < %d) { g++; %s }", r.Intn(50), body(depth+1))
+		case 3:
+			return fmt.Sprintf("switch (g %% 3) { case 0: %s break; case 1: %s default: g--; }",
+				body(depth+1), body(depth+1))
+		case 4:
+			return body(depth+1) + " " + body(depth+1)
+		default:
+			return fmt.Sprintf("g += %d;", r.Intn(9))
+		}
+	}
+	return "int g;\nvoid f(void) {\n" + body(0) + "\n}\nint main(void){ f(); return 0; }"
+}
+
+func buildRandom(t *testing.T, seed int64) *Proc {
+	t.Helper()
+	src := genControlFlow(rand.New(rand.NewSource(seed)))
+	f, err := cparse.ParseSource("gen.c", src)
+	if err != nil {
+		t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("seed %d: sem: %v", seed, err)
+	}
+	proc, err := Build(prog.FuncByName["f"])
+	if err != nil {
+		t.Fatalf("seed %d: cfg: %v", seed, err)
+	}
+	return proc
+}
+
+// TestDominatorProperties checks, over random structured control flow:
+// (1) the entry dominates everything; (2) idom is a strict dominator;
+// (3) Dominates is consistent with a brute-force reachability check:
+// a dominates b iff removing a disconnects b from the entry.
+func TestDominatorProperties(t *testing.T) {
+	check := func(seed int64) bool {
+		proc := buildRandom(t, seed)
+		for _, nd := range proc.Nodes {
+			if !proc.Entry.Dominates(nd) {
+				t.Errorf("seed %d: entry must dominate %v", seed, nd)
+				return false
+			}
+			if nd.Idom != nil {
+				if nd.Idom == nd || !nd.Idom.Dominates(nd) {
+					t.Errorf("seed %d: bad idom for %v", seed, nd)
+					return false
+				}
+			}
+		}
+		// Brute-force dominance: b reachable from entry without a?
+		reachAvoiding := func(avoid, target *Node) bool {
+			if target == proc.Entry {
+				return true
+			}
+			seen := map[*Node]bool{avoid: true}
+			stack := []*Node{proc.Entry}
+			if avoid == proc.Entry {
+				return false
+			}
+			for len(stack) > 0 {
+				n := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if seen[n] {
+					continue
+				}
+				seen[n] = true
+				if n == target {
+					return true
+				}
+				for _, s := range n.Succs {
+					stack = append(stack, s)
+				}
+			}
+			return false
+		}
+		for _, a := range proc.Nodes {
+			for _, b := range proc.Nodes {
+				if len(b.Preds) == 0 && b != proc.Entry {
+					continue // unreachable exit stub
+				}
+				want := a == b || !reachAvoiding(a, b)
+				if got := a.Dominates(b); got != want {
+					t.Errorf("seed %d: Dominates(%v, %v) = %v, want %v", seed, a, b, got, want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Values: nil}
+	seed := int64(0)
+	f := func() bool {
+		seed++
+		return check(seed)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDominanceFrontierProperty: for every node n and every m in DF(n),
+// n dominates a predecessor of m but does not strictly dominate m.
+func TestDominanceFrontierProperty(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		proc := buildRandom(t, seed)
+		for _, n := range proc.Nodes {
+			for _, m := range n.DF {
+				domPred := false
+				for _, p := range m.Preds {
+					if n.Dominates(p) {
+						domPred = true
+					}
+				}
+				if !domPred {
+					t.Errorf("seed %d: %v in DF(%v) but dominates no pred", seed, m, n)
+				}
+				if n != m && n.Dominates(m) {
+					t.Errorf("seed %d: %v strictly dominates its DF member %v", seed, n, m)
+				}
+			}
+		}
+	}
+}
+
+// TestRPOTopologicalOnAcyclic: for graphs without loops, RPO is a
+// topological order (every edge goes forward).
+func TestRPOTopologicalOnAcyclic(t *testing.T) {
+	src := `
+int g;
+void f(void) {
+    if (g) { g = 1; } else { g = 2; }
+    if (g > 1) { g = 3; }
+    switch (g) { case 1: g = 4; break; default: g = 5; }
+}
+int main(void){ f(); return 0; }`
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := Build(prog.FuncByName["f"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range proc.Nodes {
+		for _, s := range n.Succs {
+			if s.RPO <= n.RPO {
+				t.Errorf("back edge %v -> %v in acyclic graph", n, s)
+			}
+		}
+	}
+}

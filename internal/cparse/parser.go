@@ -1,0 +1,1154 @@
+// Package cparse implements a recursive-descent parser for the C subset
+// analyzed by wlpa. The parser resolves type names during parsing (as C
+// requires: typedef names change the grammar), producing a cast.File
+// whose declarations carry fully laid-out ctype.Type values. Expression
+// typing and symbol resolution happen later in package sem.
+package cparse
+
+import (
+	"fmt"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/cpp"
+	"wlpa/internal/ctok"
+	"wlpa/internal/ctype"
+)
+
+// Error is a parse error with a source position.
+type Error struct {
+	Pos ctok.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type scope struct {
+	typedefs map[string]*ctype.Type
+	tags     map[string]*ctype.Type
+	enums    map[string]int64
+	parent   *scope
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{
+		typedefs: make(map[string]*ctype.Type),
+		tags:     make(map[string]*ctype.Type),
+		enums:    make(map[string]int64),
+		parent:   parent,
+	}
+}
+
+func (s *scope) lookupTypedef(name string) (*ctype.Type, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if t, ok := sc.typedefs[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) lookupTag(name string) (*ctype.Type, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if t, ok := sc.tags[name]; ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+func (s *scope) lookupEnum(name string) (int64, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if v, ok := sc.enums[name]; ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Parser parses a token stream into an AST.
+type Parser struct {
+	toks    []ctok.Token
+	pos     int
+	scope   *scope
+	strID   int
+	anonTag int
+
+	// pendingParams / pendingParamScope carry the named parameters of
+	// the innermost function declarator just parsed, for use when the
+	// declarator turns out to be a function definition.
+	pendingParams     []*cast.VarDecl
+	pendingParamScope map[string]*ctype.Type
+}
+
+// ParseFile preprocesses entry within files and parses the result.
+func ParseFile(files cpp.Source, entry string, predefined map[string]string) (*cast.File, error) {
+	toks, err := cpp.Preprocess(files, entry, predefined)
+	if err != nil {
+		return nil, err
+	}
+	return ParseTokens(entry, toks)
+}
+
+// ParseSource parses a single self-contained source string (convenience
+// for tests and examples). Includes resolve against the built-in headers.
+func ParseSource(name, src string) (*cast.File, error) {
+	return ParseFile(cpp.Source{name: src}, name, nil)
+}
+
+// ParseTokens parses a preprocessed token stream.
+func ParseTokens(name string, toks []ctok.Token) (f *cast.File, err error) {
+	p := &Parser{toks: toks, scope: newScope(nil)}
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*Error); ok {
+				f, err = nil, pe
+				return
+			}
+			panic(r)
+		}
+	}()
+	file := &cast.File{Name: name}
+	for p.peek().Kind != ctok.EOF {
+		decls := p.parseExternalDecl()
+		file.Decls = append(file.Decls, decls...)
+	}
+	return file, nil
+}
+
+func (p *Parser) errorf(pos ctok.Pos, format string, args ...any) {
+	panic(&Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *Parser) peek() ctok.Token { return p.toks[p.pos] }
+
+func (p *Parser) peekAt(n int) ctok.Token {
+	if p.pos+n >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+n]
+}
+
+func (p *Parser) next() ctok.Token {
+	t := p.toks[p.pos]
+	if t.Kind != ctok.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) accept(k ctok.Kind) bool {
+	if p.peek().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k ctok.Kind) ctok.Token {
+	t := p.peek()
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s", k, t)
+	}
+	return p.next()
+}
+
+func (p *Parser) acceptKeyword(kw string) bool {
+	t := p.peek()
+	if t.Kind == ctok.Keyword && t.Text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) pushScope() { p.scope = newScope(p.scope) }
+func (p *Parser) popScope()  { p.scope = p.scope.parent }
+
+// ---- Declarations ----
+
+var typeKeywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"signed": true, "unsigned": true, "float": true, "double": true,
+	"struct": true, "union": true, "enum": true, "const": true,
+	"volatile": true,
+}
+
+var storageKeywords = map[string]bool{
+	"typedef": true, "extern": true, "static": true, "auto": true,
+	"register": true,
+}
+
+// startsDecl reports whether the current token begins a declaration.
+func (p *Parser) startsDecl() bool {
+	t := p.peek()
+	switch t.Kind {
+	case ctok.Keyword:
+		return typeKeywords[t.Text] || storageKeywords[t.Text]
+	case ctok.Ident:
+		if _, ok := p.scope.lookupTypedef(t.Text); !ok {
+			return false
+		}
+		// "t * x" at statement level is ambiguous with multiplication;
+		// C resolves in favor of a declaration. But "t = ..." or
+		// "t(...)" or "t[...]" or "t->..." is an expression.
+		switch p.peekAt(1).Kind {
+		case ctok.Assign, ctok.Arrow, ctok.Dot, ctok.LBracket, ctok.Inc,
+			ctok.Dec, ctok.AddAssign, ctok.SubAssign, ctok.MulAssign,
+			ctok.DivAssign, ctok.Comma, ctok.Semi, ctok.RParen:
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// parseExternalDecl parses one top-level declaration, which may expand to
+// several cast.Decl values (e.g. "int a, *b;").
+func (p *Parser) parseExternalDecl() []cast.Decl {
+	if p.accept(ctok.Semi) {
+		return nil
+	}
+	base, storage := p.parseDeclSpecifiers()
+	// Bare "struct s { ... };" or "enum {...};".
+	if p.accept(ctok.Semi) {
+		return nil
+	}
+	var decls []cast.Decl
+	for {
+		name, typ, namePos := p.parseDeclarator(base)
+		if storage == cast.StorageTypedef {
+			if name == "" {
+				p.errorf(namePos, "typedef requires a name")
+			}
+			p.scope.typedefs[name] = typ
+		} else if typ.Kind == ctype.Func && p.peek().Kind == ctok.LBrace {
+			// Function definition.
+			fd := &cast.FuncDecl{Pos: namePos, Name: name, Type: typ, Storage: storage}
+			fd.Params = p.pendingParams
+			p.pendingParams = nil
+			p.pushScope()
+			p.scope.typedefs = p.pendingParamScope
+			if p.scope.typedefs == nil {
+				p.scope.typedefs = make(map[string]*ctype.Type)
+			}
+			p.pendingParamScope = nil
+			fd.Body = p.parseBlock()
+			p.popScope()
+			decls = append(decls, fd)
+			return decls
+		} else {
+			d := p.finishVarDecl(name, typ, namePos, storage)
+			decls = append(decls, d)
+		}
+		if p.accept(ctok.Comma) {
+			continue
+		}
+		p.expect(ctok.Semi)
+		return decls
+	}
+}
+
+// finishVarDecl parses an optional initializer and builds the VarDecl.
+func (p *Parser) finishVarDecl(name string, typ *ctype.Type, pos ctok.Pos, storage cast.StorageClass) *cast.VarDecl {
+	d := &cast.VarDecl{Pos: pos, Name: name, Type: typ, Storage: storage}
+	if p.accept(ctok.Assign) {
+		d.Init = p.parseInitializer()
+		// "char s[] = "..."" and "int a[] = {...}" complete the type.
+		if typ.Kind == ctype.Array && typ.Len < 0 {
+			switch init := d.Init.(type) {
+			case *cast.StrLit:
+				d.Type = ctype.ArrayOf(typ.Elem, int64(len(init.Value))+1)
+			case *cast.InitList:
+				d.Type = ctype.ArrayOf(typ.Elem, int64(len(init.Elems)))
+			}
+		}
+	}
+	return d
+}
+
+func (p *Parser) parseInitializer() cast.Expr {
+	if p.peek().Kind == ctok.LBrace {
+		lb := p.next()
+		lst := &cast.InitList{}
+		lst.Pos = lb.Pos
+		for p.peek().Kind != ctok.RBrace {
+			lst.Elems = append(lst.Elems, p.parseInitializer())
+			if !p.accept(ctok.Comma) {
+				break
+			}
+		}
+		p.expect(ctok.RBrace)
+		return lst
+	}
+	return p.parseAssignExpr()
+}
+
+// parseDeclSpecifiers parses storage class and type specifiers and returns
+// the base type.
+func (p *Parser) parseDeclSpecifiers() (*ctype.Type, cast.StorageClass) {
+	storage := cast.StorageNone
+	var (
+		sawVoid, sawChar, sawFloat, sawDouble bool
+		sawSigned, sawUnsigned                bool
+		shorts, longs, ints                   int
+		userType                              *ctype.Type
+	)
+	for {
+		t := p.peek()
+		if t.Kind == ctok.Keyword {
+			switch t.Text {
+			case "typedef":
+				storage = cast.StorageTypedef
+				p.next()
+				continue
+			case "extern":
+				storage = cast.StorageExtern
+				p.next()
+				continue
+			case "static":
+				storage = cast.StorageStatic
+				p.next()
+				continue
+			case "auto", "register", "const", "volatile":
+				p.next()
+				continue
+			case "void":
+				sawVoid = true
+				p.next()
+				continue
+			case "char":
+				sawChar = true
+				p.next()
+				continue
+			case "short":
+				shorts++
+				p.next()
+				continue
+			case "int":
+				ints++
+				p.next()
+				continue
+			case "long":
+				longs++
+				p.next()
+				continue
+			case "signed":
+				sawSigned = true
+				p.next()
+				continue
+			case "unsigned":
+				sawUnsigned = true
+				p.next()
+				continue
+			case "float":
+				sawFloat = true
+				p.next()
+				continue
+			case "double":
+				sawDouble = true
+				p.next()
+				continue
+			case "struct", "union":
+				userType = p.parseStructSpecifier(t.Text == "union")
+				continue
+			case "enum":
+				userType = p.parseEnumSpecifier()
+				continue
+			}
+			break
+		}
+		if t.Kind == ctok.Ident && userType == nil && !sawVoid && !sawChar &&
+			!sawFloat && !sawDouble && shorts == 0 && longs == 0 && ints == 0 &&
+			!sawSigned && !sawUnsigned {
+			if td, ok := p.scope.lookupTypedef(t.Text); ok {
+				userType = td
+				p.next()
+				continue
+			}
+		}
+		break
+	}
+	if userType != nil {
+		return userType, storage
+	}
+	switch {
+	case sawVoid:
+		return ctype.VoidType, storage
+	case sawDouble:
+		return ctype.DoubleType, storage
+	case sawFloat:
+		return ctype.FloatType, storage
+	case sawChar:
+		if sawUnsigned {
+			return ctype.UCharType, storage
+		}
+		return ctype.CharType, storage
+	case shorts > 0:
+		if sawUnsigned {
+			return ctype.UShortType, storage
+		}
+		return ctype.ShortType, storage
+	case longs > 0:
+		if sawUnsigned {
+			return ctype.ULongType, storage
+		}
+		return ctype.LongType, storage
+	case ints > 0 || sawSigned:
+		if sawUnsigned {
+			return ctype.UIntType, storage
+		}
+		return ctype.IntType, storage
+	case sawUnsigned:
+		return ctype.UIntType, storage
+	}
+	p.errorf(p.peek().Pos, "expected type specifier, found %s", p.peek())
+	return nil, storage
+}
+
+func (p *Parser) parseStructSpecifier(isUnion bool) *ctype.Type {
+	kw := p.next() // struct or union
+	tag := ""
+	if p.peek().Kind == ctok.Ident {
+		tag = p.next().Text
+	}
+	if p.peek().Kind != ctok.LBrace {
+		if tag == "" {
+			p.errorf(kw.Pos, "anonymous struct requires a definition")
+		}
+		if t, ok := p.scope.lookupTag(tag); ok {
+			return t
+		}
+		// Forward declaration.
+		t := ctype.NewStruct(tag, isUnion)
+		p.scope.tags[tag] = t
+		return t
+	}
+	// Definition.
+	var st *ctype.Type
+	if tag != "" {
+		if existing, ok := p.scope.tags[tag]; ok && existing.Incomplete {
+			st = existing
+		}
+	}
+	if st == nil {
+		if tag == "" {
+			p.anonTag++
+			tag = fmt.Sprintf("<anon%d>", p.anonTag)
+		}
+		st = ctype.NewStruct(tag, isUnion)
+		p.scope.tags[tag] = st
+	}
+	p.expect(ctok.LBrace)
+	var fields []ctype.Field
+	for p.peek().Kind != ctok.RBrace {
+		base, storage := p.parseDeclSpecifiers()
+		if storage != cast.StorageNone {
+			p.errorf(p.peek().Pos, "storage class in struct field")
+		}
+		for {
+			name, typ, namePos := p.parseDeclarator(base)
+			if p.accept(ctok.Colon) {
+				// Bit-field: we approximate by giving the field
+				// its declared type (conservative w.r.t. layout).
+				p.parseConstExpr()
+			}
+			if name == "" {
+				p.errorf(namePos, "unnamed struct field")
+			}
+			if typ.Kind == ctype.Struct && typ.Incomplete {
+				p.errorf(namePos, "field %q has incomplete type %s", name, typ)
+			}
+			fields = append(fields, ctype.Field{Name: name, Type: typ})
+			if !p.accept(ctok.Comma) {
+				break
+			}
+		}
+		p.expect(ctok.Semi)
+	}
+	p.expect(ctok.RBrace)
+	st.Complete(fields)
+	return st
+}
+
+func (p *Parser) parseEnumSpecifier() *ctype.Type {
+	p.next() // enum
+	if p.peek().Kind == ctok.Ident {
+		p.next() // tag (enums are just int; tags are not tracked)
+	}
+	if p.peek().Kind != ctok.LBrace {
+		return ctype.IntType
+	}
+	p.expect(ctok.LBrace)
+	var val int64
+	for p.peek().Kind != ctok.RBrace {
+		name := p.expect(ctok.Ident).Text
+		if p.accept(ctok.Assign) {
+			val = p.parseConstExpr()
+		}
+		p.scope.enums[name] = val
+		val++
+		if !p.accept(ctok.Comma) {
+			break
+		}
+	}
+	p.expect(ctok.RBrace)
+	return ctype.IntType
+}
+
+// parseDeclarator parses a declarator against base and returns the
+// declared name (possibly empty for abstract declarators) and full type.
+func (p *Parser) parseDeclarator(base *ctype.Type) (string, *ctype.Type, ctok.Pos) {
+	typ := base
+	for p.accept(ctok.Star) {
+		for p.acceptKeyword("const") || p.acceptKeyword("volatile") {
+		}
+		typ = ctype.PointerTo(typ)
+	}
+	return p.parseDirectDeclarator(typ)
+}
+
+func (p *Parser) parseDirectDeclarator(typ *ctype.Type) (string, *ctype.Type, ctok.Pos) {
+	t := p.peek()
+	var name string
+	namePos := t.Pos
+	var inner func(*ctype.Type) *ctype.Type // for parenthesized declarators
+
+	switch {
+	case t.Kind == ctok.Ident:
+		name = p.next().Text
+	case t.Kind == ctok.LParen && p.isParenDeclarator():
+		p.next()
+		// Parse the inner declarator against a placeholder; we
+		// re-apply it after the suffixes are known.
+		start := p.pos
+		depth := 1
+		for depth > 0 {
+			switch p.next().Kind {
+			case ctok.LParen:
+				depth++
+			case ctok.RParen:
+				depth--
+			case ctok.EOF:
+				p.errorf(t.Pos, "unterminated declarator")
+			}
+		}
+		end := p.pos - 1
+		inner = func(outer *ctype.Type) *ctype.Type {
+			savedPos := p.pos
+			p.pos = start
+			n, ty, np := p.parseDeclarator(outer)
+			if p.pos != end {
+				p.errorf(p.peek().Pos, "bad declarator")
+			}
+			p.pos = savedPos
+			name = n
+			namePos = np
+			return ty
+		}
+	}
+
+	// Suffixes: arrays and function parameter lists.
+	typ = p.parseDeclaratorSuffix(typ)
+	if inner != nil {
+		typ = inner(typ)
+	}
+	return name, typ, namePos
+}
+
+// isParenDeclarator distinguishes "(*f)(...)" from a parameter list "(int x)".
+func (p *Parser) isParenDeclarator() bool {
+	n := p.peekAt(1)
+	switch n.Kind {
+	case ctok.Star:
+		return true
+	case ctok.Ident:
+		_, isType := p.scope.lookupTypedef(n.Text)
+		return !isType
+	case ctok.LParen, ctok.LBracket:
+		return true
+	}
+	return false
+}
+
+func (p *Parser) parseDeclaratorSuffix(typ *ctype.Type) *ctype.Type {
+	switch p.peek().Kind {
+	case ctok.LBracket:
+		p.next()
+		var n int64 = -1
+		if p.peek().Kind != ctok.RBracket {
+			n = p.parseConstExpr()
+		}
+		p.expect(ctok.RBracket)
+		elem := p.parseDeclaratorSuffix(typ)
+		return ctype.ArrayOf(elem, n)
+	case ctok.LParen:
+		p.next()
+		params, names, variadic, tdScope := p.parseParamList()
+		p.expect(ctok.RParen)
+		ret := p.parseDeclaratorSuffix(typ)
+		ft := ctype.FuncOf(ret, params, variadic)
+		p.pendingParams = names
+		p.pendingParamScope = tdScope
+		return ft
+	}
+	return typ
+}
+
+func (p *Parser) parseParamList() ([]*ctype.Type, []*cast.VarDecl, bool, map[string]*ctype.Type) {
+	var types []*ctype.Type
+	var names []*cast.VarDecl
+	variadic := false
+	if p.peek().Kind == ctok.RParen {
+		return nil, nil, false, nil
+	}
+	// "(void)" means no parameters.
+	if p.peek().Kind == ctok.Keyword && p.peek().Text == "void" && p.peekAt(1).Kind == ctok.RParen {
+		p.next()
+		return nil, nil, false, nil
+	}
+	for {
+		if p.accept(ctok.Ellipsis) {
+			variadic = true
+			break
+		}
+		base, _ := p.parseDeclSpecifiers()
+		name, typ, pos := p.parseDeclarator(base)
+		// Parameter adjustment: arrays and functions decay.
+		typ = typ.Decay()
+		types = append(types, typ)
+		names = append(names, &cast.VarDecl{Pos: pos, Name: name, Type: typ})
+		if !p.accept(ctok.Comma) {
+			break
+		}
+	}
+	return types, names, variadic, nil
+}
+
+// ---- Statements ----
+
+func (p *Parser) parseBlock() *cast.BlockStmt {
+	lb := p.expect(ctok.LBrace)
+	blk := &cast.BlockStmt{Pos: lb.Pos}
+	p.pushScope()
+	for p.peek().Kind != ctok.RBrace {
+		if p.peek().Kind == ctok.EOF {
+			p.errorf(lb.Pos, "unterminated block")
+		}
+		if p.startsDecl() {
+			for _, d := range p.parseExternalDecl() {
+				blk.Items = append(blk.Items, cast.BlockItem{Decl: d})
+			}
+			continue
+		}
+		blk.Items = append(blk.Items, cast.BlockItem{Stmt: p.parseStmt()})
+	}
+	p.popScope()
+	p.expect(ctok.RBrace)
+	return blk
+}
+
+func (p *Parser) parseStmt() cast.Stmt {
+	t := p.peek()
+	switch t.Kind {
+	case ctok.LBrace:
+		return p.parseBlock()
+	case ctok.Semi:
+		p.next()
+		return &cast.EmptyStmt{Pos: t.Pos}
+	case ctok.Keyword:
+		switch t.Text {
+		case "if":
+			p.next()
+			p.expect(ctok.LParen)
+			cond := p.parseExpr()
+			p.expect(ctok.RParen)
+			then := p.parseStmt()
+			var els cast.Stmt
+			if p.acceptKeyword("else") {
+				els = p.parseStmt()
+			}
+			return &cast.IfStmt{Pos: t.Pos, Cond: cond, Then: then, Else: els}
+		case "while":
+			p.next()
+			p.expect(ctok.LParen)
+			cond := p.parseExpr()
+			p.expect(ctok.RParen)
+			return &cast.WhileStmt{Pos: t.Pos, Cond: cond, Body: p.parseStmt()}
+		case "do":
+			p.next()
+			body := p.parseStmt()
+			if !p.acceptKeyword("while") {
+				p.errorf(p.peek().Pos, "expected 'while' after do body")
+			}
+			p.expect(ctok.LParen)
+			cond := p.parseExpr()
+			p.expect(ctok.RParen)
+			p.expect(ctok.Semi)
+			return &cast.DoWhileStmt{Pos: t.Pos, Body: body, Cond: cond}
+		case "for":
+			p.next()
+			p.expect(ctok.LParen)
+			var init, cond, post cast.Expr
+			if p.peek().Kind != ctok.Semi {
+				init = p.parseExpr()
+			}
+			p.expect(ctok.Semi)
+			if p.peek().Kind != ctok.Semi {
+				cond = p.parseExpr()
+			}
+			p.expect(ctok.Semi)
+			if p.peek().Kind != ctok.RParen {
+				post = p.parseExpr()
+			}
+			p.expect(ctok.RParen)
+			return &cast.ForStmt{Pos: t.Pos, Init: init, Cond: cond, Post: post, Body: p.parseStmt()}
+		case "switch":
+			p.next()
+			p.expect(ctok.LParen)
+			tag := p.parseExpr()
+			p.expect(ctok.RParen)
+			return &cast.SwitchStmt{Pos: t.Pos, Tag: tag, Body: p.parseStmt()}
+		case "case":
+			p.next()
+			val := p.parseTernaryExpr()
+			p.expect(ctok.Colon)
+			return &cast.CaseStmt{Pos: t.Pos, Value: val, Body: p.parseStmt()}
+		case "default":
+			p.next()
+			p.expect(ctok.Colon)
+			return &cast.CaseStmt{Pos: t.Pos, IsDefault: true, Body: p.parseStmt()}
+		case "break":
+			p.next()
+			p.expect(ctok.Semi)
+			return &cast.BreakStmt{Pos: t.Pos}
+		case "continue":
+			p.next()
+			p.expect(ctok.Semi)
+			return &cast.ContinueStmt{Pos: t.Pos}
+		case "return":
+			p.next()
+			var x cast.Expr
+			if p.peek().Kind != ctok.Semi {
+				x = p.parseExpr()
+			}
+			p.expect(ctok.Semi)
+			return &cast.ReturnStmt{Pos: t.Pos, X: x}
+		case "goto":
+			p.next()
+			label := p.expect(ctok.Ident).Text
+			p.expect(ctok.Semi)
+			return &cast.GotoStmt{Pos: t.Pos, Label: label}
+		}
+	case ctok.Ident:
+		// Label: "name: stmt".
+		if p.peekAt(1).Kind == ctok.Colon {
+			name := p.next().Text
+			p.next() // colon
+			return &cast.LabelStmt{Pos: t.Pos, Name: name, Body: p.parseStmt()}
+		}
+	}
+	x := p.parseExpr()
+	p.expect(ctok.Semi)
+	return &cast.ExprStmt{Pos: t.Pos, X: x}
+}
+
+// ---- Expressions ----
+
+func (p *Parser) parseExpr() cast.Expr {
+	e := p.parseAssignExpr()
+	for p.peek().Kind == ctok.Comma {
+		pos := p.next().Pos
+		r := p.parseAssignExpr()
+		c := &cast.Comma{L: e, R: r}
+		c.Pos = pos
+		e = c
+	}
+	return e
+}
+
+var assignOps = map[ctok.Kind]cast.BinaryOp{
+	ctok.Assign:    cast.SimpleAssign,
+	ctok.AddAssign: cast.Add,
+	ctok.SubAssign: cast.Sub,
+	ctok.MulAssign: cast.Mul,
+	ctok.DivAssign: cast.Div,
+	ctok.ModAssign: cast.Rem,
+	ctok.AndAssign: cast.And,
+	ctok.OrAssign:  cast.Or,
+	ctok.XorAssign: cast.Xor,
+	ctok.ShlAssign: cast.Shl,
+	ctok.ShrAssign: cast.Shr,
+}
+
+func (p *Parser) parseAssignExpr() cast.Expr {
+	lhs := p.parseTernaryExpr()
+	if op, ok := assignOps[p.peek().Kind]; ok {
+		pos := p.next().Pos
+		rhs := p.parseAssignExpr()
+		a := &cast.Assign{Op: op, L: lhs, R: rhs}
+		a.Pos = pos
+		return a
+	}
+	return lhs
+}
+
+func (p *Parser) parseTernaryExpr() cast.Expr {
+	cond := p.parseBinaryExpr(0)
+	if p.peek().Kind != ctok.Question {
+		return cond
+	}
+	pos := p.next().Pos
+	t := p.parseExpr()
+	p.expect(ctok.Colon)
+	f := p.parseTernaryExpr()
+	c := &cast.Cond{C: cond, T: t, F: f}
+	c.Pos = pos
+	return c
+}
+
+var binPrec = map[ctok.Kind]struct {
+	prec int
+	op   cast.BinaryOp
+}{
+	ctok.OrOr:    {1, cast.LogOr},
+	ctok.AndAnd:  {2, cast.LogAnd},
+	ctok.Pipe:    {3, cast.Or},
+	ctok.Caret:   {4, cast.Xor},
+	ctok.Amp:     {5, cast.And},
+	ctok.Eq:      {6, cast.Eq},
+	ctok.Ne:      {6, cast.Ne},
+	ctok.Lt:      {7, cast.Lt},
+	ctok.Gt:      {7, cast.Gt},
+	ctok.Le:      {7, cast.Le},
+	ctok.Ge:      {7, cast.Ge},
+	ctok.Shl:     {8, cast.Shl},
+	ctok.Shr:     {8, cast.Shr},
+	ctok.Plus:    {9, cast.Add},
+	ctok.Minus:   {9, cast.Sub},
+	ctok.Star:    {10, cast.Mul},
+	ctok.Slash:   {10, cast.Div},
+	ctok.Percent: {10, cast.Rem},
+}
+
+func (p *Parser) parseBinaryExpr(min int) cast.Expr {
+	lhs := p.parseCastExpr()
+	for {
+		info, ok := binPrec[p.peek().Kind]
+		if !ok || info.prec < min {
+			return lhs
+		}
+		pos := p.next().Pos
+		rhs := p.parseBinaryExpr(info.prec + 1)
+		b := &cast.Binary{Op: info.op, L: lhs, R: rhs}
+		b.Pos = pos
+		lhs = b
+	}
+}
+
+// isTypeName reports whether the tokens after '(' form a type name (for
+// casts and sizeof).
+func (p *Parser) isTypeName(at int) bool {
+	t := p.peekAt(at)
+	switch t.Kind {
+	case ctok.Keyword:
+		return typeKeywords[t.Text]
+	case ctok.Ident:
+		_, ok := p.scope.lookupTypedef(t.Text)
+		return ok
+	}
+	return false
+}
+
+func (p *Parser) parseTypeName() *ctype.Type {
+	base, _ := p.parseDeclSpecifiers()
+	name, typ, pos := p.parseDeclarator(base)
+	if name != "" {
+		p.errorf(pos, "unexpected name %q in type name", name)
+	}
+	return typ
+}
+
+func (p *Parser) parseCastExpr() cast.Expr {
+	if p.peek().Kind == ctok.LParen && p.isTypeName(1) {
+		lp := p.next()
+		to := p.parseTypeName()
+		p.expect(ctok.RParen)
+		// "(type){...}" compound literals are not supported; a cast
+		// applies to the following cast-expression.
+		x := p.parseCastExpr()
+		c := &cast.Cast{To: to, X: x}
+		c.Pos = lp.Pos
+		return c
+	}
+	return p.parseUnaryExpr()
+}
+
+func (p *Parser) parseUnaryExpr() cast.Expr {
+	t := p.peek()
+	mk := func(op cast.UnaryOp) cast.Expr {
+		pos := p.next().Pos
+		x := p.parseCastExpr()
+		u := &cast.Unary{Op: op, X: x}
+		u.Pos = pos
+		return u
+	}
+	switch t.Kind {
+	case ctok.Minus:
+		return mk(cast.Neg)
+	case ctok.Plus:
+		return mk(cast.Plus)
+	case ctok.Tilde:
+		return mk(cast.BitNot)
+	case ctok.Not:
+		return mk(cast.LogNot)
+	case ctok.Amp:
+		return mk(cast.Addr)
+	case ctok.Star:
+		return mk(cast.Deref)
+	case ctok.Inc:
+		pos := p.next().Pos
+		x := p.parseUnaryExpr()
+		u := &cast.Unary{Op: cast.PreInc, X: x}
+		u.Pos = pos
+		return u
+	case ctok.Dec:
+		pos := p.next().Pos
+		x := p.parseUnaryExpr()
+		u := &cast.Unary{Op: cast.PreDec, X: x}
+		u.Pos = pos
+		return u
+	case ctok.Keyword:
+		if t.Text == "sizeof" {
+			pos := p.next().Pos
+			if p.peek().Kind == ctok.LParen && p.isTypeName(1) {
+				p.next()
+				ty := p.parseTypeName()
+				p.expect(ctok.RParen)
+				s := &cast.SizeofType{Of: ty}
+				s.Pos = pos
+				return s
+			}
+			x := p.parseUnaryExpr()
+			s := &cast.SizeofExpr{X: x}
+			s.Pos = pos
+			return s
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+func (p *Parser) parsePostfixExpr() cast.Expr {
+	e := p.parsePrimaryExpr()
+	for {
+		t := p.peek()
+		switch t.Kind {
+		case ctok.LBracket:
+			p.next()
+			idx := p.parseExpr()
+			p.expect(ctok.RBracket)
+			ix := &cast.Index{X: e, I: idx}
+			ix.Pos = t.Pos
+			e = ix
+		case ctok.LParen:
+			p.next()
+			var args []cast.Expr
+			for p.peek().Kind != ctok.RParen {
+				args = append(args, p.parseAssignExpr())
+				if !p.accept(ctok.Comma) {
+					break
+				}
+			}
+			p.expect(ctok.RParen)
+			c := &cast.Call{Fun: e, Args: args}
+			c.Pos = t.Pos
+			e = c
+		case ctok.Dot:
+			p.next()
+			name := p.expect(ctok.Ident).Text
+			m := &cast.Member{X: e, Name: name}
+			m.Pos = t.Pos
+			e = m
+		case ctok.Arrow:
+			p.next()
+			name := p.expect(ctok.Ident).Text
+			m := &cast.Member{X: e, Name: name, Arrow: true}
+			m.Pos = t.Pos
+			e = m
+		case ctok.Inc:
+			p.next()
+			u := &cast.Unary{Op: cast.PostInc, X: e}
+			u.Pos = t.Pos
+			e = u
+		case ctok.Dec:
+			p.next()
+			u := &cast.Unary{Op: cast.PostDec, X: e}
+			u.Pos = t.Pos
+			e = u
+		default:
+			return e
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryExpr() cast.Expr {
+	t := p.peek()
+	switch t.Kind {
+	case ctok.Ident:
+		p.next()
+		if v, ok := p.scope.lookupEnum(t.Text); ok {
+			il := &cast.IntLit{Value: v}
+			il.Pos = t.Pos
+			return il
+		}
+		id := &cast.Ident{Name: t.Text}
+		id.Pos = t.Pos
+		return id
+	case ctok.IntLit, ctok.CharLit:
+		p.next()
+		il := &cast.IntLit{Value: t.IntVal}
+		il.Pos = t.Pos
+		return il
+	case ctok.FloatLit:
+		p.next()
+		fl := &cast.FloatLit{Value: t.FloatVal}
+		fl.Pos = t.Pos
+		return fl
+	case ctok.StringLit:
+		p.next()
+		val := t.Text
+		// Adjacent string literals concatenate.
+		for p.peek().Kind == ctok.StringLit {
+			val += p.next().Text
+		}
+		p.strID++
+		sl := &cast.StrLit{Value: val, ID: p.strID}
+		sl.Pos = t.Pos
+		return sl
+	case ctok.LParen:
+		p.next()
+		e := p.parseExpr()
+		p.expect(ctok.RParen)
+		return e
+	}
+	p.errorf(t.Pos, "unexpected token %s in expression", t)
+	return nil
+}
+
+// ---- Constant expressions (array sizes, enum values, case labels) ----
+
+func (p *Parser) parseConstExpr() int64 {
+	e := p.parseTernaryExpr()
+	v, ok := p.evalConst(e)
+	if !ok {
+		p.errorf(e.Position(), "expected constant expression")
+	}
+	return v
+}
+
+// evalConst evaluates parse-time constant expressions: literals, enum
+// constants (already folded to IntLit), sizeof, and arithmetic on them.
+func (p *Parser) evalConst(e cast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *cast.IntLit:
+		return e.Value, true
+	case *cast.SizeofType:
+		return e.Of.Sizeof(), true
+	case *cast.SizeofExpr:
+		// Only sizeof of a constant or string can be folded here.
+		if s, ok := e.X.(*cast.StrLit); ok {
+			return int64(len(s.Value)) + 1, true
+		}
+		return 0, false
+	case *cast.Unary:
+		v, ok := p.evalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case cast.Neg:
+			return -v, true
+		case cast.BitNot:
+			return ^v, true
+		case cast.LogNot:
+			if v == 0 {
+				return 1, true
+			}
+			return 0, true
+		case cast.Plus:
+			return v, true
+		}
+		return 0, false
+	case *cast.Cast:
+		return p.evalConst(e.X)
+	case *cast.Cond:
+		c, ok := p.evalConst(e.C)
+		if !ok {
+			return 0, false
+		}
+		if c != 0 {
+			return p.evalConst(e.T)
+		}
+		return p.evalConst(e.F)
+	case *cast.Binary:
+		a, ok := p.evalConst(e.L)
+		if !ok {
+			return 0, false
+		}
+		b, ok := p.evalConst(e.R)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case cast.Add:
+			return a + b, true
+		case cast.Sub:
+			return a - b, true
+		case cast.Mul:
+			return a * b, true
+		case cast.Div:
+			if b == 0 {
+				return 0, false
+			}
+			return a / b, true
+		case cast.Rem:
+			if b == 0 {
+				return 0, false
+			}
+			return a % b, true
+		case cast.And:
+			return a & b, true
+		case cast.Or:
+			return a | b, true
+		case cast.Xor:
+			return a ^ b, true
+		case cast.Shl:
+			return a << uint(b&63), true
+		case cast.Shr:
+			return a >> uint(b&63), true
+		case cast.Lt:
+			return b2i(a < b), true
+		case cast.Gt:
+			return b2i(a > b), true
+		case cast.Le:
+			return b2i(a <= b), true
+		case cast.Ge:
+			return b2i(a >= b), true
+		case cast.Eq:
+			return b2i(a == b), true
+		case cast.Ne:
+			return b2i(a != b), true
+		case cast.LogAnd:
+			return b2i(a != 0 && b != 0), true
+		case cast.LogOr:
+			return b2i(a != 0 || b != 0), true
+		}
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

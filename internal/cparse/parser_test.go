@@ -1,0 +1,469 @@
+package cparse
+
+import (
+	"testing"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/cpp"
+	"wlpa/internal/ctype"
+)
+
+func parse(t *testing.T, src string) *cast.File {
+	t.Helper()
+	f, err := ParseSource("t.c", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func mustFail(t *testing.T, src string) {
+	t.Helper()
+	if _, err := ParseSource("t.c", src); err == nil {
+		t.Errorf("expected parse error for %q", src)
+	}
+}
+
+func funcDecl(t *testing.T, f *cast.File, name string) *cast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*cast.FuncDecl); ok && fd.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("function %q not found", name)
+	return nil
+}
+
+func varDecl(t *testing.T, f *cast.File, name string) *cast.VarDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if vd, ok := d.(*cast.VarDecl); ok && vd.Name == name {
+			return vd
+		}
+	}
+	t.Fatalf("variable %q not found", name)
+	return nil
+}
+
+func TestSimpleGlobal(t *testing.T) {
+	f := parse(t, "int x;")
+	d := varDecl(t, f, "x")
+	if !ctype.Equal(d.Type, ctype.IntType) {
+		t.Errorf("type = %s", d.Type)
+	}
+}
+
+func TestMultiDeclarator(t *testing.T) {
+	f := parse(t, "int a, *b, c[4], (*fp)(int);")
+	if !ctype.Equal(varDecl(t, f, "a").Type, ctype.IntType) {
+		t.Error("a should be int")
+	}
+	if b := varDecl(t, f, "b").Type; b.Kind != ctype.Pointer || !ctype.Equal(b.Elem, ctype.IntType) {
+		t.Errorf("b = %s, want int*", b)
+	}
+	if c := varDecl(t, f, "c").Type; c.Kind != ctype.Array || c.Len != 4 {
+		t.Errorf("c = %s, want int[4]", c)
+	}
+	fp := varDecl(t, f, "fp").Type
+	if fp.Kind != ctype.Pointer || fp.Elem.Kind != ctype.Func {
+		t.Errorf("fp = %s, want int(*)(int)", fp)
+	}
+}
+
+func TestPointerToPointer(t *testing.T) {
+	f := parse(t, "char **argv;")
+	ty := varDecl(t, f, "argv").Type
+	if ty.Kind != ctype.Pointer || ty.Elem.Kind != ctype.Pointer ||
+		!ctype.Equal(ty.Elem.Elem, ctype.CharType) {
+		t.Errorf("argv = %s", ty)
+	}
+}
+
+func TestFunctionDefinition(t *testing.T) {
+	f := parse(t, "int add(int a, int b) { return a + b; }")
+	fd := funcDecl(t, f, "add")
+	if fd.Body == nil {
+		t.Fatal("body missing")
+	}
+	if len(fd.Params) != 2 || fd.Params[0].Name != "a" || fd.Params[1].Name != "b" {
+		t.Errorf("params = %+v", fd.Params)
+	}
+	if !ctype.Equal(fd.Type.Ret, ctype.IntType) {
+		t.Errorf("return type = %s", fd.Type.Ret)
+	}
+}
+
+func TestVoidParams(t *testing.T) {
+	f := parse(t, "int f(void) { return 0; }")
+	fd := funcDecl(t, f, "f")
+	if len(fd.Type.Params) != 0 {
+		t.Errorf("params = %v", fd.Type.Params)
+	}
+}
+
+func TestVariadicPrototype(t *testing.T) {
+	f := parse(t, "int printf(const char *fmt, ...);")
+	d := varDecl(t, f, "printf")
+	if d.Type.Kind != ctype.Func || !d.Type.Variadic {
+		t.Errorf("printf type = %s", d.Type)
+	}
+}
+
+func TestArrayParamDecays(t *testing.T) {
+	f := parse(t, "int sum(int a[], int n) { return 0; }")
+	fd := funcDecl(t, f, "sum")
+	if fd.Type.Params[0].Kind != ctype.Pointer {
+		t.Errorf("array param should decay to pointer, got %s", fd.Type.Params[0])
+	}
+}
+
+func TestStructDefinition(t *testing.T) {
+	f := parse(t, `
+struct point { int x; int y; };
+struct point origin;`)
+	d := varDecl(t, f, "origin")
+	if d.Type.Kind != ctype.Struct || d.Type.Tag != "point" {
+		t.Fatalf("type = %s", d.Type)
+	}
+	if d.Type.FieldByName("y").Offset != 4 {
+		t.Errorf("y offset = %d", d.Type.FieldByName("y").Offset)
+	}
+}
+
+func TestSelfReferentialStruct(t *testing.T) {
+	f := parse(t, "struct node { struct node *next; int val; } head;")
+	d := varDecl(t, f, "head")
+	next := d.Type.FieldByName("next")
+	if next == nil || next.Type.Kind != ctype.Pointer || next.Type.Elem != d.Type {
+		t.Errorf("next = %+v", next)
+	}
+	if d.Type.Size != 16 {
+		t.Errorf("size = %d, want 16", d.Type.Size)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	f := parse(t, "union u { int i; char *p; double d; } v;")
+	d := varDecl(t, f, "v")
+	if !d.Type.IsUnion || d.Type.Size != 8 {
+		t.Errorf("union: %s size %d", d.Type, d.Type.Size)
+	}
+}
+
+func TestTypedef(t *testing.T) {
+	f := parse(t, `
+typedef unsigned long size_t;
+typedef struct list { struct list *next; } List;
+size_t n;
+List *head;`)
+	if !ctype.Equal(varDecl(t, f, "n").Type, ctype.ULongType) {
+		t.Errorf("n = %s", varDecl(t, f, "n").Type)
+	}
+	h := varDecl(t, f, "head").Type
+	if h.Kind != ctype.Pointer || h.Elem.Tag != "list" {
+		t.Errorf("head = %s", h)
+	}
+}
+
+func TestEnum(t *testing.T) {
+	f := parse(t, `
+enum color { RED, GREEN = 5, BLUE };
+int x[BLUE];`)
+	d := varDecl(t, f, "x")
+	if d.Type.Len != 6 {
+		t.Errorf("BLUE should be 6, array len = %d", d.Type.Len)
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	f := parse(t, `
+int a = 3;
+int arr[] = {1, 2, 3, 4};
+char msg[] = "hi";
+int *p = &a;`)
+	if varDecl(t, f, "arr").Type.Len != 4 {
+		t.Errorf("arr len = %d", varDecl(t, f, "arr").Type.Len)
+	}
+	if varDecl(t, f, "msg").Type.Len != 3 { // "hi" + NUL
+		t.Errorf("msg len = %d", varDecl(t, f, "msg").Type.Len)
+	}
+	if _, ok := varDecl(t, f, "p").Init.(*cast.Unary); !ok {
+		t.Errorf("p init = %T", varDecl(t, f, "p").Init)
+	}
+}
+
+func TestControlFlowStatements(t *testing.T) {
+	src := `
+int f(int n) {
+    int i, s = 0;
+    for (i = 0; i < n; i++) s += i;
+    while (s > 100) s -= 10;
+    do { s++; } while (s < 0);
+    if (s == 7) return 1; else return 0;
+}`
+	fd := funcDecl(t, parse(t, src), "f")
+	kinds := map[string]bool{}
+	var walk func(s cast.Stmt)
+	walk = func(s cast.Stmt) {
+		switch s := s.(type) {
+		case *cast.BlockStmt:
+			kinds["block"] = true
+			for _, it := range s.Items {
+				if it.Stmt != nil {
+					walk(it.Stmt)
+				}
+			}
+		case *cast.ForStmt:
+			kinds["for"] = true
+			walk(s.Body)
+		case *cast.WhileStmt:
+			kinds["while"] = true
+			walk(s.Body)
+		case *cast.DoWhileStmt:
+			kinds["do"] = true
+			walk(s.Body)
+		case *cast.IfStmt:
+			kinds["if"] = true
+			walk(s.Then)
+			if s.Else != nil {
+				walk(s.Else)
+			}
+		case *cast.ReturnStmt:
+			kinds["return"] = true
+		}
+	}
+	walk(fd.Body)
+	for _, k := range []string{"block", "for", "while", "do", "if", "return"} {
+		if !kinds[k] {
+			t.Errorf("missing statement kind %q", k)
+		}
+	}
+}
+
+func TestSwitch(t *testing.T) {
+	src := `
+int f(int c) {
+    switch (c) {
+    case 1: return 10;
+    case 2:
+    case 3: return 20;
+    default: break;
+    }
+    return 0;
+}`
+	fd := funcDecl(t, parse(t, src), "f")
+	var found *cast.SwitchStmt
+	for _, it := range fd.Body.Items {
+		if sw, ok := it.Stmt.(*cast.SwitchStmt); ok {
+			found = sw
+		}
+	}
+	if found == nil {
+		t.Fatal("switch not parsed")
+	}
+}
+
+func TestGotoAndLabels(t *testing.T) {
+	src := `
+int f(void) {
+    int i = 0;
+top:
+    i++;
+    if (i < 10) goto top;
+    return i;
+}`
+	fd := funcDecl(t, parse(t, src), "f")
+	var labels, gotos int
+	var walk func(s cast.Stmt)
+	walk = func(s cast.Stmt) {
+		switch s := s.(type) {
+		case *cast.BlockStmt:
+			for _, it := range s.Items {
+				if it.Stmt != nil {
+					walk(it.Stmt)
+				}
+			}
+		case *cast.LabelStmt:
+			labels++
+			walk(s.Body)
+		case *cast.GotoStmt:
+			gotos++
+		case *cast.IfStmt:
+			walk(s.Then)
+		}
+	}
+	walk(fd.Body)
+	if labels != 1 || gotos != 1 {
+		t.Errorf("labels=%d gotos=%d", labels, gotos)
+	}
+}
+
+func TestCastAndSizeof(t *testing.T) {
+	src := `
+struct big { double d[8]; };
+unsigned long n = sizeof(struct big);
+char *p = (char *)0;
+int m = sizeof(int);`
+	f := parse(t, src)
+	if _, ok := varDecl(t, f, "p").Init.(*cast.Cast); !ok {
+		t.Errorf("p init = %T, want Cast", varDecl(t, f, "p").Init)
+	}
+	if s, ok := varDecl(t, f, "n").Init.(*cast.SizeofType); !ok {
+		t.Errorf("n init = %T", varDecl(t, f, "n").Init)
+	} else if s.Of.Sizeof() != 64 {
+		t.Errorf("sizeof(struct big) = %d", s.Of.Sizeof())
+	}
+}
+
+func TestSizeofTypedefAmbiguity(t *testing.T) {
+	src := `
+typedef int T;
+int f(int T2) { return sizeof(T) + (T)3; }`
+	parse(t, src) // must not fail
+}
+
+func TestFunctionPointerCall(t *testing.T) {
+	src := `
+int apply(int (*fn)(int), int x) { return fn(x); }
+int twice(int v) { return 2 * v; }
+int main(void) { return apply(twice, 21); }`
+	f := parse(t, src)
+	fd := funcDecl(t, f, "apply")
+	if fd.Type.Params[0].Kind != ctype.Pointer || fd.Type.Params[0].Elem.Kind != ctype.Func {
+		t.Errorf("fn param = %s", fd.Type.Params[0])
+	}
+}
+
+func TestPointerArithmeticExprs(t *testing.T) {
+	src := `
+int f(int *p, int n) {
+    int *q = p + n;
+    int *r = &p[n];
+    q++;
+    --r;
+    return *(p + 1) + q[-1];
+}`
+	parse(t, src)
+}
+
+func TestTernaryAndComma(t *testing.T) {
+	src := "int f(int a, int b) { int c = a ? b : -b; return (a++, b--, c); }"
+	parse(t, src)
+}
+
+func TestStringConcatenation(t *testing.T) {
+	f := parse(t, `char *s = "foo" "bar";`)
+	init := varDecl(t, f, "s").Init.(*cast.StrLit)
+	if init.Value != "foobar" {
+		t.Errorf("concatenated = %q", init.Value)
+	}
+}
+
+func TestIncludeParses(t *testing.T) {
+	src := `
+#include <stdlib.h>
+#include <string.h>
+#include <stdio.h>
+int main(void) {
+    char *buf = (char *)malloc(64);
+    strcpy(buf, "x");
+    printf("%s", buf);
+    free(buf);
+    return 0;
+}`
+	f := parse(t, src)
+	funcDecl(t, f, "main")
+	varDecl(t, f, "malloc") // prototype visible
+}
+
+func TestLocalScopeTypedef(t *testing.T) {
+	// A local variable may shadow nothing but use outer typedefs.
+	src := `
+typedef struct pair { int a, b; } Pair;
+int f(void) { Pair p; p.a = 1; return p.a + p.b; }`
+	parse(t, src)
+}
+
+func TestNestedParens(t *testing.T) {
+	parse(t, "int x = ((1 + 2) * (3 - (4 / 2)));")
+}
+
+func TestParseErrors(t *testing.T) {
+	mustFail(t, "int x")                     // missing semicolon
+	mustFail(t, "int f( {")                  // bad parameter list
+	mustFail(t, "struct { int; }")           // unnamed field and missing ;
+	mustFail(t, "int a = ;")                 // missing initializer expr
+	mustFail(t, "void f(void) { return 0 }") // missing ;
+	mustFail(t, "int arr[n];")               // non-constant array bound
+}
+
+func TestBitfieldApproximation(t *testing.T) {
+	f := parse(t, "struct flags { unsigned int a : 1; unsigned int b : 3; } fl;")
+	d := varDecl(t, f, "fl")
+	if d.Type.FieldByName("a") == nil || d.Type.FieldByName("b") == nil {
+		t.Error("bit-fields should be parsed as ordinary fields")
+	}
+}
+
+func TestStaticAndExtern(t *testing.T) {
+	f := parse(t, "static int hidden; extern int shared;")
+	if varDecl(t, f, "hidden").Storage != cast.StorageStatic {
+		t.Error("static storage lost")
+	}
+	if varDecl(t, f, "shared").Storage != cast.StorageExtern {
+		t.Error("extern storage lost")
+	}
+}
+
+func TestFigure1Program(t *testing.T) {
+	// The example program from the paper (Figure 1).
+	src := `
+int testl, test2;
+void f(int **p, int **q, int **r) {
+    *p = *q;
+    *q = *r;
+}
+int x, y, z;
+int *x0, *y0, *z0;
+int main(void) {
+    x0 = &x; y0 = &y; z0 = &z;
+    if (testl)
+        f(&x0, &y0, &z0);
+    else if (test2)
+        f(&z0, &x0, &y0);
+    else
+        f(&x0, &y0, &x0);
+    return 0;
+}`
+	f := parse(t, src)
+	funcDecl(t, f, "f")
+	funcDecl(t, f, "main")
+}
+
+func TestMultiFileInclude(t *testing.T) {
+	files := cpp.Source{
+		"main.c": "#include \"lib.h\"\nint main(void) { return helper(1); }",
+		"lib.h":  "int helper(int x);",
+	}
+	f, err := ParseFile(files, "main.c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varDecl(t, f, "helper")
+}
+
+func TestDeclVsExprAmbiguity(t *testing.T) {
+	// "T * x;" where T is a typedef is a declaration; where T is a
+	// variable it is an expression statement.
+	src := `
+typedef int T;
+int g;
+int f(void) {
+    T *p;
+    g * 2;
+    p = &g;
+    return *p;
+}`
+	parse(t, src)
+}

@@ -1,0 +1,223 @@
+package cpp
+
+import (
+	"wlpa/internal/ctok"
+)
+
+// evalCond evaluates a #if / #elif controlling expression. Per the C
+// rules, defined(X) and defined X are evaluated first, then remaining
+// macros are expanded, then any identifiers left over evaluate to 0.
+func (st *state) evalCond(pos ctok.Pos, line []ctok.Token) (int64, error) {
+	// Replace defined(...) before macro expansion.
+	var pre []ctok.Token
+	for i := 0; i < len(line); i++ {
+		t := line[i]
+		if t.Kind == ctok.Ident && t.Text == "defined" {
+			name := ""
+			if i+1 < len(line) && line[i+1].Kind == ctok.Ident {
+				name = line[i+1].Text
+				i++
+			} else if i+3 < len(line) && line[i+1].Kind == ctok.LParen &&
+				line[i+2].Kind == ctok.Ident && line[i+3].Kind == ctok.RParen {
+				name = line[i+2].Text
+				i += 3
+			} else {
+				return 0, st.errorf(pos, "bad defined() syntax")
+			}
+			v := int64(0)
+			if _, ok := st.macros[name]; ok {
+				v = 1
+			}
+			pre = append(pre, ctok.Token{Kind: ctok.IntLit, IntVal: v, Pos: t.Pos})
+			continue
+		}
+		pre = append(pre, t)
+	}
+	expanded, err := st.rescan(pre, nil)
+	if err != nil {
+		return 0, err
+	}
+	// Remaining identifiers become 0.
+	for i := range expanded {
+		if expanded[i].Kind == ctok.Ident || expanded[i].Kind == ctok.Keyword {
+			expanded[i] = ctok.Token{Kind: ctok.IntLit, IntVal: 0, Pos: expanded[i].Pos}
+		}
+	}
+	p := &condParser{st: st, pos: pos, toks: expanded}
+	v, err := p.parseTernary()
+	if err != nil {
+		return 0, err
+	}
+	if p.i < len(p.toks) {
+		return 0, st.errorf(pos, "trailing tokens in #if expression")
+	}
+	return v, nil
+}
+
+type condParser struct {
+	st   *state
+	pos  ctok.Pos
+	toks []ctok.Token
+	i    int
+}
+
+func (p *condParser) peek() ctok.Kind {
+	if p.i >= len(p.toks) {
+		return ctok.EOF
+	}
+	return p.toks[p.i].Kind
+}
+
+func (p *condParser) next() ctok.Token {
+	t := p.toks[p.i]
+	p.i++
+	return t
+}
+
+func (p *condParser) parseTernary() (int64, error) {
+	cond, err := p.parseBinary(0)
+	if err != nil {
+		return 0, err
+	}
+	if p.peek() != ctok.Question {
+		return cond, nil
+	}
+	p.next()
+	a, err := p.parseTernary()
+	if err != nil {
+		return 0, err
+	}
+	if p.peek() != ctok.Colon {
+		return 0, p.st.errorf(p.pos, "missing ':' in #if ?:")
+	}
+	p.next()
+	b, err := p.parseTernary()
+	if err != nil {
+		return 0, err
+	}
+	if cond != 0 {
+		return a, nil
+	}
+	return b, nil
+}
+
+// binary operator precedence for #if expressions.
+var condPrec = map[ctok.Kind]int{
+	ctok.OrOr: 1, ctok.AndAnd: 2, ctok.Pipe: 3, ctok.Caret: 4, ctok.Amp: 5,
+	ctok.Eq: 6, ctok.Ne: 6,
+	ctok.Lt: 7, ctok.Gt: 7, ctok.Le: 7, ctok.Ge: 7,
+	ctok.Shl: 8, ctok.Shr: 8,
+	ctok.Plus: 9, ctok.Minus: 9,
+	ctok.Star: 10, ctok.Slash: 10, ctok.Percent: 10,
+}
+
+func (p *condParser) parseBinary(min int) (int64, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		prec, ok := condPrec[p.peek()]
+		if !ok || prec < min {
+			return lhs, nil
+		}
+		op := p.next().Kind
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return 0, err
+		}
+		lhs, err = applyCondOp(p, op, lhs, rhs)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func applyCondOp(p *condParser, op ctok.Kind, a, b int64) (int64, error) {
+	switch op {
+	case ctok.OrOr:
+		return b2i(a != 0 || b != 0), nil
+	case ctok.AndAnd:
+		return b2i(a != 0 && b != 0), nil
+	case ctok.Pipe:
+		return a | b, nil
+	case ctok.Caret:
+		return a ^ b, nil
+	case ctok.Amp:
+		return a & b, nil
+	case ctok.Eq:
+		return b2i(a == b), nil
+	case ctok.Ne:
+		return b2i(a != b), nil
+	case ctok.Lt:
+		return b2i(a < b), nil
+	case ctok.Gt:
+		return b2i(a > b), nil
+	case ctok.Le:
+		return b2i(a <= b), nil
+	case ctok.Ge:
+		return b2i(a >= b), nil
+	case ctok.Shl:
+		return a << uint(b&63), nil
+	case ctok.Shr:
+		return a >> uint(b&63), nil
+	case ctok.Plus:
+		return a + b, nil
+	case ctok.Minus:
+		return a - b, nil
+	case ctok.Star:
+		return a * b, nil
+	case ctok.Slash:
+		if b == 0 {
+			return 0, p.st.errorf(p.pos, "division by zero in #if")
+		}
+		return a / b, nil
+	case ctok.Percent:
+		if b == 0 {
+			return 0, p.st.errorf(p.pos, "division by zero in #if")
+		}
+		return a % b, nil
+	}
+	return 0, p.st.errorf(p.pos, "bad operator in #if")
+}
+
+func (p *condParser) parseUnary() (int64, error) {
+	switch p.peek() {
+	case ctok.Not:
+		p.next()
+		v, err := p.parseUnary()
+		return b2i(v == 0), err
+	case ctok.Minus:
+		p.next()
+		v, err := p.parseUnary()
+		return -v, err
+	case ctok.Plus:
+		p.next()
+		return p.parseUnary()
+	case ctok.Tilde:
+		p.next()
+		v, err := p.parseUnary()
+		return ^v, err
+	case ctok.LParen:
+		p.next()
+		v, err := p.parseTernary()
+		if err != nil {
+			return 0, err
+		}
+		if p.peek() != ctok.RParen {
+			return 0, p.st.errorf(p.pos, "missing ')' in #if expression")
+		}
+		p.next()
+		return v, nil
+	case ctok.IntLit, ctok.CharLit:
+		return p.next().IntVal, nil
+	}
+	return 0, p.st.errorf(p.pos, "bad token in #if expression")
+}

@@ -1,0 +1,495 @@
+// Package cpp implements the C preprocessor subset used by wlpa: object-
+// and function-like macros, #include over an in-memory file set, and the
+// conditional-compilation directives (#if/#ifdef/#ifndef/#elif/#else/
+// #endif) with defined() and integer constant expressions.
+//
+// Unsupported: token pasting (##) and stringization (#). The benchmark
+// suite does not use them and the paper's frontend (SUIF) took
+// preprocessed input anyway.
+package cpp
+
+import (
+	"fmt"
+	"strings"
+
+	"wlpa/internal/ctok"
+)
+
+// Source is an in-memory file set mapping file names to contents.
+type Source map[string]string
+
+// Macro is a preprocessor macro definition.
+type Macro struct {
+	Name     string
+	Params   []string // nil for object-like macros
+	IsFunc   bool
+	Variadic bool
+	Body     []ctok.Token
+}
+
+// Error is a preprocessing error with a position.
+type Error struct {
+	Pos ctok.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type state struct {
+	files   Source
+	macros  map[string]*Macro
+	out     []ctok.Token
+	include []string // include stack for cycle detection
+	depth   int
+}
+
+const maxIncludeDepth = 64
+
+// Preprocess expands the translation unit rooted at entry and returns the
+// resulting token stream (ending in EOF). Files named in #include <...>
+// that are not present in files are resolved against the built-in libc
+// headers (see headers.go); unknown headers are an error.
+func Preprocess(files Source, entry string, predefined map[string]string) ([]ctok.Token, error) {
+	st := &state{files: files, macros: make(map[string]*Macro)}
+	for name, val := range predefined {
+		toks, err := ctok.Tokenize("<predefined>", val)
+		if err != nil {
+			return nil, err
+		}
+		st.macros[name] = &Macro{Name: name, Body: toks[:len(toks)-1]}
+	}
+	if err := st.processFile(entry, ctok.Pos{}); err != nil {
+		return nil, err
+	}
+	st.out = append(st.out, ctok.Token{Kind: ctok.EOF, LeadingNewline: true})
+	return st.out, nil
+}
+
+func (st *state) errorf(p ctok.Pos, format string, args ...any) error {
+	return &Error{Pos: p, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (st *state) lookupFile(name string, system bool) (string, bool) {
+	if !system {
+		if src, ok := st.files[name]; ok {
+			return src, true
+		}
+	}
+	if src, ok := BuiltinHeaders[name]; ok {
+		return src, true
+	}
+	// Fall back to user files for <...> includes too.
+	if src, ok := st.files[name]; ok {
+		return src, true
+	}
+	return "", false
+}
+
+func (st *state) processFile(name string, from ctok.Pos) error {
+	if st.depth >= maxIncludeDepth {
+		return st.errorf(from, "#include nesting too deep (cycle including %q?)", name)
+	}
+	for _, f := range st.include {
+		if f == name {
+			// Repeated inclusion is permitted (headers are
+			// idempotent here), but a direct cycle is not.
+			break
+		}
+	}
+	src, ok := st.files[name]
+	if !ok {
+		if b, okb := BuiltinHeaders[name]; okb {
+			src = b
+		} else {
+			return st.errorf(from, "include file %q not found", name)
+		}
+	}
+	st.depth++
+	st.include = append(st.include, name)
+	err := st.processTokens(name, src)
+	st.include = st.include[:len(st.include)-1]
+	st.depth--
+	return err
+}
+
+// condState tracks one #if level.
+type condState struct {
+	active     bool // tokens in the current branch are emitted
+	everTaken  bool // some branch at this level was taken
+	parentLive bool
+	seenElse   bool
+	pos        ctok.Pos
+}
+
+func (st *state) processTokens(file, src string) error {
+	toks, err := ctok.Tokenize(file, src)
+	if err != nil {
+		return err
+	}
+	var conds []condState
+	live := func() bool {
+		for _, c := range conds {
+			if !c.active {
+				return false
+			}
+		}
+		return true
+	}
+	i := 0
+	for i < len(toks) {
+		t := toks[i]
+		if t.Kind == ctok.EOF {
+			break
+		}
+		if t.Kind == ctok.Hash && t.LeadingNewline {
+			// Directive: gather tokens to end of line.
+			j := i + 1
+			for j < len(toks) && toks[j].Kind != ctok.EOF && !toks[j].LeadingNewline {
+				j++
+			}
+			line := toks[i+1 : j]
+			n, err := st.directive(t.Pos, line, &conds, live)
+			if err != nil {
+				return err
+			}
+			_ = n
+			i = j
+			continue
+		}
+		if !live() {
+			i++
+			continue
+		}
+		n, err := st.expandFrom(toks, i)
+		if err != nil {
+			return err
+		}
+		i = n
+	}
+	if len(conds) > 0 {
+		return st.errorf(conds[len(conds)-1].pos, "unterminated #if")
+	}
+	return nil
+}
+
+func (st *state) directive(pos ctok.Pos, line []ctok.Token, conds *[]condState, live func() bool) (int, error) {
+	if len(line) == 0 {
+		return 0, nil // null directive
+	}
+	name := line[0].Text
+	switch name {
+	case "include":
+		if !live() {
+			return 0, nil
+		}
+		return 0, st.doInclude(pos, line[1:])
+	case "define":
+		if !live() {
+			return 0, nil
+		}
+		return 0, st.doDefine(pos, line[1:])
+	case "undef":
+		if !live() {
+			return 0, nil
+		}
+		if len(line) < 2 || line[1].Kind != ctok.Ident {
+			return 0, st.errorf(pos, "#undef expects a name")
+		}
+		delete(st.macros, line[1].Text)
+		return 0, nil
+	case "ifdef", "ifndef":
+		taken := false
+		if live() {
+			if len(line) < 2 {
+				return 0, st.errorf(pos, "#%s expects a name", name)
+			}
+			_, defined := st.macros[line[1].Text]
+			taken = defined == (name == "ifdef")
+		}
+		*conds = append(*conds, condState{active: taken, everTaken: taken, parentLive: live(), pos: pos})
+		return 0, nil
+	case "if":
+		taken := false
+		if live() {
+			v, err := st.evalCond(pos, line[1:])
+			if err != nil {
+				return 0, err
+			}
+			taken = v != 0
+		}
+		*conds = append(*conds, condState{active: taken, everTaken: taken, parentLive: live(), pos: pos})
+		return 0, nil
+	case "elif":
+		if len(*conds) == 0 {
+			return 0, st.errorf(pos, "#elif without #if")
+		}
+		c := &(*conds)[len(*conds)-1]
+		if c.seenElse {
+			return 0, st.errorf(pos, "#elif after #else")
+		}
+		if c.everTaken || !c.parentLive {
+			c.active = false
+			return 0, nil
+		}
+		v, err := st.evalCond(pos, line[1:])
+		if err != nil {
+			return 0, err
+		}
+		c.active = v != 0
+		c.everTaken = c.active
+		return 0, nil
+	case "else":
+		if len(*conds) == 0 {
+			return 0, st.errorf(pos, "#else without #if")
+		}
+		c := &(*conds)[len(*conds)-1]
+		if c.seenElse {
+			return 0, st.errorf(pos, "duplicate #else")
+		}
+		c.seenElse = true
+		c.active = c.parentLive && !c.everTaken
+		c.everTaken = true
+		return 0, nil
+	case "endif":
+		if len(*conds) == 0 {
+			return 0, st.errorf(pos, "#endif without #if")
+		}
+		*conds = (*conds)[:len(*conds)-1]
+		return 0, nil
+	case "pragma":
+		return 0, nil
+	case "error":
+		if !live() {
+			return 0, nil
+		}
+		var sb strings.Builder
+		for _, t := range line[1:] {
+			sb.WriteString(t.Text)
+			sb.WriteByte(' ')
+		}
+		return 0, st.errorf(pos, "#error %s", strings.TrimSpace(sb.String()))
+	default:
+		return 0, st.errorf(pos, "unknown directive #%s", name)
+	}
+}
+
+func (st *state) doInclude(pos ctok.Pos, line []ctok.Token) error {
+	if len(line) == 0 {
+		return st.errorf(pos, "#include expects a file name")
+	}
+	if line[0].Kind == ctok.StringLit {
+		return st.processFile(line[0].Text, pos)
+	}
+	if line[0].Kind == ctok.Lt {
+		var sb strings.Builder
+		for _, t := range line[1:] {
+			if t.Kind == ctok.Gt {
+				name := sb.String()
+				if _, ok := st.lookupFile(name, true); !ok {
+					return st.errorf(pos, "system header <%s> not available", name)
+				}
+				src, _ := st.lookupFile(name, true)
+				st.depth++
+				err := st.processTokens(name, src)
+				st.depth--
+				return err
+			}
+			switch t.Kind {
+			case ctok.Ident, ctok.Keyword:
+				sb.WriteString(t.Text)
+			case ctok.Dot:
+				sb.WriteByte('.')
+			case ctok.Slash:
+				sb.WriteByte('/')
+			case ctok.Minus:
+				sb.WriteByte('-')
+			default:
+				return st.errorf(pos, "bad token in #include <...>")
+			}
+		}
+		return st.errorf(pos, "missing '>' in #include")
+	}
+	return st.errorf(pos, "bad #include syntax")
+}
+
+func (st *state) doDefine(pos ctok.Pos, line []ctok.Token) error {
+	if len(line) == 0 || (line[0].Kind != ctok.Ident && line[0].Kind != ctok.Keyword) {
+		return st.errorf(pos, "#define expects a name")
+	}
+	m := &Macro{Name: line[0].Text}
+	rest := line[1:]
+	// Function-like only if '(' immediately follows the name. The lexer
+	// does not record adjacency, so approximate with column positions.
+	if len(rest) > 0 && rest[0].Kind == ctok.LParen &&
+		rest[0].Pos.Line == line[0].Pos.Line &&
+		rest[0].Pos.Col == line[0].Pos.Col+len(line[0].Text) {
+		m.IsFunc = true
+		i := 1
+		for i < len(rest) && rest[i].Kind != ctok.RParen {
+			switch rest[i].Kind {
+			case ctok.Ident:
+				m.Params = append(m.Params, rest[i].Text)
+			case ctok.Ellipsis:
+				m.Variadic = true
+			case ctok.Comma:
+			default:
+				return st.errorf(pos, "bad macro parameter list")
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return st.errorf(pos, "unterminated macro parameter list")
+		}
+		rest = rest[i+1:]
+	}
+	m.Body = rest
+	st.macros[m.Name] = m
+	return nil
+}
+
+// expandFrom expands the macro (if any) at toks[i], appending the result
+// to st.out, and returns the index of the next unconsumed token.
+func (st *state) expandFrom(toks []ctok.Token, i int) (int, error) {
+	expanded, next, err := st.expandOne(toks, i, nil)
+	if err != nil {
+		return 0, err
+	}
+	st.out = append(st.out, expanded...)
+	return next, nil
+}
+
+// expandOne returns the fully expanded token sequence for the token at
+// toks[i] plus (for function-like macros) its argument list, and the next
+// index. hide is the set of macro names not to re-expand.
+func (st *state) expandOne(toks []ctok.Token, i int, hide map[string]bool) ([]ctok.Token, int, error) {
+	t := toks[i]
+	if t.Kind != ctok.Ident {
+		return []ctok.Token{t}, i + 1, nil
+	}
+	m, ok := st.macros[t.Text]
+	if !ok || hide[t.Text] {
+		return []ctok.Token{t}, i + 1, nil
+	}
+	if !m.IsFunc {
+		body := retag(m.Body, t.Pos)
+		out, err := st.rescan(body, addHide(hide, m.Name))
+		return out, i + 1, err
+	}
+	// Function-like: need '(' next; otherwise leave the name alone.
+	if i+1 >= len(toks) || toks[i+1].Kind != ctok.LParen {
+		return []ctok.Token{t}, i + 1, nil
+	}
+	args, next, err := st.collectArgs(toks, i+1)
+	if err != nil {
+		return nil, 0, err
+	}
+	if len(args) == 1 && len(args[0]) == 0 && len(m.Params) == 0 {
+		args = nil
+	}
+	if len(args) < len(m.Params) || (len(args) > len(m.Params) && !m.Variadic) {
+		return nil, 0, st.errorf(t.Pos, "macro %s expects %d arguments, got %d", m.Name, len(m.Params), len(args))
+	}
+	// Substitute parameters (arguments are expanded before substitution).
+	var body []ctok.Token
+	for _, bt := range m.Body {
+		if bt.Kind == ctok.Ident {
+			if idx := paramIndex(m.Params, bt.Text); idx >= 0 {
+				ex, err := st.rescan(args[idx], hide)
+				if err != nil {
+					return nil, 0, err
+				}
+				body = append(body, ex...)
+				continue
+			}
+		}
+		body = append(body, bt)
+	}
+	body = retag(body, t.Pos)
+	out, err := st.rescan(body, addHide(hide, m.Name))
+	return out, next, err
+}
+
+func paramIndex(params []string, name string) int {
+	for i, p := range params {
+		if p == name {
+			return i
+		}
+	}
+	return -1
+}
+
+func addHide(hide map[string]bool, name string) map[string]bool {
+	nh := make(map[string]bool, len(hide)+1)
+	for k := range hide {
+		nh[k] = true
+	}
+	nh[name] = true
+	return nh
+}
+
+// retag rewrites token positions to the macro invocation site so that
+// downstream diagnostics point at the use, and clears newline flags so a
+// multi-line macro body cannot be mistaken for a directive boundary.
+func retag(body []ctok.Token, pos ctok.Pos) []ctok.Token {
+	out := make([]ctok.Token, len(body))
+	for i, t := range body {
+		t.Pos = pos
+		t.LeadingNewline = false
+		out[i] = t
+	}
+	return out
+}
+
+// rescan re-expands macros appearing in a substituted body.
+func (st *state) rescan(body []ctok.Token, hide map[string]bool) ([]ctok.Token, error) {
+	var out []ctok.Token
+	i := 0
+	for i < len(body) {
+		ex, next, err := st.expandOne(body, i, hide)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ex...)
+		i = next
+	}
+	return out, nil
+}
+
+// collectArgs parses a macro argument list starting at the '(' in
+// toks[open]; it returns the raw (unexpanded) argument token lists and the
+// index after the closing ')'.
+func (st *state) collectArgs(toks []ctok.Token, open int) ([][]ctok.Token, int, error) {
+	depth := 0
+	var args [][]ctok.Token
+	var cur []ctok.Token
+	i := open
+	for ; i < len(toks); i++ {
+		t := toks[i]
+		switch t.Kind {
+		case ctok.LParen:
+			depth++
+			if depth > 1 {
+				cur = append(cur, t)
+			}
+		case ctok.RParen:
+			depth--
+			if depth == 0 {
+				args = append(args, cur)
+				return args, i + 1, nil
+			}
+			cur = append(cur, t)
+		case ctok.Comma:
+			if depth == 1 {
+				args = append(args, cur)
+				cur = nil
+			} else {
+				cur = append(cur, t)
+			}
+		case ctok.EOF:
+			return nil, 0, st.errorf(toks[open].Pos, "unterminated macro argument list")
+		default:
+			cur = append(cur, t)
+		}
+	}
+	return nil, 0, st.errorf(toks[open].Pos, "unterminated macro argument list")
+}

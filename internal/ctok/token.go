@@ -1,0 +1,152 @@
+// Package ctok implements a lexical scanner for the C subset analyzed by
+// wlpa. Tokens carry source positions so that later phases can report
+// errors and so that heap allocation sites can be named by source location.
+package ctok
+
+import "fmt"
+
+// Kind identifies the lexical class of a token.
+type Kind int
+
+// Token kinds. Punctuation kinds are named after their spelling.
+const (
+	EOF Kind = iota
+	Ident
+	Keyword
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+
+	LParen   // (
+	RParen   // )
+	LBrace   // {
+	RBrace   // }
+	LBracket // [
+	RBracket // ]
+	Semi     // ;
+	Comma    // ,
+	Dot      // .
+	Arrow    // ->
+	Ellipsis // ...
+
+	Plus    // +
+	Minus   // -
+	Star    // *
+	Slash   // /
+	Percent // %
+	Inc     // ++
+	Dec     // --
+
+	Amp   // &
+	Pipe  // |
+	Caret // ^
+	Tilde // ~
+	Shl   // <<
+	Shr   // >>
+
+	Not    // !
+	AndAnd // &&
+	OrOr   // ||
+
+	Lt // <
+	Gt // >
+	Le // <=
+	Ge // >=
+	Eq // ==
+	Ne // !=
+
+	Assign    // =
+	AddAssign // +=
+	SubAssign // -=
+	MulAssign // *=
+	DivAssign // /=
+	ModAssign // %=
+	AndAssign // &=
+	OrAssign  // |=
+	XorAssign // ^=
+	ShlAssign // <<=
+	ShrAssign // >>=
+
+	Question // ?
+	Colon    // :
+	Hash     // # (only when lexing preprocessor lines)
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Keyword: "keyword", IntLit: "integer literal",
+	FloatLit: "float literal", CharLit: "char literal", StringLit: "string literal",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBracket: "[", RBracket: "]",
+	Semi: ";", Comma: ",", Dot: ".", Arrow: "->", Ellipsis: "...",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%", Inc: "++", Dec: "--",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Shl: "<<", Shr: ">>",
+	Not: "!", AndAnd: "&&", OrOr: "||",
+	Lt: "<", Gt: ">", Le: "<=", Ge: ">=", Eq: "==", Ne: "!=",
+	Assign: "=", AddAssign: "+=", SubAssign: "-=", MulAssign: "*=", DivAssign: "/=",
+	ModAssign: "%=", AndAssign: "&=", OrAssign: "|=", XorAssign: "^=",
+	ShlAssign: "<<=", ShrAssign: ">>=",
+	Question: "?", Colon: ":", Hash: "#",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// IsValid reports whether the position has been set.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Token is a single lexical token.
+type Token struct {
+	Kind Kind
+	Text string // raw text for identifiers, keywords and literals
+	Pos  Pos
+
+	// IntVal and FloatVal hold decoded values for IntLit/CharLit and
+	// FloatLit tokens respectively.
+	IntVal   int64
+	FloatVal float64
+
+	// LeadingNewline records that a newline preceded this token; the
+	// preprocessor uses it to find directive boundaries.
+	LeadingNewline bool
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Keyword, IntLit, FloatLit, CharLit, StringLit:
+		return fmt.Sprintf("%s %q", t.Kind, t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Keywords of the supported C subset.
+var keywords = map[string]bool{
+	"auto": true, "break": true, "case": true, "char": true, "const": true,
+	"continue": true, "default": true, "do": true, "double": true, "else": true,
+	"enum": true, "extern": true, "float": true, "for": true, "goto": true,
+	"if": true, "int": true, "long": true, "register": true, "return": true,
+	"short": true, "signed": true, "sizeof": true, "static": true,
+	"struct": true, "switch": true, "typedef": true, "union": true,
+	"unsigned": true, "void": true, "volatile": true, "while": true,
+}
+
+// IsKeyword reports whether s is a reserved word.
+func IsKeyword(s string) bool { return keywords[s] }

@@ -1,0 +1,218 @@
+package ctype
+
+import "testing"
+
+func TestScalarSizes(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		size int64
+	}{
+		{CharType, 1}, {UCharType, 1}, {ShortType, 2}, {UShortType, 2},
+		{IntType, 4}, {UIntType, 4}, {LongType, 8}, {ULongType, 8},
+		{FloatType, 4}, {DoubleType, 8}, {PointerTo(IntType), 8},
+	}
+	for _, c := range cases {
+		if got := c.t.Sizeof(); got != c.size {
+			t.Errorf("sizeof(%s) = %d, want %d", c.t, got, c.size)
+		}
+	}
+}
+
+func TestStructLayout(t *testing.T) {
+	// struct { char c; int i; char d; double f; }
+	s := NewStruct("s", false)
+	s.Complete([]Field{
+		{Name: "c", Type: CharType},
+		{Name: "i", Type: IntType},
+		{Name: "d", Type: CharType},
+		{Name: "f", Type: DoubleType},
+	})
+	wantOff := []int64{0, 4, 8, 16}
+	for i, w := range wantOff {
+		if s.Fields[i].Offset != w {
+			t.Errorf("field %s offset = %d, want %d", s.Fields[i].Name, s.Fields[i].Offset, w)
+		}
+	}
+	if s.Size != 24 {
+		t.Errorf("struct size = %d, want 24", s.Size)
+	}
+	if s.Alignof() != 8 {
+		t.Errorf("struct align = %d, want 8", s.Alignof())
+	}
+}
+
+func TestUnionLayout(t *testing.T) {
+	u := NewStruct("u", true)
+	u.Complete([]Field{
+		{Name: "i", Type: IntType},
+		{Name: "d", Type: DoubleType},
+		{Name: "p", Type: PointerTo(CharType)},
+	})
+	for _, f := range u.Fields {
+		if f.Offset != 0 {
+			t.Errorf("union field %s offset = %d, want 0", f.Name, f.Offset)
+		}
+	}
+	if u.Size != 8 {
+		t.Errorf("union size = %d, want 8", u.Size)
+	}
+}
+
+func TestNestedStructLayout(t *testing.T) {
+	inner := NewStruct("in", false)
+	inner.Complete([]Field{
+		{Name: "a", Type: CharType},
+		{Name: "b", Type: IntType},
+	})
+	if inner.Size != 8 {
+		t.Fatalf("inner size = %d", inner.Size)
+	}
+	outer := NewStruct("out", false)
+	outer.Complete([]Field{
+		{Name: "x", Type: CharType},
+		{Name: "in", Type: inner},
+	})
+	if outer.FieldByName("in").Offset != 4 {
+		t.Errorf("nested offset = %d, want 4", outer.FieldByName("in").Offset)
+	}
+	if outer.Size != 12 {
+		t.Errorf("outer size = %d, want 12", outer.Size)
+	}
+}
+
+func TestArrayOf(t *testing.T) {
+	a := ArrayOf(IntType, 10)
+	if a.Sizeof() != 40 {
+		t.Errorf("sizeof(int[10]) = %d", a.Sizeof())
+	}
+	if a.Alignof() != 4 {
+		t.Errorf("alignof(int[10]) = %d", a.Alignof())
+	}
+	incomplete := ArrayOf(IntType, -1)
+	if incomplete.Sizeof() != 0 {
+		t.Errorf("sizeof(int[]) = %d", incomplete.Sizeof())
+	}
+}
+
+func TestArrayOfStructs(t *testing.T) {
+	s := NewStruct("pt", false)
+	s.Complete([]Field{
+		{Name: "x", Type: IntType},
+		{Name: "y", Type: IntType},
+	})
+	a := ArrayOf(s, 5)
+	if a.Sizeof() != 40 {
+		t.Errorf("sizeof(struct pt[5]) = %d", a.Sizeof())
+	}
+}
+
+func TestDecay(t *testing.T) {
+	a := ArrayOf(IntType, 4).Decay()
+	if a.Kind != Pointer || !Equal(a.Elem, IntType) {
+		t.Errorf("array decay = %s", a)
+	}
+	f := FuncOf(IntType, nil, false).Decay()
+	if f.Kind != Pointer || f.Elem.Kind != Func {
+		t.Errorf("func decay = %s", f)
+	}
+	if IntType.Decay() != IntType {
+		t.Error("scalar should not decay")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Equal(PointerTo(IntType), PointerTo(IntType)) {
+		t.Error("int* == int*")
+	}
+	if Equal(PointerTo(IntType), PointerTo(CharType)) {
+		t.Error("int* != char*")
+	}
+	s1 := NewStruct("a", false)
+	s2 := NewStruct("a", false)
+	if Equal(s1, s2) {
+		t.Error("distinct struct defs are distinct types")
+	}
+	if !Equal(s1, s1) {
+		t.Error("a struct equals itself")
+	}
+	f1 := FuncOf(IntType, []*Type{PointerTo(CharType)}, false)
+	f2 := FuncOf(IntType, []*Type{PointerTo(CharType)}, false)
+	f3 := FuncOf(IntType, []*Type{PointerTo(CharType)}, true)
+	if !Equal(f1, f2) || Equal(f1, f3) {
+		t.Error("function type equality")
+	}
+}
+
+func TestCommonArith(t *testing.T) {
+	cases := []struct {
+		a, b, want *Type
+	}{
+		{IntType, IntType, IntType},
+		{CharType, IntType, IntType},
+		{IntType, LongType, LongType},
+		{IntType, DoubleType, DoubleType},
+		{FloatType, IntType, FloatType},
+		{FloatType, DoubleType, DoubleType},
+		{UIntType, IntType, UIntType},
+		{CharType, ShortType, IntType},
+	}
+	for _, c := range cases {
+		if got := CommonArith(c.a, c.b); !Equal(got, c.want) {
+			t.Errorf("CommonArith(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestIsPointerLike(t *testing.T) {
+	if !PointerTo(IntType).IsPointerLike() {
+		t.Error("pointer is pointer-like")
+	}
+	if !LongType.IsPointerLike() {
+		t.Error("long is pointer-like (pointers are stored in longs)")
+	}
+	if IntType.IsPointerLike() {
+		t.Error("int (4 bytes) is too narrow to hold a pointer")
+	}
+	if DoubleType.IsPointerLike() {
+		t.Error("double is not pointer-like")
+	}
+}
+
+func TestVoidSize(t *testing.T) {
+	// void* arithmetic behaves like char* (size 1).
+	if VoidType.Sizeof() != 1 {
+		t.Errorf("sizeof(void) = %d, want 1", VoidType.Sizeof())
+	}
+}
+
+func TestIncompleteStruct(t *testing.T) {
+	s := NewStruct("fwd", false)
+	if !s.Incomplete {
+		t.Error("new struct should be incomplete")
+	}
+	p := PointerTo(s)
+	if p.Sizeof() != 8 {
+		t.Error("pointer to incomplete struct has full size")
+	}
+	s.Complete([]Field{{Name: "v", Type: IntType}})
+	if s.Incomplete || s.Size != 4 {
+		t.Errorf("completed struct: incomplete=%v size=%d", s.Incomplete, s.Size)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		t    *Type
+		want string
+	}{
+		{IntType, "int"}, {UCharType, "unsigned char"},
+		{PointerTo(CharType), "char*"},
+		{ArrayOf(IntType, 3), "int[3]"},
+		{FuncOf(VoidType, []*Type{IntType}, true), "void(int, ...)"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}

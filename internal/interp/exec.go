@@ -1,0 +1,726 @@
+package interp
+
+import (
+	"wlpa/internal/cast"
+	"wlpa/internal/ctok"
+	"wlpa/internal/ctype"
+)
+
+// execStmt executes a statement and reports how control left it.
+func (in *Interp) execStmt(s cast.Stmt, fr *frame) flow {
+	in.tick(s.Position(), 1)
+	switch s := s.(type) {
+	case *cast.BlockStmt:
+		return in.execBlock(s, fr, "")
+	case *cast.EmptyStmt:
+		return flowNone
+	case *cast.ExprStmt:
+		in.evalExpr(s.X, fr)
+		return flowNone
+	case *cast.IfStmt:
+		if in.evalExpr(s.Cond, fr).Truthy() {
+			return in.execStmt(s.Then, fr)
+		}
+		if s.Else != nil {
+			return in.execStmt(s.Else, fr)
+		}
+		return flowNone
+	case *cast.WhileStmt:
+		return in.profiled(s.Pos, func() flow {
+			for in.evalExpr(s.Cond, fr).Truthy() {
+				in.countIteration(s.Pos)
+				fl := in.execStmt(s.Body, fr)
+				switch fl.c {
+				case ctrlBreak:
+					return flowNone
+				case ctrlReturn, ctrlGoto:
+					return fl
+				}
+			}
+			return flowNone
+		})
+	case *cast.DoWhileStmt:
+		return in.profiled(s.Pos, func() flow {
+			for {
+				in.countIteration(s.Pos)
+				fl := in.execStmt(s.Body, fr)
+				switch fl.c {
+				case ctrlBreak:
+					return flowNone
+				case ctrlReturn, ctrlGoto:
+					return fl
+				}
+				if !in.evalExpr(s.Cond, fr).Truthy() {
+					return flowNone
+				}
+			}
+		})
+	case *cast.ForStmt:
+		return in.profiled(s.Pos, func() flow {
+			if s.Init != nil {
+				in.evalExpr(s.Init, fr)
+			}
+			for s.Cond == nil || in.evalExpr(s.Cond, fr).Truthy() {
+				in.countIteration(s.Pos)
+				fl := in.execStmt(s.Body, fr)
+				switch fl.c {
+				case ctrlBreak:
+					return flowNone
+				case ctrlReturn, ctrlGoto:
+					return fl
+				}
+				if s.Post != nil {
+					in.evalExpr(s.Post, fr)
+				}
+			}
+			return flowNone
+		})
+	case *cast.SwitchStmt:
+		return in.execSwitch(s, fr)
+	case *cast.CaseStmt:
+		// Reached linearly (fallthrough): just run the body.
+		return in.execStmt(s.Body, fr)
+	case *cast.BreakStmt:
+		return flow{c: ctrlBreak}
+	case *cast.ContinueStmt:
+		return flow{c: ctrlContinue}
+	case *cast.ReturnStmt:
+		if s.X != nil {
+			v := in.evalExpr(s.X, fr)
+			fr.ret = in.convert(v, fr.fn.Type.Ret)
+		}
+		fr.hasRet = true
+		return flow{c: ctrlReturn}
+	case *cast.GotoStmt:
+		return flow{c: ctrlGoto, label: s.Label}
+	case *cast.LabelStmt:
+		return in.execStmt(s.Body, fr)
+	}
+	in.errorf(s.Position(), "unhandled statement %T", s)
+	return flowNone
+}
+
+// execBlock runs a block, handling local declarations and resolving
+// gotos whose labels appear at this block's top level.
+func (in *Interp) execBlock(b *cast.BlockStmt, fr *frame, startLabel string) flow {
+	i := 0
+	if startLabel != "" {
+		idx := labelIndex(b, startLabel)
+		if idx < 0 {
+			return flow{c: ctrlGoto, label: startLabel}
+		}
+		i = idx
+	}
+	for ; i < len(b.Items); i++ {
+		item := b.Items[i]
+		if item.Decl != nil {
+			in.execLocalDecl(item.Decl, fr)
+			continue
+		}
+		fl := in.execStmt(item.Stmt, fr)
+		if fl.c == ctrlGoto {
+			if idx := labelIndex(b, fl.label); idx >= 0 {
+				i = idx - 1
+				continue
+			}
+			return fl
+		}
+		if fl.c != ctrlNone {
+			return fl
+		}
+	}
+	return flowNone
+}
+
+// labelIndex finds the item whose statement is (or wraps) the label.
+func labelIndex(b *cast.BlockStmt, label string) int {
+	for i, item := range b.Items {
+		s := item.Stmt
+		for {
+			ls, ok := s.(*cast.LabelStmt)
+			if !ok {
+				break
+			}
+			if ls.Name == label {
+				return i
+			}
+			s = ls.Body
+		}
+	}
+	return -1
+}
+
+func (in *Interp) execLocalDecl(d cast.Decl, fr *frame) {
+	vd, ok := d.(*cast.VarDecl)
+	if !ok || vd.Sym == nil {
+		return
+	}
+	sym := vd.Sym
+	if sym.Global {
+		// Function-scoped static: shared object, initialized once at
+		// startup.
+		return
+	}
+	if sym.Kind == cast.SymFunc {
+		return
+	}
+	obj := newObject(LocalObj, sym.Name, sym.Type.Sizeof())
+	obj.Sym = sym
+	fr.locals[sym] = obj
+	if vd.Init != nil {
+		in.initObject(obj, 0, sym.Type, vd.Init, fr)
+	}
+}
+
+func (in *Interp) execSwitch(s *cast.SwitchStmt, fr *frame) flow {
+	tag := in.evalExpr(s.Tag, fr).AsInt()
+	body, ok := s.Body.(*cast.BlockStmt)
+	if !ok {
+		// Degenerate switch with a single statement body.
+		if cs, isCase := s.Body.(*cast.CaseStmt); isCase {
+			if cs.IsDefault || in.evalExpr(cs.Value, fr).AsInt() == tag {
+				fl := in.execStmt(cs.Body, fr)
+				if fl.c == ctrlBreak {
+					return flowNone
+				}
+				return fl
+			}
+		}
+		return flowNone
+	}
+	// Find the matching case (or default) among the items.
+	start := -1
+	defaultIdx := -1
+	for i, item := range body.Items {
+		cs, isCase := item.Stmt.(*cast.CaseStmt)
+		if !isCase {
+			continue
+		}
+		if cs.IsDefault {
+			if defaultIdx < 0 {
+				defaultIdx = i
+			}
+			continue
+		}
+		// A case may begin a chain: case 1: case 2: stmt.
+		if in.matchCase(cs, tag, fr) && start < 0 {
+			start = i
+		}
+	}
+	if start < 0 {
+		start = defaultIdx
+	}
+	if start < 0 {
+		return flowNone
+	}
+	for i := start; i < len(body.Items); i++ {
+		item := body.Items[i]
+		if item.Decl != nil {
+			in.execLocalDecl(item.Decl, fr)
+			continue
+		}
+		fl := in.execStmt(item.Stmt, fr)
+		switch fl.c {
+		case ctrlBreak:
+			return flowNone
+		case ctrlNone:
+		case ctrlGoto:
+			if idx := labelIndex(body, fl.label); idx >= 0 {
+				i = idx - 1
+				continue
+			}
+			return fl
+		default:
+			return fl
+		}
+	}
+	return flowNone
+}
+
+// matchCase checks a (possibly chained) case label against the tag.
+func (in *Interp) matchCase(cs *cast.CaseStmt, tag int64, fr *frame) bool {
+	for {
+		if cs.IsDefault {
+			return false
+		}
+		if in.evalExpr(cs.Value, fr).AsInt() == tag {
+			return true
+		}
+		inner, ok := cs.Body.(*cast.CaseStmt)
+		if !ok {
+			return false
+		}
+		cs = inner
+	}
+}
+
+// ---- loop profiling ----
+
+func (in *Interp) profiled(pos ctok.Pos, body func() flow) flow {
+	if in.loops == nil {
+		return body()
+	}
+	key := pos.String()
+	st, ok := in.loops[key]
+	if !ok {
+		st = &LoopStat{Pos: pos}
+		in.loops[key] = st
+	}
+	st.Invocations++
+	before := in.steps
+	fl := body()
+	st.Cost += in.steps - before
+	return fl
+}
+
+func (in *Interp) countIteration(pos ctok.Pos) {
+	if in.loops == nil {
+		return
+	}
+	if st, ok := in.loops[pos.String()]; ok {
+		st.Iterations++
+	}
+}
+
+// ---- expressions ----
+
+// evalLValue computes the address of an lvalue expression.
+func (in *Interp) evalLValue(e cast.Expr, fr *frame) Pointer {
+	switch e := e.(type) {
+	case *cast.Ident:
+		sym := e.Sym
+		if sym == nil {
+			in.errorf(e.Pos, "unresolved identifier %s", e.Name)
+		}
+		switch {
+		case sym.Kind == cast.SymFunc:
+			return Pointer{Obj: in.funcObj(sym)}
+		case sym.Global:
+			return Pointer{Obj: in.globalObj(sym)}
+		default:
+			obj, ok := fr.locals[sym]
+			if !ok {
+				// Block-scoped declaration not yet executed (e.g.
+				// jumped over); materialize it.
+				obj = newObject(LocalObj, sym.Name, sym.Type.Sizeof())
+				obj.Sym = sym
+				fr.locals[sym] = obj
+			}
+			return Pointer{Obj: obj}
+		}
+	case *cast.Unary:
+		if e.Op == cast.Deref {
+			v := in.evalExpr(e.X, fr)
+			if v.Kind != VPtr {
+				in.errorf(e.Pos, "dereference of non-pointer value %v", v)
+			}
+			return v.Ptr
+		}
+	case *cast.Index:
+		base := in.evalExpr(e.X, fr)
+		idx := in.evalExpr(e.I, fr).AsInt()
+		esz := e.TypeOf().Sizeof()
+		if esz <= 0 {
+			esz = 1
+		}
+		if base.Kind != VPtr {
+			in.errorf(e.Pos, "indexing non-pointer")
+		}
+		p := base.Ptr
+		p.Off += idx * esz
+		return p
+	case *cast.Member:
+		var p Pointer
+		if e.Arrow {
+			v := in.evalExpr(e.X, fr)
+			if v.Kind != VPtr {
+				in.errorf(e.Pos, "-> on non-pointer")
+			}
+			p = v.Ptr
+		} else {
+			p = in.evalLValue(e.X, fr)
+		}
+		if e.Field != nil {
+			p.Off += e.Field.Offset
+		}
+		return p
+	case *cast.StrLit:
+		return Pointer{Obj: in.strObj(e)}
+	case *cast.Cast:
+		return in.evalLValue(e.X, fr)
+	case *cast.Comma:
+		in.evalExpr(e.L, fr)
+		return in.evalLValue(e.R, fr)
+	case *cast.Cond:
+		if in.evalExpr(e.C, fr).Truthy() {
+			return in.evalLValue(e.T, fr)
+		}
+		return in.evalLValue(e.F, fr)
+	}
+	in.errorf(e.Position(), "expression %T is not an lvalue", e)
+	return Pointer{}
+}
+
+// evalExpr evaluates an expression to a value.
+func (in *Interp) evalExpr(e cast.Expr, fr *frame) Value {
+	in.tick(e.Position(), 1)
+	switch e := e.(type) {
+	case *cast.IntLit:
+		return IntVal(e.Value)
+	case *cast.FloatLit:
+		return FloatVal(e.Value)
+	case *cast.StrLit:
+		return PtrVal(Pointer{Obj: in.strObj(e)})
+	case *cast.Ident:
+		sym := e.Sym
+		if sym == nil {
+			in.errorf(e.Pos, "unresolved identifier %s", e.Name)
+		}
+		if sym.Kind == cast.SymFunc {
+			return PtrVal(Pointer{Obj: in.funcObj(sym)})
+		}
+		if sym.Type.Kind == ctype.Array {
+			return PtrVal(in.evalLValue(e, fr))
+		}
+		return in.loadVal(e.Pos, in.evalLValue(e, fr))
+	case *cast.Unary:
+		return in.evalUnary(e, fr)
+	case *cast.Binary:
+		return in.evalBinary(e, fr)
+	case *cast.Assign:
+		return in.evalAssign(e, fr)
+	case *cast.Cond:
+		if in.evalExpr(e.C, fr).Truthy() {
+			return in.evalExpr(e.T, fr)
+		}
+		return in.evalExpr(e.F, fr)
+	case *cast.Call:
+		return in.evalCall(e, fr)
+	case *cast.Index, *cast.Member:
+		p := in.evalLValue(e, fr)
+		if t := e.TypeOf(); t.Kind == ctype.Array || t.Kind == ctype.Struct {
+			return PtrVal(p)
+		}
+		return in.loadVal(e.Position(), p)
+	case *cast.Cast:
+		v := in.evalExpr(e.X, fr)
+		return in.convert(v, e.To)
+	case *cast.SizeofExpr:
+		t := e.X.TypeOf()
+		if t == nil {
+			return IntVal(0)
+		}
+		return IntVal(t.Sizeof())
+	case *cast.SizeofType:
+		return IntVal(e.Of.Sizeof())
+	case *cast.Comma:
+		in.evalExpr(e.L, fr)
+		return in.evalExpr(e.R, fr)
+	}
+	in.errorf(e.Position(), "unhandled expression %T", e)
+	return Value{}
+}
+
+func (in *Interp) evalUnary(e *cast.Unary, fr *frame) Value {
+	switch e.Op {
+	case cast.Addr:
+		return PtrVal(in.evalLValue(e.X, fr))
+	case cast.Deref:
+		v := in.evalExpr(e.X, fr)
+		if v.Kind != VPtr {
+			in.errorf(e.Pos, "dereference of non-pointer")
+		}
+		t := e.TypeOf()
+		if t.Kind == ctype.Array || t.Kind == ctype.Func || t.Kind == ctype.Struct {
+			return v
+		}
+		return in.loadVal(e.Pos, v.Ptr)
+	case cast.Neg:
+		v := in.evalExpr(e.X, fr)
+		if v.Kind == VFloat {
+			return FloatVal(-v.Float)
+		}
+		return IntVal(-v.AsInt())
+	case cast.Plus:
+		return in.evalExpr(e.X, fr)
+	case cast.BitNot:
+		return IntVal(^in.evalExpr(e.X, fr).AsInt())
+	case cast.LogNot:
+		if in.evalExpr(e.X, fr).Truthy() {
+			return IntVal(0)
+		}
+		return IntVal(1)
+	case cast.PreInc, cast.PreDec, cast.PostInc, cast.PostDec:
+		p := in.evalLValue(e.X, fr)
+		old := in.loadVal(e.Pos, p)
+		delta := int64(1)
+		if e.Op == cast.PreDec || e.Op == cast.PostDec {
+			delta = -1
+		}
+		var nv Value
+		t := e.X.TypeOf().Decay()
+		switch {
+		case t.Kind == ctype.Pointer:
+			esz := t.Elem.Sizeof()
+			if esz <= 0 {
+				esz = 1
+			}
+			if old.Kind != VPtr {
+				old = NullPtr()
+			}
+			np := old.Ptr
+			np.Off += delta * esz
+			nv = PtrVal(np)
+		case old.Kind == VFloat:
+			nv = FloatVal(old.Float + float64(delta))
+		default:
+			nv = IntVal(old.AsInt() + delta)
+		}
+		in.storeVal(e.Pos, p, in.convert(nv, t))
+		if e.Op == cast.PostInc || e.Op == cast.PostDec {
+			return old
+		}
+		return nv
+	}
+	in.errorf(e.Pos, "unhandled unary %v", e.Op)
+	return Value{}
+}
+
+func (in *Interp) evalBinary(e *cast.Binary, fr *frame) Value {
+	switch e.Op {
+	case cast.LogAnd:
+		if !in.evalExpr(e.L, fr).Truthy() {
+			return IntVal(0)
+		}
+		if in.evalExpr(e.R, fr).Truthy() {
+			return IntVal(1)
+		}
+		return IntVal(0)
+	case cast.LogOr:
+		if in.evalExpr(e.L, fr).Truthy() {
+			return IntVal(1)
+		}
+		if in.evalExpr(e.R, fr).Truthy() {
+			return IntVal(1)
+		}
+		return IntVal(0)
+	}
+	l := in.evalExpr(e.L, fr)
+	r := in.evalExpr(e.R, fr)
+	return in.applyBinary(e, e.Op, l, r, e.L.TypeOf(), e.R.TypeOf())
+}
+
+func (in *Interp) applyBinary(e cast.Expr, op cast.BinaryOp, l, r Value, lt, rt *ctype.Type) Value {
+	ld, rd := lt.Decay(), rt.Decay()
+	// Pointer arithmetic and comparisons.
+	if l.Kind == VPtr || r.Kind == VPtr {
+		switch op {
+		case cast.Add, cast.Sub:
+			if l.Kind == VPtr && r.Kind == VPtr {
+				if op == cast.Sub {
+					esz := int64(1)
+					if ld.Kind == ctype.Pointer && ld.Elem.Sizeof() > 0 {
+						esz = ld.Elem.Sizeof()
+					}
+					if l.Ptr.Obj != r.Ptr.Obj {
+						in.errorf(e.Position(), "pointer difference across objects")
+					}
+					return IntVal((l.Ptr.Off - r.Ptr.Off) / esz)
+				}
+				in.errorf(e.Position(), "pointer + pointer")
+			}
+			ptr, intv, pt := l, r, ld
+			if r.Kind == VPtr {
+				ptr, intv, pt = r, l, rd
+			}
+			esz := int64(1)
+			if pt.Kind == ctype.Pointer && pt.Elem.Sizeof() > 0 {
+				esz = pt.Elem.Sizeof()
+			}
+			if ptr.Ptr.Obj == nil {
+				return ptr
+			}
+			np := ptr.Ptr
+			d := intv.AsInt() * esz
+			if op == cast.Sub {
+				d = -d
+			}
+			np.Off += d
+			return PtrVal(np)
+		case cast.Eq, cast.Ne, cast.Lt, cast.Gt, cast.Le, cast.Ge:
+			return in.comparePointers(e, op, l, r)
+		}
+		// Bitwise/other arithmetic on a pointer: degrade to int 1/0.
+		l = IntVal(l.AsInt())
+		r = IntVal(r.AsInt())
+	}
+	if l.Kind == VFloat || r.Kind == VFloat {
+		a, b := l.AsFloat(), r.AsFloat()
+		switch op {
+		case cast.Add:
+			return FloatVal(a + b)
+		case cast.Sub:
+			return FloatVal(a - b)
+		case cast.Mul:
+			return FloatVal(a * b)
+		case cast.Div:
+			if b == 0 {
+				in.errorf(e.Position(), "float division by zero")
+			}
+			return FloatVal(a / b)
+		case cast.Lt:
+			return boolVal(a < b)
+		case cast.Gt:
+			return boolVal(a > b)
+		case cast.Le:
+			return boolVal(a <= b)
+		case cast.Ge:
+			return boolVal(a >= b)
+		case cast.Eq:
+			return boolVal(a == b)
+		case cast.Ne:
+			return boolVal(a != b)
+		}
+		in.errorf(e.Position(), "bad float operation %v", op)
+	}
+	a, b := l.AsInt(), r.AsInt()
+	switch op {
+	case cast.Add:
+		return IntVal(a + b)
+	case cast.Sub:
+		return IntVal(a - b)
+	case cast.Mul:
+		return IntVal(a * b)
+	case cast.Div:
+		if b == 0 {
+			in.errorf(e.Position(), "division by zero")
+		}
+		return IntVal(a / b)
+	case cast.Rem:
+		if b == 0 {
+			in.errorf(e.Position(), "modulo by zero")
+		}
+		return IntVal(a % b)
+	case cast.And:
+		return IntVal(a & b)
+	case cast.Or:
+		return IntVal(a | b)
+	case cast.Xor:
+		return IntVal(a ^ b)
+	case cast.Shl:
+		return IntVal(a << uint(b&63))
+	case cast.Shr:
+		return IntVal(a >> uint(b&63))
+	case cast.Lt:
+		return boolVal(a < b)
+	case cast.Gt:
+		return boolVal(a > b)
+	case cast.Le:
+		return boolVal(a <= b)
+	case cast.Ge:
+		return boolVal(a >= b)
+	case cast.Eq:
+		return boolVal(a == b)
+	case cast.Ne:
+		return boolVal(a != b)
+	}
+	in.errorf(e.Position(), "unhandled binary %v", op)
+	return Value{}
+}
+
+func (in *Interp) comparePointers(e cast.Expr, op cast.BinaryOp, l, r Value) Value {
+	lp, rp := l.Ptr, r.Ptr
+	if l.Kind != VPtr {
+		lp = Pointer{}
+	}
+	if r.Kind != VPtr {
+		rp = Pointer{}
+	}
+	switch op {
+	case cast.Eq:
+		return boolVal(lp == rp)
+	case cast.Ne:
+		return boolVal(lp != rp)
+	default:
+		if lp.Obj != rp.Obj {
+			in.errorf(e.Position(), "relational comparison across objects")
+		}
+		a, b := lp.Off, rp.Off
+		switch op {
+		case cast.Lt:
+			return boolVal(a < b)
+		case cast.Gt:
+			return boolVal(a > b)
+		case cast.Le:
+			return boolVal(a <= b)
+		case cast.Ge:
+			return boolVal(a >= b)
+		}
+	}
+	return IntVal(0)
+}
+
+func boolVal(b bool) Value {
+	if b {
+		return IntVal(1)
+	}
+	return IntVal(0)
+}
+
+func (in *Interp) evalAssign(e *cast.Assign, fr *frame) Value {
+	lt := e.L.TypeOf()
+	if e.Op == cast.SimpleAssign {
+		if lt.Kind == ctype.Struct {
+			src := in.evalLValue(e.R, fr)
+			dst := in.evalLValue(e.L, fr)
+			in.copyBytes(dst, src, lt.Sizeof())
+			return PtrVal(dst)
+		}
+		v := in.evalExpr(e.R, fr)
+		p := in.evalLValue(e.L, fr)
+		cv := in.convert(v, lt.Decay())
+		in.storeVal(e.Pos, p, cv)
+		return cv
+	}
+	// Compound assignment.
+	p := in.evalLValue(e.L, fr)
+	old := in.loadVal(e.Pos, p)
+	r := in.evalExpr(e.R, fr)
+	nv := in.applyBinary(e, e.Op, old, r, lt, e.R.TypeOf())
+	cv := in.convert(nv, lt.Decay())
+	in.storeVal(e.Pos, p, cv)
+	return cv
+}
+
+func (in *Interp) evalCall(e *cast.Call, fr *frame) Value {
+	// Resolve the target.
+	var fn *cast.FuncDecl
+	var name string
+	switch f := e.Fun.(type) {
+	case *cast.Ident:
+		if f.Sym != nil && f.Sym.Kind == cast.SymFunc {
+			name = f.Sym.Name
+			fn = in.prog.FuncByName[name]
+		}
+	}
+	if name == "" {
+		v := in.evalExpr(e.Fun, fr)
+		if v.Kind != VPtr || v.Ptr.Obj == nil || v.Ptr.Obj.Kind != FuncObj {
+			in.errorf(e.Pos, "call through non-function pointer")
+		}
+		name = v.Ptr.Obj.Name
+		fn = v.Ptr.Obj.Func
+		if fn == nil {
+			fn = in.prog.FuncByName[name]
+		}
+	}
+	// Evaluate arguments left to right.
+	args := make([]Value, len(e.Args))
+	for i, aexpr := range e.Args {
+		args[i] = in.evalExpr(aexpr, fr)
+	}
+	if fn != nil && fn.Body != nil {
+		return in.call(fn, args, e.Pos)
+	}
+	return in.builtin(e, name, args, fr)
+}

@@ -1,0 +1,465 @@
+package interp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/ctok"
+	"wlpa/internal/ctype"
+	"wlpa/internal/sem"
+)
+
+// Options configure an execution.
+type Options struct {
+	// MaxSteps bounds execution (0 = default 50M cost units).
+	MaxSteps int64
+	// Args are the program's command-line arguments (argv[1:]).
+	Args []string
+	// RecordPointsTo enables the dynamic points-to log.
+	RecordPointsTo bool
+	// ProfileLoops enables per-loop cost profiling.
+	ProfileLoops bool
+	// Seed seeds rand().
+	Seed int64
+}
+
+// DynFact is one observed pointer store: the location (Block, Off) held
+// a pointer into Target at some point during execution.
+type DynFact struct {
+	Block  string // object name, matching the analysis' block naming
+	Sym    *cast.Symbol
+	Off    int64
+	Target string
+	TSym   *cast.Symbol
+	TOff   int64 // offset of the pointer target within its object
+}
+
+// LoopStat aggregates one source loop's dynamic behavior.
+type LoopStat struct {
+	Pos         ctok.Pos
+	Invocations int64
+	Iterations  int64
+	Cost        int64 // total abstract cost units spent inside
+}
+
+// Result is the outcome of an execution.
+type Result struct {
+	ExitCode int
+	Stdout   string
+	Steps    int64 // total abstract cost units
+
+	// Facts is the dynamic points-to log (with RecordPointsTo).
+	Facts []DynFact
+
+	// Loops maps loop positions to their profiles (with ProfileLoops).
+	Loops map[string]*LoopStat
+}
+
+// Error is a runtime error (uninitialized dereference, step overrun...).
+type Error struct {
+	Pos ctok.Pos
+	Msg string
+}
+
+func (e *Error) Error() string {
+	if e.Pos.IsValid() {
+		return fmt.Sprintf("%s: runtime: %s", e.Pos, e.Msg)
+	}
+	return "runtime: " + e.Msg
+}
+
+type exitSignal struct{ code int }
+
+// Interp executes a checked program.
+type Interp struct {
+	prog *sem.Program
+	opts Options
+
+	globals map[*cast.Symbol]*Object
+	funcs   map[*cast.Symbol]*Object
+	strs    map[int]*Object
+	heapSeq map[string]int
+
+	stdout  strings.Builder
+	steps   int64
+	maxStep int64
+	randSt  uint64
+
+	facts    map[DynFact]bool
+	loops    map[string]*LoopStat
+	loopPosM map[string]ctok.Pos
+
+	files  map[*Object]*fileState
+	fsIn   map[string]string
+	depth  int
+	tokCur Pointer // strtok cursor
+}
+
+type fileState struct {
+	name string
+	data []byte
+	pos  int
+	out  strings.Builder
+	open bool
+}
+
+// frame is one concrete activation.
+type frame struct {
+	fn     *cast.FuncDecl
+	locals map[*cast.Symbol]*Object
+	ret    Value
+	hasRet bool
+}
+
+// ctrl encodes non-linear statement outcomes.
+type ctrl int
+
+const (
+	ctrlNone ctrl = iota
+	ctrlBreak
+	ctrlContinue
+	ctrlReturn
+	ctrlGoto
+)
+
+type flow struct {
+	c     ctrl
+	label string
+}
+
+var flowNone = flow{}
+
+// New prepares an interpreter for prog.
+func New(prog *sem.Program, opts Options) *Interp {
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 50_000_000
+	}
+	in := &Interp{
+		prog:    prog,
+		opts:    opts,
+		globals: make(map[*cast.Symbol]*Object),
+		funcs:   make(map[*cast.Symbol]*Object),
+		strs:    make(map[int]*Object),
+		heapSeq: make(map[string]int),
+		maxStep: opts.MaxSteps,
+		randSt:  uint64(opts.Seed)*6364136223846793005 + 1442695040888963407,
+		files:   make(map[*Object]*fileState),
+		fsIn:    make(map[string]string),
+	}
+	if opts.RecordPointsTo {
+		in.facts = make(map[DynFact]bool)
+	}
+	if opts.ProfileLoops {
+		in.loops = make(map[string]*LoopStat)
+		in.loopPosM = make(map[string]ctok.Pos)
+	}
+	return in
+}
+
+// AddFile registers a virtual input file for fopen.
+func (in *Interp) AddFile(name, contents string) { in.fsIn[name] = contents }
+
+// Run executes main to completion.
+func (in *Interp) Run() (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch sig := r.(type) {
+			case exitSignal:
+				res = in.result(sig.code)
+				err = nil
+			case *Error:
+				res, err = in.result(-1), sig
+			default:
+				panic(r)
+			}
+		}
+	}()
+	if in.prog.Main == nil {
+		return nil, &Error{Msg: "no main function"}
+	}
+	// Initialize globals.
+	for _, g := range in.prog.Globals {
+		in.globalObj(g)
+	}
+	for _, vd := range in.prog.GlobalInits {
+		if vd.Sym == nil || vd.Init == nil {
+			continue
+		}
+		obj := in.globalObj(vd.Sym)
+		in.initObject(obj, 0, vd.Sym.Type, vd.Init, nil)
+	}
+	var args []Value
+	// argc/argv if main declares them.
+	if len(in.prog.Main.Params) >= 2 {
+		argv := newObject(HeapObj, "<argv>", int64(8*(len(in.opts.Args)+2)))
+		for i, s := range in.opts.Args {
+			strObj := newObject(StringObj, fmt.Sprintf("<arg%d>", i), int64(len(s)+1))
+			for j := 0; j < len(s); j++ {
+				strObj.store(int64(j), IntVal(int64(s[j])))
+			}
+			strObj.store(int64(len(s)), IntVal(0))
+			argv.store(int64(8*(i+1)), PtrVal(Pointer{Obj: strObj}))
+		}
+		args = []Value{IntVal(int64(len(in.opts.Args) + 1)), PtrVal(Pointer{Obj: argv})}
+	}
+	ret := in.call(in.prog.Main, args, ctok.Pos{})
+	return in.result(int(ret.AsInt())), nil
+}
+
+func (in *Interp) result(code int) *Result {
+	r := &Result{
+		ExitCode: code,
+		Stdout:   in.stdout.String(),
+		Steps:    in.steps,
+		Loops:    in.loops,
+	}
+	for f := range in.facts {
+		r.Facts = append(r.Facts, f)
+	}
+	sort.Slice(r.Facts, func(i, j int) bool {
+		a, b := r.Facts[i], r.Facts[j]
+		if a.Block != b.Block {
+			return a.Block < b.Block
+		}
+		if a.Off != b.Off {
+			return a.Off < b.Off
+		}
+		return a.Target < b.Target
+	})
+	return r
+}
+
+func (in *Interp) errorf(pos ctok.Pos, format string, a ...any) {
+	panic(&Error{Pos: pos, Msg: fmt.Sprintf(format, a...)})
+}
+
+func (in *Interp) tick(pos ctok.Pos, n int64) {
+	in.steps += n
+	if in.steps > in.maxStep {
+		in.errorf(pos, "step budget exceeded (%d)", in.maxStep)
+	}
+}
+
+// ---- objects ----
+
+func (in *Interp) globalObj(sym *cast.Symbol) *Object {
+	if o, ok := in.globals[sym]; ok {
+		return o
+	}
+	o := newObject(GlobalObj, sym.Name, sym.Type.Sizeof())
+	o.Sym = sym
+	in.globals[sym] = o
+	return o
+}
+
+func (in *Interp) funcObj(sym *cast.Symbol) *Object {
+	if o, ok := in.funcs[sym]; ok {
+		return o
+	}
+	o := newObject(FuncObj, sym.Name, 0)
+	o.Sym = sym
+	o.Func = sym.Def
+	if o.Func == nil {
+		o.Func = in.prog.FuncByName[sym.Name]
+	}
+	in.funcs[sym] = o
+	return o
+}
+
+func (in *Interp) strObj(s *cast.StrLit) *Object {
+	if o, ok := in.strs[s.ID]; ok {
+		return o
+	}
+	o := newObject(StringObj, fmt.Sprintf("str%d", s.ID), int64(len(s.Value))+1)
+	for i := 0; i < len(s.Value); i++ {
+		o.store(int64(i), IntVal(int64(s.Value[i])))
+	}
+	o.store(int64(len(s.Value)), IntVal(0))
+	in.strs[s.ID] = o
+	return o
+}
+
+// heapObj allocates a heap object named by its static call site,
+// matching the analysis' heap-block naming.
+func (in *Interp) heapObj(pos ctok.Pos, size int64) *Object {
+	site := pos.String()
+	in.heapSeq[site]++
+	o := newObject(HeapObj, "heap@"+site, size)
+	return o
+}
+
+// recordStore logs a dynamic points-to fact.
+func (in *Interp) recordStore(dst Pointer, v Value) {
+	if in.facts == nil || v.Kind != VPtr || v.Ptr.Obj == nil || dst.Obj == nil {
+		return
+	}
+	// Pointers to files and argv scaffolding are runtime-only.
+	if v.Ptr.Obj.Kind == FileObj || strings.HasPrefix(v.Ptr.Obj.Name, "<") ||
+		dst.Obj.Kind == FileObj || strings.HasPrefix(dst.Obj.Name, "<") {
+		return
+	}
+	in.facts[DynFact{
+		Block: dst.Obj.Name, Sym: dst.Obj.Sym, Off: dst.Off,
+		Target: v.Ptr.Obj.Name, TSym: v.Ptr.Obj.Sym, TOff: v.Ptr.Off,
+	}] = true
+}
+
+// storeVal writes v through p and logs the fact.
+func (in *Interp) storeVal(pos ctok.Pos, p Pointer, v Value) {
+	if p.Obj == nil {
+		in.errorf(pos, "store through null pointer")
+	}
+	if p.Obj.Freed {
+		in.errorf(pos, "store to freed object %s", p.Obj.Name)
+	}
+	p.Obj.store(p.Off, v)
+	in.recordStore(p, v)
+}
+
+func (in *Interp) loadVal(pos ctok.Pos, p Pointer) Value {
+	if p.Obj == nil {
+		in.errorf(pos, "load through null pointer")
+	}
+	if p.Obj.Freed {
+		in.errorf(pos, "load from freed object %s", p.Obj.Name)
+	}
+	return p.Obj.load(p.Off)
+}
+
+// initObject applies a declaration initializer to obj at base offset.
+func (in *Interp) initObject(obj *Object, base int64, t *ctype.Type, init cast.Expr, fr *frame) {
+	switch iv := init.(type) {
+	case *cast.InitList:
+		switch t.Kind {
+		case ctype.Array:
+			esz := t.Elem.Sizeof()
+			for i, el := range iv.Elems {
+				in.initObject(obj, base+int64(i)*esz, t.Elem, el, fr)
+			}
+		case ctype.Struct:
+			for i, el := range iv.Elems {
+				if i >= len(t.Fields) {
+					break
+				}
+				in.initObject(obj, base+t.Fields[i].Offset, t.Fields[i].Type, el, fr)
+			}
+		default:
+			if len(iv.Elems) > 0 {
+				in.initObject(obj, base, t, iv.Elems[0], fr)
+			}
+		}
+	case *cast.StrLit:
+		if t.Kind == ctype.Array {
+			for i := 0; i < len(iv.Value); i++ {
+				obj.store(base+int64(i), IntVal(int64(iv.Value[i])))
+			}
+			obj.store(base+int64(len(iv.Value)), IntVal(0))
+			return
+		}
+		in.storeVal(iv.Pos, Pointer{Obj: obj, Off: base}, PtrVal(Pointer{Obj: in.strObj(iv)}))
+	default:
+		v := in.evalExpr(init, fr)
+		if t.Kind == ctype.Struct {
+			// Struct copy from an lvalue initializer.
+			src := in.evalLValue(init, fr)
+			in.copyBytes(Pointer{Obj: obj, Off: base}, src, t.Sizeof())
+			return
+		}
+		in.storeVal(init.Position(), Pointer{Obj: obj, Off: base}, in.convert(v, t))
+	}
+}
+
+// copyBytes copies size bytes worth of sparse scalar slots.
+func (in *Interp) copyBytes(dst, src Pointer, size int64) {
+	if dst.Obj == nil || src.Obj == nil {
+		return
+	}
+	for off, v := range src.Obj.Data {
+		rel := off - src.Off
+		if rel < 0 || rel >= size {
+			continue
+		}
+		dst.Obj.store(dst.Off+rel, v)
+		in.recordStore(Pointer{Obj: dst.Obj, Off: dst.Off + rel}, v)
+	}
+}
+
+// convert coerces a value to a declared type.
+func (in *Interp) convert(v Value, t *ctype.Type) Value {
+	switch t.Kind {
+	case ctype.Int:
+		if v.Kind == VPtr {
+			return v // pointers stored in integers keep their identity
+		}
+		iv := v.AsInt()
+		// Truncate to the declared width.
+		switch t.Size {
+		case 1:
+			if t.Signed {
+				iv = int64(int8(iv))
+			} else {
+				iv = int64(uint8(iv))
+			}
+		case 2:
+			if t.Signed {
+				iv = int64(int16(iv))
+			} else {
+				iv = int64(uint16(iv))
+			}
+		case 4:
+			if t.Signed {
+				iv = int64(int32(iv))
+			} else {
+				iv = int64(uint32(iv))
+			}
+		}
+		return IntVal(iv)
+	case ctype.Float:
+		if t.Size == 4 {
+			return FloatVal(float64(float32(v.AsFloat())))
+		}
+		return FloatVal(v.AsFloat())
+	case ctype.Pointer:
+		if v.Kind == VInt && v.Int == 0 {
+			return NullPtr()
+		}
+		return v
+	}
+	return v
+}
+
+// ---- calls ----
+
+const maxCallDepth = 4096
+
+func (in *Interp) call(fn *cast.FuncDecl, args []Value, pos ctok.Pos) Value {
+	if fn.Body == nil {
+		in.errorf(pos, "call to undefined function %s", fn.Name)
+	}
+	in.depth++
+	if in.depth > maxCallDepth {
+		in.depth--
+		in.errorf(pos, "call stack overflow in %s", fn.Name)
+	}
+	defer func() { in.depth-- }()
+	fr := &frame{fn: fn, locals: make(map[*cast.Symbol]*Object)}
+	for i, p := range fn.Params {
+		if p.Sym == nil {
+			continue
+		}
+		obj := newObject(LocalObj, p.Sym.Name, p.Sym.Type.Sizeof())
+		obj.Sym = p.Sym
+		fr.locals[p.Sym] = obj
+		if i < len(args) {
+			in.storeVal(pos, Pointer{Obj: obj}, in.convert(args[i], p.Sym.Type))
+		}
+	}
+	in.tick(fn.Pos, 1)
+	fl := in.execStmt(fn.Body, fr)
+	if fl.c == ctrlGoto {
+		in.errorf(fn.Pos, "unresolved goto %q in %s", fl.label, fn.Name)
+	}
+	return fr.ret
+}

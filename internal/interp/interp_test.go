@@ -1,0 +1,451 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"wlpa/internal/cparse"
+	"wlpa/internal/sem"
+)
+
+func exec(t *testing.T, src string, opts Options) *Result {
+	t.Helper()
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	res, err := New(prog, opts).Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestReturnCode(t *testing.T) {
+	res := exec(t, "int main(void) { return 42; }", Options{})
+	if res.ExitCode != 42 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	res := exec(t, `
+int main(void) {
+    int a = 6, b = 7;
+    return a * b - 2 * (a + b) / 2 + 10 % 3;
+}`, Options{})
+	if res.ExitCode != 42-13+1 {
+		t.Errorf("exit = %d, want %d", res.ExitCode, 42-13+1)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	res := exec(t, `
+int main(void) {
+    int s = 0, i;
+    for (i = 1; i <= 10; i++) {
+        if (i % 2 == 0) continue;
+        s += i;
+    }
+    while (s > 30) s -= 10;
+    do { s++; } while (s < 28);
+    return s;
+}`, Options{})
+	// odd sum 1..10 = 25; while loop not entered (25<=30); do-while to 28.
+	if res.ExitCode != 28 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	res := exec(t, `
+int classify(int k) {
+    int r = 0;
+    switch (k) {
+    case 1: r += 1;
+    case 2: r += 2; break;
+    case 3: r += 4; break;
+    default: r = 100;
+    }
+    return r;
+}
+int main(void) {
+    return classify(1) * 100 + classify(2) * 10 + classify(9) / 100;
+}`, Options{})
+	// classify(1)=3, classify(2)=2, classify(9)=100.
+	if res.ExitCode != 321 {
+		t.Errorf("exit = %d, want 321", res.ExitCode)
+	}
+}
+
+func TestPointersAndHeap(t *testing.T) {
+	res := exec(t, `
+#include <stdlib.h>
+struct node { struct node *next; int v; };
+int main(void) {
+    struct node *head = 0;
+    int i, sum = 0;
+    for (i = 0; i < 5; i++) {
+        struct node *n = (struct node *)malloc(sizeof(struct node));
+        n->v = i;
+        n->next = head;
+        head = n;
+    }
+    while (head) { sum += head->v; head = head->next; }
+    return sum;
+}`, Options{})
+	if res.ExitCode != 10 {
+		t.Errorf("exit = %d, want 10", res.ExitCode)
+	}
+}
+
+func TestArraysAndPointerArith(t *testing.T) {
+	res := exec(t, `
+int main(void) {
+    int a[8];
+    int *p = a, *q;
+    int i;
+    for (i = 0; i < 8; i++) *p++ = i * i;
+    q = a + 3;
+    return *q + q[1] + *(a + 5);
+}`, Options{})
+	if res.ExitCode != 9+16+25 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestStrings(t *testing.T) {
+	res := exec(t, `
+#include <string.h>
+#include <stdlib.h>
+int main(void) {
+    char buf[32];
+    char *d;
+    strcpy(buf, "hello");
+    strcat(buf, " world");
+    d = strdup(buf);
+    if (strcmp(d, "hello world") != 0) return 1;
+    if (strlen(d) != 11) return 2;
+    if (strchr(d, 'w') - d != 6) return 3;
+    return 0;
+}`, Options{})
+	if res.ExitCode != 0 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestPrintf(t *testing.T) {
+	res := exec(t, `
+#include <stdio.h>
+int main(void) {
+    printf("n=%d s=%s c=%c f=%.2f\n", 7, "ok", 'x', 1.5);
+    return 0;
+}`, Options{})
+	if res.Stdout != "n=7 s=ok c=x f=1.50\n" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestFunctionPointers(t *testing.T) {
+	res := exec(t, `
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int main(void) {
+    int (*ops[2])(int, int);
+    ops[0] = add;
+    ops[1] = mul;
+    return ops[0](3, 4) + ops[1](3, 4);
+}`, Options{})
+	if res.ExitCode != 19 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestRecursionFib(t *testing.T) {
+	res := exec(t, `
+int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+int main(void) { return fib(10); }`, Options{})
+	if res.ExitCode != 55 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestQsort(t *testing.T) {
+	res := exec(t, `
+#include <stdlib.h>
+int cmp(const void *a, const void *b) {
+    return *(const int *)a - *(const int *)b;
+}
+int main(void) {
+    int v[6] = {5, 3, 9, 1, 7, 2};
+    int i;
+    qsort(v, 6, sizeof(int), cmp);
+    for (i = 1; i < 6; i++)
+        if (v[i-1] > v[i]) return 1;
+    return v[0] * 10 + v[5];
+}`, Options{})
+	if res.ExitCode != 19 { // 1*10 + 9
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestStructsAndUnions(t *testing.T) {
+	res := exec(t, `
+struct pt { int x, y; };
+struct rect { struct pt lo, hi; };
+int area(struct rect *r) {
+    return (r->hi.x - r->lo.x) * (r->hi.y - r->lo.y);
+}
+int main(void) {
+    struct rect r;
+    struct rect s;
+    r.lo.x = 1; r.lo.y = 2; r.hi.x = 5; r.hi.y = 6;
+    s = r;
+    return area(&s);
+}`, Options{})
+	if res.ExitCode != 16 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestGlobalInitAndStatics(t *testing.T) {
+	res := exec(t, `
+int base = 30;
+int counter(void) { static int n = 0; n++; return n; }
+int main(void) {
+    counter(); counter();
+    return base + counter();
+}`, Options{})
+	if res.ExitCode != 33 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestGoto(t *testing.T) {
+	res := exec(t, `
+int main(void) {
+    int i = 0;
+again:
+    i++;
+    if (i < 5) goto again;
+    return i;
+}`, Options{})
+	if res.ExitCode != 5 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestExitBuiltin(t *testing.T) {
+	res := exec(t, `
+#include <stdlib.h>
+int main(void) { exit(7); return 0; }`, Options{})
+	if res.ExitCode != 7 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestVirtualFiles(t *testing.T) {
+	src := `
+#include <stdio.h>
+int main(void) {
+    FILE *f = fopen("in.txt", "r");
+    int c, n = 0;
+    if (!f) return 99;
+    while ((c = fgetc(f)) != EOF) n++;
+    fclose(f);
+    return n;
+}`
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(prog, Options{})
+	in.AddFile("in.txt", "hello\nworld\n")
+	res, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 12 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestDynamicFactsRecorded(t *testing.T) {
+	res := exec(t, `
+int x;
+int *p;
+int main(void) { p = &x; return 0; }`, Options{RecordPointsTo: true})
+	found := false
+	for _, f := range res.Facts {
+		if f.Block == "p" && f.Target == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("facts = %v", res.Facts)
+	}
+}
+
+func TestLoopProfiling(t *testing.T) {
+	res := exec(t, `
+int work(int n) {
+    int i, s = 0;
+    for (i = 0; i < n; i++) s += i;
+    return s;
+}
+int main(void) {
+    int k, t = 0;
+    for (k = 0; k < 4; k++) t += work(100);
+    return t > 0;
+}`, Options{ProfileLoops: true})
+	if len(res.Loops) < 2 {
+		t.Fatalf("loops = %v", res.Loops)
+	}
+	var inner *LoopStat
+	for _, st := range res.Loops {
+		if st.Invocations == 4 {
+			inner = st
+		}
+	}
+	if inner == nil {
+		t.Fatal("inner loop (4 invocations) not profiled")
+	}
+	if inner.Iterations != 400 {
+		t.Errorf("inner iterations = %d, want 400", inner.Iterations)
+	}
+	if inner.Cost <= 0 {
+		t.Error("inner cost not measured")
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	src := "int main(void) { for (;;) {} return 0; }"
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(prog, Options{MaxSteps: 10000}).Run(); err == nil {
+		t.Error("expected step-budget error")
+	}
+}
+
+func TestNullDerefFails(t *testing.T) {
+	src := "int main(void) { int *p = 0; return *p; }"
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(prog, Options{}).Run(); err == nil {
+		t.Error("expected null-deref error")
+	}
+}
+
+func TestUseAfterFreeDetected(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int main(void) {
+    int *p = (int *)malloc(4);
+    free(p);
+    return *p;
+}`
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(prog, Options{}).Run(); err == nil {
+		t.Error("expected use-after-free error")
+	}
+}
+
+func TestStrtok(t *testing.T) {
+	res := exec(t, `
+#include <string.h>
+int main(void) {
+    char buf[32];
+    char *tok;
+    int n = 0;
+    strcpy(buf, "a,bb,ccc");
+    tok = strtok(buf, ",");
+    while (tok) {
+        n = n * 10 + strlen(tok);
+        tok = strtok((char *)0, ",");
+    }
+    return n;
+}`, Options{})
+	if res.ExitCode != 123 {
+		t.Errorf("exit = %d, want 123", res.ExitCode)
+	}
+}
+
+func TestFloats(t *testing.T) {
+	res := exec(t, `
+#include <math.h>
+int main(void) {
+    double x = 2.0;
+    double y = sqrt(x) * sqrt(x);
+    float f = 0.5f;
+    return (int)(y + 0.5) + (int)(f * 4.0);
+}`, Options{})
+	if res.ExitCode != 4 {
+		t.Errorf("exit = %d", res.ExitCode)
+	}
+}
+
+func TestStdoutCapture(t *testing.T) {
+	res := exec(t, `
+#include <stdio.h>
+int main(void) {
+    int i;
+    for (i = 0; i < 3; i++) putchar('a' + i);
+    puts("!");
+    return 0;
+}`, Options{})
+	if res.Stdout != "abc!\n" {
+		t.Errorf("stdout = %q", res.Stdout)
+	}
+}
+
+func TestHeapNamesMatchSites(t *testing.T) {
+	res := exec(t, `
+#include <stdlib.h>
+int *p, *q;
+int main(void) {
+    int i;
+    for (i = 0; i < 2; i++) p = (int *)malloc(4);
+    q = (int *)malloc(4);
+    return 0;
+}`, Options{RecordPointsTo: true})
+	// p's two allocations share a static site name; q's differs.
+	var pT, qT string
+	for _, f := range res.Facts {
+		if f.Block == "p" && strings.HasPrefix(f.Target, "heap@") {
+			pT = f.Target
+		}
+		if f.Block == "q" {
+			qT = f.Target
+		}
+	}
+	if pT == "" || qT == "" || pT == qT {
+		t.Errorf("pT=%q qT=%q", pT, qT)
+	}
+}

@@ -1,0 +1,688 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/ctok"
+)
+
+// readCString reads a NUL-terminated string through a pointer.
+func (in *Interp) readCString(e cast.Expr, p Pointer) string {
+	if p.Obj == nil {
+		in.errorf(e.Position(), "readCString: null pointer")
+	}
+	var sb strings.Builder
+	for off := p.Off; ; off++ {
+		c := p.Obj.load(off).AsInt()
+		if c == 0 {
+			return sb.String()
+		}
+		sb.WriteByte(byte(c))
+		if sb.Len() > 1<<20 {
+			in.errorf(e.Position(), "unterminated string")
+		}
+	}
+}
+
+func (in *Interp) writeCString(p Pointer, s string) {
+	for i := 0; i < len(s); i++ {
+		in.storeVal(ctok.Pos{}, Pointer{Obj: p.Obj, Off: p.Off + int64(i)}, IntVal(int64(s[i])))
+	}
+	p.Obj.store(p.Off+int64(len(s)), IntVal(0))
+}
+
+func (in *Interp) ptrArg(e *cast.Call, args []Value, i int) Pointer {
+	if i >= len(args) {
+		in.errorf(e.Pos, "missing argument %d", i)
+	}
+	v := args[i]
+	if v.Kind == VInt && v.Int == 0 {
+		return Pointer{}
+	}
+	if v.Kind != VPtr {
+		in.errorf(e.Pos, "argument %d is not a pointer", i)
+	}
+	return v.Ptr
+}
+
+func (in *Interp) rand() int64 {
+	in.randSt = in.randSt*6364136223846793005 + 1442695040888963407
+	return int64(in.randSt>>33) & 0x7fffffff
+}
+
+// builtin dispatches a library-function call.
+func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Value {
+	in.tick(e.Pos, 2)
+	switch name {
+	// ---- allocation ----
+	case "malloc":
+		return PtrVal(Pointer{Obj: in.heapObj(e.Pos, args[0].AsInt())})
+	case "calloc":
+		return PtrVal(Pointer{Obj: in.heapObj(e.Pos, args[0].AsInt()*args[1].AsInt())})
+	case "realloc":
+		old := in.ptrArg(e, args, 0)
+		size := args[1].AsInt()
+		nb := in.heapObj(e.Pos, size)
+		if old.Obj != nil {
+			for off, v := range old.Obj.Data {
+				nb.store(off, v)
+				in.recordStore(Pointer{Obj: nb, Off: off}, v)
+			}
+			old.Obj.Freed = true
+		}
+		return PtrVal(Pointer{Obj: nb})
+	case "free":
+		p := in.ptrArg(e, args, 0)
+		if p.Obj != nil {
+			p.Obj.Freed = true
+		}
+		return IntVal(0)
+	case "exit":
+		panic(exitSignal{code: int(args[0].AsInt())})
+	case "abort":
+		panic(exitSignal{code: 134})
+	case "_assert_fail":
+		in.errorf(e.Pos, "assertion failed")
+
+	// ---- numeric ----
+	case "atoi", "atol":
+		s := in.readCString(e, in.ptrArg(e, args, 0))
+		n, _ := strconv.ParseInt(strings.TrimSpace(s), 10, 64)
+		return IntVal(n)
+	case "atof":
+		s := in.readCString(e, in.ptrArg(e, args, 0))
+		f, _ := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		return FloatVal(f)
+	case "abs", "labs":
+		v := args[0].AsInt()
+		if v < 0 {
+			v = -v
+		}
+		return IntVal(v)
+	case "rand":
+		return IntVal(in.rand())
+	case "srand":
+		in.randSt = uint64(args[0].AsInt())*6364136223846793005 + 1
+		return IntVal(0)
+	case "getenv":
+		return NullPtr()
+
+	// ---- memory ----
+	case "memcpy", "memmove":
+		dst, src := in.ptrArg(e, args, 0), in.ptrArg(e, args, 1)
+		in.copyBytes(dst, src, args[2].AsInt())
+		return PtrVal(dst)
+	case "memset":
+		dst := in.ptrArg(e, args, 0)
+		val := args[1].AsInt()
+		n := args[2].AsInt()
+		for i := int64(0); i < n; i++ {
+			dst.Obj.store(dst.Off+i, IntVal(val&0xff))
+		}
+		in.tick(e.Pos, n/8)
+		return PtrVal(dst)
+	case "memcmp":
+		a, b := in.ptrArg(e, args, 0), in.ptrArg(e, args, 1)
+		n := args[2].AsInt()
+		for i := int64(0); i < n; i++ {
+			av := a.Obj.load(a.Off + i).AsInt()
+			bv := b.Obj.load(b.Off + i).AsInt()
+			if av != bv {
+				return IntVal(av - bv)
+			}
+		}
+		return IntVal(0)
+
+	// ---- strings ----
+	case "strcpy":
+		dst, src := in.ptrArg(e, args, 0), in.ptrArg(e, args, 1)
+		s := in.readCString(e, src)
+		in.writeCString(dst, s)
+		in.tick(e.Pos, int64(len(s))/4)
+		return PtrVal(dst)
+	case "strncpy":
+		dst, src := in.ptrArg(e, args, 0), in.ptrArg(e, args, 1)
+		n := args[2].AsInt()
+		s := in.readCString(e, src)
+		if int64(len(s)) > n {
+			s = s[:n]
+		}
+		in.writeCString(dst, s)
+		return PtrVal(dst)
+	case "strcat":
+		dst, src := in.ptrArg(e, args, 0), in.ptrArg(e, args, 1)
+		d := in.readCString(e, dst)
+		in.writeCString(Pointer{Obj: dst.Obj, Off: dst.Off + int64(len(d))}, in.readCString(e, src))
+		return PtrVal(dst)
+	case "strncat":
+		dst, src := in.ptrArg(e, args, 0), in.ptrArg(e, args, 1)
+		d := in.readCString(e, dst)
+		s := in.readCString(e, src)
+		if n := args[2].AsInt(); int64(len(s)) > n {
+			s = s[:n]
+		}
+		in.writeCString(Pointer{Obj: dst.Obj, Off: dst.Off + int64(len(d))}, s)
+		return PtrVal(dst)
+	case "strcmp":
+		a := in.readCString(e, in.ptrArg(e, args, 0))
+		b := in.readCString(e, in.ptrArg(e, args, 1))
+		return IntVal(int64(strings.Compare(a, b)))
+	case "strncmp":
+		a := in.readCString(e, in.ptrArg(e, args, 0))
+		b := in.readCString(e, in.ptrArg(e, args, 1))
+		n := int(args[2].AsInt())
+		if len(a) > n {
+			a = a[:n]
+		}
+		if len(b) > n {
+			b = b[:n]
+		}
+		return IntVal(int64(strings.Compare(a, b)))
+	case "strlen":
+		s := in.readCString(e, in.ptrArg(e, args, 0))
+		in.tick(e.Pos, int64(len(s))/8)
+		return IntVal(int64(len(s)))
+	case "strchr", "strrchr":
+		p := in.ptrArg(e, args, 0)
+		s := in.readCString(e, p)
+		ch := byte(args[1].AsInt())
+		idx := -1
+		if name == "strchr" {
+			idx = strings.IndexByte(s, ch)
+		} else {
+			idx = strings.LastIndexByte(s, ch)
+		}
+		if idx < 0 {
+			if ch == 0 {
+				return PtrVal(Pointer{Obj: p.Obj, Off: p.Off + int64(len(s))})
+			}
+			return NullPtr()
+		}
+		return PtrVal(Pointer{Obj: p.Obj, Off: p.Off + int64(idx)})
+	case "strstr":
+		p := in.ptrArg(e, args, 0)
+		hay := in.readCString(e, p)
+		needle := in.readCString(e, in.ptrArg(e, args, 1))
+		idx := strings.Index(hay, needle)
+		if idx < 0 {
+			return NullPtr()
+		}
+		return PtrVal(Pointer{Obj: p.Obj, Off: p.Off + int64(idx)})
+	case "strpbrk":
+		p := in.ptrArg(e, args, 0)
+		s := in.readCString(e, p)
+		accept := in.readCString(e, in.ptrArg(e, args, 1))
+		idx := strings.IndexAny(s, accept)
+		if idx < 0 {
+			return NullPtr()
+		}
+		return PtrVal(Pointer{Obj: p.Obj, Off: p.Off + int64(idx)})
+	case "strspn", "strcspn":
+		s := in.readCString(e, in.ptrArg(e, args, 0))
+		set := in.readCString(e, in.ptrArg(e, args, 1))
+		n := 0
+		for ; n < len(s); n++ {
+			inSet := strings.IndexByte(set, s[n]) >= 0
+			if (name == "strspn") != inSet {
+				break
+			}
+		}
+		return IntVal(int64(n))
+	case "strdup":
+		s := in.readCString(e, in.ptrArg(e, args, 0))
+		o := in.heapObj(e.Pos, int64(len(s))+1)
+		in.writeCString(Pointer{Obj: o}, s)
+		return PtrVal(Pointer{Obj: o})
+	case "strtok":
+		return in.strtok(e, args)
+
+	// ---- qsort / bsearch ----
+	case "qsort":
+		in.qsort(e, args, fr)
+		return IntVal(0)
+	case "bsearch":
+		return in.bsearch(e, args, fr)
+
+	// ---- stdio ----
+	case "printf":
+		s := in.formatPrintf(e, args, 0)
+		in.stdout.WriteString(s)
+		return IntVal(int64(len(s)))
+	case "sprintf":
+		dst := in.ptrArg(e, args, 0)
+		s := in.formatPrintf(e, args, 1)
+		in.writeCString(dst, s)
+		return IntVal(int64(len(s)))
+	case "fprintf":
+		s := in.formatPrintf(e, args, 1)
+		f := in.ptrArg(e, args, 0)
+		if st, ok := in.files[f.Obj]; ok {
+			st.out.WriteString(s)
+		} else {
+			in.stdout.WriteString(s)
+		}
+		return IntVal(int64(len(s)))
+	case "puts":
+		s := in.readCString(e, in.ptrArg(e, args, 0))
+		in.stdout.WriteString(s + "\n")
+		return IntVal(0)
+	case "putchar", "putc", "fputc":
+		ch := byte(args[0].AsInt())
+		if name != "putchar" && len(args) > 1 {
+			if f := in.ptrArg(e, args, 1); f.Obj != nil {
+				if st, ok := in.files[f.Obj]; ok {
+					st.out.WriteByte(ch)
+					return args[0]
+				}
+			}
+		}
+		in.stdout.WriteByte(ch)
+		return args[0]
+	case "fputs":
+		s := in.readCString(e, in.ptrArg(e, args, 0))
+		in.stdout.WriteString(s)
+		return IntVal(0)
+	case "fopen":
+		return in.fopen(e, args)
+	case "fclose":
+		p := in.ptrArg(e, args, 0)
+		if st, ok := in.files[p.Obj]; ok {
+			st.open = false
+		}
+		return IntVal(0)
+	case "fflush":
+		return IntVal(0)
+	case "fgetc", "getc":
+		p := in.ptrArg(e, args, 0)
+		if st, ok := in.files[p.Obj]; ok && st.pos < len(st.data) {
+			c := st.data[st.pos]
+			st.pos++
+			return IntVal(int64(c))
+		}
+		return IntVal(-1) // EOF
+	case "getchar":
+		return IntVal(-1)
+	case "ungetc":
+		p := in.ptrArg(e, args, 1)
+		if st, ok := in.files[p.Obj]; ok && st.pos > 0 {
+			st.pos--
+		}
+		return args[0]
+	case "fgets":
+		buf := in.ptrArg(e, args, 0)
+		n := args[1].AsInt()
+		fp := in.ptrArg(e, args, 2)
+		st, ok := in.files[fp.Obj]
+		if !ok || st.pos >= len(st.data) {
+			return NullPtr()
+		}
+		var line []byte
+		for int64(len(line)) < n-1 && st.pos < len(st.data) {
+			c := st.data[st.pos]
+			st.pos++
+			line = append(line, c)
+			if c == '\n' {
+				break
+			}
+		}
+		in.writeCString(buf, string(line))
+		return PtrVal(buf)
+	case "fread":
+		buf := in.ptrArg(e, args, 0)
+		sz, cnt := args[1].AsInt(), args[2].AsInt()
+		fp := in.ptrArg(e, args, 3)
+		st, ok := in.files[fp.Obj]
+		if !ok {
+			return IntVal(0)
+		}
+		want := sz * cnt
+		got := int64(0)
+		for got < want && st.pos < len(st.data) {
+			buf.Obj.store(buf.Off+got, IntVal(int64(st.data[st.pos])))
+			st.pos++
+			got++
+		}
+		if sz == 0 {
+			return IntVal(0)
+		}
+		return IntVal(got / sz)
+	case "fwrite":
+		sz, cnt := args[1].AsInt(), args[2].AsInt()
+		return IntVal(sz * cnt / max64(sz, 1))
+	case "feof":
+		p := in.ptrArg(e, args, 0)
+		if st, ok := in.files[p.Obj]; ok {
+			return boolVal(st.pos >= len(st.data))
+		}
+		return IntVal(1)
+	case "ferror":
+		return IntVal(0)
+	case "fseek":
+		p := in.ptrArg(e, args, 0)
+		if st, ok := in.files[p.Obj]; ok {
+			off := args[1].AsInt()
+			switch args[2].AsInt() {
+			case 0:
+				st.pos = int(off)
+			case 1:
+				st.pos += int(off)
+			case 2:
+				st.pos = len(st.data) + int(off)
+			}
+			if st.pos < 0 {
+				st.pos = 0
+			}
+		}
+		return IntVal(0)
+	case "ftell":
+		p := in.ptrArg(e, args, 0)
+		if st, ok := in.files[p.Obj]; ok {
+			return IntVal(int64(st.pos))
+		}
+		return IntVal(0)
+	case "rewind":
+		p := in.ptrArg(e, args, 0)
+		if st, ok := in.files[p.Obj]; ok {
+			st.pos = 0
+		}
+		return IntVal(0)
+	case "remove", "rename":
+		return IntVal(0)
+
+	// ---- math ----
+	case "sqrt":
+		return FloatVal(math.Sqrt(args[0].AsFloat()))
+	case "fabs":
+		return FloatVal(math.Abs(args[0].AsFloat()))
+	case "exp":
+		return FloatVal(math.Exp(args[0].AsFloat()))
+	case "log":
+		return FloatVal(math.Log(args[0].AsFloat()))
+	case "log10":
+		return FloatVal(math.Log10(args[0].AsFloat()))
+	case "sin":
+		return FloatVal(math.Sin(args[0].AsFloat()))
+	case "cos":
+		return FloatVal(math.Cos(args[0].AsFloat()))
+	case "tan":
+		return FloatVal(math.Tan(args[0].AsFloat()))
+	case "atan":
+		return FloatVal(math.Atan(args[0].AsFloat()))
+	case "atan2":
+		return FloatVal(math.Atan2(args[0].AsFloat(), args[1].AsFloat()))
+	case "pow":
+		return FloatVal(math.Pow(args[0].AsFloat(), args[1].AsFloat()))
+	case "floor":
+		return FloatVal(math.Floor(args[0].AsFloat()))
+	case "ceil":
+		return FloatVal(math.Ceil(args[0].AsFloat()))
+	case "fmod":
+		return FloatVal(math.Mod(args[0].AsFloat(), args[1].AsFloat()))
+
+	// ---- ctype ----
+	case "isalpha":
+		c := args[0].AsInt()
+		return boolVal((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z'))
+	case "isdigit":
+		c := args[0].AsInt()
+		return boolVal(c >= '0' && c <= '9')
+	case "isalnum":
+		c := args[0].AsInt()
+		return boolVal((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9'))
+	case "isspace":
+		c := args[0].AsInt()
+		return boolVal(c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\v' || c == '\f')
+	case "isupper":
+		c := args[0].AsInt()
+		return boolVal(c >= 'A' && c <= 'Z')
+	case "islower":
+		c := args[0].AsInt()
+		return boolVal(c >= 'a' && c <= 'z')
+	case "ispunct":
+		c := args[0].AsInt()
+		return boolVal(c > ' ' && c < 127 && !(c >= 'a' && c <= 'z') &&
+			!(c >= 'A' && c <= 'Z') && !(c >= '0' && c <= '9'))
+	case "isprint":
+		c := args[0].AsInt()
+		return boolVal(c >= ' ' && c < 127)
+	case "toupper":
+		c := args[0].AsInt()
+		if c >= 'a' && c <= 'z' {
+			c -= 32
+		}
+		return IntVal(c)
+	case "tolower":
+		c := args[0].AsInt()
+		if c >= 'A' && c <= 'Z' {
+			c += 32
+		}
+		return IntVal(c)
+	}
+	in.errorf(e.Pos, "call to unmodeled library function %s", name)
+	return Value{}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (in *Interp) strtok(e *cast.Call, args []Value) Value {
+	p := in.ptrArg(e, args, 0)
+	delim := in.readCString(e, in.ptrArg(e, args, 1))
+	if p.Obj != nil {
+		in.tokCur = p
+	}
+	if in.tokCur.Obj == nil {
+		return NullPtr()
+	}
+	// Skip leading delimiters.
+	cur := in.tokCur
+	for {
+		c := cur.Obj.load(cur.Off).AsInt()
+		if c == 0 {
+			in.tokCur = Pointer{}
+			return NullPtr()
+		}
+		if strings.IndexByte(delim, byte(c)) < 0 {
+			break
+		}
+		cur.Off++
+	}
+	start := cur
+	for {
+		c := cur.Obj.load(cur.Off).AsInt()
+		if c == 0 {
+			in.tokCur = Pointer{}
+			return PtrVal(start)
+		}
+		if strings.IndexByte(delim, byte(c)) >= 0 {
+			cur.Obj.store(cur.Off, IntVal(0))
+			cur.Off++
+			in.tokCur = cur
+			return PtrVal(start)
+		}
+		cur.Off++
+	}
+}
+
+func (in *Interp) qsort(e *cast.Call, args []Value, fr *frame) {
+	base := in.ptrArg(e, args, 0)
+	n := int(args[1].AsInt())
+	sz := args[2].AsInt()
+	cmpV := args[3]
+	if cmpV.Kind != VPtr || cmpV.Ptr.Obj == nil || cmpV.Ptr.Obj.Func == nil {
+		in.errorf(e.Pos, "qsort comparator is not a function")
+	}
+	cmp := cmpV.Ptr.Obj.Func
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a := Pointer{Obj: base.Obj, Off: base.Off + int64(idx[i])*sz}
+		b := Pointer{Obj: base.Obj, Off: base.Off + int64(idx[j])*sz}
+		r := in.call(cmp, []Value{PtrVal(a), PtrVal(b)}, e.Pos)
+		return r.AsInt() < 0
+	})
+	// Apply the permutation via a scratch copy.
+	scratch := make([]map[int64]Value, n)
+	for i := 0; i < n; i++ {
+		m := make(map[int64]Value)
+		for off, v := range base.Obj.Data {
+			rel := off - (base.Off + int64(i)*sz)
+			if rel >= 0 && rel < sz {
+				m[rel] = v
+			}
+		}
+		scratch[i] = m
+	}
+	for i := 0; i < n; i++ {
+		dstBase := base.Off + int64(i)*sz
+		for rel := int64(0); rel < sz; rel++ {
+			delete(base.Obj.Data, dstBase+rel)
+		}
+		for rel, v := range scratch[idx[i]] {
+			base.Obj.store(dstBase+rel, v)
+			in.recordStore(Pointer{Obj: base.Obj, Off: dstBase + rel}, v)
+		}
+	}
+	in.tick(e.Pos, int64(n)*4)
+}
+
+func (in *Interp) bsearch(e *cast.Call, args []Value, fr *frame) Value {
+	key := args[0]
+	base := in.ptrArg(e, args, 1)
+	n := int(args[2].AsInt())
+	sz := args[3].AsInt()
+	cmpV := args[4]
+	if cmpV.Kind != VPtr || cmpV.Ptr.Obj == nil || cmpV.Ptr.Obj.Func == nil {
+		in.errorf(e.Pos, "bsearch comparator is not a function")
+	}
+	cmp := cmpV.Ptr.Obj.Func
+	lo, hi := 0, n-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		elem := Pointer{Obj: base.Obj, Off: base.Off + int64(mid)*sz}
+		r := in.call(cmp, []Value{key, PtrVal(elem)}, e.Pos).AsInt()
+		switch {
+		case r == 0:
+			return PtrVal(elem)
+		case r < 0:
+			hi = mid - 1
+		default:
+			lo = mid + 1
+		}
+	}
+	return NullPtr()
+}
+
+func (in *Interp) fopen(e *cast.Call, args []Value) Value {
+	name := in.readCString(e, in.ptrArg(e, args, 0))
+	mode := in.readCString(e, in.ptrArg(e, args, 1))
+	obj := in.heapObj(e.Pos, 40)
+	obj.Kind = FileObj
+	st := &fileState{name: name, open: true}
+	if strings.HasPrefix(mode, "r") {
+		data, ok := in.fsIn[name]
+		if !ok {
+			return NullPtr()
+		}
+		st.data = []byte(data)
+	}
+	in.files[obj] = st
+	return PtrVal(Pointer{Obj: obj})
+}
+
+// formatPrintf renders a printf-style format with arguments starting at
+// args[fmtIdx+1].
+func (in *Interp) formatPrintf(e *cast.Call, args []Value, fmtIdx int) string {
+	format := in.readCString(e, in.ptrArg(e, args, fmtIdx))
+	var sb strings.Builder
+	ai := fmtIdx + 1
+	nextArg := func() Value {
+		if ai < len(args) {
+			v := args[ai]
+			ai++
+			return v
+		}
+		return IntVal(0)
+	}
+	i := 0
+	for i < len(format) {
+		c := format[i]
+		if c != '%' {
+			sb.WriteByte(c)
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			sb.WriteByte('%')
+			i++
+			continue
+		}
+		// Parse flags/width/precision/length.
+		spec := "%"
+		for i < len(format) && strings.IndexByte("-+ 0#123456789.*", format[i]) >= 0 {
+			if format[i] == '*' {
+				spec += strconv.FormatInt(nextArg().AsInt(), 10)
+			} else {
+				spec += string(format[i])
+			}
+			i++
+		}
+		for i < len(format) && (format[i] == 'l' || format[i] == 'h') {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		verb := format[i]
+		i++
+		switch verb {
+		case 'd', 'i':
+			fmt.Fprintf(&sb, spec+"d", nextArg().AsInt())
+		case 'u':
+			fmt.Fprintf(&sb, spec+"d", nextArg().AsInt())
+		case 'x':
+			fmt.Fprintf(&sb, spec+"x", nextArg().AsInt())
+		case 'X':
+			fmt.Fprintf(&sb, spec+"X", nextArg().AsInt())
+		case 'o':
+			fmt.Fprintf(&sb, spec+"o", nextArg().AsInt())
+		case 'c':
+			sb.WriteByte(byte(nextArg().AsInt()))
+		case 'f', 'F':
+			fmt.Fprintf(&sb, spec+"f", nextArg().AsFloat())
+		case 'e', 'E':
+			fmt.Fprintf(&sb, spec+"e", nextArg().AsFloat())
+		case 'g', 'G':
+			fmt.Fprintf(&sb, spec+"g", nextArg().AsFloat())
+		case 's':
+			v := nextArg()
+			if v.Kind == VPtr && v.Ptr.Obj != nil {
+				fmt.Fprintf(&sb, spec+"s", in.readCString(e, v.Ptr))
+			} else {
+				sb.WriteString("(null)")
+			}
+		case 'p':
+			v := nextArg()
+			if v.Kind == VPtr {
+				sb.WriteString(v.Ptr.String())
+			} else {
+				sb.WriteString("0x0")
+			}
+		default:
+			sb.WriteByte(verb)
+		}
+	}
+	return sb.String()
+}

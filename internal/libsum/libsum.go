@@ -1,0 +1,144 @@
+// Package libsum provides hand-written summaries of the potential
+// pointer assignments in each C library function, as the paper does for
+// its SUIF implementation (§1). Each summary manipulates the analysis
+// state only through the analysis.LibCall interface.
+package libsum
+
+import (
+	"wlpa/internal/analysis"
+	"wlpa/internal/memmod"
+)
+
+// Summaries returns the registry of library-function summaries, keyed by
+// function name.
+func Summaries() map[string]analysis.LibSummary {
+	m := map[string]analysis.LibSummary{}
+
+	// ---- allocation ----
+	alloc := func(c analysis.LibCall) { c.Return(c.Heap()) }
+	m["malloc"] = alloc
+	m["calloc"] = alloc
+	m["strdup"] = func(c analysis.LibCall) { c.Return(c.Heap()) }
+	m["realloc"] = func(c analysis.LibCall) {
+		// Returns either the original block or a fresh one; the
+		// fresh block receives the old block's pointer contents.
+		old := c.Arg(0)
+		fresh := c.Heap()
+		c.Copy(fresh, old, 0)
+		out := fresh
+		out.AddAll(old)
+		c.Return(out)
+	}
+	m["free"] = func(c analysis.LibCall) {}
+
+	// ---- memory / string copying ----
+	m["memcpy"] = func(c analysis.LibCall) {
+		c.Copy(c.Arg(0), c.Arg(1), 0)
+		c.Return(c.Arg(0))
+	}
+	m["memmove"] = m["memcpy"]
+	m["memset"] = func(c analysis.LibCall) {
+		// Writes a byte pattern: clears pointers conservatively (no
+		// new pointer values); the destination may retain old values
+		// since we cannot strong-update an unknown extent.
+		c.Return(c.Arg(0))
+	}
+	m["memcmp"] = func(c analysis.LibCall) {}
+	m["strcpy"] = func(c analysis.LibCall) { c.Return(c.Arg(0)) }
+	m["strncpy"] = m["strcpy"]
+	m["strcat"] = m["strcpy"]
+	m["strncat"] = m["strcpy"]
+	m["strcmp"] = func(c analysis.LibCall) {}
+	m["strncmp"] = m["strcmp"]
+	m["strlen"] = m["strcmp"]
+
+	// Functions returning a pointer into their string argument.
+	into := func(argIdx int) analysis.LibSummary {
+		return func(c analysis.LibCall) { c.Return(c.Unknown(c.Arg(argIdx))) }
+	}
+	m["strchr"] = into(0)
+	m["strrchr"] = into(0)
+	m["strstr"] = into(0)
+	m["strpbrk"] = into(0)
+	m["strtok"] = func(c analysis.LibCall) {
+		// strtok keeps internal state; conservatively it may return
+		// a pointer into any buffer ever passed to it. We model the
+		// common case: a pointer into the current argument.
+		c.Return(c.Unknown(c.Arg(0)))
+	}
+	m["strspn"] = func(c analysis.LibCall) {}
+	m["strcspn"] = m["strspn"]
+
+	// ---- stdio ----
+	m["fopen"] = func(c analysis.LibCall) { c.Return(c.Heap()) }
+	m["fclose"] = func(c analysis.LibCall) {}
+	m["fflush"] = m["fclose"]
+	m["fgets"] = func(c analysis.LibCall) { c.Return(c.Arg(0)) }
+	m["gets"] = m["fgets"]
+	m["fgetc"] = func(c analysis.LibCall) {}
+	m["getc"] = m["fgetc"]
+	m["getchar"] = m["fgetc"]
+	m["ungetc"] = m["fgetc"]
+	m["fputc"] = m["fgetc"]
+	m["putc"] = m["fgetc"]
+	m["putchar"] = m["fgetc"]
+	m["fputs"] = m["fgetc"]
+	m["puts"] = m["fgetc"]
+	m["fread"] = func(c analysis.LibCall) {
+		// Reads raw bytes into the buffer. Per the paper's input
+		// restriction, pointers are not read in from files, so no
+		// pointer values are created.
+	}
+	m["fwrite"] = func(c analysis.LibCall) {}
+	m["fseek"] = func(c analysis.LibCall) {}
+	m["ftell"] = func(c analysis.LibCall) {}
+	m["rewind"] = func(c analysis.LibCall) {}
+	m["feof"] = func(c analysis.LibCall) {}
+	m["ferror"] = func(c analysis.LibCall) {}
+	m["remove"] = func(c analysis.LibCall) {}
+	m["rename"] = func(c analysis.LibCall) {}
+	m["printf"] = func(c analysis.LibCall) {}
+	m["fprintf"] = func(c analysis.LibCall) {}
+	m["sprintf"] = func(c analysis.LibCall) { /* writes text, no pointers */ }
+	m["scanf"] = func(c analysis.LibCall) { /* stores scalars through args */ }
+	m["fscanf"] = m["scanf"]
+	m["sscanf"] = m["scanf"]
+
+	// ---- stdlib ----
+	m["exit"] = func(c analysis.LibCall) {}
+	m["abort"] = m["exit"]
+	m["atoi"] = func(c analysis.LibCall) {}
+	m["atol"] = m["atoi"]
+	m["atof"] = m["atoi"]
+	m["abs"] = m["atoi"]
+	m["labs"] = m["atoi"]
+	m["rand"] = m["atoi"]
+	m["srand"] = m["atoi"]
+	m["getenv"] = func(c analysis.LibCall) { c.Return(c.Heap()) }
+	m["qsort"] = func(c analysis.LibCall) {
+		// qsort permutes elements within the array (pointer elements
+		// move between positions — already modeled by strided
+		// location sets) and calls the comparator with pointers into
+		// the array.
+		base := c.Unknown(c.Arg(0))
+		c.Copy(base, base, 0)
+		c.Invoke(c.Arg(3), []memmod.ValueSet{base, base})
+	}
+	m["bsearch"] = func(c analysis.LibCall) {
+		base := c.Unknown(c.Arg(1))
+		c.Invoke(c.Arg(4), []memmod.ValueSet{c.Arg(0), base})
+		c.Return(base)
+	}
+
+	// ---- math / ctype: no pointer effects ----
+	for _, name := range []string{
+		"sqrt", "fabs", "exp", "log", "log10", "sin", "cos", "tan",
+		"atan", "atan2", "pow", "floor", "ceil", "fmod",
+		"isalpha", "isdigit", "isalnum", "isspace", "isupper",
+		"islower", "ispunct", "isprint", "toupper", "tolower",
+		"_assert_fail",
+	} {
+		m[name] = func(c analysis.LibCall) {}
+	}
+	return m
+}

@@ -1,0 +1,260 @@
+package libsum_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cparse"
+	"wlpa/internal/libsum"
+	"wlpa/internal/memmod"
+	"wlpa/internal/sem"
+)
+
+// pts analyzes src and returns the sorted points-to targets of global p.
+func pts(t *testing.T, src, global string) []string {
+	t.Helper()
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	a, err := analysis.New(prog, analysis.Options{Lib: libsum.Summaries()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var sym *sem.SymbolAlias
+	for _, g := range prog.Globals {
+		if g.Name == global {
+			sym = g
+		}
+	}
+	if sym == nil {
+		t.Fatalf("no global %s", global)
+	}
+	ptf := a.MainPTF()
+	vals, ok := ptf.Pts.LookupOut(memmod.Loc(a.GlobalBlock(sym), 0, 0), ptf.Proc.Exit, nil)
+	if !ok {
+		return nil
+	}
+	var names []string
+	for _, l := range vals.Locs() {
+		names = append(names, l.Base.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func anyHeap(names []string) bool {
+	for _, n := range names {
+		if strings.HasPrefix(n, "heap@") {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRegistryCoversHeaders(t *testing.T) {
+	// Every function declared in the built-in headers that can affect
+	// pointers must have a summary; a few are intentionally generic.
+	m := libsum.Summaries()
+	for _, name := range []string{
+		"malloc", "calloc", "realloc", "free", "strdup", "memcpy",
+		"memmove", "memset", "strcpy", "strcat", "strchr", "strstr",
+		"strtok", "qsort", "bsearch", "fopen", "fgets", "printf",
+		"sqrt", "isalpha", "exit",
+	} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("no summary for %s", name)
+		}
+	}
+}
+
+func TestMallocFamilyFreshBlocks(t *testing.T) {
+	src := `
+#include <stdlib.h>
+#include <string.h>
+char *pm, *pc, *pd;
+int main(void) {
+    pm = (char *)malloc(8);
+    pc = (char *)calloc(2, 8);
+    pd = strdup("abc");
+    return 0;
+}`
+	for _, g := range []string{"pm", "pc", "pd"} {
+		got := pts(t, src, g)
+		if len(got) != 1 || !anyHeap(got) {
+			t.Errorf("%s -> %v, want one heap block", g, got)
+		}
+	}
+}
+
+func TestReallocKeepsOrReplaces(t *testing.T) {
+	src := `
+#include <stdlib.h>
+char *p;
+int main(void) {
+    p = (char *)malloc(8);
+    p = (char *)realloc(p, 16);
+    return 0;
+}`
+	got := pts(t, src, "p")
+	// Result may be the original block or the realloc site's block.
+	if len(got) != 2 || !anyHeap(got) {
+		t.Errorf("p -> %v, want {malloc site, realloc site}", got)
+	}
+}
+
+func TestStrcpyReturnsDst(t *testing.T) {
+	src := `
+#include <string.h>
+char buf[16];
+char *r;
+int main(void) { r = strcpy(buf, "x"); return 0; }`
+	got := pts(t, src, "r")
+	if len(got) != 1 || got[0] != "buf" {
+		t.Errorf("r -> %v, want [buf]", got)
+	}
+}
+
+func TestStrchrPointsIntoArgument(t *testing.T) {
+	src := `
+#include <string.h>
+char buf[16];
+char *r;
+int main(void) { r = strchr(buf, 'a'); return 0; }`
+	got := pts(t, src, "r")
+	if len(got) != 1 || got[0] != "buf" {
+		t.Errorf("r -> %v, want into buf", got)
+	}
+}
+
+func TestMemcpyPropagatesPointerFields(t *testing.T) {
+	src := `
+#include <string.h>
+struct cell { int *link; };
+int target;
+struct cell src1, dst1;
+int *r;
+int main(void) {
+    src1.link = &target;
+    memcpy(&dst1, &src1, sizeof(struct cell));
+    r = dst1.link;
+    return 0;
+}`
+	got := pts(t, src, "r")
+	if len(got) != 1 || got[0] != "target" {
+		t.Errorf("r -> %v, want [target]", got)
+	}
+}
+
+func TestQsortInvokesComparator(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int *seen;
+int table[4];
+int cmp(const void *a, const void *b) { seen = (int *)a; return 0; }
+int main(void) { qsort(table, 4, sizeof(int), cmp); return 0; }`
+	got := pts(t, src, "seen")
+	if len(got) != 1 || got[0] != "table" {
+		t.Errorf("seen -> %v, want pointers into table", got)
+	}
+}
+
+func TestBsearchReturnsIntoArray(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int table[4];
+int key;
+int *hit;
+int cmp(const void *a, const void *b) { return 0; }
+int main(void) {
+    hit = (int *)bsearch(&key, table, 4, sizeof(int), cmp);
+    return 0;
+}`
+	got := pts(t, src, "hit")
+	found := false
+	for _, n := range got {
+		if n == "table" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("hit -> %v, want into table", got)
+	}
+}
+
+func TestFopenFreshBlock(t *testing.T) {
+	src := `
+#include <stdio.h>
+FILE *f;
+int main(void) { f = fopen("x", "r"); return 0; }`
+	got := pts(t, src, "f")
+	if len(got) != 1 || !anyHeap(got) {
+		t.Errorf("f -> %v, want a heap block", got)
+	}
+}
+
+func TestFgetsReturnsBuffer(t *testing.T) {
+	src := `
+#include <stdio.h>
+char line[64];
+char *r;
+int main(void) {
+    FILE *f = fopen("x", "r");
+    r = fgets(line, 64, f);
+    return 0;
+}`
+	got := pts(t, src, "r")
+	if len(got) != 1 || got[0] != "line" {
+		t.Errorf("r -> %v, want [line]", got)
+	}
+}
+
+func TestPureFunctionsNoPointerEffects(t *testing.T) {
+	src := `
+#include <math.h>
+#include <ctype.h>
+int x;
+int *p;
+int main(void) {
+    p = &x;
+    sqrt(2.0);
+    isalpha('a');
+    return 0;
+}`
+	got := pts(t, src, "p")
+	if len(got) != 1 || got[0] != "x" {
+		t.Errorf("p -> %v, want [x] untouched", got)
+	}
+}
+
+func TestUnknownExternConservative(t *testing.T) {
+	// A function with no summary gets the generic conservative model:
+	// the return value may be anything reachable from the arguments.
+	src := `
+int x;
+int *p, *r;
+int main(void) {
+    p = &x;
+    r = (int *)mystery(p);
+    return 0;
+}`
+	got := pts(t, src, "r")
+	found := false
+	for _, n := range got {
+		if n == "x" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("r -> %v, generic summary must include x", got)
+	}
+}

@@ -1,0 +1,228 @@
+// Package memmod implements the low-level memory representation of the
+// Wilson–Lam analysis (paper §3): memory is divided into blocks of
+// contiguous storage whose relative positions are undefined, and positions
+// within a block are named by location sets (base, offset, stride).
+//
+// A block is a local variable, a heap block named by its static allocation
+// site, an extended parameter (including globals viewed from inside a
+// procedure), the real storage of a global at the outermost frame, a
+// function (for function-pointer values), or a string literal.
+package memmod
+
+import (
+	"fmt"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/ctok"
+	"wlpa/internal/ctype"
+)
+
+// BlockKind classifies memory blocks.
+type BlockKind int
+
+const (
+	// LocalBlock is a local variable (always a unique block).
+	LocalBlock BlockKind = iota
+	// ParamBlock is an extended parameter: the locations reached
+	// through an input pointer at procedure entry (paper §2.2, §3.2).
+	ParamBlock
+	// HeapBlock groups all storage allocated at one static site
+	// (never unique).
+	HeapBlock
+	// GlobalBlock is the real storage of a global variable, visible in
+	// the outermost (main/global) name space.
+	GlobalBlock
+	// FuncBlock represents a function; pointers to it are function-
+	// pointer values.
+	FuncBlock
+	// StringBlock is a string literal's storage.
+	StringBlock
+	// RetvalBlock is the special local holding a procedure's return
+	// value (paper §3).
+	RetvalBlock
+)
+
+var kindNames = [...]string{"local", "param", "heap", "global", "func", "string", "retval"}
+
+func (k BlockKind) String() string { return kindNames[k] }
+
+// Block is a block of memory.
+type Block struct {
+	Kind BlockKind
+	Name string
+
+	// Sym is the originating symbol for locals, globals and functions.
+	Sym *cast.Symbol
+
+	// Site is the allocation site for heap blocks.
+	Site ctok.Pos
+
+	// Size is the block size in bytes if known, else 0.
+	Size int64
+
+	// Type is the declared type if known (locals/globals).
+	Type *ctype.Type
+
+	// --- extended parameter state ---
+
+	// Index is the creation order of the parameter within its PTF;
+	// PTF matching replays initial points-to entries in this order.
+	Index int
+
+	// FuncPtr marks parameters used as call targets; their values
+	// become part of the PTF input domain (paper §5.1).
+	FuncPtr bool
+
+	// NotUnique marks a parameter that may stand for several actual
+	// locations at once, disabling strong updates through it (§4.1).
+	NotUnique bool
+
+	// fwd/fwdDelta implement parameter subsumption (paper §3.2,
+	// Figures 6 and 7): when a parameter is subsumed, references to it
+	// forward to the subsuming parameter at offset+fwdDelta.
+	// fwdUnknown records that the delta is unknown, in which case
+	// references become stride-1 (unknown position) in the target.
+	fwd        *Block
+	fwdDelta   int64
+	fwdUnknown bool
+
+	// ptrLocs records the location sets within this block that may
+	// contain pointers (paper §3.3). Keyed by (offset, stride).
+	ptrLocs map[offStride]bool
+}
+
+type offStride struct {
+	off, stride int64
+}
+
+// NewLocal creates a block for a local variable.
+func NewLocal(sym *cast.Symbol) *Block {
+	return &Block{
+		Kind: LocalBlock, Name: sym.Name, Sym: sym,
+		Size: sym.Type.Sizeof(), Type: sym.Type,
+	}
+}
+
+// NewGlobal creates the real storage block of a global variable.
+func NewGlobal(sym *cast.Symbol) *Block {
+	return &Block{
+		Kind: GlobalBlock, Name: sym.Name, Sym: sym,
+		Size: sym.Type.Sizeof(), Type: sym.Type,
+	}
+}
+
+// NewHeap creates the block for a static allocation site.
+func NewHeap(site ctok.Pos) *Block {
+	return &Block{Kind: HeapBlock, Name: fmt.Sprintf("heap@%s", site), Site: site}
+}
+
+// NewFunc creates the block representing a function value.
+func NewFunc(sym *cast.Symbol) *Block {
+	return &Block{Kind: FuncBlock, Name: sym.Name, Sym: sym, Type: sym.Type}
+}
+
+// NewString creates a block for a string literal.
+func NewString(id int, value string) *Block {
+	return &Block{
+		Kind: StringBlock, Name: fmt.Sprintf("str%d", id),
+		Size: int64(len(value)) + 1,
+	}
+}
+
+// NewRetval creates the special return-value block of a procedure.
+func NewRetval(proc string) *Block {
+	return &Block{Kind: RetvalBlock, Name: "<retval:" + proc + ">", Size: ctype.PointerSize}
+}
+
+// NewParam creates an extended parameter. hint names the pointer through
+// which the parameter was first reached, following the paper's "1_p"
+// naming convention.
+func NewParam(index int, hint string) *Block {
+	return &Block{Kind: ParamBlock, Name: fmt.Sprintf("%d_%s", index, hint), Index: index}
+}
+
+// Unique reports whether the block denotes a single run-time memory
+// object, enabling strong updates (paper §4.1): locals, globals, string
+// literals and the return value always; heap blocks never; extended
+// parameters unless marked NotUnique.
+func (b *Block) Unique() bool {
+	switch b.Kind {
+	case LocalBlock, GlobalBlock, RetvalBlock, StringBlock:
+		return true
+	case ParamBlock:
+		return !b.NotUnique
+	default:
+		return false
+	}
+}
+
+// Subsume forwards all references of b to target with the given offset
+// delta (paper Figures 6–7). unknownDelta records that the relative
+// placement is unknown; references then collapse to stride 1.
+func (b *Block) Subsume(target *Block, delta int64, unknownDelta bool) {
+	if b == target {
+		return
+	}
+	b.fwd = target
+	b.fwdDelta = delta
+	b.fwdUnknown = unknownDelta
+	// Pointer-location facts migrate to the subsuming block.
+	for os := range b.ptrLocs {
+		ls := LocSet{Base: b, Off: os.off, Stride: os.stride}.Resolve()
+		ls.Base.AddPtrLoc(ls)
+	}
+	b.ptrLocs = nil
+}
+
+// Forwarded returns the block b currently forwards to (nil if none).
+func (b *Block) Forwarded() *Block { return b.fwd }
+
+// Representative follows the subsumption chain to the live block.
+func (b *Block) Representative() *Block {
+	for b.fwd != nil {
+		b = b.fwd
+	}
+	return b
+}
+
+// AddPtrLoc records that ls (which must be based at this block's
+// representative) may contain a pointer. It reports whether the fact is
+// new.
+func (b *Block) AddPtrLoc(ls LocSet) bool {
+	rb := b.Representative()
+	ls = ls.Resolve()
+	if ls.Base != rb {
+		// Caller passed a stale base; record on the representative.
+		rb = ls.Base
+	}
+	if rb.ptrLocs == nil {
+		rb.ptrLocs = make(map[offStride]bool)
+	}
+	key := offStride{ls.Off, ls.Stride}
+	if rb.ptrLocs[key] {
+		return false
+	}
+	rb.ptrLocs[key] = true
+	return true
+}
+
+// PtrLocs returns the location sets within the block that may contain
+// pointers, in unspecified order.
+func (b *Block) PtrLocs() []LocSet {
+	rb := b.Representative()
+	out := make([]LocSet, 0, len(rb.ptrLocs))
+	for os := range rb.ptrLocs {
+		out = append(out, LocSet{Base: rb, Off: os.off, Stride: os.stride})
+	}
+	return out
+}
+
+// NumPtrLocs returns the number of recorded pointer locations.
+func (b *Block) NumPtrLocs() int { return len(b.Representative().ptrLocs) }
+
+func (b *Block) String() string {
+	if b == nil {
+		return "<nil>"
+	}
+	return b.Name
+}

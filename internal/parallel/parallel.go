@@ -1,0 +1,815 @@
+// Package parallel implements the loop parallelizer used for the paper's
+// Table 3 experiment: using the pointer analysis' results it decides
+// which loops are safe to run as SPMD parallel loops (formal parameters
+// and pointer writes proven unaliased, array writes indexed by the
+// induction variable, scalar reductions, side-effect-free callees), then
+// combines the static classification with a dynamic profile from the
+// interpreter and an SPMD multiprocessor cost model to produce the
+// percent-parallel coverage, per-loop granularity, and speedups the
+// paper reports.
+package parallel
+
+import (
+	"fmt"
+	"sort"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cast"
+	"wlpa/internal/ctype"
+	"wlpa/internal/memmod"
+	"wlpa/internal/sem"
+)
+
+// LoopInfo is the static classification of one for-loop.
+type LoopInfo struct {
+	Pos      string // source position (matches interp.LoopStat keys)
+	Func     string
+	Parallel bool
+	Reason   string // why the loop was rejected (empty if parallel)
+}
+
+// Parallelizer classifies loops of a program.
+type Parallelizer struct {
+	prog *sem.Program
+	an   *analysis.Analysis
+
+	effects map[string]*effect
+}
+
+// effect summarizes a function's side effects.
+type effect struct {
+	writesGlobal  bool
+	writesUnknown bool
+	writesFormals map[int]bool
+	callees       map[string]bool
+	doesIO        bool
+}
+
+// pure external functions (no stores visible to the program).
+var pureExtern = map[string]bool{
+	"sqrt": true, "fabs": true, "exp": true, "log": true, "log10": true,
+	"sin": true, "cos": true, "tan": true, "atan": true, "atan2": true,
+	"pow": true, "floor": true, "ceil": true, "fmod": true,
+	"isalpha": true, "isdigit": true, "isalnum": true, "isspace": true,
+	"isupper": true, "islower": true, "ispunct": true, "isprint": true,
+	"toupper": true, "tolower": true, "abs": true, "labs": true,
+	"strlen": true, "strcmp": true, "strncmp": true, "memcmp": true,
+	"atoi": true, "atol": true, "atof": true,
+}
+
+// New builds a parallelizer over the analyzed program.
+func New(prog *sem.Program, an *analysis.Analysis) *Parallelizer {
+	p := &Parallelizer{prog: prog, an: an, effects: make(map[string]*effect)}
+	for _, fd := range prog.Funcs {
+		p.effects[fd.Name] = p.summarizeEffects(fd)
+	}
+	// Propagate callee impurity to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for _, e := range p.effects {
+			for callee := range e.callees {
+				ce, ok := p.effects[callee]
+				if !ok {
+					continue
+				}
+				if ce.writesGlobal && !e.writesGlobal {
+					e.writesGlobal = true
+					changed = true
+				}
+				if ce.writesUnknown && !e.writesUnknown {
+					e.writesUnknown = true
+					changed = true
+				}
+				if ce.doesIO && !e.doesIO {
+					e.doesIO = true
+					changed = true
+				}
+			}
+		}
+	}
+	return p
+}
+
+// Classify walks every function and classifies each for-loop.
+func (p *Parallelizer) Classify() []LoopInfo {
+	var out []LoopInfo
+	for _, fd := range p.prog.Funcs {
+		p.walkStmt(fd, fd.Body, &out)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+func (p *Parallelizer) walkStmt(fd *cast.FuncDecl, s cast.Stmt, out *[]LoopInfo) {
+	switch s := s.(type) {
+	case *cast.BlockStmt:
+		for _, it := range s.Items {
+			if it.Stmt != nil {
+				p.walkStmt(fd, it.Stmt, out)
+			}
+		}
+	case *cast.IfStmt:
+		p.walkStmt(fd, s.Then, out)
+		if s.Else != nil {
+			p.walkStmt(fd, s.Else, out)
+		}
+	case *cast.ForStmt:
+		info := p.classifyLoop(fd, s)
+		*out = append(*out, info)
+		p.walkStmt(fd, s.Body, out)
+	case *cast.WhileStmt:
+		*out = append(*out, LoopInfo{
+			Pos: s.Pos.String(), Func: fd.Name,
+			Parallel: false, Reason: "while loop (no affine induction variable)",
+		})
+		p.walkStmt(fd, s.Body, out)
+	case *cast.DoWhileStmt:
+		*out = append(*out, LoopInfo{
+			Pos: s.Pos.String(), Func: fd.Name,
+			Parallel: false, Reason: "do-while loop",
+		})
+		p.walkStmt(fd, s.Body, out)
+	case *cast.SwitchStmt:
+		p.walkStmt(fd, s.Body, out)
+	case *cast.CaseStmt:
+		p.walkStmt(fd, s.Body, out)
+	case *cast.LabelStmt:
+		p.walkStmt(fd, s.Body, out)
+	}
+}
+
+// loopCtx carries the state of one classification.
+type loopCtx struct {
+	fd  *cast.FuncDecl
+	ind *cast.Symbol // induction variable
+
+	// privates are locals declared inside the body (thread-private).
+	privates map[*cast.Symbol]bool
+	// rowPtrs are private pointers initialized from a 2D-array row
+	// selected by the induction variable (each iteration owns a row).
+	rowPtrs map[*cast.Symbol]bool
+	// writtenArrays maps array symbols written at [ind].
+	writtenArrays map[*cast.Symbol]bool
+	// reductions are scalars updated only with compound assignments.
+	reductions map[*cast.Symbol]bool
+
+	reject string
+}
+
+func (c *loopCtx) fail(reason string) {
+	if c.reject == "" {
+		c.reject = reason
+	}
+}
+
+// classifyLoop applies the safety tests to one for-loop.
+func (p *Parallelizer) classifyLoop(fd *cast.FuncDecl, loop *cast.ForStmt) LoopInfo {
+	info := LoopInfo{Pos: loop.Pos.String(), Func: fd.Name}
+	ind := inductionVar(loop)
+	if ind == nil {
+		info.Reason = "no affine induction variable"
+		return info
+	}
+	c := &loopCtx{
+		fd: fd, ind: ind,
+		privates:      make(map[*cast.Symbol]bool),
+		rowPtrs:       make(map[*cast.Symbol]bool),
+		writtenArrays: make(map[*cast.Symbol]bool),
+		reductions:    make(map[*cast.Symbol]bool),
+	}
+	p.scanBody(c, loop.Body)
+	if c.reject == "" {
+		p.checkReads(c, loop.Body)
+	}
+	if c.reject != "" {
+		info.Reason = c.reject
+		return info
+	}
+	info.Parallel = true
+	return info
+}
+
+// inductionVar recognizes "for (i = K; i REL N; i++/i--/i+=c)".
+func inductionVar(loop *cast.ForStmt) *cast.Symbol {
+	asg, ok := loop.Init.(*cast.Assign)
+	if !ok || asg.Op != cast.SimpleAssign {
+		return nil
+	}
+	id, ok := asg.L.(*cast.Ident)
+	if !ok || id.Sym == nil || id.Sym.Global {
+		return nil
+	}
+	if loop.Cond == nil || loop.Post == nil {
+		return nil
+	}
+	// The post must step the same variable.
+	switch post := loop.Post.(type) {
+	case *cast.Unary:
+		pid, ok := post.X.(*cast.Ident)
+		if !ok || pid.Sym != id.Sym {
+			return nil
+		}
+	case *cast.Assign:
+		pid, ok := post.L.(*cast.Ident)
+		if !ok || pid.Sym != id.Sym {
+			return nil
+		}
+	default:
+		return nil
+	}
+	return id.Sym
+}
+
+// scanBody classifies every write and call in the loop body.
+func (p *Parallelizer) scanBody(c *loopCtx, s cast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+		return
+	case *cast.BlockStmt:
+		for _, it := range s.Items {
+			if it.Decl != nil {
+				if vd, ok := it.Decl.(*cast.VarDecl); ok && vd.Sym != nil && !vd.Sym.Global {
+					c.privates[vd.Sym] = true
+					if vd.Init != nil {
+						p.scanInit(c, vd.Sym, vd.Init)
+					}
+				}
+				continue
+			}
+			p.scanStmt(c, it.Stmt)
+		}
+	default:
+		p.scanStmt(c, s)
+	}
+}
+
+func (p *Parallelizer) scanStmt(c *loopCtx, s cast.Stmt) {
+	switch s := s.(type) {
+	case nil, *cast.EmptyStmt:
+	case *cast.BlockStmt:
+		p.scanBody(c, s)
+	case *cast.ExprStmt:
+		p.scanExpr(c, s.X)
+	case *cast.IfStmt:
+		p.scanExpr(c, s.Cond)
+		p.scanStmt(c, s.Then)
+		if s.Else != nil {
+			p.scanStmt(c, s.Else)
+		}
+	case *cast.ForStmt:
+		// Nested loop: its writes are part of this body. Its own
+		// induction variable is reinitialized every iteration of the
+		// enclosing loop, so it is privatizable.
+		if iv := inductionVar(s); iv != nil {
+			c.privates[iv] = true
+		}
+		if s.Init != nil {
+			p.scanExpr(c, s.Init)
+		}
+		if s.Cond != nil {
+			p.scanExpr(c, s.Cond)
+		}
+		if s.Post != nil {
+			p.scanExpr(c, s.Post)
+		}
+		p.scanStmt(c, s.Body)
+	case *cast.WhileStmt:
+		p.scanExpr(c, s.Cond)
+		p.scanStmt(c, s.Body)
+	case *cast.DoWhileStmt:
+		p.scanStmt(c, s.Body)
+		p.scanExpr(c, s.Cond)
+	case *cast.ContinueStmt:
+	case *cast.BreakStmt:
+		c.fail("break exits the loop early")
+	case *cast.ReturnStmt:
+		c.fail("return exits the loop early")
+	case *cast.GotoStmt:
+		c.fail("goto in loop body")
+	case *cast.SwitchStmt:
+		p.scanExpr(c, s.Tag)
+		p.scanStmt(c, s.Body)
+	case *cast.CaseStmt:
+		p.scanStmt(c, s.Body)
+	case *cast.LabelStmt:
+		p.scanStmt(c, s.Body)
+	default:
+		c.fail(fmt.Sprintf("unhandled statement %T", s))
+	}
+}
+
+// scanInit classifies a private declaration's initializer, detecting the
+// row-pointer idiom: T *w = A[i] (or &A[i][0]).
+func (p *Parallelizer) scanInit(c *loopCtx, sym *cast.Symbol, init cast.Expr) {
+	p.scanExpr(c, init)
+	if sym.Type == nil || sym.Type.Kind != ctype.Pointer {
+		return
+	}
+	if ix, ok := init.(*cast.Index); ok {
+		if idxIsInduction(ix.I, c.ind) {
+			if base, ok := ix.X.(*cast.Ident); ok && base.Sym != nil &&
+				base.Sym.Type != nil && base.Sym.Type.Kind == ctype.Array {
+				c.rowPtrs[sym] = true
+			}
+		}
+	}
+}
+
+func idxIsInduction(e cast.Expr, ind *cast.Symbol) bool {
+	id, ok := e.(*cast.Ident)
+	return ok && id.Sym == ind
+}
+
+// scanExpr classifies writes and calls inside an expression.
+func (p *Parallelizer) scanExpr(c *loopCtx, e cast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *cast.Ident, *cast.IntLit, *cast.FloatLit, *cast.StrLit,
+		*cast.SizeofExpr, *cast.SizeofType:
+	case *cast.Assign:
+		p.scanExpr(c, e.R)
+		p.classifyWrite(c, e.L, e.Op != cast.SimpleAssign)
+	case *cast.Unary:
+		switch e.Op {
+		case cast.PreInc, cast.PreDec, cast.PostInc, cast.PostDec:
+			p.classifyWrite(c, e.X, true)
+		default:
+			p.scanExpr(c, e.X)
+		}
+	case *cast.Binary:
+		p.scanExpr(c, e.L)
+		p.scanExpr(c, e.R)
+	case *cast.Cond:
+		p.scanExpr(c, e.C)
+		p.scanExpr(c, e.T)
+		p.scanExpr(c, e.F)
+	case *cast.Call:
+		p.scanCall(c, e)
+	case *cast.Index:
+		p.scanExpr(c, e.X)
+		p.scanExpr(c, e.I)
+	case *cast.Member:
+		p.scanExpr(c, e.X)
+	case *cast.Cast:
+		p.scanExpr(c, e.X)
+	case *cast.Comma:
+		p.scanExpr(c, e.L)
+		p.scanExpr(c, e.R)
+	default:
+		c.fail(fmt.Sprintf("unhandled expression %T", e))
+	}
+}
+
+// classifyWrite decides whether a write is iteration-private.
+func (p *Parallelizer) classifyWrite(c *loopCtx, lhs cast.Expr, compound bool) {
+	switch lhs := lhs.(type) {
+	case *cast.Ident:
+		sym := lhs.Sym
+		if sym == nil {
+			c.fail("unresolved write target")
+			return
+		}
+		if sym == c.ind {
+			c.fail("loop body modifies the induction variable")
+			return
+		}
+		if c.privates[sym] || c.rowPtrs[sym] {
+			return // thread-private
+		}
+		if compound {
+			// Scalar reduction (sum += ..., n++): privatizable.
+			c.reductions[sym] = true
+			return
+		}
+		if sym.Global {
+			c.fail(fmt.Sprintf("plain write to shared scalar %s", sym.Name))
+			return
+		}
+		// Function-scoped local assigned in the loop: loop-carried.
+		c.fail(fmt.Sprintf("loop-carried scalar %s", sym.Name))
+	case *cast.Index:
+		p.scanExpr(c, lhs.I)
+		base, ok := lhs.X.(*cast.Ident)
+		if !ok || base.Sym == nil {
+			c.fail("write through a computed array base")
+			return
+		}
+		if c.privates[base.Sym] || c.rowPtrs[base.Sym] {
+			return // iteration-private storage
+		}
+		if !idxIsInduction(lhs.I, c.ind) {
+			if compound && base.Sym.Type != nil && base.Sym.Type.Kind == ctype.Array {
+				// Elementwise reduction into a shared array.
+				c.reductions[base.Sym] = true
+				return
+			}
+			c.fail(fmt.Sprintf("array %s written at a non-induction index", base.Sym.Name))
+			return
+		}
+		if base.Sym.Type != nil && base.Sym.Type.Kind == ctype.Array {
+			c.writtenArrays[base.Sym] = true
+			return
+		}
+		// Indexed write through a pointer: use points-to facts.
+		if c.privates[base.Sym] || c.rowPtrs[base.Sym] {
+			return
+		}
+		c.fail(fmt.Sprintf("indexed write through shared pointer %s", base.Sym.Name))
+	case *cast.Unary:
+		if lhs.Op == cast.Deref {
+			p.classifyDerefWrite(c, lhs.X)
+			return
+		}
+		c.fail("unsupported write form")
+	case *cast.Member:
+		c.fail("write to a structure field (may be shared)")
+	default:
+		c.fail(fmt.Sprintf("unsupported write target %T", lhs))
+	}
+}
+
+// classifyDerefWrite handles *p = v: safe only if p is a thread-private
+// pointer walking iteration-owned storage (row pointers), verified with
+// the points-to solution.
+func (p *Parallelizer) classifyDerefWrite(c *loopCtx, ptr cast.Expr) {
+	p.scanExpr(c, ptr)
+	id, ok := rootIdent(ptr)
+	if !ok || id.Sym == nil {
+		c.fail("write through a computed pointer")
+		return
+	}
+	if c.rowPtrs[id.Sym] {
+		return // each iteration owns its row
+	}
+	if c.privates[id.Sym] {
+		// Private pointer, but where does it point? Consult the
+		// points-to solution: if it may reach a global/heap block the
+		// iterations could collide.
+		if p.pointsOnlyToPrivate(id.Sym) {
+			return
+		}
+		c.fail(fmt.Sprintf("pointer %s may reach shared storage (points-to)", id.Sym.Name))
+		return
+	}
+	c.fail(fmt.Sprintf("write through shared pointer %s", id.Sym.Name))
+}
+
+func rootIdent(e cast.Expr) (*cast.Ident, bool) {
+	for {
+		switch x := e.(type) {
+		case *cast.Ident:
+			return x, true
+		case *cast.Cast:
+			e = x.X
+		case *cast.Binary:
+			e = x.L
+		case *cast.Unary:
+			e = x.X
+		default:
+			return nil, false
+		}
+	}
+}
+
+// pointsOnlyToPrivate asks the collapsed solution whether the local
+// pointer's targets are all local (non-shared) blocks.
+func (p *Parallelizer) pointsOnlyToPrivate(sym *cast.Symbol) bool {
+	sol := p.an.Solution()
+	if sol == nil {
+		return false
+	}
+	found := false
+	for _, k := range sol.Locations() {
+		if k.Base.Sym != sym {
+			continue
+		}
+		found = true
+		for _, v := range sol.PointsTo(k).Locs() {
+			switch v.Base.Kind {
+			case memmod.LocalBlock:
+			default:
+				return false
+			}
+		}
+	}
+	return found
+}
+
+// scanCall checks a call inside the loop body.
+func (p *Parallelizer) scanCall(c *loopCtx, call *cast.Call) {
+	for _, a := range call.Args {
+		p.scanExpr(c, a)
+	}
+	id, ok := call.Fun.(*cast.Ident)
+	if !ok || id.Sym == nil {
+		c.fail("call through a function pointer in loop body")
+		return
+	}
+	name := id.Sym.Name
+	fd := p.prog.FuncByName[name]
+	if fd == nil || fd.Body == nil {
+		if pureExtern[name] {
+			return
+		}
+		c.fail(fmt.Sprintf("call to library function %s with unknown side effects", name))
+		return
+	}
+	eff := p.effects[name]
+	if eff == nil {
+		c.fail("callee not summarized")
+		return
+	}
+	if eff.doesIO {
+		c.fail(fmt.Sprintf("callee %s performs I/O", name))
+		return
+	}
+	if eff.writesGlobal {
+		c.fail(fmt.Sprintf("callee %s writes shared globals", name))
+		return
+	}
+	if eff.writesUnknown {
+		c.fail(fmt.Sprintf("callee %s has unanalyzable writes", name))
+		return
+	}
+	// Writes through formals: each such argument must be iteration-
+	// private storage (&A[i] or a private local's address).
+	for fidx := range eff.writesFormals {
+		if fidx >= len(call.Args) {
+			c.fail(fmt.Sprintf("callee %s writes a missing argument", name))
+			return
+		}
+		if !p.argIsIterationPrivate(c, call.Args[fidx]) {
+			c.fail(fmt.Sprintf("callee %s writes through argument %d, which may be shared", name, fidx))
+			return
+		}
+	}
+}
+
+// argIsIterationPrivate recognizes &A[i], &private, and row pointers.
+func (p *Parallelizer) argIsIterationPrivate(c *loopCtx, arg cast.Expr) bool {
+	switch arg := arg.(type) {
+	case *cast.Unary:
+		if arg.Op != cast.Addr {
+			return false
+		}
+		switch x := arg.X.(type) {
+		case *cast.Index:
+			base, ok := x.X.(*cast.Ident)
+			return ok && base.Sym != nil && idxIsInduction(x.I, c.ind) &&
+				base.Sym.Type != nil && base.Sym.Type.Kind == ctype.Array
+		case *cast.Ident:
+			return x.Sym != nil && c.privates[x.Sym]
+		}
+	case *cast.Ident:
+		return arg.Sym != nil && (c.privates[arg.Sym] || c.rowPtrs[arg.Sym])
+	}
+	return false
+}
+
+// checkReads rejects loops whose written arrays are read at non-
+// induction indices (loop-carried flow).
+func (p *Parallelizer) checkReads(c *loopCtx, s cast.Stmt) {
+	var walkE func(e cast.Expr)
+	walkE = func(e cast.Expr) {
+		switch e := e.(type) {
+		case nil:
+		case *cast.Index:
+			if base, ok := e.X.(*cast.Ident); ok && base.Sym != nil &&
+				c.writtenArrays[base.Sym] && !idxIsInduction(e.I, c.ind) {
+				c.fail(fmt.Sprintf("array %s read at a non-induction index", base.Sym.Name))
+			}
+			walkE(e.X)
+			walkE(e.I)
+		case *cast.Unary:
+			walkE(e.X)
+		case *cast.Binary:
+			walkE(e.L)
+			walkE(e.R)
+		case *cast.Assign:
+			walkE(e.L)
+			walkE(e.R)
+		case *cast.Cond:
+			walkE(e.C)
+			walkE(e.T)
+			walkE(e.F)
+		case *cast.Call:
+			for _, a := range e.Args {
+				walkE(a)
+			}
+		case *cast.Member:
+			walkE(e.X)
+		case *cast.Cast:
+			walkE(e.X)
+		case *cast.Comma:
+			walkE(e.L)
+			walkE(e.R)
+		}
+	}
+	var walkS func(s cast.Stmt)
+	walkS = func(s cast.Stmt) {
+		switch s := s.(type) {
+		case nil:
+		case *cast.BlockStmt:
+			for _, it := range s.Items {
+				if it.Stmt != nil {
+					walkS(it.Stmt)
+				}
+				if it.Decl != nil {
+					if vd, ok := it.Decl.(*cast.VarDecl); ok && vd.Init != nil {
+						walkE(vd.Init)
+					}
+				}
+			}
+		case *cast.ExprStmt:
+			walkE(s.X)
+		case *cast.IfStmt:
+			walkE(s.Cond)
+			walkS(s.Then)
+			if s.Else != nil {
+				walkS(s.Else)
+			}
+		case *cast.ForStmt:
+			walkE(s.Init)
+			walkE(s.Cond)
+			walkE(s.Post)
+			walkS(s.Body)
+		case *cast.WhileStmt:
+			walkE(s.Cond)
+			walkS(s.Body)
+		case *cast.DoWhileStmt:
+			walkS(s.Body)
+			walkE(s.Cond)
+		case *cast.SwitchStmt:
+			walkE(s.Tag)
+			walkS(s.Body)
+		case *cast.CaseStmt:
+			walkS(s.Body)
+		case *cast.LabelStmt:
+			walkS(s.Body)
+		}
+	}
+	walkS(s)
+}
+
+// summarizeEffects computes a function's write summary from its AST.
+func (p *Parallelizer) summarizeEffects(fd *cast.FuncDecl) *effect {
+	e := &effect{writesFormals: make(map[int]bool), callees: make(map[string]bool)}
+	formalIdx := make(map[*cast.Symbol]int)
+	for i, prm := range fd.Params {
+		if prm.Sym != nil {
+			formalIdx[prm.Sym] = i
+		}
+	}
+	var walkE func(x cast.Expr)
+	classify := func(lhs cast.Expr) {
+		switch lhs := lhs.(type) {
+		case *cast.Ident:
+			if lhs.Sym == nil {
+				e.writesUnknown = true
+			} else if lhs.Sym.Global {
+				e.writesGlobal = true
+			}
+		case *cast.Index:
+			if base, ok := lhs.X.(*cast.Ident); ok && base.Sym != nil {
+				if base.Sym.Global {
+					e.writesGlobal = true
+				} else if idx, isF := formalIdx[base.Sym]; isF {
+					e.writesFormals[idx] = true
+				}
+				return
+			}
+			e.writesUnknown = true
+		case *cast.Unary:
+			if lhs.Op == cast.Deref {
+				if id, ok := rootIdent(lhs.X); ok && id.Sym != nil {
+					if idx, isF := formalIdx[id.Sym]; isF {
+						e.writesFormals[idx] = true
+						return
+					}
+					if !id.Sym.Global {
+						// Writing through a local pointer: where it
+						// points is unknown statically here.
+						e.writesUnknown = true
+						return
+					}
+				}
+				e.writesUnknown = true
+				return
+			}
+			e.writesUnknown = true
+		case *cast.Member:
+			if id, ok := rootIdent(lhs.X); ok && id.Sym != nil {
+				if idx, isF := formalIdx[id.Sym]; isF {
+					e.writesFormals[idx] = true
+					return
+				}
+				if id.Sym.Global {
+					e.writesGlobal = true
+					return
+				}
+			}
+			e.writesUnknown = true
+		default:
+			e.writesUnknown = true
+		}
+	}
+	walkE = func(x cast.Expr) {
+		switch x := x.(type) {
+		case nil:
+		case *cast.Assign:
+			classify(x.L)
+			walkE(x.R)
+		case *cast.Unary:
+			switch x.Op {
+			case cast.PreInc, cast.PreDec, cast.PostInc, cast.PostDec:
+				classify(x.X)
+			default:
+				walkE(x.X)
+			}
+		case *cast.Binary:
+			walkE(x.L)
+			walkE(x.R)
+		case *cast.Cond:
+			walkE(x.C)
+			walkE(x.T)
+			walkE(x.F)
+		case *cast.Call:
+			if id, ok := x.Fun.(*cast.Ident); ok && id.Sym != nil {
+				name := id.Sym.Name
+				if def := p.prog.FuncByName[name]; def != nil && def.Body != nil {
+					e.callees[name] = true
+				} else if !pureExtern[name] {
+					switch name {
+					case "printf", "fprintf", "puts", "putchar", "putc",
+						"fputc", "fputs", "sprintf":
+						e.doesIO = true
+					default:
+						e.writesUnknown = true
+					}
+				}
+			} else {
+				e.writesUnknown = true
+			}
+			for _, a := range x.Args {
+				walkE(a)
+			}
+		case *cast.Index:
+			walkE(x.X)
+			walkE(x.I)
+		case *cast.Member:
+			walkE(x.X)
+		case *cast.Cast:
+			walkE(x.X)
+		case *cast.Comma:
+			walkE(x.L)
+			walkE(x.R)
+		}
+	}
+	var walkS func(s cast.Stmt)
+	walkS = func(s cast.Stmt) {
+		switch s := s.(type) {
+		case nil:
+		case *cast.BlockStmt:
+			for _, it := range s.Items {
+				if it.Stmt != nil {
+					walkS(it.Stmt)
+				}
+				if it.Decl != nil {
+					if vd, ok := it.Decl.(*cast.VarDecl); ok && vd.Init != nil {
+						walkE(vd.Init)
+					}
+				}
+			}
+		case *cast.ExprStmt:
+			walkE(s.X)
+		case *cast.IfStmt:
+			walkE(s.Cond)
+			walkS(s.Then)
+			if s.Else != nil {
+				walkS(s.Else)
+			}
+		case *cast.ForStmt:
+			walkE(s.Init)
+			walkE(s.Cond)
+			walkE(s.Post)
+			walkS(s.Body)
+		case *cast.WhileStmt:
+			walkE(s.Cond)
+			walkS(s.Body)
+		case *cast.DoWhileStmt:
+			walkS(s.Body)
+			walkE(s.Cond)
+		case *cast.ReturnStmt:
+			walkE(s.X)
+		case *cast.SwitchStmt:
+			walkE(s.Tag)
+			walkS(s.Body)
+		case *cast.CaseStmt:
+			walkS(s.Body)
+		case *cast.LabelStmt:
+			walkS(s.Body)
+		}
+	}
+	walkS(fd.Body)
+	return e
+}

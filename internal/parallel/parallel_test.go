@@ -1,0 +1,270 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cparse"
+	"wlpa/internal/libsum"
+	"wlpa/internal/sem"
+	"wlpa/internal/workload"
+)
+
+func build(t *testing.T, name, src string) (*sem.Program, *Parallelizer) {
+	t.Helper()
+	f, err := cparse.ParseSource(name, src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	an, err := analysis.New(prog, analysis.Options{Lib: libsum.Summaries(), CollectSolution: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Run(); err != nil {
+		t.Fatalf("analysis: %v", err)
+	}
+	return prog, New(prog, an)
+}
+
+func findLoop(t *testing.T, loops []LoopInfo, fn string) LoopInfo {
+	t.Helper()
+	for _, l := range loops {
+		if l.Func == fn {
+			return l
+		}
+	}
+	t.Fatalf("no loop in %s", fn)
+	return LoopInfo{}
+}
+
+func TestSimpleArrayLoopParallel(t *testing.T) {
+	_, par := build(t, "t.c", `
+double a[64], b[64];
+void axpy(void) {
+    int i;
+    for (i = 0; i < 64; i++)
+        a[i] = a[i] + 2.0 * b[i];
+}
+int main(void) { axpy(); return 0; }`)
+	l := findLoop(t, par.Classify(), "axpy")
+	if !l.Parallel {
+		t.Errorf("axpy loop should be parallel: %s", l.Reason)
+	}
+}
+
+func TestLoopCarriedScalarRejected(t *testing.T) {
+	_, par := build(t, "t.c", `
+double a[64];
+double run(void) {
+    int i;
+    double carry = 0.0;
+    for (i = 0; i < 64; i++) {
+        carry = carry * 0.5 + a[i];
+        a[i] = carry;
+    }
+    return carry;
+}
+int main(void) { run(); return 0; }`)
+	l := findLoop(t, par.Classify(), "run")
+	if l.Parallel {
+		t.Error("loop-carried recurrence must not be parallel")
+	}
+	if !strings.Contains(l.Reason, "carry") {
+		t.Errorf("reason = %q", l.Reason)
+	}
+}
+
+func TestReductionAccepted(t *testing.T) {
+	_, par := build(t, "t.c", `
+double a[64];
+double total;
+void sum(void) {
+    int i;
+    for (i = 0; i < 64; i++)
+        total += a[i];
+}
+int main(void) { sum(); return 0; }`)
+	l := findLoop(t, par.Classify(), "sum")
+	if !l.Parallel {
+		t.Errorf("reduction loop should be parallel: %s", l.Reason)
+	}
+}
+
+func TestSharedPointerWriteRejected(t *testing.T) {
+	_, par := build(t, "t.c", `
+double a[64];
+double *cursor;
+void fill(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        *cursor = 1.0;
+        cursor++;
+    }
+}
+int main(void) { cursor = a; fill(); return 0; }`)
+	l := findLoop(t, par.Classify(), "fill")
+	if l.Parallel {
+		t.Error("write through a shared global pointer must not be parallel")
+	}
+}
+
+func TestRowPointerWriteAccepted(t *testing.T) {
+	_, par := build(t, "t.c", `
+double m[16][32];
+void scale(void) {
+    int r, c;
+    for (r = 0; r < 16; r++) {
+        double *row = m[r];
+        for (c = 0; c < 32; c++)
+            row[c] = row[c] * 2.0;
+    }
+}
+int main(void) { scale(); return 0; }`)
+	loops := par.Classify()
+	outer := LoopInfo{}
+	for _, l := range loops {
+		if l.Func == "scale" && (outer.Pos == "" || l.Pos < outer.Pos) {
+			outer = l
+		}
+	}
+	if !outer.Parallel {
+		t.Errorf("row-pointer outer loop should be parallel: %s", outer.Reason)
+	}
+}
+
+func TestCalleeWritingGlobalsRejected(t *testing.T) {
+	_, par := build(t, "t.c", `
+int counter;
+double a[64];
+void bump(void) { counter++; }
+void work(void) {
+    int i;
+    for (i = 0; i < 64; i++) {
+        a[i] = i;
+        bump();
+    }
+}
+int main(void) { work(); return 0; }`)
+	l := findLoop(t, par.Classify(), "work")
+	if l.Parallel {
+		t.Error("callee writing a global must not be parallel")
+	}
+}
+
+func TestCalleeWritingElementArgAccepted(t *testing.T) {
+	_, par := build(t, "t.c", `
+double state[64];
+double step(double x, double *st) { *st = *st + x; return *st * 0.5; }
+double out[64];
+void stage(void) {
+    int i;
+    for (i = 0; i < 64; i++)
+        out[i] = step(out[i], &state[i]);
+}
+int main(void) { stage(); return 0; }`)
+	l := findLoop(t, par.Classify(), "stage")
+	if !l.Parallel {
+		t.Errorf("per-element callee writes should be parallel: %s", l.Reason)
+	}
+}
+
+func TestEarlyExitRejected(t *testing.T) {
+	_, par := build(t, "t.c", `
+int a[64];
+int find(int v) {
+    int i, hit = -1;
+    for (i = 0; i < 64; i++) {
+        if (a[i] == v) { hit = i; break; }
+    }
+    return hit;
+}
+int main(void) { return find(3) >= 0 ? 0 : 1; }`)
+	l := findLoop(t, par.Classify(), "find")
+	if l.Parallel {
+		t.Error("loop with break must not be parallel")
+	}
+}
+
+func TestIOInLoopRejected(t *testing.T) {
+	_, par := build(t, "t.c", `
+#include <stdio.h>
+int a[8];
+void dump(void) {
+    int i;
+    for (i = 0; i < 8; i++)
+        printf("%d\n", a[i]);
+}
+int main(void) { dump(); return 0; }`)
+	l := findLoop(t, par.Classify(), "dump")
+	if l.Parallel {
+		t.Error("I/O in the loop body must not be parallel")
+	}
+}
+
+// ---- the Table 3 programs ----
+
+func reportFor(t *testing.T, name string) *Report {
+	t.Helper()
+	b, ok := workload.ByName(name)
+	if !ok {
+		t.Skipf("benchmark %s missing", name)
+	}
+	prog, par := build(t, name, b.Source)
+	rep, err := BuildReport(name, prog, par, 80_000_000)
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	return rep
+}
+
+func TestAlvinnTable3Shape(t *testing.T) {
+	rep := reportFor(t, "alvinn")
+	t.Logf("\n%s", rep)
+	if rep.PercentParallel < 80 {
+		t.Errorf("alvinn %% parallel = %.1f, paper reports 97.7 (want high coverage)", rep.PercentParallel)
+	}
+	s2, s4 := rep.Speedup(2), rep.Speedup(4)
+	if s2 < 1.6 || s2 > 2.0 {
+		t.Errorf("alvinn 2-proc speedup = %.2f, paper reports 1.95", s2)
+	}
+	if s4 < 2.8 || s4 > 4.0 {
+		t.Errorf("alvinn 4-proc speedup = %.2f, paper reports 3.50", s4)
+	}
+	if s4 <= s2 {
+		t.Error("alvinn must keep scaling at 4 processors")
+	}
+}
+
+func TestEarTable3Shape(t *testing.T) {
+	rep := reportFor(t, "ear")
+	t.Logf("\n%s", rep)
+	if rep.PercentParallel < 50 {
+		t.Errorf("ear %% parallel = %.1f, paper reports 85.8", rep.PercentParallel)
+	}
+	s2, s4 := rep.Speedup(2), rep.Speedup(4)
+	if s2 < 1.05 || s2 > 1.8 {
+		t.Errorf("ear 2-proc speedup = %.2f, paper reports 1.42", s2)
+	}
+	if s4 > 2.2 {
+		t.Errorf("ear 4-proc speedup = %.2f, paper reports 1.63 (must saturate)", s4)
+	}
+}
+
+func TestGranularityOrdering(t *testing.T) {
+	// The crux of Table 3: alvinn's parallel loops are far coarser
+	// than ear's, which is why alvinn scales and ear does not.
+	alvinn := reportFor(t, "alvinn")
+	ear := reportFor(t, "ear")
+	if alvinn.AvgCostPerInvocation < 8*ear.AvgCostPerInvocation {
+		t.Errorf("granularity gap too small: alvinn %.1f vs ear %.1f units/invocation",
+			alvinn.AvgCostPerInvocation, ear.AvgCostPerInvocation)
+	}
+	if alvinn.Speedup(4)-alvinn.Speedup(2) <= ear.Speedup(4)-ear.Speedup(2) {
+		t.Error("alvinn must scale better from 2 to 4 processors than ear")
+	}
+}

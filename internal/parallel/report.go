@@ -1,0 +1,201 @@
+package parallel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wlpa/internal/interp"
+	"wlpa/internal/sem"
+)
+
+// SPMD cost-model constants, in interpreter cost units. They model the
+// paper's SGI 4D/380 bus-based multiprocessor: a fork/join costs a fixed
+// overhead per parallel loop invocation, and fine-grained loops suffer
+// false sharing on the cache lines their adjacent iterations write. The
+// constants are calibrated once (see EXPERIMENTS.md); the experiment's
+// conclusion depends only on their order of magnitude: coarse loops
+// (alvinn, ~ms per invocation) approach linear speedup while fine loops
+// (ear, ~0.2 ms) saturate.
+const (
+	// ForkJoinOverhead is charged once per parallel-loop invocation.
+	ForkJoinOverhead = 220.0
+	// FalseSharingPerIter is charged per iteration per extra processor
+	// for loops that write shared arrays elementwise.
+	FalseSharingPerIter = 1.4
+)
+
+// ProfiledLoop joins a loop's static classification with its profile.
+type ProfiledLoop struct {
+	LoopInfo
+	Invocations int64
+	Iterations  int64
+	Cost        int64 // total sequential cost units spent inside
+}
+
+// Report is the Table 3 row for one program.
+type Report struct {
+	Program string
+
+	Loops []ProfiledLoop
+
+	// TotalCost is the program's sequential execution cost.
+	TotalCost int64
+	// ParallelCost is the cost spent in outermost parallelized loops.
+	ParallelCost int64
+
+	// PercentParallel is the Table 3 "% parallel" column.
+	PercentParallel float64
+	// AvgCostPerInvocation is the granularity column (cost units).
+	AvgCostPerInvocation float64
+}
+
+// BuildReport runs the program under the profiling interpreter and
+// merges the profile with the static classification.
+func BuildReport(name string, prog *sem.Program, par *Parallelizer, maxSteps int64) (*Report, error) {
+	loops := par.Classify()
+	in := interp.New(prog, interp.Options{ProfileLoops: true, MaxSteps: maxSteps})
+	res, err := in.Run()
+	if err != nil {
+		return nil, err
+	}
+	byPos := make(map[string]*interp.LoopStat, len(res.Loops))
+	for k, st := range res.Loops {
+		byPos[k] = st
+	}
+	rep := &Report{Program: name, TotalCost: res.Steps}
+	// Nested parallel loops must not be double counted: keep only the
+	// outermost parallel loops. A loop is "inner" if another parallel
+	// loop in the same function encloses it; we approximate enclosure
+	// by cost containment: sort by cost descending and drop loops whose
+	// cost is already covered by a chosen loop in the same function
+	// that dynamically contains them (an inner loop always has
+	// invocations >= the outer loop's iterations).
+	var profiled []ProfiledLoop
+	for _, li := range loops {
+		pl := ProfiledLoop{LoopInfo: li}
+		if st, ok := byPos[li.Pos]; ok {
+			pl.Invocations = st.Invocations
+			pl.Iterations = st.Iterations
+			pl.Cost = st.Cost
+		}
+		profiled = append(profiled, pl)
+	}
+	sort.Slice(profiled, func(i, j int) bool { return profiled[i].Cost > profiled[j].Cost })
+	chosen := map[string]bool{}
+	var parCost int64
+	var parInvocations int64
+	for _, pl := range profiled {
+		if !pl.Parallel || pl.Cost == 0 {
+			continue
+		}
+		if coveredByChosen(pl, profiled, chosen) {
+			continue
+		}
+		chosen[pl.Pos] = true
+		parCost += pl.Cost
+		parInvocations += pl.Invocations
+	}
+	rep.Loops = profiled
+	rep.ParallelCost = parCost
+	if rep.TotalCost > 0 {
+		rep.PercentParallel = 100 * float64(parCost) / float64(rep.TotalCost)
+	}
+	if parInvocations > 0 {
+		rep.AvgCostPerInvocation = float64(parCost) / float64(parInvocations)
+	}
+	return rep, nil
+}
+
+// coveredByChosen reports whether a parallel loop is nested inside an
+// already-chosen parallel loop (its cost would be double counted). With
+// per-position profiles we detect nesting dynamically: an inner loop's
+// total cost is contained in the outer loop's cost and its invocation
+// count is at least the outer loop's iteration count within the same
+// function.
+func coveredByChosen(pl ProfiledLoop, all []ProfiledLoop, chosen map[string]bool) bool {
+	for _, outer := range all {
+		if !chosen[outer.Pos] || outer.Pos == pl.Pos || outer.Func != pl.Func {
+			continue
+		}
+		if outer.Cost >= pl.Cost && outer.Iterations > 0 &&
+			pl.Invocations >= outer.Iterations {
+			return true
+		}
+	}
+	return false
+}
+
+// Speedup evaluates the SPMD cost model at p processors.
+func (r *Report) Speedup(p int) float64 {
+	if p <= 1 || r.TotalCost == 0 {
+		return 1
+	}
+	serial := float64(r.TotalCost - r.ParallelCost)
+	parallel := 0.0
+	for _, pl := range r.Loops {
+		if !pl.Parallel || pl.Cost == 0 {
+			continue
+		}
+		if !r.isChosen(pl) {
+			continue
+		}
+		perInv := float64(pl.Cost) / float64(max64(pl.Invocations, 1))
+		itersPerInv := float64(pl.Iterations) / float64(max64(pl.Invocations, 1))
+		body := perInv / float64(p)
+		overhead := ForkJoinOverhead
+		sharing := FalseSharingPerIter * itersPerInv * float64(p-1) / float64(p)
+		parallel += float64(pl.Invocations) * (body + overhead + sharing)
+	}
+	total := serial + parallel
+	if total <= 0 {
+		return 1
+	}
+	return float64(r.TotalCost) / total
+}
+
+// isChosen re-derives whether the loop is one of the outermost
+// parallelized loops counted in ParallelCost.
+func (r *Report) isChosen(pl ProfiledLoop) bool {
+	chosen := map[string]bool{}
+	var acc int64
+	for _, q := range r.Loops {
+		if !q.Parallel || q.Cost == 0 {
+			continue
+		}
+		if coveredByChosen(q, r.Loops, chosen) {
+			continue
+		}
+		chosen[q.Pos] = true
+		acc += q.Cost
+	}
+	return chosen[pl.Pos]
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String renders the report as a Table 3 row plus the loop detail.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %6.1f%% parallel, %8.1f units/loop, speedups x%.2f (2p) x%.2f (4p)\n",
+		r.Program, r.PercentParallel, r.AvgCostPerInvocation, r.Speedup(2), r.Speedup(4))
+	for _, pl := range r.Loops {
+		if pl.Cost == 0 {
+			continue
+		}
+		status := "SEQ"
+		reason := pl.Reason
+		if pl.Parallel {
+			status = "PAR"
+			reason = ""
+		}
+		fmt.Fprintf(&sb, "  [%s] %-14s %-24s cost=%-9d inv=%-6d %s\n",
+			status, pl.Func, pl.Pos, pl.Cost, pl.Invocations, reason)
+	}
+	return sb.String()
+}

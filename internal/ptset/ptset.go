@@ -1,0 +1,269 @@
+// Package ptset implements the sparse flow-sensitive points-to function
+// of the analysis (paper §4.2, after Chase et al.): instead of a full
+// points-to map at every program point, each flow-graph node records only
+// the location sets whose values change there. Looking up a pointer's
+// value searches the nearest dominating record; SSA φ-functions are
+// inserted dynamically at dominance frontiers as new locations are
+// assigned, and strong updates act as barriers that hide earlier
+// assignments to overlapping locations.
+package ptset
+
+import (
+	"sort"
+
+	"wlpa/internal/cfg"
+	"wlpa/internal/memmod"
+)
+
+// Record is one sparse points-to binding: at Node, Loc holds Vals.
+type Record struct {
+	Node   *cfg.Node
+	Loc    memmod.LocSet
+	Vals   memmod.ValueSet
+	Strong bool // the assignment overwrote the previous contents
+	Phi    bool // the record is a φ-function result
+}
+
+// PTS is the sparse points-to function for one procedure instance.
+type PTS struct {
+	proc *cfg.Proc
+
+	// recs maps a location set to its assignment records, unordered;
+	// lookups select the nearest dominating record.
+	recs map[memmod.LocSet][]*Record
+
+	// phis maps a meet node to the locations having φ-functions there.
+	phis map[*cfg.Node]map[memmod.LocSet]bool
+}
+
+// New creates an empty points-to function over proc.
+func New(proc *cfg.Proc) *PTS {
+	return &PTS{
+		proc: proc,
+		recs: make(map[memmod.LocSet][]*Record),
+		phis: make(map[*cfg.Node]map[memmod.LocSet]bool),
+	}
+}
+
+// Proc returns the procedure this points-to function covers.
+func (p *PTS) Proc() *cfg.Proc { return p.proc }
+
+// LookupIn returns the values of loc flowing INTO node at (excluding any
+// record at the node itself): the nearest strictly-dominating record.
+// after, when non-nil, is a strong-update barrier: records at nodes not
+// dominated by it are invisible. The boolean reports whether any record
+// was found (false means the caller must consult the initial values).
+func (p *PTS) LookupIn(loc memmod.LocSet, at *cfg.Node, after *cfg.Node) (memmod.ValueSet, bool) {
+	return p.lookup(loc, at, after, false)
+}
+
+// LookupOut returns the values of loc flowing OUT of node at (including
+// a record at the node itself).
+func (p *PTS) LookupOut(loc memmod.LocSet, at *cfg.Node, after *cfg.Node) (memmod.ValueSet, bool) {
+	return p.lookup(loc, at, after, true)
+}
+
+func (p *PTS) lookup(loc memmod.LocSet, at *cfg.Node, after *cfg.Node, includeAt bool) (memmod.ValueSet, bool) {
+	loc = loc.Resolve()
+	var best *Record
+	for _, r := range p.recs[loc] {
+		if r.Node == at && !includeAt {
+			continue
+		}
+		if !r.Node.Dominates(at) {
+			continue
+		}
+		if after != nil && !after.Dominates(r.Node) {
+			continue
+		}
+		if best == nil || best.Node.Dominates(r.Node) {
+			best = r
+		}
+	}
+	if best == nil {
+		return memmod.ValueSet{}, false
+	}
+	return best.Vals.Resolved(), true
+}
+
+// RecordAt returns the record for loc exactly at node, or nil.
+func (p *PTS) RecordAt(loc memmod.LocSet, at *cfg.Node) *Record {
+	loc = loc.Resolve()
+	for _, r := range p.recs[loc] {
+		if r.Node == at {
+			return r
+		}
+	}
+	return nil
+}
+
+// Assign records that loc holds vals at node. strong marks a strong
+// update (replacing previous values on re-evaluation); weak updates must
+// have folded the incoming values into vals already (paper Figure 11).
+// It reports whether the points-to function changed.
+func (p *PTS) Assign(loc memmod.LocSet, vals memmod.ValueSet, at *cfg.Node, strong bool) bool {
+	return p.assign(loc, vals, at, strong, false)
+}
+
+// AssignPhi records a φ result at a meet node.
+func (p *PTS) AssignPhi(loc memmod.LocSet, vals memmod.ValueSet, at *cfg.Node) bool {
+	return p.assign(loc, vals, at, false, true)
+}
+
+func (p *PTS) assign(loc memmod.LocSet, vals memmod.ValueSet, at *cfg.Node, strong, phi bool) bool {
+	loc = loc.Resolve()
+	vals = vals.Resolved()
+	if r := p.RecordAt(loc, at); r != nil {
+		changed := false
+		if strong && r.Strong {
+			// Re-evaluated strong update: replace.
+			if !r.Vals.Equal(vals) {
+				r.Vals = vals
+				changed = true
+			}
+		} else {
+			if r.Vals.AddAll(vals) {
+				changed = true
+			}
+			if r.Strong && !strong {
+				r.Strong = false
+				changed = true
+			}
+		}
+		return changed
+	}
+	r := &Record{Node: at, Loc: loc, Vals: vals.Clone(), Strong: strong, Phi: phi}
+	p.recs[loc] = append(p.recs[loc], r)
+	p.insertPhis(loc, at)
+	return true
+}
+
+// insertPhis places φ-functions for loc on the iterated dominance
+// frontier of node (dynamic SSA construction, paper §4.2).
+func (p *PTS) insertPhis(loc memmod.LocSet, node *cfg.Node) {
+	work := []*cfg.Node{node}
+	for len(work) > 0 {
+		n := work[len(work)-1]
+		work = work[:len(work)-1]
+		for _, m := range n.DF {
+			set := p.phis[m]
+			if set == nil {
+				set = make(map[memmod.LocSet]bool)
+				p.phis[m] = set
+			}
+			if set[loc] {
+				continue
+			}
+			set[loc] = true
+			work = append(work, m)
+		}
+	}
+}
+
+// PhiLocs returns the locations with φ-functions at meet node nd, in a
+// deterministic order.
+func (p *PTS) PhiLocs(nd *cfg.Node) []memmod.LocSet {
+	set := p.phis[nd]
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]memmod.LocSet, 0, len(set))
+	for loc := range set {
+		out = append(out, loc)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessLoc(out[i], out[j]) })
+	return out
+}
+
+func lessLoc(a, b memmod.LocSet) bool {
+	if a.Base != b.Base {
+		return a.Base.Name < b.Base.Name
+	}
+	if a.Off != b.Off {
+		return a.Off < b.Off
+	}
+	return a.Stride < b.Stride
+}
+
+// FindStrongUpdate returns the nearest dominating node (strictly before
+// at) holding a strong update of loc, or nil (paper Figure 10).
+func (p *PTS) FindStrongUpdate(loc memmod.LocSet, at *cfg.Node) *cfg.Node {
+	loc = loc.Resolve()
+	var best *Record
+	for _, r := range p.recs[loc] {
+		if !r.Strong || r.Node == at || !r.Node.Dominates(at) {
+			continue
+		}
+		if best == nil || best.Node.Dominates(r.Node) {
+			best = r
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.Node
+}
+
+// Locations returns every location set with at least one record, in a
+// deterministic order.
+func (p *PTS) Locations() []memmod.LocSet {
+	out := make([]memmod.LocSet, 0, len(p.recs))
+	for loc := range p.recs {
+		out = append(out, loc)
+	}
+	sort.Slice(out, func(i, j int) bool { return lessLoc(out[i], out[j]) })
+	return out
+}
+
+// Records returns the records of loc (for diagnostics).
+func (p *PTS) Records(loc memmod.LocSet) []*Record { return p.recs[loc.Resolve()] }
+
+// NumRecords returns the total number of sparse records.
+func (p *PTS) NumRecords() int {
+	n := 0
+	for _, rs := range p.recs {
+		n += len(rs)
+	}
+	return n
+}
+
+// Rehome re-canonicalizes all record keys after parameter subsumption:
+// keys whose base was subsumed are resolved and merged. The analysis
+// calls this after introducing a subsumption (paper §3.2).
+func (p *PTS) Rehome() {
+	dirty := false
+	for loc := range p.recs {
+		if loc.Resolve() != loc {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return
+	}
+	old := p.recs
+	p.recs = make(map[memmod.LocSet][]*Record, len(old))
+	for loc, rs := range old {
+		nl := loc.Resolve()
+		for _, r := range rs {
+			r.Loc = nl
+			// Merge with an existing record at the same node.
+			if ex := p.RecordAt(nl, r.Node); ex != nil {
+				ex.Vals.AddAll(r.Vals)
+				if !r.Strong {
+					ex.Strong = false
+				}
+				continue
+			}
+			p.recs[nl] = append(p.recs[nl], r)
+		}
+	}
+	// φ sets as well.
+	for nd, set := range p.phis {
+		ns := make(map[memmod.LocSet]bool, len(set))
+		for loc := range set {
+			ns[loc.Resolve()] = true
+		}
+		p.phis[nd] = ns
+	}
+}

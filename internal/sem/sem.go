@@ -1,0 +1,469 @@
+// Package sem performs symbol resolution and expression typing over the
+// parsed AST, producing a Program: the typed whole-program representation
+// consumed by the flow-graph builder, the pointer analysis, and the
+// interpreter.
+//
+// The checker is deliberately lenient, matching the paper's philosophy of
+// accepting "all the inelegant features of the C language": implicit
+// declarations, int/pointer mixing, and arbitrary casts are allowed; only
+// genuinely unresolvable constructs (unknown identifiers used as values,
+// members of non-structs, calls through non-functions) are errors.
+package sem
+
+import (
+	"fmt"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/ctok"
+	"wlpa/internal/ctype"
+)
+
+// Program is a typed whole program.
+type Program struct {
+	Files []*cast.File
+
+	// Globals are file-scope variables (including statics) in
+	// declaration order.
+	Globals []*cast.Symbol
+
+	// Funcs are the defined functions in declaration order.
+	Funcs []*cast.FuncDecl
+
+	// FuncByName maps every defined function name to its definition.
+	FuncByName map[string]*cast.FuncDecl
+
+	// Externs are functions declared but not defined (library calls).
+	Externs map[string]*cast.Symbol
+
+	// GlobalInits pairs each initialized global with its (typed) init.
+	GlobalInits []*cast.VarDecl
+
+	// Strings maps string-literal IDs to their values.
+	Strings map[int]*cast.StrLit
+
+	// Main is the entry function, if present.
+	Main *cast.FuncDecl
+}
+
+// Error is a semantic error.
+type Error struct {
+	Pos ctok.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type checker struct {
+	prog    *Program
+	globals map[string]*cast.Symbol
+	scopes  []map[string]*cast.Symbol
+	uniq    int
+	curFn   *cast.FuncDecl
+	errs    []error
+}
+
+// Check resolves and types the given files as one program.
+func Check(files ...*cast.File) (*Program, error) {
+	c := &checker{
+		prog: &Program{
+			Files:      files,
+			FuncByName: make(map[string]*cast.FuncDecl),
+			Externs:    make(map[string]*cast.Symbol),
+			Strings:    make(map[int]*cast.StrLit),
+		},
+		globals: make(map[string]*cast.Symbol),
+	}
+	// Pass 1: collect global symbols so forward references work.
+	for _, f := range files {
+		for _, d := range f.Decls {
+			c.collectGlobal(d)
+		}
+	}
+	// Pass 2: type function bodies and global initializers.
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*cast.FuncDecl); ok && fd.Body != nil {
+				c.checkFunc(fd)
+			}
+			if vd, ok := d.(*cast.VarDecl); ok && vd.Init != nil {
+				c.checkExpr(vd.Init)
+				c.prog.GlobalInits = append(c.prog.GlobalInits, vd)
+			}
+		}
+	}
+	c.prog.Main = c.prog.FuncByName["main"]
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+	return c.prog, nil
+}
+
+func (c *checker) errorf(pos ctok.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (c *checker) collectGlobal(d cast.Decl) {
+	switch d := d.(type) {
+	case *cast.VarDecl:
+		if d.Type.Kind == ctype.Func {
+			// Function prototype.
+			if fd, ok := c.prog.FuncByName[d.Name]; ok {
+				d.Sym = fd.Sym
+				return
+			}
+			if sym, ok := c.globals[d.Name]; ok {
+				d.Sym = sym
+				return
+			}
+			sym := &cast.Symbol{Kind: cast.SymFunc, Name: d.Name, Type: d.Type, Global: true, Pos: d.Pos}
+			c.globals[d.Name] = sym
+			c.prog.Externs[d.Name] = sym
+			d.Sym = sym
+			return
+		}
+		if sym, ok := c.globals[d.Name]; ok {
+			// Re-declaration: prefer the complete type/definition.
+			if d.Init != nil || (sym.Type.Kind == ctype.Array && sym.Type.Len < 0) {
+				sym.Type = d.Type
+			}
+			d.Sym = sym
+			return
+		}
+		sym := &cast.Symbol{
+			Kind: cast.SymVar, Name: d.Name, Type: d.Type, Global: true,
+			Static: d.Storage == cast.StorageStatic, Pos: d.Pos,
+		}
+		c.globals[d.Name] = sym
+		c.prog.Globals = append(c.prog.Globals, sym)
+		d.Sym = sym
+	case *cast.FuncDecl:
+		sym, ok := c.globals[d.Name]
+		if !ok || sym.Kind != cast.SymFunc {
+			sym = &cast.Symbol{Kind: cast.SymFunc, Name: d.Name, Type: d.Type, Global: true, Pos: d.Pos}
+			c.globals[d.Name] = sym
+		}
+		sym.Type = d.Type
+		if d.Body != nil {
+			sym.Def = d
+			delete(c.prog.Externs, d.Name)
+			if prev, dup := c.prog.FuncByName[d.Name]; dup && prev.Body != nil {
+				c.errorf(d.Pos, "redefinition of function %q", d.Name)
+			}
+			c.prog.FuncByName[d.Name] = d
+			c.prog.Funcs = append(c.prog.Funcs, d)
+		} else if sym.Def == nil {
+			c.prog.Externs[d.Name] = sym
+		}
+		d.Sym = sym
+	}
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, make(map[string]*cast.Symbol)) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) define(sym *cast.Symbol) {
+	c.scopes[len(c.scopes)-1][sym.Name] = sym
+}
+
+func (c *checker) lookup(name string) *cast.Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	return c.globals[name]
+}
+
+func (c *checker) checkFunc(fd *cast.FuncDecl) {
+	c.curFn = fd
+	c.pushScope()
+	for _, p := range fd.Params {
+		if p.Name == "" {
+			continue
+		}
+		c.uniq++
+		sym := &cast.Symbol{Kind: cast.SymParam, Name: p.Name, Type: p.Type, Pos: p.Pos, Uniq: c.uniq}
+		p.Sym = sym
+		c.define(sym)
+	}
+	c.checkBlock(fd.Body)
+	c.popScope()
+	c.curFn = nil
+}
+
+func (c *checker) checkBlock(b *cast.BlockStmt) {
+	c.pushScope()
+	for _, item := range b.Items {
+		if item.Decl != nil {
+			c.checkLocalDecl(item.Decl)
+		} else {
+			c.checkStmt(item.Stmt)
+		}
+	}
+	c.popScope()
+}
+
+func (c *checker) checkLocalDecl(d cast.Decl) {
+	vd, ok := d.(*cast.VarDecl)
+	if !ok {
+		c.errorf(d.Position(), "nested function definitions are not supported")
+		return
+	}
+	if vd.Type.Kind == ctype.Func || vd.Storage == cast.StorageExtern {
+		// Local prototype / extern: resolve against globals.
+		c.collectGlobal(vd)
+		return
+	}
+	c.uniq++
+	sym := &cast.Symbol{
+		Kind: cast.SymVar, Name: vd.Name, Type: vd.Type, Pos: vd.Pos,
+		Uniq: c.uniq, Static: vd.Storage == cast.StorageStatic,
+	}
+	// Function-scoped statics behave like globals with one block.
+	if sym.Static {
+		sym.Global = true
+		c.prog.Globals = append(c.prog.Globals, sym)
+		if vd.Init != nil {
+			c.prog.GlobalInits = append(c.prog.GlobalInits, vd)
+		}
+	}
+	vd.Sym = sym
+	c.define(sym)
+	if vd.Init != nil {
+		c.checkExpr(vd.Init)
+	}
+}
+
+func (c *checker) checkStmt(s cast.Stmt) {
+	switch s := s.(type) {
+	case *cast.BlockStmt:
+		c.checkBlock(s)
+	case *cast.ExprStmt:
+		c.checkExpr(s.X)
+	case *cast.EmptyStmt, *cast.BreakStmt, *cast.ContinueStmt, *cast.GotoStmt:
+	case *cast.IfStmt:
+		c.checkExpr(s.Cond)
+		c.checkStmt(s.Then)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *cast.WhileStmt:
+		c.checkExpr(s.Cond)
+		c.checkStmt(s.Body)
+	case *cast.DoWhileStmt:
+		c.checkStmt(s.Body)
+		c.checkExpr(s.Cond)
+	case *cast.ForStmt:
+		if s.Init != nil {
+			c.checkExpr(s.Init)
+		}
+		if s.Cond != nil {
+			c.checkExpr(s.Cond)
+		}
+		if s.Post != nil {
+			c.checkExpr(s.Post)
+		}
+		c.checkStmt(s.Body)
+	case *cast.SwitchStmt:
+		c.checkExpr(s.Tag)
+		c.checkStmt(s.Body)
+	case *cast.CaseStmt:
+		if s.Value != nil {
+			c.checkExpr(s.Value)
+		}
+		c.checkStmt(s.Body)
+	case *cast.ReturnStmt:
+		if s.X != nil {
+			c.checkExpr(s.X)
+		}
+	case *cast.LabelStmt:
+		c.checkStmt(s.Body)
+	default:
+		c.errorf(s.Position(), "unhandled statement %T", s)
+	}
+}
+
+// checkExpr types e and returns its (lvalue, undecayed) type. Callers
+// needing an rvalue type should apply Decay.
+func (c *checker) checkExpr(e cast.Expr) *ctype.Type {
+	t := c.typeExpr(e)
+	if t == nil {
+		t = ctype.IntType
+	}
+	cast.SetType(e, t)
+	return t
+}
+
+func (c *checker) typeExpr(e cast.Expr) *ctype.Type {
+	switch e := e.(type) {
+	case *cast.Ident:
+		sym := c.lookup(e.Name)
+		if sym == nil {
+			c.errorf(e.Pos, "undeclared identifier %q", e.Name)
+			return ctype.IntType
+		}
+		e.Sym = sym
+		return sym.Type
+	case *cast.IntLit:
+		if e.Value > 1<<31-1 || e.Value < -(1<<31) {
+			return ctype.LongType
+		}
+		return ctype.IntType
+	case *cast.FloatLit:
+		return ctype.DoubleType
+	case *cast.StrLit:
+		c.prog.Strings[e.ID] = e
+		return ctype.ArrayOf(ctype.CharType, int64(len(e.Value))+1)
+	case *cast.Unary:
+		xt := c.checkExpr(e.X)
+		switch e.Op {
+		case cast.Addr:
+			return ctype.PointerTo(xt)
+		case cast.Deref:
+			d := xt.Decay()
+			if d.Kind != ctype.Pointer {
+				// Dereferencing an integer: the low-level model
+				// tolerates it; result is treated as char.
+				return ctype.CharType
+			}
+			return d.Elem
+		case cast.LogNot:
+			return ctype.IntType
+		case cast.Neg, cast.BitNot, cast.Plus:
+			if xt.Kind == ctype.Int && xt.Size < 4 {
+				return ctype.IntType
+			}
+			return xt.Decay()
+		case cast.PreInc, cast.PreDec, cast.PostInc, cast.PostDec:
+			return xt.Decay()
+		}
+		return xt
+	case *cast.Binary:
+		lt := c.checkExpr(e.L).Decay()
+		rt := c.checkExpr(e.R).Decay()
+		switch e.Op {
+		case cast.Lt, cast.Gt, cast.Le, cast.Ge, cast.Eq, cast.Ne,
+			cast.LogAnd, cast.LogOr:
+			return ctype.IntType
+		case cast.Add:
+			if lt.Kind == ctype.Pointer {
+				return lt
+			}
+			if rt.Kind == ctype.Pointer {
+				return rt
+			}
+		case cast.Sub:
+			if lt.Kind == ctype.Pointer && rt.Kind == ctype.Pointer {
+				return ctype.LongType
+			}
+			if lt.Kind == ctype.Pointer {
+				return lt
+			}
+		}
+		if lt.IsArith() && rt.IsArith() {
+			return ctype.CommonArith(lt, rt)
+		}
+		if lt.Kind == ctype.Pointer {
+			return lt
+		}
+		if rt.Kind == ctype.Pointer {
+			return rt
+		}
+		return lt
+	case *cast.Assign:
+		lt := c.checkExpr(e.L)
+		c.checkExpr(e.R)
+		return lt.Decay()
+	case *cast.Cond:
+		c.checkExpr(e.C)
+		tt := c.checkExpr(e.T).Decay()
+		ft := c.checkExpr(e.F).Decay()
+		if tt.Kind == ctype.Pointer {
+			return tt
+		}
+		if ft.Kind == ctype.Pointer {
+			return ft
+		}
+		if tt.IsArith() && ft.IsArith() {
+			return ctype.CommonArith(tt, ft)
+		}
+		return tt
+	case *cast.Call:
+		// Implicit declaration of called functions (C89).
+		if id, ok := e.Fun.(*cast.Ident); ok && c.lookup(id.Name) == nil {
+			sym := &cast.Symbol{
+				Kind: cast.SymFunc, Name: id.Name,
+				Type:   ctype.FuncOf(ctype.IntType, nil, true),
+				Global: true, Pos: id.Pos,
+			}
+			c.globals[id.Name] = sym
+			c.prog.Externs[id.Name] = sym
+		}
+		ft := c.checkExpr(e.Fun).Decay()
+		for _, a := range e.Args {
+			c.checkExpr(a)
+		}
+		if ft.Kind == ctype.Pointer && ft.Elem.Kind == ctype.Func {
+			return ft.Elem.Ret
+		}
+		c.errorf(e.Pos, "called object is not a function (type %s)", ft)
+		return ctype.IntType
+	case *cast.Index:
+		xt := c.checkExpr(e.X).Decay()
+		c.checkExpr(e.I)
+		if xt.Kind != ctype.Pointer {
+			// arr[i] with i the pointer (C allows i[arr]).
+			it := e.I.TypeOf().Decay()
+			if it.Kind == ctype.Pointer {
+				return it.Elem
+			}
+			c.errorf(e.Pos, "subscripted value is not a pointer (type %s)", xt)
+			return ctype.IntType
+		}
+		return xt.Elem
+	case *cast.Member:
+		xt := c.checkExpr(e.X)
+		st := xt
+		if e.Arrow {
+			d := xt.Decay()
+			if d.Kind != ctype.Pointer {
+				c.errorf(e.Pos, "-> on non-pointer type %s", xt)
+				return ctype.IntType
+			}
+			st = d.Elem
+		}
+		if st.Kind != ctype.Struct {
+			c.errorf(e.Pos, "member access on non-struct type %s", st)
+			return ctype.IntType
+		}
+		f := st.FieldByName(e.Name)
+		if f == nil {
+			c.errorf(e.Pos, "no member %q in %s", e.Name, st)
+			return ctype.IntType
+		}
+		e.Field = f
+		return f.Type
+	case *cast.Cast:
+		c.checkExpr(e.X)
+		return e.To
+	case *cast.SizeofExpr:
+		c.checkExpr(e.X)
+		return ctype.ULongType
+	case *cast.SizeofType:
+		return ctype.ULongType
+	case *cast.Comma:
+		c.checkExpr(e.L)
+		return c.checkExpr(e.R).Decay()
+	case *cast.InitList:
+		for _, el := range e.Elems {
+			c.checkExpr(el)
+		}
+		return ctype.IntType // refined by the declaration context
+	}
+	c.errorf(e.Position(), "unhandled expression %T", e)
+	return ctype.IntType
+}
+
+// SymbolAlias re-exports the resolved-symbol type for packages that only
+// consume sem's Program (keeps their imports to a single package).
+type SymbolAlias = cast.Symbol

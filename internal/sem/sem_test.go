@@ -1,0 +1,277 @@
+package sem
+
+import (
+	"testing"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/cparse"
+	"wlpa/internal/ctype"
+)
+
+func check(t *testing.T, src string) *Program {
+	t.Helper()
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p, err := Check(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	return p
+}
+
+func mustFailSem(t *testing.T, src string) {
+	t.Helper()
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Check(f); err == nil {
+		t.Errorf("expected sem error for %q", src)
+	}
+}
+
+func TestGlobalsCollected(t *testing.T) {
+	p := check(t, "int a; static double b; char *c;")
+	if len(p.Globals) != 3 {
+		t.Fatalf("globals = %d", len(p.Globals))
+	}
+	names := map[string]bool{}
+	for _, g := range p.Globals {
+		names[g.Name] = true
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if !names[n] {
+			t.Errorf("missing global %q", n)
+		}
+	}
+}
+
+func TestFunctionsAndExterns(t *testing.T) {
+	p := check(t, `
+int declared(int x);
+int defined(int x) { return x; }
+int main(void) { return defined(declared(1)); }`)
+	if len(p.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(p.Funcs))
+	}
+	if p.Main == nil || p.Main.Name != "main" {
+		t.Error("main not found")
+	}
+	if _, ok := p.Externs["declared"]; !ok {
+		t.Error("declared should be extern")
+	}
+	if _, ok := p.Externs["defined"]; ok {
+		t.Error("defined should not be extern")
+	}
+}
+
+func TestPrototypeThenDefinition(t *testing.T) {
+	p := check(t, `
+int f(int);
+int f(int x) { return x + 1; }
+int main(void) { return f(0); }`)
+	if _, ok := p.Externs["f"]; ok {
+		t.Error("f is defined, not extern")
+	}
+	if p.FuncByName["f"].Sym == nil || p.FuncByName["f"].Sym.Def != p.FuncByName["f"] {
+		t.Error("symbol Def link broken")
+	}
+}
+
+func TestImplicitDeclaration(t *testing.T) {
+	p := check(t, "int main(void) { return mystery(3); }")
+	ext, ok := p.Externs["mystery"]
+	if !ok {
+		t.Fatal("implicit declaration should create an extern")
+	}
+	if ext.Type.Kind != ctype.Func || !ctype.Equal(ext.Type.Ret, ctype.IntType) {
+		t.Errorf("implicit type = %s", ext.Type)
+	}
+}
+
+func TestUndeclaredIdentifier(t *testing.T) {
+	mustFailSem(t, "int main(void) { return nowhere; }")
+}
+
+func TestRedefinedFunction(t *testing.T) {
+	mustFailSem(t, "int f(void){return 0;} int f(void){return 1;}")
+}
+
+func TestLocalShadowing(t *testing.T) {
+	p := check(t, `
+int x;
+int f(void) {
+    int x = 1;
+    { int x = 2; x++; }
+    return x;
+}`)
+	fd := p.FuncByName["f"]
+	// Collect the Ident syms used in the function body.
+	var syms []*cast.Symbol
+	var walkStmt func(cast.Stmt)
+	var walkExpr func(cast.Expr)
+	walkExpr = func(e cast.Expr) {
+		switch e := e.(type) {
+		case *cast.Ident:
+			syms = append(syms, e.Sym)
+		case *cast.Unary:
+			walkExpr(e.X)
+		}
+	}
+	walkStmt = func(s cast.Stmt) {
+		switch s := s.(type) {
+		case *cast.BlockStmt:
+			for _, it := range s.Items {
+				if it.Stmt != nil {
+					walkStmt(it.Stmt)
+				}
+			}
+		case *cast.ExprStmt:
+			walkExpr(s.X)
+		case *cast.ReturnStmt:
+			walkExpr(s.X)
+		}
+	}
+	walkStmt(fd.Body)
+	if len(syms) < 2 {
+		t.Fatalf("found %d idents", len(syms))
+	}
+	// x++ refers to the innermost x; return x refers to the middle x.
+	if syms[0] == syms[1] {
+		t.Error("shadowed locals must have distinct symbols")
+	}
+	for _, s := range syms {
+		if s.Global {
+			t.Error("locals should not resolve to the global x")
+		}
+	}
+}
+
+func TestParamResolution(t *testing.T) {
+	p := check(t, "int f(int a, char *b) { return a + *b; }")
+	fd := p.FuncByName["f"]
+	if fd.Params[0].Sym.Kind != cast.SymParam {
+		t.Error("param symbol kind")
+	}
+}
+
+func TestMemberTyping(t *testing.T) {
+	p := check(t, `
+struct pt { int x, y; };
+struct pt g;
+int f(struct pt *p) { return p->y + g.x; }`)
+	_ = p // typing errors would have failed
+}
+
+func TestBadMember(t *testing.T) {
+	mustFailSem(t, "struct pt { int x; }; int f(struct pt *p) { return p->nope; }")
+	mustFailSem(t, "int f(int v) { return v.x; }")
+}
+
+func TestCallNonFunction(t *testing.T) {
+	mustFailSem(t, "int main(void) { int x; return x(); }")
+}
+
+func TestPointerArithTyping(t *testing.T) {
+	p := check(t, `
+int f(int *p, int n) {
+    int *q = p + n;
+    long d = q - p;
+    return *(q - 1) + (int)d;
+}`)
+	_ = p
+}
+
+func TestStringLiteralRegistered(t *testing.T) {
+	p := check(t, `char *greet = "hello";`)
+	if len(p.Strings) != 1 {
+		t.Fatalf("strings = %d", len(p.Strings))
+	}
+	for _, s := range p.Strings {
+		if s.Value != "hello" {
+			t.Errorf("value = %q", s.Value)
+		}
+		if s.TypeOf().Kind != ctype.Array || s.TypeOf().Len != 6 {
+			t.Errorf("type = %s", s.TypeOf())
+		}
+	}
+}
+
+func TestFunctionPointerTyping(t *testing.T) {
+	p := check(t, `
+int inc(int v) { return v + 1; }
+int main(void) {
+    int (*fp)(int) = inc;
+    return fp(41);
+}`)
+	_ = p
+}
+
+func TestLocalStaticIsGlobalBlock(t *testing.T) {
+	p := check(t, `
+int counter(void) { static int n; n++; return n; }
+int main(void) { return counter(); }`)
+	found := false
+	for _, g := range p.Globals {
+		if g.Name == "n" && g.Static {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("function-scoped static should appear in Globals")
+	}
+}
+
+func TestGlobalInitsRecorded(t *testing.T) {
+	p := check(t, "int a = 1; int b; int *p = &a;")
+	if len(p.GlobalInits) != 2 {
+		t.Errorf("global inits = %d, want 2", len(p.GlobalInits))
+	}
+}
+
+func TestExternMergesWithDefinition(t *testing.T) {
+	p := check(t, `
+extern int shared;
+int shared = 5;
+int main(void) { return shared; }`)
+	count := 0
+	for _, g := range p.Globals {
+		if g.Name == "shared" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("shared declared %d times in Globals", count)
+	}
+}
+
+func TestIncompleteArrayCompletedByRedecl(t *testing.T) {
+	p := check(t, `
+extern int table[];
+int table[8];
+int main(void) { return table[0]; }`)
+	for _, g := range p.Globals {
+		if g.Name == "table" && g.Type.Len != 8 {
+			t.Errorf("table type = %s", g.Type)
+		}
+	}
+}
+
+func TestDerefIntTolerated(t *testing.T) {
+	// The low-level memory model tolerates dereferencing integers
+	// (pointers stored in longs); this must type-check.
+	check(t, `
+int f(long bits) { return *(char *)bits; }`)
+}
+
+func TestCommaTyping(t *testing.T) {
+	check(t, "int f(int a) { return (a = 1, a + 2); }")
+}
+
+func TestConditionalPointerTyping(t *testing.T) {
+	check(t, `
+int g1, g2;
+int *pick(int c) { return c ? &g1 : &g2; }`)
+}

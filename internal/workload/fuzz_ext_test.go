@@ -1,0 +1,17 @@
+package workload
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestSoundnessExtended(t *testing.T) {
+	for seed := int64(60); seed < 200; seed++ {
+		src := Generate(DefaultGenConfig(seed))
+		checkSoundness(t, fmt.Sprintf("xseed%d", seed), src)
+		if t.Failed() {
+			t.Logf("failing program (seed %d):\n%s", seed, numbered(src))
+			break
+		}
+	}
+}

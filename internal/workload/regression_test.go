@@ -1,0 +1,17 @@
+package workload
+
+import "testing"
+
+// TestBenchmarkSoundnessRegression re-checks, with the verbose oracle,
+// the benchmarks that historically exposed analysis bugs (global/param
+// unification, recursive input-domain merging, stale summary
+// propagation).
+func TestBenchmarkSoundnessRegression(t *testing.T) {
+	for _, name := range []string{"grep", "diff", "eqntott", "compiler"} {
+		b, ok := ByName(name)
+		if !ok {
+			t.Fatalf("benchmark %s missing", name)
+		}
+		checkSoundness(t, name, b.Source)
+	}
+}

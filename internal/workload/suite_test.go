@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"testing"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cparse"
+	"wlpa/internal/interp"
+	"wlpa/internal/libsum"
+	"wlpa/internal/sem"
+)
+
+// TestSuiteProgramsAnalyzeAndRun checks every benchmark end to end:
+// parse, analyze (PTF policy), execute, and verify soundness of the
+// analysis against the execution.
+func TestSuiteProgramsAnalyzeAndRun(t *testing.T) {
+	suite := Suite()
+	if len(suite) == 0 {
+		t.Fatal("no benchmarks embedded")
+	}
+	for _, b := range suite {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			f, err := cparse.ParseSource(b.Name, b.Source)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			prog, err := sem.Check(f)
+			if err != nil {
+				t.Fatalf("sem: %v", err)
+			}
+			an, err := analysis.New(prog, analysis.Options{
+				Lib:             libsum.Summaries(),
+				CollectSolution: true,
+			})
+			if err != nil {
+				t.Fatalf("analysis.New: %v", err)
+			}
+			if err := an.Run(); err != nil {
+				t.Fatalf("analysis: %v", err)
+			}
+			st := an.Stats()
+			if st.Procedures == 0 || st.PTFs == 0 {
+				t.Errorf("no procedures analyzed: %+v", st)
+			}
+			if avg := st.AvgPTFs(); avg > 3.0 {
+				t.Errorf("avg PTFs/proc = %.2f; expected close to 1 (paper Table 2)", avg)
+			}
+			if !b.Runnable {
+				return
+			}
+			in := interp.New(prog, interp.Options{RecordPointsTo: true, MaxSteps: 60_000_000})
+			res, err := in.Run()
+			if err != nil {
+				t.Fatalf("interp: %v", err)
+			}
+			if res.ExitCode != 0 {
+				t.Errorf("exit code = %d (stdout: %.200s)", res.ExitCode, res.Stdout)
+			}
+			sol := an.Solution()
+			keys := sol.Locations()
+			unsound := 0
+			for _, fact := range res.Facts {
+				if !factCovered(sol, keys, fact) {
+					unsound++
+					if unsound <= 3 {
+						t.Errorf("UNSOUND: (%s+%d) -> (%s+%d)", fact.Block, fact.Off, fact.Target, fact.TOff)
+					}
+				}
+			}
+			if unsound > 3 {
+				t.Errorf("... and %d more unsound facts", unsound-3)
+			}
+		})
+	}
+}
+
+func TestSuiteMetadata(t *testing.T) {
+	for _, b := range Suite() {
+		if b.PaperProcs == 0 || b.PaperLines == 0 {
+			t.Errorf("%s: missing paper reference values", b.Name)
+		}
+		if CountLines(b.Source) < 50 {
+			t.Errorf("%s: suspiciously small (%d lines)", b.Name, CountLines(b.Source))
+		}
+	}
+	if _, ok := ByName("alvinn"); !ok {
+		t.Error("alvinn must be in the suite")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("ByName should fail for unknown benchmarks")
+	}
+}

@@ -1,0 +1,132 @@
+/*
+ * allroots.c - stand-in for the "allroots" benchmark (Landi suite): find
+ * all real roots of a polynomial by Newton iteration with synthetic
+ * deflation. Coefficient arrays are passed around through pointers.
+ */
+
+#include <stdio.h>
+#include <math.h>
+
+#define MAXDEG 16
+
+double poly[MAXDEG + 1];
+double work[MAXDEG + 1];
+double roots[MAXDEG];
+int poly_degree;
+int roots_found;
+
+/* Evaluate a polynomial (Horner) and its derivative at x. */
+double eval_poly(double *c, int deg, double x, double *dval)
+{
+    double p = c[deg];
+    double d = 0.0;
+    int i;
+
+    for (i = deg - 1; i >= 0; i--) {
+        d = d * x + p;
+        p = p * x + c[i];
+    }
+    *dval = d;
+    return p;
+}
+
+/* Newton iteration from a starting guess; returns 1 on convergence. */
+int newton_root(double *c, int deg, double guess, double *root)
+{
+    double x = guess;
+    int iter;
+
+    for (iter = 0; iter < 60; iter++) {
+        double d;
+        double p = eval_poly(c, deg, x, &d);
+        double step;
+        if (fabs(p) < 1e-12) {
+            *root = x;
+            return 1;
+        }
+        if (fabs(d) < 1e-14)
+            d = d < 0 ? -1e-14 : 1e-14;
+        step = p / d;
+        x = x - step;
+        if (fabs(step) < 1e-13) {
+            *root = x;
+            return 1;
+        }
+    }
+    *root = x;
+    return fabs(eval_poly(c, deg, x, &guess)) < 1e-6;
+}
+
+/* Synthetic division: divide c (degree deg) by (x - r) into out. */
+void deflate(double *c, int deg, double r, double *out)
+{
+    double carry = c[deg];
+    int i;
+
+    for (i = deg - 1; i >= 0; i--) {
+        double ci = c[i]; /* read first: deflation may run in place */
+        out[i] = carry;
+        carry = ci + carry * r;
+    }
+}
+
+/* Find all real roots of the polynomial in work[0..deg]. */
+int find_roots(int deg)
+{
+    int n = 0;
+
+    while (deg > 0 && n < MAXDEG) {
+        double r;
+        double guess = 0.5;
+        int tries = 0;
+        int got = 0;
+
+        while (tries < 8 && !got) {
+            got = newton_root(work, deg, guess, &r);
+            guess = guess * -1.7 + 0.3;
+            tries++;
+        }
+        if (!got)
+            break;
+        roots[n] = r;
+        n++;
+        deflate(work, deg, r, work);
+        deg--;
+    }
+    return n;
+}
+
+/* Build (x - 1)(x - 2)...(x - k) in poly. */
+void build_poly(int k)
+{
+    int i, j;
+
+    poly[0] = 1.0;
+    poly_degree = 0;
+    for (i = 1; i <= k; i++) {
+        double r = (double)i;
+        poly[poly_degree + 1] = 0.0;
+        for (j = poly_degree; j >= 0; j--) {
+            poly[j + 1] += poly[j];
+            poly[j] = poly[j] * -r;
+        }
+        poly_degree++;
+    }
+}
+
+int main(void)
+{
+    int i, n;
+    double sum = 0.0;
+
+    build_poly(6);
+    for (i = 0; i <= poly_degree; i++)
+        work[i] = poly[i];
+    n = find_roots(poly_degree);
+    roots_found = n;
+    for (i = 0; i < n; i++)
+        sum += roots[i];
+    printf("found %d roots, sum %.3f\n", n, sum);
+    /* roots of (x-1)...(x-6) sum to 21 */
+    return (n == 6 && sum > 20.9 && sum < 21.1) ? 0 : 1;
+}

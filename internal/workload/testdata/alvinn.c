@@ -1,0 +1,203 @@
+/*
+ * alvinn.c - stand-in for the SPECfp92 ALVINN benchmark.
+ *
+ * A small back-propagation neural network (input -> hidden -> output)
+ * that "drives" over a synthetic road image, matching the structure the
+ * paper relies on: floating-point arrays walked through pointers, with
+ * large data-parallel loops whose iterations are independent once the
+ * pointer analysis shows the weight/activation arrays are unaliased.
+ */
+
+#include <stdlib.h>
+#include <stdio.h>
+#include <math.h>
+
+#define NUM_INPUT  480
+#define NUM_HIDDEN 24
+#define NUM_OUTPUT 16
+#define EPOCHS     5
+
+float input_units[NUM_INPUT];
+float hidden_units[NUM_HIDDEN];
+float output_units[NUM_OUTPUT];
+float target_units[NUM_OUTPUT];
+
+float input_weights[NUM_HIDDEN][NUM_INPUT];
+float output_weights[NUM_OUTPUT][NUM_HIDDEN];
+
+float hidden_deltas[NUM_HIDDEN];
+float output_deltas[NUM_OUTPUT];
+
+float eta = 0.01f;
+int seed_state = 7;
+
+/* Pseudo-random generator so runs are deterministic. */
+int next_rand(void)
+{
+    seed_state = seed_state * 1103515245 + 12345;
+    if (seed_state < 0)
+        seed_state = -seed_state;
+    return seed_state;
+}
+
+float rand_weight(void)
+{
+    return ((float)(next_rand() % 2000) - 1000.0f) / 10000.0f;
+}
+
+/* Squashing function: fast sigmoid approximation. */
+float squash(float x)
+{
+    if (x > 4.0f)
+        return 1.0f;
+    if (x < -4.0f)
+        return 0.0f;
+    return 0.5f + x * (0.25f - x * x * 0.005f);
+}
+
+/* Build one synthetic road image and its steering target. */
+void make_pattern(int which)
+{
+    int i;
+    float *in = input_units;
+    float center = (float)(which % NUM_OUTPUT);
+
+    for (i = 0; i < NUM_INPUT; i++) {
+        float col = (float)(i % NUM_OUTPUT);
+        float d = col - center;
+        if (d < 0)
+            d = -d;
+        *in = 1.0f / (1.0f + d);
+        in++;
+    }
+    for (i = 0; i < NUM_OUTPUT; i++) {
+        float dd = (float)i - center;
+        if (dd < 0)
+            dd = -dd;
+        target_units[i] = dd < 1.0f ? 0.9f : 0.1f;
+    }
+}
+
+/* Forward pass, input layer to hidden layer. The outer loop is the
+ * parallelizable hot loop: each hidden unit reads the shared input
+ * activations and its own weight row. */
+void input_to_hidden(void)
+{
+    int h, i;
+
+    for (h = 0; h < NUM_HIDDEN; h++) {
+        float sum = 0.0f;
+        float *w = input_weights[h];
+        float *in = input_units;
+        for (i = 0; i < NUM_INPUT; i++) {
+            sum += *w * *in;
+            w++;
+            in++;
+        }
+        hidden_units[h] = squash(sum);
+    }
+}
+
+/* Forward pass, hidden layer to output layer. */
+void hidden_to_output(void)
+{
+    int o, h;
+
+    for (o = 0; o < NUM_OUTPUT; o++) {
+        float sum = 0.0f;
+        float *w = output_weights[o];
+        for (h = 0; h < NUM_HIDDEN; h++) {
+            sum += w[h] * hidden_units[h];
+        }
+        output_units[o] = squash(sum);
+    }
+}
+
+/* Error terms for the output layer. */
+void compute_output_deltas(void)
+{
+    int o;
+
+    for (o = 0; o < NUM_OUTPUT; o++) {
+        float y = output_units[o];
+        output_deltas[o] = (target_units[o] - y) * y * (1.0f - y);
+    }
+}
+
+/* Back-propagate error terms into the hidden layer. */
+void compute_hidden_deltas(void)
+{
+    int h, o;
+
+    for (h = 0; h < NUM_HIDDEN; h++) {
+        float sum = 0.0f;
+        for (o = 0; o < NUM_OUTPUT; o++) {
+            sum += output_deltas[o] * output_weights[o][h];
+        }
+        float y = hidden_units[h];
+        hidden_deltas[h] = sum * y * (1.0f - y);
+    }
+}
+
+/* Weight update. The outer loops are again data parallel: each weight
+ * row is owned by one hidden/output unit. */
+void adjust_weights(void)
+{
+    int h, i, o;
+
+    for (h = 0; h < NUM_HIDDEN; h++) {
+        float *w = input_weights[h];
+        float d = eta * hidden_deltas[h];
+        for (i = 0; i < NUM_INPUT; i++) {
+            *w += d * input_units[i];
+            w++;
+        }
+    }
+    for (o = 0; o < NUM_OUTPUT; o++) {
+        float *w = output_weights[o];
+        float d = eta * output_deltas[o];
+        for (h = 0; h < NUM_HIDDEN; h++) {
+            w[h] += d * hidden_units[h];
+        }
+    }
+}
+
+float epoch_error(void)
+{
+    int o;
+    float err = 0.0f;
+
+    for (o = 0; o < NUM_OUTPUT; o++) {
+        float d = target_units[o] - output_units[o];
+        err += d * d;
+    }
+    return err;
+}
+
+int main(void)
+{
+    int e, p, h, i, o;
+    float total = 0.0f;
+
+    for (h = 0; h < NUM_HIDDEN; h++)
+        for (i = 0; i < NUM_INPUT; i++)
+            input_weights[h][i] = rand_weight();
+    for (o = 0; o < NUM_OUTPUT; o++)
+        for (h = 0; h < NUM_HIDDEN; h++)
+            output_weights[o][h] = rand_weight();
+
+    for (e = 0; e < EPOCHS; e++) {
+        total = 0.0f;
+        for (p = 0; p < 4; p++) {
+            make_pattern(p * 3 + e);
+            input_to_hidden();
+            hidden_to_output();
+            compute_output_deltas();
+            compute_hidden_deltas();
+            adjust_weights();
+            total += epoch_error();
+        }
+    }
+    printf("final error %.4f\n", total);
+    return total < 100.0f ? 0 : 1;
+}

@@ -1,0 +1,396 @@
+/*
+ * assembler.c - stand-in for the Landi "assembler" benchmark: a two-pass
+ * assembler for a small register machine. Pass 1 collects labels; pass 2
+ * encodes instructions through an opcode table whose entries carry
+ * encoder function pointers (table-driven dispatch, as in the original).
+ * The encoded program is then run on a tiny machine to validate it.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define MAXSYMS  32
+#define MAXWORDS 128
+#define NREGS    8
+
+char *program_text =
+    "        li   r1 0\n"       /* sum = 0 */
+    "        li   r2 1\n"       /* i = 1 */
+    "        li   r3 10\n"      /* limit */
+    "loop:   add  r1 r1 r2\n"   /* sum += i */
+    "        addi r2 r2 1\n"    /* i++ */
+    "        ble  r2 r3 loop\n" /* while i <= limit */
+    "        st   r1 60\n"      /* mem[60] = sum */
+    "        li   r4 7\n"
+    "        mul  r4 r4 r4\n"
+    "        st   r4 61\n"
+    "        halt\n";
+
+/* instruction encoding: op<<24 | a<<16 | b<<8 | c */
+#define OP_LI   1
+#define OP_ADD  2
+#define OP_ADDI 3
+#define OP_SUB  4
+#define OP_MUL  5
+#define OP_BLE  6
+#define OP_BEQ  7
+#define OP_JMP  8
+#define OP_LD   9
+#define OP_ST   10
+#define OP_HALT 11
+
+struct sym {
+    char name[16];
+    int addr;
+};
+
+struct opdesc {
+    char *name;
+    int opcode;
+    int (*encode)(int opcode, char *a, char *b, char *c);
+};
+
+struct sym symtab[MAXSYMS];
+int nsyms;
+
+long words[MAXWORDS];
+int nwords;
+
+char *asm_cursor;
+char field_buf[6][24];
+int nfields;
+int pass;
+int asm_errors;
+
+/* ---- symbol table ---- */
+
+struct sym *sym_find(char *name)
+{
+    int i;
+
+    for (i = 0; i < nsyms; i++) {
+        if (strcmp(symtab[i].name, name) == 0)
+            return &symtab[i];
+    }
+    return 0;
+}
+
+void sym_define(char *name, int addr)
+{
+    struct sym *s = sym_find(name);
+
+    if (s) {
+        if (pass == 1)
+            asm_errors++;
+        return;
+    }
+    if (nsyms < MAXSYMS) {
+        strcpy(symtab[nsyms].name, name);
+        symtab[nsyms].addr = addr;
+        nsyms++;
+    }
+}
+
+int sym_value(char *name)
+{
+    struct sym *s = sym_find(name);
+
+    if (!s) {
+        asm_errors++;
+        return 0;
+    }
+    return s->addr;
+}
+
+/* ---- line scanning ---- */
+
+int at_eol(void)
+{
+    return *asm_cursor == '\n' || *asm_cursor == 0;
+}
+
+void skip_ws(void)
+{
+    while (*asm_cursor == ' ' || *asm_cursor == '\t')
+        asm_cursor++;
+}
+
+void read_field(char *out)
+{
+    int n = 0;
+
+    skip_ws();
+    while (!at_eol() && *asm_cursor != ' ' && *asm_cursor != '\t' && n < 23) {
+        out[n] = *asm_cursor;
+        n++;
+        asm_cursor++;
+    }
+    out[n] = 0;
+}
+
+void split_line(void)
+{
+    nfields = 0;
+    while (!at_eol() && nfields < 5) {
+        read_field(field_buf[nfields]);
+        if (field_buf[nfields][0])
+            nfields++;
+        skip_ws();
+    }
+    if (*asm_cursor == '\n')
+        asm_cursor++;
+}
+
+int is_label(char *f)
+{
+    int n = (int)strlen(f);
+    return n > 0 && f[n - 1] == ':';
+}
+
+void strip_colon(char *f)
+{
+    f[strlen(f) - 1] = 0;
+}
+
+/* ---- operand parsing ---- */
+
+int reg_number(char *f)
+{
+    if (f[0] != 'r') {
+        asm_errors++;
+        return 0;
+    }
+    return atoi(f + 1) % NREGS;
+}
+
+int immediate(char *f)
+{
+    if (f[0] == '-' || (f[0] >= '0' && f[0] <= '9'))
+        return atoi(f);
+    return sym_value(f);
+}
+
+/* ---- encoders (function-pointer targets) ---- */
+
+int pack(int op, int a, int b, int c)
+{
+    return (op << 24) | (a << 16) | (b << 8) | (c & 0xff);
+}
+
+int enc_ri(int opcode, char *a, char *b, char *c)
+{
+    (void)c;
+    return pack(opcode, reg_number(a), 0, immediate(b));
+}
+
+int enc_rrr(int opcode, char *a, char *b, char *c)
+{
+    return pack(opcode, reg_number(a), reg_number(b), reg_number(c));
+}
+
+int enc_rri(int opcode, char *a, char *b, char *c)
+{
+    return pack(opcode, reg_number(a), reg_number(b), immediate(c));
+}
+
+int enc_branch(int opcode, char *a, char *b, char *c)
+{
+    return pack(opcode, reg_number(a), reg_number(b), immediate(c));
+}
+
+int enc_jump(int opcode, char *a, char *b, char *c)
+{
+    (void)b;
+    (void)c;
+    return pack(opcode, 0, 0, immediate(a));
+}
+
+int enc_mem(int opcode, char *a, char *b, char *c)
+{
+    (void)c;
+    return pack(opcode, reg_number(a), 0, immediate(b));
+}
+
+int enc_none(int opcode, char *a, char *b, char *c)
+{
+    (void)a;
+    (void)b;
+    (void)c;
+    return pack(opcode, 0, 0, 0);
+}
+
+/* ---- opcode table ---- */
+
+struct opdesc optable[] = {
+    {"li", OP_LI, enc_ri},
+    {"add", OP_ADD, enc_rrr},
+    {"addi", OP_ADDI, enc_rri},
+    {"sub", OP_SUB, enc_rrr},
+    {"mul", OP_MUL, enc_rrr},
+    {"ble", OP_BLE, enc_branch},
+    {"beq", OP_BEQ, enc_branch},
+    {"jmp", OP_JMP, enc_jump},
+    {"ld", OP_LD, enc_mem},
+    {"st", OP_ST, enc_mem},
+    {"halt", OP_HALT, enc_none},
+};
+
+#define NOPS 11
+
+struct opdesc *find_op(char *name)
+{
+    int i;
+
+    for (i = 0; i < NOPS; i++) {
+        if (strcmp(optable[i].name, name) == 0)
+            return &optable[i];
+    }
+    return 0;
+}
+
+/* ---- assembly passes ---- */
+
+void emit_word(long w)
+{
+    if (pass == 2 && nwords < MAXWORDS)
+        words[nwords] = w;
+    nwords++;
+}
+
+void assemble_line(void)
+{
+    int f = 0;
+    struct opdesc *op;
+
+    split_line();
+    if (nfields == 0)
+        return;
+    if (is_label(field_buf[0])) {
+        strip_colon(field_buf[0]);
+        if (pass == 1)
+            sym_define(field_buf[0], nwords);
+        f = 1;
+    }
+    if (f >= nfields)
+        return;
+    op = find_op(field_buf[f]);
+    if (!op) {
+        asm_errors++;
+        return;
+    }
+    if (pass == 2) {
+        int w = op->encode(op->opcode, field_buf[f + 1], field_buf[f + 2], field_buf[f + 3]);
+        words[nwords] = w;
+        nwords++;
+        return;
+    }
+    emit_word(0);
+}
+
+void run_pass(int which)
+{
+    pass = which;
+    asm_cursor = program_text;
+    nwords = 0;
+    while (*asm_cursor)
+        assemble_line();
+}
+
+/* ---- the target machine ---- */
+
+long regs[NREGS];
+long data_mem[64];
+
+int step_count;
+
+void machine_reset(void)
+{
+    int i;
+
+    for (i = 0; i < NREGS; i++)
+        regs[i] = 0;
+    for (i = 0; i < 64; i++)
+        data_mem[i] = 0;
+    step_count = 0;
+}
+
+int run_machine(void)
+{
+    int pc = 0;
+
+    for (;;) {
+        long w;
+        int op, a, b, c;
+
+        if (pc < 0 || pc >= nwords)
+            return 0;
+        w = words[pc];
+        op = (int)(w >> 24) & 0xff;
+        a = (int)(w >> 16) & 0xff;
+        b = (int)(w >> 8) & 0xff;
+        c = (int)w & 0xff;
+        pc++;
+        step_count++;
+        if (step_count > 10000)
+            return 0;
+        switch (op) {
+        case OP_LI:
+            regs[a] = c;
+            break;
+        case OP_ADD:
+            regs[a] = regs[b] + regs[c];
+            break;
+        case OP_ADDI:
+            regs[a] = regs[b] + c;
+            break;
+        case OP_SUB:
+            regs[a] = regs[b] - regs[c];
+            break;
+        case OP_MUL:
+            regs[a] = regs[b] * regs[c];
+            break;
+        case OP_BLE:
+            if (regs[a] <= regs[b])
+                pc = c;
+            break;
+        case OP_BEQ:
+            if (regs[a] == regs[b])
+                pc = c;
+            break;
+        case OP_JMP:
+            pc = c;
+            break;
+        case OP_LD:
+            regs[a] = data_mem[c];
+            break;
+        case OP_ST:
+            data_mem[c] = regs[a];
+            break;
+        case OP_HALT:
+            return 1;
+        default:
+            return 0;
+        }
+    }
+}
+
+int main(void)
+{
+    nsyms = 0;
+    asm_errors = 0;
+    run_pass(1);
+    run_pass(2);
+    if (asm_errors) {
+        printf("%d assembly errors\n", asm_errors);
+        return 2;
+    }
+    machine_reset();
+    if (!run_machine()) {
+        printf("machine fault\n");
+        return 3;
+    }
+    printf("sum %ld square %ld steps %d\n", data_mem[60], data_mem[61], step_count);
+    /* 1+..+10 = 55, 7*7 = 49 */
+    return (data_mem[60] == 55 && data_mem[61] == 49) ? 0 : 1;
+}

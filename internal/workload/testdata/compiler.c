@@ -1,0 +1,516 @@
+/*
+ * compiler.c - stand-in for the "compiler" benchmark from the paper's
+ * Table 2: a small compiler built around a recursive descent parser.
+ * The deeply mutually recursive parse functions and the many call sites
+ * are exactly what makes the Emami-style invocation graph explode
+ * (>700,000 nodes for 37 procedures, paper section 7), while the PTF
+ * analysis needs about one PTF per procedure.
+ *
+ * The language: statements (var, if, while, print, blocks), integer
+ * expressions with the usual operator precedence. Compiles to a tiny
+ * stack machine and runs the result.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <ctype.h>
+
+/* ---- the program being compiled (embedded source) ---- */
+
+char *source =
+    "var n; var f; var i;\n"
+    "n = 10; f = 1; i = 1;\n"
+    "while (i <= n) { f = f * i; i = i + 1; }\n"
+    "print f;\n"
+    "var a; var b; var t; var k;\n"
+    "a = 0; b = 1; k = 0;\n"
+    "while (k < 15) {\n"
+    "  t = a + b; a = b; b = t; k = k + 1;\n"
+    "  if (a > 100) { print a; } else { print b; }\n"
+    "}\n";
+
+/* ---- tokens ---- */
+
+#define T_EOF    0
+#define T_NUM    1
+#define T_IDENT  2
+#define T_PUNCT  3
+#define T_KEYW   4
+
+char token_text[64];
+int token_kind;
+long token_value;
+char *cursor;
+
+int is_keyword(char *s)
+{
+    return strcmp(s, "var") == 0 || strcmp(s, "if") == 0 ||
+           strcmp(s, "else") == 0 || strcmp(s, "while") == 0 ||
+           strcmp(s, "print") == 0;
+}
+
+void next_token(void)
+{
+    char *p = cursor;
+    int n = 0;
+
+    while (*p == ' ' || *p == '\n' || *p == '\t')
+        p++;
+    if (*p == 0) {
+        token_kind = T_EOF;
+        token_text[0] = 0;
+        cursor = p;
+        return;
+    }
+    if (isdigit(*p)) {
+        token_value = 0;
+        while (isdigit(*p)) {
+            token_value = token_value * 10 + (*p - '0');
+            p++;
+        }
+        token_kind = T_NUM;
+        cursor = p;
+        return;
+    }
+    if (isalpha(*p) || *p == '_') {
+        while ((isalnum(*p) || *p == '_') && n < 63) {
+            token_text[n] = *p;
+            n++;
+            p++;
+        }
+        token_text[n] = 0;
+        token_kind = is_keyword(token_text) ? T_KEYW : T_IDENT;
+        cursor = p;
+        return;
+    }
+    /* punctuation, with two-char operators */
+    token_text[0] = *p;
+    token_text[1] = 0;
+    p++;
+    if ((token_text[0] == '<' || token_text[0] == '>' ||
+         token_text[0] == '=' || token_text[0] == '!') && *p == '=') {
+        token_text[1] = '=';
+        token_text[2] = 0;
+        p++;
+    }
+    token_kind = T_PUNCT;
+    cursor = p;
+}
+
+int accept_punct(char *s)
+{
+    if (token_kind == T_PUNCT && strcmp(token_text, s) == 0) {
+        next_token();
+        return 1;
+    }
+    return 0;
+}
+
+int accept_keyword(char *s)
+{
+    if (token_kind == T_KEYW && strcmp(token_text, s) == 0) {
+        next_token();
+        return 1;
+    }
+    return 0;
+}
+
+void expect_punct(char *s)
+{
+    if (!accept_punct(s)) {
+        printf("parse error: expected %s got %s\n", s, token_text);
+        exit(1);
+    }
+}
+
+/* ---- symbol table ---- */
+
+#define MAXVARS 64
+
+struct variable {
+    char name[32];
+    int slot;
+    struct variable *next;
+};
+
+struct variable *var_list = 0;
+int var_count = 0;
+
+struct variable *find_var(char *name)
+{
+    struct variable *v = var_list;
+    while (v) {
+        if (strcmp(v->name, name) == 0)
+            return v;
+        v = v->next;
+    }
+    return 0;
+}
+
+struct variable *declare_var(char *name)
+{
+    struct variable *v = (struct variable *)malloc(sizeof(struct variable));
+    strcpy(v->name, name);
+    v->slot = var_count;
+    var_count = var_count + 1;
+    v->next = var_list;
+    var_list = v;
+    return v;
+}
+
+int var_slot(char *name)
+{
+    struct variable *v = find_var(name);
+    if (!v) {
+        printf("undeclared variable %s\n", name);
+        exit(1);
+    }
+    return v->slot;
+}
+
+/* ---- code buffer ---- */
+
+#define OP_PUSH  1
+#define OP_LOAD  2
+#define OP_STORE 3
+#define OP_ADD   4
+#define OP_SUB   5
+#define OP_MUL   6
+#define OP_DIV   7
+#define OP_LT    8
+#define OP_GT    9
+#define OP_LE    10
+#define OP_GE    11
+#define OP_EQ    12
+#define OP_NE    13
+#define OP_JZ    14
+#define OP_JMP   15
+#define OP_PRINT 16
+#define OP_HALT  17
+#define OP_NEG   18
+
+#define MAXCODE 2048
+
+long code[MAXCODE];
+int code_len = 0;
+
+void emit(long op)
+{
+    code[code_len] = op;
+    code_len = code_len + 1;
+}
+
+void emit2(long op, long arg)
+{
+    emit(op);
+    emit(arg);
+}
+
+int emit_jump(long op)
+{
+    int at = code_len;
+    emit2(op, 0);
+    return at;
+}
+
+void patch_jump(int at)
+{
+    code[at + 1] = code_len;
+}
+
+/* ---- recursive descent parser / code generator ---- */
+
+void parse_expr(void);
+
+void parse_primary(void)
+{
+    if (token_kind == T_NUM) {
+        emit2(OP_PUSH, token_value);
+        next_token();
+        return;
+    }
+    if (token_kind == T_IDENT) {
+        emit2(OP_LOAD, var_slot(token_text));
+        next_token();
+        return;
+    }
+    if (accept_punct("(")) {
+        parse_expr();
+        expect_punct(")");
+        return;
+    }
+    printf("parse error at %s\n", token_text);
+    exit(1);
+}
+
+void parse_unary(void)
+{
+    if (accept_punct("-")) {
+        parse_unary();
+        emit(OP_NEG);
+        return;
+    }
+    parse_primary();
+}
+
+void parse_term(void)
+{
+    parse_unary();
+    for (;;) {
+        if (accept_punct("*")) {
+            parse_unary();
+            emit(OP_MUL);
+        } else if (accept_punct("/")) {
+            parse_unary();
+            emit(OP_DIV);
+        } else {
+            return;
+        }
+    }
+}
+
+void parse_additive(void)
+{
+    parse_term();
+    for (;;) {
+        if (accept_punct("+")) {
+            parse_term();
+            emit(OP_ADD);
+        } else if (accept_punct("-")) {
+            parse_term();
+            emit(OP_SUB);
+        } else {
+            return;
+        }
+    }
+}
+
+void parse_relational(void)
+{
+    parse_additive();
+    for (;;) {
+        if (accept_punct("<=")) {
+            parse_additive();
+            emit(OP_LE);
+        } else if (accept_punct(">=")) {
+            parse_additive();
+            emit(OP_GE);
+        } else if (accept_punct("<")) {
+            parse_additive();
+            emit(OP_LT);
+        } else if (accept_punct(">")) {
+            parse_additive();
+            emit(OP_GT);
+        } else {
+            return;
+        }
+    }
+}
+
+void parse_equality(void)
+{
+    parse_relational();
+    for (;;) {
+        if (accept_punct("==")) {
+            parse_relational();
+            emit(OP_EQ);
+        } else if (accept_punct("!=")) {
+            parse_relational();
+            emit(OP_NE);
+        } else {
+            return;
+        }
+    }
+}
+
+void parse_expr(void)
+{
+    parse_equality();
+}
+
+void parse_statement(void);
+
+void parse_block(void)
+{
+    expect_punct("{");
+    while (token_kind != T_EOF && !(token_kind == T_PUNCT && token_text[0] == '}'))
+        parse_statement();
+    expect_punct("}");
+}
+
+void parse_var_decl(void)
+{
+    if (token_kind != T_IDENT) {
+        printf("expected identifier after var\n");
+        exit(1);
+    }
+    declare_var(token_text);
+    next_token();
+    expect_punct(";");
+}
+
+void parse_assignment(void)
+{
+    int slot = var_slot(token_text);
+    next_token();
+    expect_punct("=");
+    parse_expr();
+    expect_punct(";");
+    emit2(OP_STORE, slot);
+}
+
+void parse_if(void)
+{
+    int jz, jend;
+
+    expect_punct("(");
+    parse_expr();
+    expect_punct(")");
+    jz = emit_jump(OP_JZ);
+    parse_statement();
+    if (accept_keyword("else")) {
+        jend = emit_jump(OP_JMP);
+        patch_jump(jz);
+        parse_statement();
+        patch_jump(jend);
+    } else {
+        patch_jump(jz);
+    }
+}
+
+void parse_while(void)
+{
+    int top = code_len;
+    int jz;
+
+    expect_punct("(");
+    parse_expr();
+    expect_punct(")");
+    jz = emit_jump(OP_JZ);
+    parse_statement();
+    emit2(OP_JMP, top);
+    patch_jump(jz);
+}
+
+void parse_print(void)
+{
+    parse_expr();
+    expect_punct(";");
+    emit(OP_PRINT);
+}
+
+void parse_statement(void)
+{
+    if (accept_keyword("var")) {
+        parse_var_decl();
+        return;
+    }
+    if (accept_keyword("if")) {
+        parse_if();
+        return;
+    }
+    if (accept_keyword("while")) {
+        parse_while();
+        return;
+    }
+    if (accept_keyword("print")) {
+        parse_print();
+        return;
+    }
+    if (token_kind == T_PUNCT && token_text[0] == '{') {
+        parse_block();
+        return;
+    }
+    if (token_kind == T_IDENT) {
+        parse_assignment();
+        return;
+    }
+    printf("unexpected token %s\n", token_text);
+    exit(1);
+}
+
+void parse_program(void)
+{
+    while (token_kind != T_EOF)
+        parse_statement();
+    emit(OP_HALT);
+}
+
+/* ---- the stack machine ---- */
+
+long stack[256];
+long slots[MAXVARS];
+long last_printed = 0;
+
+long pop2_apply(long op, long a, long b)
+{
+    switch (op) {
+    case OP_ADD: return a + b;
+    case OP_SUB: return a - b;
+    case OP_MUL: return a * b;
+    case OP_DIV: return b ? a / b : 0;
+    case OP_LT:  return a < b;
+    case OP_GT:  return a > b;
+    case OP_LE:  return a <= b;
+    case OP_GE:  return a >= b;
+    case OP_EQ:  return a == b;
+    case OP_NE:  return a != b;
+    }
+    return 0;
+}
+
+void run_code(void)
+{
+    int pc = 0;
+    int sp = 0;
+
+    for (;;) {
+        long op = code[pc];
+        if (op == OP_HALT)
+            return;
+        if (op == OP_PUSH) {
+            stack[sp] = code[pc + 1];
+            sp = sp + 1;
+            pc = pc + 2;
+        } else if (op == OP_LOAD) {
+            stack[sp] = slots[code[pc + 1]];
+            sp = sp + 1;
+            pc = pc + 2;
+        } else if (op == OP_STORE) {
+            sp = sp - 1;
+            slots[code[pc + 1]] = stack[sp];
+            pc = pc + 2;
+        } else if (op == OP_JZ) {
+            sp = sp - 1;
+            if (stack[sp] == 0)
+                pc = (int)code[pc + 1];
+            else
+                pc = pc + 2;
+        } else if (op == OP_JMP) {
+            pc = (int)code[pc + 1];
+        } else if (op == OP_PRINT) {
+            sp = sp - 1;
+            last_printed = stack[sp];
+            printf("%d\n", (int)stack[sp]);
+            pc = pc + 1;
+        } else if (op == OP_NEG) {
+            stack[sp - 1] = -stack[sp - 1];
+            pc = pc + 1;
+        } else {
+            sp = sp - 2;
+            stack[sp] = pop2_apply(op, stack[sp], stack[sp + 1]);
+            sp = sp + 1;
+            pc = pc + 1;
+        }
+    }
+}
+
+int main(void)
+{
+    cursor = source;
+    next_token();
+    parse_program();
+    run_code();
+    return last_printed == 610 ? 0 : (int)(last_printed & 0xff);
+}

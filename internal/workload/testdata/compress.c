@@ -1,0 +1,247 @@
+/*
+ * compress.c - stand-in for SPECint92 compress: LZW compression and
+ * decompression over an embedded buffer, with the original's hash-table
+ * code table and bit-packed output stream. Heavy pointer arithmetic on
+ * byte buffers.
+ */
+
+#include <stdio.h>
+#include <string.h>
+#include <stdlib.h>
+
+#define HSIZE   5003
+#define BITS    12
+#define MAXCODE ((1 << BITS) - 1)
+#define FIRST   257
+#define CLEAR   256
+
+char input_text[2048];
+int input_len;
+
+unsigned char packed[4096];
+int packed_bits;
+
+unsigned char unpacked[2048];
+int unpacked_len;
+
+long hash_code[HSIZE];
+long hash_prefix[HSIZE];
+int hash_suffix[HSIZE];
+
+int prefix_of[1 << BITS];
+int suffix_of[1 << BITS];
+int next_code;
+
+char stack_buf[4096];
+
+/* ---- input synthesis ---- */
+
+void make_input(void)
+{
+    char *p = input_text;
+    char *phrase[4];
+    int i;
+
+    phrase[0] = "the partial transfer function ";
+    phrase[1] = "describes the behavior of a procedure ";
+    phrase[2] = "assuming certain alias relationships ";
+    phrase[3] = "hold when it is called ";
+    input_len = 0;
+    for (i = 0; i < 24; i++) {
+        char *s = phrase[i % 4];
+        while (*s && input_len < 2000) {
+            *p = *s;
+            p++;
+            s++;
+            input_len++;
+        }
+    }
+    *p = 0;
+}
+
+/* ---- bit-packed output ---- */
+
+void put_bits(int code, int nbits)
+{
+    int i;
+
+    for (i = 0; i < nbits; i++) {
+        if (code & (1 << i))
+            packed[(packed_bits + i) >> 3] |= (unsigned char)(1 << ((packed_bits + i) & 7));
+    }
+    packed_bits += nbits;
+}
+
+int get_bits(int *cursor, int nbits)
+{
+    int code = 0;
+    int i;
+
+    for (i = 0; i < nbits; i++) {
+        if (packed[(*cursor + i) >> 3] & (1 << ((*cursor + i) & 7)))
+            code |= 1 << i;
+    }
+    *cursor += nbits;
+    return code;
+}
+
+/* ---- hash table ---- */
+
+void clear_table(void)
+{
+    int i;
+
+    for (i = 0; i < HSIZE; i++)
+        hash_code[i] = -1;
+    next_code = FIRST;
+}
+
+int probe(long key)
+{
+    int h = (int)(key % HSIZE);
+    if (h < 0)
+        h += HSIZE;
+    return h;
+}
+
+/* find the slot for (prefix, suffix); returns the slot index. */
+int lookup_slot(long prefix, int suffix)
+{
+    long key = (prefix << 8) ^ suffix;
+    int h = probe(key);
+
+    while (hash_code[h] != -1) {
+        if (hash_prefix[h] == prefix && hash_suffix[h] == suffix)
+            return h;
+        h++;
+        if (h >= HSIZE)
+            h = 0;
+    }
+    return h;
+}
+
+/* ---- compression ---- */
+
+int compress_input(void)
+{
+    long prefix;
+    int i, slot;
+    int codes_out = 0;
+
+    clear_table();
+    packed_bits = 0;
+    memset(packed, 0, sizeof(packed));
+
+    prefix = (long)(unsigned char)input_text[0];
+    for (i = 1; i < input_len; i++) {
+        int c = (unsigned char)input_text[i];
+        slot = lookup_slot(prefix, c);
+        if (hash_code[slot] != -1) {
+            prefix = hash_code[slot];
+            continue;
+        }
+        put_bits((int)prefix, BITS);
+        codes_out++;
+        if (next_code <= MAXCODE) {
+            hash_code[slot] = next_code;
+            hash_prefix[slot] = prefix;
+            hash_suffix[slot] = c;
+            prefix_of[next_code] = (int)prefix;
+            suffix_of[next_code] = c;
+            next_code++;
+        }
+        prefix = c;
+    }
+    put_bits((int)prefix, BITS);
+    codes_out++;
+    return codes_out;
+}
+
+/* ---- decompression ---- */
+
+/* expand one code onto the stack; returns the number of chars and the
+ * first char through firstp. */
+int expand_code(int code, char *stk, int *firstp)
+{
+    int n = 0;
+
+    while (code >= FIRST) {
+        stk[n] = (char)suffix_of[code];
+        n++;
+        code = prefix_of[code];
+    }
+    stk[n] = (char)code;
+    n++;
+    *firstp = code;
+    return n;
+}
+
+void emit_expansion(char *stk, int n)
+{
+    while (n > 0) {
+        n--;
+        unpacked[unpacked_len] = (unsigned char)stk[n];
+        unpacked_len++;
+    }
+}
+
+int decompress_output(int ncodes)
+{
+    int cursor = 0;
+    int i, first;
+    int prev = -1;
+    int prev_first = 0;
+    int code = FIRST;
+
+    unpacked_len = 0;
+    for (i = 0; i < ncodes; i++) {
+        int cur = get_bits(&cursor, BITS);
+        int n;
+        if (cur < code || prev < 0) {
+            n = expand_code(cur, stack_buf, &first);
+            emit_expansion(stack_buf, n);
+        } else {
+            /* the KwKwK case */
+            n = expand_code(prev, stack_buf, &first);
+            emit_expansion(stack_buf, n);
+            unpacked[unpacked_len] = (unsigned char)prev_first;
+            unpacked_len++;
+            first = prev_first;
+        }
+        if (prev >= 0 && code <= MAXCODE) {
+            prefix_of[code] = prev;
+            suffix_of[code] = first;
+            code++;
+        }
+        prev = cur;
+        prev_first = first;
+    }
+    return unpacked_len;
+}
+
+int verify_roundtrip(void)
+{
+    int i;
+
+    if (unpacked_len != input_len)
+        return 0;
+    for (i = 0; i < input_len; i++) {
+        if ((char)unpacked[i] != input_text[i])
+            return 0;
+    }
+    return 1;
+}
+
+int main(void)
+{
+    int ncodes, outlen, ok;
+
+    make_input();
+    ncodes = compress_input();
+    /* reset the decoder's string table (codes < FIRST are literals) */
+    decompress_output(0);
+    outlen = decompress_output(ncodes);
+    ok = verify_roundtrip();
+    printf("in %d codes %d out %d ok %d\n", input_len, ncodes, outlen, ok);
+    return ok ? 0 : 1;
+}

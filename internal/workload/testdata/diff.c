@@ -1,0 +1,232 @@
+/*
+ * diff.c - stand-in for the Unix diff utility: split two embedded texts
+ * into line tables (heap-allocated, hashed), compute a longest common
+ * subsequence by dynamic programming, and emit an edit script. The line
+ * tables exercise heap allocation, pointer-linked records and string
+ * handling the way the original does.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define MAXLINES 64
+
+char *text_a =
+    "the analysis must be efficient\n"
+    "without sacrificing accuracy\n"
+    "pointer analysis algorithms\n"
+    "must handle real c programs\n"
+    "only very conservative estimates\n"
+    "are possible otherwise\n"
+    "a single control flow graph\n"
+    "suffers from unrealizable paths\n";
+
+char *text_b =
+    "the analysis must be efficient\n"
+    "pointer analysis algorithms\n"
+    "must handle all c programs\n"
+    "only very conservative estimates\n"
+    "are possible otherwise\n"
+    "values can propagate from one call site\n"
+    "a single control flow graph\n"
+    "suffers from unrealizable paths\n";
+
+struct line {
+    char *text;
+    long hash;
+    int serial;
+    struct line *next;
+};
+
+struct line *lines_a[MAXLINES];
+struct line *lines_b[MAXLINES];
+int count_a;
+int count_b;
+
+int lcs[MAXLINES + 1][MAXLINES + 1];
+int edits;
+
+/* ---- line table construction ---- */
+
+long hash_line(char *s)
+{
+    long h = 5381;
+    while (*s) {
+        h = h * 33 + *s;
+        s++;
+    }
+    return h;
+}
+
+int line_length(char *s)
+{
+    int n = 0;
+    while (s[n] && s[n] != '\n')
+        n++;
+    return n;
+}
+
+char *copy_line(char *s, int n)
+{
+    char *out = (char *)malloc(n + 1);
+    int i;
+    for (i = 0; i < n; i++)
+        out[i] = s[i];
+    out[n] = 0;
+    return out;
+}
+
+struct line *make_line(char *s, int n, int serial)
+{
+    struct line *l = (struct line *)malloc(sizeof(struct line));
+    l->text = copy_line(s, n);
+    l->hash = hash_line(l->text);
+    l->serial = serial;
+    l->next = 0;
+    return l;
+}
+
+int split_text(char *text, struct line **table)
+{
+    char *p = text;
+    int n = 0;
+
+    while (*p && n < MAXLINES) {
+        int len = line_length(p);
+        table[n] = make_line(p, len, n);
+        if (n > 0)
+            table[n - 1]->next = table[n];
+        n++;
+        p = p + len;
+        if (*p == '\n')
+            p++;
+    }
+    return n;
+}
+
+/* ---- comparison ---- */
+
+int same_line(struct line *x, struct line *y)
+{
+    if (x->hash != y->hash)
+        return 0;
+    return strcmp(x->text, y->text) == 0;
+}
+
+int max_of(int a, int b)
+{
+    return a > b ? a : b;
+}
+
+void build_lcs(void)
+{
+    int i, j;
+
+    for (i = 0; i <= count_a; i++)
+        lcs[i][0] = 0;
+    for (j = 0; j <= count_b; j++)
+        lcs[0][j] = 0;
+    for (i = 1; i <= count_a; i++) {
+        for (j = 1; j <= count_b; j++) {
+            if (same_line(lines_a[i - 1], lines_b[j - 1]))
+                lcs[i][j] = lcs[i - 1][j - 1] + 1;
+            else
+                lcs[i][j] = max_of(lcs[i - 1][j], lcs[i][j - 1]);
+        }
+    }
+}
+
+/* ---- edit script ---- */
+
+void emit_delete(struct line *l)
+{
+    printf("< %s\n", l->text);
+    edits++;
+}
+
+void emit_insert(struct line *l)
+{
+    printf("> %s\n", l->text);
+    edits++;
+}
+
+void emit_common(struct line *l)
+{
+    (void)l;
+}
+
+void walk_script(int i, int j)
+{
+    if (i > 0 && j > 0 && same_line(lines_a[i - 1], lines_b[j - 1])) {
+        walk_script(i - 1, j - 1);
+        emit_common(lines_a[i - 1]);
+        return;
+    }
+    if (j > 0 && (i == 0 || lcs[i][j - 1] >= lcs[i - 1][j])) {
+        walk_script(i, j - 1);
+        emit_insert(lines_b[j - 1]);
+        return;
+    }
+    if (i > 0) {
+        walk_script(i - 1, j);
+        emit_delete(lines_a[i - 1]);
+    }
+}
+
+/* ---- bookkeeping helpers ---- */
+
+struct line *find_by_serial(struct line *head, int serial)
+{
+    struct line *l = head;
+    while (l) {
+        if (l->serial == serial)
+            return l;
+        l = l->next;
+    }
+    return 0;
+}
+
+int count_common(void)
+{
+    return lcs[count_a][count_b];
+}
+
+void free_table(struct line **table, int n)
+{
+    int i;
+    for (i = 0; i < n; i++) {
+        free(table[i]->text);
+        free(table[i]);
+    }
+}
+
+int check_chain(struct line **table, int n)
+{
+    /* every line must be reachable from the head via next pointers */
+    int i;
+    for (i = 0; i < n; i++) {
+        if (find_by_serial(table[0], i) != table[i])
+            return 0;
+    }
+    return 1;
+}
+
+int main(void)
+{
+    int common;
+
+    count_a = split_text(text_a, lines_a);
+    count_b = split_text(text_b, lines_b);
+    if (!check_chain(lines_a, count_a) || !check_chain(lines_b, count_b))
+        return 2;
+    build_lcs();
+    common = count_common();
+    edits = 0;
+    walk_script(count_a, count_b);
+    printf("%d common, %d edits\n", common, edits);
+    free_table(lines_a, count_a);
+    free_table(lines_b, count_b);
+    /* 6 shared lines, 2 deletions + 2 insertions */
+    return (common == 6 && edits == 4) ? 0 : 1;
+}

@@ -1,0 +1,291 @@
+/*
+ * ear.c - stand-in for the SPECfp92 "ear" benchmark (Lyon's cochlea
+ * model). A cascade of second-order filters models the basilar membrane;
+ * each channel is followed by a half-wave rectifier and four automatic
+ * gain control stages. The characteristic shape for the parallelization
+ * experiment: the hot loops iterate over channels with a tiny body, so
+ * each loop invocation is very short and is invoked once per sample.
+ */
+
+#include <stdio.h>
+#include <math.h>
+
+#define NCHAN    24
+#define NSAMPLES 220
+#define PI       3.14159265358979
+
+double ear_q = 8.0;
+double step_factor = 0.25;
+double sample_rate = 16000.0;
+
+/* One biquad section per channel. */
+double filter_a0[NCHAN];
+double filter_a1[NCHAN];
+double filter_a2[NCHAN];
+double filter_b1[NCHAN];
+double filter_b2[NCHAN];
+
+double state1[NCHAN];
+double state2[NCHAN];
+
+double channel_out[NCHAN];
+double rectified[NCHAN];
+
+double agc_state1[NCHAN];
+double agc_state2[NCHAN];
+double agc_state3[NCHAN];
+double agc_state4[NCHAN];
+
+double agc_target1 = 0.0032;
+double agc_target2 = 0.0016;
+double agc_target3 = 0.0008;
+double agc_target4 = 0.0004;
+
+double input_signal[NSAMPLES];
+double output_energy[NCHAN];
+
+double decim_buffer[NCHAN];
+int decim_count = 0;
+
+/* ---- filter design helpers ---- */
+
+double center_freq(int chan)
+{
+    return 120.0 * pow(1.18, (double)(NCHAN - chan));
+}
+
+double channel_bandwidth(double cf)
+{
+    return cf / ear_q + 40.0;
+}
+
+double pole_radius(double bw)
+{
+    return exp(-PI * bw / sample_rate);
+}
+
+double pole_angle(double cf)
+{
+    return 2.0 * PI * cf / sample_rate;
+}
+
+double gain_for(double r, double theta)
+{
+    double g = (1.0 - r) * (1.0 - r) + 2.0 * r * (1.0 - cos(theta));
+    return g * 0.5;
+}
+
+void design_channel(int chan)
+{
+    double cf = center_freq(chan);
+    double bw = channel_bandwidth(cf);
+    double r = pole_radius(bw);
+    double theta = pole_angle(cf);
+
+    filter_b1[chan] = -2.0 * r * cos(theta);
+    filter_b2[chan] = r * r;
+    filter_a0[chan] = gain_for(r, theta);
+    filter_a1[chan] = 0.0;
+    filter_a2[chan] = -filter_a0[chan];
+}
+
+void design_filterbank(void)
+{
+    int c;
+    for (c = 0; c < NCHAN; c++)
+        design_channel(c);
+}
+
+/* ---- per-sample processing stages ---- */
+
+/* One second-order step for one channel (direct form II). */
+double biquad_step(int c, double x)
+{
+    double w = x - filter_b1[c] * state1[c] - filter_b2[c] * state2[c];
+    double y = filter_a0[c] * w + filter_a1[c] * state1[c] + filter_a2[c] * state2[c];
+    state2[c] = state1[c];
+    state1[c] = w;
+    return y;
+}
+
+/* The cascade: each channel filters the previous channel's output.
+ * The per-channel loop body is tiny - this is the fine-grained loop the
+ * parallelization experiment measures. */
+void filter_cascade(double x)
+{
+    int c;
+    double sig = x;
+
+    for (c = 0; c < NCHAN; c++) {
+        sig = biquad_step(c, sig);
+        channel_out[c] = sig;
+    }
+}
+
+double half_wave(double x)
+{
+    return x > 0.0 ? x : 0.0;
+}
+
+void rectify_channels(void)
+{
+    int c;
+    for (c = 0; c < NCHAN; c++)
+        rectified[c] = half_wave(channel_out[c]);
+}
+
+/* One AGC stage: a leaky integrator per channel with a shared target. */
+double agc_step(double x, double *st, double target)
+{
+    double s = *st;
+    double g = 1.0 - s;
+    double y = x * g;
+    *st = s + (y - target) * step_factor * 0.1;
+    if (*st < 0.0)
+        *st = 0.0;
+    if (*st > 0.9)
+        *st = 0.9;
+    return y;
+}
+
+void agc_stage1(void)
+{
+    int c;
+    for (c = 0; c < NCHAN; c++)
+        rectified[c] = agc_step(rectified[c], &agc_state1[c], agc_target1);
+}
+
+void agc_stage2(void)
+{
+    int c;
+    for (c = 0; c < NCHAN; c++)
+        rectified[c] = agc_step(rectified[c], &agc_state2[c], agc_target2);
+}
+
+void agc_stage3(void)
+{
+    int c;
+    for (c = 0; c < NCHAN; c++)
+        rectified[c] = agc_step(rectified[c], &agc_state3[c], agc_target3);
+}
+
+void agc_stage4(void)
+{
+    int c;
+    for (c = 0; c < NCHAN; c++)
+        rectified[c] = agc_step(rectified[c], &agc_state4[c], agc_target4);
+}
+
+/* Energy accumulation per channel. */
+void accumulate_energy(void)
+{
+    int c;
+    for (c = 0; c < NCHAN; c++)
+        output_energy[c] += rectified[c] * rectified[c];
+}
+
+/* 2:1 decimation of the rectified outputs. */
+void decimate_outputs(void)
+{
+    int c;
+    decim_count++;
+    if (decim_count % 2)
+        return;
+    for (c = 0; c < NCHAN; c++)
+        decim_buffer[c] = 0.5 * (decim_buffer[c] + rectified[c]);
+}
+
+/* ---- input synthesis ---- */
+
+double tone(double t, double f)
+{
+    return sin(2.0 * PI * f * t);
+}
+
+double chirp(double t)
+{
+    return sin(2.0 * PI * (300.0 + 800.0 * t) * t);
+}
+
+void make_input(void)
+{
+    int i;
+    for (i = 0; i < NSAMPLES; i++) {
+        double t = (double)i / sample_rate;
+        input_signal[i] = 0.6 * tone(t, 440.0) + 0.3 * chirp(t);
+    }
+}
+
+/* ---- state management ---- */
+
+void reset_states(void)
+{
+    int c;
+    for (c = 0; c < NCHAN; c++) {
+        state1[c] = 0.0;
+        state2[c] = 0.0;
+        agc_state1[c] = 0.0;
+        agc_state2[c] = 0.0;
+        agc_state3[c] = 0.0;
+        agc_state4[c] = 0.0;
+        output_energy[c] = 0.0;
+        decim_buffer[c] = 0.0;
+    }
+}
+
+/* One full sample through the model. */
+void process_sample(double x)
+{
+    filter_cascade(x);
+    rectify_channels();
+    agc_stage1();
+    agc_stage2();
+    agc_stage3();
+    agc_stage4();
+    accumulate_energy();
+    decimate_outputs();
+}
+
+void process_signal(void)
+{
+    int i;
+    for (i = 0; i < NSAMPLES; i++)
+        process_sample(input_signal[i]);
+}
+
+int peak_channel(void)
+{
+    int c, best = 0;
+    double bestv = -1.0;
+    for (c = 0; c < NCHAN; c++) {
+        if (output_energy[c] > bestv) {
+            bestv = output_energy[c];
+            best = c;
+        }
+    }
+    return best;
+}
+
+double total_energy(void)
+{
+    int c;
+    double t = 0.0;
+    for (c = 0; c < NCHAN; c++)
+        t += output_energy[c];
+    return t;
+}
+
+int main(void)
+{
+    int peak;
+    double tot;
+
+    design_filterbank();
+    reset_states();
+    make_input();
+    process_signal();
+    peak = peak_channel();
+    tot = total_energy();
+    printf("peak channel %d total %.5f\n", peak, tot);
+    return peak >= 0 && peak < NCHAN ? 0 : 1;
+}

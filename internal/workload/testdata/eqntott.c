@@ -1,0 +1,405 @@
+/*
+ * eqntott.c - stand-in for SPECint92 eqntott: translate boolean
+ * equations into a truth table (sum-of-products form). Builds
+ * heap-allocated expression trees from an embedded equation text,
+ * enumerates input assignments, collects product terms, and sorts them
+ * with qsort through a comparison function pointer (the original's
+ * famous hot spot), then merges compatible terms.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define NVARS    5
+#define MAXTERMS 64
+
+/* expression node kinds */
+#define E_VAR 0
+#define E_NOT 1
+#define E_AND 2
+#define E_OR  3
+#define E_XOR 4
+
+struct expr {
+    int kind;
+    int var;
+    struct expr *left;
+    struct expr *right;
+};
+
+/* a product term: one value per input (0, 1, or 2 = don't care) */
+struct term {
+    int inputs[NVARS];
+    int output;
+};
+
+/* The equations, one output per line, over variables a..e:
+ *   out0 = (a & b) | (!c & d)
+ *   out1 = a ^ e
+ */
+char *equation0 = "(a&b)|(~c&d)";
+char *equation1 = "a^e";
+
+char *parse_cursor;
+
+struct expr *outputs[2];
+int noutputs;
+
+struct term terms[MAXTERMS];
+int nterms;
+
+int truth_count[2];
+
+/* ---- node constructors ---- */
+
+struct expr *new_node(int kind)
+{
+    struct expr *e = (struct expr *)malloc(sizeof(struct expr));
+    e->kind = kind;
+    e->var = -1;
+    e->left = 0;
+    e->right = 0;
+    return e;
+}
+
+struct expr *mk_var(int v)
+{
+    struct expr *e = new_node(E_VAR);
+    e->var = v;
+    return e;
+}
+
+struct expr *mk_not(struct expr *x)
+{
+    struct expr *e = new_node(E_NOT);
+    e->left = x;
+    return e;
+}
+
+struct expr *mk_and(struct expr *l, struct expr *r)
+{
+    struct expr *e = new_node(E_AND);
+    e->left = l;
+    e->right = r;
+    return e;
+}
+
+struct expr *mk_or(struct expr *l, struct expr *r)
+{
+    struct expr *e = new_node(E_OR);
+    e->left = l;
+    e->right = r;
+    return e;
+}
+
+struct expr *mk_xor(struct expr *l, struct expr *r)
+{
+    struct expr *e = new_node(E_XOR);
+    e->left = l;
+    e->right = r;
+    return e;
+}
+
+/* ---- recursive descent parser for equations ---- */
+
+struct expr *parse_or(void);
+
+int peek_char(void)
+{
+    return *parse_cursor;
+}
+
+int take_char(void)
+{
+    int c = *parse_cursor;
+    if (c)
+        parse_cursor++;
+    return c;
+}
+
+int var_index(int c)
+{
+    if (c >= 'a' && c <= 'e')
+        return c - 'a';
+    return -1;
+}
+
+struct expr *parse_primary(void)
+{
+    int c = peek_char();
+
+    if (c == '(') {
+        struct expr *e;
+        take_char();
+        e = parse_or();
+        take_char(); /* ')' */
+        return e;
+    }
+    if (c == '~') {
+        take_char();
+        return mk_not(parse_primary());
+    }
+    take_char();
+    return mk_var(var_index(c));
+}
+
+struct expr *parse_and(void)
+{
+    struct expr *e = parse_primary();
+
+    while (peek_char() == '&') {
+        take_char();
+        e = mk_and(e, parse_primary());
+    }
+    return e;
+}
+
+struct expr *parse_xor(void)
+{
+    struct expr *e = parse_and();
+
+    while (peek_char() == '^') {
+        take_char();
+        e = mk_xor(e, parse_and());
+    }
+    return e;
+}
+
+struct expr *parse_or(void)
+{
+    struct expr *e = parse_xor();
+
+    while (peek_char() == '|') {
+        take_char();
+        e = mk_or(e, parse_xor());
+    }
+    return e;
+}
+
+struct expr *parse_equation(char *text)
+{
+    parse_cursor = text;
+    return parse_or();
+}
+
+/* ---- evaluation ---- */
+
+int eval_expr(struct expr *e, int *assign)
+{
+    switch (e->kind) {
+    case E_VAR:
+        return assign[e->var];
+    case E_NOT:
+        return !eval_expr(e->left, assign);
+    case E_AND:
+        return eval_expr(e->left, assign) & eval_expr(e->right, assign);
+    case E_OR:
+        return eval_expr(e->left, assign) | eval_expr(e->right, assign);
+    case E_XOR:
+        return eval_expr(e->left, assign) ^ eval_expr(e->right, assign);
+    }
+    return 0;
+}
+
+int count_nodes(struct expr *e)
+{
+    if (!e)
+        return 0;
+    return 1 + count_nodes(e->left) + count_nodes(e->right);
+}
+
+int max_depth(struct expr *e)
+{
+    int l, r;
+
+    if (!e)
+        return 0;
+    l = max_depth(e->left);
+    r = max_depth(e->right);
+    return 1 + (l > r ? l : r);
+}
+
+void free_expr(struct expr *e)
+{
+    if (!e)
+        return;
+    free_expr(e->left);
+    free_expr(e->right);
+    free(e);
+}
+
+/* ---- truth table construction ---- */
+
+void decode_assignment(int code, int *assign)
+{
+    int v;
+
+    for (v = 0; v < NVARS; v++)
+        assign[v] = (code >> v) & 1;
+}
+
+void add_term(int *assign, int output)
+{
+    int v;
+
+    if (nterms >= MAXTERMS)
+        return;
+    for (v = 0; v < NVARS; v++)
+        terms[nterms].inputs[v] = assign[v];
+    terms[nterms].output = output;
+    nterms++;
+}
+
+void enumerate_output(struct expr *e, int output)
+{
+    int code;
+    int assign[NVARS];
+
+    for (code = 0; code < (1 << NVARS); code++) {
+        decode_assignment(code, assign);
+        if (eval_expr(e, assign)) {
+            add_term(assign, output);
+            truth_count[output]++;
+        }
+    }
+}
+
+/* ---- term ordering (the qsort hot spot) ---- */
+
+int cmppt(const void *pa, const void *pb)
+{
+    const struct term *a = (const struct term *)pa;
+    const struct term *b = (const struct term *)pb;
+    int v;
+
+    if (a->output != b->output)
+        return a->output - b->output;
+    for (v = 0; v < NVARS; v++) {
+        if (a->inputs[v] != b->inputs[v])
+            return a->inputs[v] - b->inputs[v];
+    }
+    return 0;
+}
+
+void sort_terms(void)
+{
+    qsort(terms, nterms, sizeof(struct term), cmppt);
+}
+
+int terms_sorted(void)
+{
+    int i;
+
+    for (i = 1; i < nterms; i++) {
+        if (cmppt(&terms[i - 1], &terms[i]) > 0)
+            return 0;
+    }
+    return 1;
+}
+
+/* ---- term merging: combine adjacent terms differing in one input ---- */
+
+int differ_in_one(struct term *a, struct term *b, int *which)
+{
+    int v, n = 0;
+
+    if (a->output != b->output)
+        return 0;
+    for (v = 0; v < NVARS; v++) {
+        if (a->inputs[v] != b->inputs[v]) {
+            *which = v;
+            n++;
+        }
+    }
+    return n == 1;
+}
+
+int merge_pass(void)
+{
+    int i, j, which, merged = 0;
+
+    for (i = 0; i < nterms; i++) {
+        for (j = i + 1; j < nterms; j++) {
+            if (differ_in_one(&terms[i], &terms[j], &which)) {
+                if (terms[i].inputs[which] != 2) {
+                    terms[i].inputs[which] = 2; /* don't care */
+                    terms[j].output = -1;       /* dead */
+                    merged++;
+                }
+            }
+        }
+    }
+    return merged;
+}
+
+int compact_terms(void)
+{
+    int i, n = 0;
+
+    for (i = 0; i < nterms; i++) {
+        if (terms[i].output >= 0) {
+            if (n != i)
+                terms[n] = terms[i];
+            n++;
+        }
+    }
+    nterms = n;
+    return n;
+}
+
+/* ---- output ---- */
+
+char input_char(int v)
+{
+    if (v == 0)
+        return '0';
+    if (v == 1)
+        return '1';
+    return '-';
+}
+
+void print_term(struct term *t)
+{
+    int v;
+
+    for (v = 0; v < NVARS; v++)
+        putchar(input_char(t->inputs[v]));
+    printf(" -> %d\n", t->output);
+}
+
+void print_table(void)
+{
+    int i;
+
+    for (i = 0; i < nterms; i++)
+        print_term(&terms[i]);
+}
+
+int main(void)
+{
+    int total, nodes;
+
+    outputs[0] = parse_equation(equation0);
+    outputs[1] = parse_equation(equation1);
+    noutputs = 2;
+    nodes = count_nodes(outputs[0]) + count_nodes(outputs[1]);
+
+    nterms = 0;
+    enumerate_output(outputs[0], 0);
+    enumerate_output(outputs[1], 1);
+    total = nterms;
+    sort_terms();
+    if (!terms_sorted())
+        return 2;
+    while (merge_pass() > 0)
+        compact_terms();
+    print_table();
+    printf("%d raw terms, %d merged, %d nodes, depth %d/%d\n",
+           total, nterms, nodes,
+           max_depth(outputs[0]), max_depth(outputs[1]));
+    free_expr(outputs[0]);
+    free_expr(outputs[1]);
+    /* out0 true on 14 of 32, out1 on 16 of 32 */
+    return (truth_count[0] == 14 && truth_count[1] == 16) ? 0 : 1;
+}

@@ -1,0 +1,430 @@
+/*
+ * football.c - stand-in for the Landi "football" benchmark: a play-by-
+ * play game simulator and statistics program. Many small evaluation
+ * procedures, a play table dispatched through function pointers, and
+ * per-team record keeping through pointers, following the original's
+ * table-driven shape.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define NPLAYS 6
+
+struct team {
+    char name[20];
+    int score;
+    int yards;
+    int passes;
+    int runs;
+    int kicks;
+    int turnovers;
+    int first_downs;
+};
+
+struct gamestate {
+    struct team *offense;
+    struct team *defense;
+    int down;
+    int to_go;
+    int field_pos; /* 0..100, offense drives toward 100 */
+    int quarter;
+    int plays_run;
+};
+
+struct play {
+    char *name;
+    int (*run)(struct gamestate *g);
+    int weight;
+};
+
+struct team home;
+struct team visitor;
+struct gamestate game;
+int rng_state = 12345;
+
+/* ---- deterministic pseudo-random numbers ---- */
+
+int roll(int n)
+{
+    rng_state = rng_state * 1103515245 + 12345;
+    if (rng_state < 0)
+        rng_state = -rng_state;
+    return rng_state % n;
+}
+
+int coin_flip(void)
+{
+    return roll(2);
+}
+
+/* ---- team bookkeeping ---- */
+
+void init_team(struct team *t, char *name)
+{
+    strcpy(t->name, name);
+    t->score = 0;
+    t->yards = 0;
+    t->passes = 0;
+    t->runs = 0;
+    t->kicks = 0;
+    t->turnovers = 0;
+    t->first_downs = 0;
+}
+
+void credit_yards(struct team *t, int yards)
+{
+    t->yards += yards;
+}
+
+void credit_score(struct team *t, int points)
+{
+    t->score += points;
+}
+
+void credit_first_down(struct team *t)
+{
+    t->first_downs++;
+}
+
+void credit_turnover(struct team *t)
+{
+    t->turnovers++;
+}
+
+int team_total(struct team *t)
+{
+    return t->yards + 10 * t->score;
+}
+
+/* ---- field position helpers ---- */
+
+int yards_to_goal(struct gamestate *g)
+{
+    return 100 - g->field_pos;
+}
+
+int in_red_zone(struct gamestate *g)
+{
+    return yards_to_goal(g) <= 20;
+}
+
+int in_own_half(struct gamestate *g)
+{
+    return g->field_pos < 50;
+}
+
+int long_yardage(struct gamestate *g)
+{
+    return g->to_go >= 8;
+}
+
+int short_yardage(struct gamestate *g)
+{
+    return g->to_go <= 2;
+}
+
+void advance_ball(struct gamestate *g, int yards)
+{
+    g->field_pos += yards;
+    if (g->field_pos < 0)
+        g->field_pos = 0;
+    if (g->field_pos > 100)
+        g->field_pos = 100;
+}
+
+/* ---- possession changes ---- */
+
+void swap_possession(struct gamestate *g)
+{
+    struct team *t = g->offense;
+    g->offense = g->defense;
+    g->defense = t;
+    g->field_pos = 100 - g->field_pos;
+    g->down = 1;
+    g->to_go = 10;
+}
+
+void new_series(struct gamestate *g)
+{
+    g->down = 1;
+    g->to_go = 10;
+    credit_first_down(g->offense);
+}
+
+void turnover(struct gamestate *g)
+{
+    credit_turnover(g->offense);
+    swap_possession(g);
+}
+
+/* ---- scoring ---- */
+
+void touchdown(struct gamestate *g)
+{
+    credit_score(g->offense, 7);
+    swap_possession(g);
+    g->field_pos = 30;
+}
+
+void field_goal(struct gamestate *g)
+{
+    credit_score(g->offense, 3);
+    swap_possession(g);
+    g->field_pos = 30;
+}
+
+void check_touchdown(struct gamestate *g)
+{
+    if (g->field_pos >= 100)
+        touchdown(g);
+}
+
+/* ---- play outcome models ---- */
+
+int run_gain(void)
+{
+    return roll(7) - 1;
+}
+
+int short_pass_gain(void)
+{
+    if (roll(10) < 6)
+        return 4 + roll(8);
+    return 0;
+}
+
+int long_pass_gain(void)
+{
+    if (roll(10) < 3)
+        return 15 + roll(25);
+    return 0;
+}
+
+int sack_loss(void)
+{
+    return roll(10) < 2 ? 5 + roll(6) : 0;
+}
+
+/* ---- the plays (function-pointer targets) ---- */
+
+int play_run(struct gamestate *g)
+{
+    int gain = run_gain();
+    g->offense->runs++;
+    credit_yards(g->offense, gain);
+    advance_ball(g, gain);
+    return gain;
+}
+
+int play_short_pass(struct gamestate *g)
+{
+    int gain = short_pass_gain();
+    g->offense->passes++;
+    if (gain == 0 && roll(20) == 0) {
+        turnover(g);
+        return -1000;
+    }
+    credit_yards(g->offense, gain);
+    advance_ball(g, gain);
+    return gain;
+}
+
+int play_long_pass(struct gamestate *g)
+{
+    int gain = long_pass_gain();
+    g->offense->passes++;
+    if (gain == 0 && roll(12) == 0) {
+        turnover(g);
+        return -1000;
+    }
+    gain -= sack_loss();
+    credit_yards(g->offense, gain);
+    advance_ball(g, gain);
+    return gain;
+}
+
+int play_draw(struct gamestate *g)
+{
+    int gain = run_gain() + (long_yardage(g) ? 2 : 0);
+    g->offense->runs++;
+    credit_yards(g->offense, gain);
+    advance_ball(g, gain);
+    return gain;
+}
+
+int play_punt(struct gamestate *g)
+{
+    int dist = 35 + roll(15);
+    g->offense->kicks++;
+    advance_ball(g, dist);
+    swap_possession(g);
+    return -1000;
+}
+
+int play_field_goal(struct gamestate *g)
+{
+    g->offense->kicks++;
+    if (yards_to_goal(g) <= 35 && roll(10) < 7) {
+        field_goal(g);
+        return -1000;
+    }
+    turnover(g);
+    return -1000;
+}
+
+/* ---- play selection ---- */
+
+struct play playbook[NPLAYS] = {
+    {"run", play_run, 30},
+    {"short pass", play_short_pass, 30},
+    {"long pass", play_long_pass, 15},
+    {"draw", play_draw, 10},
+    {"punt", play_punt, 10},
+    {"field goal", play_field_goal, 5},
+};
+
+struct play *choose_normal(struct gamestate *g)
+{
+    int w = roll(85);
+
+    if (short_yardage(g))
+        return &playbook[0];
+    if (w < 30)
+        return &playbook[0];
+    if (w < 60)
+        return &playbook[1];
+    if (w < 75)
+        return &playbook[2];
+    return &playbook[3];
+}
+
+struct play *choose_fourth_down(struct gamestate *g)
+{
+    if (in_red_zone(g) || yards_to_goal(g) <= 35)
+        return &playbook[5];
+    if (in_own_half(g))
+        return &playbook[4];
+    if (short_yardage(g))
+        return &playbook[0];
+    return &playbook[4];
+}
+
+struct play *choose_play(struct gamestate *g)
+{
+    if (g->down == 4)
+        return choose_fourth_down(g);
+    return choose_normal(g);
+}
+
+/* ---- down accounting ---- */
+
+void after_play(struct gamestate *g, int gain)
+{
+    if (gain <= -1000)
+        return; /* possession already handled */
+    check_touchdown(g);
+    g->to_go -= gain;
+    if (g->to_go <= 0) {
+        new_series(g);
+        return;
+    }
+    g->down++;
+    if (g->down > 4)
+        turnover(g);
+}
+
+void run_one_play(struct gamestate *g)
+{
+    struct play *p = choose_play(g);
+    int gain = p->run(g);
+
+    g->plays_run++;
+    after_play(g, gain);
+}
+
+/* ---- game driver ---- */
+
+void start_game(struct gamestate *g)
+{
+    init_team(&home, "home");
+    init_team(&visitor, "visitor");
+    g->offense = &home;
+    g->defense = &visitor;
+    g->down = 1;
+    g->to_go = 10;
+    g->field_pos = 30;
+    g->quarter = 1;
+    g->plays_run = 0;
+}
+
+void run_quarter(struct gamestate *g)
+{
+    int i;
+
+    for (i = 0; i < 40; i++)
+        run_one_play(g);
+    g->quarter++;
+}
+
+void run_game(struct gamestate *g)
+{
+    while (g->quarter <= 4)
+        run_quarter(g);
+}
+
+/* ---- statistics reports ---- */
+
+int pass_ratio_pct(struct team *t)
+{
+    int total = t->passes + t->runs;
+
+    if (total == 0)
+        return 0;
+    return 100 * t->passes / total;
+}
+
+void report_team(struct team *t)
+{
+    printf("%s: %d points, %d yards, %d%% passes, %d turnovers, %d first downs\n",
+           t->name, t->score, t->yards, pass_ratio_pct(t),
+           t->turnovers, t->first_downs);
+}
+
+struct team *winner(void)
+{
+    if (home.score > visitor.score)
+        return &home;
+    if (visitor.score > home.score)
+        return &visitor;
+    return 0;
+}
+
+int sanity_check(struct gamestate *g)
+{
+    if (g->plays_run != 160)
+        return 0;
+    if (home.score < 0 || visitor.score < 0)
+        return 0;
+    if (home.yards < 0 || visitor.yards < 0)
+        return 0;
+    return (g->offense == &home && g->defense == &visitor) ||
+           (g->offense == &visitor && g->defense == &home);
+}
+
+int main(void)
+{
+    struct team *w;
+
+    start_game(&game);
+    run_game(&game);
+    report_team(&home);
+    report_team(&visitor);
+    w = winner();
+    if (w)
+        printf("winner: %s\n", w->name);
+    else
+        printf("tie game\n");
+    return sanity_check(&game) ? 0 : 1;
+}

@@ -1,0 +1,171 @@
+/*
+ * grep.c - stand-in for the Unix grep utility: a small regular
+ * expression matcher (literals, '.', '*', '^', '$', character classes)
+ * run over an embedded text, line by line. Pointer-intensive string
+ * scanning in the style of the original.
+ */
+
+#include <stdio.h>
+#include <string.h>
+#include <stdlib.h>
+
+char *corpus =
+    "the quick brown fox\n"
+    "jumps over the lazy dog\n"
+    "pointer analysis is fun\n"
+    "partial transfer functions\n"
+    "a procedure may behave quite differently\n"
+    "reanalyzing for every calling context\n"
+    "the exponential cost quickly becomes prohibitive\n"
+    "interval analysis has been successfully used\n"
+    "foxes and dogs and foxes\n"
+    "fin\n";
+
+char line_buf[256];
+char *line_ptr;
+int match_count;
+int line_count;
+
+/* ---- pattern matching (Kernighan-Pike style) ---- */
+
+int match_here(char *re, char *text);
+
+/* match_class: does c match the class starting at re (after '[')?
+ * Returns the class length through lenp. */
+int match_class(char *re, int c, int *lenp)
+{
+    int negate = 0;
+    int hit = 0;
+    char *p = re;
+
+    if (*p == '^') {
+        negate = 1;
+        p++;
+    }
+    while (*p && *p != ']') {
+        if (p[1] == '-' && p[2] && p[2] != ']') {
+            if (c >= p[0] && c <= p[2])
+                hit = 1;
+            p = p + 3;
+        } else {
+            if (*p == c)
+                hit = 1;
+            p++;
+        }
+    }
+    *lenp = (int)(p - re) + 1; /* include ']' */
+    return negate ? !hit : hit;
+}
+
+/* match one char (or class) at re against c; returns chars consumed in
+ * the pattern, or 0 if no match. */
+int match_one(char *re, int c, int *consumed)
+{
+    int len;
+
+    if (*re == '[') {
+        int ok = match_class(re + 1, c, &len);
+        *consumed = len + 1;
+        return ok && c != 0;
+    }
+    *consumed = 1;
+    if (*re == '.')
+        return c != 0;
+    return *re == c;
+}
+
+/* match_star: c* at the beginning of text. */
+int match_star(char *unit, int unitlen, char *rest, char *text)
+{
+    char *t = text;
+    int consumed;
+
+    for (;;) {
+        if (match_here(rest, t))
+            return 1;
+        if (!match_one(unit, *t, &consumed))
+            return 0;
+        t++;
+    }
+}
+
+int match_here(char *re, char *text)
+{
+    int consumed;
+
+    if (*re == 0)
+        return 1;
+    if (*re == '$' && re[1] == 0)
+        return *text == 0;
+    /* find the unit length */
+    if (*re == '[') {
+        int len;
+        match_class(re + 1, 'x', &len);
+        consumed = len + 1;
+    } else {
+        consumed = 1;
+    }
+    if (re[consumed] == '*')
+        return match_star(re, consumed, re + consumed + 1, text);
+    if (match_one(re, *text, &consumed) && *text)
+        return match_here(re + consumed, text + 1);
+    return 0;
+}
+
+int match(char *re, char *text)
+{
+    if (*re == '^')
+        return match_here(re + 1, text);
+    do {
+        if (match_here(re, text))
+            return 1;
+    } while (*text++);
+    return 0;
+}
+
+/* ---- line handling ---- */
+
+/* next_line copies the next corpus line into line_buf; returns 0 at end. */
+int next_line(void)
+{
+    char *out = line_buf;
+    int n = 0;
+
+    if (*line_ptr == 0)
+        return 0;
+    while (*line_ptr && *line_ptr != '\n' && n < 255) {
+        *out = *line_ptr;
+        out++;
+        line_ptr++;
+        n++;
+    }
+    *out = 0;
+    if (*line_ptr == '\n')
+        line_ptr++;
+    line_count++;
+    return 1;
+}
+
+void grep_pattern(char *re)
+{
+    line_ptr = corpus;
+    line_count = 0;
+    while (next_line()) {
+        if (match(re, line_buf)) {
+            match_count++;
+            printf("%s\n", line_buf);
+        }
+    }
+}
+
+int main(void)
+{
+    match_count = 0;
+    grep_pattern("fox");
+    grep_pattern("^the");
+    grep_pattern("d.g");
+    grep_pattern("fo*x");
+    grep_pattern("[a-f]in$");
+    printf("total %d\n", match_count);
+    return match_count == 9 ? 0 : match_count;
+}

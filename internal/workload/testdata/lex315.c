@@ -1,0 +1,253 @@
+/*
+ * lex315.c - stand-in for the Landi "lex315" benchmark: a table-driven
+ * lexical analyzer. Builds a small DFA from hard-wired token
+ * descriptions, then scans an embedded input, producing a token stream.
+ * Exercises tables of pointers and state-machine code.
+ */
+
+#include <stdio.h>
+#include <string.h>
+#include <stdlib.h>
+
+#define NSTATES   16
+#define NCLASSES  8
+#define MAXTOKENS 256
+
+/* character classes */
+#define C_LETTER 0
+#define C_DIGIT  1
+#define C_SPACE  2
+#define C_OP     3
+#define C_LPAREN 4
+#define C_RPAREN 5
+#define C_SEMI   6
+#define C_OTHER  7
+
+/* token kinds */
+#define TK_IDENT  1
+#define TK_NUMBER 2
+#define TK_OP     3
+#define TK_LPAREN 4
+#define TK_RPAREN 5
+#define TK_SEMI   6
+
+char *input =
+    "alpha = beta + 42; (gamma * 17) ;\n"
+    "delta = alpha + beta - 9 ;\n"
+    "x1 = (y2 + z3) * 100 ;\n";
+
+int trans[NSTATES][NCLASSES];
+int accept_kind[NSTATES];
+
+struct token {
+    int kind;
+    char text[32];
+    struct token *link;
+};
+
+struct token *token_list;
+struct token *token_tail;
+int token_count;
+int kind_counts[8];
+
+/* ---- character classification ---- */
+
+int classify(int c)
+{
+    if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_')
+        return C_LETTER;
+    if (c >= '0' && c <= '9')
+        return C_DIGIT;
+    if (c == ' ' || c == '\t' || c == '\n')
+        return C_SPACE;
+    if (c == '+' || c == '-' || c == '*' || c == '/' || c == '=')
+        return C_OP;
+    if (c == '(')
+        return C_LPAREN;
+    if (c == ')')
+        return C_RPAREN;
+    if (c == ';')
+        return C_SEMI;
+    return C_OTHER;
+}
+
+/* ---- DFA construction ---- */
+
+void set_default(int state, int target)
+{
+    int c;
+    for (c = 0; c < NCLASSES; c++)
+        trans[state][c] = target;
+}
+
+void add_edge(int state, int class, int target)
+{
+    trans[state][class] = target;
+}
+
+void mark_accept(int state, int kind)
+{
+    accept_kind[state] = kind;
+}
+
+void build_dfa(void)
+{
+    int s;
+
+    for (s = 0; s < NSTATES; s++) {
+        set_default(s, -1);
+        accept_kind[s] = 0;
+    }
+    /* state 0: start */
+    add_edge(0, C_LETTER, 1);
+    add_edge(0, C_DIGIT, 2);
+    add_edge(0, C_OP, 3);
+    add_edge(0, C_LPAREN, 4);
+    add_edge(0, C_RPAREN, 5);
+    add_edge(0, C_SEMI, 6);
+    /* state 1: identifier */
+    add_edge(1, C_LETTER, 1);
+    add_edge(1, C_DIGIT, 1);
+    mark_accept(1, TK_IDENT);
+    /* state 2: number */
+    add_edge(2, C_DIGIT, 2);
+    mark_accept(2, TK_NUMBER);
+    /* single-char tokens */
+    mark_accept(3, TK_OP);
+    mark_accept(4, TK_LPAREN);
+    mark_accept(5, TK_RPAREN);
+    mark_accept(6, TK_SEMI);
+}
+
+/* ---- token construction ---- */
+
+struct token *new_token(int kind, char *text, int len)
+{
+    struct token *t = (struct token *)malloc(sizeof(struct token));
+    int i;
+
+    t->kind = kind;
+    for (i = 0; i < len && i < 31; i++)
+        t->text[i] = text[i];
+    t->text[i] = 0;
+    t->link = 0;
+    return t;
+}
+
+void append_token(struct token *t)
+{
+    if (token_tail)
+        token_tail->link = t;
+    else
+        token_list = t;
+    token_tail = t;
+    token_count++;
+    kind_counts[t->kind]++;
+}
+
+/* ---- the scanner ---- */
+
+char *skip_space(char *p)
+{
+    while (*p && classify(*p) == C_SPACE)
+        p++;
+    return p;
+}
+
+/* scan one token starting at p; returns the pointer past it, or 0 on
+ * a character no token can start with. */
+char *scan_token(char *p)
+{
+    int state = 0;
+    char *start = p;
+    int last_accept = 0;
+    char *last_end = 0;
+
+    for (;;) {
+        int cls, next;
+        if (*p == 0)
+            break;
+        cls = classify(*p);
+        next = trans[state][cls];
+        if (next < 0)
+            break;
+        state = next;
+        p++;
+        if (accept_kind[state]) {
+            last_accept = accept_kind[state];
+            last_end = p;
+        }
+    }
+    if (!last_accept)
+        return 0;
+    append_token(new_token(last_accept, start, (int)(last_end - start)));
+    return last_end;
+}
+
+int scan_input(char *text)
+{
+    char *p = text;
+
+    token_list = 0;
+    token_tail = 0;
+    token_count = 0;
+    while (*p) {
+        p = skip_space(p);
+        if (*p == 0)
+            break;
+        p = scan_token(p);
+        if (!p)
+            return 0;
+    }
+    return 1;
+}
+
+/* ---- reporting ---- */
+
+char *kind_name(int kind)
+{
+    switch (kind) {
+    case TK_IDENT:
+        return "ident";
+    case TK_NUMBER:
+        return "number";
+    case TK_OP:
+        return "op";
+    case TK_LPAREN:
+        return "lparen";
+    case TK_RPAREN:
+        return "rparen";
+    case TK_SEMI:
+        return "semi";
+    }
+    return "?";
+}
+
+void dump_tokens(void)
+{
+    struct token *t = token_list;
+    while (t) {
+        printf("%s %s\n", kind_name(t->kind), t->text);
+        t = t->link;
+    }
+}
+
+int verify_counts(void)
+{
+    /* 9 identifiers, 4 numbers, 9 operators, 2 parens each, 4 semis */
+    return kind_counts[TK_IDENT] == 9 && kind_counts[TK_NUMBER] == 4 &&
+           kind_counts[TK_OP] == 9 && kind_counts[TK_LPAREN] == 2 &&
+           kind_counts[TK_RPAREN] == 2 && kind_counts[TK_SEMI] == 4;
+}
+
+int main(void)
+{
+    build_dfa();
+    if (!scan_input(input)) {
+        printf("scan error\n");
+        return 2;
+    }
+    dump_tokens();
+    printf("%d tokens\n", token_count);
+    return verify_counts() ? 0 : 1;
+}

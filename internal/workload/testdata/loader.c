@@ -1,0 +1,324 @@
+/*
+ * loader.c - stand-in for the Landi "loader" benchmark: a linking
+ * loader. Parses object "files" (embedded as text records), builds a
+ * hashed symbol table with chained buckets, lays out segments, applies
+ * relocations, and verifies the loaded image. Pointer-linked symbol
+ * records and table-driven record dispatch, as in the original.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define HASHSIZE 31
+#define MEMSIZE  512
+#define MAXRELOC 64
+
+/* Object format: one record per line.
+ *   M name        module start
+ *   D name value  define symbol at (base + value)
+ *   U name        reference (use) symbol
+ *   W n v         write word v at offset n
+ *   R n name      relocate: add address of name to word at offset n
+ */
+char *object_a =
+    "M moda\n"
+    "D alpha 0\n"
+    "D beta 4\n"
+    "W 0 100\n"
+    "W 4 200\n"
+    "W 8 0\n"
+    "R 8 gamma\n";
+
+char *object_b =
+    "M modb\n"
+    "D gamma 0\n"
+    "U alpha\n"
+    "W 0 300\n"
+    "W 4 0\n"
+    "R 4 alpha\n"
+    "W 8 0\n"
+    "R 8 beta\n";
+
+struct symbol {
+    char name[16];
+    int value;
+    int defined;
+    struct symbol *chain;
+};
+
+struct reloc {
+    int offset;
+    struct symbol *sym;
+};
+
+struct symbol *buckets[HASHSIZE];
+long memory[MEMSIZE];
+struct reloc relocs[MAXRELOC];
+int nrelocs;
+int load_base;
+int module_base;
+int errors;
+
+char *cur;
+char token[32];
+
+/* ---- tokenizer over the object text ---- */
+
+int more_input(void)
+{
+    return *cur != 0;
+}
+
+void skip_blanks(void)
+{
+    while (*cur == ' ' || *cur == '\n' || *cur == '\t')
+        cur++;
+}
+
+char *next_word(void)
+{
+    int n = 0;
+
+    skip_blanks();
+    while (*cur && *cur != ' ' && *cur != '\n' && n < 31) {
+        token[n] = *cur;
+        n++;
+        cur++;
+    }
+    token[n] = 0;
+    return token;
+}
+
+int next_number(void)
+{
+    char *w = next_word();
+    return atoi(w);
+}
+
+/* ---- symbol table ---- */
+
+int hash_name(char *name)
+{
+    int h = 0;
+    while (*name) {
+        h = (h * 31 + *name) % HASHSIZE;
+        name++;
+    }
+    if (h < 0)
+        h = -h;
+    return h;
+}
+
+struct symbol *lookup_symbol(char *name)
+{
+    struct symbol *s = buckets[hash_name(name)];
+
+    while (s) {
+        if (strcmp(s->name, name) == 0)
+            return s;
+        s = s->chain;
+    }
+    return 0;
+}
+
+struct symbol *intern_symbol(char *name)
+{
+    struct symbol *s = lookup_symbol(name);
+    int h;
+
+    if (s)
+        return s;
+    s = (struct symbol *)malloc(sizeof(struct symbol));
+    strcpy(s->name, name);
+    s->value = 0;
+    s->defined = 0;
+    h = hash_name(name);
+    s->chain = buckets[h];
+    buckets[h] = s;
+    return s;
+}
+
+void define_symbol(char *name, int value)
+{
+    struct symbol *s = intern_symbol(name);
+
+    if (s->defined) {
+        printf("duplicate symbol %s\n", name);
+        errors++;
+        return;
+    }
+    s->defined = 1;
+    s->value = module_base + value;
+}
+
+void reference_symbol(char *name)
+{
+    intern_symbol(name);
+}
+
+/* ---- record handlers ---- */
+
+void do_module(void)
+{
+    next_word(); /* module name */
+    module_base = load_base;
+}
+
+void do_define(void)
+{
+    char name[16];
+    int v;
+
+    strcpy(name, next_word());
+    v = next_number();
+    define_symbol(name, v);
+}
+
+void do_use(void)
+{
+    reference_symbol(next_word());
+}
+
+void do_write(void)
+{
+    int off = next_number();
+    long v = next_number();
+    memory[module_base + off] = v;
+    if (module_base + off >= load_base)
+        load_base = module_base + off + 4;
+}
+
+void do_reloc(void)
+{
+    int off = next_number();
+    struct symbol *s = intern_symbol(next_word());
+
+    if (nrelocs < MAXRELOC) {
+        relocs[nrelocs].offset = module_base + off;
+        relocs[nrelocs].sym = s;
+        nrelocs++;
+    }
+}
+
+void bad_record(char *kind)
+{
+    printf("bad record kind %s\n", kind);
+    errors++;
+}
+
+/* dispatch a record by its kind letter. */
+void dispatch_record(char *kind)
+{
+    if (strcmp(kind, "M") == 0)
+        do_module();
+    else if (strcmp(kind, "D") == 0)
+        do_define();
+    else if (strcmp(kind, "U") == 0)
+        do_use();
+    else if (strcmp(kind, "W") == 0)
+        do_write();
+    else if (strcmp(kind, "R") == 0)
+        do_reloc();
+    else
+        bad_record(kind);
+}
+
+void load_object(char *text)
+{
+    cur = text;
+    skip_blanks();
+    while (more_input()) {
+        char kind[8];
+        strcpy(kind, next_word());
+        if (kind[0] == 0)
+            break;
+        dispatch_record(kind);
+        skip_blanks();
+    }
+}
+
+/* ---- relocation pass ---- */
+
+int resolve_one(struct reloc *r)
+{
+    if (!r->sym->defined) {
+        printf("undefined symbol %s\n", r->sym->name);
+        errors++;
+        return 0;
+    }
+    memory[r->offset] += r->sym->value;
+    return 1;
+}
+
+int resolve_all(void)
+{
+    int i, ok = 1;
+
+    for (i = 0; i < nrelocs; i++) {
+        if (!resolve_one(&relocs[i]))
+            ok = 0;
+    }
+    return ok;
+}
+
+/* ---- verification ---- */
+
+int count_symbols(void)
+{
+    int i, n = 0;
+
+    for (i = 0; i < HASHSIZE; i++) {
+        struct symbol *s = buckets[i];
+        while (s) {
+            n++;
+            s = s->chain;
+        }
+    }
+    return n;
+}
+
+int count_undefined(void)
+{
+    int i, n = 0;
+
+    for (i = 0; i < HASHSIZE; i++) {
+        struct symbol *s = buckets[i];
+        while (s) {
+            if (!s->defined)
+                n++;
+            s = s->chain;
+        }
+    }
+    return n;
+}
+
+long image_checksum(void)
+{
+    long sum = 0;
+    int i;
+
+    for (i = 0; i < MEMSIZE; i++)
+        sum += memory[i] * (i + 1);
+    return sum;
+}
+
+int main(void)
+{
+    long check;
+    struct symbol *alpha, *gamma;
+
+    load_base = 0;
+    load_object(object_a);
+    load_object(object_b);
+    if (!resolve_all())
+        return 2;
+    alpha = lookup_symbol("alpha");
+    gamma = lookup_symbol("gamma");
+    if (!alpha || !gamma || !alpha->defined || !gamma->defined)
+        return 3;
+    check = image_checksum();
+    printf("symbols %d undefined %d errors %d checksum %ld\n",
+           count_symbols(), count_undefined(), errors, check);
+    return (errors == 0 && count_undefined() == 0 && count_symbols() == 3) ? 0 : 1;
+}

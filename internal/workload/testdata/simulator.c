@@ -1,0 +1,635 @@
+/*
+ * simulator.c - stand-in for the Landi "simulator" benchmark (the
+ * largest program in the paper's Table 2): an instruction-level CPU
+ * simulator. A dispatch table of function pointers selects one handler
+ * per opcode; the machine has registers, flags, a memory bus with a
+ * small device region, and a cycle-accurate-ish cost model. The
+ * simulated program computes checksums that validate the run.
+ */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define NREGS   16
+#define MEMSIZE 1024
+#define NOPS    32
+
+/* opcodes */
+#define I_NOP   0
+#define I_LDI   1
+#define I_MOV   2
+#define I_ADD   3
+#define I_SUB   4
+#define I_MUL   5
+#define I_DIV   6
+#define I_AND   7
+#define I_OR    8
+#define I_XOR   9
+#define I_SHL   10
+#define I_SHR   11
+#define I_NEG   12
+#define I_NOT   13
+#define I_CMP   14
+#define I_LD    15
+#define I_STO   16
+#define I_LDX   17
+#define I_STX   18
+#define I_JMP   19
+#define I_JEQ   20
+#define I_JNE   21
+#define I_JLT   22
+#define I_JGT   23
+#define I_CALL  24
+#define I_RET   25
+#define I_PUSH  26
+#define I_POP   27
+#define I_IN    28
+#define I_OUT   29
+#define I_INC   30
+#define I_HALT  31
+
+struct cpu {
+    long regs[NREGS];
+    int pc;
+    int sp;
+    int zflag;
+    int nflag;
+    long cycles;
+    int halted;
+    int fault;
+};
+
+struct instr {
+    int op;
+    int a;
+    int b;
+    int c;
+};
+
+struct device {
+    char name[12];
+    long (*read)(int port);
+    void (*write)(int port, long v);
+};
+
+struct cpu machine;
+long memory[MEMSIZE];
+struct instr program[256];
+int program_len;
+
+long console_sum;
+long timer_ticks;
+
+typedef void (*handler_fn)(struct cpu *m, struct instr *i);
+handler_fn dispatch[NOPS];
+long op_counts[NOPS];
+
+/* ---- flags ---- */
+
+void set_flags(struct cpu *m, long v)
+{
+    m->zflag = v == 0;
+    m->nflag = v < 0;
+}
+
+int flags_eq(struct cpu *m)
+{
+    return m->zflag;
+}
+
+int flags_lt(struct cpu *m)
+{
+    return m->nflag && !m->zflag;
+}
+
+int flags_gt(struct cpu *m)
+{
+    return !m->nflag && !m->zflag;
+}
+
+/* ---- memory bus ---- */
+
+int valid_addr(int addr)
+{
+    return addr >= 0 && addr < MEMSIZE;
+}
+
+long bus_read(struct cpu *m, int addr)
+{
+    if (!valid_addr(addr)) {
+        m->fault = 1;
+        return 0;
+    }
+    m->cycles += 2;
+    return memory[addr];
+}
+
+void bus_write(struct cpu *m, int addr, long v)
+{
+    if (!valid_addr(addr)) {
+        m->fault = 1;
+        return;
+    }
+    m->cycles += 2;
+    memory[addr] = v;
+}
+
+/* ---- devices ---- */
+
+long console_read(int port)
+{
+    (void)port;
+    return 0;
+}
+
+void console_write(int port, long v)
+{
+    (void)port;
+    console_sum = console_sum * 31 + v;
+}
+
+long timer_read(int port)
+{
+    (void)port;
+    return timer_ticks;
+}
+
+void timer_write(int port, long v)
+{
+    timer_ticks = v;
+}
+
+struct device devices[2];
+
+void init_devices(void)
+{
+    strcpy(devices[0].name, "console");
+    devices[0].read = console_read;
+    devices[0].write = console_write;
+    strcpy(devices[1].name, "timer");
+    devices[1].read = timer_read;
+    devices[1].write = timer_write;
+}
+
+struct device *device_for(int port)
+{
+    if (port < 8)
+        return &devices[0];
+    return &devices[1];
+}
+
+long io_read(struct cpu *m, int port)
+{
+    struct device *d = device_for(port);
+    m->cycles += 4;
+    return d->read(port);
+}
+
+void io_write(struct cpu *m, int port, long v)
+{
+    struct device *d = device_for(port);
+    m->cycles += 4;
+    d->write(port, v);
+}
+
+/* ---- instruction handlers ---- */
+
+void op_nop(struct cpu *m, struct instr *i)
+{
+    (void)i;
+    m->cycles += 1;
+}
+
+void op_ldi(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = i->c;
+    m->cycles += 1;
+}
+
+void op_mov(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = m->regs[i->b];
+    m->cycles += 1;
+}
+
+void op_add(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = m->regs[i->b] + m->regs[i->c];
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_sub(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = m->regs[i->b] - m->regs[i->c];
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_mul(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = m->regs[i->b] * m->regs[i->c];
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 3;
+}
+
+void op_div(struct cpu *m, struct instr *i)
+{
+    long d = m->regs[i->c];
+    if (d == 0) {
+        m->fault = 1;
+        return;
+    }
+    m->regs[i->a] = m->regs[i->b] / d;
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 8;
+}
+
+void op_and(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = m->regs[i->b] & m->regs[i->c];
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_or(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = m->regs[i->b] | m->regs[i->c];
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_xor(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = m->regs[i->b] ^ m->regs[i->c];
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_shl(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = m->regs[i->b] << (m->regs[i->c] & 31);
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_shr(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = m->regs[i->b] >> (m->regs[i->c] & 31);
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_neg(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = -m->regs[i->b];
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_not(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = ~m->regs[i->b];
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_cmp(struct cpu *m, struct instr *i)
+{
+    set_flags(m, m->regs[i->a] - m->regs[i->b]);
+    m->cycles += 1;
+}
+
+void op_ld(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = bus_read(m, i->c);
+}
+
+void op_sto(struct cpu *m, struct instr *i)
+{
+    bus_write(m, i->c, m->regs[i->a]);
+}
+
+void op_ldx(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = bus_read(m, (int)(m->regs[i->b] + i->c));
+}
+
+void op_stx(struct cpu *m, struct instr *i)
+{
+    bus_write(m, (int)(m->regs[i->b] + i->c), m->regs[i->a]);
+}
+
+void op_jmp(struct cpu *m, struct instr *i)
+{
+    m->pc = i->c;
+    m->cycles += 1;
+}
+
+void op_jeq(struct cpu *m, struct instr *i)
+{
+    if (flags_eq(m))
+        m->pc = i->c;
+    m->cycles += 1;
+}
+
+void op_jne(struct cpu *m, struct instr *i)
+{
+    if (!flags_eq(m))
+        m->pc = i->c;
+    m->cycles += 1;
+}
+
+void op_jlt(struct cpu *m, struct instr *i)
+{
+    if (flags_lt(m))
+        m->pc = i->c;
+    m->cycles += 1;
+}
+
+void op_jgt(struct cpu *m, struct instr *i)
+{
+    if (flags_gt(m))
+        m->pc = i->c;
+    m->cycles += 1;
+}
+
+void push_word(struct cpu *m, long v)
+{
+    m->sp--;
+    bus_write(m, m->sp, v);
+}
+
+long pop_word(struct cpu *m)
+{
+    long v = bus_read(m, m->sp);
+    m->sp++;
+    return v;
+}
+
+void op_call(struct cpu *m, struct instr *i)
+{
+    push_word(m, m->pc);
+    m->pc = i->c;
+    m->cycles += 2;
+}
+
+void op_ret(struct cpu *m, struct instr *i)
+{
+    (void)i;
+    m->pc = (int)pop_word(m);
+    m->cycles += 2;
+}
+
+void op_push(struct cpu *m, struct instr *i)
+{
+    push_word(m, m->regs[i->a]);
+}
+
+void op_pop(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = pop_word(m);
+}
+
+void op_in(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] = io_read(m, i->c);
+}
+
+void op_out(struct cpu *m, struct instr *i)
+{
+    io_write(m, i->c, m->regs[i->a]);
+}
+
+void op_inc(struct cpu *m, struct instr *i)
+{
+    m->regs[i->a] += 1;
+    set_flags(m, m->regs[i->a]);
+    m->cycles += 1;
+}
+
+void op_halt(struct cpu *m, struct instr *i)
+{
+    (void)i;
+    m->halted = 1;
+}
+
+void init_dispatch(void)
+{
+    int i;
+
+    for (i = 0; i < NOPS; i++)
+        dispatch[i] = op_nop;
+    dispatch[I_LDI] = op_ldi;
+    dispatch[I_MOV] = op_mov;
+    dispatch[I_ADD] = op_add;
+    dispatch[I_SUB] = op_sub;
+    dispatch[I_MUL] = op_mul;
+    dispatch[I_DIV] = op_div;
+    dispatch[I_AND] = op_and;
+    dispatch[I_OR] = op_or;
+    dispatch[I_XOR] = op_xor;
+    dispatch[I_SHL] = op_shl;
+    dispatch[I_SHR] = op_shr;
+    dispatch[I_NEG] = op_neg;
+    dispatch[I_NOT] = op_not;
+    dispatch[I_CMP] = op_cmp;
+    dispatch[I_LD] = op_ld;
+    dispatch[I_STO] = op_sto;
+    dispatch[I_LDX] = op_ldx;
+    dispatch[I_STX] = op_stx;
+    dispatch[I_JMP] = op_jmp;
+    dispatch[I_JEQ] = op_jeq;
+    dispatch[I_JNE] = op_jne;
+    dispatch[I_JLT] = op_jlt;
+    dispatch[I_JGT] = op_jgt;
+    dispatch[I_CALL] = op_call;
+    dispatch[I_RET] = op_ret;
+    dispatch[I_PUSH] = op_push;
+    dispatch[I_POP] = op_pop;
+    dispatch[I_IN] = op_in;
+    dispatch[I_OUT] = op_out;
+    dispatch[I_INC] = op_inc;
+    dispatch[I_HALT] = op_halt;
+}
+
+/* ---- program assembly ---- */
+
+void emit(int op, int a, int b, int c)
+{
+    program[program_len].op = op;
+    program[program_len].a = a;
+    program[program_len].b = b;
+    program[program_len].c = c;
+    program_len++;
+}
+
+/* The simulated program:
+ *   - fill memory[100..131] with squares via a subroutine
+ *   - sum them, output the sum to the console
+ *   - compute a xor-checksum of the same region
+ */
+void load_program(void)
+{
+    program_len = 0;
+    /* r1 = index, r2 = limit, r15 = scratch */
+    emit(I_LDI, 1, 0, 0);    /* 0: r1 = 0 */
+    emit(I_LDI, 2, 0, 32);   /* 1: r2 = 32 */
+    /* loop1: */
+    emit(I_CMP, 1, 2, 0);    /* 2: cmp r1, r2 */
+    emit(I_JEQ, 0, 0, 9);    /* 3: if r1 == r2 goto 9 */
+    emit(I_MUL, 3, 1, 1);    /* 4: r3 = r1 * r1 */
+    emit(I_MOV, 4, 1, 0);    /* 5: r4 = r1 */
+    emit(I_STX, 3, 4, 100);  /* 6: mem[r4 + 100] = r3 */
+    emit(I_INC, 1, 0, 0);    /* 7: r1++ */
+    emit(I_JMP, 0, 0, 2);    /* 8: goto 2 */
+    /* sum phase, as a subroutine */
+    emit(I_CALL, 0, 0, 12);  /* 9: call sum */
+    emit(I_OUT, 5, 0, 1);    /* 10: console <- r5 */
+    emit(I_JMP, 0, 0, 20);   /* 11: goto checksum phase */
+    /* sum: r5 = sum mem[100..131], uses r6 index */
+    emit(I_LDI, 5, 0, 0);    /* 12: r5 = 0 */
+    emit(I_LDI, 6, 0, 0);    /* 13: r6 = 0 */
+    emit(I_CMP, 6, 2, 0);    /* 14: cmp r6, r2 */
+    emit(I_JEQ, 0, 0, 19);   /* 15: if done, return */
+    emit(I_LDX, 7, 6, 100);  /* 16: r7 = mem[r6+100] */
+    emit(I_ADD, 5, 5, 7);    /* 17: r5 += r7 */
+    emit(I_INC, 6, 0, 0);    /* 18: r6++; then loop */
+    /* 19 is filled below with a jump back to 14 via RET trick */
+    emit(I_RET, 0, 0, 0);    /* 19: placeholder; see fixup */
+    /* checksum phase */
+    emit(I_LDI, 8, 0, 0);    /* 20: r8 = 0 */
+    emit(I_LDI, 9, 0, 0);    /* 21: r9 = 0 */
+    emit(I_CMP, 9, 2, 0);    /* 22 */
+    emit(I_JEQ, 0, 0, 28);   /* 23 */
+    emit(I_LDX, 10, 9, 100); /* 24: r10 = mem[r9+100] */
+    emit(I_XOR, 8, 8, 10);   /* 25: r8 ^= r10 */
+    emit(I_INC, 9, 0, 0);    /* 26 */
+    emit(I_JMP, 0, 0, 22);   /* 27 */
+    emit(I_OUT, 8, 0, 1);    /* 28: console <- r8 */
+    emit(I_HALT, 0, 0, 0);   /* 29 */
+}
+
+/* fix the sum loop: instruction 18 falls into 19; we want the loop to
+ * continue until r6 == r2. Patch 18..19 into a jump structure. */
+void fixup_program(void)
+{
+    /* turn 19 into "jmp 14" and insert ret at the JEQ target */
+    program[19].op = I_JMP;
+    program[19].c = 14;
+    /* the JEQ at 15 must go to a RET; append one */
+    emit(I_RET, 0, 0, 0); /* 30 */
+    program[15].c = 30;
+}
+
+/* ---- execution core ---- */
+
+void cpu_reset(struct cpu *m)
+{
+    int i;
+
+    for (i = 0; i < NREGS; i++)
+        m->regs[i] = 0;
+    m->pc = 0;
+    m->sp = MEMSIZE;
+    m->zflag = 0;
+    m->nflag = 0;
+    m->cycles = 0;
+    m->halted = 0;
+    m->fault = 0;
+}
+
+struct instr *fetch(struct cpu *m)
+{
+    if (m->pc < 0 || m->pc >= program_len) {
+        m->fault = 1;
+        return 0;
+    }
+    return &program[m->pc];
+}
+
+void execute_one(struct cpu *m, struct instr *i)
+{
+    handler_fn h = dispatch[i->op & (NOPS - 1)];
+    op_counts[i->op & (NOPS - 1)]++;
+    h(m, i);
+}
+
+int run_cpu(struct cpu *m, long max_steps)
+{
+    long steps = 0;
+
+    while (!m->halted && !m->fault && steps < max_steps) {
+        struct instr *i = fetch(m);
+        if (!i)
+            break;
+        m->pc++;
+        execute_one(m, i);
+        steps++;
+    }
+    return m->halted && !m->fault;
+}
+
+/* ---- statistics ---- */
+
+long total_ops(void)
+{
+    long n = 0;
+    int i;
+
+    for (i = 0; i < NOPS; i++)
+        n += op_counts[i];
+    return n;
+}
+
+int busiest_op(void)
+{
+    int i, best = 0;
+
+    for (i = 0; i < NOPS; i++) {
+        if (op_counts[i] > op_counts[best])
+            best = i;
+    }
+    return best;
+}
+
+long expected_sum(void)
+{
+    long s = 0;
+    int i;
+
+    for (i = 0; i < 32; i++)
+        s += (long)i * i;
+    return s;
+}
+
+long expected_xor(void)
+{
+    long x = 0;
+    int i;
+
+    for (i = 0; i < 32; i++)
+        x ^= (long)i * i;
+    return x;
+}
+
+int main(void)
+{
+    long want;
+
+    init_devices();
+    init_dispatch();
+    load_program();
+    fixup_program();
+    cpu_reset(&machine);
+    if (!run_cpu(&machine, 100000)) {
+        printf("machine fault at pc=%d\n", machine.pc);
+        return 2;
+    }
+    want = expected_sum();
+    want = want * 31 + expected_xor();
+    printf("console %ld cycles %ld ops %ld busiest %d\n",
+           console_sum, machine.cycles, total_ops(), busiest_op());
+    return console_sum == want ? 0 : 1;
+}

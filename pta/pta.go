@@ -1,0 +1,366 @@
+// Package pta is the public API of wlpa: a context-sensitive pointer
+// analysis for C programs implementing Wilson & Lam's partial-transfer-
+// function algorithm (PLDI 1995).
+//
+// Typical use:
+//
+//	res, err := pta.AnalyzeSource("prog.c", src, nil)
+//	if err != nil { ... }
+//	targets := res.PointsTo("p")           // may-point-to of global p
+//	aliased := res.MayAlias("p", "q")      // may p and q point to the same object?
+//	edges := res.CallGraph()               // call graph incl. function pointers
+//	fmt.Println(res.Stats().AvgPTFs())     // PTFs per procedure
+package pta
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cast"
+	"wlpa/internal/cfg"
+	"wlpa/internal/cparse"
+	"wlpa/internal/cpp"
+	"wlpa/internal/ctype"
+	"wlpa/internal/libsum"
+	"wlpa/internal/memmod"
+	"wlpa/internal/sem"
+)
+
+// Policy selects the interprocedural summarization strategy.
+type Policy int
+
+const (
+	// PartialTransferFunctions is the paper's algorithm (default).
+	PartialTransferFunctions Policy = iota
+	// ReanalyzeEveryContext reanalyzes callees per context (Emami-style).
+	ReanalyzeEveryContext
+	// OneSummary merges all contexts into a single summary.
+	OneSummary
+)
+
+// Options configure an analysis.
+type Options struct {
+	// Policy is the PTF reuse policy.
+	Policy Policy
+	// MaxPTFs caps PTFs per procedure (0 = unlimited).
+	MaxPTFs int
+	// CombineOffsets enables the paper's §7 optimization: PTFs whose
+	// input domains differ only in offsets/strides are combined, with
+	// a small loss of context sensitivity.
+	CombineOffsets bool
+	// Predefined preprocessor macros (name -> replacement text).
+	Predefined map[string]string
+}
+
+// Source is an in-memory set of C files.
+type Source = cpp.Source
+
+// Result holds the outcome of analyzing a program.
+type Result struct {
+	prog *sem.Program
+	an   *analysis.Analysis
+
+	parseTime time.Duration
+}
+
+// AnalyzeSource analyzes a single self-contained C source string.
+// Standard headers (<stdlib.h> etc.) resolve to built-in versions whose
+// functions are modeled by hand-written summaries, as in the paper.
+func AnalyzeSource(name, src string, opts *Options) (*Result, error) {
+	return Analyze(Source{name: src}, name, opts)
+}
+
+// Analyze preprocesses and analyzes the translation unit rooted at entry.
+func Analyze(files Source, entry string, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
+	t0 := time.Now()
+	f, err := cparse.ParseFile(files, entry, opts.Predefined)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		return nil, err
+	}
+	parseTime := time.Since(t0)
+	aopts := analysis.Options{
+		Lib:             libsum.Summaries(),
+		CollectSolution: true,
+		MaxPTFs:         opts.MaxPTFs,
+		CombineOffsets:  opts.CombineOffsets,
+	}
+	switch opts.Policy {
+	case ReanalyzeEveryContext:
+		aopts.Reuse = analysis.NeverReuse
+	case OneSummary:
+		aopts.Reuse = analysis.SingleSummary
+	}
+	an, err := analysis.New(prog, aopts)
+	if err != nil {
+		return nil, err
+	}
+	if err := an.Run(); err != nil {
+		return nil, err
+	}
+	return &Result{prog: prog, an: an, parseTime: parseTime}, nil
+}
+
+// Stats returns the analysis statistics (times, PTF counts).
+func (r *Result) Stats() analysis.Stats { return r.an.Stats() }
+
+// ParseTime returns the frontend (preprocess+parse+typecheck) time,
+// excluded from analysis time as in the paper's Table 2.
+func (r *Result) ParseTime() time.Duration { return r.parseTime }
+
+// Program exposes the typed program (for tooling built on the library).
+func (r *Result) Program() *sem.Program { return r.prog }
+
+// Analysis exposes the underlying analysis instance.
+func (r *Result) Analysis() *analysis.Analysis { return r.an }
+
+// PointsTo returns the names of the memory blocks the named global
+// pointer may point to at program exit. Heap blocks are named
+// "heap@file:line:col"; string literals "strN".
+func (r *Result) PointsTo(global string) []string {
+	sym := r.findGlobal(global)
+	if sym == nil {
+		return nil
+	}
+	b := r.an.GlobalBlock(sym)
+	ptf := r.an.MainPTF()
+	vals, ok := ptf.Pts.LookupOut(memmod.Loc(b, 0, 0), ptf.Proc.Exit, nil)
+	if !ok {
+		return nil
+	}
+	names := make([]string, 0, vals.Len())
+	for _, l := range vals.Locs() {
+		names = append(names, l.Base.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PointsToField is PointsTo for a specific byte offset within a global
+// (e.g. a struct field).
+func (r *Result) PointsToField(global string, offset int64) []string {
+	sym := r.findGlobal(global)
+	if sym == nil {
+		return nil
+	}
+	b := r.an.GlobalBlock(sym)
+	vals := r.an.Solution().PointsTo(memmod.Loc(b, offset, 0))
+	names := make([]string, 0, vals.Len())
+	for _, l := range vals.Locs() {
+		names = append(names, l.Base.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MayAlias reports whether two global pointers may point into the same
+// memory block.
+func (r *Result) MayAlias(p, q string) bool {
+	a := r.PointsTo(p)
+	b := r.PointsTo(q)
+	set := make(map[string]bool, len(a))
+	for _, n := range a {
+		set[n] = true
+	}
+	for _, n := range b {
+		if set[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// CallEdge is one resolved call-graph edge.
+type CallEdge struct {
+	Caller string
+	Callee string
+	Pos    string // source position of the call site
+}
+
+// CallGraph returns the resolved call graph, including calls through
+// function pointers, sorted by caller then callee.
+func (r *Result) CallGraph() []CallEdge {
+	seen := map[CallEdge]bool{}
+	var edges []CallEdge
+	add := func(e CallEdge) {
+		if !seen[e] {
+			seen[e] = true
+			edges = append(edges, e)
+		}
+	}
+	for _, fd := range r.prog.Funcs {
+		proc := r.an.Proc(fd.Name)
+		if proc == nil {
+			continue
+		}
+		for _, nd := range proc.Nodes {
+			if nd.Kind != cfg.CallNode {
+				continue
+			}
+			if nd.Direct != nil {
+				add(CallEdge{Caller: fd.Name, Callee: nd.Direct.Name, Pos: nd.Pos.String()})
+				continue
+			}
+			// Indirect: consult the collapsed solution for the
+			// function-pointer expression's possible targets.
+			for _, callee := range r.indirectTargets(nd) {
+				add(CallEdge{Caller: fd.Name, Callee: callee, Pos: nd.Pos.String()})
+			}
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].Caller != edges[j].Caller {
+			return edges[i].Caller < edges[j].Caller
+		}
+		if edges[i].Callee != edges[j].Callee {
+			return edges[i].Callee < edges[j].Callee
+		}
+		return edges[i].Pos < edges[j].Pos
+	})
+	return edges
+}
+
+// indirectTargets resolves an indirect call's targets from the collapsed
+// solution: any function block reachable from the value expression's
+// concrete sources.
+func (r *Result) indirectTargets(nd *cfg.Node) []string {
+	sol := r.an.Solution()
+	if sol == nil {
+		return nil
+	}
+	// Conservatively: all function blocks stored anywhere reachable
+	// from the expression's root variables.
+	var out []string
+	seen := map[string]bool{}
+	var visitExpr func(e *cfg.Expr, depth int) memmod.ValueSet
+	visitExpr = func(e *cfg.Expr, depth int) memmod.ValueSet {
+		var vals memmod.ValueSet
+		if e == nil || depth > 8 {
+			return vals
+		}
+		for _, t := range e.Terms {
+			switch t.Kind {
+			case cfg.TermFunc:
+				if !seen[t.Sym.Name] {
+					seen[t.Sym.Name] = true
+					out = append(out, t.Sym.Name)
+				}
+			case cfg.TermVar:
+				if t.Sym.Global {
+					vals.Add(memmod.Loc(r.an.GlobalBlock(t.Sym), t.Off, t.Stride))
+				} else {
+					// Local: consult solution via block name match.
+					vals.AddAll(r.localLoc(t.Sym, t.Off, t.Stride))
+				}
+			case cfg.TermDeref:
+				base := visitExpr(t.Base, depth+1)
+				for _, l := range base.Locs() {
+					vals.AddAll(sol.PointsTo(l))
+				}
+			}
+		}
+		for _, l := range vals.Locs() {
+			if l.Base.Kind == memmod.FuncBlock && !seen[l.Base.Name] {
+				seen[l.Base.Name] = true
+				out = append(out, l.Base.Name)
+			}
+		}
+		return vals
+	}
+	visitExpr(nd.Fun, 0)
+	sort.Strings(out)
+	return out
+}
+
+// localLoc finds solution locations for a local symbol by scanning the
+// collapsed solution for blocks created from that symbol.
+func (r *Result) localLoc(sym *cast.Symbol, off, stride int64) memmod.ValueSet {
+	var vals memmod.ValueSet
+	sol := r.an.Solution()
+	if sol == nil {
+		return vals
+	}
+	for _, loc := range sol.Locations() {
+		if loc.Base.Sym == sym {
+			vals.AddAll(sol.PointsTo(memmod.Loc(loc.Base, off, stride)))
+		}
+	}
+	return vals
+}
+
+// Procedures returns the names of the analyzed (reachable) procedures.
+func (r *Result) Procedures() []string {
+	var names []string
+	for name, n := range r.an.Stats().PTFsPerProc {
+		if n > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumPTFs returns the number of PTFs created for the named procedure.
+func (r *Result) NumPTFs(proc string) int {
+	return len(r.an.PTFs(proc))
+}
+
+// Globals returns the names of the program's global variables.
+func (r *Result) Globals() []string {
+	var names []string
+	for _, g := range r.prog.Globals {
+		names = append(names, g.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r *Result) findGlobal(name string) *cast.Symbol {
+	for _, g := range r.prog.Globals {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// Describe renders a human-readable dump of the points-to sets of all
+// global pointers (used by cmd/wlpa).
+func (r *Result) Describe() string {
+	s := ""
+	for _, g := range r.prog.Globals {
+		if !pointerish(g.Type) {
+			continue
+		}
+		targets := r.PointsTo(g.Name)
+		if len(targets) == 0 {
+			continue
+		}
+		s += fmt.Sprintf("%s -> %v\n", g.Name, targets)
+	}
+	return s
+}
+
+func pointerish(t *ctype.Type) bool {
+	switch t.Kind {
+	case ctype.Pointer:
+		return true
+	case ctype.Array:
+		return pointerish(t.Elem)
+	case ctype.Struct:
+		for _, f := range t.Fields {
+			if pointerish(f.Type) {
+				return true
+			}
+		}
+	}
+	return t.IsPointerLike()
+}

@@ -1,0 +1,226 @@
+package pta
+
+import (
+	"strings"
+	"testing"
+)
+
+func analyze(t *testing.T, src string) *Result {
+	t.Helper()
+	res, err := AnalyzeSource("t.c", src, nil)
+	if err != nil {
+		t.Fatalf("AnalyzeSource: %v", err)
+	}
+	return res
+}
+
+func TestPointsToQuery(t *testing.T) {
+	res := analyze(t, `
+int x, y, c;
+int *p;
+int main(void) {
+    if (c) p = &x; else p = &y;
+    return 0;
+}`)
+	got := res.PointsTo("p")
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("PointsTo(p) = %v", got)
+	}
+}
+
+func TestMayAlias(t *testing.T) {
+	res := analyze(t, `
+int x, y;
+int *p, *q, *r;
+int main(void) {
+    p = &x;
+    q = &x;
+    r = &y;
+    return 0;
+}`)
+	if !res.MayAlias("p", "q") {
+		t.Error("p and q both point to x")
+	}
+	if res.MayAlias("p", "r") {
+		t.Error("p and r point to different blocks")
+	}
+}
+
+func TestCallGraphDirect(t *testing.T) {
+	res := analyze(t, `
+void a(void) {}
+void b(void) { a(); }
+int main(void) { b(); return 0; }`)
+	edges := res.CallGraph()
+	want := map[string]bool{"b->a": true, "main->b": true}
+	for _, e := range edges {
+		delete(want, e.Caller+"->"+e.Callee)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing edges %v in %v", want, edges)
+	}
+}
+
+func TestCallGraphIndirect(t *testing.T) {
+	res := analyze(t, `
+int c;
+void a(void) {}
+void b(void) {}
+int main(void) {
+    void (*fp)(void);
+    if (c) fp = a; else fp = b;
+    fp();
+    return 0;
+}`)
+	edges := res.CallGraph()
+	got := map[string]bool{}
+	for _, e := range edges {
+		got[e.Caller+"->"+e.Callee] = true
+	}
+	if !got["main->a"] || !got["main->b"] {
+		t.Errorf("indirect edges missing: %v", edges)
+	}
+}
+
+func TestStatsAndProcedures(t *testing.T) {
+	res := analyze(t, `
+int *p; int v;
+void f(void) { p = &v; }
+int main(void) { f(); return 0; }`)
+	st := res.Stats()
+	if st.Procedures != 2 {
+		t.Errorf("procedures = %d", st.Procedures)
+	}
+	if res.NumPTFs("f") != 1 {
+		t.Errorf("NumPTFs(f) = %d", res.NumPTFs("f"))
+	}
+	procs := res.Procedures()
+	if len(procs) != 2 {
+		t.Errorf("Procedures() = %v", procs)
+	}
+	if res.ParseTime() <= 0 {
+		t.Error("parse time missing")
+	}
+}
+
+func TestPoliciesDiffer(t *testing.T) {
+	src := `
+int x, y, z, t1, t2;
+int *a, *b;
+void f(int **p, int **q) { *p = *q; }
+int main(void) {
+    a = &x; b = &y;
+    if (t1) f(&a, &b);
+    if (t2) f(&b, &a);
+    return 0;
+}`
+	ptf, err := AnalyzeSource("t.c", src, &Options{Policy: PartialTransferFunctions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	emami, err := AnalyzeSource("t.c", src, &Options{Policy: ReanalyzeEveryContext})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ptf.NumPTFs("f") >= emami.NumPTFs("f")+1 {
+		t.Errorf("PTF policy should produce no more summaries: ptf=%d emami=%d",
+			ptf.NumPTFs("f"), emami.NumPTFs("f"))
+	}
+}
+
+func TestMultiFileAnalyze(t *testing.T) {
+	files := Source{
+		"main.c": `
+#include "lib.h"
+int *p;
+int main(void) { p = target(); return 0; }`,
+		"lib.h": `
+int g;
+int *target(void) { return &g; }`,
+	}
+	res, err := Analyze(files, "main.c", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.PointsTo("p")
+	if len(got) != 1 || got[0] != "g" {
+		t.Errorf("p -> %v", got)
+	}
+}
+
+func TestPointsToField(t *testing.T) {
+	res := analyze(t, `
+struct pair { int *a; int *b; };
+int x, y;
+struct pair pr;
+int main(void) {
+    pr.a = &x;
+    pr.b = &y;
+    return 0;
+}`)
+	if got := res.PointsToField("pr", 0); len(got) != 1 || got[0] != "x" {
+		t.Errorf("pr.a -> %v", got)
+	}
+	if got := res.PointsToField("pr", 8); len(got) != 1 || got[0] != "y" {
+		t.Errorf("pr.b -> %v", got)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	res := analyze(t, `
+int x;
+int *p;
+int main(void) { p = &x; return 0; }`)
+	out := res.Describe()
+	if !strings.Contains(out, "p -> [x]") {
+		t.Errorf("Describe output:\n%s", out)
+	}
+}
+
+func TestParseErrorSurfaces(t *testing.T) {
+	if _, err := AnalyzeSource("t.c", "int main( {", nil); err == nil {
+		t.Error("expected parse error")
+	}
+}
+
+func TestPredefinedMacros(t *testing.T) {
+	res, err := AnalyzeSource("t.c", `
+int x, y;
+int *p;
+int main(void) {
+#ifdef PICK_X
+    p = &x;
+#else
+    p = &y;
+#endif
+    return 0;
+}`, &Options{Predefined: map[string]string{"PICK_X": "1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.PointsTo("p"); len(got) != 1 || got[0] != "x" {
+		t.Errorf("p -> %v", got)
+	}
+}
+
+func TestMaxPTFsGeneralizes(t *testing.T) {
+	src := `
+int x, y, z;
+int *a, *b, *c;
+void f(int **p, int **q) { *p = *q; }
+int main(void) {
+    a = &x; b = &y; c = &z;
+    f(&a, &b);
+    f(&b, &a);
+    f(&a, &a);
+    f(&c, &c);
+    return 0;
+}`
+	res, err := AnalyzeSource("t.c", src, &Options{MaxPTFs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.NumPTFs("f"); n > 2 {
+		t.Errorf("MaxPTFs=2 but f has %d PTFs", n)
+	}
+}
