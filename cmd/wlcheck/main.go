@@ -1,0 +1,82 @@
+// Command wlcheck runs the context-sensitive pointer-bug checkers over
+// C source files: NULL and uninitialized-pointer dereferences,
+// use-after-free, double free, escaping locals, and indirect calls
+// through non-function values.
+//
+// Usage:
+//
+//	wlcheck [-checks list] [-q] [-trace] file.c...
+//
+// With several files, the first is the entry translation unit and the
+// rest are available for #include. Exits 1 if any error-severity
+// diagnostic is reported, 2 on usage or front-end failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"wlpa/pta"
+)
+
+func main() {
+	var (
+		checks  = flag.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(pta.AllChecks, ",")+")")
+		quiet   = flag.Bool("q", false, "suppress warnings (print errors only)")
+		trace   = flag.Bool("trace", false, "print the calling context of each diagnostic")
+		maxPTFs = flag.Int("max-ptfs", 0, "cap PTFs per procedure (0 = unlimited)")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: wlcheck [flags] file.c ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	files := pta.Source{}
+	entry := ""
+	for i, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wlcheck: %v\n", err)
+			os.Exit(2)
+		}
+		name := filepath.Base(path)
+		files[name] = string(data)
+		if i == 0 {
+			entry = name
+		}
+	}
+	res, err := pta.Analyze(files, entry, &pta.Options{MaxPTFs: *maxPTFs})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlcheck: %v\n", err)
+		os.Exit(2)
+	}
+	copts := &pta.CheckOptions{}
+	if *checks != "" {
+		copts.Checks = strings.Split(*checks, ",")
+	}
+	diags, err := res.Check(copts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wlcheck: %v\n", err)
+		os.Exit(2)
+	}
+	errors := 0
+	for _, d := range diags {
+		if d.Sev == pta.SevError {
+			errors++
+		} else if *quiet {
+			continue
+		}
+		fmt.Printf("%s: %s: %s [%s]\n", d.Pos, d.Sev, d.Message, d.Check)
+		if *trace && len(d.Trace) > 0 {
+			fmt.Printf("    context: %s\n", strings.Join(d.Trace, " -> "))
+		}
+	}
+	if errors > 0 {
+		fmt.Printf("%d error(s)\n", errors)
+		os.Exit(1)
+	}
+}

@@ -72,6 +72,12 @@ type LibCall interface {
 	Invoke(targets memmod.ValueSet, args []memmod.ValueSet)
 	// Unknown returns the unknown-position widening of v (stride 1).
 	Unknown(v memmod.ValueSet) memmod.ValueSet
+	// Free records that the storage named by the pointer values in v is
+	// deallocated at this call site. The freed set and site are kept on
+	// the analysis state (see Analysis.FreeSites) for checkers; the
+	// points-to facts themselves are unaffected (heap blocks summarize
+	// whole allocation sites and cannot be strongly killed).
+	Free(v memmod.ValueSet)
 }
 
 // LibSummary summarizes the pointer behavior of one library function.
@@ -108,6 +114,12 @@ type Options struct {
 	// treating those as matching (with merged parameter bindings)
 	// trades a little context sensitivity for fewer PTFs.
 	CombineOffsets bool
+	// TrackNull models the null pointer constant as a distinct
+	// pseudo-location instead of the empty value set, so that checkers
+	// can distinguish "definitely null" from "uninitialized". Off by
+	// default: the extra value costs a little precision in PTF
+	// matching and is only needed by bug-checking clients.
+	TrackNull bool
 }
 
 // ErrTimeout is returned by Run when Options.Timeout is exceeded.
@@ -232,6 +244,13 @@ type Analysis struct {
 	strBlocks    map[int]*memmod.Block
 	heapBlocks   map[string]*memmod.Block
 
+	// nullBlock is the null pseudo-location (nil unless TrackNull).
+	nullBlock *memmod.Block
+	// frees records the freed value set per (PTF, call node), merged
+	// across iterations; populated by library summaries via
+	// LibCall.Free.
+	frees map[freeKey]*memmod.ValueSet
+
 	ptfs    map[*cfg.Proc][]*PTF
 	stack   []*frame
 	mainPTF *PTF
@@ -294,6 +313,9 @@ func New(prog *sem.Program, opts Options) (*Analysis, error) {
 		strBlocks:    make(map[int]*memmod.Block),
 		heapBlocks:   make(map[string]*memmod.Block),
 		ptfs:         make(map[*cfg.Proc][]*PTF),
+	}
+	if opts.TrackNull {
+		a.nullBlock = memmod.NewNull()
 	}
 	a.stats.PTFsPerProc = make(map[string]int)
 	if opts.CollectSolution {

@@ -101,6 +101,11 @@ func (a *Analysis) evalMeet(f *frame, nd *cfg.Node) bool {
 // strong update when v is a unique location.
 func (a *Analysis) evalContents(f *frame, v memmod.LocSet, nd *cfg.Node) memmod.ValueSet {
 	v = v.Resolve()
+	if v.Base.Kind == memmod.NullBlock {
+		// The null pseudo-location has no contents; dereferencing it is
+		// an error the checkers report, not a source of values.
+		return memmod.ValueSet{}
+	}
 	var barrier *cfg.Node
 	if v.Precise() {
 		barrier = f.ptf.Pts.FindStrongUpdate(v, nd)
@@ -147,6 +152,10 @@ func (a *Analysis) evalExpr(f *frame, e *cfg.Expr, nd *cfg.Node) memmod.ValueSet
 			ptrs := a.evalExpr(f, t.Base, nd)
 			for _, pl := range ptrs.Locs() {
 				base.AddAll(a.evalContents(f, pl, nd))
+			}
+		case cfg.TermNull:
+			if a.nullBlock != nil {
+				base.Add(memmod.Loc(a.nullBlock, 0, 0))
 			}
 		}
 		if t.Off != 0 {

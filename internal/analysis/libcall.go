@@ -141,6 +141,10 @@ func (c *libCall) Unknown(v memmod.ValueSet) memmod.ValueSet {
 	return v.WithStride(1)
 }
 
+func (c *libCall) Free(v memmod.ValueSet) {
+	c.a.recordFree(c.f, c.nd, v)
+}
+
 // genericSummary conservatively models an unknown external function: it
 // may read any pointer reachable from its arguments, store any of them
 // anywhere reachable, and return any of them.

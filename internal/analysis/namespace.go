@@ -249,7 +249,7 @@ func (a *Analysis) getInitial(f *frame, v memmod.LocSet) memmod.ValueSet {
 		// from static initializers, seeded before analysis; a miss
 		// means "no pointer value".
 		return memmod.ValueSet{}
-	case memmod.StringBlock, memmod.HeapBlock, memmod.RetvalBlock, memmod.FuncBlock:
+	case memmod.StringBlock, memmod.HeapBlock, memmod.RetvalBlock, memmod.FuncBlock, memmod.NullBlock:
 		return memmod.ValueSet{}
 	}
 	if v.Base.Kind == memmod.LocalBlock {

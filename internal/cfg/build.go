@@ -119,6 +119,28 @@ func (b *builder) newTemp(t *ctype.Type) *cast.Symbol {
 	return sym
 }
 
+// isNullConst reports whether e is a null pointer constant: an integer
+// literal 0, possibly wrapped in casts.
+func isNullConst(e cast.Expr) bool {
+	switch e := e.(type) {
+	case *cast.IntLit:
+		return e.Value == 0
+	case *cast.Cast:
+		return isNullConst(e.X)
+	}
+	return false
+}
+
+// nullAdjusted substitutes the null-constant term for the (empty) value
+// expression of a null pointer constant assigned to a pointer-typed
+// destination, so the analysis can track nullness.
+func nullAdjusted(v *Expr, t *ctype.Type, init cast.Expr) *Expr {
+	if t != nil && t.Decay().Kind == ctype.Pointer && isNullConst(init) {
+		return nullExpr()
+	}
+	return v
+}
+
 func elemSize(t *ctype.Type) int64 {
 	d := t.Decay()
 	if d.Kind != ctype.Pointer {
@@ -284,7 +306,7 @@ func (b *builder) lowerStmt(s cast.Stmt) {
 				src := b.lowerLValue(s.X)
 				b.emitAssign(varExpr(b.proc.Retval), src, rt.Sizeof(), true, s.Pos)
 			} else {
-				v := b.lowerValue(s.X)
+				v := nullAdjusted(b.lowerValue(s.X), rt, s.X)
 				b.emitAssign(varExpr(b.proc.Retval), v, rt.Decay().Sizeof(), false, s.Pos)
 			}
 		}
@@ -370,7 +392,7 @@ func (b *builder) lowerInit(dst *Expr, t *ctype.Type, init cast.Expr, pos ctok.P
 		b.emitAssign(dst, src, t.Sizeof(), true, pos)
 		return
 	}
-	v := b.lowerValue(init)
+	v := nullAdjusted(b.lowerValue(init), t, init)
 	b.emitAssign(dst, v, t.Decay().Sizeof(), false, pos)
 }
 
@@ -607,7 +629,7 @@ func (b *builder) lowerAssign(e *cast.Assign) *Expr {
 		b.emitAssign(lv, src, lt.Sizeof(), true, e.Pos)
 		return &Expr{}
 	}
-	rv := b.lowerValue(e.R)
+	rv := nullAdjusted(b.lowerValue(e.R), lt, e.R)
 	lv := b.lowerLValue(e.L)
 	b.emitAssign(lv, rv, lt.Decay().Sizeof(), false, e.Pos)
 	return rv
@@ -671,7 +693,11 @@ func (b *builder) lowerCall(e *cast.Call) (*Expr, *cast.Symbol) {
 	default:
 		n.Fun = b.lowerValue(e.Fun)
 	}
-	for _, a := range e.Args {
+	ft := e.Fun.TypeOf().Decay()
+	if ft.Kind == ctype.Pointer {
+		ft = ft.Elem
+	}
+	for i, a := range e.Args {
 		at := a.TypeOf()
 		if at.Kind == ctype.Struct {
 			// Struct passed by value: any pointer stored anywhere in
@@ -679,7 +705,11 @@ func (b *builder) lowerCall(e *cast.Call) (*Expr, *cast.Symbol) {
 			n.Args = append(n.Args, derefExpr(widen(b.lowerLValue(a), 1)))
 			continue
 		}
-		n.Args = append(n.Args, b.lowerValue(a))
+		v := b.lowerValue(a)
+		if ft.Kind == ctype.Func && i < len(ft.Params) {
+			v = nullAdjusted(v, ft.Params[i], a)
+		}
+		n.Args = append(n.Args, v)
 	}
 	rt := e.TypeOf()
 	var tmp *cast.Symbol

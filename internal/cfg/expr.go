@@ -27,6 +27,11 @@ const (
 	// the points-to lookup of each base location, then displaced by Off
 	// and widened by Stride.
 	TermDeref
+	// TermNull denotes the null pointer constant assigned to a
+	// pointer-typed destination. The analysis maps it to the null
+	// pseudo-location when null tracking is enabled and ignores it
+	// otherwise (a null pointer reaches no storage).
+	TermNull
 )
 
 // Term is one alternative of an IR expression. After the base locations
@@ -61,6 +66,10 @@ func funcExpr(sym *cast.Symbol) *Expr {
 
 func strExpr(id int, val string) *Expr {
 	return &Expr{Terms: []Term{{Kind: TermStr, StrID: id, StrVal: val}}}
+}
+
+func nullExpr() *Expr {
+	return &Expr{Terms: []Term{{Kind: TermNull}}}
 }
 
 // derefExpr wraps base in a dereference.
@@ -137,6 +146,8 @@ func (t Term) String() string {
 		core = fmt.Sprintf("str%d", t.StrID)
 	case TermDeref:
 		core = "*" + t.Base.String()
+	case TermNull:
+		core = "null"
 	}
 	if t.Off != 0 {
 		core = fmt.Sprintf("(%s+%d)", core, t.Off)

@@ -1,0 +1,250 @@
+// Package check implements a suite of context-sensitive pointer-bug
+// checkers on top of the converged PTF analysis. Each checker walks a
+// procedure's flow graph once per PTF (i.e. once per distinguished
+// calling context), queries the per-node points-to state through the
+// read-only query API of internal/analysis, and reports diagnostics.
+//
+// Context sensitivity is used for precision: a site is reported with
+// Error severity only when every calling context of the procedure
+// exhibits the defect; a defect present in some contexts but not others
+// is downgraded to Warning.
+//
+// The checkers expect an analysis run with Options.TrackNull set (so
+// that "definitely null" is distinguishable from "uninitialized") and
+// Options.CollectSolution set (for concretizing extended parameters in
+// messages). They degrade gracefully without either.
+package check
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/ctok"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Warning marks a possible defect: present in some contexts or
+	// mixed with benign targets.
+	Warning Severity = iota
+	// Error marks a defect present in every analyzed calling context.
+	Error
+)
+
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one reported defect site.
+type Diagnostic struct {
+	// Check is the identifier of the checker that fired (see All).
+	Check string
+	// Sev is the merged severity across calling contexts.
+	Sev Severity
+	// Pos is the source position of the defect.
+	Pos ctok.Pos
+	// Proc is the procedure containing the defect.
+	Proc string
+	// Message describes the defect.
+	Message string
+	// Contexts is the number of calling contexts exhibiting the defect.
+	Contexts int
+	// Trace is one calling context that exhibits the defect, outermost
+	// caller first (each entry names a procedure and the call site that
+	// entered it).
+	Trace []string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Pos, d.Sev, d.Message, d.Check)
+}
+
+// All lists the available check identifiers.
+var All = []string{
+	"nullderef",    // dereference of a pointer whose value includes NULL
+	"uninitderef",  // dereference of a pointer with no targets at all
+	"useafterfree", // dereference of storage freed on every path to the use
+	"doublefree",   // free of storage freed on every path to the call
+	"localescape",  // address of a local outliving the procedure
+	"badcall",      // indirect call through a non-function value
+}
+
+// Options configure a checker run.
+type Options struct {
+	// Checks selects which checkers run (identifiers from All);
+	// nil or empty runs all of them.
+	Checks []string
+}
+
+// verdict is one context's view of a site.
+type verdict struct {
+	sev Severity
+	msg string
+}
+
+// site accumulates per-context verdicts for one (check, position).
+type site struct {
+	flagged int // contexts that reported the defect
+	errors  int // contexts that reported it at Error severity
+	msg     string
+	trace   []string
+}
+
+type siteKey struct {
+	check string
+	proc  string
+	pos   ctok.Pos
+}
+
+type checker struct {
+	a       *analysis.Analysis
+	enabled map[string]bool
+	// frees indexes the analysis' recorded deallocations by context.
+	frees map[*analysis.PTF][]analysis.FreeSite
+	sites map[siteKey]*site
+	// ctxs counts the walked contexts per procedure.
+	ctxs map[string]int
+	// cur collects the current context's verdicts (merged into sites
+	// at the end of each walk).
+	cur    map[siteKey]verdict
+	curPTF *analysis.PTF
+}
+
+// Run walks every analyzed calling context of every procedure and
+// returns the merged diagnostics, sorted by position then check. A
+// check name in opts that is not one of All is an error, so a typo
+// does not silently disable checking.
+func Run(a *analysis.Analysis, opts Options) ([]Diagnostic, error) {
+	c := &checker{
+		a:       a,
+		enabled: map[string]bool{},
+		frees:   map[*analysis.PTF][]analysis.FreeSite{},
+		sites:   map[siteKey]*site{},
+		ctxs:    map[string]int{},
+	}
+	if len(opts.Checks) == 0 {
+		for _, name := range All {
+			c.enabled[name] = true
+		}
+	} else {
+		known := map[string]bool{}
+		for _, name := range All {
+			known[name] = true
+		}
+		for _, name := range opts.Checks {
+			if !known[name] {
+				return nil, fmt.Errorf("unknown check %q (available: %s)", name, strings.Join(All, ", "))
+			}
+			c.enabled[name] = true
+		}
+	}
+	for _, fs := range a.FreeSites() {
+		c.frees[fs.PTF] = append(c.frees[fs.PTF], fs)
+	}
+	for _, p := range a.AllPTFs() {
+		if !p.ExitReached() && p != a.MainPTF() {
+			// Abandoned mid-recursion: its nodes were not all
+			// evaluated, so absent facts are not evidence.
+			continue
+		}
+		c.walkPTF(p)
+	}
+	out := make([]Diagnostic, 0, len(c.sites))
+	for k, s := range c.sites {
+		sev := Warning
+		if n := c.ctxs[k.proc]; s.errors == n && s.flagged == n {
+			sev = Error
+		}
+		out = append(out, Diagnostic{
+			Check:    k.check,
+			Sev:      sev,
+			Pos:      k.pos,
+			Proc:     k.proc,
+			Message:  s.msg,
+			Contexts: s.flagged,
+			Trace:    s.trace,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Col != b.Pos.Col {
+			return a.Pos.Col < b.Pos.Col
+		}
+		return a.Check < b.Check
+	})
+	return out, nil
+}
+
+// walkPTF checks every node of one calling context and merges the
+// context's verdicts into the per-site tallies.
+func (c *checker) walkPTF(p *analysis.PTF) {
+	c.cur = map[siteKey]verdict{}
+	c.curPTF = p
+	c.ctxs[p.Proc.Name]++
+	for _, nd := range p.Proc.Nodes {
+		c.walkNode(p, nd)
+	}
+	c.checkRetvalEscape(p)
+	c.checkDoubleFree(p)
+	for k, v := range c.cur {
+		s := c.sites[k]
+		if s == nil {
+			s = &site{}
+			c.sites[k] = s
+		}
+		s.flagged++
+		if v.sev == Error {
+			s.errors++
+		}
+		if s.msg == "" || (v.sev == Error && s.errors == 1) {
+			s.msg = v.msg
+			s.trace = contextTrace(p)
+		}
+	}
+}
+
+// report records one context-local verdict, keeping the worst severity
+// per site within the context.
+func (c *checker) report(check string, pos ctok.Pos, sev Severity, msg string) {
+	if !c.enabled[check] {
+		return
+	}
+	k := siteKey{check: check, proc: c.curPTF.Proc.Name, pos: pos}
+	if old, ok := c.cur[k]; ok && old.sev >= sev {
+		return
+	}
+	c.cur[k] = verdict{sev: sev, msg: msg}
+}
+
+// contextTrace renders the calling context of a PTF, outermost caller
+// first.
+func contextTrace(p *analysis.PTF) []string {
+	var rev []string
+	cur := p
+	for depth := 0; depth < 64; depth++ {
+		home, nd := cur.Home()
+		if home == nil {
+			rev = append(rev, cur.Proc.Name)
+			break
+		}
+		rev = append(rev, fmt.Sprintf("%s (called at %s)", cur.Proc.Name, nd.Pos))
+		cur = home
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

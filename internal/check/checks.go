@@ -1,0 +1,368 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cfg"
+	"wlpa/internal/ctok"
+	"wlpa/internal/memmod"
+)
+
+// walkNode dispatches the node-level checks. In points-to form every
+// source expression carries an extra dereference, so each C-level
+// pointer dereference appears as a TermDeref whose base expression
+// denotes the dereferenced pointer value; destinations additionally
+// perform an implicit store-through for their top-level deref terms.
+func (c *checker) walkNode(p *analysis.PTF, nd *cfg.Node) {
+	switch nd.Kind {
+	case cfg.AssignNode:
+		c.checkReads(p, nd, nd.Src)
+		c.checkReads(p, nd, nd.Dst)
+		c.checkStores(p, nd, nd.Dst)
+		c.checkStoreEscape(p, nd)
+	case cfg.CallNode:
+		for _, arg := range nd.Args {
+			c.checkReads(p, nd, arg)
+		}
+		if nd.Fun != nil {
+			c.checkReads(p, nd, nd.Fun)
+			c.checkBadCall(p, nd)
+		}
+		if nd.RetDst != nil {
+			c.checkReads(p, nd, nd.RetDst)
+			c.checkStores(p, nd, nd.RetDst)
+		}
+	}
+}
+
+// checkReads verifies every dereference within e: the base values of
+// each TermDeref are the addresses being read.
+func (c *checker) checkReads(p *analysis.PTF, nd *cfg.Node, e *cfg.Expr) {
+	if e == nil {
+		return
+	}
+	for _, t := range e.Terms {
+		if t.Kind != cfg.TermDeref {
+			continue
+		}
+		// A deref of a plain variable's storage (base = &v) reads the
+		// variable itself and cannot fault; only derefs whose base is
+		// itself a loaded pointer value are C-level dereferences.
+		if !isVarAddr(t.Base) {
+			ptrs := c.a.EvalAt(p, t.Base, nd)
+			c.checkPointee(p, nd, ptrs, render(t.Base), false)
+		}
+		c.checkReads(p, nd, t.Base)
+	}
+}
+
+// checkStores verifies the top-level deref terms of a destination
+// expression: their deref results are the locations being written.
+func (c *checker) checkStores(p *analysis.PTF, nd *cfg.Node, dst *cfg.Expr) {
+	if dst == nil {
+		return
+	}
+	for _, t := range dst.Terms {
+		if t.Kind != cfg.TermDeref {
+			continue
+		}
+		targets := c.a.TermValuesAt(p, t, nd)
+		c.checkPointee(p, nd, targets, renderTerm(t), true)
+	}
+}
+
+// checkPointee reports nullderef / uninitderef / useafterfree for the
+// pointer values vals dereferenced at nd.
+func (c *checker) checkPointee(p *analysis.PTF, nd *cfg.Node, vals memmod.ValueSet, desc string, write bool) {
+	access := "read through"
+	if write {
+		access = "write through"
+	}
+	if vals.IsEmpty() {
+		c.report("uninitderef", nd.Pos, Error,
+			fmt.Sprintf("%s %q: pointer has no targets (uninitialized)", access, desc))
+		return
+	}
+	total, nulls, freed := 0, 0, 0
+	var freedAt ctok.Pos
+	for _, l := range vals.Locs() {
+		l = l.Resolve()
+		total++
+		switch l.Base.Kind {
+		case memmod.NullBlock:
+			nulls++
+		case memmod.HeapBlock:
+			if fs := c.dominatingFree(p, nd, l.Base); fs != nil {
+				freed++
+				if !freedAt.IsValid() {
+					freedAt = fs.Node.Pos
+				}
+			}
+		}
+	}
+	if nulls > 0 {
+		sev := Warning
+		word := "may be"
+		if nulls == total {
+			sev = Error
+			word = "is"
+		}
+		c.report("nullderef", nd.Pos, sev,
+			fmt.Sprintf("%s %q: pointer %s NULL", access, desc, word))
+	}
+	if freed > 0 {
+		sev := Warning
+		if freed == total {
+			sev = Error
+		}
+		c.report("useafterfree", nd.Pos, sev,
+			fmt.Sprintf("%s %q: storage freed at %s", access, desc, freedAt))
+	}
+}
+
+// dominatingFree finds a deallocation of block b in context p whose call
+// strictly dominates nd with no intervening reallocation, i.e. the block
+// is certainly freed when control reaches nd.
+func (c *checker) dominatingFree(p *analysis.PTF, nd *cfg.Node, b *memmod.Block) *analysis.FreeSite {
+	b = b.Representative()
+	for i := range c.frees[p] {
+		fs := &c.frees[p][i]
+		if fs.Node == nd || !fs.Node.Dominates(nd) {
+			continue
+		}
+		if !freesBlock(fs.Vals, b) {
+			continue
+		}
+		if c.reallocatedBetween(p, b, fs.Node, nd) {
+			continue
+		}
+		return fs
+	}
+	return nil
+}
+
+func freesBlock(vals memmod.ValueSet, b *memmod.Block) bool {
+	for _, l := range vals.Locs() {
+		if l.Resolve().Base == b {
+			return true
+		}
+	}
+	return false
+}
+
+// reallocatedBetween reports whether a call on every path between from
+// and to (i.e. dominated by from and dominating to) may have supplied
+// block b afresh — directly as an allocation site, or through its
+// return value. Such a call re-validates the pointer for the purposes
+// of the use-after-free and double-free checks.
+func (c *checker) reallocatedBetween(p *analysis.PTF, b *memmod.Block, from, to *cfg.Node) bool {
+	for _, na := range p.Proc.Nodes {
+		if na.Kind != cfg.CallNode || na == from || na == to {
+			continue
+		}
+		if !from.Dominates(na) || !na.Dominates(to) {
+			continue
+		}
+		if hb := c.a.HeapBlockAt(na); hb != nil && hb.Representative() == b {
+			return true
+		}
+		if na.RetDst != nil {
+			for _, dl := range c.a.EvalAt(p, na.RetDst, na).Locs() {
+				if blockIn(c.a.ContentsAfter(p, dl, na), b) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func blockIn(vals memmod.ValueSet, b *memmod.Block) bool {
+	for _, l := range vals.Locs() {
+		if l.Resolve().Base.Representative() == b {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDoubleFree reports frees of storage already freed on every path
+// to the call within the same context.
+func (c *checker) checkDoubleFree(p *analysis.PTF) {
+	sites := c.frees[p]
+	for i := range sites {
+		f2 := &sites[i]
+		heaps, refreed := 0, 0
+		var firstAt ctok.Pos
+		for _, l := range f2.Vals.Locs() {
+			b := l.Resolve().Base
+			if b.Kind != memmod.HeapBlock {
+				continue
+			}
+			heaps++
+			for j := range sites {
+				f1 := &sites[j]
+				if f1.Node == f2.Node || !f1.Node.Dominates(f2.Node) {
+					continue
+				}
+				if !freesBlock(f1.Vals, b) || c.reallocatedBetween(p, b, f1.Node, f2.Node) {
+					continue
+				}
+				refreed++
+				if !firstAt.IsValid() {
+					firstAt = f1.Node.Pos
+				}
+				break
+			}
+		}
+		if refreed == 0 {
+			continue
+		}
+		sev := Warning
+		if refreed == heaps {
+			sev = Error
+		}
+		c.report("doublefree", f2.Node.Pos, sev,
+			fmt.Sprintf("storage already freed at %s is freed again", firstAt))
+	}
+}
+
+// checkRetvalEscape reports procedures whose return value includes the
+// address of one of their own locals (dead storage at every call site).
+func (c *checker) checkRetvalEscape(p *analysis.PTF) {
+	if p.Proc.Name == "main" {
+		// main's activation outlives every observer.
+		return
+	}
+	exit := p.Proc.Exit
+	// Whole-block lookup: a struct return may carry the pointer at any
+	// offset of the retval block.
+	vals := c.a.ContentsAt(p, p.RetvalLoc().Unknown(), exit)
+	for _, l := range vals.Locs() {
+		b := l.Resolve().Base
+		if b.Kind == memmod.LocalBlock {
+			c.report("localescape", exit.Pos, Error,
+				fmt.Sprintf("returning address of local %q", b.Name))
+			return
+		}
+	}
+}
+
+// checkStoreEscape reports stores of a local's address into storage that
+// outlives the procedure (globals, heap blocks, or caller storage named
+// by extended parameters). The stored address may be consumed before
+// the procedure returns, so this is a Warning in every context.
+func (c *checker) checkStoreEscape(p *analysis.PTF, nd *cfg.Node) {
+	if !c.enabled["localescape"] || nd.Aggregate || p.Proc.Name == "main" {
+		return
+	}
+	var local *memmod.Block
+	for _, l := range c.a.EvalAt(p, nd.Src, nd).Locs() {
+		if b := l.Resolve().Base; b.Kind == memmod.LocalBlock {
+			local = b
+			break
+		}
+	}
+	if local == nil {
+		return
+	}
+	for _, l := range c.a.EvalAt(p, nd.Dst, nd).Locs() {
+		switch l.Resolve().Base.Kind {
+		case memmod.GlobalBlock, memmod.ParamBlock, memmod.HeapBlock:
+			c.report("localescape", nd.Pos, Warning,
+				fmt.Sprintf("address of local %q stored in storage that may outlive %s", local.Name, p.Proc.Name))
+			return
+		}
+	}
+}
+
+// checkBadCall reports indirect calls whose target values include
+// non-function storage.
+func (c *checker) checkBadCall(p *analysis.PTF, nd *cfg.Node) {
+	vals := c.a.EvalAt(p, nd.Fun, nd)
+	if vals.IsEmpty() {
+		c.report("badcall", nd.Pos, Error,
+			fmt.Sprintf("indirect call through %q: no targets (uninitialized function pointer)", render(nd.Fun)))
+		return
+	}
+	total := 0
+	var bad []string
+	for _, l := range vals.Locs() {
+		l = l.Resolve()
+		total++
+		switch l.Base.Kind {
+		case memmod.FuncBlock:
+			// A real function.
+		case memmod.ParamBlock:
+			// An input function pointer; its targets are part of the
+			// PTF input domain and resolve to functions at each call
+			// site.
+		case memmod.NullBlock:
+			bad = append(bad, "NULL")
+		default:
+			bad = append(bad, l.Base.Name)
+		}
+	}
+	if len(bad) == 0 {
+		return
+	}
+	sev := Warning
+	if len(bad) == total {
+		sev = Error
+	}
+	c.report("badcall", nd.Pos, sev,
+		fmt.Sprintf("indirect call through %q may target non-function: %s", render(nd.Fun), strings.Join(bad, ", ")))
+}
+
+// render writes an IR value expression the way the programmer wrote it:
+// a TermVar denotes a variable's storage (value "&v"), and each
+// dereference strips one address-of.
+func render(e *cfg.Expr) string {
+	if e == nil || len(e.Terms) == 0 {
+		return "⊥"
+	}
+	if len(e.Terms) > 1 {
+		parts := make([]string, len(e.Terms))
+		for i, t := range e.Terms {
+			parts[i] = renderTerm(t)
+		}
+		return "(" + strings.Join(parts, " | ") + ")"
+	}
+	return renderTerm(e.Terms[0])
+}
+
+func renderTerm(t cfg.Term) string {
+	var core string
+	switch t.Kind {
+	case cfg.TermVar:
+		core = "&" + t.Sym.Name
+	case cfg.TermFunc:
+		core = t.Sym.Name
+	case cfg.TermStr:
+		core = fmt.Sprintf("%q", t.StrVal)
+	case cfg.TermNull:
+		core = "NULL"
+	case cfg.TermDeref:
+		inner := render(t.Base)
+		if strings.HasPrefix(inner, "&") {
+			core = inner[1:]
+		} else {
+			core = "*" + inner
+		}
+	}
+	if t.Off != 0 {
+		core = fmt.Sprintf("(%s+%d)", core, t.Off)
+	}
+	if t.Stride != 0 {
+		core = fmt.Sprintf("(%s[.])", core)
+	}
+	return core
+}
+
+// isVarAddr reports whether e is a bare variable-storage expression
+// (&v): dereferencing it reads the variable itself and cannot fault.
+func isVarAddr(e *cfg.Expr) bool {
+	return e != nil && len(e.Terms) == 1 && e.Terms[0].Kind == cfg.TermVar
+}

@@ -1,0 +1,44 @@
+package check_test
+
+import (
+	"testing"
+
+	"wlpa/internal/check"
+	"wlpa/internal/interp"
+	"wlpa/internal/workload"
+)
+
+// TestWorkloadsClean runs the checker suite over every benchmark
+// program and requires zero Error-severity diagnostics: the programs
+// run to completion under the interpreter (see also soundness_test in
+// internal/workload), so any error-level report would be a false
+// positive. Warnings ("may" defects) are allowed and logged.
+func TestWorkloadsClean(t *testing.T) {
+	for _, b := range workload.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			a := analyze(t, b.Name+".c", b.Source)
+			diags := run(t, a, check.Options{})
+			warnings := 0
+			for _, d := range diags {
+				if d.Sev == check.Error {
+					t.Errorf("false positive: %v (trace %v)", d, d.Trace)
+				} else {
+					warnings++
+				}
+			}
+			if warnings > 0 {
+				t.Logf("%s: %d warnings", b.Name, warnings)
+			}
+			if t.Failed() || testing.Short() || !b.Runnable {
+				return
+			}
+			// Interpreter oracle: the program really is free of the
+			// defects the checkers look for — it executes end to end.
+			in := interp.New(parseProg(t, b.Name+".c", b.Source), interp.Options{MaxSteps: 20_000_000})
+			if _, err := in.Run(); err != nil {
+				t.Errorf("interpreter oracle failed: %v", err)
+			}
+		})
+	}
+}

@@ -29,7 +29,7 @@ func Summaries() map[string]analysis.LibSummary {
 		out.AddAll(old)
 		c.Return(out)
 	}
-	m["free"] = func(c analysis.LibCall) {}
+	m["free"] = func(c analysis.LibCall) { c.Free(c.Arg(0)) }
 
 	// ---- memory / string copying ----
 	m["memcpy"] = func(c analysis.LibCall) {

@@ -112,6 +112,47 @@ int main(void) {
 	}
 }
 
+func TestFreeRecordsSite(t *testing.T) {
+	src := `
+#include <stdlib.h>
+char *p;
+int main(void) {
+    p = (char *)malloc(8);
+    free(p);
+    return 0;
+}`
+	f, err := cparse.ParseSource("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	a, err := analysis.New(prog, analysis.Options{Lib: libsum.Summaries()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	sites := a.FreeSites()
+	if len(sites) != 1 {
+		t.Fatalf("FreeSites = %d records, want 1", len(sites))
+	}
+	s := sites[0]
+	if s.PTF.Proc.Name != "main" {
+		t.Errorf("free recorded in %s, want main", s.PTF.Proc.Name)
+	}
+	var names []string
+	for _, l := range s.Vals.Locs() {
+		names = append(names, l.Base.Name)
+	}
+	if len(names) != 1 || !anyHeap(names) {
+		t.Errorf("freed %v, want the malloc heap block", names)
+	}
+}
+
 func TestStrcpyReturnsDst(t *testing.T) {
 	src := `
 #include <string.h>

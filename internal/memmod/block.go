@@ -40,9 +40,14 @@ const (
 	// RetvalBlock is the special local holding a procedure's return
 	// value (paper §3).
 	RetvalBlock
+	// NullBlock is the pseudo-location denoting the null pointer
+	// constant. It is not real storage: dereferencing it yields nothing
+	// and checkers report it as a NULL dereference. Only created when
+	// the analysis runs with null tracking enabled.
+	NullBlock
 )
 
-var kindNames = [...]string{"local", "param", "heap", "global", "func", "string", "retval"}
+var kindNames = [...]string{"local", "param", "heap", "global", "func", "string", "retval", "null"}
 
 func (k BlockKind) String() string { return kindNames[k] }
 
@@ -132,6 +137,12 @@ func NewString(id int, value string) *Block {
 // NewRetval creates the special return-value block of a procedure.
 func NewRetval(proc string) *Block {
 	return &Block{Kind: RetvalBlock, Name: "<retval:" + proc + ">", Size: ctype.PointerSize}
+}
+
+// NewNull creates the null pseudo-location block. Each analysis owns one
+// instance (blocks carry mutable per-analysis state).
+func NewNull() *Block {
+	return &Block{Kind: NullBlock, Name: "<null>"}
 }
 
 // NewParam creates an extended parameter. hint names the pointer through

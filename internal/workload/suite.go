@@ -60,6 +60,30 @@ func Suite() []Benchmark {
 	return out
 }
 
+// BugFixtures returns the seeded-bug programs (testdata/bug_*.c),
+// keyed by fixture name (file name without the bug_ prefix and .c
+// suffix). Each seeds exactly the defect its name says, for validating
+// the checkers in internal/check; none is part of the benchmark suite.
+func BugFixtures() map[string]string {
+	out := map[string]string{}
+	entries, err := suiteFS.ReadDir("testdata")
+	if err != nil {
+		return out
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "bug_") || !strings.HasSuffix(name, ".c") {
+			continue
+		}
+		data, err := suiteFS.ReadFile("testdata/" + name)
+		if err != nil {
+			continue
+		}
+		out[strings.TrimSuffix(strings.TrimPrefix(name, "bug_"), ".c")] = string(data)
+	}
+	return out
+}
+
 // ByName returns the named benchmark (and whether it exists).
 func ByName(name string) (Benchmark, bool) {
 	for _, b := range Suite() {

@@ -1,0 +1,12 @@
+/* Seeded bug: an indirect call through a pointer to a data object.
+ * Expected: wlcheck reports badcall (error) at the call through fp. */
+
+int datum;
+
+int (*fp)(void);
+
+int main(void)
+{
+    fp = (int (*)(void))&datum;
+    return fp();
+}

@@ -1,0 +1,12 @@
+/* Seeded bug: the same allocation is freed twice.
+ * Expected: wlcheck reports doublefree (error) at the second free. */
+
+#include <stdlib.h>
+
+int main(void)
+{
+    char *buf = (char *)malloc(16);
+    free(buf);
+    free(buf);
+    return 0;
+}

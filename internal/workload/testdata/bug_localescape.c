@@ -1,0 +1,17 @@
+/* Seeded bug: a procedure returns the address of one of its locals.
+ * Expected: wlcheck reports localescape (error) in grab. */
+
+int *held;
+
+int *grab(void)
+{
+    int slot;
+    slot = 7;
+    return &slot;
+}
+
+int main(void)
+{
+    held = grab();
+    return 0;
+}

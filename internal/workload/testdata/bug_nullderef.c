@@ -1,0 +1,11 @@
+/* Seeded bug: dereference of a definitely-NULL pointer.
+ * Expected: wlcheck reports nullderef (error) at the read of *p. */
+
+int result;
+
+int main(void)
+{
+    int *p = 0;
+    result = *p;
+    return 0;
+}

@@ -1,0 +1,11 @@
+/* Seeded bug: dereference of an uninitialized pointer.
+ * Expected: wlcheck reports uninitderef (error) at the read of *p. */
+
+int result;
+
+int main(void)
+{
+    int *p;
+    result = *p;
+    return 0;
+}

@@ -1,0 +1,15 @@
+/* Seeded bug: read through a pointer whose storage was freed.
+ * Expected: wlcheck reports useafterfree (error) at the last read. */
+
+#include <stdlib.h>
+
+int result;
+
+int main(void)
+{
+    int *p = (int *)malloc(sizeof(int));
+    *p = 42;
+    free(p);
+    result = *p;
+    return 0;
+}

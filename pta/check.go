@@ -1,0 +1,55 @@
+package pta
+
+import (
+	"wlpa/internal/analysis"
+	"wlpa/internal/check"
+)
+
+// Diagnostic is one pointer-bug report (see internal/check for the
+// catalogue of checks and the context-sensitive severity rules).
+type Diagnostic = check.Diagnostic
+
+// Severity grades a Diagnostic.
+type Severity = check.Severity
+
+// Severity values: SevError means the defect shows in every analyzed
+// calling context; SevWarning means it shows in some context or is
+// mixed with benign targets.
+const (
+	SevWarning = check.Warning
+	SevError   = check.Error
+)
+
+// AllChecks lists the available check identifiers for
+// CheckOptions.Checks.
+var AllChecks = check.All
+
+// CheckOptions configure Result.Check.
+type CheckOptions struct {
+	// Checks selects which checkers run (identifiers from AllChecks);
+	// nil or empty runs all of them.
+	Checks []string
+}
+
+// Check runs the pointer-bug checker suite over the analyzed program
+// and returns the diagnostics sorted by source position. The analysis
+// is re-run with null tracking enabled (the checkers must distinguish
+// "definitely NULL" from "uninitialized"; the extra pseudo-location
+// would perturb the PTF statistics of the main analysis, so it is kept
+// out of Analyze's run).
+func (r *Result) Check(opts *CheckOptions) ([]Diagnostic, error) {
+	if opts == nil {
+		opts = &CheckOptions{}
+	}
+	aopts := r.aopts
+	aopts.TrackNull = true
+	aopts.CollectSolution = true
+	an, err := analysis.New(r.prog, aopts)
+	if err != nil {
+		return nil, err
+	}
+	if err := an.Run(); err != nil {
+		return nil, err
+	}
+	return check.Run(an, check.Options{Checks: opts.Checks})
+}

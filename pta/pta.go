@@ -62,6 +62,10 @@ type Result struct {
 	prog *sem.Program
 	an   *analysis.Analysis
 
+	// aopts are the analysis options used, kept so Check can re-run
+	// the analysis with the same configuration.
+	aopts analysis.Options
+
 	parseTime time.Duration
 }
 
@@ -106,7 +110,7 @@ func Analyze(files Source, entry string, opts *Options) (*Result, error) {
 	if err := an.Run(); err != nil {
 		return nil, err
 	}
-	return &Result{prog: prog, an: an, parseTime: parseTime}, nil
+	return &Result{prog: prog, an: an, aopts: aopts, parseTime: parseTime}, nil
 }
 
 // Stats returns the analysis statistics (times, PTF counts).
@@ -159,6 +163,89 @@ func (r *Result) PointsToField(global string, offset int64) []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// PointsToAt returns the may-point-to targets of expr as observed in
+// procedure proc at the given source line: the state after the last
+// pointer operation on or before that line. expr is a variable name
+// with optional leading stars ("p", "*p", "**pp"); the variable may be
+// a local, a formal, or a global, and each star performs one further
+// dereference of the queried state. Targets are unioned over every
+// analyzed calling context of the procedure, with extended parameters
+// concretized to the storage they were bound to. Returns nil if the
+// procedure, the variable, or the line is unknown.
+func (r *Result) PointsToAt(proc string, line int, expr string) []string {
+	cproc := r.an.Proc(proc)
+	if cproc == nil {
+		return nil
+	}
+	stars := 0
+	for stars < len(expr) && expr[stars] == '*' {
+		stars++
+	}
+	name := expr[stars:]
+	sym := procSymbol(cproc, name)
+	if sym == nil {
+		sym = r.findGlobal(name)
+	}
+	if sym == nil {
+		return nil
+	}
+	// The query point: the last flow node at or before the line. Nodes
+	// are in reverse postorder, so among same-position candidates the
+	// later one wins.
+	var nd *cfg.Node
+	for _, n := range cproc.Nodes {
+		if !n.Pos.IsValid() || n.Pos.Line > line {
+			continue
+		}
+		if nd == nil || n.Pos.Line > nd.Pos.Line ||
+			(n.Pos.Line == nd.Pos.Line && n.Pos.Col >= nd.Pos.Col) {
+			nd = n
+		}
+	}
+	if nd == nil {
+		nd = cproc.Entry
+	}
+	var union memmod.ValueSet
+	for _, p := range r.an.PTFs(proc) {
+		vals := r.an.ContentsAfter(p, r.an.VarLoc(p, sym, 0, 0), nd)
+		for s := 0; s < stars; s++ {
+			var next memmod.ValueSet
+			for _, l := range vals.Locs() {
+				next.AddAll(r.an.ContentsAfter(p, l, nd))
+			}
+			vals = next
+		}
+		union.AddAll(vals)
+	}
+	union = r.an.Concretize(union)
+	seen := map[string]bool{}
+	var names []string
+	for _, l := range union.Locs() {
+		n := l.Resolve().Base.Name
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// procSymbol finds a local or formal of proc by name.
+func procSymbol(proc *cfg.Proc, name string) *cast.Symbol {
+	for _, s := range proc.Locals {
+		if s.Name == name {
+			return s
+		}
+	}
+	for _, p := range proc.Fn.Params {
+		if p.Sym != nil && p.Sym.Name == name {
+			return p.Sym
+		}
+	}
+	return nil
 }
 
 // MayAlias reports whether two global pointers may point into the same

@@ -166,6 +166,159 @@ int main(void) {
 	}
 }
 
+func TestPointsToUnknownGlobal(t *testing.T) {
+	res := analyze(t, `
+int x;
+int *p;
+int main(void) { p = &x; return 0; }`)
+	if got := res.PointsTo("nosuch"); got != nil {
+		t.Errorf("PointsTo(nosuch) = %v, want nil", got)
+	}
+	if got := res.PointsToField("nosuch", 0); got != nil {
+		t.Errorf("PointsToField(nosuch, 0) = %v, want nil", got)
+	}
+	if res.MayAlias("nosuch", "p") || res.MayAlias("p", "nosuch") {
+		t.Error("MayAlias with an unknown name must be false")
+	}
+}
+
+func TestPointsToFieldOddOffsets(t *testing.T) {
+	res := analyze(t, `
+struct pair { int *a; int *b; };
+int x, y;
+struct pair pr;
+int main(void) {
+    pr.a = &x;
+    pr.b = &y;
+    return 0;
+}`)
+	// Offsets between the pointer fields hold no pointers.
+	if got := res.PointsToField("pr", 4); len(got) != 0 {
+		t.Errorf("pr+4 -> %v, want empty", got)
+	}
+	// Negative offsets lie outside the block.
+	if got := res.PointsToField("pr", -8); len(got) != 0 {
+		t.Errorf("pr-8 -> %v, want empty", got)
+	}
+}
+
+func TestPointsToFieldStride(t *testing.T) {
+	res := analyze(t, `
+int x;
+int *arr[4];
+int i;
+int main(void) {
+    arr[i] = &x;
+    return 0;
+}`)
+	// The store lands at an unknown element: a strided location set
+	// covering every multiple of the element size.
+	if got := res.PointsToField("arr", 16); len(got) != 1 || got[0] != "x" {
+		t.Errorf("arr+16 -> %v, want [x]", got)
+	}
+	// Offsets that are not a multiple of the stride are not covered.
+	if got := res.PointsToField("arr", 4); len(got) != 0 {
+		t.Errorf("arr+4 -> %v, want empty", got)
+	}
+}
+
+func TestPointsToAtFlowSensitive(t *testing.T) {
+	res := analyze(t, `
+int x, y;
+int main(void) {
+    int *p = &x;
+    p = &y;
+    return 0;
+}`)
+	if got := res.PointsToAt("main", 4, "p"); len(got) != 1 || got[0] != "x" {
+		t.Errorf("p at line 4 -> %v, want [x]", got)
+	}
+	if got := res.PointsToAt("main", 5, "p"); len(got) != 1 || got[0] != "y" {
+		t.Errorf("p at line 5 -> %v, want [y]", got)
+	}
+}
+
+func TestPointsToAtStars(t *testing.T) {
+	res := analyze(t, `
+int x;
+int *p;
+int **pp;
+int main(void) {
+    p = &x;
+    pp = &p;
+    return 0;
+}`)
+	if got := res.PointsToAt("main", 7, "pp"); len(got) != 1 || got[0] != "p" {
+		t.Errorf("pp -> %v, want [p]", got)
+	}
+	if got := res.PointsToAt("main", 7, "*pp"); len(got) != 1 || got[0] != "x" {
+		t.Errorf("*pp -> %v, want [x]", got)
+	}
+}
+
+func TestPointsToAtFormalMergesContexts(t *testing.T) {
+	res := analyze(t, `
+int x, y;
+int *keep;
+int *ident(int *q) { keep = q; return q; }
+int main(void) {
+    int *a = ident(&x);
+    int *b = ident(&y);
+    return 0;
+}`)
+	got := res.PointsToAt("ident", 4, "q")
+	if len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("q -> %v, want [x y] (both contexts)", got)
+	}
+}
+
+func TestPointsToAtUnknown(t *testing.T) {
+	res := analyze(t, `
+int x;
+int *p;
+int main(void) { p = &x; return 0; }`)
+	if got := res.PointsToAt("nosuch", 1, "p"); got != nil {
+		t.Errorf("unknown proc -> %v, want nil", got)
+	}
+	if got := res.PointsToAt("main", 4, "nosuch"); got != nil {
+		t.Errorf("unknown var -> %v, want nil", got)
+	}
+}
+
+func TestCheckAPI(t *testing.T) {
+	res := analyze(t, `
+int result;
+int main(void) {
+    int *p = 0;
+    result = *p;
+    return 0;
+}`)
+	diags, err := res.Check(nil)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Check == "nullderef" && d.Sev == SevError {
+			found = true
+			if d.Proc != "main" || d.Pos.Line != 5 {
+				t.Errorf("diagnostic misplaced: %+v", d)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no nullderef error in %v", diags)
+	}
+	// Restricting the check set suppresses the diagnostic.
+	diags, err = res.Check(&CheckOptions{Checks: []string{"badcall"}})
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("selected badcall only, got %v", diags)
+	}
+}
+
 func TestDescribe(t *testing.T) {
 	res := analyze(t, `
 int x;
