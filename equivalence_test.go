@@ -1,0 +1,201 @@
+// TestEngineEquivalence proves the dependency-tracked worklist engine
+// and the full-pass fallback (Options.ForceFullPasses) compute identical
+// results: same PTF counts, same collapsed Solution, same checker
+// diagnostics, on every workload program. The engines may differ in
+// Passes and NodesEvaluated — that is the point of the worklist — but
+// never in any analysis fact.
+package wlpa_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/check"
+	"wlpa/internal/cparse"
+	"wlpa/internal/libsum"
+	"wlpa/internal/sem"
+	"wlpa/internal/workload"
+)
+
+// analyzeBoth runs the same source through both engines.
+func analyzeBoth(t *testing.T, name, src string) (worklist, full *analysis.Analysis) {
+	t.Helper()
+	build := func(force bool) *analysis.Analysis {
+		f, err := cparse.ParseSource(name, src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		prog, err := sem.Check(f)
+		if err != nil {
+			t.Fatalf("%s: sem: %v", name, err)
+		}
+		an, err := analysis.New(prog, analysis.Options{
+			Lib:             libsum.Summaries(),
+			CollectSolution: true,
+			TrackNull:       true,
+			ForceFullPasses: force,
+		})
+		if err != nil {
+			t.Fatalf("%s: new: %v", name, err)
+		}
+		if err := an.Run(); err != nil {
+			t.Fatalf("%s: run (force=%v): %v", name, force, err)
+		}
+		return an
+	}
+	return build(false), build(true)
+}
+
+// solutionDump renders the collapsed solution deterministically: one
+// line per location with sorted members, lines themselves sorted.
+// Distinct blocks may share a display name (per-procedure temps), so
+// the comparison is over the multiset of rendered lines.
+func solutionDump(an *analysis.Analysis) string {
+	sol := an.Solution()
+	var lines []string
+	for _, loc := range sol.Locations() {
+		members := []string{}
+		for _, v := range sol.PointsTo(loc).Locs() {
+			members = append(members, v.String())
+		}
+		sort.Strings(members)
+		lines = append(lines, loc.String()+" -> {"+strings.Join(members, ", ")+"}")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// diagDump renders checker diagnostics deterministically.
+func diagDump(t *testing.T, an *analysis.Analysis) string {
+	t.Helper()
+	diags, err := check.Run(an, check.Options{})
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		lines = append(lines, d.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func comparePTFsPerProc(t *testing.T, name string, wl, full map[string]int) {
+	t.Helper()
+	for proc, n := range full {
+		if wl[proc] != n {
+			t.Errorf("%s: PTFs for %s = %d (worklist), want %d (full)", name, proc, wl[proc], n)
+		}
+	}
+	for proc, n := range wl {
+		if _, ok := full[proc]; !ok {
+			t.Errorf("%s: worklist has %d PTFs for %s, full engine has none", name, n, proc)
+		}
+	}
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "worklist: " + al[i] + "\nfull:     " + bl[i]
+		}
+	}
+	return "(length mismatch)"
+}
+
+func TestEngineEquivalence(t *testing.T) {
+	suite := workload.Suite()
+	if len(suite) == 0 {
+		t.Fatal("empty workload suite")
+	}
+	for _, wb := range suite {
+		wb := wb
+		t.Run(wb.Name, func(t *testing.T) {
+			t.Parallel()
+			wl, full := analyzeBoth(t, wb.Name, wb.Source)
+			ws, fs := wl.Stats(), full.Stats()
+			if ws.PTFs != fs.PTFs {
+				t.Errorf("PTFs = %d (worklist), want %d (full)", ws.PTFs, fs.PTFs)
+			}
+			if ws.Procedures != fs.Procedures {
+				t.Errorf("Procedures = %d (worklist), want %d (full)", ws.Procedures, fs.Procedures)
+			}
+			comparePTFsPerProc(t, wb.Name, ws.PTFsPerProc, fs.PTFsPerProc)
+			if wd, fd := solutionDump(wl), solutionDump(full); wd != fd {
+				t.Errorf("solution dumps differ; first divergence:\n%s", firstDiff(wd, fd))
+			}
+			if wd, fd := diagDump(t, wl), diagDump(t, full); wd != fd {
+				t.Errorf("diagnostics differ:\n-- worklist --\n%s\n-- full --\n%s", wd, fd)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceFixtures extends the comparison to the seeded-bug
+// programs the checkers are validated on.
+func TestEngineEquivalenceFixtures(t *testing.T) {
+	for name, src := range workload.BugFixtures() {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			wl, full := analyzeBoth(t, name, src)
+			if wl.Stats().PTFs != full.Stats().PTFs {
+				t.Errorf("PTFs = %d (worklist), want %d (full)", wl.Stats().PTFs, full.Stats().PTFs)
+			}
+			if wd, fd := solutionDump(wl), solutionDump(full); wd != fd {
+				t.Errorf("solution dumps differ; first divergence:\n%s", firstDiff(wd, fd))
+			}
+			if wd, fd := diagDump(t, wl), diagDump(t, full); wd != fd {
+				t.Errorf("diagnostics differ:\n-- worklist --\n%s\n-- full --\n%s", wd, fd)
+			}
+		})
+	}
+}
+
+// TestWorklistTimeout verifies that aborting mid-worklist leaves the
+// statistics in a valid state.
+func TestWorklistTimeout(t *testing.T) {
+	wb, ok := workload.ByName("compiler")
+	if !ok {
+		t.Skip("compiler workload missing")
+	}
+	f, err := cparse.ParseSource(wb.Name, wb.Source)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := analysis.New(prog, analysis.Options{
+		Lib:     libsum.Summaries(),
+		Timeout: time.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := an.Run(); err != analysis.ErrTimeout {
+		t.Fatalf("Run = %v, want ErrTimeout", err)
+	}
+	st := an.Stats()
+	if st.Passes < 1 {
+		t.Errorf("Passes = %d, want >= 1", st.Passes)
+	}
+	if st.PTFsPerProc == nil {
+		t.Error("PTFsPerProc is nil after timeout")
+	}
+	if st.Duration <= 0 {
+		t.Error("Duration not recorded after timeout")
+	}
+	if st.PTFs < 0 || st.Procedures < 0 {
+		t.Errorf("negative stats after timeout: %+v", st)
+	}
+	// The partial state must still answer basic queries.
+	if an.MainPTF() == nil {
+		t.Error("MainPTF nil after timeout")
+	}
+}

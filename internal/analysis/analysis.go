@@ -120,6 +120,11 @@ type Options struct {
 	// default: the extra value costs a little precision in PTF
 	// matching and is only needed by bug-checking clients.
 	TrackNull bool
+	// ForceFullPasses disables the dependency-tracked worklist engine
+	// and re-evaluates every node of every PTF per top-level pass (the
+	// pre-worklist behavior). Both engines must produce identical
+	// results; this exists as a cross-check and fallback.
+	ForceFullPasses bool
 }
 
 // ErrTimeout is returned by Run when Options.Timeout is exceeded.
@@ -215,6 +220,14 @@ type PTF struct {
 	homeNode *cfg.Node
 	homePTF  *PTF
 
+	// siteUsed records, per (call node, callee) in this PTF's body, the
+	// callee PTF the site last resolved to. When the site's inputs are
+	// intermediate iteration values that no longer replay against any
+	// existing domain, the previously used PTF is updated in place
+	// (same rationale as the home-context rule, paper §5.2) instead of
+	// allocating a duplicate for a transient state.
+	siteUsed map[siteKey]*PTF
+
 	// exitReached records that the exit has been evaluated at least
 	// once (needed to defer recursive applications, §5.4).
 	exitReached bool
@@ -231,6 +244,45 @@ type PTF struct {
 	// grown summary propagates through this procedure's own dataflow
 	// (essential for recursive cycles, paper §5.4).
 	deps map[*PTF]int
+
+	// --- worklist engine state (nil/unused under ForceFullPasses) ---
+
+	// dirty marks flow nodes whose inputs may have changed since their
+	// last evaluation; evalProc seeds its iteration from them.
+	dirty map[*cfg.Node]bool
+	// evaluated marks nodes evaluated at least once, persisting across
+	// visits (the full engine keeps a per-visit map instead).
+	evaluated map[*cfg.Node]bool
+	// callers records every (caller PTF → call nodes) pair that applied
+	// this summary; version bumps re-dirty exactly those nodes.
+	callers map[*PTF]map[*cfg.Node]bool
+	// mirrored is the version last mirrored into the Solution.
+	mirrored int
+	// targetCache caches the resolved call-target slice per call node
+	// for function-pointer values not involving extended parameters.
+	targetCache map[*cfg.Node]*targetEntry
+}
+
+// siteKey identifies a resolved call edge: a call node in the caller's
+// body together with the callee procedure (function-pointer calls can
+// resolve one node to several procedures).
+type siteKey struct {
+	nd   *cfg.Node
+	proc *cfg.Proc
+}
+
+// targetEntry is one cached call-target resolution: valid while the
+// function-pointer value set at the node is unchanged.
+type targetEntry struct {
+	fv   memmod.ValueSet
+	syms []*cast.Symbol
+}
+
+// readerKey identifies one registered read: PTF p evaluated node nd
+// using the contents of some block.
+type readerKey struct {
+	ptf *PTF
+	nd  *cfg.Node
 }
 
 // Analysis is a configured pointer-analysis instance.
@@ -271,6 +323,22 @@ type Analysis struct {
 	// changed is set whenever any points-to fact or PTF domain grows
 	// during the current top-level pass.
 	changed bool
+
+	// versionClock counts every PTF version increment program-wide; the
+	// convergence test compares it across passes instead of rescanning
+	// all PTFs.
+	versionClock uint64
+
+	// track enables the dependency-tracked worklist engine.
+	track bool
+	// collecting, when non-nil, marks the final solution-collection
+	// pass: every reachable PTF is visited exactly once so that all
+	// parameter bindings are re-derived from the fixpoint.
+	collecting map[*PTF]bool
+	// readers registers, per memory block (by representative), the
+	// (PTF, node) pairs whose evaluation read the block's records; a
+	// write to the block re-dirties exactly those nodes.
+	readers map[*memmod.Block]map[readerKey]bool
 }
 
 // frame is one activation on the analysis call stack.
@@ -313,6 +381,10 @@ func New(prog *sem.Program, opts Options) (*Analysis, error) {
 		strBlocks:    make(map[int]*memmod.Block),
 		heapBlocks:   make(map[string]*memmod.Block),
 		ptfs:         make(map[*cfg.Proc][]*PTF),
+		track:        !opts.ForceFullPasses,
+	}
+	if a.track {
+		a.readers = make(map[*memmod.Block]map[readerKey]bool)
 	}
 	if opts.TrackNull {
 		a.nullBlock = memmod.NewNull()
@@ -344,7 +416,7 @@ func (a *Analysis) Run() error {
 	for pass := 1; ; pass++ {
 		a.stats.Passes = pass
 		a.changed = false
-		versions := a.ptfVersionSum()
+		clock := a.versionClock
 		a.stack = a.stack[:0]
 		a.stack = append(a.stack, mf)
 		a.evalProc(mf)
@@ -353,15 +425,101 @@ func (a *Analysis) Run() error {
 			a.finishStats(start)
 			return ErrTimeout
 		}
-		if !a.changed && a.ptfVersionSum() == versions {
+		if a.track {
+			// Worklist convergence: every dirty node reachable through
+			// the caller cascade was drained through main's dirty set,
+			// so a clean main plus a stable version clock is quiescence.
+			if len(a.mainPTF.dirty) == 0 && a.versionClock == clock {
+				break
+			}
+		} else if !a.changed && a.versionClock == clock {
 			break
 		}
 		if pass >= a.opts.MaxPasses {
 			return &Error{Msg: fmt.Sprintf("analysis did not converge after %d passes", pass)}
 		}
 	}
+	if a.solution != nil {
+		a.collectSolution(mf)
+	}
 	a.finishStats(start)
 	return nil
+}
+
+// bumpVersion increments a PTF's summary version (and the program-wide
+// version clock) and re-dirties every recorded call site of the PTF so
+// callers re-apply the grown summary.
+func (a *Analysis) bumpVersion(p *PTF) {
+	p.version++
+	a.versionClock++
+	if a.track {
+		for q, nodes := range p.callers {
+			for nd := range nodes {
+				a.markDirty(q, nd)
+			}
+		}
+	}
+}
+
+// markDirty queues node nd of PTF p for re-evaluation. When p goes from
+// quiescent to dirty its call sites are re-dirtied too, so the dirt
+// cascades up to main and the next pass descends into p; the
+// already-dirty guard bounds the cascade on recursive call cycles.
+func (a *Analysis) markDirty(p *PTF, nd *cfg.Node) {
+	if p.dirty == nil || p.dirty[nd] {
+		return
+	}
+	wasEmpty := len(p.dirty) == 0
+	p.dirty[nd] = true
+	if wasEmpty {
+		for q, nodes := range p.callers {
+			for cnd := range nodes {
+				a.markDirty(q, cnd)
+			}
+		}
+	}
+}
+
+// registerRead records that evaluating node nd of f's PTF read the
+// points-to records of block b; a later write to b re-dirties nd.
+func (a *Analysis) registerRead(f *frame, b *memmod.Block, nd *cfg.Node) {
+	if !a.track || f == nil || nd == nil {
+		return
+	}
+	b = b.Representative()
+	set := a.readers[b]
+	if set == nil {
+		set = make(map[readerKey]bool)
+		a.readers[b] = set
+	}
+	set[readerKey{f.ptf, nd}] = true
+}
+
+// notifyWrite re-dirties every registered reader of block b.
+func (a *Analysis) notifyWrite(b *memmod.Block) {
+	if !a.track {
+		return
+	}
+	for k := range a.readers[b.Representative()] {
+		a.markDirty(k.ptf, k.nd)
+	}
+}
+
+// recordCaller registers a call site of callee so version bumps and
+// dirty transitions re-dirty the site.
+func (a *Analysis) recordCaller(callee, caller *PTF, nd *cfg.Node) {
+	if !a.track {
+		return
+	}
+	if callee.callers == nil {
+		callee.callers = make(map[*PTF]map[*cfg.Node]bool)
+	}
+	set := callee.callers[caller]
+	if set == nil {
+		set = make(map[*cfg.Node]bool)
+		callee.callers[caller] = set
+	}
+	set[nd] = true
 }
 
 func (a *Analysis) finishStats(start time.Time) {
@@ -373,16 +531,6 @@ func (a *Analysis) finishStats(start time.Time) {
 	}
 	a.stats.Duration = time.Since(start)
 	a.stats.PTFsCapped = a.capped
-}
-
-func (a *Analysis) ptfVersionSum() int {
-	n := 0
-	for _, list := range a.ptfs {
-		for _, p := range list {
-			n += p.version
-		}
-	}
-	return n
 }
 
 // Stats returns cumulative statistics (valid after Run).
@@ -432,16 +580,27 @@ func (a *Analysis) FuncBlock(name string) *memmod.Block {
 // newPTF allocates a PTF for proc created at the given home context.
 func (a *Analysis) newPTF(proc *cfg.Proc, homeNode *cfg.Node, homePTF *PTF) *PTF {
 	a.numPTFs++
+	nn := len(proc.Nodes)
 	p := &PTF{
 		Proc:         proc,
 		Pts:          ptset.New(proc),
-		locals:       make(map[*cast.Symbol]*memmod.Block),
+		locals:       make(map[*cast.Symbol]*memmod.Block, len(proc.Fn.Params)+8),
 		retval:       memmod.NewRetval(proc.Name),
-		globalParams: make(map[*cast.Symbol]*memmod.Block),
+		globalParams: make(map[*cast.Symbol]*memmod.Block, 4),
 		fpDomain:     make(map[*memmod.Block]map[*cast.Symbol]bool),
-		pointedBy:    make(map[*memmod.Block]int),
+		pointedBy:    make(map[*memmod.Block]int, 8),
 		homeNode:     homeNode,
 		homePTF:      homePTF,
+		mirrored:     -1,
+	}
+	if a.track {
+		p.dirty = make(map[*cfg.Node]bool, nn)
+		p.dirty[proc.Entry] = true
+		p.evaluated = make(map[*cfg.Node]bool, nn)
+		p.Pts.SetHooks(
+			func(loc memmod.LocSet) { a.notifyWrite(loc.Base) },
+			func(nd *cfg.Node) { a.markDirty(p, nd) },
+		)
 	}
 	a.ptfs[proc] = append(a.ptfs[proc], p)
 	return p

@@ -19,7 +19,7 @@ func (a *Analysis) evalCall(f *frame, nd *cfg.Node) bool {
 		targets = []*cast.Symbol{nd.Direct}
 	} else {
 		fv := a.evalExpr(f, nd.Fun, nd)
-		targets = a.callTargets(f, fv)
+		targets = a.callTargets(f, nd, fv)
 		if len(targets) == 0 {
 			return false // target unknown yet; iteration will return
 		}
@@ -42,8 +42,25 @@ func (a *Analysis) evalCall(f *frame, nd *cfg.Node) bool {
 
 // callTargets resolves function-pointer values to function symbols,
 // flagging extended parameters used as call targets and recording their
-// values in the PTF input domain (paper §5.1).
-func (a *Analysis) callTargets(f *frame, fv memmod.ValueSet) []*cast.Symbol {
+// values in the PTF input domain (paper §5.1). Resolutions not
+// involving extended parameters are cached per call node (parameter
+// values resolve through the activation's bindings and have input-domain
+// side effects, so they are recomputed). nd may be nil (library
+// callback invocation), which disables caching.
+func (a *Analysis) callTargets(f *frame, nd *cfg.Node, fv memmod.ValueSet) []*cast.Symbol {
+	hasParam := false
+	for _, l := range fv.Locs() {
+		if l.Resolve().Base.Kind == memmod.ParamBlock {
+			hasParam = true
+			break
+		}
+	}
+	cacheable := nd != nil && !hasParam
+	if cacheable {
+		if e, ok := f.ptf.targetCache[nd]; ok && e.fv.Equal(fv) {
+			return e.syms
+		}
+	}
 	out := make(map[*cast.Symbol]bool)
 	for _, l := range fv.Locs() {
 		l = l.Resolve()
@@ -60,7 +77,7 @@ func (a *Analysis) callTargets(f *frame, fv memmod.ValueSet) []*cast.Symbol {
 			for s := range resolved {
 				if !set[s] {
 					set[s] = true
-					f.ptf.version++
+					a.bumpVersion(f.ptf)
 				}
 				out[s] = true
 			}
@@ -73,12 +90,29 @@ func (a *Analysis) callTargets(f *frame, fv memmod.ValueSet) []*cast.Symbol {
 		syms = append(syms, s)
 	}
 	sort.Slice(syms, func(i, j int) bool { return syms[i].Name < syms[j].Name })
+	if cacheable {
+		if f.ptf.targetCache == nil {
+			f.ptf.targetCache = make(map[*cfg.Node]*targetEntry)
+		}
+		f.ptf.targetCache[nd] = &targetEntry{fv: fv.Clone(), syms: syms}
+	}
 	return syms
+}
+
+// funcSymVisit is a visited-set key for resolveFuncSyms: a parameter
+// binding already followed within one frame.
+type funcSymVisit struct {
+	f *frame
+	b *memmod.Block
 }
 
 // resolveFuncSyms follows parameter bindings up the call stack until
 // function blocks are reached.
 func (a *Analysis) resolveFuncSyms(f *frame, vals memmod.ValueSet, out map[*cast.Symbol]bool) {
+	a.resolveFuncSymsRec(f, vals, out, make(map[funcSymVisit]bool))
+}
+
+func (a *Analysis) resolveFuncSymsRec(f *frame, vals memmod.ValueSet, out map[*cast.Symbol]bool, vis map[funcSymVisit]bool) {
 	for _, l := range vals.Locs() {
 		l = l.Resolve()
 		switch l.Base.Kind {
@@ -86,6 +120,13 @@ func (a *Analysis) resolveFuncSyms(f *frame, vals memmod.ValueSet, out map[*cast
 			out[l.Base.Sym] = true
 		case memmod.ParamBlock:
 			p := l.Base.Representative()
+			// The outermost frame resolves its own bindings (caller ==
+			// nil recurses into the same frame), so a self-referential
+			// binding would loop forever without the visited set.
+			if vis[funcSymVisit{f, p}] {
+				continue
+			}
+			vis[funcSymVisit{f, p}] = true
 			bound, ok := f.pmap[p]
 			if !ok {
 				continue
@@ -94,7 +135,7 @@ func (a *Analysis) resolveFuncSyms(f *frame, vals memmod.ValueSet, out map[*cast
 			if next == nil {
 				next = f
 			}
-			a.resolveFuncSyms(next, bound, out)
+			a.resolveFuncSymsRec(next, bound, out, vis)
 		}
 	}
 }
@@ -117,6 +158,16 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 		}
 	}
 	ptf, pmap, needVisit := a.getPTF(f, nd, proc, args)
+	if f.ptf.siteUsed == nil {
+		f.ptf.siteUsed = make(map[siteKey]*PTF)
+	}
+	f.ptf.siteUsed[siteKey{nd, proc}] = ptf
+	if a.collecting != nil && !a.collecting[ptf] {
+		// Solution-collection pass: descend once into every reachable
+		// PTF so its call sites re-derive their parameter bindings.
+		a.collecting[ptf] = true
+		needVisit = true
+	}
 	cf := &frame{
 		ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap,
 	}
@@ -126,6 +177,10 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 		a.evalProc(cf)
 		a.stack = a.stack[:len(a.stack)-1]
 	}
+	// Register this call site after the visit (bumps during the
+	// callee's own evaluation need not re-dirty it: the fresh summary
+	// is applied right below) so later callee growth re-dirties it.
+	a.recordCaller(ptf, f.ptf, nd)
 	if !ptf.exitReached {
 		return false
 	}
@@ -145,6 +200,9 @@ func (a *Analysis) applyRecursive(f *frame, nd *cfg.Node, ptf *PTF, args []memmo
 	pmap := a.replayBindMerge(f, nd, ptf, args, true)
 	cf := &frame{ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap}
 	a.recordFormalBindings(cf, a.prog.FuncByName[ptf.Proc.Name], args)
+	// Register before the deferral check: the cycle head's exit-reached
+	// version bump must re-dirty this deferring site (§5.4).
+	a.recordCaller(ptf, f.ptf, nd)
 	if !ptf.exitReached {
 		// First iteration around the cycle: defer (paper §5.4), and
 		// record a forced-stale dependency so this PTF is revisited
@@ -199,8 +257,14 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 	default: // ReuseByAliasPattern
 		for _, p := range list {
 			if pmap, needVisit, ok := a.matchPTF(f, nd, p, args); ok {
-				if !needVisit && p.staleDeps() {
-					needVisit = true
+				if !needVisit {
+					if a.track {
+						// Worklist mode: the PTF's own dirty set says
+						// exactly whether anything inside needs work.
+						needVisit = len(p.dirty) > 0
+					} else if p.staleDeps() {
+						needVisit = true
+					}
 				}
 				return p, pmap, needVisit
 			}
@@ -222,6 +286,14 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 			if p.homeNode == nd && p.homePTF == f.ptf {
 				return p, a.replayBind(f, nd, p, args), true
 			}
+		}
+		// Same rule for a site that previously resolved to a PTF it did
+		// not create: its inputs are intermediate iteration values, so
+		// update that PTF's domain rather than allocating a duplicate
+		// for a transient state. Without this the set of PTFs depends
+		// on evaluation order.
+		if p := f.ptf.siteUsed[siteKey{nd, proc}]; p != nil {
+			return p, a.replayBind(f, nd, p, args), true
 		}
 		if (a.opts.MaxPTFs > 0 && len(list) >= a.opts.MaxPTFs) ||
 			(a.opts.MaxTotalPTFs > 0 && a.numPTFs >= a.opts.MaxTotalPTFs && len(list) > 0) {
@@ -319,7 +391,7 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 					merged := pmap[p]
 					merged.AddAll(actuals.Shift(-val.Off))
 					pmap[p] = merged
-					p.NotUnique = true
+					a.setNotUnique(p)
 					a.bindParamConcrete(cf, p, pmap[p])
 				}
 			} else {
@@ -370,7 +442,7 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 		e.val = memmod.Loc(p, 0, 0)
 		e.valEmpty = false
 		ptf.Pts.Assign(e.ptr.Resolve(), memmod.Values(memmod.Loc(p, 0, 0)), ptf.Proc.Entry, false)
-		ptf.version++
+		a.bumpVersion(ptf)
 		a.changed = true
 		needVisit = true
 	}
@@ -473,7 +545,23 @@ func (a *Analysis) extendParamPtrLocs(p *memmod.Block, bound memmod.ValueSet) bo
 			}
 		}
 	}
+	if extended {
+		// Dereferences through p may now see more locations.
+		a.notifyWrite(p)
+	}
 	return extended
+}
+
+// setNotUnique marks a parameter as possibly standing for several
+// locations at once, re-dirtying readers whose strong-update decisions
+// depended on its uniqueness.
+func (a *Analysis) setNotUnique(p *memmod.Block) {
+	p = p.Representative()
+	if p.NotUnique {
+		return
+	}
+	p.NotUnique = true
+	a.notifyWrite(p)
 }
 
 // replayBind rebinds every input-domain entry at this call site without
@@ -519,7 +607,7 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 				ptf.initial[i].val = memmod.Loc(p, 0, 0)
 				ptf.initial[i].valEmpty = false
 				ptf.Pts.Assign(e.ptr, memmod.Values(memmod.Loc(p, 0, 0)), ptf.Proc.Entry, false)
-				ptf.version++
+				a.bumpVersion(ptf)
 				a.changed = true
 				continue
 			}
@@ -532,7 +620,7 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 				}
 				if bound.AddAll(add) {
 					pmap[p] = bound
-					p.NotUnique = true
+					a.setNotUnique(p)
 				}
 			} else {
 				if val.Stride == 0 {
@@ -550,7 +638,7 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 				// space, since the recursive caller is the procedure
 				// itself).
 				if ptf.Pts.Assign(e.ptr.Resolve(), actuals, ptf.Proc.Entry, false) {
-					ptf.version++
+					a.bumpVersion(ptf)
 					a.changed = true
 				}
 			}
@@ -636,6 +724,7 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 	}
 	for _, dl := range order {
 		pw := pend[dl]
+		a.registerRead(f, dl.Base, nd)
 		strong := pw.strong && pw.sources == 1
 		merged := pw.vals.Clone()
 		if !strong {
@@ -646,7 +735,9 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 			merged.AddAll(old)
 		}
 		if !merged.IsEmpty() {
-			dl.Base.AddPtrLoc(dl)
+			if dl.Base.AddPtrLoc(dl) {
+				a.notifyWrite(dl.Base)
+			}
 		}
 		if f.ptf.Pts.Assign(dl, merged, nd, strong) {
 			changed = true
@@ -660,6 +751,7 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 			tvals := a.translateVals(cf, rvals)
 			dsts := a.evalExpr(f, nd.RetDst, nd)
 			for _, dl := range dsts.Locs() {
+				a.registerRead(f, dl.Base, nd)
 				strong := dsts.Len() == 1 && dl.Precise() && !multi && !f.multiTarget
 				merged := tvals.Clone()
 				if !strong {
@@ -670,7 +762,9 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 					merged.AddAll(old)
 				}
 				if !merged.IsEmpty() {
-					dl.Base.AddPtrLoc(dl)
+					if dl.Base.AddPtrLoc(dl) {
+						a.notifyWrite(dl.Base)
+					}
 				}
 				if f.ptf.Pts.Assign(dl, merged, nd, strong) {
 					changed = true

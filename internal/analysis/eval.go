@@ -7,10 +7,22 @@ import (
 	"wlpa/internal/memmod"
 )
 
-// evalProc iterates over the flow graph until the points-to function
+// evalProc evaluates a procedure instance until its points-to function
 // stops changing (paper Figure 8). Nodes are visited in reverse
-// postorder and never before one of their predecessors (§4.1).
+// postorder and never before one of their predecessors (§4.1). The
+// worklist engine seeds the iteration from the PTF's dirty nodes; the
+// full engine re-evaluates every node per sweep.
 func (a *Analysis) evalProc(f *frame) {
+	if a.track {
+		a.evalProcDirty(f)
+	} else {
+		a.evalProcFull(f)
+	}
+}
+
+// evalProcFull is the pre-worklist engine: sweep every node repeatedly
+// until no fact changes (kept as the ForceFullPasses cross-check).
+func (a *Analysis) evalProcFull(f *frame) {
 	f.evaluated = make(map[*cfg.Node]bool)
 	for iter := 0; ; iter++ {
 		if a.timedOut || (!a.deadline.IsZero() && time.Now().After(a.deadline)) {
@@ -43,14 +55,14 @@ func (a *Analysis) evalProc(f *frame) {
 				progress = true
 				a.changed = true
 				// The summary grew: dependents must revisit.
-				f.ptf.version++
+				a.bumpVersion(f.ptf)
 			}
 		}
 		if f.evaluated[f.ptf.Proc.Exit] && !f.ptf.exitReached {
 			f.ptf.exitReached = true
 			progress = true
 			a.changed = true
-			f.ptf.version++
+			a.bumpVersion(f.ptf)
 		}
 		if !progress {
 			return
@@ -59,6 +71,76 @@ func (a *Analysis) evalProc(f *frame) {
 			// Safety valve; analysis of a single procedure should
 			// converge in a handful of iterations.
 			return
+		}
+	}
+}
+
+// evalProcDirty is the worklist engine: only nodes marked dirty — the
+// entry on creation, successors of first-time evaluations (frontier
+// expansion), φ insertions, and nodes whose registered reads or callee
+// summaries changed — are re-evaluated, in reverse postorder. The
+// evaluated set persists on the PTF across visits, so a revisit touches
+// only the dirty seed and whatever its changes reach.
+func (a *Analysis) evalProcDirty(f *frame) {
+	p := f.ptf
+	f.evaluated = p.evaluated
+	for iter := 0; len(p.dirty) > 0; iter++ {
+		if a.timedOut || (!a.deadline.IsZero() && time.Now().After(a.deadline)) {
+			a.timedOut = true
+			return
+		}
+		progress := false
+		for _, nd := range p.Proc.Nodes {
+			if !p.dirty[nd] {
+				continue
+			}
+			if nd.Kind != cfg.EntryNode && !f.anyPredEvaluated(nd) {
+				// Not evaluable yet; stays dirty for a later sweep.
+				continue
+			}
+			delete(p.dirty, nd)
+			first := !f.evaluated[nd]
+			if first {
+				f.evaluated[nd] = true
+			}
+			progress = true
+			a.stats.NodesEvaluated++
+			factChanged := false
+			switch nd.Kind {
+			case cfg.MeetNode, cfg.ExitNode:
+				factChanged = a.evalMeet(f, nd)
+			case cfg.AssignNode:
+				factChanged = a.evalAssign(f, nd)
+			case cfg.CallNode:
+				factChanged = a.evalCall(f, nd)
+			}
+			if first {
+				for _, s := range nd.Succs {
+					a.markDirty(p, s)
+				}
+			}
+			if factChanged {
+				a.changed = true
+				a.bumpVersion(p)
+			}
+		}
+		if f.evaluated[p.Proc.Exit] && !p.exitReached {
+			p.exitReached = true
+			progress = true
+			a.changed = true
+			a.bumpVersion(p)
+		}
+		if !progress || iter > 1000 {
+			break
+		}
+	}
+	// Drop unevaluable residue (dirty nodes none of whose predecessors
+	// were ever evaluated — unreachable under the current facts): they
+	// cannot fire, and leaving them would make the PTF look permanently
+	// busy to the quiescence check and the caller cascade.
+	for nd := range p.dirty {
+		if nd.Kind != cfg.EntryNode && !f.anyPredEvaluated(nd) {
+			delete(p.dirty, nd)
 		}
 	}
 }
@@ -76,6 +158,7 @@ func (f *frame) anyPredEvaluated(nd *cfg.Node) bool {
 func (a *Analysis) evalMeet(f *frame, nd *cfg.Node) bool {
 	changed := false
 	for _, loc := range f.ptf.Pts.PhiLocs(nd) {
+		a.registerRead(f, loc.Base, nd)
 		var srcs memmod.ValueSet
 		for _, pred := range nd.Preds {
 			if !f.evaluated[pred] {
@@ -106,6 +189,9 @@ func (a *Analysis) evalContents(f *frame, v memmod.LocSet, nd *cfg.Node) memmod.
 		// an error the checkers report, not a source of values.
 		return memmod.ValueSet{}
 	}
+	// Every location considered below shares v's base block, so one
+	// registration covers the whole dereference.
+	a.registerRead(f, v.Base, nd)
 	var barrier *cfg.Node
 	if v.Precise() {
 		barrier = f.ptf.Pts.FindStrongUpdate(v, nd)
@@ -183,6 +269,9 @@ func (a *Analysis) evalAssign(f *frame, nd *cfg.Node) bool {
 	changed := false
 	strongOK := dsts.Len() == 1 && dsts.Locs()[0].Precise() && !f.multiTarget
 	for _, dst := range dsts.Locs() {
+		// The outcome depends on the destination's records (weak-update
+		// merge) and uniqueness (strong-update eligibility).
+		a.registerRead(f, dst.Base, nd)
 		newSrcs := srcs.Clone()
 		strong := strongOK
 		if !strong {
@@ -194,7 +283,9 @@ func (a *Analysis) evalAssign(f *frame, nd *cfg.Node) bool {
 			newSrcs.AddAll(old)
 		}
 		if !newSrcs.IsEmpty() {
-			dst.Base.AddPtrLoc(dst)
+			if dst.Base.AddPtrLoc(dst) {
+				a.notifyWrite(dst.Base)
+			}
 		}
 		if f.ptf.Pts.Assign(dst, newSrcs, nd, strong) {
 			changed = true
@@ -212,6 +303,7 @@ func (a *Analysis) evalAggregateCopy(f *frame, nd *cfg.Node, dsts memmod.ValueSe
 	changed := false
 	for _, src := range srcLocs.Locs() {
 		src = src.Resolve()
+		a.registerRead(f, src.Base, nd)
 		for _, pl := range src.Base.PtrLocs() {
 			// Field offset of the pointer within the source object.
 			rel := pl.Off - src.Off
@@ -230,6 +322,7 @@ func (a *Analysis) evalAggregateCopy(f *frame, nd *cfg.Node, dsts memmod.ValueSe
 				if src.Stride != 0 || pl.Stride != 0 {
 					target = dst.Unknown()
 				}
+				a.registerRead(f, target.Base, nd)
 				// Aggregate copies are always weak updates.
 				old, f2 := f.ptf.Pts.LookupIn(target, nd, nil)
 				if !f2 {
@@ -237,7 +330,9 @@ func (a *Analysis) evalAggregateCopy(f *frame, nd *cfg.Node, dsts memmod.ValueSe
 				}
 				merged := vals.Clone()
 				merged.AddAll(old)
-				target.Base.AddPtrLoc(target)
+				if target.Base.AddPtrLoc(target) {
+					a.notifyWrite(target.Base)
+				}
 				if f.ptf.Pts.Assign(target, merged, nd, false) {
 					changed = true
 					a.recordSolution(f, target, merged)

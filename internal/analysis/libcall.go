@@ -50,6 +50,7 @@ func (c *libCall) Store(dsts, vals memmod.ValueSet) {
 		return
 	}
 	for _, dl := range dsts.Locs() {
+		c.a.registerRead(c.f, dl.Base, c.nd)
 		// Library stores are always weak updates (the summary does
 		// not know which byte is written).
 		old, found := c.f.ptf.Pts.LookupIn(dl, c.nd, nil)
@@ -58,7 +59,9 @@ func (c *libCall) Store(dsts, vals memmod.ValueSet) {
 		}
 		merged := vals.Clone()
 		merged.AddAll(old)
-		dl.Base.AddPtrLoc(dl)
+		if dl.Base.AddPtrLoc(dl) {
+			c.a.notifyWrite(dl.Base)
+		}
 		if c.f.ptf.Pts.Assign(dl, merged, c.nd, false) {
 			c.changed = true
 			c.a.recordSolution(c.f, dl, merged)
@@ -69,6 +72,7 @@ func (c *libCall) Store(dsts, vals memmod.ValueSet) {
 func (c *libCall) Copy(dst, src memmod.ValueSet, size int64) {
 	for _, s := range src.Locs() {
 		s = s.Resolve()
+		c.a.registerRead(c.f, s.Base, c.nd)
 		for _, pl := range s.Base.PtrLocs() {
 			rel := pl.Off - s.Off
 			if size > 0 && (rel < 0 || rel >= size) && pl.Stride == 0 && s.Stride == 0 {
@@ -102,6 +106,7 @@ func (c *libCall) Return(v memmod.ValueSet) {
 	}
 	dsts := c.a.evalExpr(c.f, c.nd.RetDst, c.nd)
 	for _, dl := range dsts.Locs() {
+		c.a.registerRead(c.f, dl.Base, c.nd)
 		strong := dsts.Len() == 1 && dl.Precise() && !c.multi && !c.f.multiTarget
 		merged := v.Clone()
 		if !strong {
@@ -111,7 +116,9 @@ func (c *libCall) Return(v memmod.ValueSet) {
 			}
 			merged.AddAll(old)
 		}
-		dl.Base.AddPtrLoc(dl)
+		if dl.Base.AddPtrLoc(dl) {
+			c.a.notifyWrite(dl.Base)
+		}
 		if c.f.ptf.Pts.Assign(dl, merged, c.nd, strong) {
 			c.changed = true
 			c.a.recordSolution(c.f, dl, merged)
@@ -120,7 +127,7 @@ func (c *libCall) Return(v memmod.ValueSet) {
 }
 
 func (c *libCall) Invoke(targets memmod.ValueSet, args []memmod.ValueSet) {
-	syms := c.a.callTargets(c.f, targets)
+	syms := c.a.callTargets(c.f, nil, targets)
 	for _, sym := range syms {
 		fd := c.a.prog.FuncByName[sym.Name]
 		if fd == nil || fd.Body == nil {

@@ -105,13 +105,13 @@ func (a *Analysis) globalParam(f *frame, sym *cast.Symbol) *memmod.Block {
 	if p, delta, exact := a.findCoveringParam(f, memmod.Values(actual)); p != nil && exact && delta == 0 {
 		f.ptf.globalParams[sym] = p
 		f.ptf.initial = append(f.ptf.initial, initEntry{kind: globalRefEntry, sym: sym, param: p})
-		f.ptf.version++
+		a.bumpVersion(f.ptf)
 		return p
 	}
 	p := a.newParam(f, sym.Name, memmod.Values(actual))
 	f.ptf.globalParams[sym] = p
 	f.ptf.initial = append(f.ptf.initial, initEntry{kind: globalRefEntry, sym: sym, param: p})
-	f.ptf.version++
+	a.bumpVersion(f.ptf)
 	a.changed = true
 	return p
 }
@@ -272,7 +272,7 @@ func (a *Analysis) bindInitial(f *frame, v memmod.LocSet, actuals memmod.ValueSe
 	if empty {
 		e := initEntry{kind: ptrInitEntry, ptr: v, valEmpty: true}
 		f.ptf.initial = append(f.ptf.initial, e)
-		f.ptf.version++
+		a.bumpVersion(f.ptf)
 		f.ptf.Pts.Assign(v, memmod.ValueSet{}, f.ptf.Proc.Entry, false)
 		return memmod.ValueSet{}
 	}
@@ -310,8 +310,12 @@ func (a *Analysis) bindInitial(f *frame, v memmod.LocSet, actuals memmod.ValueSe
 				d, ex := subsumeDelta(f.pmap[q], merged)
 				q.Subsume(np, d, !ex)
 				a.subsumeEverywhere(q, np)
+				a.migrateReaders(q, np)
 			}
 			f.ptf.Pts.Rehome()
+			// Everything read through the merged parameter may resolve
+			// differently now.
+			a.notifyWrite(np)
 			val = memmod.Loc(np, 0, 1)
 			// The exact placement of these values within the merged
 			// parameter is unknown unless a consistent delta exists.
@@ -329,7 +333,7 @@ func (a *Analysis) bindInitial(f *frame, v memmod.LocSet, actuals memmod.ValueSe
 	if f.ptf.pointedBy[rep] > 1 {
 		bound := f.pmap[rep]
 		if !(bound.Len() == 1 && bound.Locs()[0].Precise()) {
-			rep.NotUnique = true
+			a.setNotUnique(rep)
 		}
 	}
 	if actuals.Len() > 1 {
@@ -341,7 +345,7 @@ func (a *Analysis) bindInitial(f *frame, v memmod.LocSet, actuals memmod.ValueSe
 	}
 	e := initEntry{kind: ptrInitEntry, ptr: v, val: val}
 	f.ptf.initial = append(f.ptf.initial, e)
-	f.ptf.version++
+	a.bumpVersion(f.ptf)
 	a.changed = true
 	vals := memmod.Values(val)
 	f.ptf.Pts.Assign(v, vals, f.ptf.Proc.Entry, false)
@@ -374,6 +378,30 @@ func (a *Analysis) subsumeEverywhere(q, np *memmod.Block) {
 			fr.ptf.pointedBy[np] += n
 			delete(fr.ptf.pointedBy, q)
 		}
+	}
+}
+
+// migrateReaders moves the read registrations of a subsumed block to its
+// subsumer (registrations key on the representative at registration
+// time) and re-dirties them: their reads resolve differently now.
+func (a *Analysis) migrateReaders(q, np *memmod.Block) {
+	if !a.track {
+		return
+	}
+	old := a.readers[q]
+	if old == nil {
+		return
+	}
+	delete(a.readers, q)
+	np = np.Representative()
+	set := a.readers[np]
+	if set == nil {
+		set = make(map[readerKey]bool, len(old))
+		a.readers[np] = set
+	}
+	for k := range old {
+		set[k] = true
+		a.markDirty(k.ptf, k.nd)
 	}
 }
 

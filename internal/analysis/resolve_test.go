@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"testing"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/ctype"
+	"wlpa/internal/memmod"
+)
+
+// TestResolveFuncSymsSelfBinding is a regression test: in the outermost
+// frame (caller == nil) resolveFuncSyms follows parameter bindings
+// within the same frame, so a parameter bound (directly or through a
+// cycle) to itself used to recurse without bound.
+func TestResolveFuncSymsSelfBinding(t *testing.T) {
+	a := &Analysis{}
+	p := memmod.NewParam(1, "fp")
+	f := &frame{pmap: map[*memmod.Block]memmod.ValueSet{
+		p: memmod.Values(memmod.Loc(p, 0, 0)),
+	}}
+	out := make(map[*cast.Symbol]bool)
+	// Must terminate (used to stack-overflow) and resolve nothing.
+	a.resolveFuncSyms(f, memmod.Values(memmod.Loc(p, 0, 0)), out)
+	if len(out) != 0 {
+		t.Errorf("resolved %d symbols from a self-referential binding, want 0", len(out))
+	}
+}
+
+// TestResolveFuncSymsCycleWithFunc checks that a binding cycle does not
+// hide function blocks reachable alongside it.
+func TestResolveFuncSymsCycleWithFunc(t *testing.T) {
+	a := &Analysis{}
+	sym := &cast.Symbol{Name: "callee", Type: ctype.IntType}
+	fb := memmod.NewFunc(sym)
+	p := memmod.NewParam(1, "fp")
+	q := memmod.NewParam(2, "fq")
+	var vals memmod.ValueSet
+	vals.Add(memmod.Loc(q, 0, 0))
+	vals.Add(memmod.Loc(fb, 0, 0))
+	f := &frame{pmap: map[*memmod.Block]memmod.ValueSet{
+		p: vals,                               // p -> {q, callee}
+		q: memmod.Values(memmod.Loc(p, 0, 0)), // q -> {p}: cycle
+	}}
+	out := make(map[*cast.Symbol]bool)
+	a.resolveFuncSyms(f, memmod.Values(memmod.Loc(p, 0, 0)), out)
+	if !out[sym] {
+		t.Errorf("function symbol not resolved through binding cycle; got %v", out)
+	}
+	if len(out) != 1 {
+		t.Errorf("resolved %d symbols, want 1", len(out))
+	}
+}

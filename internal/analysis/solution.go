@@ -132,12 +132,60 @@ func (a *Analysis) mirrorSummary(cf *frame) {
 	if a.solution == nil {
 		return
 	}
+	// Every record mutation in a callee bumps its version, so an
+	// unchanged version means this mirror would be a no-op (the union
+	// in the solution is idempotent).
+	if cf.ptf.version == cf.ptf.mirrored {
+		return
+	}
+	cf.ptf.mirrored = cf.ptf.version
 	for _, loc := range cf.ptf.Pts.Locations() {
 		for _, r := range cf.ptf.Pts.Records(loc) {
 			if r.Vals.IsEmpty() {
 				continue
 			}
 			a.recordSolution(cf, loc, r.Vals)
+		}
+	}
+}
+
+// collectSolution rebuilds the collapsed solution from the converged
+// fixpoint so that it is independent of iteration history: facts and
+// parameter bindings accumulated while iterating include transient
+// intermediate values that depend on evaluation order (and so differ
+// between the worklist engine and the full-pass fallback). A final
+// full-evaluation pass over the fixpoint — which changes no analysis
+// fact — re-derives every parameter binding and formal binding, and the
+// final sparse records of every PTF are then mirrored wholesale.
+func (a *Analysis) collectSolution(mf *frame) {
+	for k := range a.solution.raw {
+		delete(a.solution.raw, k)
+	}
+	a.solution.resolved = nil
+	a.solution.dirty = true
+	for p := range a.paramConcrete {
+		delete(a.paramConcrete, p)
+	}
+	track := a.track
+	a.track = false
+	a.collecting = map[*PTF]bool{mf.ptf: true}
+	a.stack = append(a.stack[:0], mf)
+	a.evalProc(mf)
+	a.stack = a.stack[:0]
+	a.collecting = nil
+	a.track = track
+	// At the fixpoint no assignment changes, so the pass above records
+	// bindings but no facts; mirror every PTF's final records directly.
+	for _, list := range a.ptfs {
+		for _, p := range list {
+			for _, loc := range p.Pts.Locations() {
+				for _, r := range p.Pts.Records(loc) {
+					if r.Vals.IsEmpty() {
+						continue
+					}
+					a.recordSolution(nil, loc, r.Vals)
+				}
+			}
 		}
 	}
 }

@@ -1,0 +1,75 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cparse"
+	"wlpa/internal/libsum"
+	"wlpa/internal/sem"
+	"wlpa/internal/workload"
+)
+
+// JSONEntry is one workload's measurement in the machine-readable
+// benchmark emission (BENCH_ptabench.json).
+type JSONEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	PTFsPerProc float64 `json:"ptfs_per_proc"`
+}
+
+// MeasureJSON analyzes every suite workload once and reports wall-clock
+// nanoseconds, heap allocations (mallocs) and PTFs per procedure for the
+// analysis phase only (frontend excluded, matching RunTable2One).
+func MeasureJSON() ([]JSONEntry, error) {
+	entries := make([]JSONEntry, 0, len(workload.Suite()))
+	for _, b := range workload.Suite() {
+		f, err := cparse.ParseSource(b.Name, b.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: parse: %w", b.Name, err)
+		}
+		prog, err := sem.Check(f)
+		if err != nil {
+			return nil, fmt.Errorf("%s: sem: %w", b.Name, err)
+		}
+		an, err := analysis.New(prog, analysis.Options{Lib: libsum.Summaries()})
+		if err != nil {
+			return nil, err
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if err := an.Run(); err != nil {
+			return nil, fmt.Errorf("%s: analysis: %w", b.Name, err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		entries = append(entries, JSONEntry{
+			Name:        b.Name,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: after.Mallocs - before.Mallocs,
+			PTFsPerProc: an.Stats().AvgPTFs(),
+		})
+	}
+	return entries, nil
+}
+
+// WriteJSON measures the suite and writes the entries to path as
+// indented JSON.
+func WriteJSON(path string) error {
+	entries, err := MeasureJSON()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -11,11 +11,25 @@ package memmod
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wlpa/internal/cast"
 	"wlpa/internal/ctok"
 	"wlpa/internal/ctype"
 )
+
+// subsumeGen counts parameter subsumptions process-wide. Caches holding
+// resolved location or value sets key their validity on it: any Subsume
+// can change what Resolve returns for already-stored sets, so a stale
+// generation means "re-resolve".
+var subsumeGen uint64
+
+// SubsumeGen returns the current subsumption generation.
+func SubsumeGen() uint64 { return atomic.LoadUint64(&subsumeGen) }
+
+// blockIDs hands out creation-order block identities (used for cheap
+// order-independent value-set hashing; never exposed or ordered on).
+var blockIDs uint64
 
 // BlockKind classifies memory blocks.
 type BlockKind int
@@ -94,62 +108,75 @@ type Block struct {
 	// ptrLocs records the location sets within this block that may
 	// contain pointers (paper §3.3). Keyed by (offset, stride).
 	ptrLocs map[offStride]bool
+
+	// ptrLocCache is the materialized PtrLocs slice, rebuilt after
+	// AddPtrLoc or Subsume invalidates it. Callers must not mutate it.
+	ptrLocCache []LocSet
+
+	// id is the creation-order identity used for value-set hashing.
+	id uint64
 }
 
 type offStride struct {
 	off, stride int64
 }
 
+// finish assigns the creation-order identity of a freshly built block.
+func finish(b *Block) *Block {
+	b.id = atomic.AddUint64(&blockIDs, 1)
+	return b
+}
+
 // NewLocal creates a block for a local variable.
 func NewLocal(sym *cast.Symbol) *Block {
-	return &Block{
+	return finish(&Block{
 		Kind: LocalBlock, Name: sym.Name, Sym: sym,
 		Size: sym.Type.Sizeof(), Type: sym.Type,
-	}
+	})
 }
 
 // NewGlobal creates the real storage block of a global variable.
 func NewGlobal(sym *cast.Symbol) *Block {
-	return &Block{
+	return finish(&Block{
 		Kind: GlobalBlock, Name: sym.Name, Sym: sym,
 		Size: sym.Type.Sizeof(), Type: sym.Type,
-	}
+	})
 }
 
 // NewHeap creates the block for a static allocation site.
 func NewHeap(site ctok.Pos) *Block {
-	return &Block{Kind: HeapBlock, Name: fmt.Sprintf("heap@%s", site), Site: site}
+	return finish(&Block{Kind: HeapBlock, Name: fmt.Sprintf("heap@%s", site), Site: site})
 }
 
 // NewFunc creates the block representing a function value.
 func NewFunc(sym *cast.Symbol) *Block {
-	return &Block{Kind: FuncBlock, Name: sym.Name, Sym: sym, Type: sym.Type}
+	return finish(&Block{Kind: FuncBlock, Name: sym.Name, Sym: sym, Type: sym.Type})
 }
 
 // NewString creates a block for a string literal.
 func NewString(id int, value string) *Block {
-	return &Block{
+	return finish(&Block{
 		Kind: StringBlock, Name: fmt.Sprintf("str%d", id),
 		Size: int64(len(value)) + 1,
-	}
+	})
 }
 
 // NewRetval creates the special return-value block of a procedure.
 func NewRetval(proc string) *Block {
-	return &Block{Kind: RetvalBlock, Name: "<retval:" + proc + ">", Size: ctype.PointerSize}
+	return finish(&Block{Kind: RetvalBlock, Name: "<retval:" + proc + ">", Size: ctype.PointerSize})
 }
 
 // NewNull creates the null pseudo-location block. Each analysis owns one
 // instance (blocks carry mutable per-analysis state).
 func NewNull() *Block {
-	return &Block{Kind: NullBlock, Name: "<null>"}
+	return finish(&Block{Kind: NullBlock, Name: "<null>"})
 }
 
 // NewParam creates an extended parameter. hint names the pointer through
 // which the parameter was first reached, following the paper's "1_p"
 // naming convention.
 func NewParam(index int, hint string) *Block {
-	return &Block{Kind: ParamBlock, Name: fmt.Sprintf("%d_%s", index, hint), Index: index}
+	return finish(&Block{Kind: ParamBlock, Name: fmt.Sprintf("%d_%s", index, hint), Index: index})
 }
 
 // Unique reports whether the block denotes a single run-time memory
@@ -177,12 +204,14 @@ func (b *Block) Subsume(target *Block, delta int64, unknownDelta bool) {
 	b.fwd = target
 	b.fwdDelta = delta
 	b.fwdUnknown = unknownDelta
+	atomic.AddUint64(&subsumeGen, 1)
 	// Pointer-location facts migrate to the subsuming block.
 	for os := range b.ptrLocs {
 		ls := LocSet{Base: b, Off: os.off, Stride: os.stride}.Resolve()
 		ls.Base.AddPtrLoc(ls)
 	}
 	b.ptrLocs = nil
+	b.ptrLocCache = nil
 }
 
 // Forwarded returns the block b currently forwards to (nil if none).
@@ -214,18 +243,22 @@ func (b *Block) AddPtrLoc(ls LocSet) bool {
 		return false
 	}
 	rb.ptrLocs[key] = true
+	rb.ptrLocCache = nil
 	return true
 }
 
 // PtrLocs returns the location sets within the block that may contain
-// pointers, in unspecified order.
+// pointers, in unspecified order. The caller must not mutate the result.
 func (b *Block) PtrLocs() []LocSet {
 	rb := b.Representative()
-	out := make([]LocSet, 0, len(rb.ptrLocs))
-	for os := range rb.ptrLocs {
-		out = append(out, LocSet{Base: rb, Off: os.off, Stride: os.stride})
+	if rb.ptrLocCache == nil && len(rb.ptrLocs) > 0 {
+		out := make([]LocSet, 0, len(rb.ptrLocs))
+		for os := range rb.ptrLocs {
+			out = append(out, LocSet{Base: rb, Off: os.off, Stride: os.stride})
+		}
+		rb.ptrLocCache = out
 	}
-	return out
+	return rb.ptrLocCache
 }
 
 // NumPtrLocs returns the number of recorded pointer locations.

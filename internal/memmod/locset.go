@@ -21,10 +21,14 @@ func Loc(base *Block, off, stride int64) LocSet {
 }
 
 func (l LocSet) canon() LocSet {
+	if l.Stride == 0 {
+		// Fast path: scalar positions need no reduction.
+		return l
+	}
 	if l.Stride < 0 {
 		l.Stride = -l.Stride
 	}
-	if l.Stride != 0 {
+	if l.Off < 0 || l.Off >= l.Stride {
 		l.Off = ((l.Off % l.Stride) + l.Stride) % l.Stride
 	}
 	return l
@@ -34,6 +38,10 @@ func (l LocSet) canon() LocSet {
 // adjusting the offset by the recorded delta. When the delta is unknown
 // the result has stride 1 (fully unknown position).
 func (l LocSet) Resolve() LocSet {
+	if l.Base.fwd == nil {
+		// Fast path: unforwarded bases only need canonicalization.
+		return l.canon()
+	}
 	for l.Base.fwd != nil {
 		if l.Base.fwdUnknown {
 			l = LocSet{Base: l.Base.fwd, Off: 0, Stride: 1}
@@ -148,9 +156,37 @@ func (l LocSet) String() string {
 // ValueSet is a set of location sets: the possible values of a pointer.
 // The zero value is the empty set. ValueSets are small in practice
 // (pointers typically have only a few possible values; paper §4.2), so a
-// slice with linear membership tests beats a map.
+// slice with linear membership tests beats a map. Members are stored
+// resolved (see Add); an order-independent hash of the members is kept
+// incrementally so set comparisons can reject mismatches without
+// re-comparing element-wise.
 type ValueSet struct {
 	locs []LocSet
+	hash uint64
+}
+
+// hashLoc mixes a location set into a 64-bit fingerprint (SplitMix64 on
+// the block identity and position). Hashes are combined by XOR, making
+// the set hash independent of insertion order.
+func hashLoc(l LocSet) uint64 {
+	z := l.Base.id ^ uint64(l.Off)*0x9e3779b97f4a7c15 ^ uint64(l.Stride)*0xbf58476d1ce4e5b9
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// allResolved reports whether every member is still its own resolved
+// form (no base has been subsumed since insertion).
+func (v ValueSet) allResolved() bool {
+	for _, l := range v.locs {
+		if l.Base.fwd != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Values constructs a ValueSet from the given members.
@@ -171,6 +207,7 @@ func (v *ValueSet) Add(l LocSet) bool {
 		}
 	}
 	v.locs = append(v.locs, l)
+	v.hash ^= hashLoc(l)
 	return true
 }
 
@@ -206,8 +243,14 @@ func (v ValueSet) IsEmpty() bool { return len(v.locs) == 0 }
 func (v ValueSet) Locs() []LocSet { return v.locs }
 
 // Resolved returns the set with all members resolved through subsumption
-// forwarding (deduplicated).
+// forwarding (deduplicated). When no member's base has been subsumed the
+// receiver is returned as-is (capacity-clipped so appends by the caller
+// cannot write into shared backing storage) — the common case, with no
+// allocation.
 func (v ValueSet) Resolved() ValueSet {
+	if v.allResolved() {
+		return ValueSet{locs: v.locs[:len(v.locs):len(v.locs)], hash: v.hash}
+	}
 	var out ValueSet
 	for _, l := range v.locs {
 		out.Add(l)
@@ -217,7 +260,7 @@ func (v ValueSet) Resolved() ValueSet {
 
 // Clone returns an independent copy.
 func (v ValueSet) Clone() ValueSet {
-	out := ValueSet{locs: make([]LocSet, len(v.locs))}
+	out := ValueSet{locs: make([]LocSet, len(v.locs)), hash: v.hash}
 	copy(out.locs, v.locs)
 	return out
 }
@@ -241,7 +284,24 @@ func (v ValueSet) WithStride(s int64) ValueSet {
 }
 
 // Equal reports whether two value sets have the same resolved members.
+// When both sets are fully resolved the cached hashes reject mismatches
+// in O(1) and confirmation compares members directly, with no allocation.
 func (v ValueSet) Equal(o ValueSet) bool {
+	if v.allResolved() && o.allResolved() {
+		if len(v.locs) != len(o.locs) || v.hash != o.hash {
+			return false
+		}
+	outer:
+		for _, l := range v.locs {
+			for _, e := range o.locs {
+				if e == l {
+					continue outer
+				}
+			}
+			return false
+		}
+		return true
+	}
 	a, b := v.Resolved(), o.Resolved()
 	if len(a.locs) != len(b.locs) {
 		return false

@@ -24,6 +24,34 @@ type Record struct {
 	Phi    bool // the record is a φ-function result
 }
 
+// lookupKey identifies one dominator-walk query. Dominance and the
+// barrier node are static per query site, so the only dynamic validity
+// inputs are the per-location generation and the global subsumption
+// generation, kept in the entry.
+type lookupKey struct {
+	loc       memmod.LocSet
+	at, after *cfg.Node
+	includeAt bool
+}
+
+type lookupEntry struct {
+	vals   memmod.ValueSet
+	found  bool
+	locGen uint64
+	subGen uint64
+}
+
+type suKey struct {
+	loc memmod.LocSet
+	at  *cfg.Node
+}
+
+type suEntry struct {
+	node   *cfg.Node
+	locGen uint64
+	subGen uint64
+}
+
 // PTS is the sparse points-to function for one procedure instance.
 type PTS struct {
 	proc *cfg.Proc
@@ -34,19 +62,47 @@ type PTS struct {
 
 	// phis maps a meet node to the locations having φ-functions there.
 	phis map[*cfg.Node]map[memmod.LocSet]bool
+
+	// locGens counts record changes per location key. Cached lookups
+	// remember the generation they observed and are valid only while it
+	// (and the global subsumption generation) still matches.
+	locGens     map[memmod.LocSet]uint64
+	lookupCache map[lookupKey]lookupEntry
+	suCache     map[suKey]suEntry
+	locsCache   []memmod.LocSet
+	phiCache    map[*cfg.Node][]memmod.LocSet
+
+	// onChange fires after any record change to a location; onPhi fires
+	// when a new φ-function is placed at a node. The worklist engine
+	// uses them for dependency-tracked re-evaluation.
+	onChange func(memmod.LocSet)
+	onPhi    func(*cfg.Node)
 }
 
 // New creates an empty points-to function over proc.
 func New(proc *cfg.Proc) *PTS {
 	return &PTS{
-		proc: proc,
-		recs: make(map[memmod.LocSet][]*Record),
-		phis: make(map[*cfg.Node]map[memmod.LocSet]bool),
+		proc:        proc,
+		recs:        make(map[memmod.LocSet][]*Record),
+		phis:        make(map[*cfg.Node]map[memmod.LocSet]bool),
+		locGens:     make(map[memmod.LocSet]uint64),
+		lookupCache: make(map[lookupKey]lookupEntry),
+		suCache:     make(map[suKey]suEntry),
+		phiCache:    make(map[*cfg.Node][]memmod.LocSet),
 	}
 }
 
 // Proc returns the procedure this points-to function covers.
 func (p *PTS) Proc() *cfg.Proc { return p.proc }
+
+// SetHooks installs change notification callbacks. onChange is invoked
+// after a record for loc changes (new record, widened values, or a
+// weakened strong flag); onPhi is invoked when a φ-function is first
+// placed for some location at a node. Either may be nil.
+func (p *PTS) SetHooks(onChange func(memmod.LocSet), onPhi func(*cfg.Node)) {
+	p.onChange = onChange
+	p.onPhi = onPhi
+}
 
 // LookupIn returns the values of loc flowing INTO node at (excluding any
 // record at the node itself): the nearest strictly-dominating record.
@@ -65,6 +121,12 @@ func (p *PTS) LookupOut(loc memmod.LocSet, at *cfg.Node, after *cfg.Node) (memmo
 
 func (p *PTS) lookup(loc memmod.LocSet, at *cfg.Node, after *cfg.Node, includeAt bool) (memmod.ValueSet, bool) {
 	loc = loc.Resolve()
+	key := lookupKey{loc, at, after, includeAt}
+	sg := memmod.SubsumeGen()
+	lg := p.locGens[loc]
+	if e, ok := p.lookupCache[key]; ok && e.subGen == sg && e.locGen == lg {
+		return e.vals, e.found
+	}
 	var best *Record
 	for _, r := range p.recs[loc] {
 		if r.Node == at && !includeAt {
@@ -80,10 +142,13 @@ func (p *PTS) lookup(loc memmod.LocSet, at *cfg.Node, after *cfg.Node, includeAt
 			best = r
 		}
 	}
-	if best == nil {
-		return memmod.ValueSet{}, false
+	var vals memmod.ValueSet
+	found := best != nil
+	if found {
+		vals = best.Vals.Resolved()
 	}
-	return best.Vals.Resolved(), true
+	p.lookupCache[key] = lookupEntry{vals: vals, found: found, locGen: lg, subGen: sg}
+	return vals, found
 }
 
 // RecordAt returns the record for loc exactly at node, or nil.
@@ -130,12 +195,27 @@ func (p *PTS) assign(loc memmod.LocSet, vals memmod.ValueSet, at *cfg.Node, stro
 				changed = true
 			}
 		}
+		if changed {
+			p.bumpLoc(loc)
+		}
 		return changed
 	}
 	r := &Record{Node: at, Loc: loc, Vals: vals.Clone(), Strong: strong, Phi: phi}
+	if len(p.recs[loc]) == 0 {
+		p.locsCache = nil
+	}
 	p.recs[loc] = append(p.recs[loc], r)
+	p.bumpLoc(loc)
 	p.insertPhis(loc, at)
 	return true
+}
+
+// bumpLoc invalidates cached queries about loc and fires onChange.
+func (p *PTS) bumpLoc(loc memmod.LocSet) {
+	p.locGens[loc]++
+	if p.onChange != nil {
+		p.onChange(loc)
+	}
 }
 
 // insertPhis places φ-functions for loc on the iterated dominance
@@ -155,23 +235,31 @@ func (p *PTS) insertPhis(loc memmod.LocSet, node *cfg.Node) {
 				continue
 			}
 			set[loc] = true
+			delete(p.phiCache, m)
+			if p.onPhi != nil {
+				p.onPhi(m)
+			}
 			work = append(work, m)
 		}
 	}
 }
 
 // PhiLocs returns the locations with φ-functions at meet node nd, in a
-// deterministic order.
+// deterministic order. The caller must not mutate the result.
 func (p *PTS) PhiLocs(nd *cfg.Node) []memmod.LocSet {
 	set := p.phis[nd]
 	if len(set) == 0 {
 		return nil
+	}
+	if out, ok := p.phiCache[nd]; ok {
+		return out
 	}
 	out := make([]memmod.LocSet, 0, len(set))
 	for loc := range set {
 		out = append(out, loc)
 	}
 	sort.Slice(out, func(i, j int) bool { return lessLoc(out[i], out[j]) })
+	p.phiCache[nd] = out
 	return out
 }
 
@@ -189,6 +277,12 @@ func lessLoc(a, b memmod.LocSet) bool {
 // at) holding a strong update of loc, or nil (paper Figure 10).
 func (p *PTS) FindStrongUpdate(loc memmod.LocSet, at *cfg.Node) *cfg.Node {
 	loc = loc.Resolve()
+	key := suKey{loc, at}
+	sg := memmod.SubsumeGen()
+	lg := p.locGens[loc]
+	if e, ok := p.suCache[key]; ok && e.subGen == sg && e.locGen == lg {
+		return e.node
+	}
 	var best *Record
 	for _, r := range p.recs[loc] {
 		if !r.Strong || r.Node == at || !r.Node.Dominates(at) {
@@ -198,20 +292,26 @@ func (p *PTS) FindStrongUpdate(loc memmod.LocSet, at *cfg.Node) *cfg.Node {
 			best = r
 		}
 	}
-	if best == nil {
-		return nil
+	var nd *cfg.Node
+	if best != nil {
+		nd = best.Node
 	}
-	return best.Node
+	p.suCache[key] = suEntry{node: nd, locGen: lg, subGen: sg}
+	return nd
 }
 
 // Locations returns every location set with at least one record, in a
-// deterministic order.
+// deterministic order. The caller must not mutate the result.
 func (p *PTS) Locations() []memmod.LocSet {
+	if p.locsCache != nil || len(p.recs) == 0 {
+		return p.locsCache
+	}
 	out := make([]memmod.LocSet, 0, len(p.recs))
 	for loc := range p.recs {
 		out = append(out, loc)
 	}
 	sort.Slice(out, func(i, j int) bool { return lessLoc(out[i], out[j]) })
+	p.locsCache = out
 	return out
 }
 
@@ -229,7 +329,9 @@ func (p *PTS) NumRecords() int {
 
 // Rehome re-canonicalizes all record keys after parameter subsumption:
 // keys whose base was subsumed are resolved and merged. The analysis
-// calls this after introducing a subsumption (paper §3.2).
+// calls this after introducing a subsumption (paper §3.2). All memoized
+// query state is discarded (the subsumption-generation guard already
+// invalidates cached entries; clearing reclaims the memory).
 func (p *PTS) Rehome() {
 	dirty := false
 	for loc := range p.recs {
@@ -266,4 +368,9 @@ func (p *PTS) Rehome() {
 		}
 		p.phis[nd] = ns
 	}
+	p.locGens = make(map[memmod.LocSet]uint64)
+	p.lookupCache = make(map[lookupKey]lookupEntry)
+	p.suCache = make(map[suKey]suEntry)
+	p.locsCache = nil
+	p.phiCache = make(map[*cfg.Node][]memmod.LocSet)
 }
