@@ -101,6 +101,47 @@ func BenchmarkTable3(b *testing.B) {
 	}
 }
 
+// BenchmarkWorkerScaling measures the parallel pre-drain scheduler at
+// increasing worker counts, over three Table 2 programs and a synthetic
+// fan-out program (see fanOutSource) shaped so independent drains
+// actually batch. On a single-CPU host the worker counts above 1 only
+// measure scheduling overhead — record the numbers with that caveat.
+func BenchmarkWorkerScaling(b *testing.B) {
+	type job struct{ name, src string }
+	jobs := []job{{"fanout32", fanOutSource(32)}}
+	for _, name := range []string{"loader", "football", "compiler"} {
+		wb, ok := workload.ByName(name)
+		if !ok {
+			b.Fatalf("missing %s", name)
+		}
+		jobs = append(jobs, job{name, wb.Source})
+	}
+	for _, j := range jobs {
+		for _, w := range []int{1, 2, 4, 8} {
+			j, w := j, w
+			b.Run(fmt.Sprintf("%s/workers=%d", j.name, w), func(b *testing.B) {
+				var epochs int
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					prog := mustProgram(b, j.name, j.src)
+					an, err := analysis.New(prog, analysis.Options{
+						Lib: libsum.Summaries(), Workers: w,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if err := an.Run(); err != nil {
+						b.Fatal(err)
+					}
+					epochs = an.Stats().ParallelEpochs
+				}
+				b.ReportMetric(float64(epochs), "epochs")
+			})
+		}
+	}
+}
+
 // BenchmarkInvocationGraph reproduces the §7 comparison: the size of the
 // Emami-style invocation graph vs the number of PTFs.
 func BenchmarkInvocationGraph(b *testing.B) {

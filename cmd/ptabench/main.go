@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	ptabench [-table2] [-invoke] [-ablation benchmark]
+//	ptabench [-table2] [-invoke] [-ablation benchmark] [-workers n]
 //	         [-json file] [-cpuprofile file] [-memprofile file]
 package main
 
@@ -23,7 +23,8 @@ func main() {
 		table2     = flag.Bool("table2", true, "run the Table 2 harness")
 		invokeC    = flag.Bool("invoke", true, "run the invocation-graph comparison")
 		ablation   = flag.String("ablation", "eqntott", "benchmark for the reuse-policy ablation (empty to skip)")
-		jsonOut    = flag.String("json", "", "write per-workload measurements (ns/op, allocs/op, PTFs/proc) to this file")
+		jsonOut    = flag.String("json", "", "write per-workload measurements (ns/op, allocs/op, PTFs/proc, engine, workers) to this file")
+		workers    = flag.Int("workers", 1, "analysis worker-pool size for -json runs (0 = GOMAXPROCS, 1 = sequential)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -61,7 +62,7 @@ func main() {
 		fmt.Println(bench.FormatAblation(rows))
 	}
 	if *jsonOut != "" {
-		if err := bench.WriteJSON(*jsonOut); err != nil {
+		if err := bench.WriteJSON(*jsonOut, *workers); err != nil {
 			fatal(err)
 		}
 	}

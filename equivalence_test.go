@@ -20,33 +20,39 @@ import (
 	"wlpa/internal/workload"
 )
 
+// analyzeWith runs one source through the analysis with the base
+// options (lib summaries, solution collection, null tracking) plus the
+// engine selectors force/workers.
+func analyzeWith(t *testing.T, name, src string, force bool, workers int) *analysis.Analysis {
+	t.Helper()
+	f, err := cparse.ParseSource(name, src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("%s: sem: %v", name, err)
+	}
+	an, err := analysis.New(prog, analysis.Options{
+		Lib:             libsum.Summaries(),
+		CollectSolution: true,
+		TrackNull:       true,
+		ForceFullPasses: force,
+		Workers:         workers,
+	})
+	if err != nil {
+		t.Fatalf("%s: new: %v", name, err)
+	}
+	if err := an.Run(); err != nil {
+		t.Fatalf("%s: run (force=%v workers=%d): %v", name, force, workers, err)
+	}
+	return an
+}
+
 // analyzeBoth runs the same source through both engines.
 func analyzeBoth(t *testing.T, name, src string) (worklist, full *analysis.Analysis) {
 	t.Helper()
-	build := func(force bool) *analysis.Analysis {
-		f, err := cparse.ParseSource(name, src)
-		if err != nil {
-			t.Fatalf("%s: parse: %v", name, err)
-		}
-		prog, err := sem.Check(f)
-		if err != nil {
-			t.Fatalf("%s: sem: %v", name, err)
-		}
-		an, err := analysis.New(prog, analysis.Options{
-			Lib:             libsum.Summaries(),
-			CollectSolution: true,
-			TrackNull:       true,
-			ForceFullPasses: force,
-		})
-		if err != nil {
-			t.Fatalf("%s: new: %v", name, err)
-		}
-		if err := an.Run(); err != nil {
-			t.Fatalf("%s: run (force=%v): %v", name, force, err)
-		}
-		return an
-	}
-	return build(false), build(true)
+	return analyzeWith(t, name, src, false, 1), analyzeWith(t, name, src, true, 1)
 }
 
 // solutionDump renders the collapsed solution deterministically: one
@@ -151,6 +157,70 @@ func TestEngineEquivalenceFixtures(t *testing.T) {
 			}
 			if wd, fd := diagDump(t, wl), diagDump(t, full); wd != fd {
 				t.Errorf("diagnostics differ:\n-- worklist --\n%s\n-- full --\n%s", wd, fd)
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceParallel proves the parallel pre-drain scheduler
+// is invisible in the results: at every worker count the analysis
+// produces the same PTF counts, collapsed Solution, and checker
+// diagnostics as the sequential worklist engine. Worker counts are set
+// explicitly because on a single-CPU host GOMAXPROCS(0) == 1 and the
+// default configuration never parallelizes.
+func TestEngineEquivalenceParallel(t *testing.T) {
+	suite := workload.Suite()
+	if len(suite) == 0 {
+		t.Fatal("empty workload suite")
+	}
+	for _, wb := range suite {
+		wb := wb
+		t.Run(wb.Name, func(t *testing.T) {
+			t.Parallel()
+			seq := analyzeWith(t, wb.Name, wb.Source, false, 1)
+			ss := seq.Stats()
+			sd, sdiag := solutionDump(seq), diagDump(t, seq)
+			for _, w := range []int{2, 4, 8} {
+				par := analyzeWith(t, wb.Name, wb.Source, false, w)
+				ps := par.Stats()
+				if ps.PTFs != ss.PTFs {
+					t.Errorf("workers=%d: PTFs = %d, want %d", w, ps.PTFs, ss.PTFs)
+				}
+				if ps.Procedures != ss.Procedures {
+					t.Errorf("workers=%d: Procedures = %d, want %d", w, ps.Procedures, ss.Procedures)
+				}
+				comparePTFsPerProc(t, wb.Name, ps.PTFsPerProc, ss.PTFsPerProc)
+				if pd := solutionDump(par); pd != sd {
+					t.Errorf("workers=%d: solution dumps differ; first divergence:\n%s", w, firstDiff(pd, sd))
+				}
+				if pdiag := diagDump(t, par); pdiag != sdiag {
+					t.Errorf("workers=%d: diagnostics differ:\n-- parallel --\n%s\n-- sequential --\n%s", w, pdiag, sdiag)
+				}
+			}
+		})
+	}
+}
+
+// TestEngineEquivalenceParallelFixtures extends the parallel comparison
+// to the seeded-bug programs the checkers are validated on.
+func TestEngineEquivalenceParallelFixtures(t *testing.T) {
+	for name, src := range workload.BugFixtures() {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			seq := analyzeWith(t, name, src, false, 1)
+			sd, sdiag := solutionDump(seq), diagDump(t, seq)
+			for _, w := range []int{2, 4, 8} {
+				par := analyzeWith(t, name, src, false, w)
+				if par.Stats().PTFs != seq.Stats().PTFs {
+					t.Errorf("workers=%d: PTFs = %d, want %d", w, par.Stats().PTFs, seq.Stats().PTFs)
+				}
+				if pd := solutionDump(par); pd != sd {
+					t.Errorf("workers=%d: solution dumps differ; first divergence:\n%s", w, firstDiff(pd, sd))
+				}
+				if pdiag := diagDump(t, par); pdiag != sdiag {
+					t.Errorf("workers=%d: diagnostics differ:\n-- parallel --\n%s\n-- sequential --\n%s", w, pdiag, sdiag)
+				}
 			}
 		})
 	}

@@ -1,16 +1,10 @@
-// Package analysis implements the context-sensitive pointer analysis of
-// Wilson & Lam (PLDI '95): an iterative flow-sensitive intraprocedural
-// analysis whose interprocedural behavior is governed by partial transfer
-// functions (PTFs). A PTF summarizes a procedure under the alias
-// relationships (and function-pointer input values) that held when it was
-// created, and is reused at every call site exhibiting the same input
-// domain. Extended parameters name the locations reached through input
-// pointers; they are created lazily, subsumed when inputs alias, and form
-// the procedure's parametrized name space.
 package analysis
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"wlpa/internal/cast"
@@ -125,6 +119,12 @@ type Options struct {
 	// pre-worklist behavior). Both engines must produce identical
 	// results; this exists as a cross-check and fallback.
 	ForceFullPasses bool
+	// Workers sets the size of the parallel scheduler's worker pool.
+	// 0 means runtime.GOMAXPROCS(0); 1 disables parallel scheduling.
+	// Parallel scheduling requires the worklist engine and the
+	// paper's reuse policy; other configurations silently run
+	// sequentially. Results are identical for every worker count.
+	Workers int
 }
 
 // ErrTimeout is returned by Run when Options.Timeout is exceeded.
@@ -143,6 +143,18 @@ type Stats struct {
 	// merge (the analysis degraded toward a context-insensitive
 	// summary to stay tractable).
 	PTFsCapped bool
+	// Workers is the effective worker-pool size (1 when the parallel
+	// scheduler was disabled or inapplicable).
+	Workers int
+	// ParallelEpochs counts scheduler epochs (batches of mutually
+	// independent work items drained concurrently).
+	ParallelEpochs int
+	// ParallelItems counts work items drained by the parallel
+	// scheduler across all epochs.
+	ParallelItems int
+	// WorkerBusy records, per worker, the wall-clock time spent
+	// evaluating work items (nil when the scheduler never ran).
+	WorkerBusy []time.Duration
 }
 
 // AvgPTFs returns the average number of PTFs per analyzed procedure.
@@ -261,6 +273,17 @@ type PTF struct {
 	// targetCache caches the resolved call-target slice per call node
 	// for function-pointer values not involving extended parameters.
 	targetCache map[*cfg.Node]*targetEntry
+
+	// lastBind is the most recent binding frame (argument values and
+	// parameter map in the caller's name space) under which this PTF was
+	// applied; the parallel scheduler re-creates a standalone evaluation
+	// stack from it to drain the PTF's dirty nodes off the main walk.
+	lastBind *frame
+	// octx is the evaluation context currently owning this PTF. It is
+	// the unrestricted main context except while an epoch is in flight,
+	// when PTFs inside a work item's cone point at the worker's context
+	// so that ptset hooks buffer instead of mutating shared state.
+	octx *evalCtx
 }
 
 // siteKey identifies a resolved call edge: a call node in the caller's
@@ -303,31 +326,58 @@ type Analysis struct {
 	// LibCall.Free.
 	frees map[freeKey]*memmod.ValueSet
 
-	ptfs    map[*cfg.Proc][]*PTF
-	stack   []*frame
+	// ptfs lists the PTFs of every procedure in creation order. The map
+	// is fully populated in New and never structurally mutated again, so
+	// workers may read it without locking; appends go through the
+	// per-procedure ptfList, which only the procedure's owning context
+	// touches during an epoch.
+	ptfs    map[*cfg.Proc]*ptfList
 	mainPTF *PTF
 
-	paramCount int
-	numPTFs    int
-	capped     bool
-	deadline   time.Time
-	timedOut   bool
-	stats      Stats
-	solution   *Solution
+	numPTFs  int64 // atomic: workers create PTFs concurrently
+	capped   bool
+	deadline time.Time
+	timedOut atomic.Bool
+	stats    Stats
+	solution *Solution
 
 	// paramConcrete accumulates, per extended parameter, the union of
 	// the raw actual bindings it received across every context; resolved
-	// transitively when building the collapsed Solution.
+	// transitively when building the collapsed Solution. Guarded by
+	// solMu while the parallel scheduler runs.
 	paramConcrete map[*memmod.Block]*memmod.ValueSet
-
-	// changed is set whenever any points-to fact or PTF domain grows
-	// during the current top-level pass.
-	changed bool
 
 	// versionClock counts every PTF version increment program-wide; the
 	// convergence test compares it across passes instead of rescanning
-	// all PTFs.
+	// all PTFs. Atomic: workers bump versions of PTFs they own.
 	versionClock uint64
+
+	// mainCtx is the unrestricted evaluation context used by the
+	// sequential walk from main; worker contexts are restricted to the
+	// procedures of their work item's cone.
+	mainCtx *evalCtx
+
+	// internMu guards the four interning maps above (global, function,
+	// string and heap blocks), which workers may extend concurrently.
+	internMu sync.Mutex
+	// solMu guards solution.add, solution.dirty and paramConcrete.
+	solMu sync.Mutex
+
+	// par enables the parallel pre-drain scheduler; workers is the
+	// effective pool size; sched caches the static call-graph
+	// condensation; workerBusy accumulates per-worker busy time.
+	par     bool
+	workers int
+	sched   *schedule
+
+	// pendingDrain is set when a call site deferred itself behind the
+	// drain of a dirty callee PTF so the scheduler could batch the
+	// drains; preDrain clears it once every such PTF has been drained
+	// (in parallel or by its sequential fallback). draining guards
+	// against re-entrant synchronous drains of the same PTF.
+	pendingDrain bool
+	draining     map[*PTF]bool
+	workerBusy   []time.Duration
 
 	// track enables the dependency-tracked worklist engine.
 	track bool
@@ -346,6 +396,11 @@ type frame struct {
 	ptf      *PTF
 	caller   *frame
 	callNode *cfg.Node // call site in the caller (nil for main)
+
+	// c is the evaluation context this frame runs under (the main
+	// context on the sequential walk, a worker's context inside an
+	// epoch).
+	c *evalCtx
 
 	// args are the actual argument value sets (caller name space).
 	args []memmod.ValueSet
@@ -380,8 +435,26 @@ func New(prog *sem.Program, opts Options) (*Analysis, error) {
 		funcBlocks:   make(map[*cast.Symbol]*memmod.Block),
 		strBlocks:    make(map[int]*memmod.Block),
 		heapBlocks:   make(map[string]*memmod.Block),
-		ptfs:         make(map[*cfg.Proc][]*PTF),
+		ptfs:         make(map[*cfg.Proc]*ptfList, len(procs)),
 		track:        !opts.ForceFullPasses,
+	}
+	a.mainCtx = &evalCtx{a: a}
+	// Populate the PTF lists up front so the map itself is immutable
+	// from here on (workers append to the per-procedure lists only).
+	for _, proc := range procs {
+		a.ptfs[proc] = &ptfList{}
+	}
+	a.workers = opts.Workers
+	if a.workers <= 0 {
+		a.workers = runtime.GOMAXPROCS(0)
+	}
+	// The parallel scheduler needs the worklist engine (dirty sets drive
+	// the work items) and exact PTF-domain matching; the PTF caps make
+	// creation order observable, so they force sequential mode too.
+	a.par = a.workers > 1 && a.track && opts.Reuse == ReuseByAliasPattern &&
+		opts.MaxPTFs == 0 && opts.MaxTotalPTFs == 0
+	if !a.par {
+		a.workers = 1
 	}
 	if a.track {
 		a.readers = make(map[*memmod.Block]map[readerKey]bool)
@@ -392,6 +465,9 @@ func New(prog *sem.Program, opts Options) (*Analysis, error) {
 	a.stats.PTFsPerProc = make(map[string]int)
 	if opts.CollectSolution {
 		a.solution = newSolution()
+		a.solution.resolve = func(v memmod.ValueSet) memmod.ValueSet {
+			return a.concretize(nil, v, 0)
+		}
 		a.paramConcrete = make(map[*memmod.Block]*memmod.ValueSet)
 	}
 	return a, nil
@@ -407,21 +483,32 @@ func (a *Analysis) Run() error {
 		return &Error{Msg: "program has no main function"}
 	}
 	mainProc := a.procs[a.prog.Main]
-	a.mainPTF = a.newPTF(mainProc, nil, nil)
+	a.mainPTF = a.newPTF(a.mainCtx, mainProc, nil, nil)
 	mf := &frame{
 		ptf:  a.mainPTF,
 		pmap: make(map[*memmod.Block]memmod.ValueSet),
+		c:    a.mainCtx,
 	}
 	a.seedGlobals(mf)
 	for pass := 1; ; pass++ {
 		a.stats.Passes = pass
-		a.changed = false
-		clock := a.versionClock
-		a.stack = a.stack[:0]
-		a.stack = append(a.stack, mf)
+		a.mainCtx.changed = false
+		clock := atomic.LoadUint64(&a.versionClock)
+		if a.par && pass > 1 {
+			// Pre-drain: evaluate dirty PTFs of mutually independent
+			// call-graph cones concurrently before the sequential walk
+			// from main handles whatever remains (pass 1 is inherently
+			// sequential — no binding frames exist yet).
+			a.preDrain()
+			if a.timedOut.Load() {
+				a.finishStats(start)
+				return ErrTimeout
+			}
+		}
+		a.mainCtx.stack = append(a.mainCtx.stack[:0], mf)
 		a.evalProc(mf)
-		a.stack = a.stack[:0]
-		if a.timedOut {
+		a.mainCtx.stack = a.mainCtx.stack[:0]
+		if a.timedOut.Load() {
 			a.finishStats(start)
 			return ErrTimeout
 		}
@@ -429,10 +516,10 @@ func (a *Analysis) Run() error {
 			// Worklist convergence: every dirty node reachable through
 			// the caller cascade was drained through main's dirty set,
 			// so a clean main plus a stable version clock is quiescence.
-			if len(a.mainPTF.dirty) == 0 && a.versionClock == clock {
+			if len(a.mainPTF.dirty) == 0 && atomic.LoadUint64(&a.versionClock) == clock {
 				break
 			}
-		} else if !a.changed && a.versionClock == clock {
+		} else if !a.mainCtx.changed && atomic.LoadUint64(&a.versionClock) == clock {
 			break
 		}
 		if pass >= a.opts.MaxPasses {
@@ -448,14 +535,15 @@ func (a *Analysis) Run() error {
 
 // bumpVersion increments a PTF's summary version (and the program-wide
 // version clock) and re-dirties every recorded call site of the PTF so
-// callers re-apply the grown summary.
-func (a *Analysis) bumpVersion(p *PTF) {
+// callers re-apply the grown summary. Only p's owning context calls
+// this; foreign call sites are buffered via markDirty.
+func (a *Analysis) bumpVersion(c *evalCtx, p *PTF) {
 	p.version++
-	a.versionClock++
+	atomic.AddUint64(&a.versionClock, 1)
 	if a.track {
 		for q, nodes := range p.callers {
 			for nd := range nodes {
-				a.markDirty(q, nd)
+				a.markDirty(c, q, nd)
 			}
 		}
 	}
@@ -465,8 +553,21 @@ func (a *Analysis) bumpVersion(p *PTF) {
 // quiescent to dirty its call sites are re-dirtied too, so the dirt
 // cascades up to main and the next pass descends into p; the
 // already-dirty guard bounds the cascade on recursive call cycles.
-func (a *Analysis) markDirty(p *PTF, nd *cfg.Node) {
-	if p.dirty == nil || p.dirty[nd] {
+// A restricted context buffers marks for PTFs outside its cone; the
+// epoch commit replays them on the main context.
+func (a *Analysis) markDirty(c *evalCtx, p *PTF, nd *cfg.Node) {
+	if p.dirty == nil {
+		return
+	}
+	if c != nil && c.restricted() && !c.owned[p.Proc] {
+		dm := dirtyMark{p, nd}
+		if !c.dirtySeen[dm] {
+			c.dirtySeen[dm] = true
+			c.dirtyBuf = append(c.dirtyBuf, dm)
+		}
+		return
+	}
+	if p.dirty[nd] {
 		return
 	}
 	wasEmpty := len(p.dirty) == 0
@@ -474,7 +575,7 @@ func (a *Analysis) markDirty(p *PTF, nd *cfg.Node) {
 	if wasEmpty {
 		for q, nodes := range p.callers {
 			for cnd := range nodes {
-				a.markDirty(q, cnd)
+				a.markDirty(c, q, cnd)
 			}
 		}
 	}
@@ -482,27 +583,57 @@ func (a *Analysis) markDirty(p *PTF, nd *cfg.Node) {
 
 // registerRead records that evaluating node nd of f's PTF read the
 // points-to records of block b; a later write to b re-dirties nd.
+// Restricted contexts buffer the registration (the global reader map is
+// shared); the epoch commit merges it.
 func (a *Analysis) registerRead(f *frame, b *memmod.Block, nd *cfg.Node) {
 	if !a.track || f == nil || nd == nil {
 		return
 	}
 	b = b.Representative()
+	k := readerKey{f.ptf, nd}
+	if c := f.c; c != nil && c.restricted() {
+		set := c.readerBuf[b]
+		if set == nil {
+			set = make(map[readerKey]bool)
+			c.readerBuf[b] = set
+		}
+		set[k] = true
+		return
+	}
 	set := a.readers[b]
 	if set == nil {
 		set = make(map[readerKey]bool)
 		a.readers[b] = set
 	}
-	set[readerKey{f.ptf, nd}] = true
+	set[k] = true
 }
 
-// notifyWrite re-dirties every registered reader of block b.
-func (a *Analysis) notifyWrite(b *memmod.Block) {
+// notifyWrite re-dirties every registered reader of block b. A
+// restricted context also consults its own buffered registrations so
+// reads and writes within one work item still chain.
+func (a *Analysis) notifyWrite(c *evalCtx, b *memmod.Block) {
 	if !a.track {
 		return
 	}
-	for k := range a.readers[b.Representative()] {
-		a.markDirty(k.ptf, k.nd)
+	rb := b.Representative()
+	for k := range a.readers[rb] {
+		a.markDirty(c, k.ptf, k.nd)
 	}
+	if c != nil && c.restricted() {
+		for k := range c.readerBuf[rb] {
+			a.markDirty(c, k.ptf, k.nd)
+		}
+	}
+}
+
+// countNode attributes one node evaluation to the context's counter
+// (workers merge theirs into Stats at commit).
+func (a *Analysis) countNode(c *evalCtx) {
+	if c != nil && c.restricted() {
+		c.nodesEval++
+		return
+	}
+	a.stats.NodesEvaluated++
 }
 
 // recordCaller registers a call site of callee so version bumps and
@@ -523,14 +654,22 @@ func (a *Analysis) recordCaller(callee, caller *PTF, nd *cfg.Node) {
 }
 
 func (a *Analysis) finishStats(start time.Time) {
-	a.stats.Procedures = len(a.ptfs)
+	// Only procedures that were actually reached have PTFs; the map is
+	// pre-populated with every procedure, so count non-empty lists.
+	a.stats.Procedures = 0
 	a.stats.PTFs = 0
-	for proc, list := range a.ptfs {
-		a.stats.PTFs += len(list)
-		a.stats.PTFsPerProc[proc.Name] = len(list)
+	for proc, l := range a.ptfs {
+		if len(l.list) == 0 {
+			continue
+		}
+		a.stats.Procedures++
+		a.stats.PTFs += len(l.list)
+		a.stats.PTFsPerProc[proc.Name] = len(l.list)
 	}
 	a.stats.Duration = time.Since(start)
 	a.stats.PTFsCapped = a.capped
+	a.stats.Workers = a.workers
+	a.stats.WorkerBusy = a.workerBusy
 }
 
 // Stats returns cumulative statistics (valid after Run).
@@ -541,9 +680,9 @@ func (a *Analysis) MainPTF() *PTF { return a.mainPTF }
 
 // PTFs returns the PTFs of the procedure named name.
 func (a *Analysis) PTFs(name string) []*PTF {
-	for proc, list := range a.ptfs {
+	for proc, l := range a.ptfs {
 		if proc.Name == name {
-			return list
+			return l.list
 		}
 	}
 	return nil
@@ -578,8 +717,11 @@ func (a *Analysis) FuncBlock(name string) *memmod.Block {
 }
 
 // newPTF allocates a PTF for proc created at the given home context.
-func (a *Analysis) newPTF(proc *cfg.Proc, homeNode *cfg.Node, homePTF *PTF) *PTF {
-	a.numPTFs++
+// The ptset hooks route through the PTF's owning context (octx), which
+// the scheduler points at a worker context while the PTF's cone is in
+// flight, so dirty marks from foreign cones buffer instead of racing.
+func (a *Analysis) newPTF(c *evalCtx, proc *cfg.Proc, homeNode *cfg.Node, homePTF *PTF) *PTF {
+	atomic.AddInt64(&a.numPTFs, 1)
 	nn := len(proc.Nodes)
 	p := &PTF{
 		Proc:         proc,
@@ -592,17 +734,29 @@ func (a *Analysis) newPTF(proc *cfg.Proc, homeNode *cfg.Node, homePTF *PTF) *PTF
 		homeNode:     homeNode,
 		homePTF:      homePTF,
 		mirrored:     -1,
+		octx:         a.mainCtx,
+	}
+	if c != nil && c.restricted() {
+		p.octx = c
+	}
+	if a.par {
+		p.Pts.SetConcurrent(true)
 	}
 	if a.track {
 		p.dirty = make(map[*cfg.Node]bool, nn)
 		p.dirty[proc.Entry] = true
 		p.evaluated = make(map[*cfg.Node]bool, nn)
 		p.Pts.SetHooks(
-			func(loc memmod.LocSet) { a.notifyWrite(loc.Base) },
-			func(nd *cfg.Node) { a.markDirty(p, nd) },
+			func(loc memmod.LocSet) { a.notifyWrite(p.octx, loc.Base) },
+			func(nd *cfg.Node) { a.markDirty(p.octx, p, nd) },
 		)
 	}
-	a.ptfs[proc] = append(a.ptfs[proc], p)
+	l := a.ptfs[proc]
+	if l == nil {
+		l = &ptfList{}
+		a.ptfs[proc] = l
+	}
+	l.list = append(l.list, p)
 	return p
 }
 

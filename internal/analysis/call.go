@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"wlpa/internal/cast"
 	"wlpa/internal/cfg"
@@ -77,7 +78,7 @@ func (a *Analysis) callTargets(f *frame, nd *cfg.Node, fv memmod.ValueSet) []*ca
 			for s := range resolved {
 				if !set[s] {
 					set[s] = true
-					a.bumpVersion(f.ptf)
+					a.bumpVersion(f.c, f.ptf)
 				}
 				out[s] = true
 			}
@@ -151,13 +152,42 @@ func (a *Analysis) callDefined(f *frame, nd *cfg.Node, fd *cast.FuncDecl, args [
 // its RetDst).
 func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, args []memmod.ValueSet, multi, withRet bool) bool {
 	proc := a.procs[fd]
+	c := f.c
+	if c != nil && c.restricted() && !c.owned[proc] {
+		// The call escapes the work item's cone — an indirect call or a
+		// library callback the static schedule could not predict. Defer
+		// to the sequential walk; the call node stays dirty.
+		c.deferred = true
+		return false
+	}
 	// Recursive call: reuse the PTF already on the stack (paper §5.4).
-	for i := len(a.stack) - 1; i >= 0; i-- {
-		if a.stack[i].ptf.Proc == proc {
-			return a.applyRecursive(f, nd, a.stack[i].ptf, args, multi, withRet)
+	for i := len(c.stack) - 1; i >= 0; i-- {
+		if c.stack[i].ptf.Proc == proc {
+			return a.applyRecursive(f, nd, c.stack[i].ptf, args, multi, withRet)
 		}
 	}
+	// Parallel mode defers drains only at latched re-fires on the
+	// outermost main frame: the PTF decision for such a site is already
+	// made, so the remaining work — draining the callee and re-applying
+	// its summary — commutes with independent siblings and can be
+	// batched. Sites making fresh match decisions are never deferred;
+	// evalProcDirty flushes pending drains before first evaluations so
+	// every match sees exactly the state the sequential walk sees.
+	mainDefer := a.par && c == a.mainCtx && a.collecting == nil &&
+		f.ptf == a.mainPTF && f.caller == nil
+	wasLatched := mainDefer && f.ptf.siteUsed[siteKey{nd, proc}] != nil
+	if wasLatched && len(a.dirtyCandidates(proc)) > 0 {
+		// The callee already has pending drains (another deferred site,
+		// or a cascade); don't even rebind until they are flushed.
+		a.pendingDrain = true
+		f.ptf.dirty[nd] = true
+		return false
+	}
 	ptf, pmap, needVisit := a.getPTF(f, nd, proc, args)
+	if ptf == nil {
+		// A guard fired while matching input domains; the item aborts.
+		return false
+	}
 	if f.ptf.siteUsed == nil {
 		f.ptf.siteUsed = make(map[siteKey]*PTF)
 	}
@@ -169,13 +199,28 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 		needVisit = true
 	}
 	cf := &frame{
-		ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap,
+		ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap, c: c,
+	}
+	if a.track && a.collecting == nil {
+		// Remember the binding context so the parallel scheduler can
+		// re-create a standalone evaluation stack for this PTF.
+		ptf.lastBind = cf
 	}
 	a.recordFormalBindings(cf, fd, args)
 	if needVisit || !ptf.exitReached {
-		a.stack = append(a.stack, cf)
+		if wasLatched && ptf.exitReached && !ptf.recursive &&
+			len(ptf.dirty) > 0 && ptf.lastBind != nil {
+			// The rebind extended the callee's input domain (or a cascade
+			// dirtied it). The bind — the only order-sensitive part — is
+			// done; defer the drain itself for batching and re-apply the
+			// summary when the cascade re-fires this node.
+			a.pendingDrain = true
+			f.ptf.dirty[nd] = true
+			return false
+		}
+		c.stack = append(c.stack, cf)
 		a.evalProc(cf)
-		a.stack = a.stack[:len(a.stack)-1]
+		c.stack = c.stack[:len(c.stack)-1]
 	}
 	// Register this call site after the visit (bumps during the
 	// callee's own evaluation need not re-dirty it: the fresh summary
@@ -198,7 +243,7 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 func (a *Analysis) applyRecursive(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.ValueSet, multi, withRet bool) bool {
 	ptf.recursive = true
 	pmap := a.replayBindMerge(f, nd, ptf, args, true)
-	cf := &frame{ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap}
+	cf := &frame{ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap, c: f.c}
 	a.recordFormalBindings(cf, a.prog.FuncByName[ptf.Proc.Name], args)
 	// Register before the deferral check: the cycle head's exit-reached
 	// version bump must re-dirty this deferring site (§5.4).
@@ -229,7 +274,7 @@ func (a *Analysis) applyRecursive(f *frame, nd *cfg.Node, ptf *PTF, args []memmo
 // Figure 13), returning its parameter mapping and whether the procedure
 // must be (re)visited.
 func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.ValueSet) (*PTF, map[*memmod.Block]memmod.ValueSet, bool) {
-	list := a.ptfs[proc]
+	list := a.ptfs[proc].list
 	switch a.opts.Reuse {
 	case SingleSummary:
 		if len(list) > 0 {
@@ -246,7 +291,7 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 				return p, a.replayBind(f, nd, p, args), true
 			}
 		}
-		if a.opts.MaxTotalPTFs > 0 && a.numPTFs >= a.opts.MaxTotalPTFs && len(list) > 0 {
+		if a.opts.MaxTotalPTFs > 0 && int(atomic.LoadInt64(&a.numPTFs)) >= a.opts.MaxTotalPTFs && len(list) > 0 {
 			// Context explosion: merge further contexts (the measured
 			// outcome of the Emami discipline on recursive programs).
 			a.capped = true
@@ -267,6 +312,12 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 					}
 				}
 				return p, pmap, needVisit
+			}
+			if c := f.c; c != nil && c.restricted() && c.deferred {
+				// The mismatch may be an artifact of values a guard
+				// withheld; only the sequential walk may decide to
+				// extend or allocate PTFs from here.
+				return nil, nil, false
 			}
 		}
 		if a.opts.CombineOffsets {
@@ -296,7 +347,7 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 			return p, a.replayBind(f, nd, p, args), true
 		}
 		if (a.opts.MaxPTFs > 0 && len(list) >= a.opts.MaxPTFs) ||
-			(a.opts.MaxTotalPTFs > 0 && a.numPTFs >= a.opts.MaxTotalPTFs && len(list) > 0) {
+			(a.opts.MaxTotalPTFs > 0 && int(atomic.LoadInt64(&a.numPTFs)) >= a.opts.MaxTotalPTFs && len(list) > 0) {
 			// Generalize rather than specialize further (paper §8).
 			a.capped = true
 			p := list[len(list)-1]
@@ -304,7 +355,12 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 			return p, a.replayBind(f, nd, p, args), true
 		}
 	}
-	p := a.newPTF(proc, nd, f.ptf)
+	if c := f.c; c != nil && c.restricted() && c.deferred {
+		// Never allocate a PTF from an under-approximated context: the
+		// PTF population must match the sequential engine's exactly.
+		return nil, nil, false
+	}
+	p := a.newPTF(f.c, proc, nd, f.ptf)
 	return p, make(map[*memmod.Block]memmod.ValueSet), true
 }
 
@@ -343,7 +399,13 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 		switch e.kind {
 		case globalRefEntry:
 			p := e.param.Representative()
-			actual := memmod.Values(a.globalLocIn(f, e.sym))
+			gl := a.globalLocIn(f, e.sym)
+			if gl.Base == nil {
+				// A guard deferred creating the global's parameter on a
+				// chain frame; treat as mismatch (getPTF bails out).
+				return nil, false, false
+			}
+			actual := memmod.Values(gl)
 			if bound, ok := pmap[p]; ok {
 				if !bound.Equal(actual) {
 					return nil, false, false
@@ -391,7 +453,7 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 					merged := pmap[p]
 					merged.AddAll(actuals.Shift(-val.Off))
 					pmap[p] = merged
-					a.setNotUnique(p)
+					a.setNotUnique(f.c, p)
 					a.bindParamConcrete(cf, p, pmap[p])
 				}
 			} else {
@@ -431,7 +493,7 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 		if p.Kind != memmod.ParamBlock {
 			continue
 		}
-		if a.extendParamPtrLocs(p, bound) {
+		if a.extendParamPtrLocs(f.c, p, bound) {
 			needVisit = true
 		}
 	}
@@ -442,8 +504,8 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 		e.val = memmod.Loc(p, 0, 0)
 		e.valEmpty = false
 		ptf.Pts.Assign(e.ptr.Resolve(), memmod.Values(memmod.Loc(p, 0, 0)), ptf.Proc.Entry, false)
-		a.bumpVersion(ptf)
-		a.changed = true
+		a.bumpVersion(f.c, ptf)
+		f.c.changed = true
 		needVisit = true
 	}
 	return pmap, needVisit, true
@@ -529,7 +591,7 @@ func (a *Analysis) globalLocIn(f *frame, sym *cast.Symbol) memmod.LocSet {
 // extendParamPtrLocs translates the caller-side pointer locations of the
 // actuals into parameter space, extending the parameter's known pointer
 // locations. Reports whether new locations were found.
-func (a *Analysis) extendParamPtrLocs(p *memmod.Block, bound memmod.ValueSet) bool {
+func (a *Analysis) extendParamPtrLocs(c *evalCtx, p *memmod.Block, bound memmod.ValueSet) bool {
 	extended := false
 	for _, b := range bound.Locs() {
 		b = b.Resolve()
@@ -547,7 +609,7 @@ func (a *Analysis) extendParamPtrLocs(p *memmod.Block, bound memmod.ValueSet) bo
 	}
 	if extended {
 		// Dereferences through p may now see more locations.
-		a.notifyWrite(p)
+		a.notifyWrite(c, p)
 	}
 	return extended
 }
@@ -555,13 +617,13 @@ func (a *Analysis) extendParamPtrLocs(p *memmod.Block, bound memmod.ValueSet) bo
 // setNotUnique marks a parameter as possibly standing for several
 // locations at once, re-dirtying readers whose strong-update decisions
 // depended on its uniqueness.
-func (a *Analysis) setNotUnique(p *memmod.Block) {
+func (a *Analysis) setNotUnique(c *evalCtx, p *memmod.Block) {
 	p = p.Representative()
 	if p.NotUnique {
 		return
 	}
 	p.NotUnique = true
-	a.notifyWrite(p)
+	a.notifyWrite(c, p)
 }
 
 // replayBind rebinds every input-domain entry at this call site without
@@ -580,13 +642,19 @@ func (a *Analysis) replayBind(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.Va
 // inputs inside the cycle.
 func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.ValueSet, mergeRecords bool) map[*memmod.Block]memmod.ValueSet {
 	pmap := make(map[*memmod.Block]memmod.ValueSet)
-	cf := &frame{ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap}
+	cf := &frame{ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap, c: f.c}
 	for i := 0; i < len(ptf.initial); i++ {
 		e := ptf.initial[i]
 		switch e.kind {
 		case globalRefEntry:
 			p := e.param.Representative()
-			actual := memmod.Values(a.globalLocIn(f, e.sym))
+			gl := a.globalLocIn(f, e.sym)
+			if gl.Base == nil {
+				// Deferred global-parameter creation; the item aborts
+				// after this node and the walk rebinds sequentially.
+				continue
+			}
+			actual := memmod.Values(gl)
 			if bound, ok := pmap[p]; ok {
 				if bound.AddAll(actual) {
 					pmap[p] = bound
@@ -607,8 +675,8 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 				ptf.initial[i].val = memmod.Loc(p, 0, 0)
 				ptf.initial[i].valEmpty = false
 				ptf.Pts.Assign(e.ptr, memmod.Values(memmod.Loc(p, 0, 0)), ptf.Proc.Entry, false)
-				a.bumpVersion(ptf)
-				a.changed = true
+				a.bumpVersion(f.c, ptf)
+				f.c.changed = true
 				continue
 			}
 			val := e.val.Resolve()
@@ -620,7 +688,7 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 				}
 				if bound.AddAll(add) {
 					pmap[p] = bound
-					a.setNotUnique(p)
+					a.setNotUnique(f.c, p)
 				}
 			} else {
 				if val.Stride == 0 {
@@ -629,7 +697,7 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 					pmap[p] = actuals.Clone()
 				}
 			}
-			a.extendParamPtrLocs(p, pmap[p])
+			a.extendParamPtrLocs(f.c, p, pmap[p])
 			a.bindParamConcrete(cf, p, pmap[p])
 			if mergeRecords && !actuals.IsEmpty() {
 				// Recursive call: the entry record of this input
@@ -638,8 +706,8 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 				// space, since the recursive caller is the procedure
 				// itself).
 				if ptf.Pts.Assign(e.ptr.Resolve(), actuals, ptf.Proc.Entry, false) {
-					a.bumpVersion(ptf)
-					a.changed = true
+					a.bumpVersion(f.c, ptf)
+					f.c.changed = true
 				}
 			}
 		}
@@ -736,7 +804,7 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 		}
 		if !merged.IsEmpty() {
 			if dl.Base.AddPtrLoc(dl) {
-				a.notifyWrite(dl.Base)
+				a.notifyWrite(f.c, dl.Base)
 			}
 		}
 		if f.ptf.Pts.Assign(dl, merged, nd, strong) {
@@ -763,7 +831,7 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 				}
 				if !merged.IsEmpty() {
 					if dl.Base.AddPtrLoc(dl) {
-						a.notifyWrite(dl.Base)
+						a.notifyWrite(f.c, dl.Base)
 					}
 				}
 				if f.ptf.Pts.Assign(dl, merged, nd, strong) {

@@ -1,0 +1,48 @@
+// Package analysis implements the context-sensitive pointer analysis of
+// Wilson & Lam (PLDI '95): an iterative flow-sensitive intraprocedural
+// analysis whose interprocedural behavior is governed by partial
+// transfer functions (PTFs, paper §5).
+//
+// A PTF summarizes a procedure under the alias relationships (and
+// function-pointer input values) that held when it was created, and is
+// reused at every call site exhibiting the same input domain (§5.2).
+// Extended parameters name the locations reached through input
+// pointers; they are created lazily as the walk discovers reads, are
+// subsumed when inputs turn out to alias (§5.3), and form the
+// procedure's parametrized name space. Because a PTF's summary is
+// expressed in terms of its extended parameters, a call whose inputs
+// merely have different values — same alias pattern, same pointer
+// shape — reuses the summary with no re-evaluation; only structural
+// input changes (a new aliasing, an empty input turning non-empty, a
+// pointer at a previously unknown location) dirty the PTF. Recursion
+// reuses the PTF already on the activation stack (§5.4).
+//
+// Two evaluation engines produce bit-identical results:
+//
+//   - The dependency-tracked worklist engine (default): each PTF keeps
+//     a dirty-node set; writes notify registered readers, callee
+//     version bumps re-dirty recorded call sites, and a pass ends when
+//     everything is quiescent.
+//   - The full-pass engine (Options.ForceFullPasses): re-evaluates
+//     every node of every PTF per pass. Kept as a cross-check; the
+//     equivalence tests compare the two on every workload.
+//
+// On top of the worklist engine sits the parallel pre-drain scheduler
+// (Options.Workers > 1, see schedule.go): mutually independent dirty
+// PTFs — disjoint static call cones and resource sets — are drained by
+// a worker pool in deterministic epochs, with buffered effects replayed
+// in item order. Results are identical at every worker count.
+//
+// Key invariants:
+//
+//   - All per-PTF state transitions are monotone (domains, points-to
+//     records, reader registrations only grow), so evaluation order
+//     affects cost, never the fixpoint.
+//   - The PTF population itself is history-sensitive: a match decision
+//     depends on the candidate's input domain at match time. Match
+//     decisions therefore happen only on the sequential main walk, in
+//     sweep order; the scheduler batches exclusively drains whose
+//     site decision is already latched (siteUsed).
+//   - The collapsed Solution is rebuilt sequentially from the
+//     converged fixpoint, never incrementally from partial states.
+package analysis

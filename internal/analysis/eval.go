@@ -25,13 +25,14 @@ func (a *Analysis) evalProc(f *frame) {
 func (a *Analysis) evalProcFull(f *frame) {
 	f.evaluated = make(map[*cfg.Node]bool)
 	for iter := 0; ; iter++ {
-		if a.timedOut || (!a.deadline.IsZero() && time.Now().After(a.deadline)) {
-			a.timedOut = true
+		if a.timedOut.Load() || (!a.deadline.IsZero() && time.Now().After(a.deadline)) {
+			a.timedOut.Store(true)
 			return
 		}
 		// progress drives the local do-while loop (it includes nodes
-		// becoming evaluable); a.changed only tracks genuine growth
-		// of points-to facts, which governs the top-level fixpoint.
+		// becoming evaluable); the changed flag only tracks genuine
+		// growth of points-to facts, which governs the top-level
+		// fixpoint.
 		progress := false
 		for _, nd := range f.ptf.Proc.Nodes {
 			if nd.Kind != cfg.EntryNode && !f.anyPredEvaluated(nd) {
@@ -41,7 +42,7 @@ func (a *Analysis) evalProcFull(f *frame) {
 				f.evaluated[nd] = true
 				progress = true
 			}
-			a.stats.NodesEvaluated++
+			a.countNode(f.c)
 			factChanged := false
 			switch nd.Kind {
 			case cfg.MeetNode, cfg.ExitNode:
@@ -53,16 +54,16 @@ func (a *Analysis) evalProcFull(f *frame) {
 			}
 			if factChanged {
 				progress = true
-				a.changed = true
+				f.c.changed = true
 				// The summary grew: dependents must revisit.
-				a.bumpVersion(f.ptf)
+				a.bumpVersion(f.c, f.ptf)
 			}
 		}
 		if f.evaluated[f.ptf.Proc.Exit] && !f.ptf.exitReached {
 			f.ptf.exitReached = true
 			progress = true
-			a.changed = true
-			a.bumpVersion(f.ptf)
+			f.c.changed = true
+			a.bumpVersion(f.c, f.ptf)
 		}
 		if !progress {
 			return
@@ -84,10 +85,32 @@ func (a *Analysis) evalProcFull(f *frame) {
 func (a *Analysis) evalProcDirty(f *frame) {
 	p := f.ptf
 	f.evaluated = p.evaluated
-	for iter := 0; len(p.dirty) > 0; iter++ {
-		if a.timedOut || (!a.deadline.IsZero() && time.Now().After(a.deadline)) {
-			a.timedOut = true
+	// Only the outermost main frame may run the parallel pre-drain: at
+	// that point the activation stack is just [main], so no work item's
+	// cone can overlap a procedure currently being evaluated.
+	mainWalk := a.par && p == a.mainPTF && f.c == a.mainCtx && f.caller == nil
+	for iter := 0; ; iter++ {
+		if len(p.dirty) == 0 {
+			if !mainWalk || !a.pendingDrain {
+				break
+			}
+			// Call sites deferred dirty callees for batching; drain them
+			// now. Their version bumps re-dirty this frame's call nodes,
+			// in which case the sweep resumes.
+			a.preDrain()
+			if len(p.dirty) == 0 {
+				break
+			}
+		}
+		if a.timedOut.Load() || (!a.deadline.IsZero() && time.Now().After(a.deadline)) {
+			a.timedOut.Store(true)
 			return
+		}
+		if mainWalk && iter > 0 {
+			// Cascades from earlier sweeps re-dirtied already-summarized
+			// sibling PTFs; drain the mutually independent ones on the
+			// worker pool before the sequential sweep resumes.
+			a.preDrain()
 		}
 		progress := false
 		for _, nd := range p.Proc.Nodes {
@@ -98,13 +121,20 @@ func (a *Analysis) evalProcDirty(f *frame) {
 				// Not evaluable yet; stays dirty for a later sweep.
 				continue
 			}
+			if mainWalk && a.pendingDrain && !f.evaluated[nd] {
+				// A first evaluation can make fresh PTF-match decisions,
+				// and those must see exactly the state the sequential walk
+				// sees. The deferred drains belong to call sites that
+				// precede this node in sweep order, so flush them now.
+				a.preDrain()
+			}
 			delete(p.dirty, nd)
 			first := !f.evaluated[nd]
 			if first {
 				f.evaluated[nd] = true
 			}
 			progress = true
-			a.stats.NodesEvaluated++
+			a.countNode(f.c)
 			factChanged := false
 			switch nd.Kind {
 			case cfg.MeetNode, cfg.ExitNode:
@@ -116,19 +146,26 @@ func (a *Analysis) evalProcDirty(f *frame) {
 			}
 			if first {
 				for _, s := range nd.Succs {
-					a.markDirty(p, s)
+					a.markDirty(f.c, p, s)
 				}
 			}
 			if factChanged {
-				a.changed = true
-				a.bumpVersion(p)
+				f.c.changed = true
+				a.bumpVersion(f.c, p)
+			}
+			if c := f.c; c != nil && c.restricted() && c.deferred {
+				// A guard detected work this context must not do; put
+				// the node back and abort the item. The sequential walk
+				// re-evaluates it with full authority.
+				p.dirty[nd] = true
+				return
 			}
 		}
 		if f.evaluated[p.Proc.Exit] && !p.exitReached {
 			p.exitReached = true
 			progress = true
-			a.changed = true
-			a.bumpVersion(p)
+			f.c.changed = true
+			a.bumpVersion(f.c, p)
 		}
 		if !progress || iter > 1000 {
 			break
@@ -229,7 +266,9 @@ func (a *Analysis) evalExpr(f *frame, e *cfg.Expr, nd *cfg.Node) memmod.ValueSet
 		var base memmod.ValueSet
 		switch t.Kind {
 		case cfg.TermVar:
-			base.Add(a.varBlockLoc(f, t.Sym, 0, 0))
+			if l := a.varBlockLoc(f, t.Sym, 0, 0); l.Base != nil {
+				base.Add(l)
+			}
 		case cfg.TermFunc:
 			base.Add(memmod.Loc(a.funcBlock(t.Sym), 0, 0))
 		case cfg.TermStr:
@@ -284,7 +323,7 @@ func (a *Analysis) evalAssign(f *frame, nd *cfg.Node) bool {
 		}
 		if !newSrcs.IsEmpty() {
 			if dst.Base.AddPtrLoc(dst) {
-				a.notifyWrite(dst.Base)
+				a.notifyWrite(f.c, dst.Base)
 			}
 		}
 		if f.ptf.Pts.Assign(dst, newSrcs, nd, strong) {
@@ -331,7 +370,7 @@ func (a *Analysis) evalAggregateCopy(f *frame, nd *cfg.Node, dsts memmod.ValueSe
 				merged := vals.Clone()
 				merged.AddAll(old)
 				if target.Base.AddPtrLoc(target) {
-					a.notifyWrite(target.Base)
+					a.notifyWrite(f.c, target.Base)
 				}
 				if f.ptf.Pts.Assign(target, merged, nd, false) {
 					changed = true

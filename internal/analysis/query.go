@@ -30,14 +30,30 @@ type FreeSite struct {
 }
 
 // recordFree merges a freed value set into the per-(PTF, node) record.
+// Restricted contexts buffer the merge for the epoch commit — the
+// shared map must not be mutated concurrently, and the union is
+// order-independent so buffering preserves the sequential result.
 func (a *Analysis) recordFree(f *frame, nd *cfg.Node, v memmod.ValueSet) {
 	if v.IsEmpty() {
+		return
+	}
+	k := freeKey{f.ptf, nd}
+	if c := f.c; c != nil && c.restricted() {
+		if c.freesBuf == nil {
+			c.freesBuf = make(map[freeKey]*memmod.ValueSet)
+		}
+		acc, ok := c.freesBuf[k]
+		if !ok {
+			nv := v.Resolved().Clone()
+			c.freesBuf[k] = &nv
+			return
+		}
+		acc.AddAll(v)
 		return
 	}
 	if a.frees == nil {
 		a.frees = make(map[freeKey]*memmod.ValueSet)
 	}
-	k := freeKey{f.ptf, nd}
 	acc, ok := a.frees[k]
 	if !ok {
 		nv := v.Resolved().Clone()
@@ -90,7 +106,9 @@ func (a *Analysis) AllPTFs() []*PTF {
 		if !ok {
 			continue
 		}
-		out = append(out, a.ptfs[proc]...)
+		if l := a.ptfs[proc]; l != nil {
+			out = append(out, l.list...)
+		}
 	}
 	return out
 }

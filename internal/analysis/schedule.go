@@ -1,0 +1,537 @@
+package analysis
+
+// The parallel pre-drain scheduler. Before each sequential top-level
+// pass, dirty PTFs whose call-graph cones are mutually independent are
+// drained concurrently by a worker pool, then whatever remains is
+// handled by the ordinary walk from main. Correctness rests on three
+// mechanisms:
+//
+//   - Isolation by construction: a work item owns the full static call
+//     cone of its procedure (computed from the SCC condensation of the
+//     direct call graph) plus the shared global/function/string blocks
+//     its cone can name; the epoch packs only items whose cones,
+//     binding chains and resource sets are pairwise disjoint, so no two
+//     workers write the same PTF or block.
+//
+//   - Detect-and-defer: anything the static cone missed (indirect
+//     calls escaping the cone, new global parameters on chain frames,
+//     entry bindings requiring caller writes) trips a guard that marks
+//     the context deferred and aborts the item after the current node,
+//     leaving the node dirty. The sequential walk re-evaluates it, so
+//     transient under-approximation self-heals monotonically.
+//
+//   - Deterministic epoch commit: all cross-cone effects (dirty marks,
+//     reader registrations, reader migrations, free records, counters)
+//     are buffered per context and replayed in item-index order after
+//     the pool joins. Every buffered structure is merged with set
+//     semantics, so results are independent of interleaving; the
+//     resulting fixpoint is the same one the sequential engine reaches
+//     because the worklist engine is evaluation-order-robust (PR 2) and
+//     the collapsed solution is rebuilt sequentially from the fixpoint.
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"wlpa/internal/cfg"
+	"wlpa/internal/memmod"
+)
+
+// ptfList holds one procedure's PTFs in creation order. Boxing the
+// slice keeps the a.ptfs map structurally immutable after New: workers
+// append through the box, and only a procedure's owning context touches
+// its box during an epoch.
+type ptfList struct {
+	list []*PTF
+}
+
+// dirtyMark is one buffered markDirty for a PTF outside the cone.
+type dirtyMark struct {
+	p  *PTF
+	nd *cfg.Node
+}
+
+// blockPair is one buffered reader migration (q subsumed by np).
+type blockPair struct {
+	q, np *memmod.Block
+}
+
+// evalCtx is one evaluation context: the mutable state that used to
+// live directly on Analysis and must now be private per worker. The
+// main context (owned == nil) is unrestricted and writes through to the
+// shared engine state; a worker context is restricted to the procedures
+// of its cone and buffers every cross-cone effect for the epoch commit.
+type evalCtx struct {
+	a *Analysis
+
+	// stack is the activation stack of the walk running under this
+	// context (recursion detection, subsumption propagation).
+	stack []*frame
+
+	// owned is the set of procedures this context may mutate; nil means
+	// unrestricted (the main context).
+	owned map[*cfg.Proc]bool
+
+	// deferred is set when a guard detected work that must not run in
+	// this context; the current item aborts and leaves its node dirty.
+	deferred bool
+
+	// changed mirrors the per-pass "any fact grew" flag.
+	changed bool
+
+	// nodesEval and params count work done under this context; worker
+	// counts merge into Stats at commit.
+	nodesEval int
+	params    int
+
+	// dirtyBuf/dirtySeen buffer markDirty calls for non-owned PTFs.
+	dirtyBuf  []dirtyMark
+	dirtySeen map[dirtyMark]bool
+
+	// readerBuf buffers registerRead entries (the global reader map is
+	// shared state).
+	readerBuf map[*memmod.Block]map[readerKey]bool
+
+	// freesBuf buffers LibCall.Free records.
+	freesBuf map[freeKey]*memmod.ValueSet
+
+	// migrateBuf buffers reader migrations caused by parameter
+	// subsumption inside the cone.
+	migrateBuf []blockPair
+}
+
+func (c *evalCtx) restricted() bool { return c != nil && c.owned != nil }
+
+// owns reports whether this context may mutate proc's PTFs.
+func (c *evalCtx) owns(proc *cfg.Proc) bool {
+	return c == nil || c.owned == nil || c.owned[proc]
+}
+
+func newWorkerCtx(a *Analysis, owned map[*cfg.Proc]bool) *evalCtx {
+	return &evalCtx{
+		a:         a,
+		owned:     owned,
+		dirtySeen: make(map[dirtyMark]bool),
+		readerBuf: make(map[*memmod.Block]map[readerKey]bool),
+		freesBuf:  make(map[freeKey]*memmod.ValueSet),
+	}
+}
+
+// strRes distinguishes string-literal IDs from symbol pointers in
+// resource sets.
+type strRes int
+
+// schedule is the static condensation of the direct call graph,
+// computed once: per procedure, the set of procedures its evaluation
+// may descend into (its SCC's closure) and the shared memory resources
+// (global, function and string blocks) that cone can name directly.
+type schedule struct {
+	order []*cfg.Proc          // deterministic iteration order (by name)
+	index map[*cfg.Proc]int    // proc -> index in order
+	cones []map[*cfg.Proc]bool // per proc: closure of static callees
+	res   []map[any]bool       // per proc: cone's named shared resources
+	rec   []bool               // per proc: member of a nontrivial SCC
+}
+
+func (a *Analysis) buildSchedule() *schedule {
+	s := &schedule{index: make(map[*cfg.Proc]int, len(a.procs))}
+	for _, proc := range a.procs {
+		s.order = append(s.order, proc)
+	}
+	sort.Slice(s.order, func(i, j int) bool { return s.order[i].Name < s.order[j].Name })
+	for i, proc := range s.order {
+		s.index[proc] = i
+	}
+	n := len(s.order)
+	adj := make([][]int, n)
+	ownRes := make([]map[any]bool, n)
+	for i, proc := range s.order {
+		ownRes[i] = make(map[any]bool)
+		seen := make(map[int]bool)
+		for _, nd := range proc.Nodes {
+			addExprRes(nd.Dst, ownRes[i])
+			addExprRes(nd.Src, ownRes[i])
+			addExprRes(nd.Fun, ownRes[i])
+			addExprRes(nd.RetDst, ownRes[i])
+			for _, e := range nd.Args {
+				addExprRes(e, ownRes[i])
+			}
+			if nd.Kind != cfg.CallNode || nd.Direct == nil {
+				continue
+			}
+			fd := a.prog.FuncByName[nd.Direct.Name]
+			if fd == nil || fd.Body == nil {
+				continue
+			}
+			callee, ok := s.index[a.procs[fd]]
+			if ok && !seen[callee] {
+				seen[callee] = true
+				adj[i] = append(adj[i], callee)
+			}
+		}
+		sort.Ints(adj[i])
+	}
+	comp, comps := cfg.SCC(n, func(v int) []int { return adj[v] })
+	// Component indices are in reverse topological order (callees
+	// first), so one sweep computes each component's closure from its
+	// callees' already-complete closures.
+	coneByComp := make([]map[*cfg.Proc]bool, len(comps))
+	resByComp := make([]map[any]bool, len(comps))
+	for ci, members := range comps {
+		cone := make(map[*cfg.Proc]bool)
+		res := make(map[any]bool)
+		for _, v := range members {
+			cone[s.order[v]] = true
+			for r := range ownRes[v] {
+				res[r] = true
+			}
+			for _, w := range adj[v] {
+				if cj := comp[w]; cj != ci {
+					for q := range coneByComp[cj] {
+						cone[q] = true
+					}
+					for r := range resByComp[cj] {
+						res[r] = true
+					}
+				}
+			}
+		}
+		coneByComp[ci] = cone
+		resByComp[ci] = res
+	}
+	s.cones = make([]map[*cfg.Proc]bool, n)
+	s.res = make([]map[any]bool, n)
+	s.rec = make([]bool, n)
+	for v := 0; v < n; v++ {
+		s.cones[v] = coneByComp[comp[v]]
+		s.res[v] = resByComp[comp[v]]
+		s.rec[v] = len(comps[comp[v]]) > 1
+		for _, w := range adj[v] {
+			if w == v {
+				s.rec[v] = true
+			}
+		}
+	}
+	return s
+}
+
+// addExprRes collects the shared blocks an expression can name
+// directly: global symbols, function symbols, and string literals.
+func addExprRes(e *cfg.Expr, res map[any]bool) {
+	if e == nil {
+		return
+	}
+	for _, t := range e.Terms {
+		switch t.Kind {
+		case cfg.TermVar:
+			if t.Sym != nil && t.Sym.Global {
+				res[t.Sym] = true
+			}
+		case cfg.TermFunc:
+			if t.Sym != nil {
+				res[t.Sym] = true
+			}
+		case cfg.TermStr:
+			res[strRes(t.StrID)] = true
+		case cfg.TermDeref:
+			addExprRes(t.Base, res)
+		}
+	}
+}
+
+// workItem is one schedulable unit: a dirty PTF plus the worker
+// context owning its cone.
+type workItem struct {
+	p   *PTF
+	ctx *evalCtx
+}
+
+// preDrain runs scheduler epochs until fewer than two independent work
+// items remain. Items that trip a defer guard are skipped for the rest
+// of the pass (the sequential walk handles them); everything else
+// converges monotonically, so the loop terminates when the buffered
+// commits stop producing fresh dirt.
+func (a *Analysis) preDrain() {
+	if a.sched == nil {
+		a.sched = a.buildSchedule()
+		a.workerBusy = make([]time.Duration, a.workers)
+	}
+	skip := make(map[*PTF]bool)
+	// Safety valve mirroring the sequential engine's iteration cap; in
+	// practice monotone convergence ends the loop long before.
+	for epoch := 0; epoch < 10000; epoch++ {
+		items := a.gatherItems(skip)
+		if len(items) < 2 {
+			a.releaseItems(items)
+			break
+		}
+		a.runEpoch(items)
+		for _, it := range items {
+			if it.ctx.deferred {
+				skip[it.p] = true
+			}
+		}
+		if a.timedOut.Load() {
+			return
+		}
+	}
+	// Sequential fallback: whatever the epochs could not pack —
+	// conflicting cones, tripped defer guards, recursive procedures,
+	// lone items — drains on the main context. This is mandatory for
+	// soundness, not just progress: call sites that skipped an inline
+	// re-drain (pendingDrain) recorded the callee's current version as
+	// fresh, so an undrained callee would let the pass quiesce on a
+	// stale summary.
+	for round := 0; round < 10000; round++ {
+		drained := false
+		for _, proc := range a.sched.order {
+			for _, p := range a.ptfs[proc].list {
+				if p == a.mainPTF || len(p.dirty) == 0 || !p.exitReached ||
+					p.lastBind == nil {
+					continue
+				}
+				a.runItem(&workItem{p: p, ctx: a.mainCtx})
+				drained = true
+				if a.timedOut.Load() {
+					return
+				}
+			}
+		}
+		if !drained {
+			break
+		}
+	}
+	a.pendingDrain = false
+}
+
+// gatherItems deterministically packs a maximal set of mutually
+// independent dirty PTFs: procedures in name order, PTFs in creation
+// order, greedy acceptance. A PTF is eligible when it has dirty nodes,
+// a binding frame to re-create its evaluation stack from, has reached
+// its exit (its summary shape is stable enough to drain standalone),
+// and is not serving a recursive cycle. Cones, binding chains and
+// resource sets of accepted items are pairwise disjoint.
+func (a *Analysis) gatherItems(skip map[*PTF]bool) []*workItem {
+	var items []*workItem
+	usedProcs := make(map[*cfg.Proc]bool)
+	usedChain := make(map[*cfg.Proc]bool)
+	usedRes := make(map[any]bool)
+	for pi, proc := range a.sched.order {
+		if a.sched.rec[pi] {
+			continue
+		}
+		cone := a.sched.cones[pi]
+		res := a.sched.res[pi]
+		for _, p := range a.ptfs[proc].list {
+			if skip[p] || p == a.mainPTF || p.recursive || !p.exitReached ||
+				len(p.dirty) == 0 || p.lastBind == nil {
+				continue
+			}
+			// The binding chain is read (never written) while the item
+			// runs; it must not intersect the item's own cone, any
+			// other item's cone, or be a cone another item writes.
+			chain := make(map[*cfg.Proc]bool)
+			conflict := false
+			for fr := p.lastBind.caller; fr != nil; fr = fr.caller {
+				cp := fr.ptf.Proc
+				chain[cp] = true
+				if cone[cp] {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				for q := range cone {
+					if usedProcs[q] || usedChain[q] {
+						conflict = true
+						break
+					}
+				}
+			}
+			if !conflict {
+				for q := range chain {
+					if usedProcs[q] {
+						conflict = true
+						break
+					}
+				}
+			}
+			if !conflict {
+				for r := range res {
+					if usedRes[r] {
+						conflict = true
+						break
+					}
+				}
+			}
+			if conflict {
+				continue
+			}
+			for q := range cone {
+				usedProcs[q] = true
+			}
+			for q := range chain {
+				usedChain[q] = true
+			}
+			for r := range res {
+				usedRes[r] = true
+			}
+			ctx := newWorkerCtx(a, cone)
+			for q := range cone {
+				for _, qp := range a.ptfs[q].list {
+					qp.octx = ctx
+				}
+			}
+			items = append(items, &workItem{p: p, ctx: ctx})
+			break // one item per procedure per epoch
+		}
+	}
+	return items
+}
+
+// releaseItems restores main-context ownership of cone PTFs when an
+// epoch is abandoned before running.
+func (a *Analysis) releaseItems(items []*workItem) {
+	for _, it := range items {
+		for q := range it.ctx.owned {
+			for _, qp := range a.ptfs[q].list {
+				qp.octx = a.mainCtx
+			}
+		}
+	}
+}
+
+// runEpoch drains the items on the worker pool, then commits every
+// context's buffered effects in item-index order.
+func (a *Analysis) runEpoch(items []*workItem) {
+	a.stats.ParallelEpochs++
+	a.stats.ParallelItems += len(items)
+	nw := a.workers
+	if nw > len(items) {
+		nw = len(items)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			start := time.Now()
+			for i := w; i < len(items); i += nw {
+				a.runItem(items[i])
+			}
+			a.workerBusy[w] += time.Since(start)
+		}(w)
+	}
+	wg.Wait()
+	for _, it := range items {
+		a.commitCtx(it.ctx)
+	}
+	a.releaseItems(items)
+}
+
+// dirtyCandidates returns proc's PTFs with pending drainable dirt:
+// summarized, re-creatable from a binding frame, and not already
+// mid-drain. Call sites must not match against them (their input
+// domains may still grow), so the caller drains or defers first.
+func (a *Analysis) dirtyCandidates(proc *cfg.Proc) []*PTF {
+	var out []*PTF
+	for _, p := range a.ptfs[proc].list {
+		if len(p.dirty) > 0 && p.exitReached && p.lastBind != nil && !a.draining[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// runItem re-creates the item's evaluation stack from its last binding
+// frame (re-contexted onto the worker) and drains its dirty nodes.
+func (a *Analysis) runItem(it *workItem) {
+	if a.timedOut.Load() {
+		return
+	}
+	c := it.ctx
+	if c == a.mainCtx {
+		// Synchronous drains can nest (draining P reaches a call whose
+		// candidates include a dirty Q); re-entering a PTF already
+		// mid-drain must be a no-op. Worker contexts never take this
+		// path, so the map is only touched single-threaded.
+		if a.draining[it.p] {
+			return
+		}
+		if a.draining == nil {
+			a.draining = make(map[*PTF]bool)
+		}
+		a.draining[it.p] = true
+		defer delete(a.draining, it.p)
+	}
+	wf := recontext(it.p.lastBind, c)
+	// Preserve the context's live stack: the main context drains
+	// fallback items while its own walk is suspended mid-frame.
+	saved := c.stack
+	var stk []*frame
+	for fr := wf; fr != nil; fr = fr.caller {
+		stk = append(stk, fr)
+	}
+	// Reverse into outermost-first order (main at the bottom).
+	for i, j := 0, len(stk)-1; i < j; i, j = i+1, j-1 {
+		stk[i], stk[j] = stk[j], stk[i]
+	}
+	c.stack = stk
+	a.evalProc(wf)
+	c.stack = saved
+}
+
+// recontext shallow-copies a binding frame chain onto context c. The
+// copies share args and pmap with the originals; chain frames are
+// read-only while the item runs (guards defer anything that would
+// write them), and the owned frame's maps are only written by this
+// worker.
+func recontext(f *frame, c *evalCtx) *frame {
+	if f == nil {
+		return nil
+	}
+	nf := *f
+	nf.c = c
+	nf.caller = recontext(f.caller, c)
+	return &nf
+}
+
+// commitCtx replays a worker context's buffered effects on the main
+// context. All merges have set semantics, so the outcome is independent
+// of both worker interleaving and buffer order; items commit in index
+// order anyway to keep the walk reproducible.
+func (a *Analysis) commitCtx(c *evalCtx) {
+	for b, set := range c.readerBuf {
+		g := a.readers[b]
+		if g == nil {
+			g = make(map[readerKey]bool, len(set))
+			a.readers[b] = g
+		}
+		for k := range set {
+			g[k] = true
+		}
+	}
+	for _, mp := range c.migrateBuf {
+		a.migrateReaders(a.mainCtx, mp.q, mp.np)
+	}
+	for _, dm := range c.dirtyBuf {
+		a.markDirty(a.mainCtx, dm.p, dm.nd)
+	}
+	if len(c.freesBuf) > 0 && a.frees == nil {
+		a.frees = make(map[freeKey]*memmod.ValueSet)
+	}
+	for k, v := range c.freesBuf {
+		acc, ok := a.frees[k]
+		if !ok {
+			a.frees[k] = v
+			continue
+		}
+		acc.AddAll(*v)
+	}
+	if c.changed {
+		a.mainCtx.changed = true
+	}
+	a.stats.NodesEvaluated += c.nodesEval
+	a.stats.Params += c.params
+}

@@ -117,12 +117,9 @@ func (a *Analysis) recordSolution(f *frame, loc memmod.LocSet, vals memmod.Value
 		return
 	}
 	_ = f
-	if a.solution.resolve == nil {
-		a.solution.resolve = func(v memmod.ValueSet) memmod.ValueSet {
-			return a.concretize(nil, v, 0)
-		}
-	}
+	a.solMu.Lock()
 	a.solution.add(loc, vals)
+	a.solMu.Unlock()
 }
 
 // mirrorSummary records every points-to fact of a callee instance into
@@ -169,15 +166,15 @@ func (a *Analysis) collectSolution(mf *frame) {
 	track := a.track
 	a.track = false
 	a.collecting = map[*PTF]bool{mf.ptf: true}
-	a.stack = append(a.stack[:0], mf)
+	a.mainCtx.stack = append(a.mainCtx.stack[:0], mf)
 	a.evalProc(mf)
-	a.stack = a.stack[:0]
+	a.mainCtx.stack = a.mainCtx.stack[:0]
 	a.collecting = nil
 	a.track = track
 	// At the fixpoint no assignment changes, so the pass above records
 	// bindings but no facts; mirror every PTF's final records directly.
-	for _, list := range a.ptfs {
-		for _, p := range list {
+	for _, l := range a.ptfs {
+		for _, p := range l.list {
 			for _, loc := range p.Pts.Locations() {
 				for _, r := range p.Pts.Records(loc) {
 					if r.Vals.IsEmpty() {
@@ -234,6 +231,8 @@ func (a *Analysis) bindParamConcrete(owner *frame, p *memmod.Block, vals memmod.
 	if a.paramConcrete == nil || vals.IsEmpty() {
 		return
 	}
+	a.solMu.Lock()
+	defer a.solMu.Unlock()
 	if a.solution != nil {
 		a.solution.dirty = true
 	}

@@ -1,0 +1,7 @@
+// Package andersen implements a flow-insensitive, context-insensitive
+// inclusion-based pointer analysis (Andersen's analysis) over the same
+// points-to-form IR as the main analysis. It serves as the precision
+// baseline: the Wilson–Lam analysis should produce points-to sets that
+// are no larger, usually strictly smaller, at a higher analysis cost
+// per line but with full context sensitivity.
+package andersen

@@ -1,0 +1,11 @@
+// Package baseline groups the comparison pointer analyses the paper
+// positions itself against: Andersen's inclusion-based analysis
+// (precision baseline), Steensgaard's unification-based analysis (speed
+// baseline), and the Emami et al. invocation graph (the
+// reanalyze-per-context cost model of §7). The subpackages share the
+// points-to-form IR of internal/cfg so all analyses see the same
+// program; the cross-analysis tests in this directory demonstrate the
+// expected precision ordering (Wilson–Lam more precise than Andersen,
+// Andersen more precise than Steensgaard) on the classic
+// unrealizable-path and unification examples.
+package baseline

@@ -1,0 +1,7 @@
+// Package invoke builds the Emami et al. invocation graph: one node per
+// procedure per calling context (i.e., per acyclic call path), with
+// approximate nodes closing recursive cycles. Its size is what makes
+// the reanalyze-per-context approach intractable — the paper reports
+// more than 700,000 nodes for the 37-procedure "compiler" benchmark
+// (§7) — while the PTF analysis needs about one summary per procedure.
+package invoke

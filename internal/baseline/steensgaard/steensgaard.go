@@ -1,8 +1,3 @@
-// Package steensgaard implements a unification-based (almost-linear)
-// pointer analysis over the points-to-form IR: the fast, coarse end of
-// the precision spectrum. Every assignment unifies the equivalence
-// classes of its source and destination targets, so points-to sets come
-// out as whole equivalence classes.
 package steensgaard
 
 import (

@@ -1,8 +1,3 @@
-// Package bench regenerates the paper's evaluation artifacts: Table 2
-// (benchmark and analysis measurements), Table 3 (parallelization
-// measurements), the §7 invocation-graph comparison, and the PTF-policy
-// ablation. Each harness returns structured rows and can render the
-// table the paper prints.
 package bench
 
 import (

@@ -1,0 +1,8 @@
+// Package bench regenerates the paper's evaluation artifacts: Table 2
+// (benchmark and analysis measurements), Table 3 (parallelization
+// measurements), the §7 invocation-graph comparison, and the PTF-policy
+// ablation. Each harness returns structured rows and can render the
+// table the paper prints; MeasureJSON/WriteJSON emit the same data as
+// machine-readable records (including the engine name and worker count
+// used) for regression tracking.
+package bench

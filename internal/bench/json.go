@@ -21,12 +21,38 @@ type JSONEntry struct {
 	NsPerOp     int64   `json:"ns_per_op"`
 	AllocsPerOp uint64  `json:"allocs_per_op"`
 	PTFsPerProc float64 `json:"ptfs_per_proc"`
+	// Engine identifies the evaluation engine: "worklist" (default),
+	// "full-passes" (ForceFullPasses), or "parallel" (worker pool > 1).
+	Engine string `json:"engine"`
+	// Workers is the effective worker-pool size used for the run.
+	Workers int `json:"workers"`
+	// ParallelEpochs/ParallelItems report how often the parallel
+	// scheduler actually batched work (0 for sequential engines).
+	ParallelEpochs int `json:"parallel_epochs,omitempty"`
+	ParallelItems  int `json:"parallel_items,omitempty"`
+	// WorkerBusyNs is the per-worker busy time in nanoseconds (absent
+	// when the scheduler never ran an epoch).
+	WorkerBusyNs []int64 `json:"worker_busy_ns,omitempty"`
+}
+
+// engineName renders the engine selection of a finished run.
+func engineName(st analysis.Stats, force bool) string {
+	switch {
+	case force:
+		return "full-passes"
+	case st.Workers > 1:
+		return "parallel"
+	default:
+		return "worklist"
+	}
 }
 
 // MeasureJSON analyzes every suite workload once and reports wall-clock
 // nanoseconds, heap allocations (mallocs) and PTFs per procedure for the
 // analysis phase only (frontend excluded, matching RunTable2One).
-func MeasureJSON() ([]JSONEntry, error) {
+// workers selects the scheduler pool size (0 = GOMAXPROCS, 1 =
+// sequential).
+func MeasureJSON(workers int) ([]JSONEntry, error) {
 	entries := make([]JSONEntry, 0, len(workload.Suite()))
 	for _, b := range workload.Suite() {
 		f, err := cparse.ParseSource(b.Name, b.Source)
@@ -37,7 +63,7 @@ func MeasureJSON() ([]JSONEntry, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%s: sem: %w", b.Name, err)
 		}
-		an, err := analysis.New(prog, analysis.Options{Lib: libsum.Summaries()})
+		an, err := analysis.New(prog, analysis.Options{Lib: libsum.Summaries(), Workers: workers})
 		if err != nil {
 			return nil, err
 		}
@@ -50,20 +76,29 @@ func MeasureJSON() ([]JSONEntry, error) {
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&after)
-		entries = append(entries, JSONEntry{
-			Name:        b.Name,
-			NsPerOp:     elapsed.Nanoseconds(),
-			AllocsPerOp: after.Mallocs - before.Mallocs,
-			PTFsPerProc: an.Stats().AvgPTFs(),
-		})
+		st := an.Stats()
+		e := JSONEntry{
+			Name:           b.Name,
+			NsPerOp:        elapsed.Nanoseconds(),
+			AllocsPerOp:    after.Mallocs - before.Mallocs,
+			PTFsPerProc:    st.AvgPTFs(),
+			Engine:         engineName(st, false),
+			Workers:        st.Workers,
+			ParallelEpochs: st.ParallelEpochs,
+			ParallelItems:  st.ParallelItems,
+		}
+		for _, d := range st.WorkerBusy {
+			e.WorkerBusyNs = append(e.WorkerBusyNs, d.Nanoseconds())
+		}
+		entries = append(entries, e)
 	}
 	return entries, nil
 }
 
-// WriteJSON measures the suite and writes the entries to path as
-// indented JSON.
-func WriteJSON(path string) error {
-	entries, err := MeasureJSON()
+// WriteJSON measures the suite with the given worker count and writes
+// the entries to path as indented JSON.
+func WriteJSON(path string, workers int) error {
+	entries, err := MeasureJSON(workers)
 	if err != nil {
 		return err
 	}

@@ -1,8 +1,3 @@
-// Package cast defines the abstract syntax tree produced by the parser.
-// Types are already resolved to ctype.Type during parsing (C requires
-// typedef knowledge to parse, so there is no separate resolution pass for
-// types); identifier and expression typing happens in package sem, which
-// fills in the Type fields of expressions.
 package cast
 
 import (

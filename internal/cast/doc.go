@@ -1,0 +1,10 @@
+// Package cast defines the abstract syntax tree produced by the parser.
+// Types are already resolved to ctype.Type during parsing (C requires
+// typedef knowledge to parse, so there is no separate resolution pass
+// for types); identifier and expression typing happens in package sem,
+// which fills in the Type fields of expressions.
+//
+// The AST is immutable after sem finishes: the flow-graph builder, the
+// analysis, the checkers and the interpreter all read it concurrently
+// without synchronization.
+package cast

@@ -1,9 +1,3 @@
-// Package cfg builds per-procedure flow graphs in "points-to form"
-// (paper §4.4): every assignment's source expression carries an extra
-// dereference, and expressions are sets of constant location terms and
-// nested dereference terms. The package also computes reverse postorder,
-// dominator trees and dominance frontiers, which the sparse points-to
-// representation relies on (paper §4.2).
 package cfg
 
 import (

@@ -1,0 +1,92 @@
+package cfg
+
+import (
+	"reflect"
+	"testing"
+)
+
+func sccOf(t *testing.T, n int, edges [][2]int) ([]int, [][]int) {
+	t.Helper()
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	return SCC(n, func(v int) []int { return adj[v] })
+}
+
+func TestSCCBasic(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0 (one cycle), 2 -> 3, 3 -> 4, 4 -> 3.
+	comp, comps := sccOf(t, 5, [][2]int{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 4}, {4, 3}})
+	if len(comps) != 2 {
+		t.Fatalf("got %d components, want 2: %v", len(comps), comps)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Errorf("0,1,2 should share a component: %v", comp)
+	}
+	if comp[3] != comp[4] {
+		t.Errorf("3,4 should share a component: %v", comp)
+	}
+	// Edge 2->3 crosses components; reverse topological order means
+	// comp[2] > comp[3].
+	if comp[2] <= comp[3] {
+		t.Errorf("want comp[2] > comp[3] (reverse topological), got %v", comp)
+	}
+}
+
+func TestSCCSingletons(t *testing.T) {
+	// A DAG: every vertex its own component, sinks numbered first.
+	comp, comps := sccOf(t, 4, [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}})
+	if len(comps) != 4 {
+		t.Fatalf("got %d components, want 4", len(comps))
+	}
+	for _, e := range [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}} {
+		if comp[e[0]] <= comp[e[1]] {
+			t.Errorf("edge %v: want comp[%d] > comp[%d], got %v", e, e[0], e[1], comp)
+		}
+	}
+}
+
+func TestSCCSelfLoopAndIsolated(t *testing.T) {
+	comp, comps := sccOf(t, 3, [][2]int{{0, 0}})
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3", len(comps))
+	}
+	for v := 0; v < 3; v++ {
+		if comp[v] < 0 || comp[v] >= 3 {
+			t.Errorf("vertex %d unassigned: %v", v, comp)
+		}
+	}
+}
+
+func TestSCCEmpty(t *testing.T) {
+	comp, comps := SCC(0, func(int) []int { return nil })
+	if len(comp) != 0 || len(comps) != 0 {
+		t.Fatalf("empty graph: got %v %v", comp, comps)
+	}
+}
+
+func TestSCCDeterministic(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 0}, {1, 2}, {2, 3}, {3, 2}, {3, 4}, {4, 4}, {2, 5}}
+	c1, cs1 := sccOf(t, 6, edges)
+	c2, cs2 := sccOf(t, 6, edges)
+	if !reflect.DeepEqual(c1, c2) || !reflect.DeepEqual(cs1, cs2) {
+		t.Fatalf("nondeterministic SCC: %v %v vs %v %v", c1, cs1, c2, cs2)
+	}
+}
+
+func TestSCCDeepChain(t *testing.T) {
+	// A long chain must not blow the stack (iterative Tarjan).
+	const n = 200000
+	comp, comps := SCC(n, func(v int) []int {
+		if v+1 < n {
+			return []int{v + 1}
+		}
+		return nil
+	})
+	if len(comps) != n {
+		t.Fatalf("got %d components, want %d", len(comps), n)
+	}
+	if comp[0] != n-1 || comp[n-1] != 0 {
+		t.Errorf("chain order wrong: comp[0]=%d comp[n-1]=%d", comp[0], comp[n-1])
+	}
+}

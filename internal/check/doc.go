@@ -1,0 +1,20 @@
+// Package check implements a suite of context-sensitive pointer-bug
+// checkers on top of the converged PTF analysis. Each checker walks a
+// procedure's flow graph once per PTF (i.e. once per distinguished
+// calling context), queries the per-node points-to state through the
+// read-only query API of internal/analysis, and reports diagnostics.
+//
+// Context sensitivity is used for precision: a site is reported with
+// Error severity only when every calling context of the procedure
+// exhibits the defect; a defect present in some contexts but not others
+// is downgraded to Warning.
+//
+// The checkers expect an analysis run with Options.TrackNull set (so
+// that "definitely null" is distinguishable from "uninitialized") and
+// Options.CollectSolution set (for concretizing extended parameters in
+// messages). They degrade gracefully without either.
+//
+// Checkers run only after the analysis has converged, so they observe a
+// single consistent fixpoint regardless of which engine (full-pass,
+// worklist, or parallel worklist) produced it.
+package check

@@ -1,0 +1,6 @@
+// Package cparse implements a recursive-descent parser for the C subset
+// analyzed by wlpa. The parser resolves type names during parsing (as C
+// requires: typedef names change the grammar), producing a cast.File
+// whose declarations carry fully laid-out ctype.Type values. Expression
+// typing and symbol resolution happen later in package sem.
+package cparse

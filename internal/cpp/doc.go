@@ -1,0 +1,10 @@
+// Package cpp implements the C preprocessor subset used by wlpa:
+// object- and function-like macros, #include over an in-memory file
+// set, and the conditional-compilation directives
+// (#if/#ifdef/#ifndef/#elif/#else/#endif) with defined() and integer
+// constant expressions.
+//
+// Unsupported: token pasting (##) and stringization (#). The benchmark
+// suite does not use them and the paper's frontend (SUIF) took
+// preprocessed input anyway.
+package cpp

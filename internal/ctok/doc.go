@@ -1,0 +1,5 @@
+// Package ctok implements a lexical scanner for the C subset analyzed
+// by wlpa. Tokens carry source positions so that later phases can
+// report errors and so that heap allocation sites can be named by
+// source location (paper §3: one block per static allocation site).
+package ctok

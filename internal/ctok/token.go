@@ -1,6 +1,3 @@
-// Package ctok implements a lexical scanner for the C subset analyzed by
-// wlpa. Tokens carry source positions so that later phases can report
-// errors and so that heap allocation sites can be named by source location.
 package ctok
 
 import "fmt"

@@ -1,0 +1,7 @@
+// Package ctype models C types and their memory layout. The pointer
+// analysis is byte-offset based (location sets are (block, offset,
+// stride), paper §3.1), so sizeof, alignment and field offsets are
+// computed here once and used everywhere else. The layout follows a
+// conventional LP64 ABI: char 1, short 2, int 4, long 8, pointers 8,
+// float 4, double 8; natural alignment capped at 8.
+package ctype

@@ -1,0 +1,16 @@
+// Package interp is a concrete interpreter for the analyzed C subset.
+// It serves two roles in the reproduction:
+//
+//  1. Soundness oracle: every pointer value observed at run time must
+//     be covered by the static analysis (dynamic points-to ⊆ static
+//     may-points-to), checked by property tests over generated
+//     programs.
+//  2. Loop profiler: the parallelization experiment (paper Table 3)
+//     needs the fraction of sequential time spent in parallelized
+//     loops and the average time per loop invocation, which the
+//     interpreter measures in abstract cost units.
+//
+// Memory is modeled exactly as the analysis models it: as named blocks
+// (objects) with byte offsets, so dynamic facts translate directly into
+// the analysis' location-set vocabulary.
+package interp

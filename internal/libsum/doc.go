@@ -1,0 +1,7 @@
+// Package libsum provides hand-written summaries of the potential
+// pointer assignments in each C library function, as the paper does for
+// its SUIF implementation (§1). Each summary manipulates the analysis
+// state only through the analysis.LibCall interface, so summaries are
+// engine-agnostic: the same summary runs under the full-pass, worklist
+// and parallel engines.
+package libsum

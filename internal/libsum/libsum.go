@@ -1,7 +1,3 @@
-// Package libsum provides hand-written summaries of the potential
-// pointer assignments in each C library function, as the paper does for
-// its SUIF implementation (§1). Each summary manipulates the analysis
-// state only through the analysis.LibCall interface.
 package libsum
 
 import (

@@ -1,16 +1,8 @@
-// Package memmod implements the low-level memory representation of the
-// Wilson–Lam analysis (paper §3): memory is divided into blocks of
-// contiguous storage whose relative positions are undefined, and positions
-// within a block are named by location sets (base, offset, stride).
-//
-// A block is a local variable, a heap block named by its static allocation
-// site, an extended parameter (including globals viewed from inside a
-// procedure), the real storage of a global at the outermost frame, a
-// function (for function-pointer values), or a string literal.
 package memmod
 
 import (
 	"fmt"
+	"sort"
 	"sync/atomic"
 
 	"wlpa/internal/cast"
@@ -109,8 +101,11 @@ type Block struct {
 	// contain pointers (paper §3.3). Keyed by (offset, stride).
 	ptrLocs map[offStride]bool
 
-	// ptrLocCache is the materialized PtrLocs slice, rebuilt after
-	// AddPtrLoc or Subsume invalidates it. Callers must not mutate it.
+	// ptrLocCache is the materialized PtrLocs slice, maintained eagerly
+	// (sorted by offset then stride) as AddPtrLoc records facts, so that
+	// PtrLocs is a pure read — safe under concurrent readers while the
+	// owning evaluation context is the only writer — and its order never
+	// depends on map iteration. Callers must not mutate it.
 	ptrLocCache []LocSet
 
 	// id is the creation-order identity used for value-set hashing.
@@ -243,22 +238,30 @@ func (b *Block) AddPtrLoc(ls LocSet) bool {
 		return false
 	}
 	rb.ptrLocs[key] = true
-	rb.ptrLocCache = nil
+	// Keep the materialized slice sorted by (offset, stride): a fresh
+	// slice is published per insertion so concurrent readers holding the
+	// previous slice are unaffected.
+	nl := LocSet{Base: rb, Off: ls.Off, Stride: ls.Stride}
+	old := rb.ptrLocCache
+	i := sort.Search(len(old), func(i int) bool {
+		if old[i].Off != nl.Off {
+			return old[i].Off > nl.Off
+		}
+		return old[i].Stride > nl.Stride
+	})
+	next := make([]LocSet, 0, len(old)+1)
+	next = append(next, old[:i]...)
+	next = append(next, nl)
+	next = append(next, old[i:]...)
+	rb.ptrLocCache = next
 	return true
 }
 
 // PtrLocs returns the location sets within the block that may contain
-// pointers, in unspecified order. The caller must not mutate the result.
+// pointers, sorted by offset then stride. The caller must not mutate the
+// result.
 func (b *Block) PtrLocs() []LocSet {
-	rb := b.Representative()
-	if rb.ptrLocCache == nil && len(rb.ptrLocs) > 0 {
-		out := make([]LocSet, 0, len(rb.ptrLocs))
-		for os := range rb.ptrLocs {
-			out = append(out, LocSet{Base: rb, Off: os.off, Stride: os.stride})
-		}
-		rb.ptrLocCache = out
-	}
-	return rb.ptrLocCache
+	return b.Representative().ptrLocCache
 }
 
 // NumPtrLocs returns the number of recorded pointer locations.

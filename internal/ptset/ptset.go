@@ -1,15 +1,8 @@
-// Package ptset implements the sparse flow-sensitive points-to function
-// of the analysis (paper §4.2, after Chase et al.): instead of a full
-// points-to map at every program point, each flow-graph node records only
-// the location sets whose values change there. Looking up a pointer's
-// value searches the nearest dominating record; SSA φ-functions are
-// inserted dynamically at dominance frontiers as new locations are
-// assigned, and strong updates act as barriers that hide earlier
-// assignments to overlapping locations.
 package ptset
 
 import (
 	"sort"
+	"sync"
 
 	"wlpa/internal/cfg"
 	"wlpa/internal/memmod"
@@ -77,6 +70,15 @@ type PTS struct {
 	// uses them for dependency-tracked re-evaluation.
 	onChange func(memmod.LocSet)
 	onPhi    func(*cfg.Node)
+
+	// concurrent guards the memoization caches with mu. The records
+	// themselves follow a single-writer/multi-reader discipline enforced
+	// by the parallel scheduler (only the owning evaluation context
+	// assigns; foreign contexts only look up frozen instances), but
+	// lookups memoize — they write cache entries on read — so concurrent
+	// readers of the same frozen PTS must serialize cache access.
+	concurrent bool
+	mu         sync.Mutex
 }
 
 // New creates an empty points-to function over proc.
@@ -94,6 +96,11 @@ func New(proc *cfg.Proc) *PTS {
 
 // Proc returns the procedure this points-to function covers.
 func (p *PTS) Proc() *cfg.Proc { return p.proc }
+
+// SetConcurrent enables mutex protection of the memoization caches for
+// analyses that read points-to functions from several goroutines. Off by
+// default (single-threaded runs pay no locking cost).
+func (p *PTS) SetConcurrent(on bool) { p.concurrent = on }
 
 // SetHooks installs change notification callbacks. onChange is invoked
 // after a record for loc changes (new record, widened values, or a
@@ -123,8 +130,15 @@ func (p *PTS) lookup(loc memmod.LocSet, at *cfg.Node, after *cfg.Node, includeAt
 	loc = loc.Resolve()
 	key := lookupKey{loc, at, after, includeAt}
 	sg := memmod.SubsumeGen()
+	if p.concurrent {
+		p.mu.Lock()
+	}
 	lg := p.locGens[loc]
-	if e, ok := p.lookupCache[key]; ok && e.subGen == sg && e.locGen == lg {
+	e, cached := p.lookupCache[key]
+	if p.concurrent {
+		p.mu.Unlock()
+	}
+	if cached && e.subGen == sg && e.locGen == lg {
 		return e.vals, e.found
 	}
 	var best *Record
@@ -147,7 +161,13 @@ func (p *PTS) lookup(loc memmod.LocSet, at *cfg.Node, after *cfg.Node, includeAt
 	if found {
 		vals = best.Vals.Resolved()
 	}
+	if p.concurrent {
+		p.mu.Lock()
+	}
 	p.lookupCache[key] = lookupEntry{vals: vals, found: found, locGen: lg, subGen: sg}
+	if p.concurrent {
+		p.mu.Unlock()
+	}
 	return vals, found
 }
 
@@ -251,15 +271,28 @@ func (p *PTS) PhiLocs(nd *cfg.Node) []memmod.LocSet {
 	if len(set) == 0 {
 		return nil
 	}
-	if out, ok := p.phiCache[nd]; ok {
+	if p.concurrent {
+		p.mu.Lock()
+	}
+	out, ok := p.phiCache[nd]
+	if p.concurrent {
+		p.mu.Unlock()
+	}
+	if ok {
 		return out
 	}
-	out := make([]memmod.LocSet, 0, len(set))
+	out = make([]memmod.LocSet, 0, len(set))
 	for loc := range set {
 		out = append(out, loc)
 	}
 	sort.Slice(out, func(i, j int) bool { return lessLoc(out[i], out[j]) })
+	if p.concurrent {
+		p.mu.Lock()
+	}
 	p.phiCache[nd] = out
+	if p.concurrent {
+		p.mu.Unlock()
+	}
 	return out
 }
 
@@ -279,8 +312,15 @@ func (p *PTS) FindStrongUpdate(loc memmod.LocSet, at *cfg.Node) *cfg.Node {
 	loc = loc.Resolve()
 	key := suKey{loc, at}
 	sg := memmod.SubsumeGen()
+	if p.concurrent {
+		p.mu.Lock()
+	}
 	lg := p.locGens[loc]
-	if e, ok := p.suCache[key]; ok && e.subGen == sg && e.locGen == lg {
+	e, cached := p.suCache[key]
+	if p.concurrent {
+		p.mu.Unlock()
+	}
+	if cached && e.subGen == sg && e.locGen == lg {
 		return e.node
 	}
 	var best *Record
@@ -296,7 +336,13 @@ func (p *PTS) FindStrongUpdate(loc memmod.LocSet, at *cfg.Node) *cfg.Node {
 	if best != nil {
 		nd = best.Node
 	}
+	if p.concurrent {
+		p.mu.Lock()
+	}
 	p.suCache[key] = suEntry{node: nd, locGen: lg, subGen: sg}
+	if p.concurrent {
+		p.mu.Unlock()
+	}
 	return nd
 }
 

@@ -1,0 +1,12 @@
+// Package sem performs symbol resolution and expression typing over the
+// parsed AST, producing a Program: the typed whole-program
+// representation consumed by the flow-graph builder, the pointer
+// analysis, and the interpreter.
+//
+// The checker is deliberately lenient, matching the paper's philosophy
+// of accepting "all the inelegant features of the C language" (§1):
+// implicit declarations, int/pointer mixing, and arbitrary casts are
+// allowed; only genuinely unresolvable constructs (unknown identifiers
+// used as values, members of non-structs, calls through non-functions)
+// are errors.
+package sem

@@ -1,8 +1,3 @@
-// Package workload provides the benchmark programs and synthetic C
-// program generators used to evaluate the analysis: the 13-program
-// benchmark suite standing in for the paper's Table 2 programs
-// (testdata/*.c), and a random generator of well-defined pointer-heavy C
-// programs used by the interpreter-vs-analysis soundness property tests.
 package workload
 
 import (

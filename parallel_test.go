@@ -1,0 +1,124 @@
+// Tests for the parallel pre-drain scheduler that the workload suite
+// cannot exercise: the Table 2 stand-ins dirty summarized PTFs one at a
+// time (call-chain cascades), so their re-drains run on the sequential
+// fallback path. A batch needs *simultaneous* sibling dirt over
+// disjoint resources — one procedure writing several globals, each read
+// by a different already-summarized procedure. fanOutSource generates
+// exactly that shape.
+package wlpa_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"wlpa/internal/analysis"
+)
+
+// fanOutSource builds a program with n independent reader procedures
+// (reader i loads through global pointer g_i into o_i) and one setup
+// procedure that initializes every g_i. main runs readers-then-setup in
+// a loop: the first trip summarizes and latches every reader call site
+// with g_i still null, setup's stores make them non-empty, and the
+// loop's back edge re-fires the latched sites. Each re-bind upgrades an
+// empty input-domain entry (paper §5.2), dirtying the reader's PTF —
+// and because the decision at a latched site is already made, the
+// engine defers all n drains and batches them into one epoch (the
+// readers' static resource sets are pairwise disjoint).
+//
+// The shape is deliberate. Two simpler attempts produce NO parallelism:
+// straight-line repeated calls are distinct call nodes, hence fresh
+// match decisions that must stay sequential; and pure value growth
+// (repointing an already-non-null g_i) re-binds symbolically without
+// re-draining, because the PTF summary is expressed in terms of its
+// extended parameters.
+func fanOutSource(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "int a%d; int *p%d; int **g%d; int *o%d;\n", i, i, i, i)
+	}
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "void r%d(void) { o%d = *g%d; }\n", i, i, i)
+	}
+	b.WriteString("void setup(void)\n{\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "    p%d = &a%d;\n    g%d = &p%d;\n", i, i, i, i)
+	}
+	b.WriteString("}\n")
+	b.WriteString("int main(void)\n{\n    int k;\n")
+	b.WriteString("    for (k = 0; k < 2; k++) {\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "        r%d();\n", i)
+	}
+	b.WriteString("        setup();\n    }\n")
+	b.WriteString("    return *o0;\n}\n")
+	return b.String()
+}
+
+// TestParallelEpochsForm proves the scheduler actually runs multi-item
+// epochs on a fan-out workload — the equivalence tests alone could pass
+// with the parallel path dead.
+func TestParallelEpochsForm(t *testing.T) {
+	src := fanOutSource(8)
+	par := analyzeWith(t, "fanout", src, false, 4)
+	st := par.Stats()
+	if st.Workers != 4 {
+		t.Errorf("Stats.Workers = %d, want 4", st.Workers)
+	}
+	if st.ParallelEpochs < 1 {
+		t.Errorf("ParallelEpochs = %d, want >= 1 (parallel path never ran)", st.ParallelEpochs)
+	}
+	if st.ParallelItems < 2 {
+		t.Errorf("ParallelItems = %d, want >= 2 (no batch ever formed)", st.ParallelItems)
+	}
+}
+
+// TestParallelFanOutEquivalence checks the fan-out shape — the one that
+// actually drives the worker pool — still matches the sequential engine
+// bit for bit, at several sizes and worker counts.
+func TestParallelFanOutEquivalence(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		n := n
+		t.Run(fmt.Sprintf("fanout%d", n), func(t *testing.T) {
+			t.Parallel()
+			src := fanOutSource(n)
+			seq := analyzeWith(t, "fanout", src, false, 1)
+			ss := seq.Stats()
+			sd, sdiag := solutionDump(seq), diagDump(t, seq)
+			for _, w := range []int{2, 4, 8} {
+				par := analyzeWith(t, "fanout", src, false, w)
+				ps := par.Stats()
+				if ps.PTFs != ss.PTFs {
+					t.Errorf("workers=%d: PTFs = %d, want %d", w, ps.PTFs, ss.PTFs)
+				}
+				comparePTFsPerProc(t, "fanout", ps.PTFsPerProc, ss.PTFsPerProc)
+				if pd := solutionDump(par); pd != sd {
+					t.Errorf("workers=%d: solution dumps differ; first divergence:\n%s", w, firstDiff(pd, sd))
+				}
+				if pdiag := diagDump(t, par); pdiag != sdiag {
+					t.Errorf("workers=%d: diagnostics differ:\n-- parallel --\n%s\n-- sequential --\n%s", w, pdiag, sdiag)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDefaultWorkers checks the Workers option defaulting: 0
+// means GOMAXPROCS(0), 1 forces sequential, and the recorded stat
+// reflects the resolved value.
+func TestParallelDefaultWorkers(t *testing.T) {
+	src := fanOutSource(2)
+	seq := analyzeWith(t, "fanout", src, false, 1)
+	if got := seq.Stats().Workers; got != 1 {
+		t.Errorf("Workers stat = %d, want 1", got)
+	}
+	if got := seq.Stats().ParallelEpochs; got != 0 {
+		t.Errorf("sequential run recorded %d parallel epochs, want 0", got)
+	}
+	def := analyzeWith(t, "fanout", src, false, 0)
+	if got := def.Stats().Workers; got < 1 {
+		t.Errorf("defaulted Workers stat = %d, want >= 1", got)
+	}
+}
+
+var _ = analysis.Options{} // keep the import if assertions change

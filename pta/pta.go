@@ -1,15 +1,3 @@
-// Package pta is the public API of wlpa: a context-sensitive pointer
-// analysis for C programs implementing Wilson & Lam's partial-transfer-
-// function algorithm (PLDI 1995).
-//
-// Typical use:
-//
-//	res, err := pta.AnalyzeSource("prog.c", src, nil)
-//	if err != nil { ... }
-//	targets := res.PointsTo("p")           // may-point-to of global p
-//	aliased := res.MayAlias("p", "q")      // may p and q point to the same object?
-//	edges := res.CallGraph()               // call graph incl. function pointers
-//	fmt.Println(res.Stats().AvgPTFs())     // PTFs per procedure
 package pta
 
 import (
@@ -52,6 +40,16 @@ type Options struct {
 	CombineOffsets bool
 	// Predefined preprocessor macros (name -> replacement text).
 	Predefined map[string]string
+	// Workers sets the parallel scheduler's worker-pool size: 0 means
+	// runtime.GOMAXPROCS(0), 1 forces sequential evaluation. Results
+	// are identical at every worker count; only wall-clock time
+	// changes. Parallel scheduling requires the default policy and the
+	// worklist engine, and silently runs sequentially otherwise.
+	Workers int
+	// ForceFullPasses disables the dependency-tracked worklist engine
+	// and re-evaluates every node each pass. Slower; kept as a
+	// cross-check and fallback (results are identical).
+	ForceFullPasses bool
 }
 
 // Source is an in-memory set of C files.
@@ -96,6 +94,8 @@ func Analyze(files Source, entry string, opts *Options) (*Result, error) {
 		CollectSolution: true,
 		MaxPTFs:         opts.MaxPTFs,
 		CombineOffsets:  opts.CombineOffsets,
+		Workers:         opts.Workers,
+		ForceFullPasses: opts.ForceFullPasses,
 	}
 	switch opts.Policy {
 	case ReanalyzeEveryContext:
