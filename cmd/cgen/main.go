@@ -1,28 +1,119 @@
 // Command cgen emits a random well-defined pointer-heavy C program from
-// the workload generator (the same generator the soundness property
-// tests use). Useful for fuzzing the analysis from the command line.
+// the workload generator (the same generator the differential fuzzing
+// harness uses), and can run the full oracle lattice over it or reduce
+// a failing program from the command line.
 //
 // Usage:
 //
 //	cgen [-seed N] [-funcs N] [-stmts N] > prog.c
+//	cgen -features heap,multiptr,free -seed 7 > prog.c
+//	cgen -features all -seed 7 -check
+//	cgen -minimize prog.c
+//
+// -check runs the differential oracle (engine equivalence, checker
+// cleanliness, interpreter soundness, baseline lattice) over the
+// generated program and exits non-zero on a property violation.
+// -minimize reads a failing program from a file, shrinks it with the
+// statement-level delta-debugging reducer while the same failure stage
+// reproduces, and prints the reduced program.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
+	"wlpa/internal/difftest"
 	"wlpa/internal/workload"
 )
 
 func main() {
 	var (
-		seed  = flag.Int64("seed", 1, "generator seed")
-		funcs = flag.Int("funcs", 4, "number of generated functions")
-		stmts = flag.Int("stmts", 8, "statements per function")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		funcs    = flag.Int("funcs", 4, "number of generated functions")
+		stmts    = flag.Int("stmts", 8, "statements per function")
+		features = flag.String("features", "", "comma-separated generator features (or \"all\"); empty selects the legacy default set")
+		check    = flag.Bool("check", false, "run the differential oracle over the generated program instead of printing it")
+		minimize = flag.String("minimize", "", "reduce the failing program in this file and print the result")
 	)
 	flag.Parse()
+
+	if *minimize != "" {
+		data, err := os.ReadFile(*minimize)
+		if err != nil {
+			fatal("%v", err)
+		}
+		src := string(data)
+		orig := difftest.CheckProgram(*minimize, src, difftest.Options{})
+		if orig == nil {
+			fatal("%s passes the oracle; nothing to minimize", *minimize)
+		}
+		fl, ok := orig.(*difftest.Failure)
+		if !ok {
+			fatal("unexpected error: %v", orig)
+		}
+		fmt.Fprintf(os.Stderr, "minimizing %s failure: %s\n", fl.Stage, fl.Detail)
+		reduced, path := difftest.ReduceFailure(fl, difftest.Options{})
+		if path != "" {
+			fmt.Fprintf(os.Stderr, "reproducer stored at %s\n", path)
+		}
+		fmt.Print(reduced)
+		return
+	}
+
 	cfg := workload.DefaultGenConfig(*seed)
 	cfg.NumFuncs = *funcs
 	cfg.StmtsPerFunc = *stmts
-	fmt.Print(workload.Generate(cfg))
+	name := fmt.Sprintf("cgen(seed=%d)", *seed)
+	if *features != "" {
+		feat, err := parseFeatures(*features)
+		if err != nil {
+			fatal("%v", err)
+		}
+		cfg = workload.FuzzGenConfig(*seed, uint32(feat))
+		cfg.NumFuncs = *funcs
+		cfg.StmtsPerFunc = *stmts
+		name = fmt.Sprintf("cgen(seed=%d,feat=%s)", *seed, cfg.Features)
+	}
+	src := workload.Generate(cfg)
+	if !*check {
+		fmt.Print(src)
+		return
+	}
+	if err := difftest.CheckProgram(name, src, difftest.Options{}); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s: all oracle properties hold\n", name)
+}
+
+func parseFeatures(s string) (workload.Feature, error) {
+	if s == "all" {
+		return workload.AllFeatures(), nil
+	}
+	var out workload.Feature
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		found := false
+		for bit := 0; bit < workload.NumFeatures(); bit++ {
+			if workload.FeatureName(bit) == part {
+				out |= workload.Feature(1) << bit
+				found = true
+				break
+			}
+		}
+		if !found {
+			var names []string
+			for bit := 0; bit < workload.NumFeatures(); bit++ {
+				names = append(names, workload.FeatureName(bit))
+			}
+			return 0, fmt.Errorf("unknown feature %q (have: %s, all)", part, strings.Join(names, ", "))
+		}
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cgen: "+format+"\n", args...)
+	os.Exit(1)
 }

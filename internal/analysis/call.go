@@ -74,7 +74,7 @@ func (a *Analysis) callTargets(f *frame, nd *cfg.Node, fv memmod.ValueSet) []*ca
 				f.ptf.fpDomain[p] = set
 			}
 			resolved := make(map[*cast.Symbol]bool)
-			a.resolveFuncSyms(f, memmod.Values(l), resolved)
+			a.resolveFuncSyms(f, memmod.Values(l), resolved, f, nd)
 			for s := range resolved {
 				if !set[s] {
 					set[s] = true
@@ -84,7 +84,7 @@ func (a *Analysis) callTargets(f *frame, nd *cfg.Node, fv memmod.ValueSet) []*ca
 			}
 			continue
 		}
-		a.resolveFuncSyms(f, memmod.Values(l), out)
+		a.resolveFuncSyms(f, memmod.Values(l), out, f, nd)
 	}
 	syms := make([]*cast.Symbol, 0, len(out))
 	for s := range out {
@@ -108,12 +108,20 @@ type funcSymVisit struct {
 }
 
 // resolveFuncSyms follows parameter bindings up the call stack until
-// function blocks are reached.
-func (a *Analysis) resolveFuncSyms(f *frame, vals memmod.ValueSet, out map[*cast.Symbol]bool) {
-	a.resolveFuncSymsRec(f, vals, out, make(map[funcSymVisit]bool))
+// function blocks are reached. origin and nd, when non-nil, identify
+// the indirect-call node driving the resolution: every parameter the
+// chain traverses is then flagged FuncPtr and registered as a read of
+// that node, so a later re-bind that grows a traversed parameter's
+// values (extendFuncPtrVals) re-dirties the call site. The bindings
+// live in frame-local pmaps the points-to dependency tracker cannot
+// see, so without this edge the worklist engine keeps a stale fpDomain
+// when a function-pointer value arrives after the site's last visit.
+// Match probes (fpDomain comparison) pass nil: they evaluate nothing.
+func (a *Analysis) resolveFuncSyms(f *frame, vals memmod.ValueSet, out map[*cast.Symbol]bool, origin *frame, nd *cfg.Node) {
+	a.resolveFuncSymsRec(f, vals, out, make(map[funcSymVisit]bool), origin, nd)
 }
 
-func (a *Analysis) resolveFuncSymsRec(f *frame, vals memmod.ValueSet, out map[*cast.Symbol]bool, vis map[funcSymVisit]bool) {
+func (a *Analysis) resolveFuncSymsRec(f *frame, vals memmod.ValueSet, out map[*cast.Symbol]bool, vis map[funcSymVisit]bool, origin *frame, nd *cfg.Node) {
 	for _, l := range vals.Locs() {
 		l = l.Resolve()
 		switch l.Base.Kind {
@@ -128,6 +136,20 @@ func (a *Analysis) resolveFuncSymsRec(f *frame, vals memmod.ValueSet, out map[*c
 				continue
 			}
 			vis[funcSymVisit{f, p}] = true
+			if a.track && origin != nil {
+				if !p.FuncPtr {
+					if c := origin.c; c != nil && c.restricted() && !c.owns(f.ptf.Proc) {
+						// Flagging a parameter on a chain frame the
+						// worker does not own would race with its
+						// owner; defer to the sequential walk, which
+						// records the dependency.
+						c.deferred = true
+					} else {
+						p.FuncPtr = true
+					}
+				}
+				a.registerRead(origin, p, nd)
+			}
 			bound, ok := f.pmap[p]
 			if !ok {
 				continue
@@ -136,7 +158,7 @@ func (a *Analysis) resolveFuncSymsRec(f *frame, vals memmod.ValueSet, out map[*c
 			if next == nil {
 				next = f
 			}
-			a.resolveFuncSymsRec(next, bound, out, vis)
+			a.resolveFuncSymsRec(next, bound, out, vis, origin, nd)
 		}
 	}
 }
@@ -475,13 +497,11 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 	// Function-pointer input values must match (paper §5.2).
 	for p, want := range ptf.fpDomain {
 		p = p.Representative()
-		bound, ok := pmap[p]
-		if !ok {
+		if _, ok := pmap[p]; !ok {
 			continue
 		}
 		got := make(map[*cast.Symbol]bool)
-		a.resolveFuncSyms(&frame{ptf: ptf, caller: f, callNode: nd, pmap: pmap}, memmod.Values(memmod.Loc(p, 0, 0)), got)
-		_ = bound
+		a.resolveFuncSyms(&frame{ptf: ptf, caller: f, callNode: nd, pmap: pmap}, memmod.Values(memmod.Loc(p, 0, 0)), got, nil, nil)
 		if !sameSymSet(want, got) {
 			return nil, false, false
 		}
@@ -496,6 +516,7 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 		if a.extendParamPtrLocs(f.c, p, bound) {
 			needVisit = true
 		}
+		a.extendFuncPtrVals(f.c, p, bound)
 	}
 	// Apply deferred empty-entry upgrades now that the match holds.
 	for _, up := range upgrades {
@@ -614,6 +635,23 @@ func (a *Analysis) extendParamPtrLocs(c *evalCtx, p *memmod.Block, bound memmod.
 	return extended
 }
 
+// extendFuncPtrVals accumulates the values bound to a function-pointer
+// parameter and, when the set grows, re-dirties the call nodes that
+// resolved targets through it. This is the write half of the dependency
+// resolveFuncSyms registers: resolution chains run through frame-local
+// pmaps, so a re-bind that brings a new function value would otherwise
+// be invisible to the worklist engine and leave a stale fpDomain in the
+// callee. Full passes re-walk everything, so tracking-off mode skips it.
+func (a *Analysis) extendFuncPtrVals(c *evalCtx, p *memmod.Block, bound memmod.ValueSet) {
+	p = p.Representative()
+	if !a.track || !p.FuncPtr {
+		return
+	}
+	if p.AddFnBound(bound) {
+		a.notifyWrite(c, p)
+	}
+}
+
 // setNotUnique marks a parameter as possibly standing for several
 // locations at once, re-dirtying readers whose strong-update decisions
 // depended on its uniqueness.
@@ -663,6 +701,7 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 				pmap[p] = actual
 			}
 			a.bindParamConcrete(cf, p, pmap[p])
+			a.extendFuncPtrVals(f.c, p, pmap[p])
 		case ptrInitEntry:
 			actuals, _ := a.entryActuals(cf, e)
 			if e.valEmpty {
@@ -699,6 +738,7 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 			}
 			a.extendParamPtrLocs(f.c, p, pmap[p])
 			a.bindParamConcrete(cf, p, pmap[p])
+			a.extendFuncPtrVals(f.c, p, pmap[p])
 			if mergeRecords && !actuals.IsEmpty() {
 				// Recursive call: the entry record of this input
 				// pointer also covers the values arriving around the

@@ -20,7 +20,7 @@ func TestResolveFuncSymsSelfBinding(t *testing.T) {
 	}}
 	out := make(map[*cast.Symbol]bool)
 	// Must terminate (used to stack-overflow) and resolve nothing.
-	a.resolveFuncSyms(f, memmod.Values(memmod.Loc(p, 0, 0)), out)
+	a.resolveFuncSyms(f, memmod.Values(memmod.Loc(p, 0, 0)), out, nil, nil)
 	if len(out) != 0 {
 		t.Errorf("resolved %d symbols from a self-referential binding, want 0", len(out))
 	}
@@ -42,7 +42,7 @@ func TestResolveFuncSymsCycleWithFunc(t *testing.T) {
 		q: memmod.Values(memmod.Loc(p, 0, 0)), // q -> {p}: cycle
 	}}
 	out := make(map[*cast.Symbol]bool)
-	a.resolveFuncSyms(f, memmod.Values(memmod.Loc(p, 0, 0)), out)
+	a.resolveFuncSyms(f, memmod.Values(memmod.Loc(p, 0, 0)), out, nil, nil)
 	if !out[sym] {
 		t.Errorf("function symbol not resolved through binding cycle; got %v", out)
 	}

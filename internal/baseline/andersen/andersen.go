@@ -274,6 +274,8 @@ func (a *analyzer) libCall(proc *cfg.Proc, nd *cfg.Node, name string, args []mem
 		return memmod.ValueSet{}
 	}
 	switch name {
+	case "free", "fclose":
+		// No pointer values are copied; a no-op is sound for points-to.
 	case "malloc", "calloc", "strdup", "fopen", "getenv":
 		ret(memmod.Values(memmod.Loc(a.blocks.heapBlock(nd), 0, 0)))
 	case "realloc":
@@ -424,3 +426,25 @@ func (r *Result) AvgSetSize() float64 {
 
 // NumFacts returns the number of location keys with facts.
 func (r *Result) NumFacts() int { return len(r.pts) }
+
+// Edges returns every block-granularity points-to edge of the
+// solution: one (source, target) block pair for each fact "some
+// location in source may hold a pointer into target". Offsets and
+// strides are collapsed. Differential tests use the edge set to check
+// the precision lattice against the context-sensitive analysis (which
+// must be a subset) and the unification baseline (which must be a
+// superset).
+func (r *Result) Edges() [][2]*memmod.Block {
+	seen := make(map[[2]*memmod.Block]bool)
+	var out [][2]*memmod.Block
+	for k, vals := range r.pts {
+		for _, l := range vals.Locs() {
+			e := [2]*memmod.Block{k.Base, l.Base}
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}

@@ -5,6 +5,7 @@ import (
 
 	"wlpa/internal/cast"
 	"wlpa/internal/cfg"
+	"wlpa/internal/ctype"
 	"wlpa/internal/memmod"
 	"wlpa/internal/sem"
 )
@@ -62,6 +63,7 @@ func Analyze(prog *sem.Program) (*Result, error) {
 		heaps:   make(map[string]*memmod.Block),
 		retvals: make(map[*cfg.Proc]*memmod.Block),
 	}
+	a.seedGlobals()
 	// Two passes are enough: unification is monotone and function-
 	// pointer targets only add more unifications.
 	for pass := 0; pass < 3; pass++ {
@@ -70,6 +72,84 @@ func Analyze(prog *sem.Program) (*Result, error) {
 		}
 	}
 	return &Result{classes: a.classes}, nil
+}
+
+// seedGlobals feeds static initializers of globals into the solution
+// (block granularity: aggregate initializers collapse onto the
+// variable's class).
+func (a *analyzer) seedGlobals() {
+	for _, vd := range a.prog.GlobalInits {
+		if vd.Sym == nil || vd.Init == nil {
+			continue
+		}
+		a.seedInit(a.ecrOf(a.varBlock(nil, vd.Sym)), vd.Sym.Type, vd.Init)
+	}
+}
+
+func (a *analyzer) seedInit(dst *ecr, t *ctype.Type, init cast.Expr) {
+	point := func(b *memmod.Block) {
+		union(ptsOf(dst), a.ecrOf(b))
+	}
+	switch init := init.(type) {
+	case *cast.InitList:
+		switch t.Kind {
+		case ctype.Array:
+			for _, el := range init.Elems {
+				a.seedInit(dst, t.Elem, el)
+			}
+		case ctype.Struct:
+			for i, el := range init.Elems {
+				if i >= len(t.Fields) {
+					break
+				}
+				a.seedInit(dst, t.Fields[i].Type, el)
+			}
+		default:
+			if len(init.Elems) > 0 {
+				a.seedInit(dst, t, init.Elems[0])
+			}
+		}
+	case *cast.Unary:
+		if init.Op == cast.Addr {
+			if id, ok := init.X.(*cast.Ident); ok && id.Sym != nil {
+				if id.Sym.Kind == cast.SymFunc {
+					point(a.funcBlock(id.Sym))
+				} else {
+					point(a.varBlock(nil, id.Sym))
+				}
+			}
+		}
+	case *cast.Ident:
+		if init.Sym != nil && init.Sym.Kind == cast.SymFunc {
+			point(a.funcBlock(init.Sym))
+		} else if init.Sym != nil && init.Sym.Type != nil && init.Sym.Type.Kind == ctype.Array {
+			point(a.varBlock(nil, init.Sym))
+		}
+	case *cast.StrLit:
+		if t.Kind != ctype.Array {
+			point(a.strBlock(init.ID, init.Value))
+		}
+	case *cast.Cast:
+		a.seedInit(dst, t, init.X)
+	}
+}
+
+func (a *analyzer) funcBlock(sym *cast.Symbol) *memmod.Block {
+	b, ok := a.funcs[sym]
+	if !ok {
+		b = memmod.NewFunc(sym)
+		a.funcs[sym] = b
+	}
+	return b
+}
+
+func (a *analyzer) strBlock(id int, val string) *memmod.Block {
+	b, ok := a.strs[id]
+	if !ok {
+		b = memmod.NewString(id, val)
+		a.strs[id] = b
+	}
+	return b
 }
 
 func (a *analyzer) ecrOf(b *memmod.Block) *ecr {
@@ -161,19 +241,9 @@ func (a *analyzer) valueClass(proc *cfg.Proc, e *cfg.Expr) *ecr {
 		case cfg.TermVar:
 			join(a.ecrOf(a.varBlock(proc, t.Sym)))
 		case cfg.TermFunc:
-			b, ok := a.funcs[t.Sym]
-			if !ok {
-				b = memmod.NewFunc(t.Sym)
-				a.funcs[t.Sym] = b
-			}
-			join(a.ecrOf(b))
+			join(a.ecrOf(a.funcBlock(t.Sym)))
 		case cfg.TermStr:
-			b, ok := a.strs[t.StrID]
-			if !ok {
-				b = memmod.NewString(t.StrID, t.StrVal)
-				a.strs[t.StrID] = b
-			}
-			join(a.ecrOf(b))
+			join(a.ecrOf(a.strBlock(t.StrID, t.StrVal)))
 		case cfg.TermDeref:
 			base := a.valueClass(proc, t.Base)
 			if base != nil {
@@ -246,6 +316,8 @@ func (a *analyzer) analyzeCall(proc *cfg.Proc, nd *cfg.Node) {
 
 func (a *analyzer) libCall(proc *cfg.Proc, nd *cfg.Node, name string) {
 	switch name {
+	case "free", "fclose":
+		// No pointer values are copied; a no-op is sound for points-to.
 	case "malloc", "calloc", "strdup", "fopen", "getenv", "realloc":
 		if nd.RetDst != nil {
 			key := nd.Pos.String()
@@ -258,7 +330,10 @@ func (a *analyzer) libCall(proc *cfg.Proc, nd *cfg.Node, name string) {
 		}
 	default:
 		// Unify everything reachable from the arguments (the
-		// classic conservative treatment).
+		// classic conservative treatment), and make the merged class
+		// point to itself so the contents of every reachable object
+		// cover every reachable value — at least as coarse as the
+		// inclusion baseline's unknown-call treatment.
 		var acc *ecr
 		for _, ae := range nd.Args {
 			av := a.valueClass(proc, ae)
@@ -270,6 +345,9 @@ func (a *analyzer) libCall(proc *cfg.Proc, nd *cfg.Node, name string) {
 			} else {
 				acc = union(acc, av)
 			}
+		}
+		if acc != nil {
+			union(ptsOf(acc), acc)
 		}
 		if nd.RetDst != nil && acc != nil {
 			a.assign(a.valueClass(proc, nd.RetDst), acc)
@@ -314,6 +392,31 @@ func (r *Result) AvgSetSize() float64 {
 		return 0
 	}
 	return float64(total) / float64(n)
+}
+
+// Edges returns every block-granularity points-to edge of the
+// solution: each block points at every member of its class's single
+// points-to class (unification's coarseness). Differential tests use
+// the edge set as the top of the precision lattice: it must cover the
+// inclusion baseline's edges, which in turn cover the
+// context-sensitive analysis' solution.
+func (r *Result) Edges() [][2]*memmod.Block {
+	seen := make(map[[2]*memmod.Block]bool)
+	var out [][2]*memmod.Block
+	for b, e := range r.classes {
+		cls := e.find()
+		if cls.pts == nil {
+			continue
+		}
+		for _, t := range cls.pts.find().blocks {
+			edge := [2]*memmod.Block{b, t}
+			if !seen[edge] {
+				seen[edge] = true
+				out = append(out, edge)
+			}
+		}
+	}
+	return out
 }
 
 // NumClasses returns the number of distinct equivalence classes.

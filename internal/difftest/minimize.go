@@ -1,0 +1,134 @@
+package difftest
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Minimize shrinks src to a smaller program for which fails still
+// returns true, using statement-level (line-granularity) delta
+// debugging: chunks of lines are removed at exponentially decreasing
+// granularity, a removal is kept only while the failure reproduces,
+// and the process repeats down to single lines until a fixpoint. The
+// predicate must be deterministic; candidates that no longer fail
+// (including ones the frontend rejects, when the original failure is
+// not a frontend failure) are simply rejected, so brace balance and
+// declaration order repair themselves. The number of predicate
+// evaluations is capped so reduction always terminates quickly.
+func Minimize(src string, fails func(string) bool) string {
+	if !fails(src) {
+		return src
+	}
+	lines := strings.Split(src, "\n")
+	budget := 3000
+	eval := func(cand []string) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		return fails(strings.Join(cand, "\n"))
+	}
+	for gran := (len(lines) + 1) / 2; gran >= 1; {
+		removed := false
+		for start := 0; start < len(lines); {
+			end := start + gran
+			if end > len(lines) {
+				end = len(lines)
+			}
+			cand := make([]string, 0, len(lines)-(end-start))
+			cand = append(cand, lines[:start]...)
+			cand = append(cand, lines[end:]...)
+			if len(cand) > 0 && eval(cand) {
+				lines = cand
+				removed = true
+				// Do not advance: the next chunk now starts here.
+				continue
+			}
+			start = end
+		}
+		if gran == 1 {
+			if !removed || budget <= 0 {
+				break
+			}
+			// Another single-line sweep may unlock more removals.
+			continue
+		}
+		gran = gran / 2
+	}
+	return strings.Join(lines, "\n")
+}
+
+// regressionsDirOverride redirects reproducer output (tests only).
+var regressionsDirOverride string
+
+// regressionsDir resolves internal/workload/testdata/regressions
+// relative to this source file, so reducers always land reproducers in
+// the tree regardless of the test's working directory.
+func regressionsDir() (string, error) {
+	if regressionsDirOverride != "" {
+		return regressionsDirOverride, nil
+	}
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "", fmt.Errorf("cannot locate difftest source dir")
+	}
+	dir := filepath.Join(filepath.Dir(file), "..", "workload", "testdata", "regressions")
+	return filepath.Clean(dir), nil
+}
+
+// WriteRegression stores a reduced failing program under
+// internal/workload/testdata/regressions, named by the failure stage
+// and a content hash so repeated reductions of the same bug are
+// idempotent. header is written as a leading comment (root cause,
+// failure detail). It returns the file path.
+func WriteRegression(stage, header, src string) (string, error) {
+	dir, err := regressionsDir()
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256([]byte(src))
+	name := fmt.Sprintf("%s_%x.c", stage, sum[:5])
+	path := filepath.Join(dir, name)
+	if _, err := os.Stat(path); err == nil {
+		return path, nil // already recorded
+	}
+	var sb strings.Builder
+	sb.WriteString("/*\n")
+	for _, line := range strings.Split(strings.TrimSpace(header), "\n") {
+		sb.WriteString(" * " + line + "\n")
+	}
+	sb.WriteString(" */\n")
+	sb.WriteString(src)
+	if !strings.HasSuffix(src, "\n") {
+		sb.WriteString("\n")
+	}
+	return path, os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// ReduceFailure minimizes a failing program while the same failure
+// stage reproduces, writes the reproducer to the regressions
+// directory, and returns the reduced source plus the file path (best
+// effort: the path is empty if writing failed).
+func ReduceFailure(orig *Failure, opt Options) (string, string) {
+	stage := orig.Stage
+	sameStage := func(cand string) bool {
+		err := CheckProgram(orig.Name, cand, opt)
+		f, ok := err.(*Failure)
+		return ok && f.Stage == stage
+	}
+	red := Minimize(orig.Src, sameStage)
+	header := fmt.Sprintf("reduced reproducer (stage %s)\nprogram: %s\ndetail: %s",
+		orig.Stage, orig.Name, orig.Detail)
+	path, err := WriteRegression(stage, header, red)
+	if err != nil {
+		path = ""
+	}
+	return red, path
+}

@@ -1,0 +1,160 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMinimize(t *testing.T) {
+	tests := []struct {
+		name  string
+		src   string
+		fails func(string) bool
+		// want is the exact reduced output; maxLines bounds it instead
+		// when the exact fixpoint is not worth pinning.
+		want     string
+		maxLines int
+	}{
+		{
+			name:  "keeps-only-needle",
+			src:   "a\nb\nNEEDLE\nc\nd",
+			fails: func(s string) bool { return strings.Contains(s, "NEEDLE") },
+			want:  "NEEDLE",
+		},
+		{
+			name: "two-interacting-lines",
+			src:  "x\nFIRST\ny\nz\nSECOND\nw",
+			fails: func(s string) bool {
+				return strings.Contains(s, "FIRST") && strings.Contains(s, "SECOND")
+			},
+			want: "FIRST\nSECOND",
+		},
+		{
+			name:  "not-failing-returns-input",
+			src:   "a\nb\nc",
+			fails: func(s string) bool { return false },
+			want:  "a\nb\nc",
+		},
+		{
+			name:  "every-line-needed",
+			src:   "p\nq",
+			fails: func(s string) bool { return strings.Contains(s, "p") && strings.Contains(s, "q") },
+			want:  "p\nq",
+		},
+		{
+			name: "order-dependent-pair",
+			src:  "keep1\nnoise\nnoise\nnoise\nkeep2\nnoise",
+			fails: func(s string) bool {
+				i, j := strings.Index(s, "keep1"), strings.Index(s, "keep2")
+				return i >= 0 && j > i
+			},
+			want: "keep1\nkeep2",
+		},
+		{
+			name:     "large-input-converges",
+			src:      strings.Repeat("filler\n", 300) + "BUG",
+			fails:    func(s string) bool { return strings.Contains(s, "BUG") },
+			maxLines: 1,
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Minimize(tc.src, tc.fails)
+			if !tc.fails(tc.src) {
+				if got != tc.src {
+					t.Fatalf("non-failing input must be returned unchanged; got %q", got)
+				}
+				return
+			}
+			if !tc.fails(got) {
+				t.Fatalf("reduced output no longer fails: %q", got)
+			}
+			if tc.want != "" && got != tc.want {
+				t.Fatalf("got %q, want %q", got, tc.want)
+			}
+			if tc.maxLines > 0 {
+				if n := len(strings.Split(got, "\n")); n > tc.maxLines {
+					t.Fatalf("reduced to %d lines, want <= %d:\n%s", n, tc.maxLines, got)
+				}
+			}
+		})
+	}
+}
+
+// TestMinimizeRepairsStructure reduces a C program with a brace
+// structure: candidates that break the program are rejected by the
+// frontend inside the predicate, so the result still parses.
+func TestMinimizeRepairsStructure(t *testing.T) {
+	src := `int g;
+int *p;
+int h;
+int *q;
+int main(void) {
+    p = &g;
+    q = &h;
+    *p = 1;
+    *q = 2;
+    return *p + *q;
+}`
+	// Failure: the program parses and mentions *p (a stand-in for a
+	// real analysis property).
+	fails := func(s string) bool {
+		if _, err := Frontend("m.c", s); err != nil {
+			return false
+		}
+		return strings.Contains(s, "*p = 1")
+	}
+	got := Minimize(src, fails)
+	if _, err := Frontend("m.c", got); err != nil {
+		t.Fatalf("reduced program no longer parses: %v\n%s", err, got)
+	}
+	if n := len(strings.Split(got, "\n")); n > 5 {
+		t.Fatalf("expected a tight reduction, got %d lines:\n%s", n, got)
+	}
+	for _, must := range []string{"int *p", "int main", "*p = 1"} {
+		if !strings.Contains(got, must) {
+			t.Fatalf("reduction dropped a needed line %q:\n%s", must, got)
+		}
+	}
+}
+
+func TestWriteRegression(t *testing.T) {
+	dir := t.TempDir()
+	regressionsDirOverride = dir
+	defer func() { regressionsDirOverride = "" }()
+
+	path, err := WriteRegression("soundness", "root cause: example\ndetail line", "int main(void) { return 0; }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("reproducer written to %s, want dir %s", path, dir)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	for _, must := range []string{"/*", "root cause: example", "detail line", "int main"} {
+		if !strings.Contains(s, must) {
+			t.Fatalf("reproducer missing %q:\n%s", must, s)
+		}
+	}
+	// Idempotent: a second write of the same source is a no-op.
+	path2, err := WriteRegression("soundness", "different header", "int main(void) { return 0; }\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path2 != path {
+		t.Fatalf("same source produced a second file: %s vs %s", path2, path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want exactly one reproducer file, got %d", len(entries))
+	}
+}

@@ -1,0 +1,536 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/baseline/andersen"
+	"wlpa/internal/baseline/steensgaard"
+	"wlpa/internal/cast"
+	"wlpa/internal/check"
+	"wlpa/internal/cparse"
+	"wlpa/internal/interp"
+	"wlpa/internal/libsum"
+	"wlpa/internal/memmod"
+	"wlpa/internal/sem"
+	"wlpa/internal/workload"
+)
+
+// Failure is one property violation found by the oracle. Stage names
+// the broken property; Src carries the offending program so a fuzz or
+// test harness can print and reduce it.
+type Failure struct {
+	Stage  string
+	Name   string
+	Detail string
+	Src    string
+}
+
+func (f *Failure) Error() string {
+	return fmt.Sprintf("%s: %s: %s", f.Name, f.Stage, f.Detail)
+}
+
+// Stages reported by CheckProgram.
+const (
+	StageFrontend    = "frontend"            // generated program failed to parse or type-check
+	StageEngine      = "engine-error"        // an engine's Run returned an error
+	StageEquivalence = "equivalence"         // engines disagree on PTFs/solution/diagnostics
+	StageInterp      = "interp"              // interpreter hit a runtime fault (generator bug)
+	StageInterpFuel  = "interp-fuel"         // interpreter ran out of fuel (runaway program)
+	StageSoundness   = "soundness"           // dynamic fact missing from the PTF solution
+	StageCheckClean  = "check-clean"         // Error-severity diagnostic on a well-defined program
+	StageBaseline    = "baseline"            // a baseline analysis returned an error
+	StageAndersen    = "lattice-andersen"    // dynamic fact missing from Andersen
+	StageSteensgaard = "lattice-steensgaard" // PTF or Andersen edge missing from Steensgaard
+)
+
+// Options configure one oracle run.
+type Options struct {
+	// Workers lists the parallel worker counts to cross-check against
+	// the sequential engines. Default: 2, 4, 8.
+	Workers []int
+	// MaxSteps is the interpreter fuel budget (default 20M cost
+	// units). Exhausting it is a property failure (StageInterpFuel):
+	// the generator must only produce terminating programs, and the
+	// budget guarantees the oracle itself can never hang.
+	MaxSteps int64
+	// SkipFullPass omits the quadratic full-pass engine (used for
+	// large benchmark inputs where the root equivalence tests already
+	// cover it).
+	SkipFullPass bool
+	// SkipBaselines omits the Andersen/Steensgaard lattice layers.
+	SkipBaselines bool
+	// SkipUnifyLattice omits the two Steensgaard-superset layers while
+	// keeping dynamic ⊆ Andersen. Benchmark programs use the full C
+	// surface (function-pointer tables, string library calls) where the
+	// independently-written baselines are not provably nested; the
+	// generated-program grammar is exactly the surface where they are.
+	SkipUnifyLattice bool
+	// SkipInterp omits execution (for programs without a main or with
+	// unmodeled inputs).
+	SkipInterp bool
+
+	// dropSolutionBlock, when non-empty, removes every fact whose
+	// location matches the named block from the PTF solution before
+	// the soundness comparison. It deliberately makes the oracle see
+	// an unsound analysis — the harness's own tests use it to prove a
+	// seeded unsoundness is caught and reduced (mutation testing the
+	// oracle), without ever shipping a broken analysis.
+	dropSolutionBlock string
+}
+
+func (o Options) workers() []int {
+	if len(o.Workers) == 0 {
+		return []int{2, 4, 8}
+	}
+	return o.Workers
+}
+
+func (o Options) maxSteps() int64 {
+	if o.MaxSteps == 0 {
+		return 20_000_000
+	}
+	return o.MaxSteps
+}
+
+// Frontend parses and type-checks src.
+func Frontend(name, src string) (*sem.Program, error) {
+	file, err := cparse.ParseSource(name, src)
+	if err != nil {
+		return nil, err
+	}
+	return sem.Check(file)
+}
+
+// engine is one solver configuration under cross-check.
+type engine struct {
+	name    string
+	force   bool
+	workers int
+}
+
+// fingerprint is everything an engine run must agree on, rendered
+// deterministically.
+type fingerprint struct {
+	ptfs     int
+	procs    int
+	perProc  string
+	solution string
+	diags    string
+	diagList []check.Diagnostic
+	an       *analysis.Analysis
+}
+
+func runEngine(prog *sem.Program, e engine) (*fingerprint, error) {
+	an, err := analysis.New(prog, analysis.Options{
+		Lib:             libsum.Summaries(),
+		CollectSolution: true,
+		TrackNull:       true,
+		ForceFullPasses: e.force,
+		Workers:         e.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := an.Run(); err != nil {
+		return nil, err
+	}
+	st := an.Stats()
+	diags, err := check.Run(an, check.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &fingerprint{
+		ptfs:     st.PTFs,
+		procs:    st.Procedures,
+		perProc:  renderPerProc(st.PTFsPerProc),
+		solution: SolutionDump(an),
+		diags:    renderDiags(diags),
+		diagList: diags,
+		an:       an,
+	}, nil
+}
+
+func renderPerProc(m map[string]int) string {
+	lines := make([]string, 0, len(m))
+	for k, v := range m {
+		lines = append(lines, fmt.Sprintf("%s=%d", k, v))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, " ")
+}
+
+// SolutionDump renders the collapsed solution deterministically: one
+// line per location with sorted members, lines themselves sorted.
+func SolutionDump(an *analysis.Analysis) string {
+	sol := an.Solution()
+	var lines []string
+	for _, loc := range sol.Locations() {
+		var members []string
+		for _, v := range sol.PointsTo(loc).Locs() {
+			members = append(members, v.String())
+		}
+		sort.Strings(members)
+		lines = append(lines, loc.String()+" -> {"+strings.Join(members, ", ")+"}")
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func renderDiags(diags []check.Diagnostic) string {
+	lines := make([]string, 0, len(diags))
+	for _, d := range diags {
+		lines = append(lines, d.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// firstDiff locates the first divergent line between two dumps.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return "a: " + al[i] + "\nb: " + bl[i]
+		}
+	}
+	return fmt.Sprintf("(line-count mismatch: %d vs %d)", len(al), len(bl))
+}
+
+// CheckProgram runs the full oracle lattice over one program and
+// returns nil iff every property holds. Any non-nil error is a
+// *Failure describing the first broken property.
+func CheckProgram(name, src string, opt Options) error {
+	fail := func(stage, format string, args ...any) error {
+		return &Failure{Stage: stage, Name: name, Detail: fmt.Sprintf(format, args...), Src: src}
+	}
+
+	prog, err := Frontend(name, src)
+	if err != nil {
+		return fail(StageFrontend, "%v", err)
+	}
+
+	// 1. Engine equivalence: full-pass vs worklist vs parallel(N) must
+	// be bit-identical in PTF counts, collapsed solution, diagnostics.
+	engines := []engine{{name: "worklist", force: false, workers: 1}}
+	if !opt.SkipFullPass {
+		engines = append(engines, engine{name: "fullpass", force: true, workers: 1})
+	}
+	for _, w := range opt.workers() {
+		engines = append(engines, engine{name: fmt.Sprintf("parallel%d", w), force: false, workers: w})
+	}
+	var base *fingerprint
+	for i, e := range engines {
+		fp, err := runEngine(prog, e)
+		if err != nil {
+			return fail(StageEngine, "%s: %v", e.name, err)
+		}
+		if i == 0 {
+			base = fp
+			continue
+		}
+		if fp.ptfs != base.ptfs || fp.procs != base.procs || fp.perProc != base.perProc {
+			return fail(StageEquivalence, "%s vs %s: PTFs %d/%d procs %d/%d perproc %q vs %q",
+				e.name, engines[0].name, fp.ptfs, base.ptfs, fp.procs, base.procs, fp.perProc, base.perProc)
+		}
+		if fp.solution != base.solution {
+			return fail(StageEquivalence, "%s vs %s: solutions differ; first divergence:\n%s",
+				e.name, engines[0].name, firstDiff(fp.solution, base.solution))
+		}
+		if fp.diags != base.diags {
+			return fail(StageEquivalence, "%s vs %s: diagnostics differ:\n-- %s --\n%s\n-- %s --\n%s",
+				e.name, engines[0].name, e.name, fp.diags, engines[0].name, base.diags)
+		}
+	}
+
+	// 2. Checker cleanliness: the program is well-defined (it runs to
+	// completion below), so Error-severity diagnostics are false
+	// positives. Warnings ("may" defects) are expected and allowed.
+	for _, d := range base.diagList {
+		if d.Sev == check.Error {
+			return fail(StageCheckClean, "error-severity diagnostic on well-defined program: %v (trace %v)", d, d.Trace)
+		}
+	}
+
+	// 3. Interpreter soundness: every dynamic points-to fact must be
+	// covered by the static solution.
+	var dynFacts []interp.DynFact
+	if !opt.SkipInterp {
+		in := interp.New(prog, interp.Options{RecordPointsTo: true, MaxSteps: opt.maxSteps()})
+		res, err := in.Run()
+		if err != nil {
+			if interp.IsFuelExhausted(err) {
+				return fail(StageInterpFuel, "%v (non-terminating or runaway generated program)", err)
+			}
+			return fail(StageInterp, "%v", err)
+		}
+		dynFacts = res.Facts
+		sol := base.an.Solution()
+		keys := sol.Locations()
+		if opt.dropSolutionBlock != "" {
+			keys = dropBlock(keys, opt.dropSolutionBlock)
+		}
+		for _, f := range dynFacts {
+			if !factCovered(sol, keys, f) {
+				return fail(StageSoundness, "dynamic fact (%s+%d) -> (%s+%d) not in static solution",
+					f.Block, f.Off, f.Target, f.TOff)
+			}
+		}
+	}
+
+	// 4. Precision lattice at block granularity:
+	//
+	//	dynamic  ⊆ PTF solution     (checked in step 3)
+	//	dynamic  ⊆ Andersen         (baseline soundness)
+	//	PTF      ⊆ Steensgaard      (unification over-approximates the collapse)
+	//	Andersen ⊆ Steensgaard      (inclusion refines unification)
+	//
+	// The collapsed PTF solution is deliberately NOT required to be a
+	// subset of Andersen: query-time resolution unions each extended
+	// parameter's bindings over every context and resolves them
+	// transitively through other procedures' parameters, which loses
+	// context correlations (a binding like "f0's p2-param = f1's 1_a"
+	// only held in the context where a↦p2) and can therefore exceed
+	// Andersen's direct inclusion on concrete blocks. Steensgaard still
+	// bounds it: every link in a concretization chain is an actual
+	// assignment, and unification collapses assignment chains wholesale.
+	// See TestCollapsedSolutionExceedsAndersen for a pinned reproducer.
+	if !opt.SkipBaselines {
+		and, err := andersen.Analyze(prog)
+		if err != nil {
+			return fail(StageBaseline, "andersen: %v", err)
+		}
+		andE := edgeSet(and.Edges())
+		for _, f := range dynFacts {
+			if e, ok := dynEdge(f); ok && !andE[e] {
+				return fail(StageAndersen, "dynamic fact (%s+%d) -> (%s+%d) not in Andersen solution",
+					f.Block, f.Off, f.Target, f.TOff)
+			}
+		}
+		if !opt.SkipUnifyLattice {
+			st, err := steensgaard.Analyze(prog)
+			if err != nil {
+				return fail(StageBaseline, "steensgaard: %v", err)
+			}
+			stE := edgeSet(st.Edges())
+			if miss := subsetViolation(solutionEdges(base.an), stE); miss != "" {
+				return fail(StageSteensgaard, "PTF edge %s not in Steensgaard solution", miss)
+			}
+			if miss := subsetViolation(andE, stE); miss != "" {
+				return fail(StageSteensgaard, "Andersen edge %s not in Steensgaard solution", miss)
+			}
+		}
+	}
+	return nil
+}
+
+// AndersenViolation runs only the collapsed-PTF ⊆ Andersen comparison
+// and returns the first missing edge ("" if the inclusion holds). The
+// oracle lattice deliberately omits this edge — see CheckProgram — and
+// a pinned test documents a program where it fails.
+func AndersenViolation(name, src string) (string, error) {
+	prog, err := Frontend(name, src)
+	if err != nil {
+		return "", err
+	}
+	fp, err := runEngine(prog, engine{name: "worklist", workers: 1})
+	if err != nil {
+		return "", err
+	}
+	and, err := andersen.Analyze(prog)
+	if err != nil {
+		return "", err
+	}
+	return subsetViolation(solutionEdges(fp.an), edgeSet(and.Edges())), nil
+}
+
+// ---- block identity across analyses ----
+
+// blockRef identifies a memory block in a way that is stable across
+// independent analyses of the same program: by originating symbol when
+// there is one, otherwise by name (heap@site, strN, <retval:proc>).
+type blockRef struct {
+	sym  *cast.Symbol
+	name string
+}
+
+func (r blockRef) String() string {
+	if r.sym != nil {
+		return r.sym.Name
+	}
+	return r.name
+}
+
+// refOf maps a block to its cross-analysis identity. Abstract blocks
+// (extended parameters, the null pseudo-location) and flow-graph
+// temporaries ($tN — every analysis builds its own flow graph, so temp
+// symbols have no cross-analysis identity) have no counterpart in
+// other analyses and are skipped.
+func refOf(b *memmod.Block) (blockRef, bool) {
+	switch b.Kind {
+	case memmod.ParamBlock, memmod.NullBlock:
+		return blockRef{}, false
+	}
+	if strings.HasPrefix(b.Name, "$t") {
+		return blockRef{}, false
+	}
+	if b.Sym != nil {
+		return blockRef{sym: b.Sym}, true
+	}
+	return blockRef{name: b.Name}, true
+}
+
+type edge struct{ src, dst blockRef }
+
+func (e edge) String() string { return e.src.String() + " -> " + e.dst.String() }
+
+// solutionEdges extracts the block-granularity edges of the collapsed
+// PTF solution.
+func solutionEdges(an *analysis.Analysis) map[edge]bool {
+	sol := an.Solution()
+	out := make(map[edge]bool)
+	for _, loc := range sol.Locations() {
+		src, ok := refOf(loc.Base)
+		if !ok {
+			continue
+		}
+		for _, v := range sol.PointsTo(loc).Locs() {
+			dst, ok := refOf(v.Base)
+			if !ok {
+				continue
+			}
+			out[edge{src, dst}] = true
+		}
+	}
+	return out
+}
+
+func edgeSet(pairs [][2]*memmod.Block) map[edge]bool {
+	out := make(map[edge]bool, len(pairs))
+	for _, p := range pairs {
+		src, ok := refOf(p[0])
+		if !ok {
+			continue
+		}
+		dst, ok := refOf(p[1])
+		if !ok {
+			continue
+		}
+		out[edge{src, dst}] = true
+	}
+	return out
+}
+
+// subsetViolation returns the first edge of a not present in b ("" if
+// a ⊆ b), in deterministic order.
+func subsetViolation(a, b map[edge]bool) string {
+	var missing []string
+	for e := range a {
+		if !b[e] {
+			missing = append(missing, e.String())
+		}
+	}
+	if len(missing) == 0 {
+		return ""
+	}
+	sort.Strings(missing)
+	return missing[0]
+}
+
+// ---- interpreter-fact coverage (the soundness oracle) ----
+
+// covers reports whether the location-set key k includes byte offset
+// off.
+func covers(k memmod.LocSet, off int64) bool {
+	if k.Stride == 0 {
+		return k.Off == off
+	}
+	return ((off-k.Off)%k.Stride+k.Stride)%k.Stride == 0
+}
+
+// blockMatches identifies an analysis block with a runtime object.
+func blockMatches(b *memmod.Block, sym *cast.Symbol, name string) bool {
+	if sym != nil && b.Sym != nil {
+		return b.Sym == sym
+	}
+	return b.Name == name
+}
+
+func factCovered(sol *analysis.Solution, keys []memmod.LocSet, fact interp.DynFact) bool {
+	for _, k := range keys {
+		if !blockMatches(k.Base, fact.Sym, fact.Block) || !covers(k, fact.Off) {
+			continue
+		}
+		for _, v := range sol.PointsTo(k).Locs() {
+			if blockMatches(v.Base, fact.TSym, fact.Target) && covers(v, fact.TOff) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// dynEdge maps a dynamic fact to a block-granularity edge using the
+// same cross-analysis identity as refOf (sym when known, else name).
+func dynEdge(f interp.DynFact) (edge, bool) {
+	src := blockRef{sym: f.Sym, name: f.Block}
+	dst := blockRef{sym: f.TSym, name: f.Target}
+	if src.sym != nil {
+		src.name = ""
+	}
+	if dst.sym != nil {
+		dst.name = ""
+	}
+	return edge{src, dst}, true
+}
+
+func dropBlock(keys []memmod.LocSet, name string) []memmod.LocSet {
+	out := keys[:0:0]
+	for _, k := range keys {
+		if k.Base.Name == name {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// ---- fuzz-input decoding ----
+
+// BenchmarkBit in the raw feature word switches the input from the
+// program generator to one of the embedded benchmark suite programs
+// (selected by seed). It sits far above the generator's feature bits.
+const BenchmarkBit uint32 = 1 << 31
+
+// DecodeInput maps a raw fuzz tuple to a named program plus oracle
+// options. Generated programs get the full lattice; benchmark programs
+// skip the quadratic full-pass engine and trim the worker sweep so a
+// single fuzz iteration stays within budget.
+func DecodeInput(seed int64, raw uint32, workers uint32) (name, src string, opt Options) {
+	w := 1 << (workers % 4) // 1, 2, 4, 8
+	if raw&BenchmarkBit != 0 {
+		// lex315's table-driven scanner makes a single analysis sweep
+		// take minutes — far beyond a fuzz iteration's budget; the root
+		// equivalence tests cover it.
+		var suite []workload.Benchmark
+		for _, b := range workload.Suite() {
+			if b.Name != "lex315" {
+				suite = append(suite, b)
+			}
+		}
+		if len(suite) == 0 {
+			return "", "", opt
+		}
+		b := suite[int(uint64(seed)%uint64(len(suite)))]
+		return b.Name, b.Source, Options{
+			Workers:          []int{w},
+			SkipFullPass:     true,
+			SkipUnifyLattice: true,
+		}
+	}
+	cfg := workload.FuzzGenConfig(seed, raw)
+	name = fmt.Sprintf("gen(seed=%d,feat=%s)", seed, cfg.Features)
+	return name, workload.Generate(cfg), Options{Workers: []int{2, 4, 8}}
+}

@@ -1,0 +1,35 @@
+/*
+ * Pinned witness that the collapsed PTF solution is NOT a subset of
+ * the Andersen baseline, and why the oracle lattice omits that edge.
+ *
+ * f1 is analyzed once and reused for both call sites (same PTF). In
+ * the f1(&p0, ...) context the formal a aliases the global p0, so
+ * inside that instance p0's location is represented by a's extended
+ * parameter. The call f0(&p0, p3) therefore binds f0's parameters in
+ * terms of f1's parameters, and query-time resolution of the collapsed
+ * solution unions each extended parameter's bindings over EVERY
+ * context: a's bindings are {p0, p2}, so facts routed through it smear
+ * to p2 even though no single context ever binds f0's a to p2.
+ * Andersen's direct inclusion on concrete blocks has no such routing,
+ * so the collapsed solution claims a -> p2 while Andersen does not.
+ * The collapse stays sound (dynamic facts are covered) and bounded by
+ * Steensgaard, which unifies the same assignment chains wholesale.
+ */
+int *p0;
+int *p2;
+int *p3;
+int tick;
+void f0(int **a, int *b) {
+    if ((tick + 0) % 4) {
+    }
+}
+void f1(int **a, int *b) {
+    *a = b;
+    f0(&p0, p3);
+    if ((tick + 4) % 2) {
+    }
+}
+int main(void) {
+    f1(&p0, p3);
+    f1(&p2, p0);
+}

@@ -61,6 +61,11 @@ type Result struct {
 type Error struct {
 	Pos ctok.Pos
 	Msg string
+	// Fuel marks a step-budget overrun (MaxSteps exceeded) as opposed
+	// to a genuine runtime fault of the program. Differential-testing
+	// oracles use it to distinguish "the program misbehaved" from "the
+	// budget was too small / the generator produced a runaway program".
+	Fuel bool
 }
 
 func (e *Error) Error() string {
@@ -238,8 +243,18 @@ func (in *Interp) errorf(pos ctok.Pos, format string, a ...any) {
 func (in *Interp) tick(pos ctok.Pos, n int64) {
 	in.steps += n
 	if in.steps > in.maxStep {
-		in.errorf(pos, "step budget exceeded (%d)", in.maxStep)
+		panic(&Error{Pos: pos, Msg: fmt.Sprintf("step budget exceeded (%d)", in.maxStep), Fuel: true})
 	}
+}
+
+// IsFuelExhausted reports whether err is a step-budget overrun. Every
+// interpreter loop — including the library-call scanning loops — pays
+// into the same budget, so a true result guarantees the run was
+// bounded: the interpreter cannot hang on any input, it can only run
+// out of fuel.
+func IsFuelExhausted(err error) bool {
+	e, ok := err.(*Error)
+	return ok && e.Fuel
 }
 
 // ---- objects ----

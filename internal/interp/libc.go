@@ -18,6 +18,7 @@ func (in *Interp) readCString(e cast.Expr, p Pointer) string {
 	}
 	var sb strings.Builder
 	for off := p.Off; ; off++ {
+		in.tick(e.Position(), 1)
 		c := p.Obj.load(off).AsInt()
 		if c == 0 {
 			return sb.String()
@@ -486,6 +487,7 @@ func (in *Interp) strtok(e *cast.Call, args []Value) Value {
 	// Skip leading delimiters.
 	cur := in.tokCur
 	for {
+		in.tick(e.Pos, 1)
 		c := cur.Obj.load(cur.Off).AsInt()
 		if c == 0 {
 			in.tokCur = Pointer{}
@@ -498,6 +500,7 @@ func (in *Interp) strtok(e *cast.Call, args []Value) Value {
 	}
 	start := cur
 	for {
+		in.tick(e.Pos, 1)
 		c := cur.Obj.load(cur.Off).AsInt()
 		if c == 0 {
 			in.tokCur = Pointer{}

@@ -108,6 +108,15 @@ type Block struct {
 	// depends on map iteration. Callers must not mutate it.
 	ptrLocCache []LocSet
 
+	// fnBound accumulates every value this FuncPtr parameter has been
+	// bound to across call sites. Function-pointer resolution follows
+	// bindings through frame-local pmaps that the dependency tracker
+	// cannot observe, so the engine uses growth of this set (AddFnBound)
+	// as the signal that call sites which resolved through this
+	// parameter must re-run. Written only by the evaluation context that
+	// owns the binding site, like ptrLocs.
+	fnBound ValueSet
+
 	// id is the creation-order identity used for value-set hashing.
 	id uint64
 }
@@ -266,6 +275,13 @@ func (b *Block) PtrLocs() []LocSet {
 
 // NumPtrLocs returns the number of recorded pointer locations.
 func (b *Block) NumPtrLocs() int { return len(b.Representative().ptrLocs) }
+
+// AddFnBound accumulates values bound to this function-pointer
+// parameter, reporting whether any were new. Like AddPtrLoc, only the
+// evaluation context that owns the binding site may call it.
+func (b *Block) AddFnBound(vals ValueSet) bool {
+	return b.Representative().fnBound.AddAll(vals)
+}
 
 func (b *Block) String() string {
 	if b == nil {

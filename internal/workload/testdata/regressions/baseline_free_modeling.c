@@ -1,0 +1,21 @@
+/*
+ * Reduced reproducer (stage lattice-steensgaard, found fuzzing the
+ * generator's free() feature: gen(seed=1,feat=free)).
+ *
+ * Root cause: neither baseline modeled free(), so it fell into the
+ * unknown-library-call default. Andersen's default is "everything
+ * reachable from the arguments flows everywhere", which made the freed
+ * heap block point to itself and leak through integer accumulators
+ * into main's return value (<retval:main> -> heap@...), while
+ * Steensgaard's weaker default produced no such edge — breaking
+ * Andersen ⊆ Steensgaard. Fixed by modeling free (and fclose) as
+ * points-to no-ops in both baselines: they copy no pointer values.
+ */
+int tick;
+int main(void) {
+    int *h = (int *)malloc(sizeof(int) * 2);
+    *h = tick + 3;
+    tick += *h;
+    free(h);
+    return tick & 0x7f;
+}

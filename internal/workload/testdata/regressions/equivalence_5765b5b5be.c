@@ -1,0 +1,55 @@
+/*
+ * Reduced reproducer (stage equivalence, found fuzzing
+ * gen(seed=-243,feat=funcptrs+recursion+multiptr+funcptrfield)):
+ * fullpass vs worklist solutions differed on f1's parameter b.
+ *
+ * Root cause: the worklist engine had no dependency edge for
+ * function-pointer resolution chains. callTargets records a
+ * parameter's resolved targets in the PTF input domain (fpDomain,
+ * paper §5.1), but resolveFuncSyms follows the parameter's bindings
+ * through frame-local pmaps, which the block-level read tracker never
+ * sees. Here main stores f0 into vt0.h, calls dispatch (binding
+ * dispatch's extended vt0-parameter to {f0}), then stores f2; the
+ * re-bind at main's call site succeeded — the new value flows through
+ * the parametrization — so no dirt ever reached the indirect call
+ * inside f1, whose fpDomain stayed {f0} and the f1 -> f2 edge (and
+ * f2's effects on *a) went missing. Fixed by registering the
+ * resolving call node as a reader of every parameter the chain
+ * traverses and notifying those readers when a re-bind grows a
+ * function-pointer parameter's accumulated values (extendFuncPtrVals),
+ * which re-dirties the indirect call, fails its fpDomain match, and
+ * re-walks the callee with the grown domain.
+ */
+int g0;
+int *p0;
+int *p1;
+int *p2;
+int *p3;
+struct vtab { void (*h)(int **, int *); int *d; };
+struct vtab vt0;
+int tick;
+int rdepth;
+void f0(int **a, int *b) {
+}
+void f1(int **a, int *b) {
+    *a = b;
+    if (rdepth > 0) { rdepth--; vt0.h(&p0, p2); }
+}
+void f2(int **a, int *b) {
+}
+void dispatch(int k, int **a, int *b) {
+    void (*fp)(int **, int *);
+    if (k % 2) fp = f0; else fp = f1;
+    fp(a, b);
+}
+int main(void) {
+    vt0.h = f0;
+    vt0.d = &g0;
+    { int i2; for (i2 = 0; i2 < 3; i2++) {
+    } }
+    { int i3; for (i3 = 0; i3 < 2; i3++) {
+        vt0.h = f2;
+    } }
+    dispatch(tick, &p0, p3);
+    dispatch(tick + 1, &p1, p3);
+}

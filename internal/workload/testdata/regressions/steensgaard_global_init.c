@@ -1,0 +1,24 @@
+/*
+ * Reduced reproducer (stage lattice-steensgaard, found by the oracle's
+ * benchmark sweep during harness bring-up).
+ *
+ * Root cause: the Steensgaard baseline never seeded static global
+ * initializers — it only walked function bodies — so a function
+ * pointer (or string) stored in a global by an initializer was missing
+ * from its solution while the PTF analysis and Andersen (which walk
+ * prog.GlobalInits) both had it. Andersen ⊆ Steensgaard then failed on
+ * edges like playbook -> play_draw in the football benchmark. Fixed by
+ * adding seedGlobals/seedInit to the unification baseline.
+ */
+int g0;
+int g1;
+int *tab[2] = { &g0, &g1 };
+void fn(int **a, int *b) { *a = b; }
+struct op { void (*h)(int **, int *); int *d; };
+struct op ops[1] = { { fn, &g0 } };
+int *p;
+int main(void) {
+    p = tab[1];
+    ops[0].h(&p, tab[0]);
+    return *p;
+}
