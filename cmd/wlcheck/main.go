@@ -1,15 +1,18 @@
 // Command wlcheck runs the context-sensitive pointer-bug checkers over
 // C source files: NULL and uninitialized-pointer dereferences,
-// use-after-free, double free, escaping locals, and indirect calls
-// through non-function values.
+// use-after-free, double free, memory leaks, escaping locals, writes
+// into string literals, and indirect calls through non-function values.
 //
 // Usage:
 //
-//	wlcheck [-checks list] [-q] [-trace] file.c...
+//	wlcheck [-checks list] [-format text|json|sarif] [-baseline file]
+//	        [-write-baseline file] [-workers n] [-modref] [-q] [-trace]
+//	        file.c...
 //
 // With several files, the first is the entry translation unit and the
 // rest are available for #include. Exits 1 if any error-severity
-// diagnostic is reported, 2 on usage or front-end failure.
+// diagnostic survives baseline suppression, 2 on usage or front-end
+// failure.
 package main
 
 import (
@@ -24,10 +27,15 @@ import (
 
 func main() {
 	var (
-		checks  = flag.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(pta.AllChecks, ",")+")")
-		quiet   = flag.Bool("q", false, "suppress warnings (print errors only)")
-		trace   = flag.Bool("trace", false, "print the calling context of each diagnostic")
-		maxPTFs = flag.Int("max-ptfs", 0, "cap PTFs per procedure (0 = unlimited)")
+		checks    = flag.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(pta.AllChecks, ",")+")")
+		format    = flag.String("format", "text", "output format: text, json, or sarif")
+		baseline  = flag.String("baseline", "", "suppress diagnostics whose fingerprints appear in this file")
+		writeBase = flag.String("write-baseline", "", "write the run's fingerprints to this file (for future -baseline)")
+		workers   = flag.Int("workers", 0, "goroutines walking calling contexts (0 = sequential; results identical)")
+		modref    = flag.Bool("modref", false, "print each procedure's MOD/REF summary before the diagnostics")
+		quiet     = flag.Bool("q", false, "suppress warnings (print errors only; text format)")
+		trace     = flag.Bool("trace", false, "print the calling context of each diagnostic (text format)")
+		maxPTFs   = flag.Int("max-ptfs", 0, "cap PTFs per procedure (0 = unlimited)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -40,8 +48,7 @@ func main() {
 	for i, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "wlcheck: %v\n", err)
-			os.Exit(2)
+			fail(err)
 		}
 		name := filepath.Base(path)
 		files[name] = string(data)
@@ -51,32 +58,87 @@ func main() {
 	}
 	res, err := pta.Analyze(files, entry, &pta.Options{MaxPTFs: *maxPTFs})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wlcheck: %v\n", err)
-		os.Exit(2)
+		fail(err)
 	}
-	copts := &pta.CheckOptions{}
+	if *modref {
+		for _, line := range res.ModRefDump() {
+			fmt.Println(line)
+		}
+	}
+	copts := &pta.CheckOptions{Workers: *workers}
 	if *checks != "" {
 		copts.Checks = strings.Split(*checks, ",")
 	}
 	diags, err := res.Check(copts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "wlcheck: %v\n", err)
-		os.Exit(2)
+		fail(err)
+	}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fail(err)
+		}
+		base, err := pta.LoadBaseline(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		var suppressed int
+		diags, suppressed = pta.Suppress(diags, base)
+		if suppressed > 0 && *format == "text" {
+			fmt.Fprintf(os.Stderr, "wlcheck: %d diagnostic(s) suppressed by baseline\n", suppressed)
+		}
+	}
+	if *writeBase != "" {
+		f, err := os.Create(*writeBase)
+		if err != nil {
+			fail(err)
+		}
+		if err := pta.WriteBaseline(f, diags); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
 	}
 	errors := 0
 	for _, d := range diags {
 		if d.Sev == pta.SevError {
 			errors++
-		} else if *quiet {
-			continue
 		}
-		fmt.Printf("%s: %s: %s [%s]\n", d.Pos, d.Sev, d.Message, d.Check)
-		if *trace && len(d.Trace) > 0 {
-			fmt.Printf("    context: %s\n", strings.Join(d.Trace, " -> "))
+	}
+	switch *format {
+	case "json":
+		if err := pta.RenderJSON(os.Stdout, diags); err != nil {
+			fail(err)
 		}
+	case "sarif":
+		if err := pta.RenderSARIF(os.Stdout, diags); err != nil {
+			fail(err)
+		}
+	case "text":
+		for _, d := range diags {
+			if d.Sev != pta.SevError && *quiet {
+				continue
+			}
+			fmt.Printf("%s: %s: %s [%s]\n", d.Pos, d.Sev, d.Message, d.Check)
+			if *trace && len(d.Trace) > 0 {
+				fmt.Printf("    context: %s\n", strings.Join(d.Trace, " -> "))
+			}
+		}
+		if errors > 0 {
+			fmt.Printf("%d error(s)\n", errors)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "wlcheck: unknown -format %q (want text, json, or sarif)\n", *format)
+		os.Exit(2)
 	}
 	if errors > 0 {
-		fmt.Printf("%d error(s)\n", errors)
 		os.Exit(1)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "wlcheck: %v\n", err)
+	os.Exit(2)
 }

@@ -35,6 +35,7 @@ func analyzeWith(t *testing.T, name, src string, force bool, workers int) *analy
 	}
 	an, err := analysis.New(prog, analysis.Options{
 		Lib:             libsum.Summaries(),
+		LibEffects:      libsum.Effects(),
 		CollectSolution: true,
 		TrackNull:       true,
 		ForceFullPasses: force,
@@ -89,6 +90,11 @@ func diagDump(t *testing.T, an *analysis.Analysis) string {
 	return strings.Join(lines, "\n")
 }
 
+// modrefDump renders the MOD/REF summary table deterministically.
+func modrefDump(an *analysis.Analysis) string {
+	return strings.Join(an.ModRef().Dump(), "\n")
+}
+
 func comparePTFsPerProc(t *testing.T, name string, wl, full map[string]int) {
 	t.Helper()
 	for proc, n := range full {
@@ -137,6 +143,9 @@ func TestEngineEquivalence(t *testing.T) {
 			if wd, fd := diagDump(t, wl), diagDump(t, full); wd != fd {
 				t.Errorf("diagnostics differ:\n-- worklist --\n%s\n-- full --\n%s", wd, fd)
 			}
+			if wd, fd := modrefDump(wl), modrefDump(full); wd != fd {
+				t.Errorf("MOD/REF summaries differ; first divergence:\n%s", firstDiff(wd, fd))
+			}
 		})
 	}
 }
@@ -179,7 +188,7 @@ func TestEngineEquivalenceParallel(t *testing.T) {
 			t.Parallel()
 			seq := analyzeWith(t, wb.Name, wb.Source, false, 1)
 			ss := seq.Stats()
-			sd, sdiag := solutionDump(seq), diagDump(t, seq)
+			sd, sdiag, smr := solutionDump(seq), diagDump(t, seq), modrefDump(seq)
 			for _, w := range []int{2, 4, 8} {
 				par := analyzeWith(t, wb.Name, wb.Source, false, w)
 				ps := par.Stats()
@@ -195,6 +204,9 @@ func TestEngineEquivalenceParallel(t *testing.T) {
 				}
 				if pdiag := diagDump(t, par); pdiag != sdiag {
 					t.Errorf("workers=%d: diagnostics differ:\n-- parallel --\n%s\n-- sequential --\n%s", w, pdiag, sdiag)
+				}
+				if pd := modrefDump(par); pd != smr {
+					t.Errorf("workers=%d: MOD/REF summaries differ; first divergence:\n%s", w, firstDiff(pd, smr))
 				}
 			}
 		})

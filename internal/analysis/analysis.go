@@ -77,6 +77,26 @@ type LibCall interface {
 // LibSummary summarizes the pointer behavior of one library function.
 type LibSummary func(c LibCall)
 
+// LibEffect declares the MOD/REF behavior of a library function for the
+// summary computation (ModRefTable): which argument pointees it may
+// modify or read. It complements LibSummary, which expresses points-to
+// effects; a function may have either, both, or neither (no entry and no
+// summary means a conservative ModAll+RefAll assumption).
+type LibEffect struct {
+	// ModArgs lists argument indices whose pointed-to storage the
+	// function may modify (memcpy's dst is ModArgs[0]).
+	ModArgs []int
+	// RefArgs lists argument indices whose pointed-to storage the
+	// function may read (memcpy's src is RefArgs[1]).
+	RefArgs []int
+	// ModAll marks functions that may modify anything reachable from any
+	// pointer argument (scanf).
+	ModAll bool
+	// RefAll marks functions that may read anything reachable from any
+	// pointer argument (printf with %s).
+	RefAll bool
+}
+
 // Options configure an analysis run.
 type Options struct {
 	// Reuse selects the PTF reuse policy (default ReuseByAliasPattern).
@@ -125,6 +145,12 @@ type Options struct {
 	// paper's reuse policy; other configurations silently run
 	// sequentially. Results are identical for every worker count.
 	Workers int
+	// LibEffects maps library function names to their MOD/REF behavior
+	// for the ModRefTable. Summarized functions without an entry are
+	// treated as having no pointer-visible memory effects; functions
+	// with neither a summary nor an entry are assumed to modify and read
+	// everything reachable from their arguments.
+	LibEffects map[string]LibEffect
 }
 
 // ErrTimeout is returned by Run when Options.Timeout is exceeded.
@@ -239,6 +265,14 @@ type PTF struct {
 	// (same rationale as the home-context rule, paper §5.2) instead of
 	// allocating a duplicate for a transient state.
 	siteUsed map[siteKey]*PTF
+
+	// callEdges records, per (call node, callee) in this PTF's body, the
+	// callee PTF the site last applied — including recursive
+	// applications, which siteUsed deliberately excludes (it would
+	// perturb PTF reuse). Read-only client data: the converged map backs
+	// the call graph and the MOD/REF summary folds; the engine itself
+	// never consults it.
+	callEdges map[siteKey]*PTF
 
 	// exitReached records that the exit has been evaluated at least
 	// once (needed to defer recursive applications, §5.4).
@@ -389,6 +423,10 @@ type Analysis struct {
 	// (PTF, node) pairs whose evaluation read the block's records; a
 	// write to the block re-dirties exactly those nodes.
 	readers map[*memmod.Block]map[readerKey]bool
+
+	// modref caches the MOD/REF summary table built from the converged
+	// fixpoint (see modref.go); built on first demand, single-threaded.
+	modref *ModRefTable
 }
 
 // frame is one activation on the analysis call stack.

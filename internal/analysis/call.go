@@ -214,6 +214,10 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 		f.ptf.siteUsed = make(map[siteKey]*PTF)
 	}
 	f.ptf.siteUsed[siteKey{nd, proc}] = ptf
+	if f.ptf.callEdges == nil {
+		f.ptf.callEdges = make(map[siteKey]*PTF)
+	}
+	f.ptf.callEdges[siteKey{nd, proc}] = ptf
 	if a.collecting != nil && !a.collecting[ptf] {
 		// Solution-collection pass: descend once into every reachable
 		// PTF so its call sites re-derive their parameter bindings.
@@ -264,6 +268,12 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 // deferring if no summary exists yet.
 func (a *Analysis) applyRecursive(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.ValueSet, multi, withRet bool) bool {
 	ptf.recursive = true
+	// Record the edge for call-graph/MOD-REF clients; deliberately NOT
+	// in siteUsed, which would perturb the engine's PTF-reuse policy.
+	if f.ptf.callEdges == nil {
+		f.ptf.callEdges = make(map[siteKey]*PTF)
+	}
+	f.ptf.callEdges[siteKey{nd, ptf.Proc}] = ptf
 	pmap := a.replayBindMerge(f, nd, ptf, args, true)
 	cf := &frame{ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap, c: f.c}
 	a.recordFormalBindings(cf, a.prog.FuncByName[ptf.Proc.Name], args)

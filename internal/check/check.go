@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"wlpa/internal/analysis"
 	"wlpa/internal/ctok"
@@ -48,17 +50,27 @@ type Diagnostic struct {
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s: %s: %s [%s]", d.Pos, d.Sev, d.Message, d.Check)
+	s := fmt.Sprintf("%s: %s: %s [%s]", d.Pos, d.Sev, d.Message, d.Check)
+	if chain := d.Chain(); chain != "" {
+		s += " (in " + chain + ")"
+	}
+	return s
 }
 
-// All lists the available check identifiers.
-var All = []string{
-	"nullderef",    // dereference of a pointer whose value includes NULL
-	"uninitderef",  // dereference of a pointer with no targets at all
-	"useafterfree", // dereference of storage freed on every path to the use
-	"doublefree",   // free of storage freed on every path to the call
-	"localescape",  // address of a local outliving the procedure
-	"badcall",      // indirect call through a non-function value
+// Chain renders the diagnostic's context trace as a compact call chain
+// ("main -> f -> g"), outermost caller first.
+func (d Diagnostic) Chain() string {
+	if len(d.Trace) == 0 {
+		return ""
+	}
+	parts := make([]string, len(d.Trace))
+	for i, e := range d.Trace {
+		if j := strings.Index(e, " (called at "); j >= 0 {
+			e = e[:j]
+		}
+		parts[i] = e
+	}
+	return strings.Join(parts, " -> ")
 }
 
 // Options configure a checker run.
@@ -66,6 +78,11 @@ type Options struct {
 	// Checks selects which checkers run (identifiers from All);
 	// nil or empty runs all of them.
 	Checks []string
+	// Workers sets the number of goroutines walking calling contexts.
+	// 0 or 1 runs sequentially. The diagnostics are identical for every
+	// worker count: each context is checked independently and the
+	// verdicts are merged in deterministic (declaration) order.
+	Workers int
 }
 
 // verdict is one context's view of a site.
@@ -88,35 +105,71 @@ type siteKey struct {
 	pos   ctok.Pos
 }
 
-type checker struct {
-	a       *analysis.Analysis
+// Ctx is the state handed to checker passes: the converged analysis,
+// the resolved call graph, and the MOD/REF summaries, plus the
+// bookkeeping for reporting. Context passes run one Ctx per worker;
+// program passes run on a single Ctx after every context walk finished.
+type Ctx struct {
+	// A is the converged points-to analysis.
+	A *analysis.Analysis
+	// ModRef holds the per-context MOD/REF summaries (see
+	// analysis.ModRefTable).
+	ModRef *analysis.ModRefTable
+	// Edges is the resolved PTF-level call graph, deterministically
+	// sorted.
+	Edges []analysis.CallEdge
+
 	enabled map[string]bool
 	// frees indexes the analysis' recorded deallocations by context.
 	frees map[*analysis.PTF][]analysis.FreeSite
-	sites map[siteKey]*site
-	// ctxs counts the walked contexts per procedure.
+	// ctxs counts the walked contexts per procedure (primary Ctx only).
 	ctxs map[string]int
 	// cur collects the current context's verdicts (merged into sites
 	// at the end of each walk).
 	cur    map[siteKey]verdict
 	curPTF *analysis.PTF
+	// prog collects program-pass diagnostics (primary Ctx only).
+	prog []Diagnostic
 }
 
-// Run walks every analyzed calling context of every procedure and
-// returns the merged diagnostics, sorted by position then check. A
-// check name in opts that is not one of All is an error, so a typo
-// does not silently disable checking.
-func Run(a *analysis.Analysis, opts Options) ([]Diagnostic, error) {
-	c := &checker{
-		a:       a,
-		enabled: map[string]bool{},
-		frees:   map[*analysis.PTF][]analysis.FreeSite{},
-		sites:   map[siteKey]*site{},
-		ctxs:    map[string]int{},
+// Contexts returns the number of walked calling contexts of a procedure
+// (program passes use it to fill Diagnostic.Contexts).
+func (c *Ctx) Contexts(proc string) int { return c.ctxs[proc] }
+
+// FreesIn returns the recorded deallocations of one context.
+func (c *Ctx) FreesIn(p *analysis.PTF) []analysis.FreeSite { return c.frees[p] }
+
+// report records one context-local verdict, keeping the worst severity
+// per site within the context.
+func (c *Ctx) report(check string, pos ctok.Pos, sev Severity, msg string) {
+	if !c.enabled[check] {
+		return
 	}
+	k := siteKey{check: check, proc: c.curPTF.Proc.Name, pos: pos}
+	if old, ok := c.cur[k]; ok && old.sev >= sev {
+		return
+	}
+	c.cur[k] = verdict{sev: sev, msg: msg}
+}
+
+// reportProgram records a whole-program diagnostic (program passes
+// decide severity themselves; there is no per-context merge).
+func (c *Ctx) reportProgram(d Diagnostic) {
+	if !c.enabled[d.Check] {
+		return
+	}
+	c.prog = append(c.prog, d)
+}
+
+// Run executes every registered checker pass over every analyzed
+// calling context and returns the merged diagnostics, deterministically
+// sorted and deduplicated. A check name in opts that is not one of All
+// is an error, so a typo does not silently disable checking.
+func Run(a *analysis.Analysis, opts Options) ([]Diagnostic, error) {
+	enabled := map[string]bool{}
 	if len(opts.Checks) == 0 {
 		for _, name := range All {
-			c.enabled[name] = true
+			enabled[name] = true
 		}
 	} else {
 		known := map[string]bool{}
@@ -127,24 +180,122 @@ func Run(a *analysis.Analysis, opts Options) ([]Diagnostic, error) {
 			if !known[name] {
 				return nil, fmt.Errorf("unknown check %q (available: %s)", name, strings.Join(All, ", "))
 			}
-			c.enabled[name] = true
+			enabled[name] = true
 		}
 	}
+	frees := map[*analysis.PTF][]analysis.FreeSite{}
 	for _, fs := range a.FreeSites() {
-		c.frees[fs.PTF] = append(c.frees[fs.PTF], fs)
+		frees[fs.PTF] = append(frees[fs.PTF], fs)
 	}
+	base := &Ctx{
+		A:       a,
+		ModRef:  a.ModRef(),
+		Edges:   a.CallGraphEdges(),
+		enabled: enabled,
+		frees:   frees,
+		ctxs:    map[string]int{},
+	}
+	var walkers, progs []*Pass
+	for _, pass := range Passes() {
+		active := false
+		for _, id := range pass.Checks {
+			if enabled[id] {
+				active = true
+				break
+			}
+		}
+		if !active {
+			continue
+		}
+		if pass.ContextWalk != nil {
+			walkers = append(walkers, pass)
+		}
+		if pass.Program != nil {
+			progs = append(progs, pass)
+		}
+	}
+	var ptfs []*analysis.PTF
 	for _, p := range a.AllPTFs() {
 		if !p.ExitReached() && p != a.MainPTF() {
 			// Abandoned mid-recursion: its nodes were not all
 			// evaluated, so absent facts are not evidence.
 			continue
 		}
-		c.walkPTF(p)
+		ptfs = append(ptfs, p)
+		base.ctxs[p.Proc.Name]++
 	}
-	out := make([]Diagnostic, 0, len(c.sites))
-	for k, s := range c.sites {
+	// Walk every context, possibly in parallel. Each context's verdicts
+	// land in its own slot; the merge below runs in declaration order,
+	// so the result is independent of the worker count.
+	results := make([]map[siteKey]verdict, len(ptfs))
+	runContext := func(c *Ctx, i int) {
+		c.cur = map[siteKey]verdict{}
+		c.curPTF = ptfs[i]
+		for _, pass := range walkers {
+			pass.ContextWalk(c, ptfs[i])
+		}
+		results[i] = c.cur
+	}
+	workers := opts.Workers
+	if workers > len(ptfs) {
+		workers = len(ptfs)
+	}
+	if workers > 1 {
+		// Read-only queries still mutate the ptset memo caches; switch
+		// them to locked mode for the parallel walk.
+		for _, p := range a.AllPTFs() {
+			p.Pts.SetConcurrent(true)
+		}
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := &Ctx{A: a, ModRef: base.ModRef, Edges: base.Edges, enabled: enabled, frees: frees}
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(ptfs) {
+						return
+					}
+					runContext(c, i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range ptfs {
+			runContext(base, i)
+		}
+	}
+	// Merge per-context verdicts in declaration order.
+	sites := map[siteKey]*site{}
+	for i, p := range ptfs {
+		for k, v := range results[i] {
+			s := sites[k]
+			if s == nil {
+				s = &site{}
+				sites[k] = s
+			}
+			s.flagged++
+			if v.sev == Error {
+				s.errors++
+			}
+			if s.msg == "" || (v.sev == Error && s.errors == 1) {
+				s.msg = v.msg
+				s.trace = contextTrace(p)
+			}
+		}
+	}
+	// Program passes see the whole converged picture (sequential).
+	base.cur, base.curPTF = nil, nil
+	for _, pass := range progs {
+		pass.Program(base)
+	}
+	out := make([]Diagnostic, 0, len(sites)+len(base.prog))
+	for k, s := range sites {
 		sev := Warning
-		if n := c.ctxs[k.proc]; s.errors == n && s.flagged == n {
+		if n := base.ctxs[k.proc]; s.errors == n && s.flagged == n {
 			sev = Error
 		}
 		out = append(out, Diagnostic{
@@ -157,6 +308,15 @@ func Run(a *analysis.Analysis, opts Options) ([]Diagnostic, error) {
 			Trace:    s.trace,
 		})
 	}
+	out = append(out, base.prog...)
+	sortDiagnostics(out)
+	return dedup(out), nil
+}
+
+// sortDiagnostics orders diagnostics by file, line, column, check,
+// procedure, message, and context chain — a total order, so the output
+// is deterministic across worker counts and engines.
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.File != b.Pos.File {
@@ -168,50 +328,34 @@ func Run(a *analysis.Analysis, opts Options) ([]Diagnostic, error) {
 		if a.Pos.Col != b.Pos.Col {
 			return a.Pos.Col < b.Pos.Col
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		if a.Message != b.Message {
+			return a.Message < b.Message
+		}
+		return a.Chain() < b.Chain()
 	})
-	return out, nil
 }
 
-// walkPTF checks every node of one calling context and merges the
-// context's verdicts into the per-site tallies.
-func (c *checker) walkPTF(p *analysis.PTF) {
-	c.cur = map[siteKey]verdict{}
-	c.curPTF = p
-	c.ctxs[p.Proc.Name]++
-	for _, nd := range p.Proc.Nodes {
-		c.walkNode(p, nd)
-	}
-	c.checkRetvalEscape(p)
-	c.checkDoubleFree(p)
-	for k, v := range c.cur {
-		s := c.sites[k]
-		if s == nil {
-			s = &site{}
-			c.sites[k] = s
+// dedup drops adjacent duplicates (same check, site, severity, and
+// message) from a sorted slice.
+func dedup(out []Diagnostic) []Diagnostic {
+	kept := out[:0]
+	for _, d := range out {
+		if n := len(kept); n > 0 {
+			p := kept[n-1]
+			if p.Check == d.Check && p.Pos == d.Pos && p.Proc == d.Proc &&
+				p.Sev == d.Sev && p.Message == d.Message {
+				continue
+			}
 		}
-		s.flagged++
-		if v.sev == Error {
-			s.errors++
-		}
-		if s.msg == "" || (v.sev == Error && s.errors == 1) {
-			s.msg = v.msg
-			s.trace = contextTrace(p)
-		}
+		kept = append(kept, d)
 	}
-}
-
-// report records one context-local verdict, keeping the worst severity
-// per site within the context.
-func (c *checker) report(check string, pos ctok.Pos, sev Severity, msg string) {
-	if !c.enabled[check] {
-		return
-	}
-	k := siteKey{check: check, proc: c.curPTF.Proc.Name, pos: pos}
-	if old, ok := c.cur[k]; ok && old.sev >= sev {
-		return
-	}
-	c.cur[k] = verdict{sev: sev, msg: msg}
+	return kept
 }
 
 // contextTrace renders the calling context of a PTF, outermost caller

@@ -32,6 +32,7 @@ func analyze(t *testing.T, name, src string) *analysis.Analysis {
 	prog := parseProg(t, name, src)
 	a, err := analysis.New(prog, analysis.Options{
 		Lib:             libsum.Summaries(),
+		LibEffects:      libsum.Effects(),
 		CollectSolution: true,
 		TrackNull:       true,
 	})
@@ -64,6 +65,8 @@ func TestSeededBugsFlagged(t *testing.T) {
 		"doublefree":   "doublefree",
 		"localescape":  "localescape",
 		"badcall":      "badcall",
+		"leak":         "leak",
+		"writero":      "writero",
 	}
 	fixtures := workload.BugFixtures()
 	for fixture, checkID := range want {

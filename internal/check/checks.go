@@ -10,36 +10,9 @@ import (
 	"wlpa/internal/memmod"
 )
 
-// walkNode dispatches the node-level checks. In points-to form every
-// source expression carries an extra dereference, so each C-level
-// pointer dereference appears as a TermDeref whose base expression
-// denotes the dereferenced pointer value; destinations additionally
-// perform an implicit store-through for their top-level deref terms.
-func (c *checker) walkNode(p *analysis.PTF, nd *cfg.Node) {
-	switch nd.Kind {
-	case cfg.AssignNode:
-		c.checkReads(p, nd, nd.Src)
-		c.checkReads(p, nd, nd.Dst)
-		c.checkStores(p, nd, nd.Dst)
-		c.checkStoreEscape(p, nd)
-	case cfg.CallNode:
-		for _, arg := range nd.Args {
-			c.checkReads(p, nd, arg)
-		}
-		if nd.Fun != nil {
-			c.checkReads(p, nd, nd.Fun)
-			c.checkBadCall(p, nd)
-		}
-		if nd.RetDst != nil {
-			c.checkReads(p, nd, nd.RetDst)
-			c.checkStores(p, nd, nd.RetDst)
-		}
-	}
-}
-
 // checkReads verifies every dereference within e: the base values of
 // each TermDeref are the addresses being read.
-func (c *checker) checkReads(p *analysis.PTF, nd *cfg.Node, e *cfg.Expr) {
+func (c *Ctx) checkReads(p *analysis.PTF, nd *cfg.Node, e *cfg.Expr) {
 	if e == nil {
 		return
 	}
@@ -51,7 +24,7 @@ func (c *checker) checkReads(p *analysis.PTF, nd *cfg.Node, e *cfg.Expr) {
 		// variable itself and cannot fault; only derefs whose base is
 		// itself a loaded pointer value are C-level dereferences.
 		if !isVarAddr(t.Base) {
-			ptrs := c.a.EvalAt(p, t.Base, nd)
+			ptrs := c.A.EvalAt(p, t.Base, nd)
 			c.checkPointee(p, nd, ptrs, render(t.Base), false)
 		}
 		c.checkReads(p, nd, t.Base)
@@ -60,7 +33,7 @@ func (c *checker) checkReads(p *analysis.PTF, nd *cfg.Node, e *cfg.Expr) {
 
 // checkStores verifies the top-level deref terms of a destination
 // expression: their deref results are the locations being written.
-func (c *checker) checkStores(p *analysis.PTF, nd *cfg.Node, dst *cfg.Expr) {
+func (c *Ctx) checkStores(p *analysis.PTF, nd *cfg.Node, dst *cfg.Expr) {
 	if dst == nil {
 		return
 	}
@@ -68,14 +41,14 @@ func (c *checker) checkStores(p *analysis.PTF, nd *cfg.Node, dst *cfg.Expr) {
 		if t.Kind != cfg.TermDeref {
 			continue
 		}
-		targets := c.a.TermValuesAt(p, t, nd)
+		targets := c.A.TermValuesAt(p, t, nd)
 		c.checkPointee(p, nd, targets, renderTerm(t), true)
 	}
 }
 
 // checkPointee reports nullderef / uninitderef / useafterfree for the
 // pointer values vals dereferenced at nd.
-func (c *checker) checkPointee(p *analysis.PTF, nd *cfg.Node, vals memmod.ValueSet, desc string, write bool) {
+func (c *Ctx) checkPointee(p *analysis.PTF, nd *cfg.Node, vals memmod.ValueSet, desc string, write bool) {
 	access := "read through"
 	if write {
 		access = "write through"
@@ -125,7 +98,7 @@ func (c *checker) checkPointee(p *analysis.PTF, nd *cfg.Node, vals memmod.ValueS
 // dominatingFree finds a deallocation of block b in context p whose call
 // strictly dominates nd with no intervening reallocation, i.e. the block
 // is certainly freed when control reaches nd.
-func (c *checker) dominatingFree(p *analysis.PTF, nd *cfg.Node, b *memmod.Block) *analysis.FreeSite {
+func (c *Ctx) dominatingFree(p *analysis.PTF, nd *cfg.Node, b *memmod.Block) *analysis.FreeSite {
 	b = b.Representative()
 	for i := range c.frees[p] {
 		fs := &c.frees[p][i]
@@ -157,7 +130,7 @@ func freesBlock(vals memmod.ValueSet, b *memmod.Block) bool {
 // block b afresh — directly as an allocation site, or through its
 // return value. Such a call re-validates the pointer for the purposes
 // of the use-after-free and double-free checks.
-func (c *checker) reallocatedBetween(p *analysis.PTF, b *memmod.Block, from, to *cfg.Node) bool {
+func (c *Ctx) reallocatedBetween(p *analysis.PTF, b *memmod.Block, from, to *cfg.Node) bool {
 	for _, na := range p.Proc.Nodes {
 		if na.Kind != cfg.CallNode || na == from || na == to {
 			continue
@@ -165,12 +138,12 @@ func (c *checker) reallocatedBetween(p *analysis.PTF, b *memmod.Block, from, to 
 		if !from.Dominates(na) || !na.Dominates(to) {
 			continue
 		}
-		if hb := c.a.HeapBlockAt(na); hb != nil && hb.Representative() == b {
+		if hb := c.A.HeapBlockAt(na); hb != nil && hb.Representative() == b {
 			return true
 		}
 		if na.RetDst != nil {
-			for _, dl := range c.a.EvalAt(p, na.RetDst, na).Locs() {
-				if blockIn(c.a.ContentsAfter(p, dl, na), b) {
+			for _, dl := range c.A.EvalAt(p, na.RetDst, na).Locs() {
+				if blockIn(c.A.ContentsAfter(p, dl, na), b) {
 					return true
 				}
 			}
@@ -190,7 +163,7 @@ func blockIn(vals memmod.ValueSet, b *memmod.Block) bool {
 
 // checkDoubleFree reports frees of storage already freed on every path
 // to the call within the same context.
-func (c *checker) checkDoubleFree(p *analysis.PTF) {
+func (c *Ctx) checkDoubleFree(p *analysis.PTF) {
 	sites := c.frees[p]
 	for i := range sites {
 		f2 := &sites[i]
@@ -231,7 +204,7 @@ func (c *checker) checkDoubleFree(p *analysis.PTF) {
 
 // checkRetvalEscape reports procedures whose return value includes the
 // address of one of their own locals (dead storage at every call site).
-func (c *checker) checkRetvalEscape(p *analysis.PTF) {
+func (c *Ctx) checkRetvalEscape(p *analysis.PTF) {
 	if p.Proc.Name == "main" {
 		// main's activation outlives every observer.
 		return
@@ -239,7 +212,7 @@ func (c *checker) checkRetvalEscape(p *analysis.PTF) {
 	exit := p.Proc.Exit
 	// Whole-block lookup: a struct return may carry the pointer at any
 	// offset of the retval block.
-	vals := c.a.ContentsAt(p, p.RetvalLoc().Unknown(), exit)
+	vals := c.A.ContentsAt(p, p.RetvalLoc().Unknown(), exit)
 	for _, l := range vals.Locs() {
 		b := l.Resolve().Base
 		if b.Kind == memmod.LocalBlock {
@@ -254,12 +227,12 @@ func (c *checker) checkRetvalEscape(p *analysis.PTF) {
 // outlives the procedure (globals, heap blocks, or caller storage named
 // by extended parameters). The stored address may be consumed before
 // the procedure returns, so this is a Warning in every context.
-func (c *checker) checkStoreEscape(p *analysis.PTF, nd *cfg.Node) {
+func (c *Ctx) checkStoreEscape(p *analysis.PTF, nd *cfg.Node) {
 	if !c.enabled["localescape"] || nd.Aggregate || p.Proc.Name == "main" {
 		return
 	}
 	var local *memmod.Block
-	for _, l := range c.a.EvalAt(p, nd.Src, nd).Locs() {
+	for _, l := range c.A.EvalAt(p, nd.Src, nd).Locs() {
 		if b := l.Resolve().Base; b.Kind == memmod.LocalBlock {
 			local = b
 			break
@@ -268,7 +241,7 @@ func (c *checker) checkStoreEscape(p *analysis.PTF, nd *cfg.Node) {
 	if local == nil {
 		return
 	}
-	for _, l := range c.a.EvalAt(p, nd.Dst, nd).Locs() {
+	for _, l := range c.A.EvalAt(p, nd.Dst, nd).Locs() {
 		switch l.Resolve().Base.Kind {
 		case memmod.GlobalBlock, memmod.ParamBlock, memmod.HeapBlock:
 			c.report("localescape", nd.Pos, Warning,
@@ -280,8 +253,8 @@ func (c *checker) checkStoreEscape(p *analysis.PTF, nd *cfg.Node) {
 
 // checkBadCall reports indirect calls whose target values include
 // non-function storage.
-func (c *checker) checkBadCall(p *analysis.PTF, nd *cfg.Node) {
-	vals := c.a.EvalAt(p, nd.Fun, nd)
+func (c *Ctx) checkBadCall(p *analysis.PTF, nd *cfg.Node) {
+	vals := c.A.EvalAt(p, nd.Fun, nd)
 	if vals.IsEmpty() {
 		c.report("badcall", nd.Pos, Error,
 			fmt.Sprintf("indirect call through %q: no targets (uninitialized function pointer)", render(nd.Fun)))

@@ -1,0 +1,211 @@
+package check
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"strings"
+)
+
+// jsonDiag is the stable JSON shape of one diagnostic.
+type jsonDiag struct {
+	Check    string   `json:"check"`
+	Severity string   `json:"severity"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Proc     string   `json:"proc"`
+	Message  string   `json:"message"`
+	Contexts int      `json:"contexts,omitempty"`
+	Trace    []string `json:"trace,omitempty"`
+}
+
+// RenderJSON writes the diagnostics as a JSON array (one object per
+// diagnostic, stable field order).
+func RenderJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiag, len(diags))
+	for i, d := range diags {
+		out[i] = jsonDiag{
+			Check:    d.Check,
+			Severity: d.Sev.String(),
+			File:     d.Pos.File,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Col,
+			Proc:     d.Proc,
+			Message:  d.Message,
+			Contexts: d.Contexts,
+			Trace:    d.Trace,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0 document shapes (the subset wlcheck emits).
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID              string            `json:"ruleId"`
+	Level               string            `json:"level"`
+	Message             sarifMessage      `json:"message"`
+	Locations           []sarifLocation   `json:"locations"`
+	PartialFingerprints map[string]string `json:"partialFingerprints,omitempty"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// fingerprintKey names the partial-fingerprint scheme in SARIF output.
+const fingerprintKey = "wlcheckFingerprint/v1"
+
+// RenderSARIF writes the diagnostics as a SARIF 2.1.0 log with one run.
+// Each registered check becomes a reporting rule; each diagnostic a
+// result with a stable partial fingerprint (see Fingerprint).
+func RenderSARIF(w io.Writer, diags []Diagnostic) error {
+	var rules []sarifRule
+	for _, p := range Passes() {
+		for _, id := range p.Checks {
+			rules = append(rules, sarifRule{
+				ID:               id,
+				ShortDescription: sarifMessage{Text: p.Doc},
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	results := make([]sarifResult, len(diags))
+	for i, d := range diags {
+		level := "warning"
+		if d.Sev == Error {
+			level = "error"
+		}
+		msg := d.Message
+		if chain := d.Chain(); chain != "" {
+			msg += " (in " + chain + ")"
+		}
+		results[i] = sarifResult{
+			RuleID:  d.Check,
+			Level:   level,
+			Message: sarifMessage{Text: msg},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.Pos.File},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Col},
+				},
+			}},
+			PartialFingerprints: map[string]string{fingerprintKey: Fingerprint(d)},
+		}
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "wlcheck", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}
+
+// Fingerprint returns a stable identity for a diagnostic, used for
+// baseline suppression and SARIF partial fingerprints: the check, the
+// position, and a hash of the message (so a baseline entry survives
+// unrelated re-analysis but not a change in what is reported there).
+func Fingerprint(d Diagnostic) string {
+	h := fnv.New32a()
+	io.WriteString(h, d.Message)
+	return fmt.Sprintf("%s@%s:%d:%d#%08x", d.Check, d.Pos.File, d.Pos.Line, d.Pos.Col, h.Sum32())
+}
+
+// WriteBaseline writes the fingerprints of diags, one per line, for a
+// later run's -baseline suppression.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# wlcheck baseline: one fingerprint per line; lines starting with # are ignored")
+	for _, d := range diags {
+		fmt.Fprintln(bw, Fingerprint(d))
+	}
+	return bw.Flush()
+}
+
+// LoadBaseline reads a baseline file written by WriteBaseline (blank
+// lines and #-comments are ignored).
+func LoadBaseline(r io.Reader) (map[string]bool, error) {
+	base := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		base[line] = true
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return base, nil
+}
+
+// Suppress filters out diagnostics whose fingerprint appears in the
+// baseline, returning the survivors and the number suppressed.
+func Suppress(diags []Diagnostic, baseline map[string]bool) (kept []Diagnostic, suppressed int) {
+	if len(baseline) == 0 {
+		return diags, 0
+	}
+	for _, d := range diags {
+		if baseline[Fingerprint(d)] {
+			suppressed++
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, suppressed
+}

@@ -1,0 +1,167 @@
+package check_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wlpa/internal/check"
+	"wlpa/internal/workload"
+)
+
+func fixtureDiags(t *testing.T, name string) []check.Diagnostic {
+	t.Helper()
+	src, ok := workload.BugFixtures()[name]
+	if !ok {
+		t.Fatalf("no fixture bug_%s.c", name)
+	}
+	return run(t, analyze(t, "bug_"+name+".c", src), check.Options{})
+}
+
+// TestRenderSARIF validates the SARIF 2.1.0 log structurally: version,
+// one run, a rule per registered check, and one result per diagnostic
+// with level, location, and a stable fingerprint.
+func TestRenderSARIF(t *testing.T) {
+	diags := fixtureDiags(t, "leak")
+	var buf bytes.Buffer
+	if err := check.RenderSARIF(&buf, diags); err != nil {
+		t.Fatalf("RenderSARIF: %v", err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Schema  string `json:"$schema"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID  string `json:"ruleId"`
+				Level   string `json:"level"`
+				Message struct {
+					Text string `json:"text"`
+				} `json:"message"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+				PartialFingerprints map[string]string `json:"partialFingerprints"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("SARIF output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Errorf("version %q schema %q, want SARIF 2.1.0", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("got %d runs, want 1", len(log.Runs))
+	}
+	r := log.Runs[0]
+	rules := map[string]bool{}
+	for _, rule := range r.Tool.Driver.Rules {
+		rules[rule.ID] = true
+	}
+	for _, id := range check.All {
+		if !rules[id] {
+			t.Errorf("check %s missing from SARIF rules", id)
+		}
+	}
+	if len(r.Results) != len(diags) {
+		t.Fatalf("got %d results, want %d", len(r.Results), len(diags))
+	}
+	for i, res := range r.Results {
+		d := diags[i]
+		if res.RuleID != d.Check {
+			t.Errorf("result %d ruleId %q, want %q", i, res.RuleID, d.Check)
+		}
+		wantLevel := "warning"
+		if d.Sev == check.Error {
+			wantLevel = "error"
+		}
+		if res.Level != wantLevel {
+			t.Errorf("result %d level %q, want %q", i, res.Level, wantLevel)
+		}
+		if len(res.Locations) != 1 ||
+			res.Locations[0].PhysicalLocation.ArtifactLocation.URI == "" ||
+			res.Locations[0].PhysicalLocation.Region.StartLine != d.Pos.Line {
+			t.Errorf("result %d has bad location: %+v", i, res.Locations)
+		}
+		if res.PartialFingerprints["wlcheckFingerprint/v1"] != check.Fingerprint(d) {
+			t.Errorf("result %d fingerprint mismatch", i)
+		}
+		if !strings.Contains(res.Message.Text, d.Message) {
+			t.Errorf("result %d message %q lost text %q", i, res.Message.Text, d.Message)
+		}
+	}
+}
+
+// TestRenderJSON validates the plain JSON rendering round-trips the
+// diagnostic fields.
+func TestRenderJSON(t *testing.T) {
+	diags := fixtureDiags(t, "writero")
+	var buf bytes.Buffer
+	if err := check.RenderJSON(&buf, diags); err != nil {
+		t.Fatalf("RenderJSON: %v", err)
+	}
+	var got []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Severity string `json:"severity"`
+		Check    string `json:"check"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("JSON output invalid: %v\n%s", err, buf.String())
+	}
+	if len(got) != len(diags) {
+		t.Fatalf("got %d entries, want %d", len(got), len(diags))
+	}
+	for i, g := range got {
+		d := diags[i]
+		if g.File != d.Pos.File || g.Line != d.Pos.Line || g.Check != d.Check ||
+			g.Message != d.Message || g.Severity != d.Sev.String() {
+			t.Errorf("entry %d = %+v, want %v", i, g, d)
+		}
+	}
+}
+
+// TestBaselineRoundTrip verifies WriteBaseline/LoadBaseline/Suppress:
+// baselining everything suppresses everything, a fresh diagnostic
+// survives, and comment/blank lines are tolerated.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := fixtureDiags(t, "doublefree")
+	if len(diags) == 0 {
+		t.Fatal("fixture produced no diagnostics")
+	}
+	var buf bytes.Buffer
+	if err := check.WriteBaseline(&buf, diags); err != nil {
+		t.Fatalf("WriteBaseline: %v", err)
+	}
+	withNoise := "# wlcheck baseline\n\n" + buf.String()
+	base, err := check.LoadBaseline(strings.NewReader(withNoise))
+	if err != nil {
+		t.Fatalf("LoadBaseline: %v", err)
+	}
+	kept, suppressed := check.Suppress(diags, base)
+	if len(kept) != 0 || suppressed != len(diags) {
+		t.Errorf("full baseline kept %d suppressed %d, want 0/%d", len(kept), suppressed, len(diags))
+	}
+	fresh := fixtureDiags(t, "nullderef")
+	kept, suppressed = check.Suppress(fresh, base)
+	if len(kept) != len(fresh) || suppressed != 0 {
+		t.Errorf("unrelated diagnostics suppressed: kept %d suppressed %d", len(kept), suppressed)
+	}
+}

@@ -1,0 +1,297 @@
+package check
+
+import (
+	"fmt"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cfg"
+	"wlpa/internal/memmod"
+)
+
+// leakSkip lists allocating library calls whose storage is not an
+// ordinary leak candidate: FILE handles live inside the C library (and
+// are flagged as resource leaks by fclose-oriented tooling, not here),
+// and getenv returns storage the program does not own.
+var leakSkip = map[string]bool{
+	"fopen": true, "freopen": true, "tmpfile": true, "getenv": true,
+}
+
+// leakProgram is the memory-leak checker. It is a program pass: a leak
+// is a property of the whole converged solution (every free site, the
+// reachability of the heap block from live roots at exit), not of one
+// calling context.
+//
+// For each reached allocation site with heap block hb:
+//
+//   - Error if no free site in any context may release hb AND hb is
+//     unreachable from globals and string literals in the final
+//     solution. Such storage is definitely lost on every execution that
+//     performs the allocation.
+//   - Silent if the analysis can prove the storage is always released
+//     (a free dominating the procedure's exit whose argument is exactly
+//     {hb}, in every context — sound because a double free faults) or
+//     always still reachable at exit (a strong update of a precise
+//     global dominating main's exit whose contents are exactly {hb},
+//     for single-shot sites in main).
+//   - Warning otherwise (freed or reachable only on some paths).
+//
+// The must-proofs require that the allocation runs at most once per
+// activation (site not in a CFG cycle) and that no early termination
+// or re-entry of main can bypass the proof obligations.
+func leakProgram(c *Ctx) {
+	a := c.A
+	sites := a.AllocSites()
+	if len(sites) == 0 {
+		return
+	}
+	reach := reachableFromRoots(a)
+	escapes := programEscapesStructure(a)
+	mainPTF := a.MainPTF()
+	for _, s := range sites {
+		if leakSkip[s.Callee] {
+			continue
+		}
+		hb := s.Block.Representative()
+		mayFreed := false
+		for _, fss := range c.frees {
+			for i := range fss {
+				if blockIn(a.Concretize(fss[i].Vals), hb) {
+					mayFreed = true
+					break
+				}
+			}
+			if mayFreed {
+				break
+			}
+		}
+		mayReach := reach[hb]
+		if !inCycle(s.Node) && !escapes {
+			if mustFreed(c, s, hb) {
+				continue
+			}
+			if mainPTF != nil && s.Proc == mainPTF.Proc && mustReach(a, mainPTF, hb) {
+				continue
+			}
+		}
+		sev := Warning
+		var msg string
+		switch {
+		case !mayFreed && !mayReach:
+			sev = Error
+			msg = fmt.Sprintf("storage allocated by %s is never freed and unreachable at exit (memory leak)", s.Callee)
+		case !mayFreed:
+			msg = fmt.Sprintf("storage allocated by %s is never freed (may remain reachable at exit)", s.Callee)
+		default:
+			msg = fmt.Sprintf("storage allocated by %s may leak (freed or reachable only on some paths)", s.Callee)
+		}
+		c.reportProgram(Diagnostic{
+			Check:    "leak",
+			Sev:      sev,
+			Pos:      s.Node.Pos,
+			Proc:     s.Proc.Name,
+			Message:  msg,
+			Contexts: c.Contexts(s.Proc.Name),
+			Trace:    leakTrace(a, s.Proc),
+		})
+	}
+}
+
+// leakTrace picks the first walked context of the allocating procedure
+// for the diagnostic's call chain.
+func leakTrace(a *analysis.Analysis, proc *cfg.Proc) []string {
+	for _, p := range a.AllPTFs() {
+		if p.Proc == proc && (p.ExitReached() || p == a.MainPTF()) {
+			return contextTrace(p)
+		}
+	}
+	return nil
+}
+
+// inCycle reports whether nd can reach itself in its procedure's CFG,
+// i.e. one activation may execute it more than once.
+func inCycle(nd *cfg.Node) bool {
+	seen := map[*cfg.Node]bool{}
+	stack := append([]*cfg.Node{}, nd.Succs...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == nd {
+			return true
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		stack = append(stack, n.Succs...)
+	}
+	return false
+}
+
+// leakEscapers defeat the must-proofs: early termination skips frees
+// that dominate the exit node, and re-entering main breaks the
+// single-activation argument.
+var leakEscapers = map[string]bool{
+	"exit": true, "abort": true, "_assert_fail": true, "longjmp": true,
+	"main": true,
+}
+
+// programEscapesStructure reports whether any reached procedure may
+// terminate early or re-enter main — directly or through a function
+// pointer.
+func programEscapesStructure(a *analysis.Analysis) bool {
+	if a.FuncBlock("main") != nil {
+		// main's address is taken; an indirect call may re-enter it.
+		return true
+	}
+	seenProc := map[*cfg.Proc]bool{}
+	for _, p := range a.AllPTFs() {
+		byProc := !seenProc[p.Proc]
+		seenProc[p.Proc] = true
+		for _, nd := range p.Proc.Nodes {
+			if nd.Kind != cfg.CallNode {
+				continue
+			}
+			if nd.Direct != nil {
+				if byProc && leakEscapers[nd.Direct.Name] {
+					return true
+				}
+				continue
+			}
+			if nd.Fun == nil {
+				continue
+			}
+			for _, l := range a.EvalAt(p, nd.Fun, nd).Locs() {
+				if b := l.Resolve().Base; b.Kind == memmod.FuncBlock && leakEscapers[b.Name] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// reachableFromRoots computes the heap blocks reachable from storage
+// that outlives main — globals and string literals — in the converged
+// solution. Block-level: any pointer stored anywhere in a reached block
+// extends the frontier.
+func reachableFromRoots(a *analysis.Analysis) map[*memmod.Block]bool {
+	reach := map[*memmod.Block]bool{}
+	sol := a.Solution()
+	if sol == nil {
+		return reach
+	}
+	locs := sol.Locations()
+	byBase := map[*memmod.Block][]memmod.LocSet{}
+	for _, l := range locs {
+		byBase[l.Base.Representative()] = append(byBase[l.Base.Representative()], l)
+	}
+	var stack []*memmod.Block
+	push := func(b *memmod.Block) {
+		b = b.Representative()
+		if !reach[b] {
+			reach[b] = true
+			stack = append(stack, b)
+		}
+	}
+	for b := range byBase {
+		if b.Kind == memmod.GlobalBlock || b.Kind == memmod.StringBlock {
+			push(b)
+		}
+	}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, l := range byBase[b] {
+			for _, v := range sol.PointsTo(l).Locs() {
+				vb := v.Resolve().Base
+				if vb.Kind != memmod.NullBlock && vb.Kind != memmod.FuncBlock {
+					push(vb)
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// mustFreed proves the allocation is released on every completed
+// execution: in every context of the allocating procedure, some free
+// whose argument set is exactly {hb} dominates the procedure's exit.
+// With the site outside any cycle each activation allocates at most one
+// hb object, and each such free releases a live hb object (releasing a
+// dead one would be a double free, which is a fault, and the oracle
+// only scores fault-free runs) — so releases ≥ allocations and nothing
+// survives.
+func mustFreed(c *Ctx, s analysis.AllocSite, hb *memmod.Block) bool {
+	ptfs := c.A.PTFs(s.Proc.Name)
+	if len(ptfs) == 0 {
+		return false
+	}
+	for _, p := range ptfs {
+		if !p.ExitReached() && p != c.A.MainPTF() {
+			return false
+		}
+		ok := false
+		for i := range c.frees[p] {
+			fs := &c.frees[p][i]
+			if !fs.Node.Dominates(s.Proc.Exit) {
+				continue
+			}
+			vals := c.A.Concretize(fs.Vals)
+			if vals.IsEmpty() {
+				continue
+			}
+			exact := true
+			for _, l := range vals.Locs() {
+				if l.Resolve().Base.Representative() != hb {
+					exact = false
+					break
+				}
+			}
+			if exact {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mustReach proves a single-shot allocation in main is still reachable
+// when main exits: some precise global location receives a strong
+// update dominating main's exit and holds exactly {hb} there. The
+// strong update guarantees the location was definitely written; the
+// exact value set guarantees what it holds is an hb pointer; and with
+// at most one hb object per run, that object is the one it points to.
+func mustReach(a *analysis.Analysis, mainPTF *analysis.PTF, hb *memmod.Block) bool {
+	sol := a.Solution()
+	if sol == nil {
+		return false
+	}
+	exit := mainPTF.Proc.Exit
+	for _, loc := range sol.Locations() {
+		if loc.Base.Kind != memmod.GlobalBlock || !loc.Precise() {
+			continue
+		}
+		if mainPTF.Pts.FindStrongUpdate(loc, exit) == nil {
+			continue
+		}
+		vals := a.ContentsAt(mainPTF, loc, exit)
+		if vals.IsEmpty() {
+			continue
+		}
+		exact := true
+		for _, l := range vals.Locs() {
+			if l.Resolve().Base.Representative() != hb {
+				exact = false
+				break
+			}
+		}
+		if exact {
+			return true
+		}
+	}
+	return false
+}

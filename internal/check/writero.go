@@ -1,0 +1,66 @@
+package check
+
+import (
+	"fmt"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cfg"
+	"wlpa/internal/memmod"
+)
+
+// writeroWalk reports writes into string-literal storage, which C
+// places in read-only memory: direct stores whose target set includes a
+// string block, and calls whose MOD summary (folded through the callee,
+// including library effects) includes one.
+func writeroWalk(c *Ctx, p *analysis.PTF) {
+	for _, nd := range p.Proc.Nodes {
+		switch nd.Kind {
+		case cfg.AssignNode:
+			c.checkStringStore(p, nd, nd.Dst)
+		case cfg.CallNode:
+			if nd.RetDst != nil {
+				c.checkStringStore(p, nd, nd.RetDst)
+			}
+			mod, _ := c.ModRef.NodeEffects(p, nd)
+			for _, l := range c.A.Concretize(mod).Locs() {
+				if b := l.Resolve().Base; b.Kind == memmod.StringBlock {
+					c.report("writero", nd.Pos, Warning,
+						fmt.Sprintf("call may write into read-only string literal %s", b.Name))
+					break
+				}
+			}
+		}
+	}
+}
+
+// checkStringStore reports top-level deref stores whose targets include
+// string-literal storage. Error when every (non-null) target is a
+// string literal; the null targets are nullderef's business.
+func (c *Ctx) checkStringStore(p *analysis.PTF, nd *cfg.Node, dst *cfg.Expr) {
+	for _, t := range dst.Terms {
+		if t.Kind != cfg.TermDeref {
+			continue
+		}
+		total, strs := 0, 0
+		var name string
+		for _, l := range c.A.Concretize(c.A.TermValuesAt(p, t, nd)).Locs() {
+			b := l.Resolve().Base
+			total++
+			if b.Kind == memmod.StringBlock {
+				strs++
+				if name == "" {
+					name = b.Name
+				}
+			}
+		}
+		if strs == 0 {
+			continue
+		}
+		sev, word := Warning, "may write"
+		if strs == total {
+			sev, word = Error, "writes"
+		}
+		c.report("writero", nd.Pos, sev,
+			fmt.Sprintf("%s into read-only string literal %s through %q", word, name, renderTerm(t)))
+	}
+}

@@ -41,6 +41,7 @@ const (
 	StageInterpFuel  = "interp-fuel"         // interpreter ran out of fuel (runaway program)
 	StageSoundness   = "soundness"           // dynamic fact missing from the PTF solution
 	StageCheckClean  = "check-clean"         // Error-severity diagnostic on a well-defined program
+	StageLeak        = "leak-oracle"         // static leak checker disagrees with observed leaks
 	StageBaseline    = "baseline"            // a baseline analysis returned an error
 	StageAndersen    = "lattice-andersen"    // dynamic fact missing from Andersen
 	StageSteensgaard = "lattice-steensgaard" // PTF or Andersen edge missing from Steensgaard
@@ -126,6 +127,7 @@ type fingerprint struct {
 func runEngine(prog *sem.Program, e engine) (*fingerprint, error) {
 	an, err := analysis.New(prog, analysis.Options{
 		Lib:             libsum.Summaries(),
+		LibEffects:      libsum.Effects(),
 		CollectSolution: true,
 		TrackNull:       true,
 		ForceFullPasses: e.force,
@@ -248,8 +250,11 @@ func CheckProgram(name, src string, opt Options) error {
 	// 2. Checker cleanliness: the program is well-defined (it runs to
 	// completion below), so Error-severity diagnostics are false
 	// positives. Warnings ("may" defects) are expected and allowed.
+	// Leak errors are exempt here — leaking memory is well-defined C, so
+	// a definite leak can coexist with a clean run; the leak rung below
+	// holds those reports to the interpreter's observations instead.
 	for _, d := range base.diagList {
-		if d.Sev == check.Error {
+		if d.Sev == check.Error && d.Check != "leak" {
 			return fail(StageCheckClean, "error-severity diagnostic on well-defined program: %v (trace %v)", d, d.Trace)
 		}
 	}
@@ -257,6 +262,7 @@ func CheckProgram(name, src string, opt Options) error {
 	// 3. Interpreter soundness: every dynamic points-to fact must be
 	// covered by the static solution.
 	var dynFacts []interp.DynFact
+	var interpRes *interp.Result
 	if !opt.SkipInterp {
 		in := interp.New(prog, interp.Options{RecordPointsTo: true, MaxSteps: opt.maxSteps()})
 		res, err := in.Run()
@@ -266,6 +272,7 @@ func CheckProgram(name, src string, opt Options) error {
 			}
 			return fail(StageInterp, "%v", err)
 		}
+		interpRes = res
 		dynFacts = res.Facts
 		sol := base.an.Solution()
 		keys := sol.Locations()
@@ -277,6 +284,20 @@ func CheckProgram(name, src string, opt Options) error {
 				return fail(StageSoundness, "dynamic fact (%s+%d) -> (%s+%d) not in static solution",
 					f.Block, f.Off, f.Target, f.TOff)
 			}
+		}
+	}
+
+	// 3b. Leak rung: the static leak checker against the interpreter's
+	// heap census. Every dynamically leaked object must be reported at
+	// its allocation site (at any severity — missing it entirely is a
+	// soundness hole), and every Error-severity leak report must be
+	// confirmed: either the run leaked that site, or the run never
+	// allocated there (a definite leak conditional on the allocation
+	// executing). An Error on a site that allocated and did not leak is
+	// a false positive.
+	if interpRes != nil {
+		if err := checkLeakRung(base.diagList, interpRes, fail); err != nil {
+			return err
 		}
 	}
 
@@ -321,6 +342,40 @@ func CheckProgram(name, src string, opt Options) error {
 			if miss := subsetViolation(andE, stE); miss != "" {
 				return fail(StageSteensgaard, "Andersen edge %s not in Steensgaard solution", miss)
 			}
+		}
+	}
+	return nil
+}
+
+// checkLeakRung cross-checks the static leak diagnostics against the
+// interpreter's allocation census (see CheckProgram step 3b).
+func checkLeakRung(diags []check.Diagnostic, res *interp.Result, fail func(stage, format string, args ...any) error) error {
+	static := map[string]check.Severity{}
+	for _, d := range diags {
+		if d.Check != "leak" {
+			continue
+		}
+		pos := d.Pos.String()
+		if sev, ok := static[pos]; !ok || d.Sev > sev {
+			static[pos] = d.Sev
+		}
+	}
+	allocated := map[string]bool{}
+	for _, site := range res.AllocSites {
+		allocated[site] = true
+	}
+	for _, site := range res.LeakSites {
+		if _, ok := static[site]; !ok {
+			return fail(StageLeak, "object allocated at %s leaked at run time but the leak checker is silent about the site", site)
+		}
+	}
+	leaked := map[string]bool{}
+	for _, site := range res.LeakSites {
+		leaked[site] = true
+	}
+	for pos, sev := range static {
+		if sev == check.Error && allocated[pos] && !leaked[pos] {
+			return fail(StageLeak, "leak checker reports a definite leak at %s, but the run allocated there and did not leak", pos)
 		}
 	}
 	return nil

@@ -55,6 +55,13 @@ type Result struct {
 
 	// Loops maps loop positions to their profiles (with ProfileLoops).
 	Loops map[string]*LoopStat
+
+	// AllocSites lists the static positions of every executed heap
+	// allocation (malloc/calloc/realloc/strdup; FILE objects excluded),
+	// sorted. LeakSites is the subset whose objects leaked: never freed
+	// and unreachable from globals and string literals at program exit.
+	AllocSites []string
+	LeakSites  []string
 }
 
 // Error is a runtime error (uninitialized dereference, step overrun...).
@@ -100,6 +107,10 @@ type Interp struct {
 	fsIn   map[string]string
 	depth  int
 	tokCur Pointer // strtok cursor
+
+	// heapAll registers every heap object ever allocated, for the leak
+	// scan at program exit.
+	heapAll []*Object
 }
 
 type fileState struct {
@@ -233,7 +244,62 @@ func (in *Interp) result(code int) *Result {
 		}
 		return a.Target < b.Target
 	})
+	in.leakScan(r)
 	return r
+}
+
+// leakScan classifies every heap allocation at program exit: an object
+// leaked if it was never freed and is unreachable from the root set
+// (globals and string literals — main's frame is gone at exit, so
+// locals do not root). FILE objects are resource handles, not memory
+// leaks in this model, and are excluded.
+func (in *Interp) leakScan(r *Result) {
+	if len(in.heapAll) == 0 {
+		return
+	}
+	reach := make(map[*Object]bool)
+	var stack []*Object
+	push := func(o *Object) {
+		if o != nil && !reach[o] {
+			reach[o] = true
+			stack = append(stack, o)
+		}
+	}
+	for _, o := range in.globals {
+		push(o)
+	}
+	for _, o := range in.strs {
+		push(o)
+	}
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range o.Data {
+			if v.Kind == VPtr {
+				push(v.Ptr.Obj)
+			}
+		}
+	}
+	allocs := make(map[string]bool)
+	leaks := make(map[string]bool)
+	for _, o := range in.heapAll {
+		if o.Kind == FileObj {
+			continue
+		}
+		site := strings.TrimPrefix(o.Name, "heap@")
+		allocs[site] = true
+		if !o.Freed && !reach[o] {
+			leaks[site] = true
+		}
+	}
+	for site := range allocs {
+		r.AllocSites = append(r.AllocSites, site)
+	}
+	for site := range leaks {
+		r.LeakSites = append(r.LeakSites, site)
+	}
+	sort.Strings(r.AllocSites)
+	sort.Strings(r.LeakSites)
 }
 
 func (in *Interp) errorf(pos ctok.Pos, format string, a ...any) {
@@ -302,6 +368,7 @@ func (in *Interp) heapObj(pos ctok.Pos, size int64) *Object {
 	site := pos.String()
 	in.heapSeq[site]++
 	o := newObject(HeapObj, "heap@"+site, size)
+	in.heapAll = append(in.heapAll, o)
 	return o
 }
 

@@ -70,6 +70,9 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 		size := args[1].AsInt()
 		nb := in.heapObj(e.Pos, size)
 		if old.Obj != nil {
+			if old.Obj.Freed {
+				in.errorf(e.Pos, "realloc of freed object %s", old.Obj.Name)
+			}
 			for off, v := range old.Obj.Data {
 				nb.store(off, v)
 				in.recordStore(Pointer{Obj: nb, Off: off}, v)
@@ -80,6 +83,9 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 	case "free":
 		p := in.ptrArg(e, args, 0)
 		if p.Obj != nil {
+			if p.Obj.Freed {
+				in.errorf(e.Pos, "double free of object %s", p.Obj.Name)
+			}
 			p.Obj.Freed = true
 		}
 		return IntVal(0)

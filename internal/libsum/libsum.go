@@ -138,3 +138,79 @@ func Summaries() map[string]analysis.LibSummary {
 	}
 	return m
 }
+
+// Effects returns the MOD/REF behavior of the summarized library
+// functions for the summary computation (analysis.ModRef): which
+// argument pointees each function may write or read. Summarized
+// functions without an entry have no pointer-visible memory effects
+// (math, ctype, atoi, ...).
+func Effects() map[string]analysis.LibEffect {
+	e := map[string]analysis.LibEffect{}
+
+	// Allocation: fresh storage only; no pre-existing memory touched
+	// beyond reading the source buffer.
+	e["strdup"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["realloc"] = analysis.LibEffect{RefArgs: []int{0}}
+
+	// Memory / string copying.
+	e["memcpy"] = analysis.LibEffect{ModArgs: []int{0}, RefArgs: []int{1}}
+	e["memmove"] = e["memcpy"]
+	e["memset"] = analysis.LibEffect{ModArgs: []int{0}}
+	e["memcmp"] = analysis.LibEffect{RefArgs: []int{0, 1}}
+	e["strcpy"] = analysis.LibEffect{ModArgs: []int{0}, RefArgs: []int{1}}
+	e["strncpy"] = e["strcpy"]
+	e["strcat"] = analysis.LibEffect{ModArgs: []int{0}, RefArgs: []int{0, 1}}
+	e["strncat"] = e["strcat"]
+	e["strcmp"] = analysis.LibEffect{RefArgs: []int{0, 1}}
+	e["strncmp"] = e["strcmp"]
+	e["strlen"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["strchr"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["strrchr"] = e["strchr"]
+	e["strstr"] = analysis.LibEffect{RefArgs: []int{0, 1}}
+	e["strpbrk"] = e["strstr"]
+	e["strspn"] = e["strstr"]
+	e["strcspn"] = e["strstr"]
+	// strtok writes NUL terminators into its subject string.
+	e["strtok"] = analysis.LibEffect{ModArgs: []int{0}, RefArgs: []int{0, 1}}
+
+	// stdio. FILE internals are modeled as the heap block fopen returns.
+	e["fopen"] = analysis.LibEffect{RefArgs: []int{0, 1}}
+	e["freopen"] = analysis.LibEffect{RefArgs: []int{1, 2}, ModArgs: []int{3}}
+	e["fclose"] = analysis.LibEffect{ModArgs: []int{0}}
+	e["fflush"] = analysis.LibEffect{ModArgs: []int{0}}
+	e["fgets"] = analysis.LibEffect{ModArgs: []int{0}, RefArgs: []int{2}}
+	e["gets"] = analysis.LibEffect{ModArgs: []int{0}}
+	e["fgetc"] = analysis.LibEffect{ModArgs: []int{0}}
+	e["getc"] = e["fgetc"]
+	e["ungetc"] = analysis.LibEffect{ModArgs: []int{1}}
+	e["fputc"] = analysis.LibEffect{ModArgs: []int{1}}
+	e["putc"] = e["fputc"]
+	e["fputs"] = analysis.LibEffect{RefArgs: []int{0}, ModArgs: []int{1}}
+	e["puts"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["fread"] = analysis.LibEffect{ModArgs: []int{0, 3}}
+	e["fwrite"] = analysis.LibEffect{RefArgs: []int{0}, ModArgs: []int{3}}
+	e["fseek"] = analysis.LibEffect{ModArgs: []int{0}}
+	e["ftell"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["rewind"] = analysis.LibEffect{ModArgs: []int{0}}
+	e["feof"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["ferror"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["remove"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["rename"] = analysis.LibEffect{RefArgs: []int{0, 1}}
+	e["printf"] = analysis.LibEffect{RefAll: true}
+	e["fprintf"] = analysis.LibEffect{RefAll: true}
+	e["sprintf"] = analysis.LibEffect{ModArgs: []int{0}, RefAll: true}
+	e["scanf"] = analysis.LibEffect{ModAll: true}
+	e["fscanf"] = analysis.LibEffect{ModAll: true}
+	e["sscanf"] = analysis.LibEffect{ModAll: true, RefArgs: []int{0}}
+
+	// stdlib.
+	e["atoi"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["atol"] = e["atoi"]
+	e["atof"] = e["atoi"]
+	e["getenv"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["qsort"] = analysis.LibEffect{ModArgs: []int{0}, RefArgs: []int{0}}
+	e["bsearch"] = analysis.LibEffect{RefArgs: []int{0, 1}}
+	e["_assert_fail"] = analysis.LibEffect{RefAll: true}
+
+	return e
+}

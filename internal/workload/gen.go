@@ -43,13 +43,19 @@ const (
 	// FeatAddrLocal takes the address of a block-local int and passes
 	// it down a call chain that reads and writes through it.
 	FeatAddrLocal
+	// FeatLeak malloc's, uses, and abandons a heap object (drops the
+	// only pointer). Leaking is well-defined C — the interpreter records
+	// the lost object (Result.LeakSites) and the static leak checker
+	// must report it (the difftest leak rung cross-checks the two).
+	FeatLeak
 
-	numFeatures = 11
+	numFeatures = 12
 )
 
 var featureNames = [numFeatures]string{
 	"heap", "structs", "funcptrs", "recursion", "multiptr", "ptrreturn",
 	"outparam", "funcptrfield", "nestedstruct", "free", "addrlocal",
+	"leak",
 }
 
 // AllFeatures returns the mask with every feature enabled.
@@ -188,7 +194,7 @@ func (g *generator) w(format string, args ...any) {
 
 func (g *generator) emitHeader() {
 	g.w("/* generated: seed=%d features=%s */", g.cfg.Seed, g.feat)
-	if g.has(FeatHeap | FeatFree) {
+	if g.has(FeatHeap | FeatFree | FeatLeak) {
 		g.w("#include <stdlib.h>")
 	}
 	g.w("")
@@ -281,7 +287,7 @@ func (g *generator) sym(prefix string) string {
 // struct pointer fields and vt0 are initialized in main's prologue
 // before any generated statement runs.
 func (g *generator) stmt(depth int) {
-	const numKinds = 22
+	const numKinds = 23
 	switch g.r.Intn(numKinds) {
 	case 0: // p = &target
 		g.w("%s = %s;", g.ptr(), g.target())
@@ -442,6 +448,14 @@ func (g *generator) stmt(depth int) {
 			return
 		}
 		g.w("tick++;")
+	case 21: // malloc, use, abandon a heap object (leak)
+		if g.has(FeatLeak) {
+			h := g.sym("lk")
+			g.w("{ int *%[1]s = (int *)malloc(sizeof(int) * 2); *%[1]s = tick + %[2]d; tick += *%[1]s; }",
+				h, g.r.Intn(20))
+			return
+		}
+		g.w("tick++;")
 	default:
 		g.w("tick += %d;", g.r.Intn(10))
 	}
@@ -484,6 +498,10 @@ func (g *generator) emitFeatureFloor() {
 	if g.has(FeatAddrLocal) {
 		v := g.sym("loc")
 		g.w("{ int %[1]s = tick; chain1(&%[1]s); tick += %[1]s; }", v)
+	}
+	if g.has(FeatLeak) {
+		h := g.sym("lk")
+		g.w("{ int *%[1]s = (int *)malloc(sizeof(int) * 2); *%[1]s = tick; tick += *%[1]s; }", h)
 	}
 }
 

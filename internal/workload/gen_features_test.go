@@ -23,6 +23,7 @@ var featureMarkers = map[Feature][]string{
 	FeatNestedStruct: {"struct outer", "n0."},
 	FeatFree:         {"free("},
 	FeatAddrLocal:    {"void chain1(int *v)", "chain1(&"},
+	FeatLeak:         {"int *lk"},
 }
 
 // TestGeneratorFeatures checks, per feature bit over many seeds, that

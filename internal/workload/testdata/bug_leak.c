@@ -1,0 +1,18 @@
+/* Seeded bug: heap storage whose last pointer is overwritten without a
+ * free — never released and unreachable at exit.
+ * Expected: wlcheck reports leak (error) at the malloc. */
+
+#include <stdlib.h>
+
+int sink;
+
+int main(void)
+{
+    int *p = (int *)malloc(sizeof(int) * 4);
+    if (p) {
+        p[0] = 7;
+        sink = p[0];
+    }
+    p = 0;
+    return sink;
+}

@@ -1,0 +1,10 @@
+/* Seeded bug: write through a pointer that can only target a string
+ * literal (read-only storage in C).
+ * Expected: wlcheck reports writero (error) at the store. */
+
+int main(void)
+{
+    char *s = "hello";
+    *s = 'H';
+    return 0;
+}

@@ -1,0 +1,73 @@
+/*
+ * OPEN equivalence gap (pinned by TestOpenGapsStillOpen; see
+ * testdata/open/README.md). Fuzzer-found, pre-existing in the worklist
+ * engine: the full-pass and worklist engines converge to the same
+ * surface facts but different parameter-subsumption forwarding
+ * structures (subsumption decisions are history-sensitive; conflicting
+ * offset deltas degrade the subsuming parameter to stride-1
+ * references), and the stride-1 degradation leaks into the collapsed
+ * solution as extra block-level values in one engine only. Fixing this
+ * means making subsumption decisions schedule-independent — an engine
+ * change out of scope for the checker-framework PR that found it.
+ * When CheckProgram passes on this file, add a root-cause comment and
+ * promote it to testdata/regressions/.
+ *
+ * reduced reproducer (stage equivalence)
+ * program: gen(seed=-104,feat=funcptrs+recursion+multiptr+ptrreturn)
+ * detail: fullpass vs worklist: solutions differ; first divergence:
+ * a: $t1 -> {arr0, arr0+0%1, arr0+0%4, arr1, arr1+0%1, arr1+0%4, g0, g0+0%1, g1, g1+0%1}
+ * b: $t1 -> {arr0, arr0+0%1, arr0+0%4, arr1, arr1+0%1, arr1+0%4, g0, g1, g1+0%1}
+ */
+int g0;
+int *p0;
+int *p1;
+int *p2;
+int *p3;
+int arr0[8];
+int arr1[8];
+int tick;
+int *pick0(int k) {
+    if (k % 2) {
+        return &arr0[4];
+    }
+    return arr1;
+}
+int *pick1(int k) {
+    if (k % 2) {
+    }
+    return arr1;
+}
+int *sel(int *a, int *b, int k) {
+    if (k % 3) {
+        return a;
+    }
+    return b;
+}
+void f0(int **a, int *b) {
+    if ((tick + 0) % 4) {
+        { int i3; for (i3 = 0; i3 < 4; i3++) {
+        } }
+    }
+}
+void f1(int **a, int *b) {
+    { int *t4 = p3; p0 = p0; p1 = t4; }
+    p0 = pick1(tick + 4);
+    { int i5; for (i5 = 0; i5 < 3; i5++) {
+        p2 = p3;
+    } }
+}
+void f2(int **a, int *b) {
+    if ((tick + 4) % 2) {
+    }
+    if ((tick + 0) % 3) {
+    }
+}
+void dispatch(int k, int **a, int *b) {
+}
+int main(void) {
+    p0 = &g0;
+    p3 = pick0(tick);
+    p2 = sel(p3, p0, tick);
+    f1(&p1, p1);
+    f1(&p0, p0);
+}

@@ -1,8 +1,13 @@
 package pta
 
 import (
+	"fmt"
+	"io"
+	"sort"
+
 	"wlpa/internal/analysis"
 	"wlpa/internal/check"
+	"wlpa/internal/memmod"
 )
 
 // Diagnostic is one pointer-bug report (see internal/check for the
@@ -29,6 +34,9 @@ type CheckOptions struct {
 	// Checks selects which checkers run (identifiers from AllChecks);
 	// nil or empty runs all of them.
 	Checks []string
+	// Workers sets the number of goroutines walking calling contexts;
+	// the diagnostics are identical at every worker count.
+	Workers int
 }
 
 // Check runs the pointer-bug checker suite over the analyzed program
@@ -51,5 +59,61 @@ func (r *Result) Check(opts *CheckOptions) ([]Diagnostic, error) {
 	if err := an.Run(); err != nil {
 		return nil, err
 	}
-	return check.Run(an, check.Options{Checks: opts.Checks})
+	return check.Run(an, check.Options{Checks: opts.Checks, Workers: opts.Workers})
+}
+
+// ModRef returns the context-collapsed MOD and REF summary of the named
+// procedure: the memory locations (rendered as block names, with +off
+// and [*] stride markers) the procedure and its callees may write and
+// read, including effects through pointer parameters and modeled
+// library calls. ok reports whether the procedure exists.
+func (r *Result) ModRef(proc string) (mod, ref []string, ok bool) {
+	t := r.an.ModRef()
+	m, f, ok := t.OfProc(proc)
+	if !ok {
+		return nil, nil, false
+	}
+	return renderLocNames(m), renderLocNames(f), true
+}
+
+// ModRefDump renders every analyzed procedure's MOD/REF summary, one
+// line per procedure, deterministically sorted.
+func (r *Result) ModRefDump() []string { return r.an.ModRef().Dump() }
+
+// RenderJSON writes diagnostics as a JSON array.
+func RenderJSON(w io.Writer, diags []Diagnostic) error { return check.RenderJSON(w, diags) }
+
+// RenderSARIF writes diagnostics as a SARIF 2.1.0 log.
+func RenderSARIF(w io.Writer, diags []Diagnostic) error { return check.RenderSARIF(w, diags) }
+
+// Fingerprint returns the stable baseline identity of a diagnostic.
+func Fingerprint(d Diagnostic) string { return check.Fingerprint(d) }
+
+// WriteBaseline writes the diagnostics' fingerprints for later
+// suppression with LoadBaseline + Suppress.
+func WriteBaseline(w io.Writer, diags []Diagnostic) error { return check.WriteBaseline(w, diags) }
+
+// LoadBaseline reads a baseline file written by WriteBaseline.
+func LoadBaseline(r io.Reader) (map[string]bool, error) { return check.LoadBaseline(r) }
+
+// Suppress filters out baselined diagnostics, returning the survivors
+// and the number suppressed.
+func Suppress(diags []Diagnostic, baseline map[string]bool) ([]Diagnostic, int) {
+	return check.Suppress(diags, baseline)
+}
+
+func renderLocNames(vals memmod.ValueSet) []string {
+	out := make([]string, 0, vals.Len())
+	for _, l := range vals.Locs() {
+		s := l.Base.Name
+		if l.Off != 0 {
+			s += fmt.Sprintf("+%d", l.Off)
+		}
+		if l.Stride != 0 {
+			s += "[*]"
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,0 +1,102 @@
+package pta
+
+import (
+	"strings"
+	"testing"
+
+	"wlpa/internal/workload"
+)
+
+// TestModRefSmall pins the MOD/REF summary semantics on a program small
+// enough to reason about by hand: effects through pointer parameters
+// fold back to the caller's locations, and callee effects propagate
+// transitively to main.
+func TestModRefSmall(t *testing.T) {
+	res := analyze(t, `
+int g, h;
+void setp(int *p) { *p = 1; }
+int geth(void) { return h; }
+int main(void) {
+    setp(&g);
+    return geth();
+}`)
+	contains := func(set []string, name string) bool {
+		for _, s := range set {
+			if s == name || strings.HasPrefix(s, name+"+") || strings.HasPrefix(s, name+"[") {
+				return true
+			}
+		}
+		return false
+	}
+	mod, _, ok := res.ModRef("setp")
+	if !ok {
+		t.Fatal("setp has no summary")
+	}
+	if !contains(mod, "g") {
+		t.Errorf("setp MOD = %v, want g (write through parameter)", mod)
+	}
+	_, ref, ok := res.ModRef("geth")
+	if !ok {
+		t.Fatal("geth has no summary")
+	}
+	if !contains(ref, "h") {
+		t.Errorf("geth REF = %v, want h (global read)", ref)
+	}
+	mod, ref, ok = res.ModRef("main")
+	if !ok {
+		t.Fatal("main has no summary")
+	}
+	if !contains(mod, "g") {
+		t.Errorf("main MOD = %v, want g (transitive through setp)", mod)
+	}
+	if !contains(ref, "h") {
+		t.Errorf("main REF = %v, want h (transitive through geth)", ref)
+	}
+	if _, _, ok := res.ModRef("no_such_proc"); ok {
+		t.Error("ModRef of an unknown procedure reported ok")
+	}
+}
+
+// TestModRefBenchmarks verifies the acceptance bar: the MOD/REF summary
+// is queryable for every analyzed procedure of every benchmark, and the
+// dump is deterministic across two independent runs.
+func TestModRefBenchmarks(t *testing.T) {
+	for _, b := range workload.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			res, err := AnalyzeSource(b.Name+".c", b.Source, nil)
+			if err != nil {
+				t.Fatalf("AnalyzeSource: %v", err)
+			}
+			dump := res.ModRefDump()
+			if len(dump) == 0 {
+				t.Fatal("empty MOD/REF dump")
+			}
+			sawMain := false
+			for _, line := range dump {
+				name, _, ok := strings.Cut(line, ":")
+				if !ok {
+					t.Fatalf("malformed dump line %q", line)
+				}
+				if name == "main" {
+					sawMain = true
+				}
+				if _, _, ok := res.ModRef(name); !ok {
+					t.Errorf("procedure %s in dump but not queryable", name)
+				}
+			}
+			if !sawMain {
+				t.Errorf("main missing from dump: %v", dump)
+			}
+			res2, err := AnalyzeSource(b.Name+".c", b.Source, nil)
+			if err != nil {
+				t.Fatalf("AnalyzeSource (2nd): %v", err)
+			}
+			dump2 := res2.ModRefDump()
+			if strings.Join(dump, "\n") != strings.Join(dump2, "\n") {
+				t.Errorf("MOD/REF dump not deterministic:\n-- 1 --\n%s\n-- 2 --\n%s",
+					strings.Join(dump, "\n"), strings.Join(dump2, "\n"))
+			}
+		})
+	}
+}

@@ -91,6 +91,7 @@ func Analyze(files Source, entry string, opts *Options) (*Result, error) {
 	parseTime := time.Since(t0)
 	aopts := analysis.Options{
 		Lib:             libsum.Summaries(),
+		LibEffects:      libsum.Effects(),
 		CollectSolution: true,
 		MaxPTFs:         opts.MaxPTFs,
 		CombineOffsets:  opts.CombineOffsets,
