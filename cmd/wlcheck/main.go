@@ -1,13 +1,15 @@
 // Command wlcheck runs the context-sensitive pointer-bug checkers over
 // C source files: NULL and uninitialized-pointer dereferences,
 // use-after-free, double free, memory leaks, escaping locals, writes
-// into string literals, and indirect calls through non-function values.
+// into string literals, indirect calls through non-function values,
+// FILE-handle lifecycle violations, and tainted data reaching command
+// or format-string sinks.
 //
 // Usage:
 //
-//	wlcheck [-checks list] [-format text|json|sarif] [-baseline file]
-//	        [-write-baseline file] [-workers n] [-modref] [-q] [-trace]
-//	        file.c...
+//	wlcheck [-checks list] [-passes list] [-format text|json|sarif]
+//	        [-baseline file] [-write-baseline file] [-workers n]
+//	        [-modref] [-q] [-trace] file.c...
 //
 // With several files, the first is the entry translation unit and the
 // rest are available for #include. Exits 1 if any error-severity
@@ -26,8 +28,13 @@ import (
 )
 
 func main() {
+	var passNames []string
+	for _, p := range pta.AllPasses() {
+		passNames = append(passNames, p.Name)
+	}
 	var (
 		checks    = flag.String("checks", "", "comma-separated checks to run (default: all of "+strings.Join(pta.AllChecks, ",")+")")
+		passes    = flag.String("passes", "", "comma-separated passes to run (default: all of "+strings.Join(passNames, ",")+")")
 		format    = flag.String("format", "text", "output format: text, json, or sarif")
 		baseline  = flag.String("baseline", "", "suppress diagnostics whose fingerprints appear in this file")
 		writeBase = flag.String("write-baseline", "", "write the run's fingerprints to this file (for future -baseline)")
@@ -68,6 +75,9 @@ func main() {
 	copts := &pta.CheckOptions{Workers: *workers}
 	if *checks != "" {
 		copts.Checks = strings.Split(*checks, ",")
+	}
+	if *passes != "" {
+		copts.Passes = strings.Split(*passes, ",")
 	}
 	diags, err := res.Check(copts)
 	if err != nil {

@@ -1,0 +1,122 @@
+package analysis_test
+
+import (
+	"sort"
+	"testing"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cfg"
+	"wlpa/internal/libsum"
+	"wlpa/internal/memmod"
+)
+
+// callNodeOf finds the unique direct call to name in p's procedure.
+func callNodeOf(t *testing.T, p *analysis.PTF, name string) *cfg.Node {
+	t.Helper()
+	var found *cfg.Node
+	for _, nd := range p.Proc.Nodes {
+		if nd.Kind != cfg.CallNode || nd.Direct == nil || nd.Direct.Name != name {
+			continue
+		}
+		if found != nil {
+			t.Fatalf("multiple calls to %s in %s", name, p.Proc.Name)
+		}
+		found = nd
+	}
+	if found == nil {
+		t.Fatalf("no call to %s in %s", name, p.Proc.Name)
+	}
+	return found
+}
+
+// baseNames flattens a value set to its sorted, deduplicated block names.
+func baseNames(vals memmod.ValueSet) []string {
+	seen := map[string]bool{}
+	for _, l := range vals.Locs() {
+		seen[l.Base.Name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TestNodeEffectsMemcpy pins the per-node library effects at a memcpy
+// call site: MOD is the destination's storage, REF the source's, and
+// neither set bleeds into the other.
+func TestNodeEffectsMemcpy(t *testing.T) {
+	src := `
+#include <string.h>
+int a[4];
+int b[4];
+int main(void) {
+    memcpy(a, b, 4 * sizeof(int));
+    return 0;
+}`
+	a, _ := runOpts(t, src, analysis.Options{LibEffects: libsum.Effects()})
+	p := a.MainPTF()
+	nd := callNodeOf(t, p, "memcpy")
+	mod, ref := a.ModRef().NodeEffects(p, nd)
+	modN, refN := baseNames(mod), baseNames(ref)
+	if !contains(modN, "a") {
+		t.Errorf("memcpy MOD = %v, want destination a", modN)
+	}
+	if contains(modN, "b") {
+		t.Errorf("memcpy MOD = %v: source b must not be modified", modN)
+	}
+	if !contains(refN, "b") {
+		t.Errorf("memcpy REF = %v, want source b", refN)
+	}
+	if contains(refN, "a") {
+		t.Errorf("memcpy REF = %v: destination a is written, not read", refN)
+	}
+}
+
+// TestNodeEffectsFree pins that a free call site contributes no MOD/REF
+// effects: free is fully modeled by the summary layer (the points-to
+// transfer function kills the block), not as a memory write. Dataflow
+// clients rely on this — a free must not havoc tracked facts.
+func TestNodeEffectsFree(t *testing.T) {
+	src := `
+#include <stdlib.h>
+int main(void) {
+    int *p = (int *)malloc(sizeof(int));
+    *p = 1;
+    free(p);
+    return 0;
+}`
+	a, _ := runOpts(t, src, analysis.Options{LibEffects: libsum.Effects()})
+	p := a.MainPTF()
+	nd := callNodeOf(t, p, "free")
+	mod, ref := a.ModRef().NodeEffects(p, nd)
+	if !mod.IsEmpty() || !ref.IsEmpty() {
+		t.Errorf("free NodeEffects = MOD%v REF%v, want both empty",
+			baseNames(mod), baseNames(ref))
+	}
+}
+
+// TestNodeEffectsUserCall pins the folded-summary side of NodeEffects:
+// at a call to a user procedure the converged callee summary, translated
+// through the edge bindings, appears at the node.
+func TestNodeEffectsUserCall(t *testing.T) {
+	src := `
+int g;
+int h;
+void wr(int *p) { *p = h; }
+int main(void) {
+    wr(&g);
+    return 0;
+}`
+	a, _ := runOpts(t, src, analysis.Options{LibEffects: libsum.Effects()})
+	p := a.MainPTF()
+	nd := callNodeOf(t, p, "wr")
+	mod, ref := a.ModRef().NodeEffects(p, nd)
+	if modN := baseNames(mod); !contains(modN, "g") {
+		t.Errorf("call MOD = %v, want callee write target g", modN)
+	}
+	if refN := baseNames(ref); !contains(refN, "h") {
+		t.Errorf("call REF = %v, want callee read h", refN)
+	}
+}

@@ -173,6 +173,58 @@ func (a *Analysis) VarLoc(p *PTF, sym *cast.Symbol, off, stride int64) memmod.Lo
 	return memmod.Loc(p.localBlock(sym), off, stride)
 }
 
+// CallEdgesOf returns the resolved call edges applied inside one
+// context, deterministically sorted by node then callee. Dataflow
+// clients use it to find the callee summaries folded at a call node.
+func (a *Analysis) CallEdgesOf(p *PTF) []CallEdge { return sortedEdges(p) }
+
+// BindingsAt re-derives the parameter bindings of one call edge: for
+// every extended parameter of the callee, the caller-name-space values
+// it was bound to at this site (see edgeBindings). The returned sets
+// are resolved copies; callers may keep them.
+func (a *Analysis) BindingsAt(caller *PTF, nd *cfg.Node, callee *PTF) map[*memmod.Block]memmod.ValueSet {
+	pm := a.edgeBindings(caller, nd, callee)
+	out := make(map[*memmod.Block]memmod.ValueSet, len(pm))
+	for b, v := range pm {
+		out[b] = v.Resolved()
+	}
+	return out
+}
+
+// SingletonPointee returns the one location an expression must point at
+// in context p at node nd: the points-to set holds exactly one non-null
+// location at a known offset (stride 0). Checkers use it to decide
+// between strong and weak updates; callers that additionally need
+// "exactly one runtime object" must also test loc.Base.Unique().
+func (a *Analysis) SingletonPointee(p *PTF, e *cfg.Expr, nd *cfg.Node) (memmod.LocSet, bool) {
+	var single memmod.LocSet
+	n := 0
+	for _, l := range a.EvalAt(p, e, nd).Locs() {
+		l = l.Resolve()
+		if l.Base.Kind == memmod.NullBlock {
+			continue
+		}
+		single = l
+		n++
+		if n > 1 {
+			return memmod.LocSet{}, false
+		}
+	}
+	if n != 1 || single.Stride != 0 {
+		return memmod.LocSet{}, false
+	}
+	return single, true
+}
+
+// MustAlias reports whether two expressions definitely denote the same
+// single runtime location at nd: both resolve to the same singleton
+// precise location of a unique block.
+func (a *Analysis) MustAlias(p *PTF, e1, e2 *cfg.Expr, nd *cfg.Node) bool {
+	l1, ok1 := a.SingletonPointee(p, e1, nd)
+	l2, ok2 := a.SingletonPointee(p, e2, nd)
+	return ok1 && ok2 && l1.Resolve() == l2.Resolve() && l1.Precise()
+}
+
 // EvalAt evaluates an IR expression to the value set it denotes in PTF
 // p's name space at node nd, read-only (converged state; see file
 // comment).

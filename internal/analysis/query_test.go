@@ -1,0 +1,157 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cfg"
+)
+
+// lineOf returns the 1-based line of the first source line containing
+// marker.
+func lineOf(t *testing.T, src, marker string) int {
+	t.Helper()
+	for i, ln := range strings.Split(src, "\n") {
+		if strings.Contains(ln, marker) {
+			return i + 1
+		}
+	}
+	t.Fatalf("marker %q not in source", marker)
+	return 0
+}
+
+// derefStoreAt finds the assign node on the given line whose destination
+// is a dereference, returning the node and the dereferencing expression
+// (which evaluates to the pointer's targets — the write locations).
+func derefStoreAt(t *testing.T, p *analysis.PTF, line int) (*cfg.Node, *cfg.Expr) {
+	t.Helper()
+	for _, nd := range p.Proc.Nodes {
+		if nd.Kind != cfg.AssignNode || nd.Pos.Line != line || nd.Dst == nil {
+			continue
+		}
+		for _, term := range nd.Dst.Terms {
+			if term.Kind == cfg.TermDeref {
+				return nd, nd.Dst
+			}
+		}
+	}
+	t.Fatalf("no dereferencing store on line %d", line)
+	return nil, nil
+}
+
+// TestSingletonPointee pins the strong-update predicate: a pointer with
+// exactly one non-null target resolves to it; a branch-merged pointer
+// does not.
+func TestSingletonPointee(t *testing.T) {
+	src := `
+int x;
+int y;
+int flag;
+int *p;
+int *q;
+int main(void) {
+    p = &x;
+    q = p;
+    *q = 1;
+    if (flag)
+        p = &y;
+    *p = 2;
+    return 0;
+}`
+	a, _ := run(t, src)
+	m := a.MainPTF()
+
+	nd1, eq := derefStoreAt(t, m, lineOf(t, src, "*q = 1"))
+	loc, ok := a.SingletonPointee(m, eq, nd1)
+	if !ok {
+		t.Fatal("q with a single target not recognized as singleton")
+	}
+	if loc.Base.Name != "x" || loc.Off != 0 {
+		t.Fatalf("SingletonPointee(q) = %v, want x+0", loc)
+	}
+
+	nd2, ep := derefStoreAt(t, m, lineOf(t, src, "*p = 2"))
+	if _, ok := a.SingletonPointee(m, ep, nd2); ok {
+		t.Fatal("branch-merged p recognized as singleton")
+	}
+}
+
+// TestMustAlias pins the must-alias query: two pointers that both must
+// point at the same unique global alias; after one of them is merged
+// over a branch they no longer must-alias.
+func TestMustAlias(t *testing.T) {
+	src := `
+int x;
+int y;
+int flag;
+int *p;
+int *q;
+int main(void) {
+    p = &x;
+    q = p;
+    *q = 1;
+    if (flag)
+        p = &y;
+    *p = 2;
+    return 0;
+}`
+	a, _ := run(t, src)
+	m := a.MainPTF()
+	nd1, eq := derefStoreAt(t, m, lineOf(t, src, "*q = 1"))
+	nd2, ep := derefStoreAt(t, m, lineOf(t, src, "*p = 2"))
+
+	if !a.MustAlias(m, eq, ep, nd1) {
+		t.Error("p and q both pointing at x do not must-alias before the branch")
+	}
+	if a.MustAlias(m, eq, ep, nd2) {
+		t.Error("p merged over a branch still must-aliases q")
+	}
+}
+
+// TestCallEdgesAndBindings pins the call-edge and binding queries the
+// dataflow engine is built on: the main context has one resolved edge to
+// the callee, and the callee's extended parameter for the actual &x is
+// bound to x's storage.
+func TestCallEdgesAndBindings(t *testing.T) {
+	src := `
+int g;
+int x;
+int *gp;
+void callee(int *p) {
+    gp = p;
+    g = *p;
+}
+int main(void) {
+    callee(&x);
+    return 0;
+}`
+	a, _ := run(t, src)
+	m := a.MainPTF()
+	edges := a.CallEdgesOf(m)
+	if len(edges) != 1 {
+		t.Fatalf("CallEdgesOf(main) has %d edges, want 1", len(edges))
+	}
+	e := edges[0]
+	if e.Callee.Proc.Name != "callee" || e.Caller != m {
+		t.Fatalf("unexpected edge %s -> %s", e.Caller.Proc.Name, e.Callee.Proc.Name)
+	}
+	bindings := a.BindingsAt(m, e.Node, e.Callee)
+	if len(bindings) == 0 {
+		t.Fatal("no bindings at the call edge")
+	}
+	foundX := false
+	for param, vals := range bindings {
+		if param == nil {
+			t.Fatal("nil parameter block in bindings")
+		}
+		for _, l := range vals.Locs() {
+			if l.Base.Name == "x" {
+				foundX = true
+			}
+		}
+	}
+	if !foundX {
+		t.Fatalf("no extended parameter bound to x; bindings: %v", bindings)
+	}
+}

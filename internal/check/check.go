@@ -78,6 +78,10 @@ type Options struct {
 	// Checks selects which checkers run (identifiers from All);
 	// nil or empty runs all of them.
 	Checks []string
+	// Passes restricts the run to the named passes (see Passes());
+	// nil or empty runs all of them. Composes with Checks: a check is
+	// enabled when both filters admit it.
+	Passes []string
 	// Workers sets the number of goroutines walking calling contexts.
 	// 0 or 1 runs sequentially. The diagnostics are identical for every
 	// worker count: each context is checked independently and the
@@ -166,10 +170,35 @@ func (c *Ctx) reportProgram(d Diagnostic) {
 // sorted and deduplicated. A check name in opts that is not one of All
 // is an error, so a typo does not silently disable checking.
 func Run(a *analysis.Analysis, opts Options) ([]Diagnostic, error) {
+	// A pass filter narrows the check universe before the check filter
+	// applies; a name unknown to either registry is an error, so a typo
+	// does not silently disable checking.
+	allowed := map[string]bool{}
+	if len(opts.Passes) == 0 {
+		for _, name := range All {
+			allowed[name] = true
+		}
+	} else {
+		byName := map[string]*Pass{}
+		var names []string
+		for _, pass := range Passes() {
+			byName[pass.Name] = pass
+			names = append(names, pass.Name)
+		}
+		for _, name := range opts.Passes {
+			pass, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown pass %q (available: %s)", name, strings.Join(names, ", "))
+			}
+			for _, id := range pass.Checks {
+				allowed[id] = true
+			}
+		}
+	}
 	enabled := map[string]bool{}
 	if len(opts.Checks) == 0 {
-		for _, name := range All {
-			enabled[name] = true
+		for id := range allowed {
+			enabled[id] = true
 		}
 	} else {
 		known := map[string]bool{}
@@ -180,7 +209,9 @@ func Run(a *analysis.Analysis, opts Options) ([]Diagnostic, error) {
 			if !known[name] {
 				return nil, fmt.Errorf("unknown check %q (available: %s)", name, strings.Join(All, ", "))
 			}
-			enabled[name] = true
+			if allowed[name] {
+				enabled[name] = true
+			}
 		}
 	}
 	frees := map[*analysis.PTF][]analysis.FreeSite{}

@@ -67,6 +67,10 @@ func TestSeededBugsFlagged(t *testing.T) {
 		"badcall":      "badcall",
 		"leak":         "leak",
 		"writero":      "writero",
+		"typestate":    "useafterclose",
+		"doubleclose":  "doubleclose",
+		"fileleak":     "fileleak",
+		"taint":        "taintflow",
 	}
 	fixtures := workload.BugFixtures()
 	for fixture, checkID := range want {
@@ -108,6 +112,37 @@ func TestCheckSelection(t *testing.T) {
 	// A typo in the check list is an error, not a silent no-op.
 	if _, err := check.Run(a, check.Options{Checks: []string{"nullderf"}}); err == nil {
 		t.Error("unknown check name accepted")
+	}
+}
+
+// TestPassSelection verifies that Options.Passes restricts the suite to
+// whole passes and rejects unknown pass names.
+func TestPassSelection(t *testing.T) {
+	src := workload.BugFixtures()["typestate"]
+	a := analyze(t, "bug_typestate.c", src)
+	diags := run(t, a, check.Options{Passes: []string{"typestate"}})
+	found := false
+	for _, d := range diags {
+		switch d.Check {
+		case "useafterclose", "doubleclose", "fileleak":
+			found = true
+		default:
+			t.Errorf("check %s ran though only the typestate pass was selected", d.Check)
+		}
+	}
+	if !found {
+		t.Error("typestate pass produced nothing on its own fixture")
+	}
+	// Pass and check filters intersect: selecting the typestate pass but
+	// only the doubleclose check must suppress useafterclose.
+	for _, d := range run(t, a, check.Options{Passes: []string{"typestate"}, Checks: []string{"doubleclose"}}) {
+		if d.Check != "doubleclose" {
+			t.Errorf("check %s survived the pass+check intersection", d.Check)
+		}
+	}
+	// A typo in the pass list is an error, not a silent no-op.
+	if _, err := check.Run(a, check.Options{Passes: []string{"typestat"}}); err == nil {
+		t.Error("unknown pass name accepted")
 	}
 }
 

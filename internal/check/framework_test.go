@@ -109,6 +109,8 @@ func TestRegistry(t *testing.T) {
 	want := []string{
 		"nullderef", "uninitderef", "useafterfree", "doublefree",
 		"localescape", "badcall", "writero", "leak",
+		"useafterclose", "doubleclose", "fileleak",
+		"taintflow", "taintfmt",
 	}
 	if len(check.All) != len(want) {
 		t.Fatalf("All = %v, want %v", check.All, want)

@@ -122,6 +122,18 @@ func init() {
 		Checks:  []string{"leak"},
 		Program: leakProgram,
 	})
+	mustRegister(&Pass{
+		Name:        "typestate",
+		Doc:         "FILE-handle lifecycle (use after fclose, double fclose, handle leak)",
+		Checks:      []string{"useafterclose", "doubleclose", "fileleak"},
+		ContextWalk: typestateWalk,
+	})
+	mustRegister(&Pass{
+		Name:        "taint",
+		Doc:         "untrusted data reaching command or format-string sinks",
+		Checks:      []string{"taintflow", "taintfmt"},
+		ContextWalk: taintWalk,
+	})
 }
 
 // derefWalk checks every pointer dereference of the context. In

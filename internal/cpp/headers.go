@@ -43,9 +43,19 @@ void qsort(void *base, size_t n, size_t sz, int (*cmp)(const void *, const void 
 void *bsearch(const void *key, const void *base, size_t n, size_t sz,
               int (*cmp)(const void *, const void *));
 char *getenv(const char *name);
+int system(const char *cmd);
 #define RAND_MAX 2147483647
 #define EXIT_SUCCESS 0
 #define EXIT_FAILURE 1
+#endif
+`,
+	"unistd.h": `
+#ifndef _UNISTD_H
+#define _UNISTD_H
+int execl(const char *path, const char *arg0, const char *arg1);
+int execlp(const char *file, const char *arg0, const char *arg1);
+int execv(const char *path, char *const argv[]);
+int execvp(const char *file, char *const argv[]);
 #endif
 `,
 	"string.h": `

@@ -42,6 +42,7 @@ const (
 	StageSoundness   = "soundness"           // dynamic fact missing from the PTF solution
 	StageCheckClean  = "check-clean"         // Error-severity diagnostic on a well-defined program
 	StageLeak        = "leak-oracle"         // static leak checker disagrees with observed leaks
+	StageTypestate   = "typestate-oracle"    // static FILE-protocol checker disagrees with observed violations
 	StageBaseline    = "baseline"            // a baseline analysis returned an error
 	StageAndersen    = "lattice-andersen"    // dynamic fact missing from Andersen
 	StageSteensgaard = "lattice-steensgaard" // PTF or Andersen edge missing from Steensgaard
@@ -250,11 +251,16 @@ func CheckProgram(name, src string, opt Options) error {
 	// 2. Checker cleanliness: the program is well-defined (it runs to
 	// completion below), so Error-severity diagnostics are false
 	// positives. Warnings ("may" defects) are expected and allowed.
-	// Leak errors are exempt here — leaking memory is well-defined C, so
-	// a definite leak can coexist with a clean run; the leak rung below
-	// holds those reports to the interpreter's observations instead.
+	// Some checks are exempt here because the behavior they flag is
+	// well-defined C that can coexist with a clean run: leaking memory
+	// ("leak") or FILE handles ("fileleak"), and passing untrusted data
+	// to a command or format sink ("taintflow"/"taintfmt" — a security
+	// property, not a definedness one). The leak and typestate rungs
+	// below hold the resource reports to the interpreter's observations
+	// instead.
+	cleanExempt := map[string]bool{"leak": true, "fileleak": true, "taintflow": true, "taintfmt": true}
 	for _, d := range base.diagList {
-		if d.Sev == check.Error && d.Check != "leak" {
+		if d.Sev == check.Error && !cleanExempt[d.Check] {
 			return fail(StageCheckClean, "error-severity diagnostic on well-defined program: %v (trace %v)", d, d.Trace)
 		}
 	}
@@ -297,6 +303,21 @@ func CheckProgram(name, src string, opt Options) error {
 	// a false positive.
 	if interpRes != nil {
 		if err := checkLeakRung(base.diagList, interpRes, fail); err != nil {
+			return err
+		}
+	}
+
+	// 3c. Typestate rung: the static FILE-protocol checkers against the
+	// interpreter's stream census. Every dynamically observed protocol
+	// violation (use or fclose of a closed stream) must be reported at
+	// its site by useafterclose/doubleclose (at any severity), and every
+	// handle still open at exit must be reported at its fopen site by
+	// fileleak. In the reverse direction an Error-severity fileleak at a
+	// site whose handles were all opened and closed is a false positive
+	// (mirroring the leak rung; an Error at a site that never opened is a
+	// definite leak conditional on the open executing, which is allowed).
+	if interpRes != nil {
+		if err := checkTypestateRung(base.diagList, interpRes, fail); err != nil {
 			return err
 		}
 	}
@@ -376,6 +397,46 @@ func checkLeakRung(diags []check.Diagnostic, res *interp.Result, fail func(stage
 	for pos, sev := range static {
 		if sev == check.Error && allocated[pos] && !leaked[pos] {
 			return fail(StageLeak, "leak checker reports a definite leak at %s, but the run allocated there and did not leak", pos)
+		}
+	}
+	return nil
+}
+
+// checkTypestateRung cross-checks the static FILE-protocol diagnostics
+// against the interpreter's stream census (see CheckProgram step 3c).
+func checkTypestateRung(diags []check.Diagnostic, res *interp.Result, fail func(stage, format string, args ...any) error) error {
+	misuse := map[string]bool{}         // useafterclose/doubleclose positions, any severity
+	leak := map[string]check.Severity{} // fileleak fopen sites, worst severity
+	for _, d := range diags {
+		switch d.Check {
+		case "useafterclose", "doubleclose":
+			misuse[d.Pos.String()] = true
+		case "fileleak":
+			pos := d.Pos.String()
+			if sev, ok := leak[pos]; !ok || d.Sev > sev {
+				leak[pos] = d.Sev
+			}
+		}
+	}
+	for _, pos := range res.FileViolations {
+		if !misuse[pos] {
+			return fail(StageTypestate, "stream operation on a closed FILE observed at %s but the typestate checker is silent about the site", pos)
+		}
+	}
+	stillOpen := map[string]bool{}
+	for _, site := range res.OpenAtExit {
+		stillOpen[site] = true
+		if _, ok := leak[site]; !ok {
+			return fail(StageTypestate, "FILE opened at %s was still open at exit but fileleak is silent about the site", site)
+		}
+	}
+	opened := map[string]bool{}
+	for _, site := range res.OpenSites {
+		opened[site] = true
+	}
+	for pos, sev := range leak {
+		if sev == check.Error && opened[pos] && !stillOpen[pos] {
+			return fail(StageTypestate, "fileleak reports a definite leak at %s, but the run opened there and closed every handle", pos)
 		}
 	}
 	return nil

@@ -5,6 +5,9 @@ import (
 	"strings"
 	"testing"
 
+	"wlpa/internal/check"
+	"wlpa/internal/ctok"
+	"wlpa/internal/interp"
 	"wlpa/internal/workload"
 )
 
@@ -141,6 +144,104 @@ func TestCollapsedSolutionExceedsAndersen(t *testing.T) {
 	// The full oracle — which omits that edge by design — must pass.
 	if err := CheckProgram("andersen_gap.c", src, Options{Workers: []int{2}}); err != nil {
 		t.Fatalf("oracle fails on the pinned witness: %v", err)
+	}
+}
+
+// TestOracleOnFilePrograms runs the full lattice over hand-written
+// FILE-protocol programs: a balanced open/use/close chain (every rung
+// must hold with zero violations observed) and a deliberate handle
+// leak (the static fileleak report and the dynamic open-at-exit census
+// must agree, so the typestate rung passes rather than flagging a
+// false positive or a soundness hole).
+func TestOracleOnFilePrograms(t *testing.T) {
+	progs := map[string]string{
+		"balanced": `
+#include <stdio.h>
+int main(void) {
+    FILE *f = fopen("t.tmp", "w");
+    if (f) {
+        fputc('a', f);
+        fclose(f);
+    }
+    return 0;
+}`,
+		"handle_leak": `
+#include <stdio.h>
+int main(void) {
+    FILE *f = fopen("t.tmp", "w");
+    if (f)
+        fputc('a', f);
+    return 0;
+}`,
+	}
+	for name, src := range progs {
+		name, src := name, src
+		t.Run(name, func(t *testing.T) {
+			if err := CheckProgram(name+".c", src, Options{Workers: []int{2}}); err != nil {
+				t.Fatalf("%v", err)
+			}
+		})
+	}
+}
+
+// TestTypestateRung exercises the rung's four verdicts directly on
+// synthetic diagnostics and interpreter censuses.
+func TestTypestateRung(t *testing.T) {
+	pos := ctok.Pos{File: "x.c", Line: 4, Col: 5}
+	diag := func(id string, sev check.Severity) check.Diagnostic {
+		return check.Diagnostic{Check: id, Sev: sev, Pos: pos}
+	}
+	fail := func(stage, format string, _ ...any) error {
+		return &Failure{Stage: stage, Detail: format}
+	}
+	cases := []struct {
+		name  string
+		diags []check.Diagnostic
+		res   interp.Result
+		want  string // expected failing stage, "" = rung holds
+	}{
+		{name: "clean", res: interp.Result{}},
+		{name: "violation-reported",
+			diags: []check.Diagnostic{diag("useafterclose", check.Warning)},
+			res:   interp.Result{FileViolations: []string{pos.String()}}},
+		{name: "violation-missed",
+			res:  interp.Result{FileViolations: []string{pos.String()}},
+			want: StageTypestate},
+		{name: "open-at-exit-reported",
+			diags: []check.Diagnostic{diag("fileleak", check.Error)},
+			res:   interp.Result{OpenSites: []string{pos.String()}, OpenAtExit: []string{pos.String()}}},
+		{name: "open-at-exit-missed",
+			res:  interp.Result{OpenSites: []string{pos.String()}, OpenAtExit: []string{pos.String()}},
+			want: StageTypestate},
+		{name: "fileleak-false-positive",
+			diags: []check.Diagnostic{diag("fileleak", check.Error)},
+			res:   interp.Result{OpenSites: []string{pos.String()}},
+			want:  StageTypestate},
+		{name: "fileleak-conditional-ok",
+			// Error at a site the run never opened: a definite leak
+			// conditional on the open executing — allowed.
+			diags: []check.Diagnostic{diag("fileleak", check.Error)},
+			res:   interp.Result{}},
+		{name: "fileleak-warning-ok",
+			// A may-leak warning at a closed site is not held against
+			// the checker.
+			diags: []check.Diagnostic{diag("fileleak", check.Warning)},
+			res:   interp.Result{OpenSites: []string{pos.String()}}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkTypestateRung(tc.diags, &tc.res, fail)
+			switch {
+			case tc.want == "" && err != nil:
+				t.Fatalf("rung failed: %v", err)
+			case tc.want != "":
+				fl, ok := err.(*Failure)
+				if !ok || fl.Stage != tc.want {
+					t.Fatalf("want %s failure, got %v", tc.want, err)
+				}
+			}
+		})
 	}
 }
 

@@ -62,6 +62,18 @@ type Result struct {
 	// and unreachable from globals and string literals at program exit.
 	AllocSites []string
 	LeakSites  []string
+
+	// FileViolations lists the source positions of dynamic FILE-
+	// protocol violations (a stream operation on an already-closed
+	// handle, including a second fclose), sorted and deduplicated. The
+	// operations themselves proceed benignly — the typestate oracle
+	// observes, it does not fault.
+	FileViolations []string
+	// OpenSites lists the static positions of every executed fopen,
+	// sorted and deduplicated. OpenAtExit is the subset whose handles
+	// were still open when the program exited.
+	OpenSites  []string
+	OpenAtExit []string
 }
 
 // Error is a runtime error (uninitialized dereference, step overrun...).
@@ -103,10 +115,11 @@ type Interp struct {
 	loops    map[string]*LoopStat
 	loopPosM map[string]ctok.Pos
 
-	files  map[*Object]*fileState
-	fsIn   map[string]string
-	depth  int
-	tokCur Pointer // strtok cursor
+	files    map[*Object]*fileState
+	fileViol map[string]bool
+	fsIn     map[string]string
+	depth    int
+	tokCur   Pointer // strtok cursor
 
 	// heapAll registers every heap object ever allocated, for the leak
 	// scan at program exit.
@@ -244,8 +257,46 @@ func (in *Interp) result(code int) *Result {
 		}
 		return a.Target < b.Target
 	})
+	for pos := range in.fileViol {
+		r.FileViolations = append(r.FileViolations, pos)
+	}
+	sort.Strings(r.FileViolations)
+	opened := map[string]bool{}
+	open := map[string]bool{}
+	for obj, st := range in.files {
+		site := strings.TrimPrefix(obj.Name, "heap@")
+		opened[site] = true
+		if st.open {
+			open[site] = true
+		}
+	}
+	for site := range opened {
+		r.OpenSites = append(r.OpenSites, site)
+	}
+	sort.Strings(r.OpenSites)
+	for site := range open {
+		r.OpenAtExit = append(r.OpenAtExit, site)
+	}
+	sort.Strings(r.OpenAtExit)
 	in.leakScan(r)
 	return r
+}
+
+// fileViolation records one dynamic FILE-protocol violation (a second
+// fclose, or a stream operation after fclose) at the call's position.
+func (in *Interp) fileViolation(e *cast.Call) {
+	if in.fileViol == nil {
+		in.fileViol = map[string]bool{}
+	}
+	in.fileViol[e.Pos.String()] = true
+}
+
+// fileUse records a violation when a stream operation hits a handle
+// that has already been closed.
+func (in *Interp) fileUse(e *cast.Call, st *fileState) {
+	if !st.open {
+		in.fileViolation(e)
+	}
 }
 
 // leakScan classifies every heap allocation at program exit: an object

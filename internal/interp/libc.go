@@ -118,6 +118,15 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 		return IntVal(0)
 	case "getenv":
 		return NullPtr()
+	case "system":
+		// No command is actually run; reading the string checks the
+		// pointer the way a real call would.
+		_ = in.readCString(e, in.ptrArg(e, args, 0))
+		return IntVal(0)
+	case "execl", "execlp", "execv", "execvp":
+		// A successful exec never returns; the model always fails.
+		_ = in.readCString(e, in.ptrArg(e, args, 0))
+		return IntVal(-1)
 
 	// ---- memory ----
 	case "memcpy", "memmove":
@@ -269,6 +278,7 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 		s := in.formatPrintf(e, args, 1)
 		f := in.ptrArg(e, args, 0)
 		if st, ok := in.files[f.Obj]; ok {
+			in.fileUse(e, st)
 			st.out.WriteString(s)
 		} else {
 			in.stdout.WriteString(s)
@@ -283,6 +293,7 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 		if name != "putchar" && len(args) > 1 {
 			if f := in.ptrArg(e, args, 1); f.Obj != nil {
 				if st, ok := in.files[f.Obj]; ok {
+					in.fileUse(e, st)
 					st.out.WriteByte(ch)
 					return args[0]
 				}
@@ -299,6 +310,9 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 	case "fclose":
 		p := in.ptrArg(e, args, 0)
 		if st, ok := in.files[p.Obj]; ok {
+			if !st.open {
+				in.fileViolation(e)
+			}
 			st.open = false
 		}
 		return IntVal(0)
@@ -306,18 +320,24 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 		return IntVal(0)
 	case "fgetc", "getc":
 		p := in.ptrArg(e, args, 0)
-		if st, ok := in.files[p.Obj]; ok && st.pos < len(st.data) {
-			c := st.data[st.pos]
-			st.pos++
-			return IntVal(int64(c))
+		if st, ok := in.files[p.Obj]; ok {
+			in.fileUse(e, st)
+			if st.pos < len(st.data) {
+				c := st.data[st.pos]
+				st.pos++
+				return IntVal(int64(c))
+			}
 		}
 		return IntVal(-1) // EOF
 	case "getchar":
 		return IntVal(-1)
 	case "ungetc":
 		p := in.ptrArg(e, args, 1)
-		if st, ok := in.files[p.Obj]; ok && st.pos > 0 {
-			st.pos--
+		if st, ok := in.files[p.Obj]; ok {
+			in.fileUse(e, st)
+			if st.pos > 0 {
+				st.pos--
+			}
 		}
 		return args[0]
 	case "fgets":
@@ -325,7 +345,11 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 		n := args[1].AsInt()
 		fp := in.ptrArg(e, args, 2)
 		st, ok := in.files[fp.Obj]
-		if !ok || st.pos >= len(st.data) {
+		if !ok {
+			return NullPtr()
+		}
+		in.fileUse(e, st)
+		if st.pos >= len(st.data) {
 			return NullPtr()
 		}
 		var line []byte
@@ -347,6 +371,7 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 		if !ok {
 			return IntVal(0)
 		}
+		in.fileUse(e, st)
 		want := sz * cnt
 		got := int64(0)
 		for got < want && st.pos < len(st.data) {
@@ -364,6 +389,7 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 	case "feof":
 		p := in.ptrArg(e, args, 0)
 		if st, ok := in.files[p.Obj]; ok {
+			in.fileUse(e, st)
 			return boolVal(st.pos >= len(st.data))
 		}
 		return IntVal(1)
@@ -372,6 +398,7 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 	case "fseek":
 		p := in.ptrArg(e, args, 0)
 		if st, ok := in.files[p.Obj]; ok {
+			in.fileUse(e, st)
 			off := args[1].AsInt()
 			switch args[2].AsInt() {
 			case 0:
@@ -389,12 +416,14 @@ func (in *Interp) builtin(e *cast.Call, name string, args []Value, fr *frame) Va
 	case "ftell":
 		p := in.ptrArg(e, args, 0)
 		if st, ok := in.files[p.Obj]; ok {
+			in.fileUse(e, st)
 			return IntVal(int64(st.pos))
 		}
 		return IntVal(0)
 	case "rewind":
 		p := in.ptrArg(e, args, 0)
 		if st, ok := in.files[p.Obj]; ok {
+			in.fileUse(e, st)
 			st.pos = 0
 		}
 		return IntVal(0)

@@ -111,6 +111,10 @@ func Summaries() map[string]analysis.LibSummary {
 	m["rand"] = m["atoi"]
 	m["srand"] = m["atoi"]
 	m["getenv"] = func(c analysis.LibCall) { c.Return(c.Heap()) }
+	m["system"] = func(c analysis.LibCall) {}
+	for _, name := range []string{"execl", "execlp", "execv", "execvp"} {
+		m[name] = func(c analysis.LibCall) {}
+	}
 	m["qsort"] = func(c analysis.LibCall) {
 		// qsort permutes elements within the array (pointer elements
 		// move between positions — already modeled by strided
@@ -208,6 +212,11 @@ func Effects() map[string]analysis.LibEffect {
 	e["atol"] = e["atoi"]
 	e["atof"] = e["atoi"]
 	e["getenv"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["system"] = analysis.LibEffect{RefArgs: []int{0}}
+	e["execl"] = analysis.LibEffect{RefAll: true}
+	e["execlp"] = e["execl"]
+	e["execv"] = e["execl"]
+	e["execvp"] = e["execl"]
 	e["qsort"] = analysis.LibEffect{ModArgs: []int{0}, RefArgs: []int{0}}
 	e["bsearch"] = analysis.LibEffect{RefArgs: []int{0, 1}}
 	e["_assert_fail"] = analysis.LibEffect{RefAll: true}

@@ -1,0 +1,139 @@
+package libsum
+
+// This file declares the client-analysis annotations layered on top of
+// the pointer summaries: a typestate protocol for resource lifecycles
+// and a taint specification for untrusted-data flows. The tables are
+// purely declarative — internal/check's dataflow clients interpret them
+// — so extending a checker to a new library function is a table edit,
+// not engine code.
+
+// Transition is one state-changing call of a Protocol: the call's Arg
+// carries the resource, which moves From one state To another. Calling
+// it on a resource already past the transition (state == To only) is
+// the protocol violation the checker reports.
+type Transition struct {
+	Arg  int
+	From int
+	To   int
+}
+
+// Protocol declares a finite-state resource lifecycle over library
+// calls. States are indexed 0..7 (they become dataflow lattice bits).
+type Protocol struct {
+	// Name tags diagnostics ("FILE").
+	Name string
+	// States names the lifecycle states, by index.
+	States []string
+	// Init is the state a fresh resource starts in.
+	Init int
+	// Sources are the functions whose return value is a fresh resource
+	// (each must be an allocator the points-to analysis models with a
+	// heap block, e.g. fopen).
+	Sources []string
+	// Trans maps state-changing functions to their transition.
+	Trans map[string]Transition
+	// Uses maps resource-consuming functions to the argument index of
+	// the resource; using a resource in the Bad state is a violation.
+	Uses map[string]int
+	// Bad is the state in which a use or repeated transition is a
+	// defect (e.g. Closed).
+	Bad int
+	// EndBad is the state that is a defect when main exits (e.g. still
+	// Opened — a leaked handle).
+	EndBad int
+}
+
+// FileProtocol returns the FILE-handle lifecycle: fopen opens, fclose
+// closes, the stream functions use; closing twice, using after close,
+// and exiting with an open handle are defects.
+func FileProtocol() *Protocol {
+	const (
+		opened = 0
+		closed = 1
+	)
+	return &Protocol{
+		Name:    "FILE",
+		States:  []string{"open", "closed"},
+		Init:    opened,
+		Sources: []string{"fopen"},
+		Trans: map[string]Transition{
+			"fclose": {Arg: 0, From: opened, To: closed},
+		},
+		Uses: map[string]int{
+			"fgetc": 0, "getc": 0, "ungetc": 1, "fgets": 2,
+			"fputc": 1, "putc": 1, "fputs": 1, "fprintf": 0,
+			"fread": 3, "fwrite": 3, "fseek": 0, "ftell": 0,
+			"rewind": 0, "feof": 0, "ferror": 0, "fflush": 0,
+			"fscanf": 0,
+		},
+		Bad:    closed,
+		EndBad: opened,
+	}
+}
+
+// TaintCopy declares taint propagation of one library call: the Src
+// argument's pointee taints the Dst argument's pointee. Src == -1 means
+// every argument after Dst (variadic formatters).
+type TaintCopy struct {
+	Dst int
+	Src int
+}
+
+// TaintSpec declares sources, propagation, sinks, and sanitizers of the
+// taint checker.
+type TaintSpec struct {
+	// RetSources return a pointer to untrusted data (modeled as a
+	// fresh heap block: getenv).
+	RetSources []string
+	// ArgSources write untrusted data through the listed argument
+	// pointees (fgets, gets, fread, scanf-family data args).
+	ArgSources map[string][]int
+	// Copies propagate taint between argument pointees (strcpy & co).
+	Copies map[string][]TaintCopy
+	// RetCopies return fresh storage carrying the taint of the listed
+	// argument's pointee (strdup).
+	RetCopies map[string]int
+	// ExecSinks hand the listed argument's pointee to a command
+	// interpreter; tainted data reaching one is the taintflow defect.
+	ExecSinks map[string]int
+	// FmtSinks interpret the listed argument's pointee as a format
+	// string; tainted data reaching one is the taintfmt defect.
+	FmtSinks map[string]int
+	// Sanitizers overwrite the listed argument pointees with trusted
+	// data (strong-cleansed when the target resolves uniquely).
+	Sanitizers map[string][]int
+}
+
+// Taint returns the default taint specification: environment and input
+// functions are sources, command execution and format strings are
+// sinks, the string/memory copiers propagate, memset sanitizes.
+func Taint() *TaintSpec {
+	return &TaintSpec{
+		RetSources: []string{"getenv"},
+		ArgSources: map[string][]int{
+			"fgets": {0}, "gets": {0}, "fread": {0},
+			"scanf": {1, 2, 3, 4, 5}, "fscanf": {2, 3, 4, 5, 6},
+		},
+		Copies: map[string][]TaintCopy{
+			"strcpy":  {{Dst: 0, Src: 1}},
+			"strncpy": {{Dst: 0, Src: 1}},
+			"strcat":  {{Dst: 0, Src: 1}},
+			"strncat": {{Dst: 0, Src: 1}},
+			"memcpy":  {{Dst: 0, Src: 1}},
+			"memmove": {{Dst: 0, Src: 1}},
+			"sprintf": {{Dst: 0, Src: -1}},
+			"sscanf":  {{Dst: 1, Src: 0}, {Dst: 2, Src: 0}, {Dst: 3, Src: 0}, {Dst: 4, Src: 0}},
+		},
+		// (strchr/strtok & co return pointers INTO their argument; the
+		// points-to layer already aliases those, no copy rule needed.)
+		RetCopies: map[string]int{"strdup": 0},
+		ExecSinks: map[string]int{
+			"system": 0, "popen": 0,
+			"execl": 0, "execlp": 0, "execv": 0, "execvp": 0,
+		},
+		FmtSinks: map[string]int{
+			"printf": 0, "fprintf": 1, "sprintf": 1, "scanf": 0, "fscanf": 1,
+		},
+		Sanitizers: map[string][]int{"memset": {0}},
+	}
+}

@@ -48,14 +48,26 @@ const (
 	// the lost object (Result.LeakSites) and the static leak checker
 	// must report it (the difftest leak rung cross-checks the two).
 	FeatLeak
+	// FeatTypestate emits balanced FILE chains (fopen, null guard, a
+	// stream use — sometimes through a helper — then fclose). Every
+	// chain respects the FILE protocol, so the typestate checkers must
+	// stay quiet and the difftest typestate rung holds the static
+	// reports to the interpreter's stream census.
+	FeatTypestate
+	// FeatTaint reads an environment variable and, under a null guard,
+	// hands it to system(). The taint checker reports the flow
+	// (taintflow is a security finding on a well-defined program, so
+	// the check-clean stage exempts it); the interpreter models getenv
+	// as NULL, so the sink never executes.
+	FeatTaint
 
-	numFeatures = 12
+	numFeatures = 14
 )
 
 var featureNames = [numFeatures]string{
 	"heap", "structs", "funcptrs", "recursion", "multiptr", "ptrreturn",
 	"outparam", "funcptrfield", "nestedstruct", "free", "addrlocal",
-	"leak",
+	"leak", "typestate", "taint",
 }
 
 // AllFeatures returns the mask with every feature enabled.
@@ -155,10 +167,11 @@ type generator struct {
 	ppptrs  []string // int *** globals (point at an int ** global)
 	funcs   []string // generated function names (callable)
 
-	pickers []string // pointer-returning helper names: int *pickN(int k)
-	makers  []string // out-parameter helper names: void mkN(int **out, int k)
-	haveSel bool     // int *sel(int *a, int *b, int k) emitted
-	haveVt  bool     // struct vtab global vt0 emitted
+	pickers  []string // pointer-returning helper names: int *pickN(int k)
+	makers   []string // out-parameter helper names: void mkN(int **out, int k)
+	haveSel  bool     // int *sel(int *a, int *b, int k) emitted
+	haveVt   bool     // struct vtab global vt0 emitted
+	haveFuse bool     // void fuse0(FILE *f) stream-use helper emitted
 
 	gensym int // unique suffix for block-local names
 
@@ -194,7 +207,10 @@ func (g *generator) w(format string, args ...any) {
 
 func (g *generator) emitHeader() {
 	g.w("/* generated: seed=%d features=%s */", g.cfg.Seed, g.feat)
-	if g.has(FeatHeap | FeatFree | FeatLeak) {
+	if g.has(FeatTypestate) {
+		g.w("#include <stdio.h>")
+	}
+	if g.has(FeatHeap | FeatFree | FeatLeak | FeatTaint) {
 		g.w("#include <stdlib.h>")
 	}
 	g.w("")
@@ -287,7 +303,7 @@ func (g *generator) sym(prefix string) string {
 // struct pointer fields and vt0 are initialized in main's prologue
 // before any generated statement runs.
 func (g *generator) stmt(depth int) {
-	const numKinds = 23
+	const numKinds = 25
 	switch g.r.Intn(numKinds) {
 	case 0: // p = &target
 		g.w("%s = %s;", g.ptr(), g.target())
@@ -456,6 +472,26 @@ func (g *generator) stmt(depth int) {
 			return
 		}
 		g.w("tick++;")
+	case 22: // balanced FILE chain: open, guarded use, close
+		if g.has(FeatTypestate) {
+			fh := g.sym("fs")
+			use := fmt.Sprintf("fputc(tick & 127, %s);", fh)
+			if g.haveFuse && g.r.Intn(2) == 0 {
+				// Route the stream use through the helper so the
+				// typestate engine crosses a call boundary.
+				use = fmt.Sprintf("fuse0(%s);", fh)
+			}
+			g.w("{ FILE *%[1]s = fopen(\"wl.tmp\", \"w\"); if (%[1]s) { %[2]s fclose(%[1]s); } }", fh, use)
+			return
+		}
+		g.w("tick++;")
+	case 23: // guarded environment read flowing to a command sink
+		if g.has(FeatTaint) {
+			ev := g.sym("ev")
+			g.w("{ char *%[1]s = getenv(\"WL_CMD\"); if (%[1]s) { system(%[1]s); } }", ev)
+			return
+		}
+		g.w("tick++;")
 	default:
 		g.w("tick += %d;", g.r.Intn(10))
 	}
@@ -503,12 +539,31 @@ func (g *generator) emitFeatureFloor() {
 		h := g.sym("lk")
 		g.w("{ int *%[1]s = (int *)malloc(sizeof(int) * 2); *%[1]s = tick; tick += *%[1]s; }", h)
 	}
+	if g.has(FeatTypestate) {
+		fh := g.sym("fs")
+		g.w("{ FILE *%[1]s = fopen(\"wl.tmp\", \"w\"); if (%[1]s) { fuse0(%[1]s); fclose(%[1]s); } }", fh)
+	}
+	if g.has(FeatTaint) {
+		ev := g.sym("ev")
+		g.w("{ char *%[1]s = getenv(\"WL_CMD\"); if (%[1]s) { system(%[1]s); } }", ev)
+	}
 }
 
 // emitHelpers declares the feature helper functions referenced by the
 // statement soup. They come before the generated f-functions so every
 // call site sees its callee already declared.
 func (g *generator) emitHelpers() {
+	if g.has(FeatTypestate) {
+		// A stream user one call away from the open/close pair, so the
+		// FILE handle's state has to survive a summary application.
+		g.w("void fuse0(FILE *f) {")
+		g.indent++
+		g.w("fputc(tick & 127, f);")
+		g.indent--
+		g.w("}")
+		g.w("")
+		g.haveFuse = true
+	}
 	if g.has(FeatAddrLocal) {
 		// Read-and-write users of an address-taken local. The pointer
 		// never escapes the chain, so the local stays valid for every

@@ -24,6 +24,8 @@ var featureMarkers = map[Feature][]string{
 	FeatFree:         {"free("},
 	FeatAddrLocal:    {"void chain1(int *v)", "chain1(&"},
 	FeatLeak:         {"int *lk"},
+	FeatTypestate:    {"void fuse0(FILE *f)", "fopen(", "fclose("},
+	FeatTaint:        {"getenv(", "system("},
 }
 
 // TestGeneratorFeatures checks, per feature bit over many seeds, that

@@ -1,0 +1,17 @@
+/* Seeded bug: the same FILE handle, reached through a pointer copy, is
+ * closed twice.
+ * Expected: wlcheck reports doubleclose (error) at the second fclose. */
+
+#include <stdio.h>
+
+int main(void)
+{
+    FILE *f = fopen("in.txt", "r");
+    FILE *g;
+    if (!f)
+        return 1;
+    g = f;
+    fclose(f);
+    fclose(g);
+    return 0;
+}

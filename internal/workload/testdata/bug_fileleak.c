@@ -1,0 +1,19 @@
+/* Seeded bug: a FILE handle opened in a helper is never closed before
+ * main returns.
+ * Expected: wlcheck reports fileleak (error) at the fopen. */
+
+#include <stdio.h>
+
+FILE *openlog(void)
+{
+    return fopen("log.txt", "w");
+}
+
+int main(void)
+{
+    FILE *f = openlog();
+    if (!f)
+        return 1;
+    fputc('x', f);
+    return 0;
+}

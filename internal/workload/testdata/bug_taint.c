@@ -1,0 +1,25 @@
+/* Seeded bug: an environment variable (attacker-controlled) is copied
+ * through a buffer in a helper and handed to system().
+ * Expected: wlcheck reports taintflow (error) at the system call. */
+
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+char cmd[64];
+
+void build(const char *name)
+{
+    strcpy(cmd, "echo ");
+    strcat(cmd, name);
+}
+
+int main(void)
+{
+    char *e = getenv("USER_CMD");
+    if (!e)
+        return 1;
+    build(e);
+    system(cmd);
+    return 0;
+}

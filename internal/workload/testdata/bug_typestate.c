@@ -1,0 +1,20 @@
+/* Seeded bug: a FILE handle is read after it has been closed; the
+ * close happens in the caller, the use in a helper, so the defect is
+ * only visible to a context-sensitive typestate walk.
+ * Expected: wlcheck reports useafterclose (error) at the fgetc. */
+
+#include <stdio.h>
+
+int rd(FILE *f)
+{
+    return fgetc(f);
+}
+
+int main(void)
+{
+    FILE *f = fopen("in.txt", "r");
+    if (!f)
+        return 1;
+    fclose(f);
+    return rd(f);
+}

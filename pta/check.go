@@ -29,11 +29,33 @@ const (
 // CheckOptions.Checks.
 var AllChecks = check.All
 
+// PassInfo describes one registered checker pass.
+type PassInfo struct {
+	// Name selects the pass via CheckOptions.Passes.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Checks lists the check identifiers the pass may report.
+	Checks []string
+}
+
+// AllPasses lists the registered checker passes in registration order.
+func AllPasses() []PassInfo {
+	var out []PassInfo
+	for _, p := range check.Passes() {
+		out = append(out, PassInfo{Name: p.Name, Doc: p.Doc, Checks: append([]string(nil), p.Checks...)})
+	}
+	return out
+}
+
 // CheckOptions configure Result.Check.
 type CheckOptions struct {
 	// Checks selects which checkers run (identifiers from AllChecks);
 	// nil or empty runs all of them.
 	Checks []string
+	// Passes restricts the run to the named passes (see AllPasses);
+	// nil or empty runs all of them. Composes with Checks.
+	Passes []string
 	// Workers sets the number of goroutines walking calling contexts;
 	// the diagnostics are identical at every worker count.
 	Workers int
@@ -59,7 +81,7 @@ func (r *Result) Check(opts *CheckOptions) ([]Diagnostic, error) {
 	if err := an.Run(); err != nil {
 		return nil, err
 	}
-	return check.Run(an, check.Options{Checks: opts.Checks, Workers: opts.Workers})
+	return check.Run(an, check.Options{Checks: opts.Checks, Passes: opts.Passes, Workers: opts.Workers})
 }
 
 // ModRef returns the context-collapsed MOD and REF summary of the named
