@@ -12,6 +12,7 @@ package wlpa_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"wlpa/internal/analysis"
@@ -55,6 +56,9 @@ func BenchmarkTable2(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				// Retire the setup garbage now so the timed region pays
+				// only for collections its own allocation provokes.
+				runtime.GC()
 				b.StartTimer()
 				if err := an.Run(); err != nil {
 					b.Fatal(err)
@@ -102,34 +106,29 @@ func BenchmarkTable3(b *testing.B) {
 }
 
 // BenchmarkWorkerScaling measures the parallel pre-drain scheduler at
-// increasing worker counts, over three Table 2 programs and a synthetic
-// fan-out program (see fanOutSource) shaped so independent drains
-// actually batch. On a single-CPU host the worker counts above 1 only
-// measure scheduling overhead — record the numbers with that caveat.
+// increasing worker counts over the worker-scaling job list (the
+// workload.FanOutShapes fan-out programs — wide/shallow through
+// narrow/deep — plus the three largest Table 2 programs; the same list
+// `ptabench -scalingjson` records into BENCH_workerscaling.json). The
+// fan-out shapes are built so independent drains actually batch. On a
+// single-CPU host the worker counts above 1 only measure scheduling
+// overhead — record the numbers with that caveat.
 func BenchmarkWorkerScaling(b *testing.B) {
-	type job struct{ name, src string }
-	jobs := []job{{"fanout32", fanOutSource(32)}}
-	for _, name := range []string{"loader", "football", "compiler"} {
-		wb, ok := workload.ByName(name)
-		if !ok {
-			b.Fatalf("missing %s", name)
-		}
-		jobs = append(jobs, job{name, wb.Source})
-	}
-	for _, j := range jobs {
+	for _, j := range bench.ScalingWorkloads() {
 		for _, w := range []int{1, 2, 4, 8} {
 			j, w := j, w
-			b.Run(fmt.Sprintf("%s/workers=%d", j.name, w), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/workers=%d", j.Name, w), func(b *testing.B) {
 				var epochs int
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
-					prog := mustProgram(b, j.name, j.src)
+					prog := mustProgram(b, j.Name, j.Source)
 					an, err := analysis.New(prog, analysis.Options{
 						Lib: libsum.Summaries(), Workers: w,
 					})
 					if err != nil {
 						b.Fatal(err)
 					}
+					runtime.GC()
 					b.StartTimer()
 					if err := an.Run(); err != nil {
 						b.Fatal(err)

@@ -8,7 +8,13 @@
 //	cgen [-seed N] [-funcs N] [-stmts N] > prog.c
 //	cgen -features heap,multiptr,free -seed 7 > prog.c
 //	cgen -features all -seed 7 -check
+//	cgen -fanout 16 -fandepth 2 > fanout.c
 //	cgen -minimize prog.c
+//
+// -fanout emits the deterministic wide fan-out call-graph shape the
+// worker-scaling benchmark measures (breadth independent callee cones,
+// each -fandepth calls deep); it composes with -check but ignores the
+// random-generator flags.
 //
 // -check runs the differential oracle (engine equivalence, checker
 // cleanliness, interpreter soundness, baseline lattice) over the
@@ -34,6 +40,8 @@ func main() {
 		funcs    = flag.Int("funcs", 4, "number of generated functions")
 		stmts    = flag.Int("stmts", 8, "statements per function")
 		features = flag.String("features", "", "comma-separated generator features (or \"all\"); empty selects the legacy default set")
+		fanout   = flag.Int("fanout", 0, "emit a deterministic fan-out call-graph shape with this breadth instead of a random program")
+		fandepth = flag.Int("fandepth", 1, "callee-chain depth of each fan-out cone (with -fanout)")
 		check    = flag.Bool("check", false, "run the differential oracle over the generated program instead of printing it")
 		minimize = flag.String("minimize", "", "reduce the failing program in this file and print the result")
 	)
@@ -59,6 +67,20 @@ func main() {
 			fmt.Fprintf(os.Stderr, "reproducer stored at %s\n", path)
 		}
 		fmt.Print(reduced)
+		return
+	}
+
+	if *fanout > 0 {
+		name := fmt.Sprintf("fanout(%dx%d)", *fanout, *fandepth)
+		src := workload.FanOut(*fanout, *fandepth)
+		if !*check {
+			fmt.Print(src)
+			return
+		}
+		if err := difftest.CheckProgram(name, src, difftest.Options{}); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("%s: all oracle properties hold\n", name)
 		return
 	}
 

@@ -5,7 +5,14 @@
 // Usage:
 //
 //	ptabench [-table2] [-invoke] [-ablation benchmark] [-workers n]
-//	         [-json file] [-cpuprofile file] [-memprofile file]
+//	         [-json file] [-scalingjson file]
+//	         [-cpuprofile file] [-memprofile file]
+//
+// -json writes the Table 2 suite measurements (BENCH_ptabench.json);
+// -scalingjson writes worker-scaling measurements over the fan-out
+// shapes and the largest suite programs at 1/2/4/8 workers
+// (BENCH_workerscaling.json). Both take the fastest of three runs per
+// cell.
 package main
 
 import (
@@ -24,6 +31,7 @@ func main() {
 		invokeC    = flag.Bool("invoke", true, "run the invocation-graph comparison")
 		ablation   = flag.String("ablation", "eqntott", "benchmark for the reuse-policy ablation (empty to skip)")
 		jsonOut    = flag.String("json", "", "write per-workload measurements (ns/op, allocs/op, PTFs/proc, engine, workers) to this file")
+		scalingOut = flag.String("scalingjson", "", "write worker-scaling measurements over the fan-out shapes to this file")
 		workers    = flag.Int("workers", 1, "analysis worker-pool size for -json runs (0 = GOMAXPROCS, 1 = sequential)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -63,6 +71,11 @@ func main() {
 	}
 	if *jsonOut != "" {
 		if err := bench.WriteJSON(*jsonOut, *workers); err != nil {
+			fatal(err)
+		}
+	}
+	if *scalingOut != "" {
+		if err := bench.WriteWorkerScalingJSON(*scalingOut, []int{1, 2, 4, 8}); err != nil {
 			fatal(err)
 		}
 	}

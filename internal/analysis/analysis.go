@@ -181,6 +181,10 @@ type Stats struct {
 	// WorkerBusy records, per worker, the wall-clock time spent
 	// evaluating work items (nil when the scheduler never ran).
 	WorkerBusy []time.Duration
+	// DenseRows counts stored points-to rows that grew the dense
+	// bitset index (rows at or past memmod.DenseThreshold members) —
+	// observability for the hybrid sparse/dense representation.
+	DenseRows int
 }
 
 // AvgPTFs returns the average number of PTFs per analyzed procedure.
@@ -236,7 +240,7 @@ type PTF struct {
 	Pts  *ptset.PTS
 
 	// locals maps local symbols (incl. params and temps) to blocks.
-	locals map[*cast.Symbol]*memmod.Block
+	locals symMap
 	retval *memmod.Block
 
 	// params are the extended parameters in creation order.
@@ -244,7 +248,7 @@ type PTF struct {
 	// initial is the input-domain specification, in creation order.
 	initial []initEntry
 	// globalParams maps global symbols to their parameters.
-	globalParams map[*cast.Symbol]*memmod.Block
+	globalParams symMap
 	// fpDomain records resolved function targets per function-pointer
 	// parameter (part of the input domain, paper §5.1).
 	fpDomain map[*memmod.Block]map[*cast.Symbol]bool
@@ -264,7 +268,7 @@ type PTF struct {
 	// existing domain, the previously used PTF is updated in place
 	// (same rationale as the home-context rule, paper §5.2) instead of
 	// allocating a duplicate for a transient state.
-	siteUsed map[siteKey]*PTF
+	siteUsed assoc[siteKey, *PTF]
 
 	// callEdges records, per (call node, callee) in this PTF's body, the
 	// callee PTF the site last applied — including recursive
@@ -272,7 +276,10 @@ type PTF struct {
 	// perturb PTF reuse). Read-only client data: the converged map backs
 	// the call graph and the MOD/REF summary folds; the engine itself
 	// never consults it.
-	callEdges map[siteKey]*PTF
+	callEdges assoc[siteKey, *PTF]
+
+	// owner is the Analysis the PTF belongs to (hook dispatch).
+	owner *Analysis
 
 	// exitReached records that the exit has been evaluated at least
 	// once (needed to defer recursive applications, §5.4).
@@ -289,19 +296,32 @@ type PTF struct {
 	// analyzing this PTF; a stale entry forces a revisit so that the
 	// grown summary propagates through this procedure's own dataflow
 	// (essential for recursive cycles, paper §5.4).
-	deps map[*PTF]int
+	deps assoc[*PTF, int]
+
+	// applied memoizes, per call site, the callee summary version and
+	// binding fingerprint last translated into this PTF. Re-applying an
+	// unchanged summary under unchanged bindings is a no-op the engine
+	// skips wholesale (the dominant cost of re-evaluating a quiescent
+	// call node).
+	applied assoc[siteKey, appliedMemo]
 
 	// --- worklist engine state (nil/unused under ForceFullPasses) ---
 
-	// dirty marks flow nodes whose inputs may have changed since their
-	// last evaluation; evalProc seeds its iteration from them.
-	dirty map[*cfg.Node]bool
-	// evaluated marks nodes evaluated at least once, persisting across
+	// dirty flags flow nodes whose inputs may have changed since their
+	// last evaluation (indexed by dense per-proc node ID); evalProc
+	// seeds its iteration from them. dirtyN counts set flags; a nil
+	// slice means worklist tracking is off.
+	dirty  []bool
+	dirtyN int
+	// evaluated marks nodes (by dense per-proc ID) evaluated at least
+	// once, persisting across
 	// visits (the full engine keeps a per-visit map instead).
-	evaluated map[*cfg.Node]bool
-	// callers records every (caller PTF → call nodes) pair that applied
-	// this summary; version bumps re-dirty exactly those nodes.
-	callers map[*PTF]map[*cfg.Node]bool
+	evaluated []bool
+	// callers records every (caller PTF, call node) pair that applied
+	// this summary; version bumps re-dirty exactly those nodes. A small
+	// deduplicated list: fan-in per summary is low, so linear scans beat
+	// a nested map and its per-edge allocations.
+	callers []callerEdge
 	// mirrored is the version last mirrored into the Solution.
 	mirrored int
 	// targetCache caches the resolved call-target slice per call node
@@ -318,6 +338,149 @@ type PTF struct {
 	// when PTFs inside a work item's cone point at the worker's context
 	// so that ptset hooks buffer instead of mutating shared state.
 	octx *evalCtx
+}
+
+// symMap maps symbols to memory blocks with a small-list fast path:
+// most procedures have a handful of locals or referenced globals, where
+// a linear scan over a compact pair list beats map hashing and its
+// bucket allocations. Past symMapPromote entries it switches to a map.
+type symMap struct {
+	list []symBlock
+	m    map[*cast.Symbol]*memmod.Block
+}
+
+type symBlock struct {
+	sym *cast.Symbol
+	b   *memmod.Block
+}
+
+const symMapPromote = 16
+
+func (s *symMap) get(sym *cast.Symbol) (*memmod.Block, bool) {
+	for i := range s.list {
+		if s.list[i].sym == sym {
+			return s.list[i].b, true
+		}
+	}
+	if s.m != nil {
+		b, ok := s.m[sym]
+		return b, ok
+	}
+	return nil, false
+}
+
+func (s *symMap) put(sym *cast.Symbol, b *memmod.Block) {
+	if s.m != nil {
+		s.m[sym] = b
+		return
+	}
+	if len(s.list) < symMapPromote {
+		if s.list == nil {
+			s.list = make([]symBlock, 0, symMapPromote)
+		}
+		s.list = append(s.list, symBlock{sym, b})
+		return
+	}
+	s.m = make(map[*cast.Symbol]*memmod.Block, 2*symMapPromote)
+	for i := range s.list {
+		s.m[s.list[i].sym] = s.list[i].b
+	}
+	s.m[sym] = b
+}
+
+// assoc maps keys to values with the same small-list fast path as
+// symMap, generically: PTFs record a handful of call edges and
+// dependencies each, where a compact pair list beats a Go map's bucket
+// allocations. Past assocPromote entries it switches to a map. Unlike a
+// map, list-mode iteration is deterministic (insertion order) — the two
+// iterating clients either sort afterwards or are order-insensitive.
+type assoc[K comparable, V any] struct {
+	list []assocPair[K, V]
+	m    map[K]V
+}
+
+type assocPair[K comparable, V any] struct {
+	k K
+	v V
+}
+
+const assocPromote = 24
+
+func (s *assoc[K, V]) get(k K) (V, bool) {
+	for i := range s.list {
+		if s.list[i].k == k {
+			return s.list[i].v, true
+		}
+	}
+	if s.m != nil {
+		v, ok := s.m[k]
+		return v, ok
+	}
+	var zero V
+	return zero, false
+}
+
+func (s *assoc[K, V]) put(k K, v V) {
+	if s.m != nil {
+		s.m[k] = v
+		return
+	}
+	for i := range s.list {
+		if s.list[i].k == k {
+			s.list[i].v = v
+			return
+		}
+	}
+	if len(s.list) < assocPromote {
+		if s.list == nil {
+			s.list = make([]assocPair[K, V], 0, 8)
+		}
+		s.list = append(s.list, assocPair[K, V]{k, v})
+		return
+	}
+	s.m = make(map[K]V, 2*assocPromote)
+	for i := range s.list {
+		s.m[s.list[i].k] = s.list[i].v
+	}
+	s.m[k] = v
+	s.list = nil
+}
+
+func (s *assoc[K, V]) size() int {
+	if s.m != nil {
+		return len(s.m)
+	}
+	return len(s.list)
+}
+
+// each calls fn for every entry until it returns false.
+func (s *assoc[K, V]) each(fn func(K, V) bool) {
+	if s.m != nil {
+		for k, v := range s.m {
+			if !fn(k, v) {
+				return
+			}
+		}
+		return
+	}
+	for i := range s.list {
+		if !fn(s.list[i].k, s.list[i].v) {
+			return
+		}
+	}
+}
+
+// appliedMemo is one memoized summary application (see PTF.applied).
+type appliedMemo struct {
+	ptf     *PTF
+	version int
+	fp      uint64
+}
+
+// callerEdge is one recorded application site of a summary.
+type callerEdge struct {
+	ptf *PTF
+	nd  *cfg.Node
 }
 
 // siteKey identifies a resolved call edge: a call node in the caller's
@@ -352,6 +515,11 @@ type Analysis struct {
 	funcBlocks   map[*cast.Symbol]*memmod.Block
 	strBlocks    map[int]*memmod.Block
 	heapBlocks   map[string]*memmod.Block
+
+	// intern is the run-wide location-set intern table: every PTS keys
+	// its records and caches on the IDs it hands out. IDs never outlive
+	// the run — the table dies with the Analysis.
+	intern *memmod.Interner
 
 	// nullBlock is the null pseudo-location (nil unless TrackNull).
 	nullBlock *memmod.Block
@@ -422,7 +590,12 @@ type Analysis struct {
 	// readers registers, per memory block (by representative), the
 	// (PTF, node) pairs whose evaluation read the block's records; a
 	// write to the block re-dirties exactly those nodes.
-	readers map[*memmod.Block]map[readerKey]bool
+	readers map[*memmod.Block]readerSet
+
+	// readerSlab carves the small reader lists (most blocks have a
+	// handful of readers; lists double within the slab and promote to a
+	// map past readerPromote entries).
+	readerSlab []readerKey
 
 	// modref caches the MOD/REF summary table built from the converged
 	// fixpoint (see modref.go); built on first demand, single-threaded.
@@ -449,7 +622,7 @@ type frame struct {
 	pmap map[*memmod.Block]memmod.ValueSet
 
 	// evaluated marks flow nodes evaluated in the current EvalProc.
-	evaluated map[*cfg.Node]bool
+	evaluated []bool
 
 	// multiTarget disables strong updates while applying one of
 	// several possible callees (paper §5.3).
@@ -473,6 +646,7 @@ func New(prog *sem.Program, opts Options) (*Analysis, error) {
 		funcBlocks:   make(map[*cast.Symbol]*memmod.Block),
 		strBlocks:    make(map[int]*memmod.Block),
 		heapBlocks:   make(map[string]*memmod.Block),
+		intern:       memmod.NewInterner(),
 		ptfs:         make(map[*cfg.Proc]*ptfList, len(procs)),
 		track:        !opts.ForceFullPasses,
 	}
@@ -495,7 +669,7 @@ func New(prog *sem.Program, opts Options) (*Analysis, error) {
 		a.workers = 1
 	}
 	if a.track {
-		a.readers = make(map[*memmod.Block]map[readerKey]bool)
+		a.readers = make(map[*memmod.Block]readerSet)
 	}
 	if opts.TrackNull {
 		a.nullBlock = memmod.NewNull()
@@ -554,7 +728,7 @@ func (a *Analysis) Run() error {
 			// Worklist convergence: every dirty node reachable through
 			// the caller cascade was drained through main's dirty set,
 			// so a clean main plus a stable version clock is quiescence.
-			if len(a.mainPTF.dirty) == 0 && atomic.LoadUint64(&a.versionClock) == clock {
+			if a.mainPTF.dirtyN == 0 && atomic.LoadUint64(&a.versionClock) == clock {
 				break
 			}
 		} else if !a.mainCtx.changed && atomic.LoadUint64(&a.versionClock) == clock {
@@ -579,10 +753,8 @@ func (a *Analysis) bumpVersion(c *evalCtx, p *PTF) {
 	p.version++
 	atomic.AddUint64(&a.versionClock, 1)
 	if a.track {
-		for q, nodes := range p.callers {
-			for nd := range nodes {
-				a.markDirty(c, q, nd)
-			}
+		for _, e := range p.callers {
+			a.markDirty(c, e.ptf, e.nd)
 		}
 	}
 }
@@ -605,16 +777,15 @@ func (a *Analysis) markDirty(c *evalCtx, p *PTF, nd *cfg.Node) {
 		}
 		return
 	}
-	if p.dirty[nd] {
+	if p.dirty[nd.ID] {
 		return
 	}
-	wasEmpty := len(p.dirty) == 0
-	p.dirty[nd] = true
+	wasEmpty := p.dirtyN == 0
+	p.dirty[nd.ID] = true
+	p.dirtyN++
 	if wasEmpty {
-		for q, nodes := range p.callers {
-			for cnd := range nodes {
-				a.markDirty(c, q, cnd)
-			}
+		for _, e := range p.callers {
+			a.markDirty(c, e.ptf, e.nd)
 		}
 	}
 }
@@ -638,12 +809,60 @@ func (a *Analysis) registerRead(f *frame, b *memmod.Block, nd *cfg.Node) {
 		set[k] = true
 		return
 	}
-	set := a.readers[b]
-	if set == nil {
-		set = make(map[readerKey]bool)
-		a.readers[b] = set
+	a.addReader(b, k)
+}
+
+// readerSet holds the registered readers of one block: a slab-backed
+// list scanned linearly while small, promoted to a map once the block
+// is popular (globals read from many PTFs).
+type readerSet struct {
+	list []readerKey
+	m    map[readerKey]bool
+}
+
+// readerPromote is the list length at which a readerSet switches to a
+// map; beyond it the linear dedup scan costs more than hashing.
+const readerPromote = 24
+
+func (a *Analysis) addReader(b *memmod.Block, k readerKey) {
+	rs := a.readers[b]
+	if rs.m != nil {
+		rs.m[k] = true
+		return
 	}
-	set[k] = true
+	for _, e := range rs.list {
+		if e == k {
+			return
+		}
+	}
+	if len(rs.list) >= readerPromote {
+		m := make(map[readerKey]bool, 2*readerPromote)
+		for _, e := range rs.list {
+			m[e] = true
+		}
+		m[k] = true
+		a.readers[b] = readerSet{m: m}
+		return
+	}
+	list := rs.list
+	switch {
+	case len(list) == 0:
+		if len(a.readerSlab) < 2 {
+			a.readerSlab = make([]readerKey, 512)
+		}
+		list = a.readerSlab[0:0:2]
+		a.readerSlab = a.readerSlab[2:]
+	case len(list) == cap(list):
+		n := 2 * cap(list)
+		if len(a.readerSlab) < n {
+			a.readerSlab = make([]readerKey, 512)
+		}
+		nl := a.readerSlab[0:len(list):n]
+		a.readerSlab = a.readerSlab[n:]
+		copy(nl, list)
+		list = nl
+	}
+	a.readers[b] = readerSet{list: append(list, k)}
 }
 
 // notifyWrite re-dirties every registered reader of block b. A
@@ -654,7 +873,11 @@ func (a *Analysis) notifyWrite(c *evalCtx, b *memmod.Block) {
 		return
 	}
 	rb := b.Representative()
-	for k := range a.readers[rb] {
+	rs := a.readers[rb]
+	for _, k := range rs.list {
+		a.markDirty(c, k.ptf, k.nd)
+	}
+	for k := range rs.m {
 		a.markDirty(c, k.ptf, k.nd)
 	}
 	if c != nil && c.restricted() {
@@ -680,15 +903,15 @@ func (a *Analysis) recordCaller(callee, caller *PTF, nd *cfg.Node) {
 	if !a.track {
 		return
 	}
+	for _, e := range callee.callers {
+		if e.ptf == caller && e.nd == nd {
+			return
+		}
+	}
 	if callee.callers == nil {
-		callee.callers = make(map[*PTF]map[*cfg.Node]bool)
+		callee.callers = make([]callerEdge, 0, 4)
 	}
-	set := callee.callers[caller]
-	if set == nil {
-		set = make(map[*cfg.Node]bool)
-		callee.callers[caller] = set
-	}
-	set[nd] = true
+	callee.callers = append(callee.callers, callerEdge{caller, nd})
 }
 
 func (a *Analysis) finishStats(start time.Time) {
@@ -703,6 +926,9 @@ func (a *Analysis) finishStats(start time.Time) {
 		a.stats.Procedures++
 		a.stats.PTFs += len(l.list)
 		a.stats.PTFsPerProc[proc.Name] = len(l.list)
+		for _, p := range l.list {
+			a.stats.DenseRows += p.Pts.NumDenseRows()
+		}
 	}
 	a.stats.Duration = time.Since(start)
 	a.stats.PTFsCapped = a.capped
@@ -754,6 +980,23 @@ func (a *Analysis) FuncBlock(name string) *memmod.Block {
 	return nil
 }
 
+// OnChange and OnPhi implement ptset.Hooks: record changes re-dirty
+// registered readers, new φ-functions dirty their meet node. Both route
+// through the PTF's owning context.
+func (p *PTF) OnChange(loc memmod.LocSet) { p.owner.notifyWrite(p.octx, loc.Base) }
+
+// OnPhi implements ptset.Hooks.
+func (p *PTF) OnPhi(nd *cfg.Node) { p.owner.markDirty(p.octx, p, nd) }
+
+// ptfSlab carves PTF storage in chunks (one allocation per 32
+// summaries). PTFs live for the analysis lifetime and are never
+// recycled, so carving zero-valued entries is safe; the mutex covers
+// creation from restricted (worker) contexts.
+var (
+	ptfMu   sync.Mutex
+	ptfSlab []PTF
+)
+
 // newPTF allocates a PTF for proc created at the given home context.
 // The ptset hooks route through the PTF's owning context (octx), which
 // the scheduler points at a worker context while the PTF's cone is in
@@ -761,19 +1004,22 @@ func (a *Analysis) FuncBlock(name string) *memmod.Block {
 func (a *Analysis) newPTF(c *evalCtx, proc *cfg.Proc, homeNode *cfg.Node, homePTF *PTF) *PTF {
 	atomic.AddInt64(&a.numPTFs, 1)
 	nn := len(proc.Nodes)
-	p := &PTF{
-		Proc:         proc,
-		Pts:          ptset.New(proc),
-		locals:       make(map[*cast.Symbol]*memmod.Block, len(proc.Fn.Params)+8),
-		retval:       memmod.NewRetval(proc.Name),
-		globalParams: make(map[*cast.Symbol]*memmod.Block, 4),
-		fpDomain:     make(map[*memmod.Block]map[*cast.Symbol]bool),
-		pointedBy:    make(map[*memmod.Block]int, 8),
-		homeNode:     homeNode,
-		homePTF:      homePTF,
-		mirrored:     -1,
-		octx:         a.mainCtx,
+	ptfMu.Lock()
+	if len(ptfSlab) == 0 {
+		ptfSlab = make([]PTF, 32)
 	}
+	p := &ptfSlab[0]
+	ptfSlab = ptfSlab[1:]
+	ptfMu.Unlock()
+	p.Proc = proc
+	p.Pts = ptset.New(proc, a.intern)
+	p.retval = memmod.NewRetval(proc.Name)
+	// globalParams, fpDomain and pointedBy are created lazily at
+	// their write sites: many PTFs never touch them.
+	p.homeNode = homeNode
+	p.homePTF = homePTF
+	p.mirrored = -1
+	p.octx = a.mainCtx
 	if c != nil && c.restricted() {
 		p.octx = c
 	}
@@ -781,13 +1027,14 @@ func (a *Analysis) newPTF(c *evalCtx, proc *cfg.Proc, homeNode *cfg.Node, homePT
 		p.Pts.SetConcurrent(true)
 	}
 	if a.track {
-		p.dirty = make(map[*cfg.Node]bool, nn)
-		p.dirty[proc.Entry] = true
-		p.evaluated = make(map[*cfg.Node]bool, nn)
-		p.Pts.SetHooks(
-			func(loc memmod.LocSet) { a.notifyWrite(p.octx, loc.Base) },
-			func(nd *cfg.Node) { a.markDirty(p.octx, p, nd) },
-		)
+		// One allocation backs both per-node flag sets.
+		buf := make([]bool, 2*nn)
+		p.dirty = buf[:nn:nn]
+		p.dirty[proc.Entry.ID] = true
+		p.dirtyN = 1
+		p.evaluated = buf[nn:]
+		p.owner = a
+		p.Pts.SetHooks(p)
 	}
 	l := a.ptfs[proc]
 	if l == nil {

@@ -11,7 +11,7 @@ import (
 
 // evalCall evaluates a procedure call node (paper Figure 12).
 func (a *Analysis) evalCall(f *frame, nd *cfg.Node) bool {
-	args := make([]memmod.ValueSet, len(nd.Args))
+	args := a.carveVals(f.c, len(nd.Args))
 	for i, ae := range nd.Args {
 		args[i] = a.evalExpr(f, ae, nd)
 	}
@@ -71,6 +71,9 @@ func (a *Analysis) callTargets(f *frame, nd *cfg.Node, fv memmod.ValueSet) []*ca
 			set := f.ptf.fpDomain[p]
 			if set == nil {
 				set = make(map[*cast.Symbol]bool)
+				if f.ptf.fpDomain == nil {
+					f.ptf.fpDomain = make(map[*memmod.Block]map[*cast.Symbol]bool)
+				}
 				f.ptf.fpDomain[p] = set
 			}
 			resolved := make(map[*cast.Symbol]bool)
@@ -197,12 +200,16 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 	// every match sees exactly the state the sequential walk sees.
 	mainDefer := a.par && c == a.mainCtx && a.collecting == nil &&
 		f.ptf == a.mainPTF && f.caller == nil
-	wasLatched := mainDefer && f.ptf.siteUsed[siteKey{nd, proc}] != nil
+	latchedPTF, _ := f.ptf.siteUsed.get(siteKey{nd, proc})
+	wasLatched := mainDefer && latchedPTF != nil
 	if wasLatched && len(a.dirtyCandidates(proc)) > 0 {
 		// The callee already has pending drains (another deferred site,
 		// or a cascade); don't even rebind until they are flushed.
 		a.pendingDrain = true
-		f.ptf.dirty[nd] = true
+		if !f.ptf.dirty[nd.ID] {
+			f.ptf.dirty[nd.ID] = true
+			f.ptf.dirtyN++
+		}
 		return false
 	}
 	ptf, pmap, needVisit := a.getPTF(f, nd, proc, args)
@@ -210,23 +217,17 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 		// A guard fired while matching input domains; the item aborts.
 		return false
 	}
-	if f.ptf.siteUsed == nil {
-		f.ptf.siteUsed = make(map[siteKey]*PTF)
-	}
-	f.ptf.siteUsed[siteKey{nd, proc}] = ptf
-	if f.ptf.callEdges == nil {
-		f.ptf.callEdges = make(map[siteKey]*PTF)
-	}
-	f.ptf.callEdges[siteKey{nd, proc}] = ptf
+	f.ptf.siteUsed.put(siteKey{nd, proc}, ptf)
+	f.ptf.callEdges.put(siteKey{nd, proc}, ptf)
 	if a.collecting != nil && !a.collecting[ptf] {
 		// Solution-collection pass: descend once into every reachable
 		// PTF so its call sites re-derive their parameter bindings.
 		a.collecting[ptf] = true
 		needVisit = true
 	}
-	cf := &frame{
-		ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap, c: c,
-	}
+	cf := a.carveFrame(f.c)
+	cf.ptf, cf.caller, cf.callNode = ptf, f, nd
+	cf.args, cf.pmap, cf.c = args, pmap, c
 	if a.track && a.collecting == nil {
 		// Remember the binding context so the parallel scheduler can
 		// re-create a standalone evaluation stack for this PTF.
@@ -235,13 +236,16 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 	a.recordFormalBindings(cf, fd, args)
 	if needVisit || !ptf.exitReached {
 		if wasLatched && ptf.exitReached && !ptf.recursive &&
-			len(ptf.dirty) > 0 && ptf.lastBind != nil {
+			ptf.dirtyN > 0 && ptf.lastBind != nil {
 			// The rebind extended the callee's input domain (or a cascade
 			// dirtied it). The bind — the only order-sensitive part — is
 			// done; defer the drain itself for batching and re-apply the
 			// summary when the cascade re-fires this node.
 			a.pendingDrain = true
-			f.ptf.dirty[nd] = true
+			if !f.ptf.dirty[nd.ID] {
+				f.ptf.dirty[nd.ID] = true
+				f.ptf.dirtyN++
+			}
 			return false
 		}
 		c.stack = append(c.stack, cf)
@@ -255,12 +259,45 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 	if !ptf.exitReached {
 		return false
 	}
-	changed := a.applySummary(f, nd, cf, multi, withRet)
-	if f.ptf.deps == nil {
-		f.ptf.deps = make(map[*PTF]int)
+	sk := siteKey{nd, proc}
+	fp := a.applyFingerprint(f, nd, cf, multi, withRet)
+	if m, okm := f.ptf.applied.get(sk); okm && m.ptf == ptf && m.version == ptf.version &&
+		m.fp == fp && a.solution == nil && a.collecting == nil {
+		// This exact summary version was already translated into the
+		// caller under identical bindings; repeating it cannot add
+		// anything.
+		f.ptf.deps.put(ptf, ptf.version)
+		return false
 	}
-	f.ptf.deps[ptf] = ptf.version
+	changed := a.applySummary(f, nd, cf, multi, withRet)
+	if c == nil || !c.deferred {
+		f.ptf.applied.put(sk, appliedMemo{ptf: ptf, version: ptf.version, fp: fp})
+	}
+	f.ptf.deps.put(ptf, ptf.version)
 	return changed
+}
+
+// applyFingerprint digests everything the effect of applySummary
+// depends on besides the callee's summary version: the parameter
+// bindings, the process-wide subsumption generation, the strong-update
+// context, and the return destination as the caller currently evaluates
+// it. Bindings combine order-independently, so pmap iteration order is
+// irrelevant.
+func (a *Analysis) applyFingerprint(f *frame, nd *cfg.Node, cf *frame, multi, withRet bool) uint64 {
+	h := memmod.SubsumeGen()*0x9e3779b97f4a7c15 + 0x517cc1b727220a95
+	if multi {
+		h ^= 0xa5a5
+	}
+	if f.multiTarget {
+		h ^= 0x5a5a0000
+	}
+	for p, v := range cf.pmap {
+		h ^= (memmod.Loc(p, 0, 0).Fingerprint() + 0x9e3779b97f4a7c15) * (v.Fingerprint() | 1)
+	}
+	if withRet && nd.RetDst != nil {
+		h ^= a.evalExpr(f, nd.RetDst, nd).Fingerprint() * 0x2545f4914f6cdd1d
+	}
+	return h
 }
 
 // applyRecursive reuses the on-stack PTF for a recursive call, merging
@@ -270,12 +307,11 @@ func (a *Analysis) applyRecursive(f *frame, nd *cfg.Node, ptf *PTF, args []memmo
 	ptf.recursive = true
 	// Record the edge for call-graph/MOD-REF clients; deliberately NOT
 	// in siteUsed, which would perturb the engine's PTF-reuse policy.
-	if f.ptf.callEdges == nil {
-		f.ptf.callEdges = make(map[siteKey]*PTF)
-	}
-	f.ptf.callEdges[siteKey{nd, ptf.Proc}] = ptf
+	f.ptf.callEdges.put(siteKey{nd, ptf.Proc}, ptf)
 	pmap := a.replayBindMerge(f, nd, ptf, args, true)
-	cf := &frame{ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap, c: f.c}
+	cf := a.carveFrame(f.c)
+	cf.ptf, cf.caller, cf.callNode = ptf, f, nd
+	cf.args, cf.pmap, cf.c = args, pmap, f.c
 	a.recordFormalBindings(cf, a.prog.FuncByName[ptf.Proc.Name], args)
 	// Register before the deferral check: the cycle head's exit-reached
 	// version bump must re-dirty this deferring site (§5.4).
@@ -285,19 +321,13 @@ func (a *Analysis) applyRecursive(f *frame, nd *cfg.Node, ptf *PTF, args []memmo
 		// record a forced-stale dependency so this PTF is revisited
 		// once the cycle head has a summary.
 		if f.ptf != ptf {
-			if f.ptf.deps == nil {
-				f.ptf.deps = make(map[*PTF]int)
-			}
-			f.ptf.deps[ptf] = -1
+			f.ptf.deps.put(ptf, -1)
 		}
 		return false
 	}
 	changed := a.applySummary(f, nd, cf, multi, withRet)
 	if f.ptf != ptf {
-		if f.ptf.deps == nil {
-			f.ptf.deps = make(map[*PTF]int)
-		}
-		f.ptf.deps[ptf] = ptf.version
+		f.ptf.deps.put(ptf, ptf.version)
 	}
 	return changed
 }
@@ -338,7 +368,7 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 					if a.track {
 						// Worklist mode: the PTF's own dirty set says
 						// exactly whether anything inside needs work.
-						needVisit = len(p.dirty) > 0
+						needVisit = p.dirtyN > 0
 					} else if p.staleDeps() {
 						needVisit = true
 					}
@@ -375,7 +405,7 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 		// update that PTF's domain rather than allocating a duplicate
 		// for a transient state. Without this the set of PTFs depends
 		// on evaluation order.
-		if p := f.ptf.siteUsed[siteKey{nd, proc}]; p != nil {
+		if p, _ := f.ptf.siteUsed.get(siteKey{nd, proc}); p != nil {
 			return p, a.replayBind(f, nd, p, args), true
 		}
 		if (a.opts.MaxPTFs > 0 && len(list) >= a.opts.MaxPTFs) ||
@@ -413,8 +443,30 @@ func (a *Analysis) matchPTFDrift(f *frame, nd *cfg.Node, ptf *PTF, args []memmod
 }
 
 func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.ValueSet, drift bool) (pmapOut map[*memmod.Block]memmod.ValueSet, needVisit, ok bool) {
-	pmap := make(map[*memmod.Block]memmod.ValueSet)
-	cf := &frame{ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap}
+	// Trial bindings go into a pooled map: most candidate PTFs fail to
+	// match, and the map would otherwise be garbage every time. On
+	// success the map is handed to the frame and leaves the pool.
+	c := f.c
+	if c == nil {
+		c = a.mainCtx
+	}
+	pmap := c.pmapPool
+	if pmap == nil {
+		pmap = make(map[*memmod.Block]memmod.ValueSet)
+	}
+	c.pmapPool = nil
+	pmapOut, needVisit, ok = a.matchPTFInto(f, nd, ptf, args, drift, pmap)
+	if !ok {
+		clear(pmap)
+		c.pmapPool = pmap
+	}
+	return pmapOut, needVisit, ok
+}
+
+func (a *Analysis) matchPTFInto(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.ValueSet, drift bool, pmap map[*memmod.Block]memmod.ValueSet) (pmapOut map[*memmod.Block]memmod.ValueSet, needVisit, ok bool) {
+	cf := a.carveFrame(f.c)
+	cf.ptf, cf.caller, cf.callNode = ptf, f, nd
+	cf.args, cf.pmap = args, pmap
 	// Entries recorded as "points to nothing" whose actuals are now
 	// non-empty are upgraded to fresh parameters — an input VALUE
 	// difference, not an alias difference, so the PTF still applies
@@ -437,7 +489,7 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 				// chain frame; treat as mismatch (getPTF bails out).
 				return nil, false, false
 			}
-			actual := memmod.Values(gl)
+			actual := a.value1(f.c, gl)
 			if bound, ok := pmap[p]; ok {
 				if !bound.Equal(actual) {
 					return nil, false, false
@@ -476,14 +528,14 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 					}
 					continue
 				}
-				expected = bound.Shift(val.Off)
+				expected = a.shiftSet(f.c, bound, val.Off)
 				if !expected.Equal(actuals) {
 					if !drift || !blocksCovered(bound, actuals) {
 						return nil, false, false
 					}
 					// Offset-only drift: merge the new positions.
 					merged := pmap[p]
-					merged.AddAll(actuals.Shift(-val.Off))
+					a.addAll(f.c, &merged, a.shiftSet(f.c, actuals, -val.Off))
 					pmap[p] = merged
 					a.setNotUnique(f.c, p)
 					a.bindParamConcrete(cf, p, pmap[p])
@@ -498,7 +550,7 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 				if val.Stride != 0 {
 					pmap[p] = actuals
 				} else {
-					pmap[p] = actuals.Shift(-val.Off)
+					pmap[p] = a.shiftSet(f.c, actuals, -val.Off)
 				}
 				a.bindParamConcrete(cf, p, pmap[p])
 			}
@@ -511,7 +563,9 @@ func (a *Analysis) matchPTFMode(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.
 			continue
 		}
 		got := make(map[*cast.Symbol]bool)
-		a.resolveFuncSyms(&frame{ptf: ptf, caller: f, callNode: nd, pmap: pmap}, memmod.Values(memmod.Loc(p, 0, 0)), got, nil, nil)
+		rf := a.carveFrame(f.c)
+		rf.ptf, rf.caller, rf.callNode, rf.pmap = ptf, f, nd, pmap
+		a.resolveFuncSyms(rf, memmod.Values(memmod.Loc(p, 0, 0)), got, nil, nil)
 		if !sameSymSet(want, got) {
 			return nil, false, false
 		}
@@ -595,13 +649,13 @@ func (a *Analysis) entryActuals(cf *frame, e initEntry) (memmod.ValueSet, bool) 
 			// order guarantees it normally; treat as mismatch.
 			return memmod.ValueSet{}, false
 		}
-		var out memmod.ValueSet
+		out := a.newSet(cf.c)
 		for _, b := range bound.Locs() {
 			target := b.Shift(v.Off)
 			if v.Stride != 0 {
 				target = target.WithStride(v.Stride)
 			}
-			out.AddAll(a.evalContents(cf.caller, target, cf.callNode))
+			a.addAll(cf.c, &out, a.evalContents(cf.caller, target, cf.callNode))
 		}
 		return out, true
 	case memmod.GlobalBlock:
@@ -690,7 +744,9 @@ func (a *Analysis) replayBind(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.Va
 // inputs inside the cycle.
 func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memmod.ValueSet, mergeRecords bool) map[*memmod.Block]memmod.ValueSet {
 	pmap := make(map[*memmod.Block]memmod.ValueSet)
-	cf := &frame{ptf: ptf, caller: f, callNode: nd, args: args, pmap: pmap, c: f.c}
+	cf := a.carveFrame(f.c)
+	cf.ptf, cf.caller, cf.callNode = ptf, f, nd
+	cf.args, cf.pmap, cf.c = args, pmap, f.c
 	for i := 0; i < len(ptf.initial); i++ {
 		e := ptf.initial[i]
 		switch e.kind {
@@ -702,9 +758,9 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 				// after this node and the walk rebinds sequentially.
 				continue
 			}
-			actual := memmod.Values(gl)
+			actual := a.value1(f.c, gl)
 			if bound, ok := pmap[p]; ok {
-				if bound.AddAll(actual) {
+				if a.addAll(f.c, &bound, actual) {
 					pmap[p] = bound
 				}
 			} else {
@@ -723,7 +779,7 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 				p := a.newParam(cf, hintFor(e.ptr), actuals)
 				ptf.initial[i].val = memmod.Loc(p, 0, 0)
 				ptf.initial[i].valEmpty = false
-				ptf.Pts.Assign(e.ptr, memmod.Values(memmod.Loc(p, 0, 0)), ptf.Proc.Entry, false)
+				ptf.Pts.Assign(e.ptr, a.value1(f.c, memmod.Loc(p, 0, 0)), ptf.Proc.Entry, false)
 				a.bumpVersion(f.c, ptf)
 				f.c.changed = true
 				continue
@@ -733,15 +789,15 @@ func (a *Analysis) replayBindMerge(f *frame, nd *cfg.Node, ptf *PTF, args []memm
 			if bound, ok := pmap[p]; ok {
 				add := actuals
 				if val.Stride == 0 {
-					add = actuals.Shift(-val.Off)
+					add = a.shiftSet(f.c, actuals, -val.Off)
 				}
-				if bound.AddAll(add) {
+				if a.addAll(f.c, &bound, add) {
 					pmap[p] = bound
 					a.setNotUnique(f.c, p)
 				}
 			} else {
 				if val.Stride == 0 {
-					pmap[p] = actuals.Shift(-val.Off)
+					pmap[p] = a.shiftSet(f.c, actuals, -val.Off)
 				} else {
 					pmap[p] = actuals.Clone()
 				}
@@ -797,14 +853,14 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 	// asserting records: several callee locations may translate to the
 	// same caller location, and their effects must merge (a strong
 	// update survives only when exactly one definite write lands on a
-	// precise destination).
-	type pendingWrite struct {
-		vals    memmod.ValueSet
-		strong  bool
-		sources int
+	// precise destination). The accumulator is a reused per-context
+	// scratch slice, linear-scanned: summaries write to a handful of
+	// distinct destinations.
+	c := f.c
+	if c == nil {
+		c = a.mainCtx
 	}
-	pend := make(map[memmod.LocSet]*pendingWrite)
-	var order []memmod.LocSet
+	pend := c.pendBuf[:0]
 	for _, loc := range ptf.Pts.Locations() {
 		loc = loc.Resolve()
 		if loc.Base.Kind == memmod.RetvalBlock {
@@ -827,30 +883,37 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 		tvals := a.translateVals(cf, vals)
 		strongWrite := dominantStrongRecord(ptf, loc, exit) && !multi && dsts.Len() == 1
 		for _, dl := range dsts.Locs() {
-			pw, ok := pend[dl]
-			if !ok {
-				pw = &pendingWrite{strong: true}
-				pend[dl] = pw
-				order = append(order, dl)
+			pw := (*pendingWrite)(nil)
+			for i := range pend {
+				if pend[i].dl == dl {
+					pw = &pend[i]
+					break
+				}
+			}
+			if pw == nil {
+				pend = append(pend, pendingWrite{dl: dl, strong: true})
+				pw = &pend[len(pend)-1]
+				pw.vals = a.newSet(c)
 			}
 			pw.sources++
-			pw.vals.AddAll(tvals)
+			c.arena.AddAll(&pw.vals, tvals)
 			if !strongWrite || !dl.Precise() || f.multiTarget {
 				pw.strong = false
 			}
 		}
 	}
-	for _, dl := range order {
-		pw := pend[dl]
+	for i := range pend {
+		pw, dl := &pend[i], pend[i].dl
 		a.registerRead(f, dl.Base, nd)
 		strong := pw.strong && pw.sources == 1
-		merged := pw.vals.Clone()
+		// pw.vals is scratch consumed exactly once: merge in place.
+		merged := pw.vals
 		if !strong {
 			old, okOld := f.ptf.Pts.LookupIn(dl, nd, nil)
 			if !okOld {
 				old = a.getInitial(f, dl)
 			}
-			merged.AddAll(old)
+			c.arena.AddAll(&merged, old)
 		}
 		if !merged.IsEmpty() {
 			if dl.Base.AddPtrLoc(dl) {
@@ -862,6 +925,7 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 			a.recordSolution(f, dl, merged)
 		}
 	}
+	c.pendBuf = pend[:0]
 	// Return value.
 	if withRet && nd.RetDst != nil {
 		rloc := memmod.Loc(ptf.retval, 0, 0)
@@ -871,13 +935,13 @@ func (a *Analysis) applySummary(f *frame, nd *cfg.Node, cf *frame, multi, withRe
 			for _, dl := range dsts.Locs() {
 				a.registerRead(f, dl.Base, nd)
 				strong := dsts.Len() == 1 && dl.Precise() && !multi && !f.multiTarget
-				merged := tvals.Clone()
+				merged := a.cloneSet(f.c, tvals)
 				if !strong {
 					old, okOld := f.ptf.Pts.LookupIn(dl, nd, nil)
 					if !okOld {
 						old = a.getInitial(f, dl)
 					}
-					merged.AddAll(old)
+					a.addAll(f.c, &merged, old)
 				}
 				if !merged.IsEmpty() {
 					if dl.Base.AddPtrLoc(dl) {
@@ -917,10 +981,19 @@ func dominantStrongRecord(ptf *PTF, loc memmod.LocSet, exit *cfg.Node) bool {
 	return visNode != nil && visStrong
 }
 
+// pendingWrite accumulates one caller destination's translated callee
+// writes inside applySummary.
+type pendingWrite struct {
+	dl      memmod.LocSet
+	vals    memmod.ValueSet
+	strong  bool
+	sources int
+}
+
 // translateLoc maps a callee-name-space location to caller locations.
 func (a *Analysis) translateLoc(cf *frame, loc memmod.LocSet) memmod.ValueSet {
 	loc = loc.Resolve()
-	var out memmod.ValueSet
+	out := a.newSet(cf.c)
 	switch loc.Base.Kind {
 	case memmod.LocalBlock, memmod.RetvalBlock:
 		// Callee locals do not exist in the caller (paper §5.3).
@@ -944,9 +1017,9 @@ func (a *Analysis) translateLoc(cf *frame, loc memmod.LocSet) memmod.ValueSet {
 
 // translateVals maps callee values to caller values.
 func (a *Analysis) translateVals(cf *frame, vals memmod.ValueSet) memmod.ValueSet {
-	var out memmod.ValueSet
+	out := a.newSet(cf.c)
 	for _, v := range vals.Locs() {
-		out.AddAll(a.translateLoc(cf, v))
+		a.addAll(cf.c, &out, a.translateLoc(cf, v))
 	}
 	return out
 }
@@ -963,13 +1036,13 @@ func (p *PTF) staleDepsRec(vis map[*PTF]bool) bool {
 		return false
 	}
 	vis[p] = true
-	for dep, v := range p.deps {
-		if dep.version != v {
-			return true
+	stale := false
+	p.deps.each(func(dep *PTF, v int) bool {
+		if dep.version != v || dep.staleDepsRec(vis) {
+			stale = true
+			return false
 		}
-		if dep.staleDepsRec(vis) {
-			return true
-		}
-	}
-	return false
+		return true
+	})
+	return stale
 }

@@ -23,7 +23,7 @@ func (a *Analysis) evalProc(f *frame) {
 // evalProcFull is the pre-worklist engine: sweep every node repeatedly
 // until no fact changes (kept as the ForceFullPasses cross-check).
 func (a *Analysis) evalProcFull(f *frame) {
-	f.evaluated = make(map[*cfg.Node]bool)
+	f.evaluated = make([]bool, len(f.ptf.Proc.Nodes))
 	for iter := 0; ; iter++ {
 		if a.timedOut.Load() || (!a.deadline.IsZero() && time.Now().After(a.deadline)) {
 			a.timedOut.Store(true)
@@ -38,8 +38,8 @@ func (a *Analysis) evalProcFull(f *frame) {
 			if nd.Kind != cfg.EntryNode && !f.anyPredEvaluated(nd) {
 				continue
 			}
-			if !f.evaluated[nd] {
-				f.evaluated[nd] = true
+			if !f.evaluated[nd.ID] {
+				f.evaluated[nd.ID] = true
 				progress = true
 			}
 			a.countNode(f.c)
@@ -59,7 +59,7 @@ func (a *Analysis) evalProcFull(f *frame) {
 				a.bumpVersion(f.c, f.ptf)
 			}
 		}
-		if f.evaluated[f.ptf.Proc.Exit] && !f.ptf.exitReached {
+		if f.evaluated[f.ptf.Proc.Exit.ID] && !f.ptf.exitReached {
 			f.ptf.exitReached = true
 			progress = true
 			f.c.changed = true
@@ -90,7 +90,7 @@ func (a *Analysis) evalProcDirty(f *frame) {
 	// cone can overlap a procedure currently being evaluated.
 	mainWalk := a.par && p == a.mainPTF && f.c == a.mainCtx && f.caller == nil
 	for iter := 0; ; iter++ {
-		if len(p.dirty) == 0 {
+		if p.dirtyN == 0 {
 			if !mainWalk || !a.pendingDrain {
 				break
 			}
@@ -98,7 +98,7 @@ func (a *Analysis) evalProcDirty(f *frame) {
 			// now. Their version bumps re-dirty this frame's call nodes,
 			// in which case the sweep resumes.
 			a.preDrain()
-			if len(p.dirty) == 0 {
+			if p.dirtyN == 0 {
 				break
 			}
 		}
@@ -114,24 +114,25 @@ func (a *Analysis) evalProcDirty(f *frame) {
 		}
 		progress := false
 		for _, nd := range p.Proc.Nodes {
-			if !p.dirty[nd] {
+			if !p.dirty[nd.ID] {
 				continue
 			}
 			if nd.Kind != cfg.EntryNode && !f.anyPredEvaluated(nd) {
 				// Not evaluable yet; stays dirty for a later sweep.
 				continue
 			}
-			if mainWalk && a.pendingDrain && !f.evaluated[nd] {
+			if mainWalk && a.pendingDrain && !f.evaluated[nd.ID] {
 				// A first evaluation can make fresh PTF-match decisions,
 				// and those must see exactly the state the sequential walk
 				// sees. The deferred drains belong to call sites that
 				// precede this node in sweep order, so flush them now.
 				a.preDrain()
 			}
-			delete(p.dirty, nd)
-			first := !f.evaluated[nd]
+			p.dirty[nd.ID] = false
+			p.dirtyN--
+			first := !f.evaluated[nd.ID]
 			if first {
-				f.evaluated[nd] = true
+				f.evaluated[nd.ID] = true
 			}
 			progress = true
 			a.countNode(f.c)
@@ -157,11 +158,12 @@ func (a *Analysis) evalProcDirty(f *frame) {
 				// A guard detected work this context must not do; put
 				// the node back and abort the item. The sequential walk
 				// re-evaluates it with full authority.
-				p.dirty[nd] = true
+				p.dirty[nd.ID] = true
+				p.dirtyN++
 				return
 			}
 		}
-		if f.evaluated[p.Proc.Exit] && !p.exitReached {
+		if f.evaluated[p.Proc.Exit.ID] && !p.exitReached {
 			p.exitReached = true
 			progress = true
 			f.c.changed = true
@@ -175,16 +177,69 @@ func (a *Analysis) evalProcDirty(f *frame) {
 	// were ever evaluated — unreachable under the current facts): they
 	// cannot fire, and leaving them would make the PTF look permanently
 	// busy to the quiescence check and the caller cascade.
-	for nd := range p.dirty {
-		if nd.Kind != cfg.EntryNode && !f.anyPredEvaluated(nd) {
-			delete(p.dirty, nd)
+	for i, d := range p.dirty {
+		if !d {
+			continue
+		}
+		if nd := p.Proc.Nodes[i]; nd.Kind != cfg.EntryNode && !f.anyPredEvaluated(nd) {
+			p.dirty[i] = false
+			p.dirtyN--
 		}
 	}
 }
 
+// newSet returns an empty transient value set backed by the evaluation
+// context's arena (falling back to the main context's).
+func (a *Analysis) newSet(c *evalCtx) memmod.ValueSet {
+	if c == nil {
+		c = a.mainCtx
+	}
+	return c.arena.NewSet()
+}
+
+// cloneSet copies v into arena-backed storage owned by the evaluation
+// context (falling back to the main context's).
+func (a *Analysis) cloneSet(c *evalCtx, v memmod.ValueSet) memmod.ValueSet {
+	if c == nil {
+		c = a.mainCtx
+	}
+	return c.arena.CloneSet(v)
+}
+
+// value1 builds a single-member set in the context's arena.
+func (a *Analysis) value1(c *evalCtx, l memmod.LocSet) memmod.ValueSet {
+	if c == nil {
+		c = a.mainCtx
+	}
+	return c.arena.Value1(l)
+}
+
+// addAll unions o into v, growing v's backing from the context's arena.
+func (a *Analysis) addAll(c *evalCtx, v *memmod.ValueSet, o memmod.ValueSet) bool {
+	if c == nil {
+		c = a.mainCtx
+	}
+	return c.arena.AddAll(v, o)
+}
+
+// shiftSet and strideSet displace/widen a set into arena storage.
+func (a *Analysis) shiftSet(c *evalCtx, v memmod.ValueSet, d int64) memmod.ValueSet {
+	if c == nil {
+		c = a.mainCtx
+	}
+	return c.arena.ShiftSet(v, d)
+}
+
+func (a *Analysis) strideSet(c *evalCtx, v memmod.ValueSet, s int64) memmod.ValueSet {
+	if c == nil {
+		c = a.mainCtx
+	}
+	return c.arena.StrideSet(v, s)
+}
+
 func (f *frame) anyPredEvaluated(nd *cfg.Node) bool {
 	for _, p := range nd.Preds {
-		if f.evaluated[p] {
+		if f.evaluated[p.ID] {
 			return true
 		}
 	}
@@ -196,16 +251,16 @@ func (a *Analysis) evalMeet(f *frame, nd *cfg.Node) bool {
 	changed := false
 	for _, loc := range f.ptf.Pts.PhiLocs(nd) {
 		a.registerRead(f, loc.Base, nd)
-		var srcs memmod.ValueSet
+		srcs := a.newSet(f.c)
 		for _, pred := range nd.Preds {
-			if !f.evaluated[pred] {
+			if !f.evaluated[pred.ID] {
 				continue
 			}
 			vals, found := f.ptf.Pts.LookupOut(loc, pred, nil)
 			if !found {
 				vals = a.getInitial(f, loc)
 			}
-			srcs.AddAll(vals)
+			a.addAll(f.c, &srcs, vals)
 		}
 		if f.ptf.Pts.AssignPhi(loc, srcs, nd) {
 			changed = true
@@ -233,19 +288,31 @@ func (a *Analysis) evalContents(f *frame, v memmod.LocSet, nd *cfg.Node) memmod.
 	if v.Precise() {
 		barrier = f.ptf.Pts.FindStrongUpdate(v, nd)
 	}
-	var result memmod.ValueSet
-	seen := map[memmod.LocSet]bool{}
+	c := f.c
+	if c == nil {
+		c = a.mainCtx
+	}
+	result := c.arena.NewSet()
+	// seen is a linear-scan scratch carved per call (getInitial can
+	// re-enter evalContents on the caller frame, so it must not be a
+	// shared buffer).
+	seen := c.arena.Carve(4)
 	consider := func(l memmod.LocSet) {
 		l = l.Resolve()
-		if seen[l] || !l.Overlaps(v) {
+		for _, s := range seen {
+			if s == l {
+				return
+			}
+		}
+		if !l.Overlaps(v) {
 			return
 		}
-		seen[l] = true
+		seen = append(seen, l)
 		vals, found := f.ptf.Pts.LookupIn(l, nd, barrier)
 		if !found {
 			vals = a.getInitial(f, l)
 		}
-		result.AddAll(vals)
+		c.arena.AddAll(&result, vals)
 	}
 	consider(v)
 	for _, l := range v.Base.PtrLocs() {
@@ -262,8 +329,9 @@ func (a *Analysis) evalExpr(f *frame, e *cfg.Expr, nd *cfg.Node) memmod.ValueSet
 	if e == nil {
 		return out
 	}
+	out = a.newSet(f.c)
 	for _, t := range e.Terms {
-		var base memmod.ValueSet
+		base := a.newSet(f.c)
 		switch t.Kind {
 		case cfg.TermVar:
 			if l := a.varBlockLoc(f, t.Sym, 0, 0); l.Base != nil {
@@ -276,7 +344,7 @@ func (a *Analysis) evalExpr(f *frame, e *cfg.Expr, nd *cfg.Node) memmod.ValueSet
 		case cfg.TermDeref:
 			ptrs := a.evalExpr(f, t.Base, nd)
 			for _, pl := range ptrs.Locs() {
-				base.AddAll(a.evalContents(f, pl, nd))
+				a.addAll(f.c, &base, a.evalContents(f, pl, nd))
 			}
 		case cfg.TermNull:
 			if a.nullBlock != nil {
@@ -284,12 +352,12 @@ func (a *Analysis) evalExpr(f *frame, e *cfg.Expr, nd *cfg.Node) memmod.ValueSet
 			}
 		}
 		if t.Off != 0 {
-			base = base.Shift(t.Off)
+			base = a.shiftSet(f.c, base, t.Off)
 		}
 		if t.Stride != 0 {
-			base = base.WithStride(t.Stride)
+			base = a.strideSet(f.c, base, t.Stride)
 		}
-		out.AddAll(base)
+		a.addAll(f.c, &out, base)
 	}
 	return out
 }
@@ -311,7 +379,7 @@ func (a *Analysis) evalAssign(f *frame, nd *cfg.Node) bool {
 		// The outcome depends on the destination's records (weak-update
 		// merge) and uniqueness (strong-update eligibility).
 		a.registerRead(f, dst.Base, nd)
-		newSrcs := srcs.Clone()
+		newSrcs := a.cloneSet(f.c, srcs)
 		strong := strongOK
 		if !strong {
 			// Weak update: the destination retains its old values.
@@ -319,7 +387,7 @@ func (a *Analysis) evalAssign(f *frame, nd *cfg.Node) bool {
 			if !found {
 				old = a.getInitial(f, dst)
 			}
-			newSrcs.AddAll(old)
+			a.addAll(f.c, &newSrcs, old)
 		}
 		if !newSrcs.IsEmpty() {
 			if dst.Base.AddPtrLoc(dst) {
@@ -367,8 +435,8 @@ func (a *Analysis) evalAggregateCopy(f *frame, nd *cfg.Node, dsts memmod.ValueSe
 				if !f2 {
 					old = a.getInitial(f, target)
 				}
-				merged := vals.Clone()
-				merged.AddAll(old)
+				merged := a.cloneSet(f.c, vals)
+				a.addAll(f.c, &merged, old)
 				if target.Base.AddPtrLoc(target) {
 					a.notifyWrite(f.c, target.Base)
 				}

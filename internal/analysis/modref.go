@@ -58,10 +58,11 @@ func (a *Analysis) CallGraphEdges() []CallEdge {
 }
 
 func sortedEdges(p *PTF) []CallEdge {
-	out := make([]CallEdge, 0, len(p.callEdges))
-	for k, callee := range p.callEdges {
+	out := make([]CallEdge, 0, p.callEdges.size())
+	p.callEdges.each(func(k siteKey, callee *PTF) bool {
 		out = append(out, CallEdge{Caller: p, Node: k.nd, Callee: callee})
-	}
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Node.ID != out[j].Node.ID {
 			return out[i].Node.ID < out[j].Node.ID
@@ -494,7 +495,7 @@ func (a *Analysis) edgeBindings(caller *PTF, nd *cfg.Node, callee *PTF) map[*mem
 			var al memmod.LocSet
 			if caller == a.mainPTF {
 				al = memmod.Loc(a.globalBlock(e.sym), 0, 0)
-			} else if gp, ok := caller.globalParams[e.sym]; ok {
+			} else if gp, ok := caller.globalParams.get(e.sym); ok {
 				al = memmod.Loc(gp.Representative(), 0, 0)
 			} else {
 				continue

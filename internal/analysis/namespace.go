@@ -10,11 +10,11 @@ import (
 // localBlock returns (creating if needed) the block of a local symbol
 // within a PTF's name space.
 func (p *PTF) localBlock(sym *cast.Symbol) *memmod.Block {
-	if b, ok := p.locals[sym]; ok {
+	if b, ok := p.locals.get(sym); ok {
 		return b
 	}
 	b := memmod.NewLocal(sym)
-	p.locals[sym] = b
+	p.locals.put(sym, b)
 	return b
 }
 
@@ -71,6 +71,12 @@ func (a *Analysis) heapBlock(site *cfg.Node) *memmod.Block {
 // newParam allocates a fresh extended parameter in f's PTF bound to the
 // given actuals. The parameter's name indexes within its PTF, so names
 // are deterministic regardless of which context allocates first.
+// setGlobalParam records a global's parameter on the PTF, creating the
+// map on first use.
+func (a *Analysis) setGlobalParam(p *PTF, sym *cast.Symbol, b *memmod.Block) {
+	p.globalParams.put(sym, b)
+}
+
 func (a *Analysis) newParam(f *frame, hint string, actuals memmod.ValueSet) *memmod.Block {
 	if c := f.c; c != nil && c.restricted() {
 		c.params++
@@ -78,8 +84,11 @@ func (a *Analysis) newParam(f *frame, hint string, actuals memmod.ValueSet) *mem
 		a.stats.Params++
 	}
 	p := memmod.NewParam(len(f.ptf.params)+1, hint)
+	if f.ptf.params == nil {
+		f.ptf.params = make([]*memmod.Block, 0, 8)
+	}
 	f.ptf.params = append(f.ptf.params, p)
-	f.pmap[p] = actuals.Clone()
+	f.pmap[p] = a.cloneSet(f.c, actuals)
 	a.bindParamConcrete(f, p, actuals)
 	return p
 }
@@ -110,7 +119,7 @@ func (a *Analysis) varBlockLoc(f *frame, sym *cast.Symbol, off, stride int64) me
 // to the caller's representation of the global.
 func (a *Analysis) globalParam(f *frame, sym *cast.Symbol) *memmod.Block {
 	c := f.c
-	if p, ok := f.ptf.globalParams[sym]; ok {
+	if p, ok := f.ptf.globalParams.get(sym); ok {
 		p = p.Representative()
 		if _, bound := f.pmap[p]; !bound {
 			if c != nil && c.restricted() && !c.owns(f.ptf.Proc) {
@@ -147,15 +156,15 @@ func (a *Analysis) globalParam(f *frame, sym *cast.Symbol) *memmod.Block {
 		return nil
 	}
 	// The global may already be covered by a pointer-reached parameter.
-	if p, delta, exact := a.findCoveringParam(f, memmod.Values(actual)); p != nil && exact && delta == 0 {
-		f.ptf.globalParams[sym] = p
-		f.ptf.initial = append(f.ptf.initial, initEntry{kind: globalRefEntry, sym: sym, param: p})
+	if p, delta, exact := a.findCoveringParam(f, a.value1(c, actual)); p != nil && exact && delta == 0 {
+		a.setGlobalParam(f.ptf, sym, p)
+		a.appendInitial(c, f.ptf, initEntry{kind: globalRefEntry, sym: sym, param: p})
 		a.bumpVersion(c, f.ptf)
 		return p
 	}
-	p := a.newParam(f, sym.Name, memmod.Values(actual))
-	f.ptf.globalParams[sym] = p
-	f.ptf.initial = append(f.ptf.initial, initEntry{kind: globalRefEntry, sym: sym, param: p})
+	p := a.newParam(f, sym.Name, a.value1(c, actual))
+	a.setGlobalParam(f.ptf, sym, p)
+	a.appendInitial(c, f.ptf, initEntry{kind: globalRefEntry, sym: sym, param: p})
 	a.bumpVersion(c, f.ptf)
 	if c != nil {
 		c.changed = true
@@ -291,7 +300,7 @@ func (a *Analysis) getInitial(f *frame, v memmod.LocSet) memmod.ValueSet {
 			if v.Stride != 0 {
 				target = target.WithStride(v.Stride)
 			}
-			actuals.AddAll(a.evalContents(caller, target, f.callNode))
+			a.addAll(f.c, &actuals, a.evalContents(caller, target, f.callNode))
 		}
 	case memmod.GlobalBlock:
 		// Real global storage (outermost frame): initial values come
@@ -333,7 +342,7 @@ func (a *Analysis) bindInitial(f *frame, v memmod.LocSet, actuals memmod.ValueSe
 	empty := actuals.IsEmpty()
 	if empty {
 		e := initEntry{kind: ptrInitEntry, ptr: v, valEmpty: true}
-		f.ptf.initial = append(f.ptf.initial, e)
+		a.appendInitial(f.c, f.ptf, e)
 		a.bumpVersion(f.c, f.ptf)
 		f.ptf.Pts.Assign(v, memmod.ValueSet{}, f.ptf.Proc.Entry, false)
 		return memmod.ValueSet{}
@@ -391,6 +400,9 @@ func (a *Analysis) bindInitial(f *frame, v memmod.LocSet, actuals memmod.ValueSe
 	// more than one input pointer whose actuals are not a single
 	// unique location loses uniqueness.
 	rep := val.Base.Representative()
+	if f.ptf.pointedBy == nil {
+		f.ptf.pointedBy = make(map[*memmod.Block]int, 8)
+	}
 	f.ptf.pointedBy[rep]++
 	if f.ptf.pointedBy[rep] > 1 {
 		bound := f.pmap[rep]
@@ -406,7 +418,7 @@ func (a *Analysis) bindInitial(f *frame, v memmod.LocSet, actuals memmod.ValueSe
 		_ = rep
 	}
 	e := initEntry{kind: ptrInitEntry, ptr: v, val: val}
-	f.ptf.initial = append(f.ptf.initial, e)
+	a.appendInitial(f.c, f.ptf, e)
 	a.bumpVersion(f.c, f.ptf)
 	f.c.changed = true
 	vals := memmod.Values(val)
@@ -474,23 +486,26 @@ func (a *Analysis) migrateReaders(c *evalCtx, q, np *memmod.Block) {
 				a.markDirty(c, k.ptf, k.nd)
 			}
 		}
-		for k := range a.readers[q] {
+		qs := a.readers[q]
+		for _, k := range qs.list {
+			a.markDirty(c, k.ptf, k.nd)
+		}
+		for k := range qs.m {
 			a.markDirty(c, k.ptf, k.nd)
 		}
 		return
 	}
-	old := a.readers[q]
-	if old == nil {
+	old, ok := a.readers[q]
+	if !ok {
 		return
 	}
 	delete(a.readers, q)
-	set := a.readers[np]
-	if set == nil {
-		set = make(map[readerKey]bool, len(old))
-		a.readers[np] = set
+	for _, k := range old.list {
+		a.addReader(np, k)
+		a.markDirty(c, k.ptf, k.nd)
 	}
-	for k := range old {
-		set[k] = true
+	for k := range old.m {
+		a.addReader(np, k)
 		a.markDirty(c, k.ptf, k.nd)
 	}
 }

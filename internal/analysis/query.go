@@ -164,7 +164,7 @@ func (a *Analysis) VarLoc(p *PTF, sym *cast.Symbol, off, stride int64) memmod.Lo
 	}
 	if sym.Global {
 		if p != a.mainPTF {
-			if gp, ok := p.globalParams[sym]; ok {
+			if gp, ok := p.globalParams.get(sym); ok {
 				return memmod.Loc(gp.Representative(), off, stride)
 			}
 		}

@@ -99,6 +99,83 @@ type evalCtx struct {
 	// migrateBuf buffers reader migrations caused by parameter
 	// subsumption inside the cone.
 	migrateBuf []blockPair
+
+	// pendBuf is the reusable pending-write scratch of applySummary
+	// (small; linear-scanned by destination).
+	pendBuf []pendingWrite
+
+	// pmapPool recycles the trial parameter-map used by PTF matching.
+	pmapPool map[*memmod.Block]memmod.ValueSet
+
+	// arena backs the transient value sets built while evaluating under
+	// this context (expression results, meets, dereference contents).
+	// Never reset mid-run; single-goroutine by construction.
+	arena memmod.Arena
+
+	// frameSlab, vsSlab and initSlab carve the small fixed-size pieces
+	// of call evaluation — binding frames, argument arrays, initial-
+	// entry lists — in chunks. Carves are capacity-clipped and never
+	// recycled; single-goroutine by construction.
+	frameSlab []frame
+	vsSlab    []memmod.ValueSet
+	initSlab  []initEntry
+}
+
+// carveFrame returns a zero-valued slab-backed frame under c (the main
+// context when c is nil).
+func (a *Analysis) carveFrame(c *evalCtx) *frame {
+	if c == nil {
+		c = a.mainCtx
+	}
+	if len(c.frameSlab) == 0 {
+		c.frameSlab = make([]frame, 32)
+	}
+	f := &c.frameSlab[0]
+	c.frameSlab = c.frameSlab[1:]
+	return f
+}
+
+// carveVals returns a zero-valued ValueSet slice of length n; large
+// requests fall back to the heap.
+func (a *Analysis) carveVals(c *evalCtx, n int) []memmod.ValueSet {
+	if n == 0 {
+		return nil
+	}
+	if n > 64 {
+		return make([]memmod.ValueSet, n)
+	}
+	if c == nil {
+		c = a.mainCtx
+	}
+	if len(c.vsSlab) < n {
+		c.vsSlab = make([]memmod.ValueSet, 256)
+	}
+	s := c.vsSlab[0:n:n]
+	c.vsSlab = c.vsSlab[n:]
+	return s
+}
+
+// appendInitial grows a PTF's input-domain list through the context's
+// slab: domains are usually a few entries, so slab-backed doubling
+// keeps the growth off the allocator. Long lists grow normally.
+func (a *Analysis) appendInitial(c *evalCtx, p *PTF, e initEntry) {
+	if len(p.initial) == cap(p.initial) && cap(p.initial) < 32 {
+		need := 2 * cap(p.initial)
+		if need < 4 {
+			need = 4
+		}
+		if c == nil {
+			c = a.mainCtx
+		}
+		if len(c.initSlab) < need {
+			c.initSlab = make([]initEntry, 256)
+		}
+		ns := c.initSlab[0:len(p.initial):need]
+		c.initSlab = c.initSlab[need:]
+		copy(ns, p.initial)
+		p.initial = ns
+	}
+	p.initial = append(p.initial, e)
 }
 
 func (c *evalCtx) restricted() bool { return c != nil && c.owned != nil }
@@ -287,7 +364,7 @@ func (a *Analysis) preDrain() {
 		drained := false
 		for _, proc := range a.sched.order {
 			for _, p := range a.ptfs[proc].list {
-				if p == a.mainPTF || len(p.dirty) == 0 || !p.exitReached ||
+				if p == a.mainPTF || p.dirtyN == 0 || !p.exitReached ||
 					p.lastBind == nil {
 					continue
 				}
@@ -325,7 +402,7 @@ func (a *Analysis) gatherItems(skip map[*PTF]bool) []*workItem {
 		res := a.sched.res[pi]
 		for _, p := range a.ptfs[proc].list {
 			if skip[p] || p == a.mainPTF || p.recursive || !p.exitReached ||
-				len(p.dirty) == 0 || p.lastBind == nil {
+				p.dirtyN == 0 || p.lastBind == nil {
 				continue
 			}
 			// The binding chain is read (never written) while the item
@@ -437,7 +514,7 @@ func (a *Analysis) runEpoch(items []*workItem) {
 func (a *Analysis) dirtyCandidates(proc *cfg.Proc) []*PTF {
 	var out []*PTF
 	for _, p := range a.ptfs[proc].list {
-		if len(p.dirty) > 0 && p.exitReached && p.lastBind != nil && !a.draining[p] {
+		if p.dirtyN > 0 && p.exitReached && p.lastBind != nil && !a.draining[p] {
 			out = append(out, p)
 		}
 	}
@@ -503,13 +580,8 @@ func recontext(f *frame, c *evalCtx) *frame {
 // order anyway to keep the walk reproducible.
 func (a *Analysis) commitCtx(c *evalCtx) {
 	for b, set := range c.readerBuf {
-		g := a.readers[b]
-		if g == nil {
-			g = make(map[readerKey]bool, len(set))
-			a.readers[b] = g
-		}
 		for k := range set {
-			g[k] = true
+			a.addReader(b, k)
 		}
 	}
 	for _, mp := range c.migrateBuf {

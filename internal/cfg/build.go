@@ -56,8 +56,10 @@ func Build(fd *cast.FuncDecl) (p *Proc, err error) {
 		uniq:   &uniq,
 		labels: make(map[string]*Node),
 	}
-	b.proc.Entry = &Node{Kind: EntryNode, Pos: fd.Pos}
-	b.proc.Exit = &Node{Kind: ExitNode, Pos: fd.Pos}
+	b.proc.Entry = newNode(EntryNode)
+	b.proc.Entry.Pos = fd.Pos
+	b.proc.Exit = newNode(ExitNode)
+	b.proc.Exit.Pos = fd.Pos
 	b.cur = b.proc.Entry
 	b.lowerStmt(fd.Body)
 	if b.cur != nil {
@@ -88,7 +90,7 @@ func (b *builder) errorf(pos ctok.Pos, format string, args ...any) {
 // meet node for code after a jump; such nodes are pruned by finish.
 func (b *builder) ensureCur() {
 	if b.cur == nil {
-		b.cur = &Node{Kind: MeetNode}
+		b.cur = newNode(MeetNode)
 	}
 }
 
@@ -99,13 +101,15 @@ func (b *builder) emit(n *Node) *Node {
 	return n
 }
 
-func (b *builder) newMeet() *Node { return &Node{Kind: MeetNode} }
+func (b *builder) newMeet() *Node { return newNode(MeetNode) }
 
 func (b *builder) emitAssign(dst, src *Expr, size int64, aggregate bool, pos ctok.Pos) {
 	if dst.IsEmpty() {
 		return
 	}
-	b.emit(&Node{Kind: AssignNode, Dst: dst, Src: src, Size: size, Aggregate: aggregate, Pos: pos})
+	n := newNode(AssignNode)
+	n.Dst, n.Src, n.Size, n.Aggregate, n.Pos = dst, src, size, aggregate, pos
+	b.emit(n)
 }
 
 func (b *builder) newTemp(t *ctype.Type) *cast.Symbol {
@@ -673,7 +677,8 @@ func (b *builder) lowerCond(e *cast.Cond, asLValue bool) *Expr {
 // lowerCall lowers a call, returning the value expression of its result
 // and the temp symbol holding the result (nil for void calls).
 func (b *builder) lowerCall(e *cast.Call) (*Expr, *cast.Symbol) {
-	n := &Node{Kind: CallNode, Pos: e.Pos}
+	n := newNode(CallNode)
+	n.Pos = e.Pos
 	// Direct vs. indirect target.
 	switch fun := e.Fun.(type) {
 	case *cast.Ident:

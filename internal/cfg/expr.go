@@ -3,6 +3,7 @@ package cfg
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"wlpa/internal/cast"
 )
@@ -50,28 +51,77 @@ type Expr struct {
 // IsEmpty reports whether the expression can produce no pointer values.
 func (e *Expr) IsEmpty() bool { return e == nil || len(e.Terms) == 0 }
 
+// Expression nodes live as long as the procedure that holds them, and a
+// CFG build creates them in bulk (one per variable reference or
+// dereference), so their storage is carved from shared slabs: one chunk
+// allocation amortizes over dozens of nodes. Carved term slices are
+// capacity-clipped, so appending to one (union does) reallocates away
+// and can never overwrite a neighboring carve. The mutex keeps the slabs
+// safe if procedures are ever built from multiple goroutines; builds are
+// front-end work, so contention is irrelevant.
+var (
+	exprMu   sync.Mutex
+	exprSlab []Expr
+	termSlab []Term
+)
+
+// allocExpr returns a slab-backed empty expression.
+func allocExpr() *Expr {
+	exprMu.Lock()
+	if len(exprSlab) == 0 {
+		exprSlab = make([]Expr, 64)
+	}
+	e := &exprSlab[0]
+	exprSlab = exprSlab[1:]
+	exprMu.Unlock()
+	return e
+}
+
+// carveTerms returns a slab-backed term slice of length and capacity n.
+func carveTerms(n int) []Term {
+	if n > 128 {
+		return make([]Term, n)
+	}
+	exprMu.Lock()
+	if len(termSlab) < n {
+		termSlab = make([]Term, 128)
+	}
+	ts := termSlab[0:n:n]
+	termSlab = termSlab[n:]
+	exprMu.Unlock()
+	return ts
+}
+
+// expr1 builds a single-term expression from slab storage.
+func expr1(t Term) *Expr {
+	e := allocExpr()
+	e.Terms = carveTerms(1)
+	e.Terms[0] = t
+	return e
+}
+
 func varExpr(sym *cast.Symbol) *Expr {
-	return &Expr{Terms: []Term{{Kind: TermVar, Sym: sym}}}
+	return expr1(Term{Kind: TermVar, Sym: sym})
 }
 
 func funcExpr(sym *cast.Symbol) *Expr {
-	return &Expr{Terms: []Term{{Kind: TermFunc, Sym: sym}}}
+	return expr1(Term{Kind: TermFunc, Sym: sym})
 }
 
 func strExpr(id int, val string) *Expr {
-	return &Expr{Terms: []Term{{Kind: TermStr, StrID: id, StrVal: val}}}
+	return expr1(Term{Kind: TermStr, StrID: id, StrVal: val})
 }
 
 func nullExpr() *Expr {
-	return &Expr{Terms: []Term{{Kind: TermNull}}}
+	return expr1(Term{Kind: TermNull})
 }
 
 // derefExpr wraps base in a dereference.
 func derefExpr(base *Expr) *Expr {
 	if base.IsEmpty() {
-		return &Expr{}
+		return allocExpr()
 	}
-	return &Expr{Terms: []Term{{Kind: TermDeref, Base: base}}}
+	return expr1(Term{Kind: TermDeref, Base: base})
 }
 
 // shift displaces every term's result by delta bytes.
@@ -79,7 +129,8 @@ func shift(e *Expr, delta int64) *Expr {
 	if e.IsEmpty() || delta == 0 {
 		return e
 	}
-	out := &Expr{Terms: make([]Term, len(e.Terms))}
+	out := allocExpr()
+	out.Terms = carveTerms(len(e.Terms))
 	copy(out.Terms, e.Terms)
 	for i := range out.Terms {
 		out.Terms[i].Off += delta
@@ -92,7 +143,8 @@ func widen(e *Expr, s int64) *Expr {
 	if e.IsEmpty() || s == 0 {
 		return e
 	}
-	out := &Expr{Terms: make([]Term, len(e.Terms))}
+	out := allocExpr()
+	out.Terms = carveTerms(len(e.Terms))
 	copy(out.Terms, e.Terms)
 	for i := range out.Terms {
 		t := &out.Terms[i]
@@ -107,7 +159,7 @@ func widen(e *Expr, s int64) *Expr {
 
 // union merges expressions.
 func union(es ...*Expr) *Expr {
-	out := &Expr{}
+	out := allocExpr()
 	for _, e := range es {
 		if e != nil {
 			out.Terms = append(out.Terms, e.Terms...)

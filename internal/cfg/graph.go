@@ -2,6 +2,7 @@ package cfg
 
 import (
 	"fmt"
+	"sync"
 
 	"wlpa/internal/cast"
 	"wlpa/internal/ctok"
@@ -109,22 +110,63 @@ type Proc struct {
 	NumCalls int
 }
 
+// Flow-graph nodes and their edge lists are slab-carved like expression
+// nodes (see expr.go): a procedure build creates nodes in bulk and they
+// all live exactly as long as the procedure. Edge-list carves get
+// capacity 2 — almost every node has at most two successors and two
+// predecessors — and are capacity-clipped, so a third append reallocates
+// away from the slab instead of overwriting a neighbor.
+var (
+	nodeMu   sync.Mutex
+	nodeSlab []Node
+	nptrSlab []*Node
+)
+
+func newNode(kind NodeKind) *Node {
+	nodeMu.Lock()
+	if len(nodeSlab) == 0 {
+		nodeSlab = make([]Node, 64)
+	}
+	n := &nodeSlab[0]
+	nodeSlab = nodeSlab[1:]
+	nodeMu.Unlock()
+	n.Kind = kind
+	return n
+}
+
+// appendNode appends n to an edge list, carving first-touch storage from
+// the pointer slab.
+func appendNode(s []*Node, n *Node) []*Node {
+	if s == nil {
+		nodeMu.Lock()
+		if len(nptrSlab) < 2 {
+			nptrSlab = make([]*Node, 128)
+		}
+		s = nptrSlab[0:0:2]
+		nptrSlab = nptrSlab[2:]
+		nodeMu.Unlock()
+	}
+	return append(s, n)
+}
+
 func link(a, b *Node) {
-	a.Succs = append(a.Succs, b)
-	b.Preds = append(b.Preds, a)
+	a.Succs = appendNode(a.Succs, b)
+	b.Preds = appendNode(b.Preds, a)
 }
 
 // finish prunes unreachable nodes, computes reverse postorder, dominator
 // tree and dominance frontiers.
 func (p *Proc) finish() {
 	// Depth-first search from entry for reachability and postorder.
-	seen := make(map[*Node]bool)
+	// DomPre doubles as the visited flag: it is zero on fresh nodes and
+	// overwritten by the Euler numbering below, so no side table is
+	// needed.
 	var post []*Node
 	var dfs func(n *Node)
 	dfs = func(n *Node) {
-		seen[n] = true
+		n.DomPre = 1
 		for _, s := range n.Succs {
-			if !seen[s] {
+			if s.DomPre == 0 {
 				dfs(s)
 			}
 		}
@@ -133,7 +175,7 @@ func (p *Proc) finish() {
 	dfs(p.Entry)
 	// Ensure the exit node is present even if unreachable (infinite
 	// loops): it then has no preds and the analysis never evaluates it.
-	if !seen[p.Exit] {
+	if p.Exit.DomPre == 0 {
 		post = append([]*Node{p.Exit}, post...)
 	}
 	// Remove unreachable preds.
@@ -147,7 +189,7 @@ func (p *Proc) finish() {
 		nd.ID = i
 		live := nd.Preds[:0]
 		for _, pr := range nd.Preds {
-			if seen[pr] {
+			if pr.DomPre != 0 {
 				live = append(live, pr)
 			}
 		}
@@ -200,23 +242,39 @@ func (p *Proc) computeDominators() {
 		}
 	}
 	// Euler numbering of the dominator tree for O(1) ancestry tests.
-	children := make(map[*Node][]*Node)
+	// Child lists are packed into one buffer by a count/fill pass over
+	// the (already ID-numbered) nodes instead of a map of slices.
+	n := len(p.Nodes)
+	childStart := make([]int, n+1)
 	for _, nd := range p.Nodes {
 		if nd.Idom != nil {
-			children[nd.Idom] = append(children[nd.Idom], nd)
+			childStart[nd.Idom.ID+1]++
+		}
+	}
+	for i := 0; i < n; i++ {
+		childStart[i+1] += childStart[i]
+	}
+	childBuf := make([]*Node, childStart[n])
+	cursor := make([]int, n)
+	copy(cursor, childStart[:n])
+	for _, nd := range p.Nodes {
+		if nd.Idom != nil {
+			id := nd.Idom.ID
+			childBuf[cursor[id]] = nd
+			cursor[id]++
 		}
 	}
 	clock := 0
 	var number func(n *Node, depth int)
-	number = func(n *Node, depth int) {
+	number = func(nd *Node, depth int) {
 		clock++
-		n.DomPre = clock
-		n.domDepth = depth
-		for _, c := range children[n] {
+		nd.DomPre = clock
+		nd.domDepth = depth
+		for _, c := range childBuf[childStart[nd.ID]:childStart[nd.ID+1]] {
 			number(c, depth+1)
 		}
 		clock++
-		n.DomPost = clock
+		nd.DomPost = clock
 	}
 	number(entry, 0)
 }

@@ -342,34 +342,37 @@ func (st *state) doDefine(pos ctok.Pos, line []ctok.Token) error {
 // expandFrom expands the macro (if any) at toks[i], appending the result
 // to st.out, and returns the index of the next unconsumed token.
 func (st *state) expandFrom(toks []ctok.Token, i int) (int, error) {
-	expanded, next, err := st.expandOne(toks, i, nil)
+	out, next, err := st.expandInto(st.out, toks, i, nil)
 	if err != nil {
 		return 0, err
 	}
-	st.out = append(st.out, expanded...)
+	st.out = out
 	return next, nil
 }
 
-// expandOne returns the fully expanded token sequence for the token at
-// toks[i] plus (for function-like macros) its argument list, and the next
-// index. hide is the set of macro names not to re-expand.
-func (st *state) expandOne(toks []ctok.Token, i int, hide map[string]bool) ([]ctok.Token, int, error) {
+// expandInto appends the fully expanded token sequence for the token at
+// toks[i] (plus, for function-like macros, its argument list) to dst,
+// returning the extended slice and the next index. hide is the set of
+// macro names not to re-expand. Ordinary non-macro tokens — the
+// overwhelmingly common case — append straight to dst with no
+// intermediate allocation.
+func (st *state) expandInto(dst []ctok.Token, toks []ctok.Token, i int, hide map[string]bool) ([]ctok.Token, int, error) {
 	t := toks[i]
 	if t.Kind != ctok.Ident {
-		return []ctok.Token{t}, i + 1, nil
+		return append(dst, t), i + 1, nil
 	}
 	m, ok := st.macros[t.Text]
 	if !ok || hide[t.Text] {
-		return []ctok.Token{t}, i + 1, nil
+		return append(dst, t), i + 1, nil
 	}
 	if !m.IsFunc {
 		body := retag(m.Body, t.Pos)
-		out, err := st.rescan(body, addHide(hide, m.Name))
+		out, err := st.rescanInto(dst, body, addHide(hide, m.Name))
 		return out, i + 1, err
 	}
 	// Function-like: need '(' next; otherwise leave the name alone.
 	if i+1 >= len(toks) || toks[i+1].Kind != ctok.LParen {
-		return []ctok.Token{t}, i + 1, nil
+		return append(dst, t), i + 1, nil
 	}
 	args, next, err := st.collectArgs(toks, i+1)
 	if err != nil {
@@ -397,7 +400,7 @@ func (st *state) expandOne(toks []ctok.Token, i int, hide map[string]bool) ([]ct
 		body = append(body, bt)
 	}
 	body = retag(body, t.Pos)
-	out, err := st.rescan(body, addHide(hide, m.Name))
+	out, err := st.rescanInto(dst, body, addHide(hide, m.Name))
 	return out, next, err
 }
 
@@ -434,17 +437,20 @@ func retag(body []ctok.Token, pos ctok.Pos) []ctok.Token {
 
 // rescan re-expands macros appearing in a substituted body.
 func (st *state) rescan(body []ctok.Token, hide map[string]bool) ([]ctok.Token, error) {
-	var out []ctok.Token
+	return st.rescanInto(nil, body, hide)
+}
+
+// rescanInto expands body appending to dst, returning the extended slice.
+func (st *state) rescanInto(dst, body []ctok.Token, hide map[string]bool) ([]ctok.Token, error) {
 	i := 0
 	for i < len(body) {
-		ex, next, err := st.expandOne(body, i, hide)
+		var err error
+		dst, i, err = st.expandInto(dst, body, i, hide)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, ex...)
-		i = next
 	}
-	return out, nil
+	return dst, nil
 }
 
 // collectArgs parses a macro argument list starting at the '(' in

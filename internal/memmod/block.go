@@ -3,6 +3,8 @@ package memmod
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
 
 	"wlpa/internal/cast"
@@ -74,6 +76,12 @@ type Block struct {
 	// Type is the declared type if known (locals/globals).
 	Type *ctype.Type
 
+	// scalarID caches the interned ID of the block's (Off=0, Stride=0)
+	// location set, packed as tag<<32|id where tag identifies the
+	// Interner that issued it (see Interner.ExactID). A mismatched tag
+	// simply misses; the cache is advisory.
+	scalarID atomic.Uint64
+
 	// --- extended parameter state ---
 
 	// Index is the creation order of the parameter within its PTF;
@@ -97,15 +105,12 @@ type Block struct {
 	fwdDelta   int64
 	fwdUnknown bool
 
-	// ptrLocs records the location sets within this block that may
-	// contain pointers (paper §3.3). Keyed by (offset, stride).
-	ptrLocs map[offStride]bool
-
-	// ptrLocCache is the materialized PtrLocs slice, maintained eagerly
-	// (sorted by offset then stride) as AddPtrLoc records facts, so that
-	// PtrLocs is a pure read — safe under concurrent readers while the
-	// owning evaluation context is the only writer — and its order never
-	// depends on map iteration. Callers must not mutate it.
+	// ptrLocCache records the location sets within this block that may
+	// contain pointers (paper §3.3), sorted by (offset, stride) with
+	// binary-search membership, so that PtrLocs is a pure read — safe
+	// under concurrent readers while the owning evaluation context is
+	// the only writer — and its order never depends on map iteration.
+	// Callers must not mutate it.
 	ptrLocCache []LocSet
 
 	// fnBound accumulates every value this FuncPtr parameter has been
@@ -121,8 +126,44 @@ type Block struct {
 	id uint64
 }
 
-type offStride struct {
-	off, stride int64
+// blockSlab carves Block storage in chunks: analyses create blocks in
+// bursts (one per local, parameter, heap site...), and slabbing turns
+// per-block heap allocations into one per chunk. Blocks live for the
+// analysis lifetime, so chunk sharing never extends anything. A mutex
+// guards the slab: parameters can be created from parallel workers,
+// but block creation is low-volume.
+var (
+	blockMu   sync.Mutex
+	blockSlab []Block
+	plSlab    []LocSet
+)
+
+// carvePtrLocs returns a zero-length, capacity-clipped LocSet slice for
+// a ptrLocCache copy. Published caches are never reused, so carving from
+// a shared slab is safe; big rows fall back to the heap.
+func carvePtrLocs(n int) []LocSet {
+	if n > 64 {
+		return make([]LocSet, 0, n)
+	}
+	blockMu.Lock()
+	if len(plSlab) < n {
+		plSlab = make([]LocSet, 256)
+	}
+	s := plSlab[0:0:n]
+	plSlab = plSlab[n:]
+	blockMu.Unlock()
+	return s
+}
+
+func allocBlock() *Block {
+	blockMu.Lock()
+	if len(blockSlab) == 0 {
+		blockSlab = make([]Block, 64)
+	}
+	b := &blockSlab[0]
+	blockSlab = blockSlab[1:]
+	blockMu.Unlock()
+	return b
 }
 
 // finish assigns the creation-order identity of a freshly built block.
@@ -133,54 +174,80 @@ func finish(b *Block) *Block {
 
 // NewLocal creates a block for a local variable.
 func NewLocal(sym *cast.Symbol) *Block {
-	return finish(&Block{
-		Kind: LocalBlock, Name: sym.Name, Sym: sym,
-		Size: sym.Type.Sizeof(), Type: sym.Type,
-	})
+	b := allocBlock()
+	b.Kind, b.Name, b.Sym = LocalBlock, sym.Name, sym
+	b.Size, b.Type = sym.Type.Sizeof(), sym.Type
+	return finish(b)
 }
 
 // NewGlobal creates the real storage block of a global variable.
 func NewGlobal(sym *cast.Symbol) *Block {
-	return finish(&Block{
-		Kind: GlobalBlock, Name: sym.Name, Sym: sym,
-		Size: sym.Type.Sizeof(), Type: sym.Type,
-	})
+	b := allocBlock()
+	b.Kind, b.Name, b.Sym = GlobalBlock, sym.Name, sym
+	b.Size, b.Type = sym.Type.Sizeof(), sym.Type
+	return finish(b)
 }
 
 // NewHeap creates the block for a static allocation site.
 func NewHeap(site ctok.Pos) *Block {
-	return finish(&Block{Kind: HeapBlock, Name: fmt.Sprintf("heap@%s", site), Site: site})
+	b := allocBlock()
+	b.Kind, b.Name, b.Site = HeapBlock, fmt.Sprintf("heap@%s", site), site
+	return finish(b)
 }
 
 // NewFunc creates the block representing a function value.
 func NewFunc(sym *cast.Symbol) *Block {
-	return finish(&Block{Kind: FuncBlock, Name: sym.Name, Sym: sym, Type: sym.Type})
+	b := allocBlock()
+	b.Kind, b.Name, b.Sym, b.Type = FuncBlock, sym.Name, sym, sym.Type
+	return finish(b)
 }
 
 // NewString creates a block for a string literal.
 func NewString(id int, value string) *Block {
-	return finish(&Block{
-		Kind: StringBlock, Name: fmt.Sprintf("str%d", id),
-		Size: int64(len(value)) + 1,
-	})
+	b := allocBlock()
+	b.Kind, b.Name, b.Size = StringBlock, fmt.Sprintf("str%d", id), int64(len(value))+1
+	return finish(b)
 }
 
 // NewRetval creates the special return-value block of a procedure.
 func NewRetval(proc string) *Block {
-	return finish(&Block{Kind: RetvalBlock, Name: "<retval:" + proc + ">", Size: ctype.PointerSize})
+	b := allocBlock()
+	b.Kind, b.Name, b.Size = RetvalBlock, "<retval:"+proc+">", ctype.PointerSize
+	return finish(b)
 }
 
 // NewNull creates the null pseudo-location block. Each analysis owns one
 // instance (blocks carry mutable per-analysis state).
 func NewNull() *Block {
-	return finish(&Block{Kind: NullBlock, Name: "<null>"})
+	b := allocBlock()
+	b.Kind, b.Name = NullBlock, "<null>"
+	return finish(b)
+}
+
+// smallInts serves itoa for the common parameter indexes without the
+// strconv allocation.
+var smallInts = func() [64]string {
+	var t [64]string
+	for i := range t {
+		t[i] = strconv.Itoa(i)
+	}
+	return t
+}()
+
+func itoa(i int) string {
+	if i >= 0 && i < len(smallInts) {
+		return smallInts[i]
+	}
+	return strconv.Itoa(i)
 }
 
 // NewParam creates an extended parameter. hint names the pointer through
 // which the parameter was first reached, following the paper's "1_p"
 // naming convention.
 func NewParam(index int, hint string) *Block {
-	return finish(&Block{Kind: ParamBlock, Name: fmt.Sprintf("%d_%s", index, hint), Index: index})
+	b := allocBlock()
+	b.Kind, b.Name, b.Index = ParamBlock, itoa(index)+"_"+hint, index
+	return finish(b)
 }
 
 // Unique reports whether the block denotes a single run-time memory
@@ -210,12 +277,12 @@ func (b *Block) Subsume(target *Block, delta int64, unknownDelta bool) {
 	b.fwdUnknown = unknownDelta
 	atomic.AddUint64(&subsumeGen, 1)
 	// Pointer-location facts migrate to the subsuming block.
-	for os := range b.ptrLocs {
-		ls := LocSet{Base: b, Off: os.off, Stride: os.stride}.Resolve()
+	moved := b.ptrLocCache
+	b.ptrLocCache = nil
+	for _, pl := range moved {
+		ls := LocSet{Base: b, Off: pl.Off, Stride: pl.Stride}.Resolve()
 		ls.Base.AddPtrLoc(ls)
 	}
-	b.ptrLocs = nil
-	b.ptrLocCache = nil
 }
 
 // Forwarded returns the block b currently forwards to (nil if none).
@@ -239,26 +306,30 @@ func (b *Block) AddPtrLoc(ls LocSet) bool {
 		// Caller passed a stale base; record on the representative.
 		rb = ls.Base
 	}
-	if rb.ptrLocs == nil {
-		rb.ptrLocs = make(map[offStride]bool)
-	}
-	key := offStride{ls.Off, ls.Stride}
-	if rb.ptrLocs[key] {
-		return false
-	}
-	rb.ptrLocs[key] = true
-	// Keep the materialized slice sorted by (offset, stride): a fresh
-	// slice is published per insertion so concurrent readers holding the
-	// previous slice are unaffected.
 	nl := LocSet{Base: rb, Off: ls.Off, Stride: ls.Stride}
 	old := rb.ptrLocCache
 	i := sort.Search(len(old), func(i int) bool {
 		if old[i].Off != nl.Off {
 			return old[i].Off > nl.Off
 		}
-		return old[i].Stride > nl.Stride
+		return old[i].Stride >= nl.Stride
 	})
-	next := make([]LocSet, 0, len(old)+1)
+	if i < len(old) && old[i] == nl {
+		return false
+	}
+	if i == len(old) && cap(old) > len(old) {
+		// Append into spare capacity past the published length:
+		// concurrent readers hold the previous header and never look
+		// beyond their own length, so filling the next slot and then
+		// publishing a longer header cannot disturb them.
+		old = old[: i+1 : cap(old)]
+		old[i] = nl
+		rb.ptrLocCache = old
+		return true
+	}
+	// Out-of-order insert (or no spare room): publish a fresh sorted
+	// copy, with slack so subsequent in-order inserts are in-place.
+	next := carvePtrLocs(2*len(old) + 2)
 	next = append(next, old[:i]...)
 	next = append(next, nl)
 	next = append(next, old[i:]...)
@@ -274,7 +345,7 @@ func (b *Block) PtrLocs() []LocSet {
 }
 
 // NumPtrLocs returns the number of recorded pointer locations.
-func (b *Block) NumPtrLocs() int { return len(b.Representative().ptrLocs) }
+func (b *Block) NumPtrLocs() int { return len(b.Representative().ptrLocCache) }
 
 // AddFnBound accumulates values bound to this function-pointer
 // parameter, reporting whether any were new. Like AddPtrLoc, only the

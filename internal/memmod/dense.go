@@ -1,0 +1,80 @@
+package memmod
+
+// Dense row indexes. Large stored points-to rows get a bitset over
+// interned location IDs attached (see ptset.Record): membership tests
+// and unions then run on bits instead of linear scans over the members.
+// The index lives NEXT TO the row's ValueSet rather than inside it —
+// ValueSet stays a 4-word struct that is copied by value throughout the
+// evaluation engine, and only the stored rows (a tiny fraction of all
+// sets) pay for the index.
+
+// DenseThreshold is the member count at which a stored row grows a
+// dense index. Below it a linear scan over the members beats touching
+// a second cache line; rows at or past it get bit-test membership.
+const DenseThreshold = 16
+
+// RowBits is a dense bitset index over one stored row's members, keyed
+// by the interned IDs of the exact stored forms. The bits mirror the
+// sparse representation's semantics precisely: sparse Add deduplicates
+// by struct equality on the stored (resolved-at-insert) form, and the
+// intern table assigns one ID per exact form, so bit membership and
+// linear-scan membership agree even when members go stale under later
+// parameter subsumption.
+//
+// A RowBits is owned by exactly one record and mutated only under the
+// points-to layer's single-writer discipline; readers of the row get a
+// ValueSet view that never touches the index.
+type RowBits struct {
+	in    *Interner
+	words []uint64
+}
+
+// NewRowBits builds the index over v's current members.
+func NewRowBits(in *Interner, v ValueSet) *RowBits {
+	b := &RowBits{in: in}
+	for _, l := range v.locs {
+		b.set(in.ExactID(l))
+	}
+	return b
+}
+
+// Has reports whether the ID's bit is set.
+func (b *RowBits) Has(id LocID) bool {
+	w := uint(id) / 64
+	return w < uint(len(b.words)) && b.words[w]&(1<<(uint(id)%64)) != 0
+}
+
+func (b *RowBits) set(id LocID) {
+	w := uint(id) / 64
+	for uint(len(b.words)) <= w {
+		b.words = append(b.words, 0)
+	}
+	b.words[w] |= 1 << (uint(id) % 64)
+}
+
+// Add inserts l's resolved form into both the row set and the index,
+// reporting whether it was new.
+func (b *RowBits) Add(v *ValueSet, l LocSet) bool {
+	l = l.Resolve()
+	id := b.in.ExactID(l)
+	if b.Has(id) {
+		return false
+	}
+	b.set(id)
+	v.locs = append(v.locs, l)
+	v.hash ^= hashLoc(l)
+	return true
+}
+
+// UnionInto unions o into the row set v using the index for membership,
+// reporting whether anything was new. v must be the set the index was
+// built over.
+func (b *RowBits) UnionInto(v *ValueSet, o ValueSet) bool {
+	changed := false
+	for _, l := range o.Locs() {
+		if b.Add(v, l) {
+			changed = true
+		}
+	}
+	return changed
+}

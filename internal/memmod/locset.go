@@ -178,6 +178,18 @@ func hashLoc(l LocSet) uint64 {
 	return z
 }
 
+// Fingerprint returns an order-independent 64-bit digest of the set:
+// the incremental member hash folded with the length. Equal sets always
+// share a fingerprint; distinct sets collide only with ordinary 64-bit
+// probability, which memoizing callers accept.
+func (v ValueSet) Fingerprint() uint64 {
+	return v.hash ^ uint64(len(v.locs))*0x9e3779b97f4a7c15
+}
+
+// Fingerprint returns the location set's identity digest (block
+// identity, offset and stride).
+func (l LocSet) Fingerprint() uint64 { return hashLoc(l) }
+
 // allResolved reports whether every member is still its own resolved
 // form (no base has been subsumed since insertion).
 func (v ValueSet) allResolved() bool {
@@ -213,6 +225,19 @@ func (v *ValueSet) Add(l LocSet) bool {
 
 // AddAll inserts every member of o and reports whether anything was new.
 func (v *ValueSet) AddAll(o ValueSet) bool {
+	// Pre-grow once to the union's upper bound instead of paying a
+	// doubling chain of reallocations inside Add.
+	if n := len(o.locs); n > 0 && cap(v.locs)-len(v.locs) < n {
+		need := len(v.locs) + n
+		if c := 2 * cap(v.locs); c > need {
+			// Keep doubling for sets that union repeatedly, so a chain
+			// of AddAlls stays amortized-constant per element.
+			need = c
+		}
+		nl := make([]LocSet, len(v.locs), need)
+		copy(nl, v.locs)
+		v.locs = nl
+	}
 	changed := false
 	for _, l := range o.locs {
 		if v.Add(l) {
@@ -258,7 +283,16 @@ func (v ValueSet) Resolved() ValueSet {
 	return out
 }
 
-// Clone returns an independent copy.
+// CloneInto copies the set into dst, which must have length Len() (its
+// capacity should be clipped to it: growth must not overwrite whatever
+// follows in a shared slab).
+func (v ValueSet) CloneInto(dst []LocSet) ValueSet {
+	copy(dst, v.locs)
+	return ValueSet{locs: dst, hash: v.hash}
+}
+
+// Clone returns an independent copy. A dense index is carried over by
+// pointer: its words are immutable (copy-on-write), so sharing is safe.
 func (v ValueSet) Clone() ValueSet {
 	out := ValueSet{locs: make([]LocSet, len(v.locs)), hash: v.hash}
 	copy(out.locs, v.locs)
@@ -267,6 +301,10 @@ func (v ValueSet) Clone() ValueSet {
 
 // Shift returns the set with every member displaced by delta.
 func (v ValueSet) Shift(delta int64) ValueSet {
+	if delta == 0 {
+		// Identity: shifting by zero only re-resolves the members.
+		return v.Resolved()
+	}
 	var out ValueSet
 	for _, l := range v.locs {
 		out.Add(l.Shift(delta))

@@ -1,0 +1,119 @@
+// Micro-benchmarks for the set kernels under the points-to layer: row
+// union and iteration on both sides of the sparse/dense threshold, and
+// the location-set intern table's hit and miss paths. These are the
+// inner loops the Table 2 numbers decompose into; run with
+//
+//	go test ./internal/ptset -bench 'Row|Intern' -benchmem
+package ptset
+
+import (
+	"fmt"
+	"testing"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/cfg"
+	"wlpa/internal/ctype"
+	"wlpa/internal/memmod"
+)
+
+// benchRow seeds a single row with n members at entry and returns the
+// points-to function, the row's key and the node.
+func benchRow(b *testing.B, n int) (*PTS, memmod.LocSet, *cfg.Node) {
+	p := buildProc(b, `
+int a, bb;
+int *r;
+void f(int c) {
+    if (c) r = &a; else r = &bb;
+    r = r;
+}`, "f")
+	pts := New(p, memmod.NewInterner())
+	target := loc("bench_row")
+	var vals memmod.ValueSet
+	for i := 0; i < n; i++ {
+		vals.Add(loc(fmt.Sprintf("bench_m%02d", i)))
+	}
+	pts.Assign(target, vals, p.Entry, false)
+	if n > memmod.DenseThreshold {
+		// Promote now (the index attaches on the first union past the
+		// threshold) so the timed loop measures the dense kernel only.
+		pts.Assign(target, vals, p.Entry, false)
+		if pts.NumDenseRows() != 1 {
+			b.Fatalf("expected a dense row at %d members", n)
+		}
+	}
+	return pts, target, p.Entry
+}
+
+// rowSizes spans the representation boundary: comfortably sparse, the
+// promotion threshold itself, and deep in bitset territory.
+var rowSizes = []int{8, memmod.DenseThreshold, 64}
+
+// BenchmarkRowUnion measures the steady-state weak union of a full
+// member set into an existing row — the no-growth membership walk that
+// dominates convergence passes (sparse: sorted-slice merge; dense:
+// bitset probes).
+func BenchmarkRowUnion(b *testing.B) {
+	for _, n := range rowSizes {
+		b.Run(fmt.Sprintf("members=%d", n), func(b *testing.B) {
+			pts, target, nd := benchRow(b, n)
+			vals, _ := pts.LookupOut(target, nd, nil)
+			vals = vals.Clone()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pts.Assign(target, vals, nd, false)
+			}
+		})
+	}
+}
+
+// BenchmarkRowIterate measures reading a row back out: the dominator-
+// walk lookup (cached) plus a full iteration of the member slice.
+func BenchmarkRowIterate(b *testing.B) {
+	for _, n := range rowSizes {
+		b.Run(fmt.Sprintf("members=%d", n), func(b *testing.B) {
+			pts, target, nd := benchRow(b, n)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var sink int64
+			for i := 0; i < b.N; i++ {
+				vals, _ := pts.LookupOut(target, nd, nil)
+				for _, l := range vals.Locs() {
+					sink += l.Off
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+// BenchmarkInternHit measures re-interning already-known location sets
+// (the analysis's common case: every lookup and assign keys through the
+// table).
+func BenchmarkInternHit(b *testing.B) {
+	in := memmod.NewInterner()
+	blk := memmod.NewLocal(&cast.Symbol{Kind: cast.SymVar, Name: "intern_hit", Type: ctype.PointerTo(ctype.IntType)})
+	keys := make([]memmod.LocSet, 512)
+	for i := range keys {
+		keys[i] = memmod.Loc(blk, int64(8*i), 0)
+		in.ID(keys[i])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.ID(keys[i&511])
+	}
+}
+
+// BenchmarkInternMiss measures first-time interning: every iteration
+// presents a set the table has never seen (hash, probe, insert, ID
+// assignment).
+func BenchmarkInternMiss(b *testing.B) {
+	in := memmod.NewInterner()
+	blk := memmod.NewLocal(&cast.Symbol{Kind: cast.SymVar, Name: "intern_miss", Type: ctype.PointerTo(ctype.IntType)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		in.ID(memmod.Loc(blk, int64(8*i), 0))
+	}
+}

@@ -12,7 +12,7 @@ import (
 )
 
 // buildProc compiles src and returns the flow graph of fn.
-func buildProc(t *testing.T, src, fn string) *cfg.Proc {
+func buildProc(t testing.TB, src, fn string) *cfg.Proc {
 	t.Helper()
 	f, err := cparse.ParseSource("t.c", src)
 	if err != nil {
@@ -75,7 +75,7 @@ void f(int c) {
 
 func TestLookupNearestDominating(t *testing.T) {
 	p, entry, thenN, _, join := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	l := loc("p")
 	v1 := memmod.Values(loc("x"))
 	pts.Assign(l, v1, entry, true)
@@ -100,7 +100,7 @@ func TestLookupNearestDominating(t *testing.T) {
 
 func TestLookupInExcludesOwnNode(t *testing.T) {
 	p, entry, thenN, _, _ := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	l := loc("p")
 	pts.Assign(l, memmod.Values(loc("x")), entry, true)
 	pts.Assign(l, memmod.Values(loc("y")), thenN, true)
@@ -116,7 +116,7 @@ func TestLookupInExcludesOwnNode(t *testing.T) {
 
 func TestLookupMissing(t *testing.T) {
 	p, _, _, _, join := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	if _, ok := pts.LookupIn(loc("q"), join, nil); ok {
 		t.Error("lookup of never-assigned loc must report not-found")
 	}
@@ -124,7 +124,7 @@ func TestLookupMissing(t *testing.T) {
 
 func TestPhiInsertionAtDominanceFrontier(t *testing.T) {
 	p, _, thenN, _, join := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	l := loc("p")
 	pts.Assign(l, memmod.Values(loc("x")), thenN, true)
 	philocs := pts.PhiLocs(join)
@@ -135,7 +135,7 @@ func TestPhiInsertionAtDominanceFrontier(t *testing.T) {
 
 func TestPhiEvaluationMerges(t *testing.T) {
 	p, entry, thenN, elseN, join := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	l := loc("p")
 	pts.Assign(l, memmod.Values(loc("z")), entry, true)
 	pts.Assign(l, memmod.Values(loc("x")), thenN, true)
@@ -156,7 +156,7 @@ func TestPhiEvaluationMerges(t *testing.T) {
 
 func TestStrongUpdateBarrier(t *testing.T) {
 	p, entry, _, _, join := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	l := loc("p")
 	pts.Assign(l, memmod.Values(loc("x")), entry, false)
 	pts.Assign(l, memmod.Values(loc("y")), join, true)
@@ -185,7 +185,7 @@ func TestStrongUpdateBarrier(t *testing.T) {
 
 func TestStrongReassignReplaces(t *testing.T) {
 	p, entry, _, _, _ := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	l := loc("p")
 	pts.Assign(l, memmod.Values(loc("x")), entry, true)
 	// Re-evaluation with a different value set replaces (strong).
@@ -211,7 +211,7 @@ func TestStrongReassignReplaces(t *testing.T) {
 
 func TestAssignChangeDetection(t *testing.T) {
 	p, entry, _, _, _ := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	l := loc("p")
 	if !pts.Assign(l, memmod.Values(loc("x")), entry, false) {
 		t.Error("first assign changes")
@@ -226,7 +226,7 @@ func TestAssignChangeDetection(t *testing.T) {
 
 func TestLocationsAndNumRecords(t *testing.T) {
 	p, entry, thenN, _, _ := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	pts.Assign(loc("p"), memmod.Values(loc("x")), entry, false)
 	pts.Assign(loc("q"), memmod.Values(loc("y")), thenN, false)
 	if len(pts.Locations()) != 2 {
@@ -239,7 +239,7 @@ func TestLocationsAndNumRecords(t *testing.T) {
 
 func TestRehomeAfterSubsumption(t *testing.T) {
 	p, entry, _, _, _ := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	p1 := memmod.NewParam(1, "a")
 	p2 := memmod.NewParam(2, "b")
 	l1 := memmod.Loc(p1, 0, 0)
@@ -259,7 +259,7 @@ func TestRehomeAfterSubsumption(t *testing.T) {
 
 func TestPhiLocsDeterministicOrder(t *testing.T) {
 	p, _, thenN, _, join := diamondProc(t)
-	pts := New(p)
+	pts := New(p, memmod.NewInterner())
 	for _, n := range []string{"c", "a", "b"} {
 		pts.Assign(loc(n), memmod.Values(loc("x")), thenN, false)
 	}

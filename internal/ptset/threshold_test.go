@@ -1,0 +1,156 @@
+package ptset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"wlpa/internal/memmod"
+)
+
+// member returns the i-th member location of the threshold tests'
+// shared universe.
+func member(i int) memmod.LocSet { return loc(fmt.Sprintf("thr_m%02d", i)) }
+
+// TestDensePromotionBoundary pins the sparse→dense hand-off of stored
+// rows around memmod.DenseThreshold: a row stays a plain slice while it
+// has at most DenseThreshold members, and the first union touching it
+// after that attaches the bitset index. Lookup results must be
+// identical on both sides of the boundary.
+func TestDensePromotionBoundary(t *testing.T) {
+	p, entry, _, _, _ := diamondProc(t)
+	pts := New(p, memmod.NewInterner())
+	target := loc("thr_row")
+	for i := 0; i < memmod.DenseThreshold+8; i++ {
+		pts.Assign(target, memmod.Values(member(i)), entry, false)
+		vals, ok := pts.LookupOut(target, entry, nil)
+		if !ok {
+			t.Fatalf("step %d: row not found", i)
+		}
+		if got, want := vals.Len(), i+1; got != want {
+			t.Fatalf("step %d: Len = %d, want %d", i, got, want)
+		}
+		for j := 0; j <= i; j++ {
+			if !vals.Has(member(j)) {
+				t.Fatalf("step %d: member %d missing", i, j)
+			}
+		}
+		// The promoting union sees the pre-union length, so the bitset
+		// appears one growth step after the row reaches the threshold.
+		wantDense := 0
+		if vals.Len() > memmod.DenseThreshold {
+			wantDense = 1
+		}
+		if got := pts.NumDenseRows(); got != wantDense {
+			t.Fatalf("step %d (Len=%d): NumDenseRows = %d, want %d",
+				i, vals.Len(), got, wantDense)
+		}
+	}
+}
+
+// TestDensePromotionOnNoGrowthUnion pins the exact boundary rule: once
+// the row holds DenseThreshold members, the next union promotes it even
+// when it adds nothing new.
+func TestDensePromotionOnNoGrowthUnion(t *testing.T) {
+	p, entry, _, _, _ := diamondProc(t)
+	pts := New(p, memmod.NewInterner())
+	target := loc("thr_row2")
+	for i := 0; i < memmod.DenseThreshold; i++ {
+		pts.Assign(target, memmod.Values(member(i)), entry, false)
+	}
+	if got := pts.NumDenseRows(); got != 0 {
+		t.Fatalf("at threshold: NumDenseRows = %d, want 0", got)
+	}
+	if changed := pts.Assign(target, memmod.Values(member(0)), entry, false); changed {
+		t.Fatal("re-adding an existing member reported a change")
+	}
+	if got := pts.NumDenseRows(); got != 1 {
+		t.Fatalf("after no-growth union past threshold: NumDenseRows = %d, want 1", got)
+	}
+	vals, _ := pts.LookupOut(target, entry, nil)
+	if got := vals.Len(); got != memmod.DenseThreshold {
+		t.Fatalf("Len = %d, want %d", got, memmod.DenseThreshold)
+	}
+}
+
+// TestRowUnionMatchesModel is the threshold-boundary property test:
+// random weak unions (batch sizes chosen to straddle DenseThreshold)
+// must leave the row equal to a model set, and the dense index, once
+// attached, must never change membership results.
+func TestRowUnionMatchesModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	universe := make([]memmod.LocSet, 40)
+	for i := range universe {
+		universe[i] = member(i)
+	}
+	for trial := 0; trial < 100; trial++ {
+		p, entry, _, _, _ := diamondProc(t)
+		pts := New(p, memmod.NewInterner())
+		target := loc(fmt.Sprintf("thr_trial%d", trial))
+		model := map[int]bool{}
+		batches := 2 + rng.Intn(6)
+		for bi := 0; bi < batches; bi++ {
+			var batch memmod.ValueSet
+			n := 1 + rng.Intn(10)
+			for k := 0; k < n; k++ {
+				m := rng.Intn(len(universe))
+				batch.Add(universe[m])
+				model[m] = true
+			}
+			pts.Assign(target, batch, entry, false)
+			vals, ok := pts.LookupOut(target, entry, nil)
+			if !ok {
+				t.Fatalf("trial %d: row not found", trial)
+			}
+			if vals.Len() != len(model) {
+				t.Fatalf("trial %d batch %d: Len = %d, model has %d",
+					trial, bi, vals.Len(), len(model))
+			}
+			for m := range model {
+				if !vals.Has(universe[m]) {
+					t.Fatalf("trial %d batch %d: member %d missing", trial, bi, m)
+				}
+			}
+			if dense := pts.NumDenseRows(); dense > 0 && len(model) < memmod.DenseThreshold {
+				t.Fatalf("trial %d: dense index on a %d-member row (threshold %d)",
+					trial, len(model), memmod.DenseThreshold)
+			}
+		}
+	}
+}
+
+// TestStrongReplaceStaysSparse pins the strong-update side of the
+// boundary: re-evaluated strong updates replace the row wholesale and
+// never attach the dense index, however large the set — the index is
+// union infrastructure, built lazily by the first weak union once the
+// (replaced) row is at the threshold.
+func TestStrongReplaceStaysSparse(t *testing.T) {
+	p, entry, _, _, _ := diamondProc(t)
+	pts := New(p, memmod.NewInterner())
+	target := loc("thr_row3")
+	var big memmod.ValueSet
+	for i := 0; i < memmod.DenseThreshold+4; i++ {
+		big.Add(member(i))
+	}
+	pts.Assign(target, big, entry, true)
+	if got := pts.NumDenseRows(); got != 0 {
+		t.Fatalf("strong assign of %d members attached a dense index", big.Len())
+	}
+	small := memmod.Values(member(0))
+	pts.Assign(target, small, entry, true)
+	vals, _ := pts.LookupOut(target, entry, nil)
+	if !vals.Equal(small) {
+		t.Fatalf("strong replace = %v, want %v", vals, small)
+	}
+	// Re-grow past the threshold with a strong replace, then weak-union:
+	// the first weak union on an at-threshold row attaches the index.
+	pts.Assign(target, big, entry, true)
+	pts.Assign(target, memmod.Values(member(memmod.DenseThreshold+5)), entry, false)
+	if got := pts.NumDenseRows(); got != 1 {
+		t.Fatalf("weak union on an over-threshold row: NumDenseRows = %d, want 1", got)
+	}
+	vals, _ = pts.LookupOut(target, entry, nil)
+	if got, want := vals.Len(), big.Len()+1; got != want {
+		t.Fatalf("Len after rebuild = %d, want %d", got, want)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"wlpa/internal/analysis"
+	"wlpa/internal/workload"
 )
 
 // fanOutSource builds a program with n independent reader procedures
@@ -118,6 +119,40 @@ func TestParallelDefaultWorkers(t *testing.T) {
 	def := analyzeWith(t, "fanout", src, false, 0)
 	if got := def.Stats().Workers; got < 1 {
 		t.Errorf("defaulted Workers stat = %d, want >= 1", got)
+	}
+}
+
+// TestFanOutShapesBatchAndMatch pins the worker-scaling workloads
+// (workload.FanOutShapes — what BenchmarkWorkerScaling and
+// BENCH_workerscaling.json measure): every shape must form more than
+// one scheduler epoch under a worker pool (each cone root carries two
+// PTFs — distinct-argument and aliased-argument patterns — and the
+// scheduler packs one item per procedure per epoch), and the parallel
+// solution must match the sequential engine bit for bit.
+func TestFanOutShapesBatchAndMatch(t *testing.T) {
+	for _, s := range workload.FanOutShapes() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			src := s.Source()
+			seq := analyzeWith(t, s.Name, src, false, 1)
+			sd, sdiag := solutionDump(seq), diagDump(t, seq)
+			for _, w := range []int{2, 4, 8} {
+				par := analyzeWith(t, s.Name, src, false, w)
+				if got := par.Stats().ParallelEpochs; got < 2 {
+					t.Errorf("workers=%d: ParallelEpochs = %d, want >= 2", w, got)
+				}
+				if got, want := par.Stats().PTFs, seq.Stats().PTFs; got != want {
+					t.Errorf("workers=%d: PTFs = %d, want %d", w, got, want)
+				}
+				if pd := solutionDump(par); pd != sd {
+					t.Errorf("workers=%d: solution dumps differ; first divergence:\n%s", w, firstDiff(pd, sd))
+				}
+				if pdiag := diagDump(t, par); pdiag != sdiag {
+					t.Errorf("workers=%d: diagnostics differ:\n-- parallel --\n%s\n-- sequential --\n%s", w, pdiag, sdiag)
+				}
+			}
+		})
 	}
 }
 
