@@ -9,21 +9,26 @@
 //
 //	wlcheck [-checks list] [-passes list] [-format text|json|sarif]
 //	        [-baseline file] [-write-baseline file] [-workers n]
-//	        [-modref] [-q] [-trace] file.c...
+//	        [-modref] [-q] [-trace] [-remote host:port] file.c...
 //
 // With several files, the first is the entry translation unit and the
-// rest are available for #include. Exits 1 if any error-severity
-// diagnostic survives baseline suppression, 2 on usage or front-end
-// failure.
+// rest are available for #include. With -remote the diagnostics come
+// from a wlpad daemon (see cmd/wlpad), which runs every pass with its
+// own configuration — -checks/-passes/-workers/-max-ptfs are rejected
+// in that mode; baselines and output formats work unchanged. Exits 1
+// if any error-severity diagnostic survives baseline suppression, 2 on
+// usage or front-end failure.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"wlpa/internal/server"
 	"wlpa/pta"
 )
 
@@ -43,6 +48,7 @@ func main() {
 		quiet     = flag.Bool("q", false, "suppress warnings (print errors only; text format)")
 		trace     = flag.Bool("trace", false, "print the calling context of each diagnostic (text format)")
 		maxPTFs   = flag.Int("max-ptfs", 0, "cap PTFs per procedure (0 = unlimited)")
+		remote    = flag.String("remote", "", "answer via a wlpad daemon at this address instead of analyzing in-process")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -63,25 +69,42 @@ func main() {
 			entry = name
 		}
 	}
-	res, err := pta.Analyze(files, entry, &pta.Options{MaxPTFs: *maxPTFs})
-	if err != nil {
-		fail(err)
-	}
-	if *modref {
-		for _, line := range res.ModRefDump() {
-			fmt.Println(line)
+	var diags []pta.Diagnostic
+	var modrefLines []string
+	if *remote != "" {
+		if *checks != "" || *passes != "" || *workers != 0 || *maxPTFs != 0 {
+			fail(fmt.Errorf("-checks/-passes/-workers/-max-ptfs are fixed by the daemon; drop them with -remote"))
+		}
+		_, snap, err := (&server.Client{Base: *remote}).Analyze(context.Background(), files, entry, true)
+		if err != nil {
+			fail(err)
+		}
+		diags = snap.Diagnostics()
+		modrefLines = snap.ModRefDump()
+	} else {
+		res, err := pta.Analyze(files, entry, &pta.Options{MaxPTFs: *maxPTFs})
+		if err != nil {
+			fail(err)
+		}
+		copts := &pta.CheckOptions{Workers: *workers}
+		if *checks != "" {
+			copts.Checks = strings.Split(*checks, ",")
+		}
+		if *passes != "" {
+			copts.Passes = strings.Split(*passes, ",")
+		}
+		diags, err = res.Check(copts)
+		if err != nil {
+			fail(err)
+		}
+		if *modref {
+			modrefLines = res.ModRefDump()
 		}
 	}
-	copts := &pta.CheckOptions{Workers: *workers}
-	if *checks != "" {
-		copts.Checks = strings.Split(*checks, ",")
-	}
-	if *passes != "" {
-		copts.Passes = strings.Split(*passes, ",")
-	}
-	diags, err := res.Check(copts)
-	if err != nil {
-		fail(err)
+	if *modref {
+		for _, line := range modrefLines {
+			fmt.Println(line)
+		}
 	}
 	if *baseline != "" {
 		f, err := os.Open(*baseline)

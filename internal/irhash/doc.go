@@ -1,0 +1,37 @@
+// Package irhash computes the content hashes that key the persistent
+// analysis cache (internal/store) served by cmd/wlpad. It is the
+// "content-addressed" half of the serving architecture: a converged
+// analysis result is a pure function of the normalized program IR and
+// the analysis options, so equal hashes may share one cached solution
+// (PAPERS.md: Khedker et al., lazy pointer analysis — recompute only
+// what a request's changed inputs actually dirty).
+//
+// Three digests are produced per program (see Program):
+//
+//   - per-procedure IR digests over the flow graph in points-to form
+//     (cfg), including source positions — analysis outputs embed
+//     positions, so a cache entry must not outlive a position change;
+//   - per-procedure Closure digests over the SCC-condensed static call
+//     graph: a procedure's digest covers its own IR plus every
+//     procedure its analysis could consult (indirect calls
+//     conservatively reach all address-taken defined functions);
+//   - a whole-program Root digest (entry, globals, every procedure),
+//     keying the program-level solution cache.
+//
+// Invariants:
+//
+//   - Determinism: hashing the same source twice — in the same or a
+//     fresh process — yields identical digests. Nothing
+//     pointer-identity- or map-order-dependent reaches the hash; in
+//     particular no memmod.LocID ever does (the PR 7 rule that IDs
+//     never cross runs applies to hashes and serialized formats alike).
+//   - Locality: editing one procedure body changes that procedure's IR
+//     digest and the Closure digests of its transitive callers only.
+//     An edit that shifts later source lines also changes the IR of
+//     the procedures on those lines — positions are (deliberately)
+//     part of the IR.
+//   - Conservatism: digests may over-approximate dependence (globals
+//     changes invalidate everything; indirect calls fan out to all
+//     address-taken functions). A spurious mismatch costs a cache
+//     miss, never a stale answer.
+package irhash

@@ -1,0 +1,446 @@
+// Package irhash computes stable content hashes of a program's
+// normalized IR, the identity half of the content-addressed analysis
+// cache (internal/store, cmd/wlpad). See doc.go for the full contract.
+package irhash
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+
+	"wlpa/internal/cast"
+	"wlpa/internal/cfg"
+	"wlpa/internal/ctype"
+	"wlpa/internal/sem"
+)
+
+// Proc is the hash record of one defined procedure.
+type Proc struct {
+	// Name is the procedure name.
+	Name string
+	// IR is the digest of the procedure's own normalized flow graph
+	// (nodes in reverse postorder, expressions, positions, locals,
+	// formals). It changes exactly when the frontend produces a
+	// different flow graph for the procedure.
+	IR string
+	// Closure is the digest of the procedure's transitive static call
+	// closure: its own IR plus the Closure of every (possibly indirect)
+	// callee, condensed over call-graph SCCs so that recursion is
+	// well-defined. An edit to any procedure the analysis of this one
+	// could consult changes Closure.
+	Closure string
+}
+
+// Program is the full hash record of one translation unit after
+// frontend normalization (preprocess, parse, typecheck, flow-graph
+// construction).
+type Program struct {
+	// Entry is the entry file name.
+	Entry string
+	// Globals digests everything outside procedure bodies that the
+	// analysis consumes: global declarations and their static
+	// initializers, string literals, and extern (library) declarations.
+	// Every per-procedure cache key includes it — globals seed main's
+	// input domain, so an edit to them conservatively invalidates
+	// everything.
+	Globals string
+	// Procs holds the per-procedure records, sorted by name.
+	Procs []Proc
+	// Root is the whole-program digest (Entry, Globals, and every
+	// procedure's IR). Two runs over byte-identical normalized IR have
+	// equal Roots; this keys the program-level solution cache.
+	Root string
+
+	byName map[string]*Proc
+}
+
+// ProcHash returns the record for the named procedure, or nil.
+func (p *Program) ProcHash(name string) *Proc { return p.byName[name] }
+
+// Hash computes the hash record of a checked program. The flow graphs
+// are built independently of any analysis instance, so hashing a
+// request does not require running the engine.
+func Hash(prog *sem.Program) (*Program, error) {
+	procs, err := cfg.BuildAll(prog.Funcs)
+	if err != nil {
+		return nil, err
+	}
+	return HashProcs(prog, procs), nil
+}
+
+// HashProcs is Hash for callers that already hold built flow graphs.
+func HashProcs(prog *sem.Program, procs map[*cast.FuncDecl]*cfg.Proc) *Program {
+	out := &Program{byName: map[string]*Proc{}}
+	if prog.Main != nil {
+		out.Entry = prog.Main.Name
+	}
+	out.Globals = globalsDigest(prog)
+
+	// Per-procedure IR digests, in name order.
+	type procIR struct {
+		name string
+		proc *cfg.Proc
+		ir   string
+	}
+	var list []procIR
+	for fd, p := range procs {
+		list = append(list, procIR{fd.Name, p, digest("proc", renderProc(p))})
+	}
+	sort.Slice(list, func(i, j int) bool { return list[i].name < list[j].name })
+
+	// Static call graph over name-indexed procedures. Indirect calls
+	// conservatively reach every address-taken defined function.
+	idx := make(map[string]int, len(list))
+	for i, e := range list {
+		idx[e.name] = i
+	}
+	addrTaken := addressTaken(prog, procs)
+	var addrIdx []int
+	for _, name := range addrTaken {
+		if i, ok := idx[name]; ok {
+			addrIdx = append(addrIdx, i)
+		}
+	}
+	adj := make([][]int, len(list))
+	for i, e := range list {
+		seen := map[int]bool{}
+		add := func(j int) {
+			if !seen[j] {
+				seen[j] = true
+				adj[i] = append(adj[i], j)
+			}
+		}
+		for _, nd := range e.proc.Nodes {
+			if nd.Kind != cfg.CallNode {
+				continue
+			}
+			if nd.Direct != nil {
+				if j, ok := idx[nd.Direct.Name]; ok {
+					add(j)
+				}
+				continue
+			}
+			for _, j := range addrIdx {
+				add(j)
+			}
+		}
+		sort.Ints(adj[i])
+	}
+
+	// Closure digests over the SCC condensation: members of one SCC
+	// share a closure digest built from every member's IR plus the
+	// closures of all out-of-SCC callees.
+	comp, comps := cfg.SCC(len(list), func(i int) []int { return adj[i] })
+	closure := make([]string, len(list))
+	done := make([]bool, len(comps))
+	var build func(c int)
+	build = func(c int) {
+		if done[c] {
+			return
+		}
+		done[c] = true
+		members := comps[c]
+		var irs, ext []string
+		extSeen := map[string]bool{}
+		for _, i := range members {
+			irs = append(irs, list[i].name+"="+list[i].ir)
+			for _, j := range adj[i] {
+				if comp[j] == c {
+					continue
+				}
+				build(comp[j])
+				key := list[j].name + "=" + closure[j]
+				if !extSeen[key] {
+					extSeen[key] = true
+					ext = append(ext, key)
+				}
+			}
+		}
+		sort.Strings(irs)
+		sort.Strings(ext)
+		d := digest("closure", strings.Join(irs, "\n")+"\n--\n"+strings.Join(ext, "\n"))
+		for _, i := range members {
+			closure[i] = d
+		}
+	}
+	for c := range comps {
+		build(c)
+	}
+
+	var rootParts []string
+	for i, e := range list {
+		out.Procs = append(out.Procs, Proc{Name: e.name, IR: e.ir, Closure: closure[i]})
+		rootParts = append(rootParts, e.name+"="+e.ir)
+	}
+	for i := range out.Procs {
+		out.byName[out.Procs[i].Name] = &out.Procs[i]
+	}
+	out.Root = digest("program", out.Entry+"\n"+out.Globals+"\n"+strings.Join(rootParts, "\n"))
+	return out
+}
+
+// digest hashes a domain-separated payload to a hex string.
+func digest(domain, payload string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "wlpa/irhash/v1 %s %d\n", domain, len(payload))
+	h.Write([]byte(payload))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// renderProc renders a flow graph deterministically: signature, locals,
+// then every node in reverse postorder with its expressions, positions
+// and successor IDs. Positions are part of the rendering on purpose —
+// analysis outputs (diagnostics, heap block names) embed them, so a
+// cache entry must not survive a position change.
+func renderProc(p *cfg.Proc) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proc %s\n", p.Name)
+	if p.Fn != nil {
+		for _, prm := range p.Fn.Params {
+			fmt.Fprintf(&b, "param %s\n", renderSym(prm.Sym))
+		}
+		fmt.Fprintf(&b, "type %s\n", typeString(p.Fn.Type))
+	}
+	for _, l := range p.Locals {
+		fmt.Fprintf(&b, "local %s\n", renderSym(l))
+	}
+	for _, nd := range p.Nodes {
+		fmt.Fprintf(&b, "n%d %s @%s succs=", nd.ID, nd.Kind, nd.Pos)
+		for i, s := range nd.Succs {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", s.ID)
+		}
+		b.WriteByte('\n')
+		switch nd.Kind {
+		case cfg.AssignNode:
+			fmt.Fprintf(&b, "  dst=%s src=%s size=%d agg=%v\n",
+				renderExpr(nd.Dst), renderExpr(nd.Src), nd.Size, nd.Aggregate)
+		case cfg.CallNode:
+			if nd.Direct != nil {
+				fmt.Fprintf(&b, "  call %s\n", renderSym(nd.Direct))
+			} else {
+				fmt.Fprintf(&b, "  call fun=%s\n", renderExpr(nd.Fun))
+			}
+			for _, a := range nd.Args {
+				fmt.Fprintf(&b, "  arg %s\n", renderExpr(a))
+			}
+			if nd.RetDst != nil {
+				fmt.Fprintf(&b, "  ret %s\n", renderExpr(nd.RetDst))
+			}
+		}
+	}
+	return b.String()
+}
+
+// renderSym identifies a symbol unambiguously: name, scope
+// disambiguator, storage and type.
+func renderSym(s *cast.Symbol) string {
+	if s == nil {
+		return "<nil>"
+	}
+	return fmt.Sprintf("%s#%d/g=%v,s=%v:%s", s.Name, s.Uniq, s.Global, s.Static, typeString(s.Type))
+}
+
+func typeString(t *ctype.Type) string {
+	if t == nil {
+		return "<nil>"
+	}
+	return t.String()
+}
+
+// renderExpr renders an IR expression with fully disambiguated symbols
+// (cfg.Expr.String prints bare names, which shadowed locals share).
+func renderExpr(e *cfg.Expr) string {
+	if e.IsEmpty() {
+		return "bot"
+	}
+	parts := make([]string, len(e.Terms))
+	for i, t := range e.Terms {
+		var core string
+		switch t.Kind {
+		case cfg.TermVar:
+			core = "&" + renderSym(t.Sym)
+		case cfg.TermFunc:
+			core = "fn:" + renderSym(t.Sym)
+		case cfg.TermStr:
+			core = fmt.Sprintf("str%d=%q", t.StrID, t.StrVal)
+		case cfg.TermDeref:
+			core = "*" + renderExpr(t.Base)
+		case cfg.TermNull:
+			core = "null"
+		}
+		parts[i] = fmt.Sprintf("(%s+%d%%%d)", core, t.Off, t.Stride)
+	}
+	return "(" + strings.Join(parts, "|") + ")"
+}
+
+// globalsDigest renders the extra-procedural program surface.
+func globalsDigest(prog *sem.Program) string {
+	var b strings.Builder
+	for _, g := range prog.Globals {
+		fmt.Fprintf(&b, "global %s\n", renderSym(g))
+	}
+	for _, vd := range prog.GlobalInits {
+		fmt.Fprintf(&b, "init %s = %s\n", renderSym(vd.Sym), renderAST(vd.Init))
+	}
+	var strIDs []int
+	for id := range prog.Strings {
+		strIDs = append(strIDs, id)
+	}
+	sort.Ints(strIDs)
+	for _, id := range strIDs {
+		fmt.Fprintf(&b, "str %d %q\n", id, prog.Strings[id].Value)
+	}
+	var externs []string
+	for name, sym := range prog.Externs {
+		externs = append(externs, fmt.Sprintf("extern %s %s", name, renderSym(sym)))
+	}
+	sort.Strings(externs)
+	for _, e := range externs {
+		b.WriteString(e)
+		b.WriteByte('\n')
+	}
+	return digest("globals", b.String())
+}
+
+// renderAST renders a typed AST expression (global initializers keep
+// their AST form; procedure bodies are hashed via the flow graph).
+func renderAST(e cast.Expr) string {
+	switch e := e.(type) {
+	case nil:
+		return "<nil>"
+	case *cast.Ident:
+		return "id:" + renderSym(e.Sym)
+	case *cast.IntLit:
+		return fmt.Sprintf("int:%d", e.Value)
+	case *cast.FloatLit:
+		return fmt.Sprintf("float:%g", e.Value)
+	case *cast.StrLit:
+		return fmt.Sprintf("str%d:%q", e.ID, e.Value)
+	case *cast.Unary:
+		return fmt.Sprintf("(%s %s)", e.Op, renderAST(e.X))
+	case *cast.Binary:
+		return fmt.Sprintf("(%s %s %s)", renderAST(e.L), e.Op, renderAST(e.R))
+	case *cast.Assign:
+		return fmt.Sprintf("(%s =[%d] %s)", renderAST(e.L), int(e.Op), renderAST(e.R))
+	case *cast.Cond:
+		return fmt.Sprintf("(%s ? %s : %s)", renderAST(e.C), renderAST(e.T), renderAST(e.F))
+	case *cast.Call:
+		var args []string
+		for _, a := range e.Args {
+			args = append(args, renderAST(a))
+		}
+		return fmt.Sprintf("call(%s)(%s)", renderAST(e.Fun), strings.Join(args, ","))
+	case *cast.Index:
+		return fmt.Sprintf("(%s[%s])", renderAST(e.X), renderAST(e.I))
+	case *cast.Member:
+		return fmt.Sprintf("(%s.%s arrow=%v)", renderAST(e.X), e.Name, e.Arrow)
+	case *cast.Cast:
+		return fmt.Sprintf("(cast %s %s)", typeString(e.To), renderAST(e.X))
+	case *cast.SizeofExpr:
+		return fmt.Sprintf("sizeof(%s)", renderAST(e.X))
+	case *cast.SizeofType:
+		return fmt.Sprintf("sizeof-t(%s)", typeString(e.Of))
+	case *cast.Comma:
+		return fmt.Sprintf("(%s , %s)", renderAST(e.L), renderAST(e.R))
+	case *cast.InitList:
+		var el []string
+		for _, x := range e.Elems {
+			el = append(el, renderAST(x))
+		}
+		return "{" + strings.Join(el, ",") + "}"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// addressTaken returns (sorted) the names of defined functions whose
+// address appears as a value anywhere in the program — the conservative
+// indirect-call target set used for closure edges.
+func addressTaken(prog *sem.Program, procs map[*cast.FuncDecl]*cfg.Proc) []string {
+	defined := map[string]bool{}
+	for _, fd := range prog.Funcs {
+		defined[fd.Name] = true
+	}
+	seen := map[string]bool{}
+	var visit func(e *cfg.Expr)
+	visit = func(e *cfg.Expr) {
+		if e == nil {
+			return
+		}
+		for _, t := range e.Terms {
+			switch t.Kind {
+			case cfg.TermFunc:
+				if t.Sym != nil && defined[t.Sym.Name] {
+					seen[t.Sym.Name] = true
+				}
+			case cfg.TermDeref:
+				visit(t.Base)
+			}
+		}
+	}
+	for _, p := range procs {
+		for _, nd := range p.Nodes {
+			visit(nd.Dst)
+			visit(nd.Src)
+			visit(nd.Fun)
+			for _, a := range nd.Args {
+				visit(a)
+			}
+			visit(nd.RetDst)
+		}
+	}
+	var visitAST func(e cast.Expr)
+	visitAST = func(e cast.Expr) {
+		switch e := e.(type) {
+		case *cast.Ident:
+			if e.Sym != nil && e.Sym.Kind == cast.SymFunc && defined[e.Sym.Name] {
+				seen[e.Sym.Name] = true
+			}
+		case *cast.Unary:
+			visitAST(e.X)
+		case *cast.Binary:
+			visitAST(e.L)
+			visitAST(e.R)
+		case *cast.Assign:
+			visitAST(e.L)
+			visitAST(e.R)
+		case *cast.Cond:
+			visitAST(e.C)
+			visitAST(e.T)
+			visitAST(e.F)
+		case *cast.Call:
+			visitAST(e.Fun)
+			for _, a := range e.Args {
+				visitAST(a)
+			}
+		case *cast.Index:
+			visitAST(e.X)
+			visitAST(e.I)
+		case *cast.Member:
+			visitAST(e.X)
+		case *cast.Cast:
+			visitAST(e.X)
+		case *cast.Comma:
+			visitAST(e.L)
+			visitAST(e.R)
+		case *cast.InitList:
+			for _, x := range e.Elems {
+				visitAST(x)
+			}
+		}
+	}
+	for _, vd := range prog.GlobalInits {
+		visitAST(vd.Init)
+	}
+	var out []string
+	for name := range seen {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,52 @@
+package server
+
+import "encoding/json"
+
+// AnalyzeRequest is the POST /analyze body.
+type AnalyzeRequest struct {
+	// Files maps file name to source text; Entry names the entry
+	// translation unit (the others are available for #include).
+	Files map[string]string `json:"files"`
+	Entry string            `json:"entry"`
+	// Diagnostics additionally runs the checker suite and embeds its
+	// findings in the snapshot. Folded into the cache key.
+	Diagnostics bool `json:"diagnostics,omitempty"`
+}
+
+// AnalyzeMeta is the server-side metadata of one /analyze response. It
+// is excluded from the bit-identity guarantee (timings vary run to
+// run); everything deterministic lives in the snapshot.
+type AnalyzeMeta struct {
+	// Cache is "hit" (snapshot served from the store, engine not run)
+	// or "miss" (engine ran; the result was written back).
+	Cache string `json:"cache"`
+	// Key is the program-level cache key, hex-encoded.
+	Key string `json:"key"`
+	// Timings in milliseconds: frontend+hashing, engine (0 on a hit),
+	// snapshot build+encode (0 on a hit), end-to-end.
+	HashMS     float64 `json:"hash_ms"`
+	AnalyzeMS  float64 `json:"analyze_ms"`
+	SnapshotMS float64 `json:"snapshot_ms"`
+	TotalMS    float64 `json:"total_ms"`
+	// On a miss, the per-procedure ledger outcome: procedures whose
+	// summary identity (closure IR + input domain + globals + options)
+	// was already recorded, and those recorded for the first time. A
+	// single-procedure edit shows up here as misses for exactly the
+	// procedures whose content hash changed. Empty on a hit (the
+	// ledger is not consulted — the whole program matched).
+	ProcHits   []string `json:"proc_hits,omitempty"`
+	ProcMisses []string `json:"proc_misses,omitempty"`
+}
+
+// AnalyzeResponse is the POST /analyze response. Snapshot holds the
+// encoded pta.Snapshot verbatim as stored — byte-identical between a
+// cold miss and every subsequent hit.
+type AnalyzeResponse struct {
+	Meta     AnalyzeMeta     `json:"meta"`
+	Snapshot json.RawMessage `json:"snapshot"`
+}
+
+// ErrorResponse is the body of any non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,31 @@
+// Package store is the content-addressed cache behind the analysis
+// daemon (cmd/wlpad): converged solutions, per-procedure summary
+// artifacts and checker baselines are stored under a Key that hashes
+// the inputs that determine them — normalized procedure IR
+// (internal/irhash), the input-domain descriptor, and the analysis
+// options fingerprint. It follows the chunk-store discipline of
+// versioned-data systems: values are immutable blobs, identity is the
+// hash of what produced them, and "invalidation" is simply a key that
+// no longer gets asked for.
+//
+// The store has two tiers: a byte-budgeted in-memory LRU in front of an
+// optional on-disk tier (sharded two-hex-digit directories of
+// checksummed ".wlst" files, written atomically via temp-file rename).
+//
+// Invariants:
+//
+//   - A Key must capture every input the cached value depends on; the
+//     paper's PTF argument (a summary is a pure function of procedure
+//     body + input alias pattern) is what makes such keys possible at
+//     procedure granularity.
+//   - Get never returns bytes that fail validation: a truncated or
+//     corrupted disk entry is deleted and reported as a miss, so the
+//     worst corruption outcome is recomputation, never a wrong answer.
+//   - Values are opaque, immutable byte slices. Serialized formats
+//     stored here must be self-describing and versioned, and must not
+//     contain run-scoped identifiers (the PR 7 rule: memmod.LocIDs
+//     never cross runs, hence never enter the store).
+//   - Eviction only affects the memory tier; with a disk tier
+//     configured an evicted entry is re-promoted on its next hit. A
+//     memory-only store silently forgets evicted entries.
+package store

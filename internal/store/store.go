@@ -1,0 +1,256 @@
+package store
+
+import (
+	"bytes"
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Key addresses one cache entry: a SHA-256 over the entry's identity
+// (see KeyOf). Equal keys mean "the same pure computation" — the value
+// is interchangeable with recomputing it.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// KeyOf derives a key from length-prefixed parts under a fixed domain
+// prefix. Length prefixing makes the encoding injective: ("ab","c")
+// and ("a","bc") hash differently.
+func KeyOf(parts ...string) Key {
+	h := sha256.New()
+	fmt.Fprintf(h, "wlpa/store/v1 %d\n", len(parts))
+	for _, p := range parts {
+		fmt.Fprintf(h, "%d:", len(p))
+		h.Write([]byte(p))
+	}
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Stats counts store activity since Open. Hits split by tier; a disk
+// hit promotes the entry into memory.
+type Stats struct {
+	MemHits    uint64 `json:"mem_hits"`
+	DiskHits   uint64 `json:"disk_hits"`
+	Misses     uint64 `json:"misses"`
+	Puts       uint64 `json:"puts"`
+	Evictions  uint64 `json:"evictions"`
+	Corrupt    uint64 `json:"corrupt"` // entries dropped by checksum/format validation
+	MemBytes   int64  `json:"mem_bytes"`
+	MemEntries int    `json:"mem_entries"`
+}
+
+// Hits returns total hits across both tiers.
+func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+// Store is a content-addressed blob store: an in-memory LRU in front of
+// an optional on-disk tier. Values are opaque bytes; integrity is
+// guarded by a per-entry checksum, and a corrupted or truncated disk
+// entry is deleted and reported as a miss — the caller recomputes, it
+// never sees bad bytes (see doc.go invariants).
+type Store struct {
+	mu      sync.Mutex
+	dir     string // "" = memory-only
+	budget  int64  // in-memory byte budget (0 = DefaultMemBudget)
+	entries map[Key]*list.Element
+	ll      *list.List // front = most recently used
+	memSize int64
+	stats   Stats
+}
+
+type entry struct {
+	key  Key
+	data []byte
+}
+
+// DefaultMemBudget bounds the in-memory tier when Open is given 0.
+const DefaultMemBudget = 256 << 20
+
+// Open opens a store rooted at dir, creating it if needed. An empty dir
+// makes the store memory-only (evicted entries are then gone for good).
+// memBudget bounds the bytes held in memory; 0 means DefaultMemBudget.
+func Open(dir string, memBudget int64) (*Store, error) {
+	if memBudget <= 0 {
+		memBudget = DefaultMemBudget
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	return &Store{
+		dir:     dir,
+		budget:  memBudget,
+		entries: map[Key]*list.Element{},
+		ll:      list.New(),
+	}, nil
+}
+
+// Dir returns the on-disk root ("" for memory-only stores).
+func (s *Store) Dir() string { return s.dir }
+
+// Get returns the value stored under key. A checksum or format failure
+// on the disk tier deletes the bad file and reports a miss.
+func (s *Store) Get(key Key) ([]byte, bool) {
+	s.mu.Lock()
+	if el, ok := s.entries[key]; ok {
+		s.ll.MoveToFront(el)
+		s.stats.MemHits++
+		data := el.Value.(*entry).data
+		s.mu.Unlock()
+		return data, true
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" {
+		s.mu.Lock()
+		s.stats.Misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	data, err := readEntryFile(s.path(key))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.stats.DiskHits++
+		s.insertLocked(key, data)
+		return data, true
+	case os.IsNotExist(err):
+		s.stats.Misses++
+		return nil, false
+	default:
+		// Corrupted, truncated, or unreadable: drop it and recompute.
+		s.stats.Corrupt++
+		s.stats.Misses++
+		os.Remove(s.path(key))
+		return nil, false
+	}
+}
+
+// Put stores data under key in both tiers. The caller must not mutate
+// data afterwards.
+func (s *Store) Put(key Key, data []byte) error {
+	if s.dir != "" {
+		if err := writeEntryFile(s.dir, s.path(key), data); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.Puts++
+	s.insertLocked(key, data)
+	return nil
+}
+
+// Stats returns a snapshot of the activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.MemBytes = s.memSize
+	st.MemEntries = len(s.entries)
+	return st
+}
+
+func (s *Store) insertLocked(key Key, data []byte) {
+	if el, ok := s.entries[key]; ok {
+		old := el.Value.(*entry)
+		s.memSize += int64(len(data)) - int64(len(old.data))
+		old.data = data
+		s.ll.MoveToFront(el)
+	} else {
+		s.entries[key] = s.ll.PushFront(&entry{key: key, data: data})
+		s.memSize += int64(len(data))
+	}
+	for s.memSize > s.budget && s.ll.Len() > 1 {
+		back := s.ll.Back()
+		e := back.Value.(*entry)
+		s.ll.Remove(back)
+		delete(s.entries, e.key)
+		s.memSize -= int64(len(e.data))
+		s.stats.Evictions++
+	}
+}
+
+// path shards entries by the first key byte, git-style, to keep
+// directory fan-out bounded.
+func (s *Store) path(key Key) string {
+	hexKey := key.String()
+	return filepath.Join(s.dir, hexKey[:2], hexKey[2:]+".wlst")
+}
+
+// Entry file format: magic, big-endian payload length, SHA-256 of the
+// payload, payload. The checksum is over the payload alone (the key is
+// a hash of the entry's *inputs*, not of the value, so it cannot double
+// as the integrity check).
+var fileMagic = []byte("WLST1\n")
+
+func writeEntryFile(root, path string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Grow(len(fileMagic) + 8 + sha256.Size + len(data))
+	buf.Write(fileMagic)
+	var lenb [8]byte
+	binary.BigEndian.PutUint64(lenb[:], uint64(len(data)))
+	buf.Write(lenb[:])
+	sum := sha256.Sum256(data)
+	buf.Write(sum[:])
+	buf.Write(data)
+	// Atomic publish: write a temp file in the same directory, then
+	// rename. A crashed writer leaves only a temp file behind; a reader
+	// never observes a half-written entry.
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(buf.Bytes())
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return fmt.Errorf("store: %w", werr)
+		}
+		return fmt.Errorf("store: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// errCorrupt marks a present-but-invalid entry file.
+var errCorrupt = fmt.Errorf("store: corrupt entry")
+
+func readEntryFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	header := len(fileMagic) + 8 + sha256.Size
+	if len(raw) < header || !bytes.Equal(raw[:len(fileMagic)], fileMagic) {
+		return nil, errCorrupt
+	}
+	n := binary.BigEndian.Uint64(raw[len(fileMagic) : len(fileMagic)+8])
+	payload := raw[header:]
+	if uint64(len(payload)) != n {
+		return nil, errCorrupt
+	}
+	var want [sha256.Size]byte
+	copy(want[:], raw[len(fileMagic)+8:header])
+	if sha256.Sum256(payload) != want {
+		return nil, errCorrupt
+	}
+	return payload, nil
+}

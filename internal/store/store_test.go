@@ -1,0 +1,159 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestKeyOfInjective(t *testing.T) {
+	if KeyOf("ab", "c") == KeyOf("a", "bc") {
+		t.Fatalf("length prefixing failed: concatenation collision")
+	}
+	if KeyOf("a") == KeyOf("a", "") {
+		t.Fatalf("arity not part of the key")
+	}
+	if KeyOf("a") != KeyOf("a") {
+		t.Fatalf("KeyOf not deterministic")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KeyOf("entry")
+	want := []byte("payload bytes")
+	if _, ok := s.Get(k); ok {
+		t.Fatalf("hit before put")
+	}
+	if err := s.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("get after put: ok=%v data=%q", ok, got)
+	}
+	st := s.Stats()
+	if st.MemHits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, _ := Open(dir, 0)
+	k := KeyOf("persist")
+	if err := s1.Put(k, []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := Open(dir, 0)
+	got, ok := s2.Get(k)
+	if !ok || string(got) != "survives" {
+		t.Fatalf("entry lost across reopen: ok=%v data=%q", ok, got)
+	}
+	if s2.Stats().DiskHits != 1 {
+		t.Fatalf("expected a disk hit, stats %+v", s2.Stats())
+	}
+	// Promoted: second get is a memory hit.
+	if _, ok := s2.Get(k); !ok || s2.Stats().MemHits != 1 {
+		t.Fatalf("expected promotion to memory, stats %+v", s2.Stats())
+	}
+}
+
+// corrupt flips one payload byte of the single entry file under dir.
+func corruptEntry(t *testing.T, dir string, truncate bool) string {
+	t.Helper()
+	var path string
+	filepath.Walk(dir, func(p string, info os.FileInfo, err error) error {
+		if err == nil && !info.IsDir() && filepath.Ext(p) == ".wlst" {
+			path = p
+		}
+		return nil
+	})
+	if path == "" {
+		t.Fatalf("no entry file found under %s", dir)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncate {
+		raw = raw[:len(raw)-3]
+	} else {
+		raw[len(raw)-1] ^= 0xff
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCorruptEntryIsDroppedNotServed(t *testing.T) {
+	for _, truncate := range []bool{false, true} {
+		dir := t.TempDir()
+		s1, _ := Open(dir, 0)
+		k := KeyOf("fragile")
+		if err := s1.Put(k, []byte("important bytes")); err != nil {
+			t.Fatal(err)
+		}
+		path := corruptEntry(t, dir, truncate)
+
+		s2, _ := Open(dir, 0) // fresh store: no memory copy
+		if _, ok := s2.Get(k); ok {
+			t.Fatalf("truncate=%v: corrupted entry served", truncate)
+		}
+		st := s2.Stats()
+		if st.Corrupt != 1 || st.Misses != 1 {
+			t.Fatalf("truncate=%v: stats %+v", truncate, st)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatalf("truncate=%v: corrupted file not removed", truncate)
+		}
+		// The slot is reusable: a fresh Put round-trips again.
+		if err := s2.Put(k, []byte("recomputed")); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s2.Get(k); !ok || string(got) != "recomputed" {
+			t.Fatalf("truncate=%v: put after corruption: ok=%v data=%q", truncate, ok, got)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// Memory-only store with a tiny budget: oldest entries fall out.
+	s, _ := Open("", 64)
+	a, b, c := KeyOf("a"), KeyOf("b"), KeyOf("c")
+	payload := make([]byte, 30)
+	s.Put(a, payload)
+	s.Put(b, payload)
+	s.Put(c, payload) // evicts a (and maybe b)
+	if _, ok := s.Get(a); ok {
+		t.Fatalf("oldest entry not evicted")
+	}
+	if _, ok := s.Get(c); !ok {
+		t.Fatalf("newest entry evicted")
+	}
+	st := s.Stats()
+	if st.Evictions == 0 || st.MemBytes > 64 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDiskTierSurvivesEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(dir, 64)
+	a, b, c := KeyOf("a"), KeyOf("b"), KeyOf("c")
+	payload := make([]byte, 30)
+	s.Put(a, payload)
+	s.Put(b, payload)
+	s.Put(c, payload)
+	if _, ok := s.Get(a); !ok {
+		t.Fatalf("evicted entry not re-served from disk")
+	}
+	if s.Stats().DiskHits == 0 {
+		t.Fatalf("expected disk hit, stats %+v", s.Stats())
+	}
+}

@@ -50,6 +50,10 @@ type Options struct {
 	// and re-evaluates every node each pass. Slower; kept as a
 	// cross-check and fallback (results are identical).
 	ForceFullPasses bool
+	// Timeout aborts the analysis after a wall-clock budget (0 = none).
+	// Used by the serving path (cmd/wlpad) to bound request latency;
+	// an exceeded budget returns an error, never a partial result.
+	Timeout time.Duration
 }
 
 // Source is an in-memory set of C files.
@@ -80,15 +84,38 @@ func Analyze(files Source, entry string, opts *Options) (*Result, error) {
 		opts = &Options{}
 	}
 	t0 := time.Now()
-	f, err := cparse.ParseFile(files, entry, opts.Predefined)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := sem.Check(f)
+	prog, err := Frontend(files, entry, opts.Predefined)
 	if err != nil {
 		return nil, err
 	}
 	parseTime := time.Since(t0)
+	r, err := AnalyzeProgram(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	r.parseTime = parseTime
+	return r, nil
+}
+
+// Frontend preprocesses, parses and typechecks the translation unit
+// rooted at entry without running the analysis. The daemon (cmd/wlpad)
+// uses it to hash the program for cache lookup before deciding whether
+// the worklist engine needs to run at all; AnalyzeProgram accepts its
+// result.
+func Frontend(files Source, entry string, predefined map[string]string) (*sem.Program, error) {
+	f, err := cparse.ParseFile(files, entry, predefined)
+	if err != nil {
+		return nil, err
+	}
+	return sem.Check(f)
+}
+
+// AnalyzeProgram runs the pointer analysis over an already-typechecked
+// program (see Frontend).
+func AnalyzeProgram(prog *sem.Program, opts *Options) (*Result, error) {
+	if opts == nil {
+		opts = &Options{}
+	}
 	aopts := analysis.Options{
 		Lib:             libsum.Summaries(),
 		LibEffects:      libsum.Effects(),
@@ -97,6 +124,7 @@ func Analyze(files Source, entry string, opts *Options) (*Result, error) {
 		CombineOffsets:  opts.CombineOffsets,
 		Workers:         opts.Workers,
 		ForceFullPasses: opts.ForceFullPasses,
+		Timeout:         opts.Timeout,
 	}
 	switch opts.Policy {
 	case ReanalyzeEveryContext:
@@ -111,7 +139,7 @@ func Analyze(files Source, entry string, opts *Options) (*Result, error) {
 	if err := an.Run(); err != nil {
 		return nil, err
 	}
-	return &Result{prog: prog, an: an, aopts: aopts, parseTime: parseTime}, nil
+	return &Result{prog: prog, an: an, aopts: aopts}, nil
 }
 
 // Stats returns the analysis statistics (times, PTF counts).
@@ -195,19 +223,36 @@ func (r *Result) PointsToAt(proc string, line int, expr string) []string {
 	// The query point: the last flow node at or before the line. Nodes
 	// are in reverse postorder, so among same-position candidates the
 	// later one wins.
-	var nd *cfg.Node
-	for _, n := range cproc.Nodes {
+	nd := cproc.Nodes[queryNodeIndex(cproc, line)]
+	return r.pointsToAtNode(proc, sym, stars, nd)
+}
+
+// queryNodeIndex resolves a source line to the index (in proc.Nodes) of
+// the last flow node at or before that line, falling back to the entry
+// node. Snapshot.PointsToAt replicates this loop over serialized
+// positions, so the two resolution rules must stay in lockstep.
+func queryNodeIndex(cproc *cfg.Proc, line int) int {
+	nd := -1
+	for i, n := range cproc.Nodes {
 		if !n.Pos.IsValid() || n.Pos.Line > line {
 			continue
 		}
-		if nd == nil || n.Pos.Line > nd.Pos.Line ||
-			(n.Pos.Line == nd.Pos.Line && n.Pos.Col >= nd.Pos.Col) {
-			nd = n
+		if nd < 0 || n.Pos.Line > cproc.Nodes[nd].Pos.Line ||
+			(n.Pos.Line == cproc.Nodes[nd].Pos.Line && n.Pos.Col >= cproc.Nodes[nd].Pos.Col) {
+			nd = i
 		}
 	}
-	if nd == nil {
-		nd = cproc.Entry
+	if nd < 0 {
+		return 0 // Nodes[0] is the entry node
 	}
+	return nd
+}
+
+// pointsToAtNode computes the PointsToAt answer for a resolved symbol,
+// star depth, and flow node: the union over every analyzed context,
+// concretized, deduplicated, and sorted. Shared between the live query
+// path and the snapshot builder.
+func (r *Result) pointsToAtNode(proc string, sym *cast.Symbol, stars int, nd *cfg.Node) []string {
 	var union memmod.ValueSet
 	for _, p := range r.an.PTFs(proc) {
 		vals := r.an.ContentsAfter(p, r.an.VarLoc(p, sym, 0, 0), nd)

@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# wlpad end-to-end smoke: boot the daemon, drive every benchmark
+# through it cold and warm, and assert the cache contract:
+#
+#   1. every cold request misses, every warm request hits (warm = 100%
+#      program-level cache hits);
+#   2. warm responses carry byte-identical snapshot JSON — including
+#      the embedded checker diagnostics — to their cold counterparts;
+#   3. editing a single procedure invalidates only the per-procedure
+#      ledger entries whose content hash changed (the edited procedure
+#      and its transitive callers), while the rest hit.
+#
+# Writes a /metrics snapshot to $METRICS_OUT (default
+# wlpad-metrics.json) for upload as a CI artifact. Requires jq + curl.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ADDR="127.0.0.1:${WLPAD_PORT:-18372}"
+METRICS_OUT="${METRICS_OUT:-wlpad-metrics.json}"
+work=$(mktemp -d)
+trap 'kill "$daemon_pid" 2>/dev/null || true; wait "$daemon_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+
+go build -o "$work/wlpad" ./cmd/wlpad
+"$work/wlpad" serve -addr "$ADDR" -cache-dir "$work/cache" -log json 2>"$work/wlpad.log" &
+daemon_pid=$!
+
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null || { echo "wlpad did not come up"; cat "$work/wlpad.log"; exit 1; }
+
+analyze() { # analyze <file> <out>; request includes checker diagnostics
+    jq -n --rawfile src "$1" --arg entry "$(basename "$1")" \
+        '{files: {($entry): $src}, entry: $entry, diagnostics: true}' |
+        curl -sf -d @- "http://$ADDR/analyze" >"$2"
+}
+
+benches=0
+for f in internal/workload/testdata/*.c; do
+    case "$f" in */bug_*) continue ;; esac
+    name=$(basename "$f" .c)
+    benches=$((benches + 1))
+
+    analyze "$f" "$work/cold.json"
+    [ "$(jq -r .meta.cache "$work/cold.json")" = miss ] ||
+        { echo "$name: cold request did not miss"; exit 1; }
+
+    analyze "$f" "$work/warm.json"
+    [ "$(jq -r .meta.cache "$work/warm.json")" = hit ] ||
+        { echo "$name: warm request did not hit"; exit 1; }
+
+    # Snapshot (diagnostics included) must be byte-identical cold vs warm.
+    jq -c .snapshot "$work/cold.json" >"$work/cold.snap"
+    jq -c .snapshot "$work/warm.json" >"$work/warm.snap"
+    cmp -s "$work/cold.snap" "$work/warm.snap" ||
+        { echo "$name: warm snapshot differs from cold"; exit 1; }
+    jq -e '.snapshot.has_diags == true' "$work/cold.json" >/dev/null ||
+        { echo "$name: snapshot carries no diagnostics"; exit 1; }
+    echo "ok: $name (cold miss, warm hit, snapshots identical)"
+done
+[ "$benches" -gt 0 ] || { echo "no benchmark sources found"; exit 1; }
+
+# Warm pass = 100% program-level hits: exactly one miss and one hit per
+# benchmark so far.
+curl -sf "http://$ADDR/metrics" >"$work/metrics.json"
+jq -e --argjson n "$benches" \
+    '.requests.misses == $n and .requests.hits == $n and .requests.errors == 0' \
+    "$work/metrics.json" >/dev/null ||
+    { echo "hit/miss counters off:"; jq .requests "$work/metrics.json"; exit 1; }
+echo "ok: warm pass served entirely from cache ($benches/$benches hits)"
+
+# Single-procedure edit invalidation: editing h must miss the ledger
+# for exactly h (its own IR changed) and main (its transitive closure
+# includes h), while f and g hit.
+cat >"$work/edit.c" <<'EOF'
+int gx, gy;
+int *fp, *gp;
+int hx, hy;
+int *hp;
+void g(void) { gp = &gy; }
+void f(void) { fp = &gx; g(); }
+void h(void) { hp = &hx; }
+int main(void) { f(); h(); return 0; }
+EOF
+analyze "$work/edit.c" "$work/base.json"
+[ "$(jq -r .meta.cache "$work/base.json")" = miss ] || { echo "edit base did not miss"; exit 1; }
+
+sed 's/hp = &hx;/hp = \&hy;/' "$work/edit.c" >"$work/edit2.c" && mv "$work/edit2.c" "$work/edit.c"
+analyze "$work/edit.c" "$work/edited.json"
+jq -e '.meta.cache == "miss"
+       and .meta.proc_hits == ["f","g"]
+       and .meta.proc_misses == ["h","main"]' "$work/edited.json" >/dev/null ||
+    { echo "edit invalidation off:"; jq .meta "$work/edited.json"; exit 1; }
+echo "ok: single-procedure edit invalidated exactly {h, main}, reused {f, g}"
+
+curl -sf "http://$ADDR/metrics" >"$METRICS_OUT"
+kill "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+echo "ok: metrics snapshot written to $METRICS_OUT"
