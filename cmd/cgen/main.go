@@ -9,12 +9,23 @@
 //	cgen -features heap,multiptr,free -seed 7 > prog.c
 //	cgen -features all -seed 7 -check
 //	cgen -fanout 16 -fandepth 2 > fanout.c
+//	cgen -edit addstore -seed 7 > edited.c
+//	cgen -edit bodytweak -seed 7 -check
 //	cgen -minimize prog.c
 //
 // -fanout emits the deterministic wide fan-out call-graph shape the
 // worker-scaling benchmark measures (breadth independent callee cones,
 // each -fandepth calls deep); it composes with -check but ignores the
 // random-generator flags.
+//
+// -edit KIND applies one structured edit (bodytweak, addstore,
+// removestore, newcallee, deleteproc) to the generated program and
+// prints the edited side; rerun without -edit for the base. With
+// -fanout only bodytweak is supported (a seed-chosen statement column
+// shift). Combined with -check it runs the incremental edit oracle
+// instead: the edited program is re-analyzed against the base's
+// converged result and the outcome is pinned bit-identical to a cold
+// analysis.
 //
 // -check runs the differential oracle (engine equivalence, checker
 // cleanliness, interpreter soundness, baseline lattice) over the
@@ -42,6 +53,7 @@ func main() {
 		features = flag.String("features", "", "comma-separated generator features (or \"all\"); empty selects the legacy default set")
 		fanout   = flag.Int("fanout", 0, "emit a deterministic fan-out call-graph shape with this breadth instead of a random program")
 		fandepth = flag.Int("fandepth", 1, "callee-chain depth of each fan-out cone (with -fanout)")
+		edit     = flag.String("edit", "", "apply a structured edit of this kind and print the edited program; with -check, run the incremental edit oracle over the (base, edited) pair")
 		check    = flag.Bool("check", false, "run the differential oracle over the generated program instead of printing it")
 		minimize = flag.String("minimize", "", "reduce the failing program in this file and print the result")
 	)
@@ -73,6 +85,17 @@ func main() {
 	if *fanout > 0 {
 		name := fmt.Sprintf("fanout(%dx%d)", *fanout, *fandepth)
 		src := workload.FanOut(*fanout, *fandepth)
+		if *edit != "" {
+			if *edit != "bodytweak" {
+				fatal("-fanout supports only -edit bodytweak, not %q", *edit)
+			}
+			edited, ok := workload.TweakNthStatement(src, int(*seed))
+			if !ok {
+				fatal("fan-out shape has no tweakable statement")
+			}
+			emitEditPair(name+"+tweak", src, edited, *check)
+			return
+		}
 		if !*check {
 			fmt.Print(src)
 			return
@@ -81,6 +104,31 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Printf("%s: all oracle properties hold\n", name)
+		return
+	}
+
+	if *edit != "" {
+		kind, ok := workload.EditKindByName(*edit)
+		if !ok {
+			var names []string
+			for k := 0; k < workload.NumEditKinds(); k++ {
+				names = append(names, workload.EditKind(k).String())
+			}
+			fatal("unknown edit kind %q (have: %s)", *edit, strings.Join(names, ", "))
+		}
+		feat := uint32(workload.AllFeatures())
+		if *features != "" {
+			f, err := parseFeatures(*features)
+			if err != nil {
+				fatal("%v", err)
+			}
+			feat = uint32(f)
+		}
+		pair, ok := workload.GenerateEditPair(*seed, feat, kind)
+		if !ok {
+			fatal("edit anchor missing for seed=%d kind=%s", *seed, kind)
+		}
+		emitEditPair(pair.Name, pair.Base, pair.Edited, *check)
 		return
 	}
 
@@ -107,6 +155,19 @@ func main() {
 		fatal("%v", err)
 	}
 	fmt.Printf("%s: all oracle properties hold\n", name)
+}
+
+// emitEditPair prints the edited side of an incremental pair, or — with
+// -check — runs the incremental edit oracle over it.
+func emitEditPair(name, base, edited string, check bool) {
+	if !check {
+		fmt.Print(edited)
+		return
+	}
+	if err := difftest.CheckIncremental(name, base, edited, difftest.Options{}); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("%s: incremental re-analysis is bit-identical to cold\n", name)
 }
 
 func parseFeatures(s string) (workload.Feature, error) {

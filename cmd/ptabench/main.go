@@ -5,13 +5,16 @@
 // Usage:
 //
 //	ptabench [-table2] [-invoke] [-ablation benchmark] [-workers n]
-//	         [-json file] [-scalingjson file]
+//	         [-json file] [-scalingjson file] [-editjson file]
 //	         [-cpuprofile file] [-memprofile file]
 //
 // -json writes the Table 2 suite measurements (BENCH_ptabench.json);
 // -scalingjson writes worker-scaling measurements over the fan-out
 // shapes and the largest suite programs at 1/2/4/8 workers
-// (BENCH_workerscaling.json). Both take the fastest of three runs per
+// (BENCH_workerscaling.json); -editjson writes warm-edit measurements —
+// for each benchmark, a single-procedure statement tweak re-analyzed
+// incrementally against a converged baseline versus analyzed cold
+// (BENCH_incremental.json). All take the fastest of several runs per
 // cell.
 package main
 
@@ -32,6 +35,7 @@ func main() {
 		ablation   = flag.String("ablation", "eqntott", "benchmark for the reuse-policy ablation (empty to skip)")
 		jsonOut    = flag.String("json", "", "write per-workload measurements (ns/op, allocs/op, PTFs/proc, engine, workers) to this file")
 		scalingOut = flag.String("scalingjson", "", "write worker-scaling measurements over the fan-out shapes to this file")
+		editOut    = flag.String("editjson", "", "write warm-edit (incremental vs cold re-analysis) measurements to this file")
 		workers    = flag.Int("workers", 1, "analysis worker-pool size for -json runs (0 = GOMAXPROCS, 1 = sequential)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -76,6 +80,11 @@ func main() {
 	}
 	if *scalingOut != "" {
 		if err := bench.WriteWorkerScalingJSON(*scalingOut, []int{1, 2, 4, 8}); err != nil {
+			fatal(err)
+		}
+	}
+	if *editOut != "" {
+		if err := bench.WriteIncrementalJSON(*editOut); err != nil {
 			fatal(err)
 		}
 	}

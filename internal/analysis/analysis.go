@@ -583,6 +583,16 @@ type Analysis struct {
 
 	// track enables the dependency-tracked worklist engine.
 	track bool
+	// incremental marks a re-analysis grafted onto the surviving state
+	// of a previous run (see incremental.go): Run reuses the kept main
+	// PTF, and the solution-collection descent visits call nodes only.
+	incremental bool
+	// keptCache holds the graft's surviving baseline PTFs awaiting
+	// adoption: getPTF moves one into the live population when a call
+	// site's input pattern matches it (see adoptKept). restoredPTFs
+	// counts the adoptions.
+	keptCache    map[*cfg.Proc][]*PTF
+	restoredPTFs int
 	// collecting, when non-nil, marks the final solution-collection
 	// pass: every reachable PTF is visited exactly once so that all
 	// parameter bindings are re-derived from the fixpoint.
@@ -695,7 +705,11 @@ func (a *Analysis) Run() error {
 		return &Error{Msg: "program has no main function"}
 	}
 	mainProc := a.procs[a.prog.Main]
-	a.mainPTF = a.newPTF(a.mainCtx, mainProc, nil, nil)
+	if a.mainPTF == nil {
+		// An incremental re-analysis whose main survived the edit keeps
+		// the converged main PTF; everything else starts fresh here.
+		a.mainPTF = a.newPTF(a.mainCtx, mainProc, nil, nil)
+	}
 	mf := &frame{
 		ptf:  a.mainPTF,
 		pmap: make(map[*memmod.Block]memmod.ValueSet),
@@ -740,6 +754,9 @@ func (a *Analysis) Run() error {
 	}
 	if a.solution != nil {
 		a.collectSolution(mf)
+	}
+	if a.incremental {
+		a.sweepKept()
 	}
 	a.finishStats(start)
 	return nil
@@ -928,6 +945,18 @@ func (a *Analysis) finishStats(start time.Time) {
 		a.stats.PTFsPerProc[proc.Name] = len(l.list)
 		for _, p := range l.list {
 			a.stats.DenseRows += p.Pts.NumDenseRows()
+		}
+	}
+	if a.incremental {
+		// The Params counter tracks newParam calls, which an incremental
+		// run skips for parameters restored from the baseline. Parameters
+		// are never removed (subsumed ones stay, forwarded), so the live
+		// count is exactly the sum over every PTF.
+		a.stats.Params = 0
+		for _, l := range a.ptfs {
+			for _, p := range l.list {
+				a.stats.Params += len(p.params)
+			}
 		}
 	}
 	a.stats.Duration = time.Since(start)

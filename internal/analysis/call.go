@@ -233,7 +233,10 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 		// re-create a standalone evaluation stack for this PTF.
 		ptf.lastBind = cf
 	}
-	a.recordFormalBindings(cf, fd, args)
+	// Formals come from the PTF's own flow graph's declaration: after an
+	// incremental graft a kept procedure's local symbols are the
+	// baseline's, while the program's FuncDecl is the edited one.
+	a.recordFormalBindings(cf, ptf.Proc.Fn, args)
 	if needVisit || !ptf.exitReached {
 		if wasLatched && ptf.exitReached && !ptf.recursive &&
 			ptf.dirtyN > 0 && ptf.lastBind != nil {
@@ -257,6 +260,16 @@ func (a *Analysis) callDefinedRet(f *frame, nd *cfg.Node, fd *cast.FuncDecl, arg
 	// is applied right below) so later callee growth re-dirties it.
 	a.recordCaller(ptf, f.ptf, nd)
 	if !ptf.exitReached {
+		return false
+	}
+	if a.incremental && a.collecting != nil {
+		// Incremental solution collection: the fixpoint is converged, so
+		// translating the callee's summary into the caller cannot change
+		// any record, and the bindings the solution needs were recorded
+		// above (matchPTFInto / recordFormalBindings). Cold runs keep the
+		// full application as the oracle-side reference — at fixpoint it
+		// is a no-op, so skipping cannot diverge from them.
+		f.ptf.deps.put(ptf, ptf.version)
 		return false
 	}
 	sk := siteKey{nd, proc}
@@ -312,7 +325,7 @@ func (a *Analysis) applyRecursive(f *frame, nd *cfg.Node, ptf *PTF, args []memmo
 	cf := a.carveFrame(f.c)
 	cf.ptf, cf.caller, cf.callNode = ptf, f, nd
 	cf.args, cf.pmap, cf.c = args, pmap, f.c
-	a.recordFormalBindings(cf, a.prog.FuncByName[ptf.Proc.Name], args)
+	a.recordFormalBindings(cf, ptf.Proc.Fn, args)
 	// Register before the deferral check: the cycle head's exit-reached
 	// version bump must re-dirty this deferring site (§5.4).
 	a.recordCaller(ptf, f.ptf, nd)
@@ -404,8 +417,14 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 		// not create: its inputs are intermediate iteration values, so
 		// update that PTF's domain rather than allocating a duplicate
 		// for a transient state. Without this the set of PTFs depends
-		// on evaluation order.
+		// on evaluation order. A kept caller's latch may still name an
+		// unadopted graft survivor; adopt it before handing it out, or
+		// the engine would evaluate an instance outside the live
+		// population.
 		if p, _ := f.ptf.siteUsed.get(siteKey{nd, proc}); p != nil {
+			if a.keptCache != nil {
+				a.adoptKept(proc, p)
+			}
 			return p, a.replayBind(f, nd, p, args), true
 		}
 		if (a.opts.MaxPTFs > 0 && len(list) >= a.opts.MaxPTFs) ||
@@ -415,6 +434,28 @@ func (a *Analysis) getPTF(f *frame, nd *cfg.Node, proc *cfg.Proc, args []memmod.
 			p := list[len(list)-1]
 			p.recursive = true
 			return p, a.replayBind(f, nd, p, args), true
+		}
+		// Where a cold run would now create a fresh instance, an
+		// incremental run first consults the graft's adoption cache: a
+		// surviving baseline instance whose input domain matches this
+		// pattern IS the instance a cold run would build here, already
+		// converged. Checked after the reuse rules above so transient
+		// iteration patterns extend this site's own instance exactly as
+		// they would cold, instead of adopting a spurious duplicate.
+		if a.keptCache != nil {
+			for _, p := range a.keptCache[proc] {
+				if pmap, needVisit, ok := a.matchPTF(f, nd, p, args); ok {
+					a.adoptKept(proc, p)
+					if !needVisit {
+						if a.track {
+							needVisit = p.dirtyN > 0
+						} else if p.staleDeps() {
+							needVisit = true
+						}
+					}
+					return p, pmap, needVisit
+				}
+			}
 		}
 	}
 	if c := f.c; c != nil && c.restricted() && c.deferred {

@@ -23,6 +23,16 @@ func (a *Analysis) evalProc(f *frame) {
 // evalProcFull is the pre-worklist engine: sweep every node repeatedly
 // until no fact changes (kept as the ForceFullPasses cross-check).
 func (a *Analysis) evalProcFull(f *frame) {
+	// During the solution-collection descent of an incremental run the
+	// fixpoint is already converged, so assignments and meets are no-ops
+	// (their records are stable and tracking is off); only call nodes do
+	// work — they re-derive parameter and formal bindings and descend
+	// into callees not yet collected. One reverse-postorder sweep marks
+	// every node evaluated (a node's tree predecessor precedes it), so a
+	// single calls-only sweep reaches every call site. Cold runs keep the
+	// full sweep: the collection pass doubles as a cross-check that the
+	// claimed fixpoint really is one.
+	callsOnly := a.incremental && a.collecting != nil
 	f.evaluated = make([]bool, len(f.ptf.Proc.Nodes))
 	for iter := 0; ; iter++ {
 		if a.timedOut.Load() || (!a.deadline.IsZero() && time.Now().After(a.deadline)) {
@@ -41,6 +51,9 @@ func (a *Analysis) evalProcFull(f *frame) {
 			if !f.evaluated[nd.ID] {
 				f.evaluated[nd.ID] = true
 				progress = true
+			}
+			if callsOnly && nd.Kind != cfg.CallNode {
+				continue
 			}
 			a.countNode(f.c)
 			factChanged := false
@@ -64,6 +77,11 @@ func (a *Analysis) evalProcFull(f *frame) {
 			progress = true
 			f.c.changed = true
 			a.bumpVersion(f.c, f.ptf)
+		}
+		if callsOnly {
+			// One sweep marked every node and applied every call site; a
+			// second sweep would only re-apply already-memoized summaries.
+			return
 		}
 		if !progress {
 			return

@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"wlpa/internal/cfg"
+	"wlpa/internal/irhash"
+	"wlpa/internal/sem"
+	"wlpa/internal/workload"
+	"wlpa/pta"
+)
+
+// IncrementalEntry is one benchmark's warm-edit measurement in the
+// BENCH_incremental.json emission: the cost of re-analyzing a
+// single-procedure edit against a converged baseline, next to the cost
+// of analyzing the edited program cold.
+type IncrementalEntry struct {
+	Name string `json:"name"`
+	// EditedProc is the one procedure whose IR digest the edit changed;
+	// Tweak is the TweakNthStatement index that produced the edit.
+	EditedProc string `json:"edited_proc"`
+	Tweak      int    `json:"tweak"`
+	// ColdNs times pta.AnalyzeProgram of the edited program (flow-graph
+	// construction + analysis; frontend excluded). IncrementalNs times
+	// pta.AnalyzeIncrementalPrepared of the same program against a
+	// fresh baseline — closure diffing, graft, and reconvergence. The
+	// warm daemon builds the edited flow graphs and hashes them for
+	// cache lookup before the graft is even considered, so neither is
+	// an incremental-only cost; their combined floor is reported
+	// separately as HashNs. All are the fastest of measureRounds
+	// rounds.
+	ColdNs        int64 `json:"cold_ns"`
+	IncrementalNs int64 `json:"incremental_ns"`
+	// HashNs times irhash.Hash of the edited program alone (flow-graph
+	// construction + digesting), the floor any closure-diff scheme pays.
+	HashNs int64 `json:"hash_ns"`
+	// Speedup is ColdNs/IncrementalNs.
+	Speedup float64 `json:"speedup"`
+	// CleanProcs/DirtyProcs partition the edited program's procedures by
+	// closure-hash survival; the PTF counts report what the graft
+	// restored versus re-derived (see pta.IncrStats).
+	CleanProcs      int `json:"clean_procs"`
+	DirtyProcs      int `json:"dirty_procs"`
+	RestoredPTFs    int `json:"restored_ptfs"`
+	ReconvergedPTFs int `json:"reconverged_ptfs"`
+}
+
+// IncrementalReport is the envelope written to BENCH_incremental.json.
+type IncrementalReport struct {
+	Generated string             `json:"generated"`
+	GoVersion string             `json:"go_version"`
+	Protocol  string             `json:"protocol"`
+	Entries   []IncrementalEntry `json:"entries"`
+}
+
+// findSingleProcEdit scans tweak indices for one that dirties exactly
+// one procedure's IR digest and leaves the globals digest fixed — the
+// canonical "edit one statement in one function" event the warm-edit
+// path is built for. Among the qualifying tweaks it picks the one whose
+// closure-hash cone (the procedures the graft must reconverge) is
+// smallest: a leaf edit, the case incrementality exists for. Returns
+// the tweak index, the edited source, and the edited procedure's name.
+func findSingleProcEdit(name, src string, base *irhash.Program) (int, string, string, error) {
+	bestCone := -1
+	var bestN int
+	var bestSrc, bestProc string
+	seen := map[string]bool{}
+	for n := 0; ; n++ {
+		edited, ok := workload.TweakNthStatement(src, n)
+		if !ok || seen[edited] {
+			break // exhausted or wrapped around the statement list
+		}
+		seen[edited] = true
+		prog, err := prepare(name, edited)
+		if err != nil {
+			continue // tweak broke the program (never for suite sources)
+		}
+		h, err := irhash.Hash(prog)
+		if err != nil || h.Globals != base.Globals {
+			continue
+		}
+		var changed []string
+		cone := 0
+		for i := range h.Procs {
+			p := &h.Procs[i]
+			bp := base.ProcHash(p.Name)
+			if bp == nil || bp.IR != p.IR {
+				changed = append(changed, p.Name)
+			}
+			if bp == nil || bp.Closure != p.Closure {
+				cone++
+			}
+		}
+		if len(changed) != 1 {
+			continue
+		}
+		if bestCone < 0 || cone < bestCone {
+			bestCone, bestN, bestSrc, bestProc = cone, n, edited, changed[0]
+		}
+	}
+	if bestCone < 0 {
+		return 0, "", "", fmt.Errorf("%s: no single-procedure tweak found", name)
+	}
+	return bestN, bestSrc, bestProc, nil
+}
+
+// MeasureIncremental measures the warm-edit path over every suite
+// benchmark: analyze the base cold, apply a single-procedure statement
+// tweak, and compare re-analyzing the edit incrementally against
+// analyzing it cold. Rounds re-parse and re-converge from scratch (a
+// baseline is consumed by the graft), and the fastest round is kept.
+func MeasureIncremental() ([]IncrementalEntry, error) {
+	var entries []IncrementalEntry
+	for _, b := range workload.Suite() {
+		e, err := measureIncrementalOne(b)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+func measureIncrementalOne(b workload.Benchmark) (IncrementalEntry, error) {
+	baseProg, err := prepare(b.Name, b.Source)
+	if err != nil {
+		return IncrementalEntry{}, err
+	}
+	baseHash, err := irhash.Hash(baseProg)
+	if err != nil {
+		return IncrementalEntry{}, err
+	}
+	tweak, edited, proc, err := findSingleProcEdit(b.Name, b.Source, baseHash)
+	if err != nil {
+		return IncrementalEntry{}, err
+	}
+	entry := IncrementalEntry{Name: b.Name, EditedProc: proc, Tweak: tweak}
+
+	editedProgs := make([]*sem.Program, measureRounds)
+	for i := range editedProgs {
+		if editedProgs[i], err = prepare(b.Name, edited); err != nil {
+			return IncrementalEntry{}, err
+		}
+	}
+
+	// Cold side: the edited program from scratch. Flow graphs are built
+	// inside the timed region (AnalyzeProgram), matching the incremental
+	// side's scope; a fresh sem.Program per round keeps the two sides'
+	// cache behavior honest.
+	for round := 0; round < measureRounds; round++ {
+		runtime.GC()
+		start := time.Now()
+		if _, err := pta.AnalyzeProgram(editedProgs[round], nil); err != nil {
+			return IncrementalEntry{}, fmt.Errorf("%s: cold: %w", b.Name, err)
+		}
+		ns := time.Since(start).Nanoseconds()
+		if round == 0 || ns < entry.ColdNs {
+			entry.ColdNs = ns
+		}
+	}
+
+	// Hash floor: what identifying the edit costs by itself.
+	for round := 0; round < measureRounds; round++ {
+		prog, err := prepare(b.Name, edited)
+		if err != nil {
+			return IncrementalEntry{}, err
+		}
+		runtime.GC()
+		start := time.Now()
+		if _, err := irhash.Hash(prog); err != nil {
+			return IncrementalEntry{}, err
+		}
+		ns := time.Since(start).Nanoseconds()
+		if round == 0 || ns < entry.HashNs {
+			entry.HashNs = ns
+		}
+	}
+
+	// Incremental side: each round converges a fresh baseline (untimed —
+	// a warm daemon holds it already) and times the graft + reconverge.
+	// The edited flow graphs and hash record are precomputed: the
+	// daemon builds and hashes every request for cache lookup before
+	// the graft is even considered (their cost is HashNs).
+	editedHash, err := irhash.Hash(editedProgs[0])
+	if err != nil {
+		return IncrementalEntry{}, err
+	}
+	for round := 0; round < measureRounds; round++ {
+		prog, err := prepare(b.Name, b.Source)
+		if err != nil {
+			return IncrementalEntry{}, err
+		}
+		res, err := pta.AnalyzeProgram(prog, nil)
+		if err != nil {
+			return IncrementalEntry{}, err
+		}
+		bl, err := pta.NewBaseline(res, nil)
+		if err != nil {
+			return IncrementalEntry{}, err
+		}
+		editedProg, err := prepare(b.Name, edited)
+		if err != nil {
+			return IncrementalEntry{}, err
+		}
+		procs, err := cfg.BuildAll(editedProg.Funcs)
+		if err != nil {
+			return IncrementalEntry{}, err
+		}
+		runtime.GC()
+		start := time.Now()
+		r, err := pta.AnalyzeIncrementalPrepared(bl, editedProg, procs, editedHash, nil)
+		if err != nil {
+			return IncrementalEntry{}, fmt.Errorf("%s: incremental: %w", b.Name, err)
+		}
+		ns := time.Since(start).Nanoseconds()
+		st := r.Incremental()
+		if st == nil || st.Fallback != "" {
+			return IncrementalEntry{}, fmt.Errorf("%s: graft refused: %+v", b.Name, st)
+		}
+		if round == 0 || ns < entry.IncrementalNs {
+			entry.IncrementalNs = ns
+			entry.CleanProcs = st.CleanProcs
+			entry.DirtyProcs = st.DirtyProcs
+			entry.RestoredPTFs = st.RestoredPTFs
+			entry.ReconvergedPTFs = st.ReconvergedPTFs
+		}
+	}
+	if entry.IncrementalNs > 0 {
+		entry.Speedup = float64(entry.ColdNs) / float64(entry.IncrementalNs)
+	}
+	return entry, nil
+}
+
+// WriteIncrementalJSON measures the warm-edit path over the suite and
+// writes the report envelope to path as indented JSON.
+func WriteIncrementalJSON(path string) error {
+	entries, err := MeasureIncremental()
+	if err != nil {
+		return err
+	}
+	return writeIndented(path, IncrementalReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		Protocol:  protocolName(),
+		Entries:   entries,
+	})
+}

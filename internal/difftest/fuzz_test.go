@@ -37,6 +37,13 @@ func FuzzOracleLattice(f *testing.F) {
 		if !ok {
 			t.Fatalf("oracle returned non-Failure error: %v", err)
 		}
+		if gap := KnownOpenGap(fl); gap != "" {
+			// Rediscovery of a pinned still-open gap — not a fresh
+			// property violation. The open-gaps test keeps the gap
+			// itself visible; re-failing CI on every rediscovery would
+			// make the fuzz job permanently red.
+			t.Skipf("rediscovered known-open gap %s:\n%v", gap, fl)
+		}
 		reduced, path := ReduceFailure(fl, opt)
 		t.Fatalf("%v\nreduced reproducer (%d lines, stored at %s):\n%s",
 			fl, len(strings.Split(reduced, "\n")), path, reduced)

@@ -1,0 +1,76 @@
+package difftest
+
+import (
+	"testing"
+
+	"wlpa/internal/workload"
+)
+
+// FuzzIncrementalOracle is the edit-oracle fuzz rung: a raw (seed,
+// feature-word, edit-kind) tuple decodes into a (base, edited) program
+// pair — structured edits of generated programs, or column-shift tweaks
+// of the benchmark suite — and CheckIncremental pins the incremental
+// re-analysis of the edited side byte-identical to its cold analysis.
+// The seed corpus covers every edit kind and every benchmark, so plain
+// `go test` replays the whole matrix even when the fuzz engine is not
+// running.
+func FuzzIncrementalOracle(f *testing.F) {
+	// Every structured edit kind, over the all-features program and a
+	// single-feature one (different seeds pick different target procs).
+	for k := 0; k < workload.NumEditKinds(); k++ {
+		f.Add(int64(k+1), uint32(workload.AllFeatures()), uint32(k))
+		f.Add(int64(7*k+3), uint32(1)<<(k%workload.NumFeatures()), uint32(k))
+	}
+	// Every benchmark program under a body-tweak edit.
+	for i := 0; i < len(workload.Suite()); i++ {
+		f.Add(int64(i), BenchmarkBit, uint32(workload.EditBodyTweak))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, raw uint32, kind uint32) {
+		name, base, edited := DecodeEditInput(seed, raw, kind)
+		if base == "" || base == edited {
+			t.Skip("no edit")
+		}
+		err := CheckIncremental(name, base, edited, Options{})
+		if err == nil {
+			return
+		}
+		fl, ok := err.(*Failure)
+		if !ok {
+			t.Fatalf("oracle returned non-Failure error: %v", err)
+		}
+		if gap := KnownOpenGap(fl); gap != "" {
+			// The incremental rung rediscovers the pinned subsumption
+			// gap whenever a restored summary hands a dirty procedure
+			// converged values that a cold run only reaches gradually;
+			// TestIncrementalGapStillOpen keeps the gap itself visible.
+			t.Skipf("rediscovered known-open gap %s:\n%v", gap, fl)
+		}
+		t.Fatalf("%v\n---- base ----\n%s\n---- edited ----\n%s", fl, base, edited)
+	})
+}
+
+// DecodeEditInput maps a raw fuzz tuple to an incremental-oracle pair.
+// BenchmarkBit selects a benchmark program with a seed-chosen body
+// tweak; otherwise the tuple decodes like the generator fuzz inputs and
+// the kind selects a structured edit. Empty strings mean the tuple maps
+// to no pair (never for corpus seeds; mutated inputs may get here).
+func DecodeEditInput(seed int64, raw uint32, kind uint32) (name, base, edited string) {
+	if raw&BenchmarkBit != 0 {
+		suite := workload.Suite()
+		if len(suite) == 0 {
+			return "", "", ""
+		}
+		b := suite[int(uint64(seed)%uint64(len(suite)))]
+		tweaked, ok := workload.TweakNthStatement(b.Source, int(uint64(seed)%97))
+		if !ok {
+			return "", "", ""
+		}
+		return b.Name + "+tweak", b.Source, tweaked
+	}
+	k := workload.EditKind(int(kind) % workload.NumEditKinds())
+	pair, ok := workload.GenerateEditPair(seed, raw, k)
+	if !ok {
+		return "", "", ""
+	}
+	return pair.Name, pair.Base, pair.Edited
+}

@@ -1,0 +1,126 @@
+package difftest
+
+import "strings"
+
+// KnownOpenGapWitness is the pinned reproducer of the one oracle gap
+// that is understood and deliberately left open (see its header and
+// testdata/open/README.md): the full-pass and worklist engines make
+// history-sensitive parameter-subsumption decisions, and conflicting
+// offset deltas degrade the subsuming parameter to stride-1 references
+// in one engine only, leaking extra stride-1 members into that engine's
+// collapsed solution.
+const KnownOpenGapWitness = "internal/workload/testdata/open/equivalence_73e6f202a3.c"
+
+// IncrementalGapWitness pins the incremental-rung face of the same gap:
+// the benchmark+tweak edit pair under which CheckIncremental reproduces
+// it (see TestIncrementalGapStillOpen). A restored callee summary hands
+// the dirty cone its *converged* values on the very first iteration,
+// while a cold run strengthens them gradually — so the dirty
+// procedures' parameter-subsumption decisions can differ from cold's,
+// and the collapsed solutions disagree by stride-1 degradation products
+// (or their plain shadows) only.
+const (
+	IncrementalGapBenchmark = "assembler"
+	IncrementalGapTweak     = 9
+)
+
+// KnownOpenGap classifies a failure as a rediscovery of a pinned,
+// still-open gap and returns the gap's name ("" for new failures). The
+// fuzz harnesses keep probing — subsumption-triggering programs are
+// easy for them to find — so rediscoveries must be annotated and
+// skipped, not reported as fresh property violations, and the
+// delta-debugging reducer must not let an unrelated failure shrink onto
+// the known gap.
+//
+// The subsumption gap's signature: an equivalence-stage (engine vs
+// engine, or incremental vs cold) solution divergence where the two
+// member sets for the same location differ only in stride-1 references
+// — the "+k%1" degradation products — or in plain members whose "+0%1"
+// twin both sides agree on (the shadow a pre-degradation record leaves
+// when one side subsumed earlier than the other). Any divergence
+// involving a concrete block without such a twin, a field offset, or a
+// wider stride is NOT the known gap and fails normally.
+func KnownOpenGap(f *Failure) string {
+	if f == nil || (f.Stage != StageEquivalence && f.Stage != StageIncremental) ||
+		!strings.Contains(f.Detail, "solutions differ") {
+		return ""
+	}
+	a, b, ok := divergenceLines(f.Detail)
+	if !ok {
+		return ""
+	}
+	if strideOnlyDivergence(a, b) {
+		return "parameter-subsumption-stride1 (pinned at " + KnownOpenGapWitness + ")"
+	}
+	return ""
+}
+
+// divergenceLines extracts the "a: ..."/"b: ..." lines firstDiff embeds
+// in an equivalence failure's detail.
+func divergenceLines(detail string) (a, b string, ok bool) {
+	for _, line := range strings.Split(detail, "\n") {
+		switch {
+		case strings.HasPrefix(line, "a: "):
+			a = line[len("a: "):]
+		case strings.HasPrefix(line, "b: "):
+			b = line[len("b: "):]
+		}
+	}
+	return a, b, a != "" && b != ""
+}
+
+// strideOnlyDivergence reports whether two solution-dump lines name the
+// same location and differ only in stride-1 members or their plain
+// shadows (a member whose "+0%1" twin is present in both sets).
+func strideOnlyDivergence(a, b string) bool {
+	la, ma, ok := parseSolutionLine(a)
+	if !ok {
+		return false
+	}
+	lb, mb, ok := parseSolutionLine(b)
+	if !ok || la != lb {
+		return false
+	}
+	for m := range symmetricDiff(ma, mb) {
+		if strings.HasSuffix(m, "%1") {
+			continue
+		}
+		if twin := m + "+0%1"; ma[twin] && mb[twin] {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// parseSolutionLine splits "loc -> {m1, m2}" into the location and its
+// member set.
+func parseSolutionLine(line string) (string, map[string]bool, bool) {
+	loc, rest, found := strings.Cut(line, " -> {")
+	if !found || !strings.HasSuffix(rest, "}") {
+		return "", nil, false
+	}
+	members := map[string]bool{}
+	body := strings.TrimSuffix(rest, "}")
+	if body != "" {
+		for _, m := range strings.Split(body, ", ") {
+			members[m] = true
+		}
+	}
+	return loc, members, true
+}
+
+func symmetricDiff(a, b map[string]bool) map[string]bool {
+	out := map[string]bool{}
+	for m := range a {
+		if !b[m] {
+			out[m] = true
+		}
+	}
+	for m := range b {
+		if !a[m] {
+			out[m] = true
+		}
+	}
+	return out
+}

@@ -115,13 +115,21 @@ func WriteRegression(stage, header, src string) (string, error) {
 // ReduceFailure minimizes a failing program while the same failure
 // stage reproduces, writes the reproducer to the regressions
 // directory, and returns the reduced source plus the file path (best
-// effort: the path is empty if writing failed).
+// effort: the path is empty if writing failed). Unless the original
+// failure already is one, candidates that fail only as a rediscovery
+// of a known-open gap are rejected — a genuinely new equivalence bug
+// must not shrink onto the pinned subsumption divergence and come out
+// mislabeled.
 func ReduceFailure(orig *Failure, opt Options) (string, string) {
 	stage := orig.Stage
+	origGap := KnownOpenGap(orig)
 	sameStage := func(cand string) bool {
 		err := CheckProgram(orig.Name, cand, opt)
 		f, ok := err.(*Failure)
-		return ok && f.Stage == stage
+		if !ok || f.Stage != stage {
+			return false
+		}
+		return origGap != "" || KnownOpenGap(f) == ""
 	}
 	red := Minimize(orig.Src, sameStage)
 	header := fmt.Sprintf("reduced reproducer (stage %s)\nprogram: %s\ndetail: %s",

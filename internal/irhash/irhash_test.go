@@ -1,6 +1,7 @@
 package irhash
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -124,6 +125,70 @@ int main(void) { fp(); g(); return 0; }
 	}
 	if a.ProcHash("g").Closure != b.ProcHash("g").Closure {
 		t.Fatalf("g closure changed although g calls nothing")
+	}
+}
+
+// TestFanOutEditSensitivity drives the closure-hash contract over the
+// worker-scaling fan-out shapes, where the static call structure is
+// known exactly: editing the cone-0 leaf must change the leaf's own IR
+// digest and the Closure digest of precisely the leaf, its chain, the
+// cone root, and main — every other cone, setup, and the Globals digest
+// stay fixed. This is the sensitivity the incremental graft relies on
+// to keep all untouched cones' PTFs across an edit.
+func TestFanOutEditSensitivity(t *testing.T) {
+	for _, shape := range workload.FanOutShapes() {
+		t.Run(shape.Name, func(t *testing.T) {
+			src := shape.Source()
+			leaf := "int *c0_0(int **u, int **v) { *u = *v; return *v; }"
+			if !strings.Contains(src, leaf) {
+				t.Fatalf("generated source lost the cone-0 leaf line")
+			}
+			edited := strings.Replace(src, leaf,
+				"int *c0_0(int **u, int **v) { *u = *v; return *u; }", 1)
+			a, b := hashSource(t, src), hashSource(t, edited)
+
+			if a.Root == b.Root {
+				t.Fatalf("root digest unchanged after leaf edit")
+			}
+			if a.Globals != b.Globals {
+				t.Fatalf("globals digest changed by a procedure-body edit")
+			}
+
+			// The edit's dirty cone: the leaf itself, the chain above it,
+			// the cone root, and main. Everything else survives.
+			wantClosure := map[string]bool{"c0_0": true, "r0": true, "main": true}
+			for k := 1; k < shape.Depth; k++ {
+				wantClosure[fmt.Sprintf("c0_%d", k)] = true
+			}
+			changedIR := map[string]bool{}
+			changedClosure := map[string]bool{}
+			for _, pa := range a.Procs {
+				pb := b.ProcHash(pa.Name)
+				if pb == nil {
+					t.Fatalf("procedure %s missing after edit", pa.Name)
+				}
+				if pa.IR != pb.IR {
+					changedIR[pa.Name] = true
+				}
+				if pa.Closure != pb.Closure {
+					changedClosure[pa.Name] = true
+				}
+			}
+			if len(changedIR) != 1 || !changedIR["c0_0"] {
+				t.Errorf("IR digests changed for %v, want only [c0_0]", changedIR)
+			}
+			for name := range changedClosure {
+				if !wantClosure[name] {
+					t.Errorf("closure digest of %s changed; changed set %v, want %v",
+						name, changedClosure, wantClosure)
+				}
+			}
+			for name := range wantClosure {
+				if !changedClosure[name] {
+					t.Errorf("closure digest of %s did not change", name)
+				}
+			}
+		})
 	}
 }
 

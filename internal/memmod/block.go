@@ -347,6 +347,12 @@ func (b *Block) PtrLocs() []LocSet {
 // NumPtrLocs returns the number of recorded pointer locations.
 func (b *Block) NumPtrLocs() int { return len(b.Representative().ptrLocCache) }
 
+// ResetPtrLocs discards the pointer-location cache. Incremental
+// re-analysis uses it on shared (global-family) blocks before replaying
+// the surviving facts, so that locations written only by discarded
+// contexts do not linger.
+func (b *Block) ResetPtrLocs() { b.Representative().ptrLocCache = nil }
+
 // AddFnBound accumulates values bound to this function-pointer
 // parameter, reporting whether any were new. Like AddPtrLoc, only the
 // evaluation context that owns the binding site may call it.

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"wlpa/pta"
+)
+
+// TestWarmEditGraft drives the daemon through the edit workflow: a cold
+// miss registers a baseline, and the next miss for the same entry runs
+// through the incremental engine — reporting graft statistics in the
+// response meta while producing a snapshot byte-identical to what a
+// cold daemon computes for the edited program.
+func TestWarmEditGraft(t *testing.T) {
+	srv, ts := newTestServer(t, t.TempDir())
+	c := &Client{Base: ts.URL}
+
+	cold, _, err := c.Analyze(context.Background(), map[string]string{"edit.c": editBase}, "edit.c", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Meta.Cache != "miss" {
+		t.Fatalf("cold: cache=%q, want miss", cold.Meta.Cache)
+	}
+	if cold.Meta.Incremental != nil {
+		t.Fatalf("first miss has no baseline, got incremental stats %+v", cold.Meta.Incremental)
+	}
+
+	// A repeat of the base program is a hit and must leave the baseline
+	// alone for the edit that follows.
+	hit, _, err := c.Analyze(context.Background(), map[string]string{"edit.c": editBase}, "edit.c", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Meta.Cache != "hit" || hit.Meta.Incremental != nil {
+		t.Fatalf("repeat request: %+v", hit.Meta)
+	}
+
+	edited, _, err := c.Analyze(context.Background(), map[string]string{"edit.c": editChanged}, "edit.c", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := edited.Meta.Incremental
+	if edited.Meta.Cache != "miss" || inc == nil {
+		t.Fatalf("edited request did not graft: %+v", edited.Meta)
+	}
+	if inc.Fallback != "" {
+		t.Fatalf("graft fell back: %q", inc.Fallback)
+	}
+	if inc.DirtyProcs == 0 || inc.CleanProcs == 0 {
+		t.Fatalf("graft stats implausible for a single-proc edit: %+v", inc)
+	}
+
+	// Bit-identity: the grafted snapshot equals a cold daemon's answer
+	// for the edited program.
+	_, ts2 := newTestServer(t, t.TempDir())
+	c2 := &Client{Base: ts2.URL}
+	ref, _, err := c2.Analyze(context.Background(), map[string]string{"edit.c": editChanged}, "edit.c", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Meta.Incremental != nil {
+		t.Fatalf("fresh daemon grafted: %+v", ref.Meta)
+	}
+	if !bytes.Equal(edited.Snapshot, ref.Snapshot) {
+		t.Fatalf("grafted snapshot differs from cold snapshot")
+	}
+
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Incremental.Grafts != 1 || m.Incremental.Fallbacks != 0 {
+		t.Fatalf("incremental counters: %+v", m.Incremental)
+	}
+
+	// The graft consumed the old baseline and registered a new one
+	// wrapped around the edited result — a further edit grafts again.
+	if srv.baselines.take("edit.c") == nil {
+		t.Fatalf("no baseline registered after the grafted miss")
+	}
+}
+
+// TestBaselineRegistryLRU pins the registry semantics: take is
+// exclusive, put replaces, and the oldest entry is evicted beyond the
+// cap.
+func TestBaselineRegistryLRU(t *testing.T) {
+	br := newBaselineRegistry()
+	mk := func() *pta.Baseline { return &pta.Baseline{} }
+
+	if br.take("a") != nil {
+		t.Fatal("empty registry returned a baseline")
+	}
+	b1 := mk()
+	br.put("a", b1)
+	if got := br.take("a"); got != b1 {
+		t.Fatalf("take returned %p, want %p", got, b1)
+	}
+	if br.take("a") != nil {
+		t.Fatal("take is not exclusive")
+	}
+
+	b2 := mk()
+	br.put("a", mk())
+	br.put("a", b2) // replace keeps one slot per entry
+	for i := 0; i < maxBaselines; i++ {
+		br.put(string(rune('b'+i)), mk())
+	}
+	if br.take("a") != nil {
+		t.Fatal("oldest entry not evicted beyond the cap")
+	}
+	if br.take(string(rune('b'))) == nil {
+		t.Fatal("in-cap entry evicted")
+	}
+}

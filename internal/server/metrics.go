@@ -56,6 +56,9 @@ type metrics struct {
 	procHits   uint64
 	procMisses uint64
 
+	warmGrafts    uint64
+	warmFallbacks uint64
+
 	latency map[string]*Histogram // phase -> histogram
 }
 
@@ -90,6 +93,13 @@ type MetricsSnapshot struct {
 		Hits   uint64 `json:"hits"`
 		Misses uint64 `json:"misses"`
 	} `json:"proc_ledger"`
+	// Incremental counts misses that had a warm-edit baseline available:
+	// grafts reconverged only the edit's dirty cone, fallbacks found the
+	// baseline inapplicable and ran cold.
+	Incremental struct {
+		Grafts    uint64 `json:"grafts"`
+		Fallbacks uint64 `json:"fallbacks"`
+	} `json:"incremental"`
 	Store     store.Stats           `json:"store"`
 	LatencyMS map[string]*Histogram `json:"latency_ms"`
 }
@@ -105,6 +115,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	out.Requests.Inflight = m.inflight
 	out.ProcLedger.Hits = m.procHits
 	out.ProcLedger.Misses = m.procMisses
+	out.Incremental.Grafts = m.warmGrafts
+	out.Incremental.Fallbacks = m.warmFallbacks
 	out.LatencyMS = make(map[string]*Histogram, len(m.latency))
 	for phase, h := range m.latency {
 		out.LatencyMS[phase] = h.clone()

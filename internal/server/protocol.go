@@ -1,6 +1,10 @@
 package server
 
-import "encoding/json"
+import (
+	"encoding/json"
+
+	"wlpa/pta"
+)
 
 // AnalyzeRequest is the POST /analyze body.
 type AnalyzeRequest struct {
@@ -36,6 +40,13 @@ type AnalyzeMeta struct {
 	// ledger is not consulted — the whole program matched).
 	ProcHits   []string `json:"proc_hits,omitempty"`
 	ProcMisses []string `json:"proc_misses,omitempty"`
+	// Incremental is set when a warm-edit baseline was available for the
+	// entry and the miss ran through the incremental engine: what the
+	// graft restored versus reconverged, or the Fallback reason it ran
+	// cold. Nil on hits and on misses with no registered baseline. Like
+	// the timings it is advisory — the snapshot bytes are identical
+	// either way.
+	Incremental *pta.IncrStats `json:"incremental,omitempty"`
 }
 
 // AnalyzeResponse is the POST /analyze response. Snapshot holds the

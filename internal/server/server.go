@@ -8,6 +8,7 @@ import (
 	"sort"
 	"time"
 
+	"wlpa/internal/cfg"
 	"wlpa/internal/irhash"
 	"wlpa/internal/store"
 	"wlpa/pta"
@@ -38,13 +39,14 @@ type Config struct {
 // Server answers analysis requests out of the cache, running the engine
 // only on misses. See the package comment for the key structure.
 type Server struct {
-	cfg     Config
-	store   *store.Store
-	optsFP  string
-	log     *slog.Logger
-	sem     chan struct{}
-	metrics *metrics
-	started time.Time
+	cfg       Config
+	store     *store.Store
+	optsFP    string
+	log       *slog.Logger
+	sem       chan struct{}
+	metrics   *metrics
+	baselines *baselineRegistry
+	started   time.Time
 }
 
 // New builds a Server; Handler exposes it as an http.Handler.
@@ -60,13 +62,14 @@ func New(cfg Config) (*Server, error) {
 		log = slog.Default()
 	}
 	return &Server{
-		cfg:     cfg,
-		store:   cfg.Store,
-		optsFP:  optionsFingerprint(cfg.Options),
-		log:     log,
-		sem:     make(chan struct{}, cfg.MaxInflight),
-		metrics: newMetrics(),
-		started: time.Now(),
+		cfg:       cfg,
+		store:     cfg.Store,
+		optsFP:    optionsFingerprint(cfg.Options),
+		log:       log,
+		sem:       make(chan struct{}, cfg.MaxInflight),
+		metrics:   newMetrics(),
+		baselines: newBaselineRegistry(),
+		started:   time.Now(),
 	}, nil
 }
 
@@ -124,17 +127,19 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Frontend + content hash: cheap relative to the engine, and the
-	// only work a warm request pays.
+	// only work a warm request pays. The flow graphs are built once and
+	// shared between hashing and the incremental graft below.
 	prog, err := pta.Frontend(pta.Source(req.Files), req.Entry, s.cfg.Options.Predefined)
 	if err != nil {
 		s.fail(w, r, t0, http.StatusUnprocessableEntity, err)
 		return
 	}
-	ir, err := irhash.Hash(prog)
+	procs, err := cfg.BuildAll(prog.Funcs)
 	if err != nil {
 		s.fail(w, r, t0, http.StatusUnprocessableEntity, err)
 		return
 	}
+	ir := irhash.HashProcs(prog, procs)
 	hashDur := time.Since(t0)
 	s.metrics.observe("hash", ms(hashDur))
 
@@ -164,15 +169,35 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// A registered baseline for this entry turns the miss into a
+	// warm-edit graft: surviving PTFs are restored and only the edit's
+	// dirty cone reconverges. The result is bit-identical to the cold
+	// path (pinned by difftest.CheckIncremental), so the snapshot bytes
+	// and cache entry are the same either way.
 	ta := time.Now()
 	opts := s.cfg.Options
-	res, err := pta.AnalyzeProgram(prog, &opts)
+	var res *pta.Result
+	if bl := s.baselines.take(req.Entry); bl != nil {
+		res, err = pta.AnalyzeIncrementalPrepared(bl, prog, procs, ir, &opts)
+	} else {
+		res, err = pta.AnalyzeProgram(prog, &opts)
+	}
 	if err != nil {
 		s.fail(w, r, t0, http.StatusUnprocessableEntity, err)
 		return
 	}
 	analyzeDur := time.Since(ta)
 	s.metrics.observe("analyze", ms(analyzeDur))
+	if inc := res.Incremental(); inc != nil {
+		meta.Incremental = inc
+		s.metrics.mu.Lock()
+		if inc.Fallback == "" {
+			s.metrics.warmGrafts++
+		} else {
+			s.metrics.warmFallbacks++
+		}
+		s.metrics.mu.Unlock()
+	}
 
 	ts := time.Now()
 	snap, err := res.Snapshot(&pta.SnapshotOptions{
@@ -197,6 +222,10 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		s.log.Warn("cache write failed", "key", key.String(), "err", err)
 	}
 	meta.ProcHits, meta.ProcMisses = s.recordProcLedger(res, ir)
+	// Every successful miss leaves a baseline behind for the entry's
+	// next edit. The snapshot above is already built, so consuming this
+	// result later cannot invalidate anything a client was served.
+	s.baselines.put(req.Entry, pta.BaselineFromHash(res, ir, &opts))
 
 	meta.Cache = "miss"
 	meta.AnalyzeMS = ms(analyzeDur)

@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EditKind enumerates the structured program edits the incremental
+// re-analysis oracle exercises. Every kind maps a well-defined base
+// program to a well-defined edited program; the pair feeds
+// difftest.CheckIncremental, which pins the incremental result
+// bit-identical to a cold analysis of the edited side.
+type EditKind int
+
+const (
+	// EditBodyTweak shifts one statement's starting column inside a
+	// single procedure. The statement set is unchanged; only the
+	// procedure's IR hash (which anchors nodes at their source
+	// positions) moves.
+	EditBodyTweak EditKind = iota
+	// EditAddStore inserts a new store statement into one procedure.
+	EditAddStore
+	// EditRemoveStore deletes an existing store statement from one
+	// procedure.
+	EditRemoveStore
+	// EditNewCallee introduces a new procedure and a call to it from an
+	// existing procedure.
+	EditNewCallee
+	// EditDeleteProc removes a procedure together with its only call
+	// site (the reverse direction of EditNewCallee).
+	EditDeleteProc
+
+	numEditKinds
+)
+
+var editKindNames = [numEditKinds]string{
+	"bodytweak", "addstore", "removestore", "newcallee", "deleteproc",
+}
+
+// NumEditKinds returns the number of distinct edit kinds.
+func NumEditKinds() int { return int(numEditKinds) }
+
+func (k EditKind) String() string {
+	if k < 0 || k >= numEditKinds {
+		return fmt.Sprintf("editkind(%d)", int(k))
+	}
+	return editKindNames[k]
+}
+
+// EditKindByName resolves a kind name ("bodytweak", ...); ok is false
+// for unknown names.
+func EditKindByName(name string) (EditKind, bool) {
+	for i, n := range editKindNames {
+		if n == name {
+			return EditKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// EditPair is a (base, edited) program pair for the incremental oracle.
+type EditPair struct {
+	Kind   EditKind
+	Name   string
+	Base   string
+	Edited string
+}
+
+// GenerateEditPair derives a generated program from the fuzz tuple
+// (seed, raw) — the same decoding the differential fuzz harness uses —
+// and applies one structured edit of the given kind to it. The edit
+// targets the function f<seed mod NumFuncs>, relying on the generator's
+// fixed emission shape (every generated function opens with
+// "void fN(int **a, int *b) {" followed by "    *a = b;"). ok is false
+// if the anchor is missing (never for generator output; defensive).
+func GenerateEditPair(seed int64, raw uint32, kind EditKind) (EditPair, bool) {
+	cfg := FuzzGenConfig(seed, raw)
+	base := Generate(cfg)
+	fk := int(uint64(seed) % uint64(cfg.NumFuncs))
+	name := fmt.Sprintf("edit(seed=%d,feat=%s,kind=%s,f%d)", seed, cfg.Features, kind, fk)
+	pair := EditPair{Kind: kind, Name: name, Base: base}
+
+	sig := fmt.Sprintf("void f%d(int **a, int *b) {\n", fk)
+	at := strings.Index(base, sig)
+	if at < 0 {
+		return EditPair{}, false
+	}
+	body := at + len(sig)
+	const firstStmt = "    *a = b;\n"
+	if !strings.HasPrefix(base[body:], firstStmt) {
+		return EditPair{}, false
+	}
+
+	switch kind {
+	case EditBodyTweak:
+		// One extra leading space: same statement, shifted column.
+		pair.Edited = base[:body] + " " + base[body:]
+	case EditAddStore:
+		pair.Edited = base[:body] + "    *b = tick + 1;\n" + base[body:]
+	case EditRemoveStore:
+		pair.Edited = base[:body] + base[body+len(firstStmt):]
+	case EditNewCallee, EditDeleteProc:
+		callee := fmt.Sprintf("void edit_nc%d(int **a, int *b) {\n    *a = b;\n    *b = tick;\n}\n\n", fk)
+		withCallee := base[:at] + callee + sig + fmt.Sprintf("    edit_nc%d(a, b);\n", fk) +
+			base[body:]
+		if kind == EditNewCallee {
+			pair.Edited = withCallee
+		} else {
+			// Deleting a procedure is the reverse pair: the base holds
+			// the callee, the edit removes it and its call site.
+			pair.Base = withCallee
+			pair.Edited = base
+		}
+	default:
+		return EditPair{}, false
+	}
+	return pair, true
+}
+
+// TweakNthStatement applies a body-tweak edit to arbitrary C source:
+// it prepends one space to the (n mod count)-th statement-looking line
+// (indented, semicolon-terminated), shifting that statement's starting
+// column without changing program meaning. ok is false when the source
+// has no such line. Whether the tweak dirties a procedure's IR hash
+// depends on the statement carrying pointer-relevant flow-graph nodes;
+// callers that need a dirtying edit must verify against the hashes.
+func TweakNthStatement(src string, n int) (string, bool) {
+	lines := strings.Split(src, "\n")
+	var candidates []int
+	for i, line := range lines {
+		trimmed := strings.TrimLeft(line, " \t")
+		if len(line) == len(trimmed) || trimmed == "" {
+			continue // top-level or blank
+		}
+		if !strings.HasSuffix(strings.TrimRight(trimmed, " "), ";") {
+			continue
+		}
+		if strings.HasPrefix(trimmed, "/*") || strings.HasPrefix(trimmed, "*") ||
+			strings.HasPrefix(trimmed, "//") {
+			continue // comment, not a statement
+		}
+		candidates = append(candidates, i)
+	}
+	if len(candidates) == 0 {
+		return "", false
+	}
+	i := candidates[((n%len(candidates))+len(candidates))%len(candidates)]
+	lines[i] = " " + lines[i]
+	return strings.Join(lines, "\n"), true
+}

@@ -54,6 +54,12 @@ type Options struct {
 	// Used by the serving path (cmd/wlpad) to bound request latency;
 	// an exceeded budget returns an error, never a partial result.
 	Timeout time.Duration
+	// Baseline, when set, makes Analyze attempt incremental
+	// re-analysis against the converged result it wraps (see
+	// AnalyzeIncremental). The baseline is consumed on success; when
+	// the graft is refused the run silently falls back to a cold
+	// analysis (Result.Incremental reports which happened).
+	Baseline *Baseline
 }
 
 // Source is an in-memory set of C files.
@@ -69,7 +75,17 @@ type Result struct {
 	aopts analysis.Options
 
 	parseTime time.Duration
+
+	// incr describes the incremental graft that produced this result
+	// (nil for cold runs; see AnalyzeIncremental).
+	incr *IncrStats
 }
+
+// Incremental reports how this result was produced: nil for a cold run,
+// otherwise the restored-vs-reconverged accounting of the incremental
+// graft (with Fallback set when the graft was refused and the run was
+// cold after all).
+func (r *Result) Incremental() *IncrStats { return r.incr }
 
 // AnalyzeSource analyzes a single self-contained C source string.
 // Standard headers (<stdlib.h> etc.) resolve to built-in versions whose
@@ -82,6 +98,9 @@ func AnalyzeSource(name, src string, opts *Options) (*Result, error) {
 func Analyze(files Source, entry string, opts *Options) (*Result, error) {
 	if opts == nil {
 		opts = &Options{}
+	}
+	if opts.Baseline != nil {
+		return AnalyzeIncremental(opts.Baseline, files, entry, opts)
 	}
 	t0 := time.Now()
 	prog, err := Frontend(files, entry, opts.Predefined)

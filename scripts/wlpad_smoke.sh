@@ -8,7 +8,10 @@
 #      the embedded checker diagnostics — to their cold counterparts;
 #   3. editing a single procedure invalidates only the per-procedure
 #      ledger entries whose content hash changed (the edited procedure
-#      and its transitive callers), while the rest hit.
+#      and its transitive callers), while the rest hit;
+#   4. the edited miss grafts against the warm baseline (meta carries
+#      incremental stats with no fallback) and its snapshot is
+#      byte-identical to a cold daemon's analysis of the edited program.
 #
 # Writes a /metrics snapshot to $METRICS_OUT (default
 # wlpad-metrics.json) for upload as a CI artifact. Requires jq + curl.
@@ -94,7 +97,41 @@ jq -e '.meta.cache == "miss"
     { echo "edit invalidation off:"; jq .meta "$work/edited.json"; exit 1; }
 echo "ok: single-procedure edit invalidated exactly {h, main}, reused {f, g}"
 
+# The edited miss must have run through the incremental engine: the
+# base miss registered a baseline for edit.c, so the graft reconverges
+# only the dirty cone {h, main} while {f, g} keep their PTFs.
+jq -e '.meta.incremental != null
+       and (.meta.incremental.fallback // "") == ""
+       and .meta.incremental.dirty_procs == 2
+       and .meta.incremental.clean_procs == 2' "$work/edited.json" >/dev/null ||
+    { echo "edited miss did not graft:"; jq .meta "$work/edited.json"; exit 1; }
+echo "ok: edited miss grafted (2 clean, 2 dirty procedures)"
+
+# Bit-identity of the graft: a second daemon with an empty cache and no
+# baseline must produce the same snapshot bytes for the edited program.
+ADDR2="127.0.0.1:${WLPAD_PORT2:-18373}"
+"$work/wlpad" serve -addr "$ADDR2" -cache-dir "$work/cache2" -log json 2>"$work/wlpad2.log" &
+daemon2_pid=$!
+trap 'kill "$daemon_pid" "$daemon2_pid" 2>/dev/null || true; wait "$daemon_pid" "$daemon2_pid" 2>/dev/null || true; rm -rf "$work"' EXIT
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR2/healthz" >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+jq -n --rawfile src "$work/edit.c" \
+    '{files: {"edit.c": $src}, entry: "edit.c", diagnostics: true}' |
+    curl -sf -d @- "http://$ADDR2/analyze" >"$work/edited_cold.json"
+jq -e '.meta.incremental == null' "$work/edited_cold.json" >/dev/null ||
+    { echo "fresh daemon unexpectedly grafted"; exit 1; }
+jq -c .snapshot "$work/edited.json" >"$work/edited.snap"
+jq -c .snapshot "$work/edited_cold.json" >"$work/edited_cold.snap"
+cmp -s "$work/edited.snap" "$work/edited_cold.snap" ||
+    { echo "grafted snapshot differs from cold daemon's"; exit 1; }
+kill "$daemon2_pid"; wait "$daemon2_pid" 2>/dev/null || true
+echo "ok: grafted snapshot byte-identical to a cold daemon's"
+
 curl -sf "http://$ADDR/metrics" >"$METRICS_OUT"
+jq -e '.incremental.grafts >= 1 and .incremental.fallbacks == 0' "$METRICS_OUT" >/dev/null ||
+    { echo "incremental counters off:"; jq .incremental "$METRICS_OUT"; exit 1; }
 kill "$daemon_pid"
 wait "$daemon_pid" 2>/dev/null || true
 echo "ok: metrics snapshot written to $METRICS_OUT"
