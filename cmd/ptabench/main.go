@@ -6,7 +6,7 @@
 //
 //	ptabench [-table2] [-invoke] [-ablation benchmark] [-workers n]
 //	         [-json file] [-scalingjson file] [-editjson file]
-//	         [-cpuprofile file] [-memprofile file]
+//	         [-demandjson file] [-cpuprofile file] [-memprofile file]
 //
 // -json writes the Table 2 suite measurements (BENCH_ptabench.json);
 // -scalingjson writes worker-scaling measurements over the fan-out
@@ -14,8 +14,11 @@
 // (BENCH_workerscaling.json); -editjson writes warm-edit measurements —
 // for each benchmark, a single-procedure statement tweak re-analyzed
 // incrementally against a converged baseline versus analyzed cold
-// (BENCH_incremental.json). All take the fastest of several runs per
-// cell.
+// (BENCH_incremental.json); -demandjson writes demand-query latency —
+// for each benchmark, a single warm points-to query against a held
+// converged result versus a cold converge-and-answer versus the
+// whole-program analysis (BENCH_demand.json). All take the fastest of
+// several runs per cell.
 package main
 
 import (
@@ -36,6 +39,7 @@ func main() {
 		jsonOut    = flag.String("json", "", "write per-workload measurements (ns/op, allocs/op, PTFs/proc, engine, workers) to this file")
 		scalingOut = flag.String("scalingjson", "", "write worker-scaling measurements over the fan-out shapes to this file")
 		editOut    = flag.String("editjson", "", "write warm-edit (incremental vs cold re-analysis) measurements to this file")
+		demandOut  = flag.String("demandjson", "", "write demand-query latency (warm vs cold vs whole-program) measurements to this file")
 		workers    = flag.Int("workers", 1, "analysis worker-pool size for -json runs (0 = GOMAXPROCS, 1 = sequential)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
@@ -85,6 +89,11 @@ func main() {
 	}
 	if *editOut != "" {
 		if err := bench.WriteIncrementalJSON(*editOut); err != nil {
+			fatal(err)
+		}
+	}
+	if *demandOut != "" {
+		if err := bench.WriteDemandJSON(*demandOut); err != nil {
 			fatal(err)
 		}
 	}

@@ -9,15 +9,20 @@
 //
 //	wlcheck [-checks list] [-passes list] [-format text|json|sarif]
 //	        [-baseline file] [-write-baseline file] [-workers n]
-//	        [-modref] [-q] [-trace] [-remote host:port] file.c...
+//	        [-modref] [-q] [-trace] [-remote host:port]
+//	        [-demand proc:line:expr,...] file.c...
 //
 // With several files, the first is the entry translation unit and the
 // rest are available for #include. With -remote the diagnostics come
 // from a wlpad daemon (see cmd/wlpad), which runs every pass with its
 // own configuration — -checks/-passes/-workers/-max-ptfs are rejected
-// in that mode; baselines and output formats work unchanged. Exits 1
-// if any error-severity diagnostic survives baseline suppression, 2 on
-// usage or front-end failure.
+// in that mode; baselines and output formats work unchanged. With
+// -demand, each listed site's points-to set is printed (answered by the
+// demand-driven walker, identical to the whole-program answer) and the
+// diagnostics are restricted to the queried (proc, line) sites —
+// pointwise checking of just the code under review. Exits 1 if any
+// error-severity diagnostic survives baseline suppression, 2 on usage
+// or front-end failure.
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"wlpa/internal/server"
@@ -49,6 +55,7 @@ func main() {
 		trace     = flag.Bool("trace", false, "print the calling context of each diagnostic (text format)")
 		maxPTFs   = flag.Int("max-ptfs", 0, "cap PTFs per procedure (0 = unlimited)")
 		remote    = flag.String("remote", "", "answer via a wlpad daemon at this address instead of analyzing in-process")
+		demand    = flag.String("demand", "", "comma-separated proc:line:expr sites: print each site's points-to set (demand-driven) and restrict diagnostics to the queried (proc,line) sites")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -69,11 +76,18 @@ func main() {
 			entry = name
 		}
 	}
+	sites, err := parseDemandSites(*demand)
+	if err != nil {
+		fail(err)
+	}
 	var diags []pta.Diagnostic
 	var modrefLines []string
 	if *remote != "" {
 		if *checks != "" || *passes != "" || *workers != 0 || *maxPTFs != 0 {
 			fail(fmt.Errorf("-checks/-passes/-workers/-max-ptfs are fixed by the daemon; drop them with -remote"))
+		}
+		if len(sites) > 0 {
+			fail(fmt.Errorf("-demand runs in-process; query the daemon's /query endpoint instead of combining it with -remote"))
 		}
 		_, snap, err := (&server.Client{Base: *remote}).Analyze(context.Background(), files, entry, true)
 		if err != nil {
@@ -85,6 +99,13 @@ func main() {
 		res, err := pta.Analyze(files, entry, &pta.Options{MaxPTFs: *maxPTFs})
 		if err != nil {
 			fail(err)
+		}
+		if len(sites) > 0 {
+			d := res.Demand(nil)
+			for _, s := range sites {
+				pts := d.PointsToAt(s.proc, s.line, s.expr)
+				fmt.Printf("%s:%d %s => {%s}\n", s.proc, s.line, s.expr, strings.Join(pts, ", "))
+			}
 		}
 		copts := &pta.CheckOptions{Workers: *workers}
 		if *checks != "" {
@@ -105,6 +126,9 @@ func main() {
 		for _, line := range modrefLines {
 			fmt.Println(line)
 		}
+	}
+	if len(sites) > 0 {
+		diags = filterToSites(diags, sites)
 	}
 	if *baseline != "" {
 		f, err := os.Open(*baseline)
@@ -169,6 +193,49 @@ func main() {
 	if errors > 0 {
 		os.Exit(1)
 	}
+}
+
+// demandSite is one parsed -demand query.
+type demandSite struct {
+	proc string
+	line int
+	expr string
+}
+
+// parseDemandSites parses the -demand value: comma-separated
+// proc:line:expr triples ("main:12:*p,helper:30:q").
+func parseDemandSites(spec string) ([]demandSite, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var sites []demandSite
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.SplitN(strings.TrimSpace(part), ":", 3)
+		if len(fields) != 3 || fields[0] == "" || fields[2] == "" {
+			return nil, fmt.Errorf("-demand site %q: want proc:line:expr", part)
+		}
+		line, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("-demand site %q: line %q is not an integer", part, fields[1])
+		}
+		sites = append(sites, demandSite{proc: fields[0], line: line, expr: fields[2]})
+	}
+	return sites, nil
+}
+
+// filterToSites keeps diagnostics at the queried (proc, line) sites.
+func filterToSites(diags []pta.Diagnostic, sites []demandSite) []pta.Diagnostic {
+	keep := make(map[[2]string]bool, len(sites))
+	for _, s := range sites {
+		keep[[2]string{s.proc, strconv.Itoa(s.line)}] = true
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if keep[[2]string{d.Proc, strconv.Itoa(d.Pos.Line)}] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 func fail(err error) {

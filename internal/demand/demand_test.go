@@ -1,0 +1,226 @@
+package demand_test
+
+import (
+	"testing"
+
+	"wlpa/internal/analysis"
+	"wlpa/internal/cparse"
+	"wlpa/internal/demand"
+	"wlpa/internal/libsum"
+	"wlpa/internal/memmod"
+	"wlpa/internal/sem"
+	"wlpa/internal/workload"
+)
+
+// run converges the analysis over one source with the standard query
+// configuration (library summaries, solution collection).
+func run(t *testing.T, name, src string) *analysis.Analysis {
+	t.Helper()
+	f, err := cparse.ParseSource(name, src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	prog, err := sem.Check(f)
+	if err != nil {
+		t.Fatalf("%s: check: %v", name, err)
+	}
+	a, err := analysis.New(prog, analysis.Options{
+		Lib:             libsum.Summaries(),
+		LibEffects:      libsum.Effects(),
+		CollectSolution: true,
+	})
+	if err != nil {
+		t.Fatalf("%s: new: %v", name, err)
+	}
+	if err := a.Run(); err != nil {
+		t.Fatalf("%s: run: %v", name, err)
+	}
+	return a
+}
+
+// queryLocs gathers the locations worth querying in one context: every
+// recorded location plus its block-level widening (stride-1 values are
+// where the overlap-candidate machinery earns its keep).
+func queryLocs(p *analysis.PTF) []memmod.LocSet {
+	var locs []memmod.LocSet
+	seen := map[memmod.LocSet]bool{}
+	add := func(l memmod.LocSet) {
+		l = l.Resolve()
+		if !seen[l] {
+			seen[l] = true
+			locs = append(locs, l)
+		}
+	}
+	for _, l := range p.Pts.Locations() {
+		add(l)
+		add(l.Unknown())
+	}
+	return locs
+}
+
+// assertAgrees compares the walker against the exhaustive query layer
+// for every (location, node) pair of every context, in both IN and OUT
+// query modes. nodeStride subsamples nodes on big programs.
+func assertAgrees(t *testing.T, name string, a *analysis.Analysis, w *demand.Walker, nodeStride int) {
+	t.Helper()
+	if nodeStride < 1 {
+		nodeStride = 1
+	}
+	for pi, p := range a.AllPTFs() {
+		locs := queryLocs(p)
+		for ni := 0; ni < len(p.Proc.Nodes); ni += nodeStride {
+			nd := p.Proc.Nodes[ni]
+			for _, l := range locs {
+				for _, includeAt := range []bool{false, true} {
+					var got, want memmod.ValueSet
+					if includeAt {
+						got = w.ContentsAfter(p, l, nd)
+						want = a.ContentsAfter(p, l, nd)
+					} else {
+						got = w.ContentsAt(p, l, nd)
+						want = a.ContentsAt(p, l, nd)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("%s: ptf %d (%s) node %d loc %v includeAt=%v:\n  demand    %v\n  exhaustive %v",
+							name, pi, p.Proc.Name, nd.ID, l, includeAt, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+var walkerPrograms = []struct{ name, src string }{
+	{"strong-updates", `
+int x; int y; int z; int flag;
+int *p; int *q; int **pp;
+int main(void) {
+    p = &x;
+    q = p;
+    *q = 1;
+    if (flag) p = &y;
+    pp = &p;
+    *pp = &z;
+    *p = 2;
+    return 0;
+}`},
+	{"calls-and-heap", `
+#include <stdlib.h>
+int g; int *gp; int *hp;
+void set(int **dst, int *v) { *dst = v; }
+int *mk(void) { return (int*)malloc(sizeof(int)); }
+void touch(void) { g = 1; }
+int main(void) {
+    set(&gp, &g);
+    hp = mk();
+    touch();
+    *hp = *gp;
+    return 0;
+}`},
+	{"contexts", `
+int a; int b;
+int *pa; int *pb;
+void store(int **d, int *s) { *d = s; }
+int main(void) {
+    store(&pa, &a);
+    store(&pb, &b);
+    return 0;
+}`},
+	{"loops-and-strings", `
+#include <string.h>
+char buf[16]; char *cp; char *name;
+int main(void) {
+    int i;
+    name = "hello";
+    cp = buf;
+    for (i = 0; i < 8; i++) {
+        cp = cp + 1;
+        strcpy(buf, name);
+    }
+    return 0;
+}`},
+}
+
+// TestWalkerMatchesExhaustive pins the core identity on hand-written
+// programs exercising strong updates, calls, heap blocks, contexts, and
+// loops: every contents query answers exactly what the exhaustive layer
+// answers, at the default budget, with call skipping disabled, and at a
+// starvation budget that forces the fallback path.
+func TestWalkerMatchesExhaustive(t *testing.T) {
+	for _, tc := range walkerPrograms {
+		t.Run(tc.name, func(t *testing.T) {
+			a := run(t, tc.name, tc.src)
+			assertAgrees(t, tc.name, a, demand.New(a, nil), 1)
+			assertAgrees(t, tc.name, a, demand.New(a, &demand.Options{NoCallSkip: true}), 1)
+			w := demand.New(a, &demand.Options{Budget: 1})
+			assertAgrees(t, tc.name, a, w, 1)
+			if w.Stats().Fallbacks == 0 {
+				t.Fatalf("budget 1 never fell back (stats %+v)", w.Stats())
+			}
+		})
+	}
+}
+
+// TestWalkerMatchesExhaustiveOnSuite sweeps the identity over every
+// embedded benchmark (subsampled nodes keep the quadratic probe count
+// in budget). Call skipping must also actually engage somewhere.
+func TestWalkerMatchesExhaustiveOnSuite(t *testing.T) {
+	skipped := 0
+	for _, b := range workload.Suite() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			a := run(t, b.Name, b.Source)
+			w := demand.New(a, nil)
+			assertAgrees(t, b.Name, a, w, 7)
+			skipped += w.Stats().SkippedCalls
+		})
+	}
+	if skipped == 0 {
+		t.Error("MOD-effect call skipping never engaged across the suite")
+	}
+}
+
+// TestLookupMirrors pins Walker.Lookup against ptset's dominator-walk
+// lookup for every recorded location at both procedure boundary nodes.
+func TestLookupMirrors(t *testing.T) {
+	for _, tc := range walkerPrograms {
+		a := run(t, tc.name, tc.src)
+		w := demand.New(a, nil)
+		for _, p := range a.AllPTFs() {
+			for _, l := range p.Pts.Locations() {
+				for _, includeAt := range []bool{false, true} {
+					for _, nd := range []int{0, len(p.Proc.Nodes) - 1} {
+						node := p.Proc.Nodes[nd]
+						gv, gok := w.Lookup(p, l, node, includeAt)
+						var wv memmod.ValueSet
+						var wok bool
+						if includeAt {
+							wv, wok = p.Pts.LookupOut(l, node, nil)
+						} else {
+							wv, wok = p.Pts.LookupIn(l, node, nil)
+						}
+						if gok != wok || !gv.Equal(wv) {
+							t.Fatalf("%s: %s loc %v node %d includeAt=%v: demand (%v,%v) vs exhaustive (%v,%v)",
+								tc.name, p.Proc.Name, l, node.ID, includeAt, gv, gok, wv, wok)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStatsAccounting sanity-checks the counters: visits and probes
+// accumulate, and a generous budget never falls back.
+func TestStatsAccounting(t *testing.T) {
+	a := run(t, "stats", walkerPrograms[0].src)
+	w := demand.New(a, nil)
+	assertAgrees(t, "stats", a, w, 1)
+	st := w.Stats()
+	if st.Queries == 0 || st.NodesVisited == 0 || st.Probes == 0 {
+		t.Fatalf("counters did not accumulate: %+v", st)
+	}
+	if st.Fallbacks != 0 {
+		t.Fatalf("default budget fell back: %+v", st)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"wlpa/internal/cast"
 	"wlpa/internal/check"
 	"wlpa/internal/cparse"
+	"wlpa/internal/demand"
 	"wlpa/internal/interp"
 	"wlpa/internal/libsum"
 	"wlpa/internal/memmod"
@@ -43,6 +44,7 @@ const (
 	StageCheckClean  = "check-clean"         // Error-severity diagnostic on a well-defined program
 	StageLeak        = "leak-oracle"         // static leak checker disagrees with observed leaks
 	StageTypestate   = "typestate-oracle"    // static FILE-protocol checker disagrees with observed violations
+	StageDemand      = "demand-oracle"       // demand walker answer differs from the exhaustive query layer
 	StageBaseline    = "baseline"            // a baseline analysis returned an error
 	StageAndersen    = "lattice-andersen"    // dynamic fact missing from Andersen
 	StageSteensgaard = "lattice-steensgaard" // PTF or Andersen edge missing from Steensgaard
@@ -156,6 +158,61 @@ func runEngine(prog *sem.Program, e engine) (*fingerprint, error) {
 	}, nil
 }
 
+// demandAgrees sweeps the demand walker against the exhaustive query
+// layer over one converged analysis: for every context, a sample of its
+// recorded locations (plus their block-level widenings) at a sample of
+// its flow nodes, in both IN and OUT query modes. Three walker
+// configurations run: the default, call skipping disabled, and a
+// starvation budget that exercises the exhaustive fallback on every
+// query. Returns "" when every answer matches, else a description of
+// the first divergence.
+func demandAgrees(an *analysis.Analysis) string {
+	const (
+		maxLocsPerPTF = 48
+		nodeStride    = 3
+	)
+	configs := []struct {
+		name string
+		opts *demand.Options
+	}{
+		{"default", nil},
+		{"noskip", &demand.Options{NoCallSkip: true}},
+		{"starved", &demand.Options{Budget: 3}},
+	}
+	for _, cfg := range configs {
+		w := demand.New(an, cfg.opts)
+		for _, p := range an.AllPTFs() {
+			var locs []memmod.LocSet
+			seen := map[memmod.LocSet]bool{}
+			for _, l := range p.Pts.Locations() {
+				if len(locs) >= maxLocsPerPTF {
+					break
+				}
+				for _, c := range []memmod.LocSet{l.Resolve(), l.Unknown().Resolve()} {
+					if !seen[c] {
+						seen[c] = true
+						locs = append(locs, c)
+					}
+				}
+			}
+			for ni := 0; ni < len(p.Proc.Nodes); ni += nodeStride {
+				nd := p.Proc.Nodes[ni]
+				for _, l := range locs {
+					if got, want := w.ContentsAt(p, l, nd), an.ContentsAt(p, l, nd); !got.Equal(want) {
+						return fmt.Sprintf("%s walker: %s node %d loc %v (in): demand %v, exhaustive %v",
+							cfg.name, p.Proc.Name, nd.ID, l, got, want)
+					}
+					if got, want := w.ContentsAfter(p, l, nd), an.ContentsAfter(p, l, nd); !got.Equal(want) {
+						return fmt.Sprintf("%s walker: %s node %d loc %v (out): demand %v, exhaustive %v",
+							cfg.name, p.Proc.Name, nd.ID, l, got, want)
+					}
+				}
+			}
+		}
+	}
+	return ""
+}
+
 func renderPerProc(m map[string]int) string {
 	lines := make([]string, 0, len(m))
 	for k, v := range m {
@@ -225,11 +282,13 @@ func CheckProgram(name, src string, opt Options) error {
 		engines = append(engines, engine{name: fmt.Sprintf("parallel%d", w), force: false, workers: w})
 	}
 	var base *fingerprint
+	fps := make([]*fingerprint, 0, len(engines))
 	for i, e := range engines {
 		fp, err := runEngine(prog, e)
 		if err != nil {
 			return fail(StageEngine, "%s: %v", e.name, err)
 		}
+		fps = append(fps, fp)
 		if i == 0 {
 			base = fp
 			continue
@@ -245,6 +304,17 @@ func CheckProgram(name, src string, opt Options) error {
 		if fp.diags != base.diags {
 			return fail(StageEquivalence, "%s vs %s: diagnostics differ:\n-- %s --\n%s\n-- %s --\n%s",
 				e.name, engines[0].name, e.name, fp.diags, engines[0].name, base.diags)
+		}
+	}
+
+	// 1b. Demand-query equivalence: the backward value-flow walker must
+	// answer every sampled contents query bit-identically to the
+	// exhaustive query layer, on every engine's converged state (so the
+	// identity holds at 1/2/4/8 workers), with the MOD-effect call skip
+	// on and off, and through the budget-exhaustion fallback.
+	for i, e := range engines {
+		if detail := demandAgrees(fps[i].an); detail != "" {
+			return fail(StageDemand, "%s: %s", e.name, detail)
 		}
 	}
 

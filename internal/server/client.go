@@ -76,6 +76,42 @@ func (c *Client) Analyze(ctx context.Context, files map[string]string, entry str
 	return &resp, snap, nil
 }
 
+// Query submits a batch of demand points-to queries. The first call
+// for an entry converges the program (cold); subsequent calls with
+// unchanged sources answer from the daemon's warm result.
+func (c *Client) Query(ctx context.Context, files map[string]string, entry string, queries []SiteQuery, budget int) (*QueryResponse, error) {
+	body, err := json.Marshal(QueryRequest{Files: files, Entry: entry, Queries: queries, Budget: budget})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/query"), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpResp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("wlpad: %s", e.Error)
+		}
+		return nil, fmt.Errorf("wlpad: HTTP %d", httpResp.StatusCode)
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("wlpad: decoding response: %w", err)
+	}
+	return &resp, nil
+}
+
 // Healthz probes the daemon's health endpoint.
 func (c *Client) Healthz(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/healthz"), nil)

@@ -6,13 +6,14 @@ import (
 	"wlpa/pta"
 )
 
-// maxBaselines bounds how many converged baselines the daemon keeps
-// alive for warm-edit grafting. Each baseline pins the full analysis
-// web of one program (PTFs, dependency edges, intern tables), so the
-// registry is a small LRU over entry names rather than a second
-// content-addressed cache: the edit workflow is "same file, new body",
-// and the entry name is the stable identity across those edits.
-const maxBaselines = 8
+// defaultBaselineCap bounds how many converged baselines the daemon
+// keeps alive for warm-edit grafting when Config.BaselineCap is zero.
+// Each baseline pins the full analysis web of one program (PTFs,
+// dependency edges, intern tables), so the registry is a small LRU over
+// entry names rather than a second content-addressed cache: the edit
+// workflow is "same file, new body", and the entry name is the stable
+// identity across those edits.
+const defaultBaselineCap = 8
 
 // baselineRegistry holds the warm-edit baselines, keyed by entry name.
 // A baseline is single-use — the graft consumes it (the underlying
@@ -20,13 +21,18 @@ const maxBaselines = 8
 // under the lock and the handler re-registers a fresh baseline wrapped
 // around the new result when the run succeeds.
 type baselineRegistry struct {
-	mu      sync.Mutex
-	entries map[string]*pta.Baseline
-	order   []string // LRU order, oldest first
+	mu        sync.Mutex
+	entries   map[string]*pta.Baseline
+	order     []string // LRU order, oldest first
+	cap       int
+	evictions uint64
 }
 
-func newBaselineRegistry() *baselineRegistry {
-	return &baselineRegistry{entries: map[string]*pta.Baseline{}}
+func newBaselineRegistry(capacity int) *baselineRegistry {
+	if capacity <= 0 {
+		capacity = defaultBaselineCap
+	}
+	return &baselineRegistry{entries: map[string]*pta.Baseline{}, cap: capacity}
 }
 
 // take removes and returns the baseline registered for entry (nil when
@@ -45,7 +51,7 @@ func (br *baselineRegistry) take(entry string) *pta.Baseline {
 }
 
 // put registers a baseline for entry, evicting the least recently
-// registered entry beyond maxBaselines.
+// registered entry beyond the capacity.
 func (br *baselineRegistry) put(entry string, b *pta.Baseline) {
 	br.mu.Lock()
 	defer br.mu.Unlock()
@@ -54,11 +60,19 @@ func (br *baselineRegistry) put(entry string, b *pta.Baseline) {
 	}
 	br.entries[entry] = b
 	br.order = append(br.order, entry)
-	for len(br.order) > maxBaselines {
+	for len(br.order) > br.cap {
 		oldest := br.order[0]
 		br.order = br.order[1:]
 		delete(br.entries, oldest)
+		br.evictions++
 	}
+}
+
+// stats reports capacity, current occupancy, and lifetime evictions.
+func (br *baselineRegistry) stats() (capacity, occupancy int, evictions uint64) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	return br.cap, len(br.entries), br.evictions
 }
 
 func (br *baselineRegistry) remove(entry string) {

@@ -87,7 +87,10 @@ func TestWarmEditGraft(t *testing.T) {
 // exclusive, put replaces, and the oldest entry is evicted beyond the
 // cap.
 func TestBaselineRegistryLRU(t *testing.T) {
-	br := newBaselineRegistry()
+	br := newBaselineRegistry(0)
+	if br.cap != defaultBaselineCap {
+		t.Fatalf("zero capacity resolved to %d, want %d", br.cap, defaultBaselineCap)
+	}
 	mk := func() *pta.Baseline { return &pta.Baseline{} }
 
 	if br.take("a") != nil {
@@ -105,7 +108,7 @@ func TestBaselineRegistryLRU(t *testing.T) {
 	b2 := mk()
 	br.put("a", mk())
 	br.put("a", b2) // replace keeps one slot per entry
-	for i := 0; i < maxBaselines; i++ {
+	for i := 0; i < defaultBaselineCap; i++ {
 		br.put(string(rune('b'+i)), mk())
 	}
 	if br.take("a") != nil {
@@ -113,5 +116,20 @@ func TestBaselineRegistryLRU(t *testing.T) {
 	}
 	if br.take(string(rune('b'))) == nil {
 		t.Fatal("in-cap entry evicted")
+	}
+	if _, _, ev := br.stats(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1", ev)
+	}
+
+	// A custom capacity holds exactly that many entries.
+	small := newBaselineRegistry(2)
+	small.put("x", mk())
+	small.put("y", mk())
+	small.put("z", mk())
+	if small.take("x") != nil {
+		t.Fatal("cap-2 registry held three entries")
+	}
+	if cap2, occ, ev := small.stats(); cap2 != 2 || occ != 2 || ev != 1 {
+		t.Fatalf("cap-2 stats: cap=%d occ=%d ev=%d", cap2, occ, ev)
 	}
 }

@@ -59,6 +59,10 @@ type metrics struct {
 	warmGrafts    uint64
 	warmFallbacks uint64
 
+	queryRequests uint64
+	queryWarm     uint64
+	queryCold     uint64
+
 	latency map[string]*Histogram // phase -> histogram
 }
 
@@ -68,6 +72,7 @@ func newMetrics() *metrics {
 		"analyze":  newHistogram(),
 		"snapshot": newHistogram(),
 		"total":    newHistogram(),
+		"query":    newHistogram(),
 	}}
 }
 
@@ -100,6 +105,24 @@ type MetricsSnapshot struct {
 		Grafts    uint64 `json:"grafts"`
 		Fallbacks uint64 `json:"fallbacks"`
 	} `json:"incremental"`
+	// Baselines reports the warm-edit baseline LRU: its configured
+	// capacity, how many entries it currently holds, and how many were
+	// evicted (not consumed) over the daemon's lifetime.
+	Baselines struct {
+		Capacity  int    `json:"capacity"`
+		Occupancy int    `json:"occupancy"`
+		Evictions uint64 `json:"evictions"`
+	} `json:"baselines"`
+	// Query reports the demand-query endpoint: warm requests answered
+	// from a held result without running the engine, cold requests that
+	// converged first, and the warm-result LRU's state.
+	Query struct {
+		Requests  uint64 `json:"requests"`
+		Warm      uint64 `json:"warm"`
+		Cold      uint64 `json:"cold"`
+		Occupancy int    `json:"occupancy"`
+		Evictions uint64 `json:"evictions"`
+	} `json:"query"`
 	Store     store.Stats           `json:"store"`
 	LatencyMS map[string]*Histogram `json:"latency_ms"`
 }
@@ -117,6 +140,9 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	out.ProcLedger.Misses = m.procMisses
 	out.Incremental.Grafts = m.warmGrafts
 	out.Incremental.Fallbacks = m.warmFallbacks
+	out.Query.Requests = m.queryRequests
+	out.Query.Warm = m.queryWarm
+	out.Query.Cold = m.queryCold
 	out.LatencyMS = make(map[string]*Histogram, len(m.latency))
 	for phase, h := range m.latency {
 		out.LatencyMS[phase] = h.clone()

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 
+	"wlpa/internal/demand"
 	"wlpa/pta"
 )
 
@@ -60,4 +61,73 @@ type AnalyzeResponse struct {
 // ErrorResponse is the body of any non-200 response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// SiteQuery names one points-to query site: the value of expr (an
+// identifier with optional * prefixes) at the last node at or before
+// line in proc — the same resolution rules as pta.Result.PointsToAt.
+type SiteQuery struct {
+	Proc string `json:"proc"`
+	Line int    `json:"line"`
+	Expr string `json:"expr"`
+}
+
+// QueryRequest is the POST /query body. Files and Entry are as in
+// AnalyzeRequest; Queries are answered in order. Budget optionally
+// overrides the demand walker's per-query visit budget (0 = default);
+// like all budgets it trades time, never answers.
+type QueryRequest struct {
+	Files   map[string]string `json:"files"`
+	Entry   string            `json:"entry"`
+	Queries []SiteQuery       `json:"queries"`
+	Budget  int               `json:"budget,omitempty"`
+}
+
+// QueryAnswer is one answered site: the query echoed back plus the
+// sorted points-to set (empty for a non-pointer or unresolvable site —
+// same convention as the snapshot's query records).
+type QueryAnswer struct {
+	Proc     string   `json:"proc"`
+	Line     int      `json:"line"`
+	Expr     string   `json:"expr"`
+	PointsTo []string `json:"points_to"`
+}
+
+// QueryMeta is the server-side metadata of one /query response.
+type QueryMeta struct {
+	// Cache is "warm" (answered from a held converged result, engine not
+	// run) or "cold" (the engine converged the program first).
+	Cache string `json:"cache"`
+	// Key is the program's IR root hash — the identity the warm result
+	// is held under.
+	Key string `json:"key"`
+	// Timings in milliseconds (hash and analyze are 0 on warm GETs).
+	HashMS    float64 `json:"hash_ms,omitempty"`
+	AnalyzeMS float64 `json:"analyze_ms,omitempty"`
+	TotalMS   float64 `json:"total_ms"`
+	// On a cold run, the per-procedure ledger outcome (see AnalyzeMeta).
+	ProcHits   []string `json:"proc_hits,omitempty"`
+	ProcMisses []string `json:"proc_misses,omitempty"`
+	// Demand reports the walker work this request performed: nodes
+	// visited, records probed, calls skipped via MOD effects, and
+	// budget-exhaustion fallbacks to the exhaustive layer.
+	Demand demand.Stats `json:"demand"`
+}
+
+// QueryResponse is the /query response body.
+type QueryResponse struct {
+	Meta    QueryMeta     `json:"meta"`
+	Answers []QueryAnswer `json:"answers"`
+}
+
+// delta subtracts two cumulative walker stats snapshots, isolating one
+// request's work.
+func delta(before, after demand.Stats) demand.Stats {
+	return demand.Stats{
+		Queries:      after.Queries - before.Queries,
+		NodesVisited: after.NodesVisited - before.NodesVisited,
+		Probes:       after.Probes - before.Probes,
+		SkippedCalls: after.SkippedCalls - before.SkippedCalls,
+		Fallbacks:    after.Fallbacks - before.Fallbacks,
+	}
 }

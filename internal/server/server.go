@@ -32,6 +32,10 @@ type Config struct {
 	// throttled); 0 means 2. A request that cannot get a slot before
 	// its context is done gets 503.
 	MaxInflight int
+	// BaselineCap bounds how many warm-edit baselines are held for
+	// incremental grafting; 0 means 8. Each baseline pins a full
+	// converged analysis, so this is the daemon's main memory knob.
+	BaselineCap int
 	// Logger receives structured request logs (nil = slog.Default()).
 	Logger *slog.Logger
 }
@@ -46,6 +50,7 @@ type Server struct {
 	sem       chan struct{}
 	metrics   *metrics
 	baselines *baselineRegistry
+	queries   *queryRegistry
 	started   time.Time
 }
 
@@ -68,7 +73,8 @@ func New(cfg Config) (*Server, error) {
 		log:       log,
 		sem:       make(chan struct{}, cfg.MaxInflight),
 		metrics:   newMetrics(),
-		baselines: newBaselineRegistry(),
+		baselines: newBaselineRegistry(cfg.BaselineCap),
+		queries:   newQueryRegistry(),
 		started:   time.Now(),
 	}, nil
 }
@@ -86,6 +92,8 @@ func optionsFingerprint(o pta.Options) string {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /analyze", s.handleAnalyze)
+	mux.HandleFunc("GET /query", s.handleQueryGet)
+	mux.HandleFunc("POST /query", s.handleQueryPost)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -99,6 +107,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	snap := s.metrics.snapshot()
 	snap.UptimeSeconds = time.Since(s.started).Seconds()
 	snap.Store = s.store.Stats()
+	snap.Baselines.Capacity, snap.Baselines.Occupancy, snap.Baselines.Evictions = s.baselines.stats()
+	snap.Query.Occupancy, snap.Query.Evictions = s.queries.stats()
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -1,0 +1,181 @@
+package pta
+
+import (
+	"sort"
+
+	"wlpa/internal/demand"
+	"wlpa/internal/memmod"
+)
+
+// DemandOptions configure a demand-query view (see internal/demand).
+type DemandOptions struct {
+	// Budget is the per-query visit budget; 0 selects the default.
+	// Exhausting it falls back to the exhaustive query layer, so it
+	// bounds cost, never changes answers.
+	Budget int
+	// NoCallSkip disables MOD-effect call skipping (cross-check knob).
+	NoCallSkip bool
+}
+
+// Demand is a demand-driven query view over a Result: the same
+// PointsToAt/PointsTo/MayAlias answers, computed by walking backward
+// from each query site instead of consulting the exhaustive lookup
+// machinery. Answers are bit-identical to the Result's (pinned by the
+// difftest demand-equivalence rung); only the cost profile differs.
+// Like the Result query surface it mirrors, a Demand must not be used
+// from multiple goroutines concurrently.
+type Demand struct {
+	r *Result
+	w *demand.Walker
+}
+
+// Demand returns a demand-driven query view of the result.
+func (r *Result) Demand(opts *DemandOptions) *Demand {
+	var do demand.Options
+	if opts != nil {
+		do.Budget = opts.Budget
+		do.NoCallSkip = opts.NoCallSkip
+	}
+	return &Demand{r: r, w: demand.New(r.an, &do)}
+}
+
+// DemandQuery answers a single PointsToAt query demand-driven, with
+// default options: identical to r.PointsToAt(proc, line, expr), paying
+// only for the query's backward cone.
+func DemandQuery(r *Result, proc string, line int, expr string) []string {
+	return r.Demand(nil).PointsToAt(proc, line, expr)
+}
+
+// Stats returns the walker's cumulative counters.
+func (d *Demand) Stats() demand.Stats { return d.w.Stats() }
+
+// PointsToAt mirrors Result.PointsToAt demand-driven: same resolution
+// rules, same per-context union, concretization and ordering.
+func (d *Demand) PointsToAt(proc string, line int, expr string) []string {
+	sym, stars, nd, ok := d.r.resolveQuery(proc, line, expr)
+	if !ok {
+		return nil
+	}
+	return d.r.pointsToAtNodeVia(d.w.ContentsAfter, proc, sym, stars, nd)
+}
+
+// PointsTo mirrors Result.PointsTo demand-driven: the named global's
+// targets at program exit, read from main's context.
+func (d *Demand) PointsTo(global string) []string {
+	sym := d.r.findGlobal(global)
+	if sym == nil {
+		return nil
+	}
+	b := d.r.an.GlobalBlock(sym)
+	ptf := d.r.an.MainPTF()
+	vals, ok := d.w.Lookup(ptf, memmod.Loc(b, 0, 0), ptf.Proc.Exit, true)
+	if !ok {
+		return nil
+	}
+	names := make([]string, 0, vals.Len())
+	for _, l := range vals.Locs() {
+		names = append(names, l.Base.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MayAlias mirrors Result.MayAlias demand-driven: whether two global
+// pointers may point into the same memory block.
+func (d *Demand) MayAlias(p, q string) bool {
+	a := d.PointsTo(p)
+	b := d.PointsTo(q)
+	set := make(map[string]bool, len(a))
+	for _, n := range a {
+		set[n] = true
+	}
+	for _, n := range b {
+		if set[n] {
+			return true
+		}
+	}
+	return false
+}
+
+// QuerySite is one sampled PointsToAt site (see SampleQuerySites).
+type QuerySite struct {
+	Proc string `json:"proc"`
+	Line int    `json:"line"`
+	Expr string `json:"expr"`
+}
+
+// SampleQuerySites returns up to max deterministic PointsToAt query
+// sites spread over the program: every analyzed procedure contributes
+// its locals, formals and a few pointerish globals, cycled over the
+// procedure's source lines and star depths 0–2, then stride-sampled
+// down to max. Sites may legitimately answer empty (a non-pointer at
+// that line); the difftest rung wants exactly that variety, and the
+// demand benchmark reports per-query cost over the same spread.
+func (r *Result) SampleQuerySites(max int) []QuerySite {
+	if max <= 0 {
+		max = 32
+	}
+	var sites []QuerySite
+	for _, proc := range r.Procedures() {
+		cproc := r.an.Proc(proc)
+		if cproc == nil {
+			continue
+		}
+		var lines []int
+		seenLine := map[int]bool{}
+		for _, nd := range cproc.Nodes {
+			if nd.Pos.IsValid() && !seenLine[nd.Pos.Line] {
+				seenLine[nd.Pos.Line] = true
+				lines = append(lines, nd.Pos.Line)
+			}
+		}
+		if len(lines) == 0 {
+			continue
+		}
+		var names []string
+		seen := map[string]bool{}
+		addName := func(n string) {
+			if n != "" && !seen[n] {
+				seen[n] = true
+				names = append(names, n)
+			}
+		}
+		for _, s := range cproc.Locals {
+			addName(s.Name)
+		}
+		for _, p := range cproc.Fn.Params {
+			if p.Sym != nil {
+				addName(p.Sym.Name)
+			}
+		}
+		globals := 0
+		for _, g := range r.prog.Globals {
+			if globals >= 8 {
+				break
+			}
+			if pointerish(g.Type) {
+				addName(g.Name)
+				globals++
+			}
+		}
+		for i, name := range names {
+			expr := name
+			switch i % 3 {
+			case 1:
+				expr = "*" + name
+			case 2:
+				expr = "**" + name
+			}
+			sites = append(sites, QuerySite{Proc: proc, Line: lines[i%len(lines)], Expr: expr})
+		}
+	}
+	if len(sites) > max {
+		stride := len(sites) / max
+		out := make([]QuerySite, 0, max)
+		for i := 0; i < len(sites) && len(out) < max; i += stride {
+			out = append(out, sites[i])
+		}
+		sites = out
+	}
+	return sites
+}

@@ -1,0 +1,121 @@
+package pta_test
+
+import (
+	"reflect"
+	"testing"
+
+	"wlpa/pta"
+)
+
+const demandSrc = `
+#include <stdlib.h>
+int g; int h;
+int *gp; int *hp; int **pp;
+void set(int **dst, int *v) { *dst = v; }
+int main(void) {
+    int x;
+    int *lp;
+    set(&gp, &g);
+    hp = (int*)malloc(sizeof(int));
+    lp = &x;
+    pp = &gp;
+    if (g) gp = &h;
+    *lp = **pp;
+    return 0;
+}`
+
+// TestDemandMatchesResult pins the pta-level identity: every sampled
+// PointsToAt site, every global PointsTo, and every MayAlias pair
+// answers the same through the demand view as through the Result.
+func TestDemandMatchesResult(t *testing.T) {
+	res, err := pta.AnalyzeSource("demand.c", demandSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Demand(nil)
+	for _, site := range res.SampleQuerySites(64) {
+		want := res.PointsToAt(site.Proc, site.Line, site.Expr)
+		got := d.PointsToAt(site.Proc, site.Line, site.Expr)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("PointsToAt(%s:%d %q): demand %v, result %v", site.Proc, site.Line, site.Expr, got, want)
+		}
+	}
+	globals := res.Globals()
+	for _, g := range globals {
+		if got, want := d.PointsTo(g), res.PointsTo(g); !reflect.DeepEqual(got, want) {
+			t.Errorf("PointsTo(%s): demand %v, result %v", g, got, want)
+		}
+	}
+	for _, a := range globals {
+		for _, b := range globals {
+			if got, want := d.MayAlias(a, b), res.MayAlias(a, b); got != want {
+				t.Errorf("MayAlias(%s,%s): demand %v, result %v", a, b, got, want)
+			}
+		}
+	}
+	if st := d.Stats(); st.Queries == 0 {
+		t.Fatalf("demand stats empty: %+v", st)
+	}
+}
+
+// TestDemandQuery pins the one-shot convenience entry point against a
+// known answer and against the Result.
+func TestDemandQuery(t *testing.T) {
+	res, err := pta.AnalyzeSource("demand.c", demandSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := pta.DemandQuery(res, "main", 16, "gp")
+	want := res.PointsToAt("main", 16, "gp")
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("DemandQuery = %v, want %v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("DemandQuery answered empty for an assigned pointer")
+	}
+}
+
+// TestDemandBudgetFallback pins that a starvation budget still answers
+// identically (through the exhaustive fallback) and reports it.
+func TestDemandBudgetFallback(t *testing.T) {
+	res, err := pta.AnalyzeSource("demand.c", demandSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Demand(&pta.DemandOptions{Budget: 1})
+	for _, site := range res.SampleQuerySites(32) {
+		want := res.PointsToAt(site.Proc, site.Line, site.Expr)
+		got := d.PointsToAt(site.Proc, site.Line, site.Expr)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("budget-1 PointsToAt(%s:%d %q): demand %v, result %v", site.Proc, site.Line, site.Expr, got, want)
+		}
+	}
+	if st := d.Stats(); st.Fallbacks == 0 {
+		t.Fatalf("budget 1 never fell back: %+v", st)
+	}
+}
+
+// TestSampleQuerySitesDeterministic pins that site sampling is a pure
+// function of the result (the difftest rung and the bench protocol both
+// rely on it) and respects its cap.
+func TestSampleQuerySitesDeterministic(t *testing.T) {
+	res, err := pta.AnalyzeSource("demand.c", demandSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.SampleQuerySites(16)
+	b := res.SampleQuerySites(16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("SampleQuerySites not deterministic")
+	}
+	if len(a) == 0 || len(a) > 16 {
+		t.Fatalf("SampleQuerySites(16) returned %d sites", len(a))
+	}
+	res2, err := pta.AnalyzeSource("demand.c", demandSrc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := res2.SampleQuerySites(16); !reflect.DeepEqual(a, c) {
+		t.Fatal("SampleQuerySites differs across identical analyses")
+	}
+}
